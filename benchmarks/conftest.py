@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or one of the
+extension experiments in DESIGN.md) and, besides timing it with
+pytest-benchmark, writes the rendered plain-text artefact to
+``benchmarks/reports/`` so the regenerated "figures" can be inspected after a
+run of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def write_report(report_dir):
+    """Write one experiment's rendered artefact to benchmarks/reports/<name>.txt."""
+
+    def _write(name: str, content: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        return path
+
+    return _write

@@ -1,0 +1,36 @@
+"""Benchmark — strategy-slot ablations (DESIGN.md Section 5).
+
+Not a paper figure: these quantify the strategy slots the paper's Figures 3
+and 5 leave open (bid acceptance, customer bidding policy, announcement
+determination) on fixed populations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_strategy_ablations(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_ablations, kwargs={"num_households": 25, "seed": 0}, iterations=1, rounds=2
+    )
+    rows = {(row["ablation"], row["variant"]): row for row in result.rows()}
+
+    # A1: selective acceptance pays no more than accept-all.
+    assert (
+        rows[("bid_acceptance", "selective")]["total_reward_paid"]
+        <= rows[("bid_acceptance", "accept_all")]["total_reward_paid"]
+    )
+    # A2: both customer policies reduce the peak; expected-gain bidding never
+    # lowers aggregate customer surplus.
+    assert rows[("bidding_policy", "highest_acceptable")]["peak_reduction_fraction"] > 0
+    assert rows[("bidding_policy", "expected_gain")]["peak_reduction_fraction"] > 0
+    assert (
+        rows[("bidding_policy", "expected_gain")]["customer_surplus"]
+        >= rows[("bidding_policy", "highest_acceptable")]["customer_surplus"] - 1e-9
+    )
+    # A3: both announcement policies produce working negotiations.
+    assert rows[("announcement_policy", "generate_and_select")]["rounds"] >= 1
+    assert rows[("announcement_policy", "statistical_optimisation")]["rounds"] >= 1
+
+    write_report("ablations_strategy_slots", result.render())

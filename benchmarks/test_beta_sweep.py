@@ -1,0 +1,47 @@
+"""Benchmark E7 — the effect of β (constant sweep plus adaptive β)."""
+
+from __future__ import annotations
+
+from repro.experiments.beta_sweep import run_beta_sweep
+
+
+def test_beta_sweep(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_beta_sweep,
+        kwargs={"betas": (0.5, 1.0, 2.0, 3.0, 4.0), "include_adaptive": True},
+        iterations=1,
+        rounds=2,
+    )
+    # Among runs that reach the overuse target, higher beta never needs more rounds.
+    assert result.rounds_nonincreasing_in_beta()
+    successful = result.successful_entries()
+    assert len(successful) >= 2
+    # A very small beta saturates before solving the peak — the trade-off the
+    # paper's Section 7 asks to investigate.
+    tiny = result.entry("0.50")
+    assert tiny.result.termination_reason.value == "reward_saturated"
+    # The adaptive controller also solves the peak.
+    adaptive = result.entry("adaptive")
+    assert adaptive.result.final_overuse <= 15.0
+    write_report("E7_beta_sweep", result.render())
+
+
+def test_beta_speed_cost_tradeoff(benchmark, write_report):
+    """Faster convergence (higher β) never pays less reward than slower convergence."""
+    result = benchmark.pedantic(
+        run_beta_sweep,
+        kwargs={"betas": (1.0, 2.0, 4.0), "include_adaptive": False},
+        iterations=1,
+        rounds=2,
+    )
+    successful = sorted(result.successful_entries(), key=lambda e: e.beta)
+    rounds = [e.result.rounds for e in successful]
+    assert rounds == sorted(rounds, reverse=True) or len(set(rounds)) == 1
+    write_report(
+        "E7_speed_cost_tradeoff",
+        "\n".join(
+            f"beta={e.label}: rounds={e.result.rounds}, "
+            f"reward_paid={e.result.total_reward_paid:.1f}"
+            for e in successful
+        ),
+    )

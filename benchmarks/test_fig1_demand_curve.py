@@ -1,0 +1,36 @@
+"""Benchmark E1 — regenerate Figure 1 (daily demand curve with a peak)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig1_demand_curve import run_demand_curve
+
+
+def test_fig1_demand_curve(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_demand_curve,
+        kwargs={"num_households": 50, "seed": 0, "cold_snap": True},
+        iterations=1,
+        rounds=3,
+    )
+    summary = result.summary()
+    # Figure 1's qualitative content: a daily curve whose peak exceeds the
+    # normal-cost capacity, with the peak in the evening.
+    assert summary["has_peak"]
+    assert summary["peak_overuse_kw"] > 0
+    assert summary["relative_overuse"] > 0.05
+    assert 16 <= summary["peak_hour"] <= 22
+    assert summary["expensive_cost"] > 0
+    write_report("E1_fig1_demand_curve", result.render())
+
+
+def test_fig1_mild_day_baseline(benchmark, write_report):
+    """Counterfactual: the same town on a mild day has a much smaller peak."""
+    result = benchmark.pedantic(
+        run_demand_curve,
+        kwargs={"num_households": 50, "seed": 0, "cold_snap": False},
+        iterations=1,
+        rounds=3,
+    )
+    cold = run_demand_curve(num_households=50, seed=0, cold_snap=True)
+    assert result.curve.peak_demand < cold.curve.peak_demand
+    write_report("E1_fig1_demand_curve_mild_day", result.render())

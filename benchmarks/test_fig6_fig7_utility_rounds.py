@@ -1,0 +1,42 @@
+"""Benchmarks E2/E3 — regenerate Figures 6 and 7 (Utility Agent per round)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6_fig7_utility_rounds import PAPER_REFERENCE, run_utility_rounds
+
+
+def test_fig6_fig7_utility_rounds(benchmark, write_report):
+    result = benchmark.pedantic(run_utility_rounds, iterations=1, rounds=5)
+    measured = result.measured()
+
+    # Figure 6 (initial phase): exact reproduction.
+    assert measured["normal_capacity"] == PAPER_REFERENCE["normal_capacity"]
+    assert measured["initial_predicted_usage"] == PAPER_REFERENCE["initial_predicted_usage"]
+    assert measured["initial_overuse"] == PAPER_REFERENCE["initial_overuse"]
+    assert measured["round1_reward_at_0.4"] == PAPER_REFERENCE["round1_reward_at_0.4"]
+
+    # Figure 7 (final phase): same shape, values within a few percent.
+    assert measured["rounds"] == PAPER_REFERENCE["rounds"]
+    assert measured["round3_reward_at_0.4"] == pytest.approx(
+        PAPER_REFERENCE["round3_reward_at_0.4"], rel=0.05
+    )
+    assert measured["final_overuse"] == pytest.approx(
+        PAPER_REFERENCE["final_overuse"], abs=1.0
+    )
+    write_report("E2_E3_fig6_fig7_utility_rounds", result.render())
+
+
+def test_fig6_fig7_reward_escalation_shape(benchmark, write_report):
+    """The reward trajectory rises monotonically and the overuse falls monotonically."""
+    result = benchmark.pedantic(run_utility_rounds, iterations=1, rounds=5)
+    rewards = result.result.reward_trajectory(0.4)
+    overuse = result.result.overuse_trajectory()
+    assert rewards == sorted(rewards)
+    assert all(b <= a + 1e-9 for a, b in zip(overuse, overuse[1:]))
+    write_report(
+        "E2_E3_trajectories",
+        "reward@0.4 per round: " + ", ".join(f"{r:.2f}" for r in rewards)
+        + "\noveruse trajectory:  " + ", ".join(f"{o:.2f}" for o in overuse),
+    )

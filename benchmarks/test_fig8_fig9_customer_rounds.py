@@ -1,0 +1,38 @@
+"""Benchmark E4 — regenerate Figures 8 and 9 (Customer Agent per round)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_fig9_customer_rounds import PAPER_REFERENCE, run_customer_rounds
+
+
+def test_fig8_fig9_customer_rounds(benchmark, write_report):
+    result = benchmark.pedantic(run_customer_rounds, iterations=1, rounds=5)
+    measured = result.measured()
+
+    # The requirement table anchor points the paper states explicitly.
+    assert measured["required_reward_at_0.3"] == PAPER_REFERENCE["required_reward_at_0.3"]
+    assert measured["required_reward_at_0.4"] == PAPER_REFERENCE["required_reward_at_0.4"]
+
+    # The per-round choices: 0.2, then 0.4, then 0.4 — exactly as in the paper.
+    assert measured["round1_bid"] == PAPER_REFERENCE["round1_bid"]
+    assert measured["round2_bid"] == PAPER_REFERENCE["round2_bid"]
+    assert measured["round3_bid"] == PAPER_REFERENCE["round3_bid"]
+
+    # Every comparison row matches exactly.
+    assert all(row["match"] for row in result.comparison_rows())
+    write_report("E4_fig8_fig9_customer_rounds", result.render())
+
+
+def test_fig8_customer_bids_highest_acceptable(benchmark, write_report):
+    """The chosen bid equals the highest acceptable cut-down in every round."""
+    result = benchmark.pedantic(run_customer_rounds, iterations=1, rounds=5)
+    for row in result.rows():
+        assert row["chosen_bid"] == row["highest_acceptable"]
+    write_report(
+        "E4_customer_choice_consistency",
+        "\n".join(
+            f"round {row['round']}: highest acceptable {row['highest_acceptable']:.1f}, "
+            f"chosen {row['chosen_bid']:.1f}"
+            for row in result.rows()
+        ),
+    )

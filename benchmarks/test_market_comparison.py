@@ -1,0 +1,43 @@
+"""Benchmark E8 — reward-table negotiation vs the computational-market baseline."""
+
+from __future__ import annotations
+
+from repro.experiments.market_comparison import run_market_comparison
+
+
+def test_market_comparison_on_paper_population(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_market_comparison, kwargs={"use_paper_scenario": True}, iterations=1, rounds=3
+    )
+    rows = {row["mechanism"]: row for row in result.rows()}
+    # Both mechanisms remove (essentially all of) the needed reduction.
+    assert result.both_remove_needed_reduction(tolerance=0.1)
+    # The negotiation needs few rounds; the market needs more price iterations
+    # than the negotiation needs rounds (bisection to the tolerance).
+    assert rows["reward_table_negotiation"]["rounds_or_iterations"] <= 10
+    assert rows["equilibrium_market"]["rounds_or_iterations"] >= 1
+    # Discriminatory rewards (pay-as-bid per table) are cheaper for the utility
+    # than a uniform clearing price on this population; the market hands the
+    # difference to customers as surplus.
+    assert (
+        rows["reward_table_negotiation"]["utility_payment"]
+        <= rows["equilibrium_market"]["utility_payment"]
+    )
+    assert (
+        rows["equilibrium_market"]["customer_surplus"]
+        >= rows["reward_table_negotiation"]["customer_surplus"]
+    )
+    write_report("E8_market_comparison_paper_population", result.render())
+
+
+def test_market_comparison_on_synthetic_population(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_market_comparison,
+        kwargs={"use_paper_scenario": False, "num_households": 30, "seed": 1},
+        iterations=1,
+        rounds=2,
+    )
+    assert result.needed_reduction > 0
+    assert result.negotiation_reduction() > 0
+    assert result.market.total_reduction > 0
+    write_report("E8_market_comparison_synthetic_population", result.render())

@@ -1,0 +1,32 @@
+"""Benchmark E6 — offer vs request-for-bids vs reward-tables (Section 3.2.4)."""
+
+from __future__ import annotations
+
+from repro.experiments.method_comparison import run_method_comparison
+
+
+def test_method_comparison(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_method_comparison,
+        kwargs={"num_households": 30, "seeds": (0, 1)},
+        iterations=1,
+        rounds=2,
+    )
+    metrics = {m.method: m for m in result.metrics()}
+    assert set(metrics) == {"offer", "request_for_bids", "reward_tables"}
+
+    # Section 3.2.1: the offer method needs exactly one round — "it is very fast".
+    assert metrics["offer"].mean_rounds == 1
+    # Section 3.2.2: the request-for-bids method entails "a more complex and
+    # time consuming negotiation process" — more rounds than the offer method.
+    assert metrics["request_for_bids"].mean_rounds > metrics["offer"].mean_rounds
+    # The reward-table method sits between the two in rounds and gives
+    # customers influence (non-zero participation and surplus).
+    assert metrics["reward_tables"].mean_rounds >= 1
+    assert metrics["reward_tables"].mean_participation > 0
+    assert metrics["reward_tables"].mean_customer_surplus >= 0
+    # All methods reduce the peak on this population.
+    for metric in metrics.values():
+        assert metric.mean_peak_reduction_fraction > 0
+
+    write_report("E6_method_comparison", result.render())

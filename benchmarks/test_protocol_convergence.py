@@ -1,0 +1,19 @@
+"""Benchmark E10 — the monotonic concession protocol always converges."""
+
+from __future__ import annotations
+
+from repro.experiments.protocol_convergence import run_protocol_convergence
+
+
+def test_protocol_convergence(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_protocol_convergence, kwargs={"seeds": tuple(range(10))}, iterations=1, rounds=1
+    )
+    # Section 3.1: "the negotiation process always converges."
+    assert result.all_converged()
+    # The concession rules hold throughout: rewards never decrease, bids never
+    # retreat, and the predicted overuse never increases.
+    assert result.all_monotone()
+    # Convergence happens well within the round budget.
+    assert result.max_rounds_observed() <= 50
+    write_report("E10_protocol_convergence", result.render())

@@ -1,0 +1,31 @@
+"""Benchmark E5 — dynamics of the Section 6 logistic reward update."""
+
+from __future__ import annotations
+
+from repro.experiments.reward_update_dynamics import run_reward_dynamics
+
+
+def test_reward_update_dynamics(benchmark, write_report):
+    result = benchmark(run_reward_dynamics)
+    assert result.all_monotone()
+    assert result.all_bounded()
+    assert result.saturation_speeds_up_with_beta()
+    write_report("E5_reward_update_dynamics", result.render())
+
+
+def test_reward_increment_shrinks_towards_saturation(benchmark, write_report):
+    """The per-round increment shrinks as the reward approaches max_reward."""
+    result = benchmark(run_reward_dynamics)
+    lines = []
+    for trajectory in result.trajectories:
+        increments = trajectory.increments
+        if len(increments) >= 3 and trajectory.overuse > 0:
+            # Increments eventually decrease (logistic saturation).
+            assert increments[-1] <= max(increments) + 1e-9
+            lines.append(
+                f"beta={trajectory.beta:.1f} overuse={trajectory.overuse:.2f} "
+                f"start={trajectory.initial_reward:.0f}: "
+                f"first increment {increments[0]:.2f}, last {increments[-1]:.3f}, "
+                f"saturation round {trajectory.rounds_to_saturation}"
+            )
+    write_report("E5_increment_saturation", "\n".join(lines))

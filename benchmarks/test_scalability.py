@@ -1,0 +1,38 @@
+"""Benchmark E9 — scalability in the number of Customer Agents."""
+
+from __future__ import annotations
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_scalability_sweep(benchmark, write_report):
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs={"sizes": (10, 25, 50, 100, 200), "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    rows = result.rows()
+    assert [row["num_households"] for row in rows] == [10, 25, 50, 100, 200]
+    # Rounds stay bounded as the population grows (announcements are broadcast,
+    # so the protocol does not degenerate with more customers).
+    assert result.rounds_bounded(maximum=60)
+    # Message volume grows roughly linearly with the number of customers.
+    assert result.messages_scale_linearly(tolerance=1.0)
+    # Every population size still achieves a peak reduction.
+    assert all(row["peak_reduction_fraction"] > 0 for row in rows)
+    write_report("E9_scalability", result.render())
+
+
+def test_single_negotiation_round_trip_cost(benchmark):
+    """Micro-benchmark: one complete negotiation on a 50-household population."""
+    from repro.core.scenario import synthetic_scenario
+    from repro.core.session import NegotiationSession
+
+    def run_once():
+        scenario = synthetic_scenario(num_households=50, seed=0)
+        return NegotiationSession(scenario, seed=0).run()
+
+    result = benchmark(run_once)
+    assert result.rounds >= 1
+    assert result.peak_reduction_fraction > 0

@@ -1,0 +1,45 @@
+"""Regenerate every figure of the paper as plain-text output.
+
+* Figure 1 — the daily demand curve with an expensive peak (from the grid
+  substrate, synthetic households on a severe-cold day).
+* Figures 6 and 7 — the Utility Agent's per-round view of the prototype
+  negotiation (reward tables, predicted overuse).
+* Figures 8 and 9 — the Figure-8 customer's requirement table, acceptable
+  cut-downs and chosen bids per round.
+
+Each section also prints the paper-vs-measured comparison recorded in
+``EXPERIMENTS.md``.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1_demand_curve import run_demand_curve
+from repro.experiments.fig6_fig7_utility_rounds import run_utility_rounds
+from repro.experiments.fig8_fig9_customer_rounds import run_customer_rounds
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 1 — demand curve with peak")
+    print("=" * 72)
+    print(run_demand_curve(num_households=50, seed=0).render())
+    print()
+
+    print("=" * 72)
+    print("Figures 6 and 7 — the Utility Agent during the negotiation")
+    print("=" * 72)
+    print(run_utility_rounds().render())
+    print()
+
+    print("=" * 72)
+    print("Figures 8 and 9 — the Customer Agent during the negotiation")
+    print("=" * 72)
+    print(run_customer_rounds().render())
+
+
+if __name__ == "__main__":
+    main()

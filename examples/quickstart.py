@@ -1,0 +1,61 @@
+"""Quickstart: run the paper's prototype negotiation end to end.
+
+This reproduces the scenario behind Figures 6-9 of the paper: a Utility Agent
+facing a predicted evening peak (predicted usage 135 against a normal
+capacity of 100) negotiates with 20 Customer Agents using the
+announce-reward-tables method, escalating rewards with the logistic rule
+until the predicted overuse is acceptable.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import ascii_trajectories
+from repro.analysis.reporting import format_key_values, format_table
+from repro.core import NegotiationSession, paper_prototype_scenario
+
+
+def main() -> None:
+    scenario = paper_prototype_scenario()
+    print(f"Scenario: {scenario.name}")
+    print(f"  customers:          {scenario.num_customers}")
+    print(f"  normal capacity:    {scenario.normal_use:.0f}")
+    print(f"  predicted usage:    {scenario.normal_use + scenario.initial_overuse:.0f}")
+    print(f"  predicted overuse:  {scenario.initial_overuse:.0f}")
+    print()
+
+    session = NegotiationSession(scenario, seed=0)
+    result = session.run()
+
+    print("Negotiation finished.")
+    print(format_key_values(result.summary()))
+    print()
+    print(
+        ascii_trajectories(
+            {
+                "predicted overuse": result.overuse_trajectory(),
+                "reward @ cut-down 0.4": result.reward_trajectory(0.4),
+                "figure-8 customer bid": result.customer_bid_trajectory("c000"),
+            },
+            title="Round-by-round trajectories (initial value first)",
+        )
+    )
+    print()
+    outcome_rows = [
+        {
+            "customer": outcome.customer,
+            "final_bid": outcome.final_bid_cutdown,
+            "awarded": outcome.awarded,
+            "committed_cutdown": outcome.committed_cutdown,
+            "reward": outcome.reward,
+        }
+        for outcome in list(result.customer_outcomes.values())[:8]
+    ]
+    print(format_table(outcome_rows, title="First 8 customer outcomes"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The agents of the paper (Section 5).
+
+* :mod:`repro.agents.generic` — the generic agent model of [4] with its seven
+  generic tasks, plus the refined DESIRE component hierarchies of Figures 2-5
+  for the Utility Agent and the Customer Agent.
+* :mod:`repro.agents.base` — the runtime base class connecting an agent to
+  the message bus and the round-synchronous simulation.
+* :mod:`repro.agents.utility_agent` — the Utility Agent (UA).
+* :mod:`repro.agents.customer_agent` — the Customer Agent (CA).
+* :mod:`repro.agents.producer_agent` — the Producer Agent (information source
+  for availability and cost of electricity).
+* :mod:`repro.agents.resource_consumer_agent` — Resource Consumer Agents
+  reporting saveable energy per household device group.
+* :mod:`repro.agents.external_world` — the External World (weather and
+  consumption measurements).
+* :mod:`repro.agents.preferences` — building customer cut-down-reward
+  requirement tables from household characteristics.
+* :mod:`repro.agents.population` — generating Customer Agent populations.
+"""
+
+from repro.agents.base import AgentBase
+from repro.agents.customer_agent import CustomerAgent
+from repro.agents.external_world import ExternalWorld
+from repro.agents.generic import (
+    GENERIC_AGENT_TASKS,
+    build_customer_agent_model,
+    build_generic_agent_model,
+    build_utility_agent_model,
+)
+from repro.agents.population import CustomerPopulation, PopulationConfig
+from repro.agents.preferences import CustomerPreferenceModel
+from repro.agents.producer_agent import ProducerAgent
+from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.agents.utility_agent import UtilityAgent
+
+__all__ = [
+    "AgentBase",
+    "CustomerAgent",
+    "CustomerPopulation",
+    "CustomerPreferenceModel",
+    "ExternalWorld",
+    "GENERIC_AGENT_TASKS",
+    "PopulationConfig",
+    "ProducerAgent",
+    "ResourceConsumerAgent",
+    "UtilityAgent",
+    "build_customer_agent_model",
+    "build_generic_agent_model",
+    "build_utility_agent_model",
+]

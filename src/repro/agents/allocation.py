@@ -1,0 +1,158 @@
+"""Allocating a committed cut-down across a household's devices.
+
+Once a Customer Agent's bid is awarded it must "determine implementation
+instructions" for its Resource Consumer Agents (Figure 5): which appliances
+reduce by how much so that the household as a whole delivers the committed
+cut-down during the peak interval.  The paper leaves the CA/RCA negotiation
+open; this module provides the allocation logic the Customer Agent uses when
+Resource Consumer Agents are attached:
+
+* a **greedy allocator** that curtails the most flexible (least
+  comfort-critical) devices first, and
+* a **proportional allocator** that spreads the cut evenly over flexible
+  consumption,
+
+both subject to each appliance's physical flexibility limit.  The allocation
+is returned as per-device cut-down fractions that the Customer Agent sends as
+implementation instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.runtime.clock import TimeInterval
+
+
+class AllocationPolicy(Enum):
+    """How the committed cut-down is split across devices."""
+
+    #: Curtail the most flexible devices first (minimises discomfort).
+    GREEDY_BY_FLEXIBILITY = "greedy_by_flexibility"
+    #: Spread the cut proportionally over every device's curtailable energy.
+    PROPORTIONAL = "proportional"
+
+
+@dataclass(frozen=True)
+class DeviceAllocation:
+    """The instruction for one device."""
+
+    device: str
+    appliance: str
+    energy_kwh: float
+    curtailed_kwh: float
+
+    @property
+    def cutdown_fraction(self) -> float:
+        if self.energy_kwh <= 0:
+            return 0.0
+        return min(1.0, self.curtailed_kwh / self.energy_kwh)
+
+
+@dataclass
+class AllocationResult:
+    """The full implementation plan for one awarded cut-down."""
+
+    target_kwh: float
+    allocations: list[DeviceAllocation]
+    policy: AllocationPolicy
+
+    @property
+    def total_curtailed_kwh(self) -> float:
+        return sum(a.curtailed_kwh for a in self.allocations)
+
+    @property
+    def shortfall_kwh(self) -> float:
+        """Energy the devices cannot deliver (0 when the target is feasible)."""
+        return max(0.0, self.target_kwh - self.total_curtailed_kwh)
+
+    @property
+    def feasible(self) -> bool:
+        return self.shortfall_kwh <= 1e-9
+
+    def instructions(self) -> dict[str, float]:
+        """Device name -> cut-down fraction, as sent to the Resource Consumer Agents."""
+        return {a.device: a.cutdown_fraction for a in self.allocations}
+
+
+class CutdownAllocator:
+    """Splits a household-level cut-down across Resource Consumer Agents."""
+
+    def __init__(self, policy: AllocationPolicy = AllocationPolicy.GREEDY_BY_FLEXIBILITY) -> None:
+        self.policy = policy
+
+    def allocate(
+        self,
+        consumers: Sequence[ResourceConsumerAgent],
+        interval: TimeInterval,
+        committed_cutdown: float,
+    ) -> AllocationResult:
+        """Implementation plan delivering ``committed_cutdown`` of the interval energy.
+
+        Parameters
+        ----------
+        consumers:
+            The household's Resource Consumer Agents.
+        interval:
+            The peak interval the commitment refers to.
+        committed_cutdown:
+            The awarded household-level cut-down fraction.
+        """
+        if not 0.0 <= committed_cutdown <= 1.0:
+            raise ValueError("committed cut-down must be in [0, 1]")
+        energies = {c.name: c.energy_in(interval) for c in consumers}
+        saveable = {c.name: c.saveable_energy(interval) for c in consumers}
+        total_energy = sum(energies.values())
+        target = committed_cutdown * total_energy
+        if self.policy is AllocationPolicy.GREEDY_BY_FLEXIBILITY:
+            allocations = self._greedy(consumers, energies, saveable, target)
+        else:
+            allocations = self._proportional(consumers, energies, saveable, target)
+        return AllocationResult(target_kwh=target, allocations=allocations, policy=self.policy)
+
+    def _greedy(
+        self,
+        consumers: Sequence[ResourceConsumerAgent],
+        energies: Mapping[str, float],
+        saveable: Mapping[str, float],
+        target: float,
+    ) -> list[DeviceAllocation]:
+        remaining = target
+        allocations = []
+        ordered = sorted(
+            consumers, key=lambda c: c.appliance.flexibility, reverse=True
+        )
+        for consumer in ordered:
+            curtail = min(saveable[consumer.name], max(0.0, remaining))
+            remaining -= curtail
+            allocations.append(
+                DeviceAllocation(
+                    device=consumer.name,
+                    appliance=consumer.appliance.name,
+                    energy_kwh=energies[consumer.name],
+                    curtailed_kwh=curtail,
+                )
+            )
+        return allocations
+
+    def _proportional(
+        self,
+        consumers: Sequence[ResourceConsumerAgent],
+        energies: Mapping[str, float],
+        saveable: Mapping[str, float],
+        target: float,
+    ) -> list[DeviceAllocation]:
+        total_saveable = sum(saveable.values())
+        share = 0.0 if total_saveable <= 0 else min(1.0, target / total_saveable)
+        return [
+            DeviceAllocation(
+                device=consumer.name,
+                appliance=consumer.appliance.name,
+                energy_kwh=energies[consumer.name],
+                curtailed_kwh=saveable[consumer.name] * share,
+            )
+            for consumer in consumers
+        ]

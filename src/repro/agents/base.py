@@ -1,0 +1,106 @@
+"""Runtime base class for agents.
+
+An :class:`AgentBase` connects a DESIRE-designed agent to the runtime: it has
+a name, sends and receives messages through the simulation's
+:class:`~repro.runtime.messaging.MessageBus`, and is stepped once per
+simulation round.  Subclasses implement :meth:`process_round` with the agent's
+behaviour for one round; the base class handles mailbox plumbing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.desire.component import ComposedComponent
+from repro.runtime.messaging import Message, Performative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation import Simulation
+
+
+class AgentBase(abc.ABC):
+    """Common runtime behaviour of all agents in the system."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("agent name must be non-empty")
+        self._name = name
+        self._steps = 0
+        #: The agent's DESIRE process model (built by subclasses); purely
+        #: structural unless a subclass chooses to execute it.
+        self.desire_model: Optional[ComposedComponent] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def steps_taken(self) -> int:
+        return self._steps
+
+    # -- messaging helpers --------------------------------------------------------
+
+    def incoming(self, simulation: "Simulation") -> list[Message]:
+        """All messages waiting in this agent's mailbox."""
+        return simulation.bus.mailbox(self._name).collect()
+
+    def incoming_matching(
+        self,
+        simulation: "Simulation",
+        performative: Optional[Performative] = None,
+        conversation_id: Optional[str] = None,
+    ) -> list[Message]:
+        """Pending messages matching a performative and/or conversation."""
+        return simulation.bus.mailbox(self._name).collect_matching(
+            performative, conversation_id
+        )
+
+    def send(
+        self,
+        simulation: "Simulation",
+        receiver: str,
+        performative: Performative,
+        content: Any = None,
+        conversation_id: str = "",
+        round_number: Optional[int] = None,
+    ) -> Message:
+        """Send one message through the bus."""
+        return simulation.bus.send(
+            Message(
+                sender=self._name,
+                receiver=receiver,
+                performative=performative,
+                content=content,
+                conversation_id=conversation_id,
+                round_number=round_number,
+            )
+        )
+
+    def broadcast(
+        self,
+        simulation: "Simulation",
+        receivers: Iterable[str],
+        performative: Performative,
+        content: Any = None,
+        conversation_id: str = "",
+        round_number: Optional[int] = None,
+    ) -> list[Message]:
+        """Send the same content to several receivers."""
+        return simulation.bus.broadcast(
+            self._name, receivers, performative, content, conversation_id, round_number
+        )
+
+    # -- simulation integration ------------------------------------------------------
+
+    def step(self, simulation: "Simulation") -> None:
+        """One simulation round for this agent (called by the driver)."""
+        self._steps += 1
+        self.process_round(simulation)
+
+    @abc.abstractmethod
+    def process_round(self, simulation: "Simulation") -> None:
+        """The agent's behaviour for one round."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self._name!r})"

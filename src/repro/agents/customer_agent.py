@@ -1,0 +1,163 @@
+"""The Customer Agent (CA).
+
+A Customer Agent supports one household in the negotiation with the Utility
+Agent: it receives announcements, evaluates them against the household's
+private cut-down-reward requirements, responds with bids according to its
+bidding policy, and — when a bid is awarded — instructs its Resource Consumer
+Agents how to implement the committed cut-down.
+
+The agent's DESIRE process model (Figures 4 and 5) is attached as
+``desire_model``; the runtime behaviour in :meth:`process_round` realises the
+*cooperation management* and *agent interaction management* tasks of that
+model for the announcement method in use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.agents.base import AgentBase
+from repro.agents.generic import build_customer_agent_model
+from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.negotiation.messages import Announcement, Award, Bid
+from repro.negotiation.methods.base import CustomerContext, NegotiationMethod
+from repro.runtime.messaging import Performative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation import Simulation
+
+
+class CustomerAgent(AgentBase):
+    """Negotiates with the Utility Agent on behalf of one household."""
+
+    def __init__(
+        self,
+        context: CustomerContext,
+        method: NegotiationMethod,
+        resource_consumers: Optional[Sequence[ResourceConsumerAgent]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"customer_agent_{context.customer}")
+        self.context = context
+        self.method = method
+        self.resource_consumers = list(resource_consumers or [])
+        self.desire_model = build_customer_agent_model(self.name)
+        #: Bid history, oldest first (monotonic concession is visible here).
+        self.bid_history: list[Bid] = []
+        #: The peak interval of the negotiation currently in progress (taken
+        #: from the announcements; used to build implementation instructions).
+        self.negotiation_interval = None
+        #: The award received at the end of the negotiation, if any.
+        self.award: Optional[Award] = None
+        #: Rewards collected across negotiations (for surplus accounting).
+        self.total_reward_received: float = 0.0
+
+    # -- derived state -------------------------------------------------------------
+
+    @property
+    def customer_id(self) -> str:
+        return self.context.customer
+
+    @property
+    def last_bid(self) -> Optional[Bid]:
+        return self.bid_history[-1] if self.bid_history else None
+
+    @property
+    def committed_cutdown(self) -> float:
+        """The cut-down the customer is committed to after an award (else 0)."""
+        if self.award is not None and self.award.accepted:
+            return self.award.committed_cutdown
+        return 0.0
+
+    # -- behaviour ---------------------------------------------------------------------
+
+    def process_round(self, simulation: "Simulation") -> None:
+        self._respond_to_announcements(simulation)
+        self._handle_awards(simulation)
+
+    def _respond_to_announcements(self, simulation: "Simulation") -> None:
+        announcements = self.incoming_matching(simulation, Performative.ANNOUNCE)
+        for message in announcements:
+            announcement = message.content
+            if not isinstance(announcement, Announcement):
+                continue
+            if announcement.interval is not None:
+                self.negotiation_interval = announcement.interval
+            bid = self.method.respond(announcement, self.context, self.last_bid)
+            self.bid_history.append(bid)
+            self.send(
+                simulation,
+                message.sender,
+                Performative.BID,
+                content=bid,
+                conversation_id=message.conversation_id,
+                round_number=announcement.round_number,
+            )
+
+    def _handle_awards(self, simulation: "Simulation") -> None:
+        awards = self.incoming_matching(simulation, Performative.AWARD)
+        rejects = self.incoming_matching(simulation, Performative.REJECT)
+        for message in awards + rejects:
+            award = message.content
+            if not isinstance(award, Award):
+                continue
+            self.award = award
+            if award.accepted:
+                self.total_reward_received += award.reward
+                self._instruct_resource_consumers(simulation, award)
+
+    def _instruct_resource_consumers(self, simulation: "Simulation", award: Award) -> None:
+        """Allocate the committed cut-down across the household's devices.
+
+        The :class:`~repro.agents.allocation.CutdownAllocator` curtails the
+        most flexible devices first — the *determine implementation
+        instructions* task of Figure 5 — and the resulting per-device
+        fractions are sent to the Resource Consumer Agents.  Without a known
+        peak interval the allocation falls back to a flexibility-capped flat
+        cut-down per device.
+        """
+        if not self.resource_consumers or award.committed_cutdown <= 0:
+            return
+        interval = self.negotiation_interval
+        instructions: dict[str, float]
+        if interval is not None:
+            from repro.agents.allocation import CutdownAllocator
+
+            plan = CutdownAllocator().allocate(
+                self.resource_consumers, interval, award.committed_cutdown
+            )
+            instructions = plan.instructions()
+        else:
+            instructions = {
+                consumer.name: min(award.committed_cutdown, consumer.appliance.flexibility)
+                for consumer in self.resource_consumers
+            }
+        for consumer in self.resource_consumers:
+            if simulation.bus.is_registered(consumer.name):
+                self.send(
+                    simulation,
+                    consumer.name,
+                    Performative.INFORM,
+                    content={"cutdown": instructions.get(consumer.name, 0.0)},
+                    conversation_id="implementation",
+                )
+
+    # -- introspection (used by analysis and tests) ---------------------------------------
+
+    def bids_as_cutdowns(self) -> list[float]:
+        """The cut-down fraction of every bid made so far (0 for non-cut-down bids)."""
+        cutdowns = []
+        for bid in self.bid_history:
+            cutdowns.append(getattr(bid, "cutdown", 0.0))
+        return cutdowns
+
+    def realised_surplus(self) -> float:
+        """Reward received minus the monetised discomfort of the committed cut-down."""
+        if self.award is None or not self.award.accepted:
+            return 0.0
+        discomfort = self.context.requirements.interpolated_requirement(
+            self.award.committed_cutdown
+        )
+        if discomfort == float("inf"):
+            return self.award.reward
+        return self.award.reward - discomfort

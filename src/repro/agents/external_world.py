@@ -1,0 +1,104 @@
+"""The External World.
+
+In DESIRE the external world is modelled alongside the agents as a component
+the agents interact with.  For the load-management system it supplies two
+kinds of information (Section 5.1.4):
+
+1. general information about the world itself — weather conditions, and
+2. measurements of actual electricity consumption.
+
+The :class:`ExternalWorld` participant answers ``REQUEST`` messages with
+``REPLY`` messages carrying observation dictionaries, and can also push a
+fresh observation to subscribed agents every round (the Utility Agent
+subscribes so its *world interaction management* task receives data without
+polling).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.agents.base import AgentBase
+from repro.grid.demand import DemandModel, PopulationDemand
+from repro.grid.weather import WeatherModel, WeatherSample
+from repro.runtime.messaging import Performative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation import Simulation
+
+
+class ExternalWorld(AgentBase):
+    """Weather and consumption measurements for the rest of the system."""
+
+    def __init__(
+        self,
+        demand_model: Optional[DemandModel] = None,
+        weather_model: Optional[WeatherModel] = None,
+        weather: Optional[WeatherSample] = None,
+        name: str = "external_world",
+    ) -> None:
+        super().__init__(name)
+        self.demand_model = demand_model
+        self.weather_model = weather_model or WeatherModel()
+        self._weather = weather
+        self._today: Optional[PopulationDemand] = None
+        self._subscribers: list[str] = []
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def weather(self) -> WeatherSample:
+        """Today's weather (drawn lazily if not fixed at construction)."""
+        if self._weather is None:
+            self._weather = self.weather_model.sample()
+        return self._weather
+
+    def set_weather(self, weather: WeatherSample) -> None:
+        self._weather = weather
+        self._today = None
+
+    def realised_demand(self) -> Optional[PopulationDemand]:
+        """Today's realised demand (``None`` when no demand model is attached)."""
+        if self._today is None and self.demand_model is not None:
+            self._today = self.demand_model.realise(self.weather)
+        return self._today
+
+    def subscribe(self, agent_name: str) -> None:
+        """Have an observation pushed to ``agent_name`` every round."""
+        if agent_name not in self._subscribers:
+            self._subscribers.append(agent_name)
+
+    def observation(self) -> dict[str, object]:
+        """The observation dictionary sent to subscribers and requesters."""
+        payload: dict[str, object] = {
+            "weather_temperature_c": self.weather.temperature_c,
+            "weather_condition": self.weather.condition.value,
+            "heating_factor": self.weather.heating_factor,
+        }
+        demand = self.realised_demand()
+        if demand is not None:
+            payload["aggregate_peak_kw"] = demand.aggregate.peak()
+            payload["aggregate_energy_kwh"] = demand.aggregate.total_energy()
+        return payload
+
+    # -- behaviour ---------------------------------------------------------------
+
+    def process_round(self, simulation: "Simulation") -> None:
+        requests = self.incoming_matching(simulation, Performative.REQUEST)
+        for request in requests:
+            self.send(
+                simulation,
+                request.sender,
+                Performative.REPLY,
+                content=self.observation(),
+                conversation_id=request.conversation_id,
+            )
+        for subscriber in self._subscribers:
+            if simulation.bus.is_registered(subscriber):
+                self.send(
+                    simulation,
+                    subscriber,
+                    Performative.INFORM,
+                    content=self.observation(),
+                    conversation_id="world_observations",
+                )

@@ -1,0 +1,217 @@
+"""The generic agent model and the Figure 2-5 task hierarchies.
+
+Section 5 of the paper (re)uses a generic agent model in which every agent
+performs seven generic tasks::
+
+    own process control, agent specific task, cooperation management,
+    agent interaction management, world interaction management,
+    maintenance of world information, maintenance of agent information
+
+and refines them for the Utility Agent (Figures 2 and 3) and the Customer
+Agent (Figures 4 and 5).  This module builds those hierarchies as DESIRE
+:class:`~repro.desire.component.ComposedComponent` trees.  The structural
+tests verify them against the figures; the runtime agents attach them as
+their ``desire_model`` so the compositional design artefact travels with the
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.desire.component import ComposedComponent, ComputationalComponent
+from repro.desire.information_types import InformationState
+
+#: The seven generic agent tasks of the generic agent model.
+GENERIC_AGENT_TASKS: tuple[str, ...] = (
+    "own_process_control",
+    "agent_specific_task",
+    "cooperation_management",
+    "agent_interaction_management",
+    "world_interaction_management",
+    "maintenance_of_world_information",
+    "maintenance_of_agent_information",
+)
+
+
+def _noop(state: InformationState) -> Iterable[object]:
+    """Placeholder behaviour for structural (not-yet-specialised) components."""
+    return ()
+
+
+def _primitive(name: str) -> ComputationalComponent:
+    return ComputationalComponent(name, _noop)
+
+
+def _composed(name: str, children: Sequence[object]) -> ComposedComponent:
+    """Build a composed component from a nested name structure.
+
+    ``children`` mixes plain strings (primitive children) and
+    ``(name, [children...])`` tuples (nested compositions).
+    """
+    component = ComposedComponent(name)
+    for child in children:
+        if isinstance(child, str):
+            component.add_child(_primitive(child))
+        else:
+            child_name, grandchildren = child
+            component.add_child(_composed(child_name, grandchildren))
+    return component
+
+
+def build_generic_agent_model(agent_name: str) -> ComposedComponent:
+    """The unrefined generic agent model: seven primitive generic tasks."""
+    model = ComposedComponent(agent_name)
+    for task in GENERIC_AGENT_TASKS:
+        model.add_child(_primitive(task))
+    return model
+
+
+def build_utility_agent_model(agent_name: str = "utility_agent") -> ComposedComponent:
+    """The Utility Agent's task hierarchy (Figures 2 and 3).
+
+    * *own process control* (Figure 2) contains *determine general negotiation
+      strategy* (itself containing *determine announcement method* and
+      *determine bid acceptance strategy*) and *evaluate negotiation process*.
+    * *agent specific task* contains *determine predicted balance
+      consumption/production* and *evaluate prediction* (Section 5.1.2).
+    * *cooperation management* (Figure 3) contains *determine announcement*
+      (with the generate-and-select and the statistical-optimisation branches)
+      and *determine bid acceptance* (monitor bid receipt, evaluate bids,
+      select bids).
+    * The remaining generic tasks stay primitive.
+    """
+    model = ComposedComponent(agent_name)
+    model.add_child(
+        _composed(
+            "own_process_control",
+            [
+                (
+                    "determine_general_negotiation_strategy",
+                    [
+                        "determine_announcement_method",
+                        "determine_bid_acceptance_strategy",
+                    ],
+                ),
+                "evaluate_negotiation_process",
+            ],
+        )
+    )
+    model.add_child(
+        _composed(
+            "agent_specific_task",
+            [
+                "determine_predicted_balance_consumption_production",
+                "evaluate_prediction",
+            ],
+        )
+    )
+    model.add_child(
+        _composed(
+            "cooperation_management",
+            [
+                (
+                    "determine_announcement",
+                    [
+                        (
+                            "determine_announcement_by_generate_and_select",
+                            [
+                                "generate_announcements",
+                                "evaluate_prediction_for_announcements",
+                                "select_announcement",
+                            ],
+                        ),
+                        "determine_announcement_by_statistical_analysis_and_optimisation",
+                    ],
+                ),
+                (
+                    "determine_bid_acceptance",
+                    [
+                        "monitor_bid_receipt",
+                        "evaluate_bids",
+                        "select_bids",
+                    ],
+                ),
+            ],
+        )
+    )
+    for task in GENERIC_AGENT_TASKS[3:]:
+        model.add_child(_primitive(task))
+    return model
+
+
+def build_customer_agent_model(agent_name: str = "customer_agent") -> ComposedComponent:
+    """The Customer Agent's task hierarchy (Figures 4 and 5).
+
+    * *own process control* (Figure 4) contains *determine general negotiation
+      strategies* (resource-allocation strategy and bidding strategy) and
+      *evaluate processes* (resource-allocation process and bidding process).
+    * *cooperation management* (Figure 5) contains *determine resource
+      consumers* (implementation instructions, needs of resource consumers,
+      interpretation of resource-allocation monitoring) and *determine bid*
+      (generate bids, select bid — choosing the appropriate bid and
+      calculating expected gain —, evaluate bid, interpretation of bid
+      monitoring).
+    * The remaining generic tasks stay primitive.
+    """
+    model = ComposedComponent(agent_name)
+    model.add_child(
+        _composed(
+            "own_process_control",
+            [
+                (
+                    "determine_general_negotiation_strategies",
+                    [
+                        "determine_general_resource_allocation_strategy",
+                        "determine_general_bidding_strategy",
+                    ],
+                ),
+                (
+                    "evaluate_processes",
+                    [
+                        "evaluate_resource_allocation_process",
+                        "evaluate_bidding_process",
+                    ],
+                ),
+            ],
+        )
+    )
+    model.add_child(_primitive("agent_specific_task"))
+    model.add_child(
+        _composed(
+            "cooperation_management",
+            [
+                (
+                    "determine_resource_consumers",
+                    [
+                        "determine_implementation_instructions",
+                        "determine_needs_of_resource_consumers",
+                        "interpret_monitoring_results_of_resource_allocation",
+                    ],
+                ),
+                (
+                    "determine_bid",
+                    [
+                        "generate_bids",
+                        (
+                            "select_bid",
+                            [
+                                "choose_appropriate_bid",
+                                "calculate_expected_gain",
+                            ],
+                        ),
+                        "evaluate_bid",
+                        "interpret_monitoring_results_of_bids",
+                    ],
+                ),
+            ],
+        )
+    )
+    for task in GENERIC_AGENT_TASKS[3:]:
+        model.add_child(_primitive(task))
+    return model
+
+
+def component_names(model: ComposedComponent) -> set[str]:
+    """All component names in a model (the model itself plus descendants)."""
+    return {model.name} | {component.name for component in model.descendants()}

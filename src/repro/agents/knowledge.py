@@ -1,0 +1,183 @@
+"""DESIRE knowledge bases for the negotiation domain.
+
+The paper's prototype was "(fully) specified and (automatically) implemented
+in the DESIRE software environment": the agents' decisions are knowledge-based
+derivations over their input information.  This module expresses the two key
+pieces of that knowledge as :class:`~repro.desire.knowledge_base.KnowledgeBase`
+objects over an explicit ontology, and packages them as executable DESIRE
+components:
+
+* the **Customer Agent's bid knowledge** — which announced cut-downs are
+  acceptable given the private cut-down-reward table, and which of those is
+  the preferred (highest) one (Section 6.2), and
+* the **Utility Agent's evaluation knowledge** — whether the predicted
+  overuse after the current bids is acceptable, and whether the negotiation
+  should continue (Sections 3.2.3 and 6).
+
+The procedural implementations in :mod:`repro.negotiation` remain the fast
+path used by the sessions; these knowledge-level versions exist so the
+compositional specification of the paper is itself part of the reproduction,
+and the test suite checks that both formulations agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.desire.component import KnowledgeComponent
+from repro.desire.information_types import Atom, InformationState, InformationType
+from repro.desire.knowledge_base import KnowledgeBase, Pattern, Rule, var
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+
+
+def negotiation_ontology() -> InformationType:
+    """The shared ontology of the negotiation knowledge.
+
+    Sorts: ``fraction`` (cut-down fractions) and ``amount`` (rewards,
+    electricity quantities) are numeric.  Relations:
+
+    * ``offered_reward(fraction, amount)`` — the announced reward table.
+    * ``required_reward(fraction, amount)`` — the customer's private table.
+    * ``feasible(fraction)`` — the cut-down is physically implementable.
+    * ``acceptable_cutdown(fraction)`` — derived: offered >= required.
+    * ``preferred_cutdown(fraction)`` — derived: the highest acceptable one.
+    * ``predicted_overuse(amount)`` / ``max_allowed_overuse(amount)``.
+    * ``overuse_acceptable`` / ``continue_negotiation`` — derived UA decisions.
+    """
+    ontology = InformationType("negotiation_knowledge")
+    ontology.declare_sort("fraction", numeric=True)
+    ontology.declare_sort("amount", numeric=True)
+    ontology.declare_relation("offered_reward", "fraction", "amount")
+    ontology.declare_relation("required_reward", "fraction", "amount")
+    ontology.declare_relation("feasible", "fraction")
+    ontology.declare_relation("acceptable_cutdown", "fraction")
+    ontology.declare_relation("preferred_cutdown", "fraction")
+    ontology.declare_relation("predicted_overuse", "amount")
+    ontology.declare_relation("max_allowed_overuse", "amount")
+    ontology.declare_relation("overuse_acceptable")
+    ontology.declare_relation("continue_negotiation")
+    return ontology
+
+
+def customer_bid_knowledge() -> KnowledgeBase:
+    """The Customer Agent's knowledge: acceptable and preferred cut-downs.
+
+    "Each cut-down for which the required reward value of the customer is
+    lower than the reward offered by the Utility Agent, is an acceptable
+    cut-down ... the Customer Agent chooses the highest acceptable cut-down
+    as its preferred cut-down" (Section 6.2).
+    """
+    acceptable_rule = Rule(
+        name="acceptable_when_offer_covers_requirement",
+        antecedent=(
+            Pattern("offered_reward", (var("Cut"), var("Offered"))),
+            Pattern("required_reward", (var("Cut"), var("Required"))),
+            Pattern("feasible", (var("Cut"),)),
+        ),
+        consequent=(Pattern("acceptable_cutdown", (var("Cut"),)),),
+        guards=(lambda binding: binding["Offered"] >= binding["Required"],),
+    )
+    return KnowledgeBase("customer_bid_knowledge", rules=[acceptable_rule])
+
+
+def utility_evaluation_knowledge() -> KnowledgeBase:
+    """The Utility Agent's knowledge: is the predicted overuse acceptable?
+
+    "(1) the peak is satisfactorily low for the Utility Agent (at most the
+    maximal allowed overuse)" ends the negotiation; otherwise it continues
+    (Section 3.2.3).
+    """
+    acceptable_rule = Rule(
+        name="overuse_acceptable_when_below_threshold",
+        antecedent=(
+            Pattern("predicted_overuse", (var("Overuse"),)),
+            Pattern("max_allowed_overuse", (var("Threshold"),)),
+        ),
+        consequent=(Pattern("overuse_acceptable", ()),),
+        guards=(lambda binding: binding["Overuse"] <= binding["Threshold"],),
+    )
+    continue_rule = Rule(
+        name="continue_while_overuse_too_high",
+        antecedent=(
+            Pattern("predicted_overuse", (var("Overuse"),)),
+            Pattern("max_allowed_overuse", (var("Threshold"),)),
+        ),
+        consequent=(Pattern("continue_negotiation", ()),),
+        guards=(lambda binding: binding["Overuse"] > binding["Threshold"],),
+    )
+    return KnowledgeBase(
+        "utility_evaluation_knowledge", rules=[acceptable_rule, continue_rule]
+    )
+
+
+class CustomerBidComponent(KnowledgeComponent):
+    """An executable DESIRE component wrapping the customer bid knowledge.
+
+    Feed it ``offered_reward``/``required_reward``/``feasible`` atoms on its
+    input interface, activate it, and read the derived ``acceptable_cutdown``
+    atoms (and the preferred cut-down via :meth:`preferred_cutdown`) from its
+    output interface.
+    """
+
+    def __init__(self, name: str = "determine_bid") -> None:
+        ontology = negotiation_ontology()
+        super().__init__(
+            name,
+            customer_bid_knowledge(),
+            input_type=ontology,
+            output_type=ontology,
+        )
+
+    def load(
+        self,
+        announced: RewardTable,
+        requirements: CutdownRewardRequirements,
+    ) -> None:
+        """Assert the announced table and the private requirements as atoms."""
+        self.reset()
+        for cutdown, reward in announced.entries.items():
+            self.receive(Atom("offered_reward", (cutdown, reward)))
+        for cutdown, required in requirements.requirements.items():
+            self.receive(Atom("required_reward", (cutdown, required)))
+            if cutdown <= requirements.max_feasible_cutdown + 1e-12:
+                self.receive(Atom("feasible", (cutdown,)))
+
+    def acceptable_cutdowns(self) -> list[float]:
+        """Derived acceptable cut-downs, ascending."""
+        atoms = self.output_state.atoms_of_relation("acceptable_cutdown")
+        return sorted(float(atom.arguments[0]) for atom in atoms)
+
+    def preferred_cutdown(self) -> float:
+        """The highest acceptable cut-down (0.0 when none is acceptable).
+
+        The maximisation step is a selection over derived atoms — in DESIRE
+        terms the *select bid* sub-component of Figure 5; doing it here keeps
+        the component's output identical to the procedural bidding policy.
+        """
+        acceptable = self.acceptable_cutdowns()
+        return max(acceptable) if acceptable else 0.0
+
+
+class UtilityEvaluationComponent(KnowledgeComponent):
+    """An executable DESIRE component wrapping the UA evaluation knowledge."""
+
+    def __init__(self, name: str = "evaluate_prediction") -> None:
+        ontology = negotiation_ontology()
+        super().__init__(
+            name,
+            utility_evaluation_knowledge(),
+            input_type=ontology,
+            output_type=ontology,
+        )
+
+    def load(self, predicted_overuse: float, max_allowed_overuse: float) -> None:
+        """Assert the current prediction and the tolerance as atoms."""
+        self.reset()
+        self.receive(Atom("predicted_overuse", (float(predicted_overuse),)))
+        self.receive(Atom("max_allowed_overuse", (float(max_allowed_overuse),)))
+
+    def overuse_acceptable(self) -> bool:
+        return self.output_state.holds(Atom("overuse_acceptable", ()))
+
+    def should_continue(self) -> bool:
+        return self.output_state.holds(Atom("continue_negotiation", ()))

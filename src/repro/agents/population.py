@@ -1,0 +1,262 @@
+"""Generating Customer Agent populations.
+
+Experiments need populations of customers at two levels of fidelity:
+
+* **synthetic households** — full grid-substrate households (appliances,
+  weather-dependent demand, preference models derived from comfort weights),
+  used by the Figure-1 demand curve, the method comparison and the
+  scalability experiments; and
+* **calibrated customers** — customers with explicitly given predicted use,
+  allowed use and requirement tables, used to reproduce the exact prototype
+  scenario of Figures 6-9.
+
+:class:`CustomerPopulation` holds either kind and produces the
+:class:`~repro.negotiation.methods.base.CustomerContext` objects, Customer
+Agents and the Utility Agent's :class:`UtilityContext` for a negotiation
+about a given peak interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.agents.customer_agent import CustomerAgent
+from repro.agents.preferences import CustomerPreferenceModel
+from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.grid.appliances import ApplianceLibrary, standard_appliance_library
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.weather import WeatherSample
+from repro.negotiation.methods.base import CustomerContext, NegotiationMethod, UtilityContext
+from repro.negotiation.reward_table import CutdownRewardRequirements
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+@dataclass
+class PopulationConfig:
+    """Configuration for a synthetic household population."""
+
+    num_households: int = 50
+    seed: int = 0
+    slots_per_day: int = 24
+    behavioural_noise: float = 0.08
+    preference_scale: float = 2.0
+    preference_exponent: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.num_households <= 0:
+            raise ValueError("population needs at least one household")
+        if self.behavioural_noise < 0:
+            raise ValueError("behavioural noise must be non-negative")
+
+
+@dataclass
+class CustomerSpec:
+    """One customer of a population, ready to be turned into an agent."""
+
+    customer_id: str
+    predicted_use: float
+    allowed_use: float
+    requirements: CutdownRewardRequirements
+    household: Optional[Household] = None
+
+    def context(self) -> CustomerContext:
+        return CustomerContext(
+            customer=self.customer_id,
+            predicted_use=self.predicted_use,
+            allowed_use=self.allowed_use,
+            requirements=self.requirements,
+        )
+
+
+class CustomerPopulation:
+    """A set of customers plus the utility-side view of them."""
+
+    def __init__(
+        self,
+        specs: Sequence[CustomerSpec],
+        normal_use: float,
+        interval: Optional[TimeInterval] = None,
+        max_allowed_overuse: float = 0.0,
+        households: Optional[Sequence[Household]] = None,
+        weather: Optional[WeatherSample] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("a population needs at least one customer")
+        if normal_use <= 0:
+            raise ValueError("normal use must be positive")
+        self.specs = list(specs)
+        self.normal_use = float(normal_use)
+        self.interval = interval
+        self.max_allowed_overuse = float(max_allowed_overuse)
+        self.households = list(households or [])
+        self.weather = weather
+
+    # -- basic views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def customer_ids(self) -> list[str]:
+        return [spec.customer_id for spec in self.specs]
+
+    @property
+    def total_predicted_use(self) -> float:
+        return sum(spec.predicted_use for spec in self.specs)
+
+    @property
+    def initial_overuse(self) -> float:
+        return self.total_predicted_use - self.normal_use
+
+    def spec(self, customer_id: str) -> CustomerSpec:
+        for spec in self.specs:
+            if spec.customer_id == customer_id:
+                return spec
+        raise KeyError(f"no customer {customer_id!r} in population")
+
+    # -- agent construction ------------------------------------------------------------
+
+    def utility_context(self) -> UtilityContext:
+        return UtilityContext(
+            normal_use=self.normal_use,
+            predicted_uses={s.customer_id: s.predicted_use for s in self.specs},
+            allowed_uses={s.customer_id: s.allowed_use for s in self.specs},
+            interval=self.interval,
+            max_allowed_overuse=self.max_allowed_overuse,
+        )
+
+    def customer_contexts(self) -> list[CustomerContext]:
+        return [spec.context() for spec in self.specs]
+
+    def build_customer_agents(
+        self,
+        method: NegotiationMethod,
+        with_resource_consumers: bool = False,
+    ) -> list[CustomerAgent]:
+        """Customer Agents (optionally with Resource Consumer Agents attached)."""
+        agents = []
+        for spec in self.specs:
+            resource_consumers: list[ResourceConsumerAgent] = []
+            if with_resource_consumers and spec.household is not None:
+                owner = f"customer_agent_{spec.customer_id}"
+                for appliance, scale in spec.household.owned_appliances():
+                    resource_consumers.append(
+                        ResourceConsumerAgent(
+                            household=spec.household,
+                            appliance=appliance,
+                            usage_scale=scale,
+                            owner_agent=owner,
+                            weather=self.weather,
+                        )
+                    )
+            agents.append(
+                CustomerAgent(
+                    context=spec.context(),
+                    method=method,
+                    resource_consumers=resource_consumers,
+                )
+            )
+        return agents
+
+    # -- constructors ----------------------------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        config: PopulationConfig,
+        interval: Optional[TimeInterval] = None,
+        weather: Optional[WeatherSample] = None,
+        library: Optional[ApplianceLibrary] = None,
+        capacity_quantile: float = 0.75,
+        max_allowed_overuse_fraction: float = 0.02,
+    ) -> "CustomerPopulation":
+        """A synthetic household population with grid-substrate demand.
+
+        The per-customer predicted use is the household's average demand in
+        the peak interval; the allowed use equals the predicted use (the
+        cut-down is relative to what the customer was going to consume); the
+        normal capacity is set from the demand distribution so that a peak
+        exists.
+        """
+        random = RandomSource(config.seed, name="population")
+        library = library or standard_appliance_library()
+        households = [
+            Household.generate(f"h{i:04d}", random.spawn(f"household_{i}"), library,
+                               config.slots_per_day)
+            for i in range(config.num_households)
+        ]
+        demand_model = DemandModel(
+            households, random.spawn("demand"), config.behavioural_noise
+        )
+        aggregate = demand_model.expected_aggregate(weather)
+        normal_use = demand_model.normal_capacity_for_target(weather, quantile=capacity_quantile)
+        if interval is None:
+            interval = aggregate.peak_interval(normal_use)
+            if interval is None:
+                interval = TimeInterval.from_hours(17, 20, config.slots_per_day)
+        specs = []
+        preference_random = random.spawn("preferences")
+        for household in households:
+            demand = household.demand_profile(weather)
+            predicted = demand.average_in(interval)
+            base_model = CustomerPreferenceModel.sample(preference_random.spawn(household.household_id))
+            model = CustomerPreferenceModel(
+                comfort_weight=base_model.comfort_weight,
+                discomfort_scale=config.preference_scale,
+                exponent=config.preference_exponent,
+            )
+            requirements = model.requirements_for_household(household, interval, weather)
+            specs.append(
+                CustomerSpec(
+                    customer_id=household.household_id,
+                    predicted_use=predicted,
+                    allowed_use=predicted,
+                    requirements=requirements,
+                    household=household,
+                )
+            )
+        return cls(
+            specs=specs,
+            normal_use=normal_use,
+            interval=interval,
+            max_allowed_overuse=max_allowed_overuse_fraction * normal_use,
+            households=households,
+            weather=weather,
+        )
+
+    @classmethod
+    def calibrated(
+        cls,
+        predicted_uses: Sequence[float],
+        requirements: Sequence[CutdownRewardRequirements],
+        normal_use: float,
+        allowed_uses: Optional[Sequence[float]] = None,
+        interval: Optional[TimeInterval] = None,
+        max_allowed_overuse: float = 0.0,
+    ) -> "CustomerPopulation":
+        """A population defined by explicit numbers (for prototype calibration)."""
+        if len(predicted_uses) != len(requirements):
+            raise ValueError("predicted_uses and requirements must have the same length")
+        allowed = list(allowed_uses) if allowed_uses is not None else list(predicted_uses)
+        if len(allowed) != len(predicted_uses):
+            raise ValueError("allowed_uses must match predicted_uses in length")
+        specs = [
+            CustomerSpec(
+                customer_id=f"c{i:03d}",
+                predicted_use=float(predicted),
+                allowed_use=float(allowed_use),
+                requirements=requirement,
+            )
+            for i, (predicted, allowed_use, requirement) in enumerate(
+                zip(predicted_uses, allowed, requirements)
+            )
+        ]
+        return cls(
+            specs=specs,
+            normal_use=normal_use,
+            interval=interval,
+            max_allowed_overuse=max_allowed_overuse,
+        )

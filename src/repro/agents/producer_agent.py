@@ -1,0 +1,48 @@
+"""The Producer Agent.
+
+The Utility Agent acquires "information from Producer Agent (e.g.,
+availability of electricity and cost)" (Section 5.1).  Negotiation *between*
+the Utility Agent and Producer Agents is out of scope for the paper (and for
+this reproduction); the Producer Agent is therefore an information source: it
+answers requests with the current production capacity and marginal costs,
+derived from a :class:`~repro.grid.production.ProductionModel`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.agents.base import AgentBase
+from repro.grid.production import ProductionModel
+from repro.runtime.messaging import Performative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation import Simulation
+
+
+class ProducerAgent(AgentBase):
+    """Reports production availability and cost to the Utility Agent."""
+
+    def __init__(self, production: ProductionModel, name: str = "producer_agent") -> None:
+        super().__init__(name)
+        self.production = production
+
+    def capacity_report(self) -> dict[str, float]:
+        """The information content sent to requesters."""
+        return {
+            "normal_capacity_kw": self.production.normal_capacity_kw,
+            "total_capacity_kw": self.production.total_capacity_kw,
+            "normal_cost": self.production.normal_cost,
+            "peak_cost": self.production.peak_cost,
+        }
+
+    def process_round(self, simulation: "Simulation") -> None:
+        requests = self.incoming_matching(simulation, Performative.REQUEST)
+        for request in requests:
+            self.send(
+                simulation,
+                request.sender,
+                Performative.REPLY,
+                content=self.capacity_report(),
+                conversation_id=request.conversation_id,
+            )

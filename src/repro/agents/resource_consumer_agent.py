@@ -1,0 +1,121 @@
+"""Resource Consumer Agents.
+
+Each Customer Agent negotiates with "its own Resource Consumer Agents" about
+how a committed cut-down is implemented across the household's devices.  That
+inner negotiation layer is outside the paper's scope, but the information flow
+matters: a Customer Agent decides what it can offer "based on information
+received from its Resource Consumer Agents on the amount of electricity that
+can be saved in a given time interval" (Section 3.2.3).
+
+A :class:`ResourceConsumerAgent` therefore wraps one appliance (or appliance
+group) of a household, reports its saveable energy for a requested interval,
+and accepts simple implementation instructions (the cut-down share allocated
+to it) which it acknowledges.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.agents.base import AgentBase
+from repro.grid.appliances import Appliance
+from repro.grid.household import Household
+from repro.grid.weather import WeatherSample
+from repro.runtime.clock import TimeInterval
+from repro.runtime.messaging import Performative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation import Simulation
+
+
+class ResourceConsumerAgent(AgentBase):
+    """Represents one appliance group of one household."""
+
+    def __init__(
+        self,
+        household: Household,
+        appliance: Appliance,
+        usage_scale: float,
+        owner_agent: str,
+        weather: Optional[WeatherSample] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"rca_{household.household_id}_{appliance.name}")
+        if usage_scale < 0:
+            raise ValueError("usage scale must be non-negative")
+        self.household = household
+        self.appliance = appliance
+        self.usage_scale = usage_scale
+        self.owner_agent = owner_agent
+        self.weather = weather
+        self._instructed_cutdown: float = 0.0
+
+    # -- reporting ------------------------------------------------------------
+
+    def saveable_energy(self, interval: TimeInterval) -> float:
+        """Energy (kWh) this appliance could save in the interval."""
+        if self.usage_scale == 0:
+            return 0.0
+        heating_factor = self.weather.heating_factor if self.weather is not None else 1.0
+        profile = self.appliance.daily_profile(
+            slots_per_day=self.household.slots_per_day,
+            household_size=self.household.size,
+            scale=self.usage_scale,
+            heating_factor=heating_factor,
+        )
+        return (
+            self.appliance.saveable_energy(profile, interval)
+            * self.household.profile.flexibility_scale
+        )
+
+    def energy_in(self, interval: TimeInterval) -> float:
+        """Energy (kWh) this appliance is expected to use in the interval."""
+        if self.usage_scale == 0:
+            return 0.0
+        heating_factor = self.weather.heating_factor if self.weather is not None else 1.0
+        profile = self.appliance.daily_profile(
+            slots_per_day=self.household.slots_per_day,
+            household_size=self.household.size,
+            scale=self.usage_scale,
+            heating_factor=heating_factor,
+        )
+        return profile.energy_in(interval)
+
+    @property
+    def instructed_cutdown(self) -> float:
+        """The cut-down share most recently instructed by the Customer Agent."""
+        return self._instructed_cutdown
+
+    # -- behaviour ----------------------------------------------------------------
+
+    def process_round(self, simulation: "Simulation") -> None:
+        requests = self.incoming_matching(simulation, Performative.REQUEST)
+        for request in requests:
+            interval = request.content
+            if not isinstance(interval, TimeInterval):
+                continue
+            self.send(
+                simulation,
+                request.sender,
+                Performative.REPLY,
+                content={
+                    "appliance": self.appliance.name,
+                    "saveable_kwh": self.saveable_energy(interval),
+                    "energy_kwh": self.energy_in(interval),
+                },
+                conversation_id=request.conversation_id,
+            )
+        instructions = self.incoming_matching(simulation, Performative.INFORM)
+        for instruction in instructions:
+            content = instruction.content
+            if isinstance(content, dict) and "cutdown" in content:
+                cutdown = float(content["cutdown"])
+                if 0.0 <= cutdown <= 1.0:
+                    self._instructed_cutdown = cutdown
+                    self.send(
+                        simulation,
+                        instruction.sender,
+                        Performative.CONFIRM,
+                        content={"appliance": self.appliance.name, "cutdown": cutdown},
+                        conversation_id=instruction.conversation_id,
+                    )

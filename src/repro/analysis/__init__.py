@@ -1,0 +1,41 @@
+"""Analysis, reporting and plotting utilities.
+
+* :mod:`repro.analysis.metrics` — aggregate metrics over negotiation results
+  (peak reduction, reward expenditure, participation, message counts).
+* :mod:`repro.analysis.convergence` — convergence analysis of overuse and
+  reward trajectories (rates, rounds to target, monotonicity checks).
+* :mod:`repro.analysis.statistics` — small statistical helpers (means,
+  confidence intervals, paired comparisons) used by experiments.
+* :mod:`repro.analysis.reporting` — plain-text tables for experiment output.
+* :mod:`repro.analysis.plotting` — ASCII line and bar charts so figures can
+  be "drawn" in a terminal/CI environment without matplotlib.
+"""
+
+from repro.analysis.convergence import ConvergenceAnalysis, analyse_convergence
+from repro.analysis.metrics import MethodMetrics, compare_methods, summarise_results
+from repro.analysis.plotting import ascii_bar_chart, ascii_line_chart
+from repro.analysis.reporting import format_table, render_report
+from repro.analysis.statistics import SummaryStatistics, confidence_interval, summarise
+from repro.analysis.trace import (
+    NegotiationRoundTrace,
+    NegotiationTrace,
+    build_negotiation_trace,
+)
+
+__all__ = [
+    "ConvergenceAnalysis",
+    "MethodMetrics",
+    "NegotiationRoundTrace",
+    "NegotiationTrace",
+    "SummaryStatistics",
+    "analyse_convergence",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "build_negotiation_trace",
+    "compare_methods",
+    "confidence_interval",
+    "format_table",
+    "render_report",
+    "summarise",
+    "summarise_results",
+]

@@ -1,0 +1,100 @@
+"""Convergence analysis of negotiation trajectories.
+
+The monotonic concession protocol guarantees convergence; these helpers
+quantify *how fast* a given configuration converges and verify the
+monotonicity properties the protocol relies on — the behavioural properties
+the companion verification paper ([2]/[7]) establishes formally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import NegotiationResult
+
+
+@dataclass(frozen=True)
+class ConvergenceAnalysis:
+    """Quantitative description of one negotiation's convergence."""
+
+    rounds: int
+    initial_overuse: float
+    final_overuse: float
+    overuse_monotone_nonincreasing: bool
+    mean_reduction_per_round: float
+    geometric_decay_rate: Optional[float]
+    rounds_to_halve_overuse: Optional[int]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "initial_overuse": self.initial_overuse,
+            "final_overuse": self.final_overuse,
+            "overuse_monotone_nonincreasing": self.overuse_monotone_nonincreasing,
+            "mean_reduction_per_round": self.mean_reduction_per_round,
+            "geometric_decay_rate": self.geometric_decay_rate,
+            "rounds_to_halve_overuse": self.rounds_to_halve_overuse,
+        }
+
+
+def analyse_trajectory(trajectory: Sequence[float]) -> ConvergenceAnalysis:
+    """Analyse an overuse trajectory (initial value followed by per-round values)."""
+    if len(trajectory) < 1:
+        raise ValueError("a trajectory needs at least the initial overuse")
+    values = list(trajectory)
+    initial = values[0]
+    final = values[-1]
+    rounds = len(values) - 1
+    monotone = all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+    mean_reduction = (initial - final) / rounds if rounds > 0 else 0.0
+    decay = _geometric_decay_rate(values)
+    halving = _rounds_to_halve(values)
+    return ConvergenceAnalysis(
+        rounds=rounds,
+        initial_overuse=initial,
+        final_overuse=final,
+        overuse_monotone_nonincreasing=monotone,
+        mean_reduction_per_round=mean_reduction,
+        geometric_decay_rate=decay,
+        rounds_to_halve_overuse=halving,
+    )
+
+
+def analyse_convergence(result: NegotiationResult) -> ConvergenceAnalysis:
+    """Convergence analysis of a finished negotiation."""
+    return analyse_trajectory(result.overuse_trajectory())
+
+
+def _geometric_decay_rate(values: Sequence[float]) -> Optional[float]:
+    """Average per-round ratio of successive positive overuse values."""
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous > 0 and current > 0:
+            ratios.append(current / previous)
+    if not ratios:
+        return None
+    return float(np.exp(np.mean(np.log(ratios))))
+
+
+def _rounds_to_halve(values: Sequence[float]) -> Optional[int]:
+    """First round index at which the overuse is at most half its initial value."""
+    initial = values[0]
+    if initial <= 0:
+        return 0
+    for index, value in enumerate(values[1:], start=1):
+        if value <= initial / 2.0:
+            return index
+    return None
+
+
+def reward_trajectory_is_monotone(rewards: Sequence[float], tolerance: float = 1e-9) -> bool:
+    """Whether announced rewards never decrease across rounds."""
+    return all(b >= a - tolerance for a, b in zip(rewards, rewards[1:]))
+
+
+def bid_trajectory_is_monotone(bids: Sequence[float], tolerance: float = 1e-9) -> bool:
+    """Whether a customer's cut-down bids never decrease across rounds."""
+    return all(b >= a - tolerance for a, b in zip(bids, bids[1:]))

@@ -1,0 +1,80 @@
+"""Aggregate metrics over negotiation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.statistics import SummaryStatistics, summarise
+from repro.core.results import NegotiationResult
+
+
+@dataclass(frozen=True)
+class MethodMetrics:
+    """Headline metrics of one negotiation mechanism on one (set of) run(s)."""
+
+    method: str
+    runs: int
+    mean_rounds: float
+    mean_peak_reduction_fraction: float
+    mean_final_overuse: float
+    mean_reward_paid: float
+    mean_messages: float
+    mean_participation: float
+    mean_customer_surplus: float
+
+    def as_dict(self) -> dict[str, float | str | int]:
+        return {
+            "method": self.method,
+            "runs": self.runs,
+            "mean_rounds": self.mean_rounds,
+            "mean_peak_reduction_fraction": self.mean_peak_reduction_fraction,
+            "mean_final_overuse": self.mean_final_overuse,
+            "mean_reward_paid": self.mean_reward_paid,
+            "mean_messages": self.mean_messages,
+            "mean_participation": self.mean_participation,
+            "mean_customer_surplus": self.mean_customer_surplus,
+        }
+
+
+def summarise_results(results: Sequence[NegotiationResult]) -> MethodMetrics:
+    """Aggregate a set of results of the same method."""
+    if not results:
+        raise ValueError("cannot summarise zero results")
+    methods = {result.method_name for result in results}
+    if len(methods) > 1:
+        raise ValueError(f"results mix methods: {sorted(methods)}")
+    return MethodMetrics(
+        method=results[0].method_name,
+        runs=len(results),
+        mean_rounds=_mean([r.rounds for r in results]),
+        mean_peak_reduction_fraction=_mean([r.peak_reduction_fraction for r in results]),
+        mean_final_overuse=_mean([r.final_overuse for r in results]),
+        mean_reward_paid=_mean([r.total_reward_paid for r in results]),
+        mean_messages=_mean([r.messages_sent for r in results]),
+        mean_participation=_mean([r.participation_rate for r in results]),
+        mean_customer_surplus=_mean([r.total_customer_surplus for r in results]),
+    )
+
+
+def compare_methods(
+    results_by_method: Mapping[str, Sequence[NegotiationResult]]
+) -> list[MethodMetrics]:
+    """Per-method metrics for a method-comparison experiment (E6)."""
+    if not results_by_method:
+        raise ValueError("no methods to compare")
+    return [summarise_results(results) for results in results_by_method.values()]
+
+
+def reward_statistics(results: Sequence[NegotiationResult]) -> SummaryStatistics:
+    """Distribution of reward expenditure across runs."""
+    return summarise([r.total_reward_paid for r in results])
+
+
+def rounds_statistics(results: Sequence[NegotiationResult]) -> SummaryStatistics:
+    """Distribution of negotiation length across runs."""
+    return summarise([float(r.rounds) for r in results])
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)

@@ -1,0 +1,103 @@
+"""ASCII plotting: enough to render the paper's figures in a terminal.
+
+The original prototype rendered Figures 1 and 6-9 in a graphical interface;
+the benchmark harness reproduces the same information as ASCII charts so the
+figures can be regenerated in any environment (CI, notebooks, terminals)
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart, one bar per labelled value."""
+    if not values:
+        return "(no data)"
+    if width <= 0:
+        raise ValueError("width must be positive")
+    maximum = max(abs(v) for v in values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        length = 0 if maximum == 0 else int(round(abs(value) / maximum * width))
+        bar = "#" * length
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Sequence[float],
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+    y_label: str = "",
+    threshold: Optional[float] = None,
+) -> str:
+    """A crude line chart of one series; optionally draws a threshold line.
+
+    Used for the Figure 1 demand curve (with the normal-capacity threshold)
+    and for overuse/reward trajectories.
+    """
+    if not series:
+        return "(no data)"
+    if height <= 1:
+        raise ValueError("height must be at least 2")
+    values = list(series)
+    width = width if width is not None else len(values)
+    # Resample to the requested width by nearest-neighbour.
+    if width != len(values):
+        values = [values[int(i * len(values) / width)] for i in range(width)]
+    low = min(values + ([threshold] if threshold is not None else []))
+    high = max(values + ([threshold] if threshold is not None else []))
+    if high == low:
+        high = low + 1.0
+    rows = []
+    for level in range(height, -1, -1):
+        level_value = low + (high - low) * level / height
+        cells = []
+        for value in values:
+            scaled = (value - low) / (high - low) * height
+            if abs(scaled - level) < 0.5:
+                cells.append("*")
+            elif threshold is not None and abs(
+                (threshold - low) / (high - low) * height - level
+            ) < 0.5:
+                cells.append("-")
+            else:
+                cells.append(" ")
+        rows.append(f"{level_value:10.2f} |{''.join(cells)}")
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"({y_label})")
+    lines.extend(rows)
+    lines.append(" " * 11 + "+" + "-" * len(values))
+    return "\n".join(lines)
+
+
+def ascii_trajectories(
+    trajectories: Mapping[str, Sequence[float]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render several named trajectories as aligned rows of numbers."""
+    if not trajectories:
+        return "(no data)"
+    label_width = max(len(str(label)) for label in trajectories)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, values in trajectories.items():
+        rendered = "  ".join(f"{v:.{precision}f}" for v in values)
+        lines.append(f"{str(label).ljust(label_width)} : {rendered}")
+    return "\n".join(lines)

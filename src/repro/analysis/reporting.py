@@ -1,0 +1,69 @@
+"""Plain-text tables and reports for experiment output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty table)" if title else "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(width) for cell, width in zip(rendered, widths))
+        for rendered in rendered_rows
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator])
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def render_report(sections: Mapping[str, str], title: str = "Experiment report") -> str:
+    """Concatenate named sections into one report string."""
+    lines = [title, "=" * len(title), ""]
+    for name, content in sections.items():
+        lines.append(name)
+        lines.append("-" * len(name))
+        lines.append(content)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_key_values(values: Mapping[str, object], precision: int = 3) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    if not values:
+        return "(no values)"
+    width = max(len(str(key)) for key in values)
+    lines = [
+        f"{str(key).ljust(width)} : {_format_cell(value, precision)}"
+        for key, value in values.items()
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Small statistical helpers used by the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean, spread and range of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarise(values: Sequence[float]) -> SummaryStatistics:
+    """Summary statistics of a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    array = np.asarray(values, dtype=float)
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+    )
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """A normal-approximation confidence interval for the mean.
+
+    For the sample sizes used in the experiments (tens of repetitions) the
+    normal approximation is adequate; we avoid a scipy dependency at this
+    layer on purpose.
+    """
+    if not values:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    stats = summarise(values)
+    if stats.count == 1:
+        return (stats.mean, stats.mean)
+    # Two-sided z value: 1.96 for 95%, 1.64 for 90%, 2.58 for 99%.
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(confidence, 2))
+    if z is None:
+        # Fall back to the probit approximation of Acklam for other levels.
+        z = math.sqrt(2) * _erfinv(confidence)
+    half_width = z * stats.std / math.sqrt(stats.count)
+    return (stats.mean - half_width, stats.mean + half_width)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, adequate here)."""
+    a = 0.147
+    sign = 1.0 if x >= 0 else -1.0
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """``(value - reference) / reference`` with a zero-reference guard."""
+    if reference == 0:
+        return 0.0 if value == 0 else float("inf")
+    return (value - reference) / reference
+
+
+def within_factor(value: float, reference: float, factor: float) -> bool:
+    """Whether ``value`` is within a multiplicative factor of ``reference``."""
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    if reference == 0:
+        return value == 0
+    ratio = value / reference
+    return 1.0 / factor <= ratio <= factor

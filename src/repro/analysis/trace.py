@@ -1,0 +1,162 @@
+"""Reconstructing negotiation traces from the message log.
+
+The message bus records every message exchanged during a session.  This
+module turns that log back into a per-round, per-agent view of the
+negotiation — effectively the textual equivalent of watching the Figures 6-9
+interfaces update round by round — which is useful for debugging strategies
+and for the verification-style analysis of the companion paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.negotiation.messages import (
+    Announcement,
+    Award,
+    Bid,
+    CutdownBid,
+    RewardTableAnnouncement,
+)
+from repro.runtime.messaging import Message, Performative
+
+
+@dataclass
+class NegotiationRoundTrace:
+    """Messages of one negotiation round, grouped by role."""
+
+    round_number: int
+    announcements: list[Message] = field(default_factory=list)
+    bids: list[Message] = field(default_factory=list)
+    awards: list[Message] = field(default_factory=list)
+
+    @property
+    def num_customers_addressed(self) -> int:
+        return len({m.receiver for m in self.announcements})
+
+    @property
+    def num_bids(self) -> int:
+        return len(self.bids)
+
+    def announced_table(self) -> Optional[RewardTableAnnouncement]:
+        for message in self.announcements:
+            if isinstance(message.content, RewardTableAnnouncement):
+                return message.content
+        return None
+
+    def bid_cutdowns(self) -> dict[str, float]:
+        """Customer -> cut-down bid in this round (0 for non-cut-down bids)."""
+        cutdowns: dict[str, float] = {}
+        for message in self.bids:
+            bid = message.content
+            if isinstance(bid, Bid):
+                cutdowns[bid.customer] = getattr(bid, "cutdown", 0.0)
+        return cutdowns
+
+
+@dataclass
+class NegotiationTrace:
+    """The complete message-level trace of one negotiation conversation."""
+
+    conversation_id: str
+    rounds: list[NegotiationRoundTrace] = field(default_factory=list)
+    other_messages: list[Message] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        in_rounds = sum(
+            len(r.announcements) + len(r.bids) + len(r.awards) for r in self.rounds
+        )
+        return in_rounds + len(self.other_messages)
+
+    def round(self, round_number: int) -> NegotiationRoundTrace:
+        for round_trace in self.rounds:
+            if round_trace.round_number == round_number:
+                return round_trace
+        raise KeyError(f"no round {round_number} in trace {self.conversation_id!r}")
+
+    def awards(self) -> dict[str, Award]:
+        """Customer -> final award (accepted or rejected)."""
+        collected: dict[str, Award] = {}
+        for round_trace in self.rounds:
+            for message in round_trace.awards:
+                if isinstance(message.content, Award):
+                    collected[message.content.customer] = message.content
+        return collected
+
+    def rows(self) -> list[dict[str, object]]:
+        """One summary row per round."""
+        rows = []
+        for round_trace in self.rounds:
+            table = round_trace.announced_table()
+            cutdowns = round_trace.bid_cutdowns()
+            rows.append(
+                {
+                    "round": round_trace.round_number + 1,
+                    "customers_addressed": round_trace.num_customers_addressed,
+                    "bids_received": round_trace.num_bids,
+                    "positive_bids": sum(1 for c in cutdowns.values() if c > 0),
+                    "mean_bid_cutdown": (
+                        sum(cutdowns.values()) / len(cutdowns) if cutdowns else 0.0
+                    ),
+                    "reward_at_0.4": (
+                        table.table.reward_for(0.4) if table is not None else 0.0
+                    ),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(), title=f"Negotiation trace — {self.conversation_id}"
+        )
+
+
+def build_negotiation_trace(
+    messages: Sequence[Message], conversation_id: Optional[str] = None
+) -> NegotiationTrace:
+    """Group a message log into per-round negotiation traces.
+
+    Parameters
+    ----------
+    messages:
+        A message log (e.g. ``simulation.bus.log``).
+    conversation_id:
+        Restrict to one conversation; when omitted, the first conversation
+        that contains an announcement is used.
+    """
+    if conversation_id is None:
+        for message in messages:
+            if message.performative is Performative.ANNOUNCE and message.conversation_id:
+                conversation_id = message.conversation_id
+                break
+        else:
+            conversation_id = ""
+    relevant = [m for m in messages if m.conversation_id == conversation_id]
+    trace = NegotiationTrace(conversation_id=conversation_id)
+    rounds: dict[int, NegotiationRoundTrace] = {}
+
+    def round_for(number: int) -> NegotiationRoundTrace:
+        if number not in rounds:
+            rounds[number] = NegotiationRoundTrace(round_number=number)
+        return rounds[number]
+
+    for message in relevant:
+        number = message.round_number
+        if message.performative is Performative.ANNOUNCE and number is not None:
+            round_for(number).announcements.append(message)
+        elif message.performative is Performative.BID and number is not None:
+            round_for(number).bids.append(message)
+        elif message.performative in (Performative.AWARD, Performative.REJECT):
+            award_round = number if number is not None else (max(rounds) if rounds else 0)
+            round_for(award_round).awards.append(message)
+        else:
+            trace.other_messages.append(message)
+    trace.rounds = [rounds[number] for number in sorted(rounds)]
+    return trace

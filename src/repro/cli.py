@@ -1,0 +1,116 @@
+"""Command-line interface for running the reproduction's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                 # list the registered experiments
+    python -m repro run E2               # run one experiment and print its report
+    python -m repro run all              # run every experiment (slow but complete)
+    python -m repro quickstart           # run the prototype negotiation end to end
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; anything it prints
+can also be produced programmatically (see the examples/ directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_key_values, format_table
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+def _render_result(result: object) -> str:
+    """Best-effort rendering of an experiment result object."""
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
+    rows = getattr(result, "rows", None)
+    if callable(rows):
+        return format_table(rows())
+    summary = getattr(result, "summary", None)
+    if callable(summary):
+        return format_key_values(summary())
+    return repr(result)
+
+
+def command_list() -> int:
+    """Print the experiment registry."""
+    rows = [
+        {
+            "id": info.experiment_id,
+            "paper artefact": info.paper_artefact,
+            "description": info.description,
+        }
+        for info in EXPERIMENTS.values()
+    ]
+    print(format_table(rows, title="Registered experiments"))
+    return 0
+
+
+def command_run(experiment_id: str) -> int:
+    """Run one experiment (or all of them) and print the report(s)."""
+    if experiment_id.lower() == "all":
+        exit_code = 0
+        for info in EXPERIMENTS.values():
+            print("=" * 72)
+            print(f"{info.experiment_id} — {info.description}")
+            print("=" * 72)
+            try:
+                print(_render_result(info.runner()))
+            except Exception as error:  # pragma: no cover - defensive CLI path
+                print(f"experiment {info.experiment_id} failed: {error}", file=sys.stderr)
+                exit_code = 1
+            print()
+        return exit_code
+    try:
+        info = get_experiment(experiment_id.upper())
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"{info.experiment_id} — {info.description}")
+    print(_render_result(info.runner()))
+    return 0
+
+
+def command_quickstart() -> int:
+    """Run the calibrated prototype negotiation and print its summary."""
+    from repro.core import NegotiationSession, paper_prototype_scenario
+
+    result = NegotiationSession(paper_prototype_scenario(), seed=0).run()
+    print(format_key_values(result.summary()))
+    print()
+    print("overuse trajectory: "
+          + ", ".join(f"{v:.2f}" for v in result.overuse_trajectory()))
+    print("reward @ 0.4:       "
+          + ", ".join(f"{v:.2f}" for v in result.reward_trajectory(0.4)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Agents Negotiating for Load Balancing of Electricity Use'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the registered experiments")
+    run_parser = subparsers.add_parser("run", help="run an experiment by id (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
+    subparsers.add_parser("quickstart", help="run the prototype negotiation")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return command_list()
+    if arguments.command == "run":
+        return command_run(arguments.experiment)
+    if arguments.command == "quickstart":
+        return command_quickstart()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

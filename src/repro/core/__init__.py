@@ -1,0 +1,45 @@
+"""Core library: scenarios, negotiation sessions and the load-balancing system.
+
+This package ties the substrates together into the system the paper's
+prototype demonstrates:
+
+* :mod:`repro.core.scenario` — scenario definitions, including the calibrated
+  reproduction of the prototype scenario behind Figures 6-9.
+* :mod:`repro.core.session` — :class:`NegotiationSession`: builds the Utility
+  Agent and the Customer Agents for a scenario, runs the round-synchronous
+  multi-agent negotiation over the message bus and collects the results.
+* :mod:`repro.core.results` — result value types and derived metrics.
+* :mod:`repro.core.system` — :class:`LoadBalancingSystem`: the full pipeline
+  (predict demand, decide whether to negotiate, negotiate, apply the awarded
+  cut-downs, account for costs and rewards).
+"""
+
+from repro.core.planning import (
+    CampaignDay,
+    CampaignResult,
+    DayAheadPlanner,
+    MultiDayCampaign,
+)
+from repro.core.results import CustomerOutcome, NegotiationResult, SystemResult
+from repro.core.scenario import (
+    Scenario,
+    paper_prototype_scenario,
+    synthetic_scenario,
+)
+from repro.core.session import NegotiationSession
+from repro.core.system import LoadBalancingSystem
+
+__all__ = [
+    "CampaignDay",
+    "CampaignResult",
+    "CustomerOutcome",
+    "DayAheadPlanner",
+    "LoadBalancingSystem",
+    "MultiDayCampaign",
+    "NegotiationResult",
+    "NegotiationSession",
+    "Scenario",
+    "SystemResult",
+    "paper_prototype_scenario",
+    "synthetic_scenario",
+]

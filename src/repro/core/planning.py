@@ -1,0 +1,264 @@
+"""Day-ahead planning and multi-day load-management campaigns.
+
+The paper's Utility Agent does not negotiate in a vacuum: it observes
+consumption, maintains statistical models, predicts tomorrow's balance and
+*then* decides whether to negotiate (Section 5.1).  This module closes that
+loop on top of the substrates:
+
+* :class:`DayAheadPlanner` — owns a household population, a
+  :class:`~repro.grid.prediction.ConsumptionPredictor` trained on realised
+  demand, and the preference models; given a weather forecast it builds the
+  :class:`~repro.core.scenario.Scenario` for tomorrow's expected peak.
+* :class:`MultiDayCampaign` — runs the full observe → predict → negotiate →
+  apply → account loop over a sequence of days, retraining the predictor as
+  realised demand comes in.  This is the "dynamic load management of the
+  power grid" the introduction of the paper motivates, and it exercises the
+  prediction, negotiation and accounting layers together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.agents.population import CustomerPopulation, CustomerSpec
+from repro.agents.preferences import CustomerPreferenceModel
+from repro.core.results import SystemResult
+from repro.core.scenario import Scenario
+from repro.core.system import LoadBalancingSystem
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.production import ProductionModel
+from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
+from repro.negotiation.methods.base import NegotiationMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.strategy import ConstantBeta
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+class DayAheadPlanner:
+    """Builds tomorrow's negotiation scenario from history and a forecast.
+
+    Parameters
+    ----------
+    households:
+        The customer base.
+    normal_capacity_kw:
+        Capacity servable at normal production cost.
+    predictor:
+        Consumption predictor (weather-adjusted by default); it must be
+        trained via :meth:`observe_day` before :meth:`plan` can run.
+    preference_model:
+        Base preference model used to derive each household's
+        cut-down-reward requirements for the predicted peak interval.
+    method_factory:
+        Callable building a fresh negotiation method per planned day (a
+        method object carries per-negotiation state such as β controllers).
+    """
+
+    def __init__(
+        self,
+        households: Sequence[Household],
+        normal_capacity_kw: float,
+        predictor: Optional[ConsumptionPredictor] = None,
+        preference_model: Optional[CustomerPreferenceModel] = None,
+        max_reward: float = 60.0,
+        beta: float = 2.0,
+        max_allowed_overuse_fraction: float = 0.02,
+        random: Optional[RandomSource] = None,
+    ) -> None:
+        if not households:
+            raise ValueError("the planner needs at least one household")
+        if normal_capacity_kw <= 0:
+            raise ValueError("normal capacity must be positive")
+        if not 0.0 <= max_allowed_overuse_fraction < 1.0:
+            raise ValueError("max allowed overuse fraction must be in [0, 1)")
+        self.households = list(households)
+        self.normal_capacity_kw = float(normal_capacity_kw)
+        self.predictor = predictor or ConsumptionPredictor(PredictionModel.WEATHER_ADJUSTED)
+        self.preference_model = preference_model or CustomerPreferenceModel()
+        self.max_reward = float(max_reward)
+        self.beta = float(beta)
+        self.max_allowed_overuse_fraction = float(max_allowed_overuse_fraction)
+        self._random = random if random is not None else RandomSource(0, "planner")
+        self._demand_model = DemandModel(
+            self.households, self._random.spawn("demand"), behavioural_noise=0.05
+        )
+
+    # -- observation --------------------------------------------------------------
+
+    def observe_day(self, weather: WeatherSample) -> None:
+        """Realise one day of demand under ``weather`` and feed it to the predictor."""
+        self.predictor.observe(self._demand_model.realise(weather))
+
+    @property
+    def history_length(self) -> int:
+        return self.predictor.history_length
+
+    # -- planning -------------------------------------------------------------------
+
+    def predicted_peak_interval(self, forecast: WeatherSample) -> Optional[TimeInterval]:
+        """The contiguous interval in which predicted demand exceeds capacity."""
+        prediction = self.predictor.predict(forecast)
+        return prediction.aggregate.peak_interval(self.normal_capacity_kw)
+
+    def plan(self, forecast: WeatherSample, method: Optional[NegotiationMethod] = None) -> Optional[Scenario]:
+        """Build tomorrow's scenario, or ``None`` when no peak is predicted."""
+        prediction = self.predictor.predict(forecast)
+        interval = prediction.aggregate.peak_interval(self.normal_capacity_kw)
+        if interval is None:
+            return None
+        per_household = prediction.household_prediction_in(interval)
+        specs = []
+        for household in self.households:
+            predicted = per_household[household.household_id]
+            requirements = self.preference_model.requirements_for_household(
+                household, interval, forecast
+            )
+            specs.append(
+                CustomerSpec(
+                    customer_id=household.household_id,
+                    predicted_use=predicted,
+                    allowed_use=predicted,
+                    requirements=requirements,
+                    household=household,
+                )
+            )
+        population = CustomerPopulation(
+            specs=specs,
+            normal_use=self.normal_capacity_kw,
+            interval=interval,
+            max_allowed_overuse=self.max_allowed_overuse_fraction * self.normal_capacity_kw,
+            households=self.households,
+            weather=forecast,
+        )
+        if method is None:
+            method = RewardTablesMethod(
+                max_reward=self.max_reward,
+                beta_controller=ConstantBeta(self.beta),
+                reward_epsilon=0.005 * self.max_reward,
+            )
+        return Scenario(
+            name="day_ahead_plan",
+            population=population,
+            method=method,
+            description="Day-ahead scenario built from the consumption predictor",
+            weather=forecast,
+        )
+
+
+@dataclass
+class CampaignDay:
+    """Outcome of one day of the campaign."""
+
+    day_index: int
+    weather: WeatherSample
+    negotiated: bool
+    outcome: Optional[SystemResult]
+    prediction_error: Optional[float] = None
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "day": self.day_index,
+            "temperature_c": self.weather.temperature_c,
+            "condition": self.weather.condition.value,
+            "negotiated": self.negotiated,
+        }
+        if self.outcome is not None:
+            row.update(
+                {
+                    "peak_before_kw": self.outcome.peak_before_kw,
+                    "peak_after_kw": self.outcome.peak_after_kw,
+                    "reward_paid": self.outcome.reward_paid,
+                    "net_utility_benefit": self.outcome.net_utility_benefit,
+                }
+            )
+        if self.prediction_error is not None:
+            row["prediction_mape"] = self.prediction_error
+        return row
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a multi-day campaign."""
+
+    days: list[CampaignDay] = field(default_factory=list)
+
+    @property
+    def num_days(self) -> int:
+        return len(self.days)
+
+    @property
+    def days_negotiated(self) -> int:
+        return sum(1 for day in self.days if day.negotiated)
+
+    @property
+    def total_reward_paid(self) -> float:
+        return sum(day.outcome.reward_paid for day in self.days if day.outcome is not None)
+
+    @property
+    def total_net_benefit(self) -> float:
+        return sum(
+            day.outcome.net_utility_benefit for day in self.days if day.outcome is not None
+        )
+
+    def rows(self) -> list[dict[str, object]]:
+        return [day.as_row() for day in self.days]
+
+
+class MultiDayCampaign:
+    """Observe, predict, negotiate and account over a sequence of days."""
+
+    def __init__(
+        self,
+        planner: DayAheadPlanner,
+        production: Optional[ProductionModel] = None,
+        weather_model: Optional[WeatherModel] = None,
+        warmup_days: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if warmup_days <= 0:
+            raise ValueError("the predictor needs at least one warm-up day")
+        self.planner = planner
+        self.production = production or ProductionModel.two_tier(
+            normal_capacity_kw=planner.normal_capacity_kw,
+            peak_capacity_kw=planner.normal_capacity_kw,
+        )
+        self.weather_model = weather_model or WeatherModel(RandomSource(seed, "campaign_weather"))
+        self.warmup_days = int(warmup_days)
+        self.seed = seed
+
+    def run(
+        self,
+        num_days: int,
+        conditions: Optional[Sequence[WeatherCondition]] = None,
+    ) -> CampaignResult:
+        """Run the campaign for ``num_days`` (after the warm-up observations)."""
+        if num_days <= 0:
+            raise ValueError("num_days must be positive")
+        # Warm up the predictor on mild reference days.
+        for __ in range(self.warmup_days):
+            self.planner.observe_day(self.weather_model.reference_day())
+        result = CampaignResult()
+        for day_index in range(num_days):
+            condition = conditions[day_index % len(conditions)] if conditions else None
+            weather = self.weather_model.sample(condition)
+            scenario = self.planner.plan(weather)
+            if scenario is None or scenario.population.initial_overuse <= scenario.population.max_allowed_overuse:
+                result.days.append(
+                    CampaignDay(day_index=day_index, weather=weather, negotiated=False, outcome=None)
+                )
+            else:
+                system = LoadBalancingSystem(scenario, production=self.production, seed=self.seed + day_index)
+                outcome = system.run()
+                result.days.append(
+                    CampaignDay(
+                        day_index=day_index, weather=weather,
+                        negotiated=outcome.negotiated, outcome=outcome,
+                    )
+                )
+            # The day actually happens and the predictor learns from it.
+            self.planner.observe_day(weather)
+        return result

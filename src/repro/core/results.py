@@ -1,0 +1,186 @@
+"""Result value types for negotiation sessions and the load-balancing system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.negotiation.messages import Announcement, RewardTableAnnouncement
+from repro.negotiation.protocol import NegotiationOutcome, NegotiationRecord
+from repro.negotiation.termination import TerminationReason
+
+
+@dataclass(frozen=True)
+class CustomerOutcome:
+    """What one customer ended up with."""
+
+    customer: str
+    final_bid_cutdown: float
+    awarded: bool
+    committed_cutdown: float
+    reward: float
+    surplus: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.final_bid_cutdown <= 1.0:
+            raise ValueError("final bid cut-down must be in [0, 1]")
+        if not 0.0 <= self.committed_cutdown <= 1.0:
+            raise ValueError("committed cut-down must be in [0, 1]")
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of one negotiation session."""
+
+    scenario_name: str
+    method_name: str
+    record: NegotiationRecord
+    customer_outcomes: dict[str, CustomerOutcome]
+    total_reward_paid: float
+    messages_sent: int
+    simulation_rounds: int
+
+    # -- headline metrics ------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Number of negotiation rounds (announcement/bid exchanges)."""
+        return self.record.num_rounds
+
+    @property
+    def initial_overuse(self) -> float:
+        return self.record.initial_overuse
+
+    @property
+    def final_overuse(self) -> float:
+        if self.record.final_overuse is None:
+            raise ValueError("negotiation did not finish")
+        return self.record.final_overuse
+
+    @property
+    def overuse_reduction(self) -> float:
+        """Absolute overuse removed by the negotiation."""
+        return self.initial_overuse - self.final_overuse
+
+    @property
+    def peak_reduction_fraction(self) -> float:
+        """Fraction of the initial overuse that was removed."""
+        if self.initial_overuse <= 0:
+            return 0.0
+        return max(0.0, self.overuse_reduction) / self.initial_overuse
+
+    @property
+    def peak_removed(self) -> bool:
+        return self.record.outcome is NegotiationOutcome.PEAK_REMOVED
+
+    @property
+    def termination_reason(self) -> TerminationReason:
+        return self.record.termination_reason
+
+    @property
+    def participation_rate(self) -> float:
+        """Fraction of customers with a positive committed cut-down."""
+        if not self.customer_outcomes:
+            return 0.0
+        active = sum(
+            1 for outcome in self.customer_outcomes.values() if outcome.committed_cutdown > 0
+        )
+        return active / len(self.customer_outcomes)
+
+    @property
+    def total_customer_surplus(self) -> float:
+        return sum(outcome.surplus for outcome in self.customer_outcomes.values())
+
+    @property
+    def reward_per_unit_overuse_removed(self) -> float:
+        """Reward expenditure per unit of overuse removed (cost effectiveness)."""
+        removed = self.overuse_reduction
+        if removed <= 0:
+            return float("inf") if self.total_reward_paid > 0 else 0.0
+        return self.total_reward_paid / removed
+
+    # -- per-round views (for the figure benches) -----------------------------------
+
+    def announced_tables(self) -> list[Announcement]:
+        """The announcement of every round, in order."""
+        return [round_record.announcement for round_record in self.record.rounds]
+
+    def reward_trajectory(self, cutdown: float) -> list[float]:
+        """The announced reward for one cut-down fraction, per round.
+
+        Only meaningful for the reward-tables method; other announcement types
+        are skipped.
+        """
+        trajectory = []
+        for round_record in self.record.rounds:
+            announcement = round_record.announcement
+            if isinstance(announcement, RewardTableAnnouncement):
+                trajectory.append(announcement.table.reward_for(cutdown))
+        return trajectory
+
+    def overuse_trajectory(self) -> list[float]:
+        """Predicted overuse before the first round and after each round."""
+        return self.record.overuse_trajectory
+
+    def customer_bid_trajectory(self, customer: str) -> list[float]:
+        """The cut-down bid by one customer in every round."""
+        trajectory = []
+        for round_record in self.record.rounds:
+            bid = round_record.bids.get(customer)
+            trajectory.append(getattr(bid, "cutdown", 0.0) if bid is not None else 0.0)
+        return trajectory
+
+    def summary(self) -> dict[str, object]:
+        """A flat summary dictionary (used by reports and benchmarks)."""
+        return {
+            "scenario": self.scenario_name,
+            "method": self.method_name,
+            "rounds": self.rounds,
+            "initial_overuse": self.initial_overuse,
+            "final_overuse": self.final_overuse,
+            "peak_reduction_fraction": self.peak_reduction_fraction,
+            "participation_rate": self.participation_rate,
+            "total_reward_paid": self.total_reward_paid,
+            "total_customer_surplus": self.total_customer_surplus,
+            "messages_sent": self.messages_sent,
+            "termination_reason": self.termination_reason.value,
+        }
+
+
+@dataclass
+class SystemResult:
+    """Outcome of a full load-balancing pipeline run (predict -> negotiate -> apply)."""
+
+    negotiation: Optional[NegotiationResult]
+    negotiated: bool
+    peak_before_kw: float
+    peak_after_kw: float
+    production_cost_before: float
+    production_cost_after: float
+    reward_paid: float
+
+    @property
+    def peak_reduction_kw(self) -> float:
+        return self.peak_before_kw - self.peak_after_kw
+
+    @property
+    def production_savings(self) -> float:
+        return self.production_cost_before - self.production_cost_after
+
+    @property
+    def net_utility_benefit(self) -> float:
+        """Production savings minus the rewards paid out."""
+        return self.production_savings - self.reward_paid
+
+    def summary(self) -> dict[str, float | bool]:
+        return {
+            "negotiated": self.negotiated,
+            "peak_before_kw": self.peak_before_kw,
+            "peak_after_kw": self.peak_after_kw,
+            "peak_reduction_kw": self.peak_reduction_kw,
+            "production_cost_before": self.production_cost_before,
+            "production_cost_after": self.production_cost_after,
+            "production_savings": self.production_savings,
+            "reward_paid": self.reward_paid,
+            "net_utility_benefit": self.net_utility_benefit,
+        }

@@ -1,0 +1,133 @@
+"""The full load-balancing pipeline.
+
+:class:`LoadBalancingSystem` plays the role of the utility company's dynamic
+load management process as a whole:
+
+1. realise (or take) a day of household demand and predict the aggregate,
+2. decide — exactly as the Utility Agent's *evaluate prediction* task does —
+   whether the predicted overuse warrants a negotiation,
+3. run the multi-agent negotiation (a :class:`~repro.core.session.NegotiationSession`),
+4. apply the awarded cut-downs to the household load profiles, and
+5. account for production costs and rewards before and after.
+
+The system therefore quantifies the economic claim behind the paper: dynamic
+load management "make[s] better and more cost-effective use of electricity
+production capabilities".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.results import NegotiationResult, SystemResult
+from repro.core.scenario import Scenario
+from repro.core.session import NegotiationSession
+from repro.grid.load_profile import LoadProfile
+from repro.grid.production import ProductionModel
+from repro.runtime.clock import TimeInterval
+
+
+class LoadBalancingSystem:
+    """Predict, negotiate, apply, account."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        production: Optional[ProductionModel] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.scenario = scenario
+        if production is None:
+            normal = scenario.population.normal_use
+            overuse = max(scenario.population.initial_overuse, 1.0)
+            production = ProductionModel.two_tier(
+                normal_capacity_kw=normal, peak_capacity_kw=2.0 * overuse
+            )
+        self.production = production
+        self.seed = seed
+
+    # -- pipeline stages -----------------------------------------------------------
+
+    def should_negotiate(self) -> bool:
+        """The *evaluate prediction* decision: is the predicted overuse high enough?"""
+        population = self.scenario.population
+        return population.initial_overuse > population.max_allowed_overuse
+
+    def negotiate(self, **session_kwargs) -> NegotiationResult:
+        """Run the multi-agent negotiation for the scenario."""
+        session = NegotiationSession(self.scenario, seed=self.seed, **session_kwargs)
+        return session.run()
+
+    def baseline_profiles(self) -> dict[str, LoadProfile]:
+        """Per-household demand profiles before any cut-down.
+
+        For calibrated populations without household models, a flat profile at
+        the customer's predicted use over the peak interval is synthesised so
+        cost accounting remains possible.
+        """
+        population = self.scenario.population
+        profiles: dict[str, LoadProfile] = {}
+        interval = population.interval
+        for spec in population.specs:
+            if spec.household is not None:
+                profiles[spec.customer_id] = spec.household.demand_profile(
+                    self.scenario.weather
+                )
+            else:
+                slots = interval.slots_per_day if interval is not None else 24
+                values = [0.0] * slots
+                if interval is not None:
+                    for slot in interval.slots():
+                        values[slot.index] = spec.predicted_use
+                else:
+                    values = [spec.predicted_use] * slots
+                profiles[spec.customer_id] = LoadProfile(tuple(values))
+        return profiles
+
+    def apply_cutdowns(
+        self,
+        profiles: dict[str, LoadProfile],
+        result: NegotiationResult,
+        interval: Optional[TimeInterval] = None,
+    ) -> dict[str, LoadProfile]:
+        """Household profiles after implementing the awarded cut-downs."""
+        interval = interval or self.scenario.population.interval
+        if interval is None:
+            raise ValueError("cannot apply cut-downs without a peak interval")
+        adjusted: dict[str, LoadProfile] = {}
+        for customer, profile in profiles.items():
+            outcome = result.customer_outcomes.get(customer)
+            cutdown = outcome.committed_cutdown if outcome is not None else 0.0
+            adjusted[customer] = profile.with_cutdown_in(interval, cutdown)
+        return adjusted
+
+    # -- full pipeline ------------------------------------------------------------------
+
+    def run(self, **session_kwargs) -> SystemResult:
+        """Run the full pipeline and return the accounting summary."""
+        baseline = self.baseline_profiles()
+        aggregate_before = LoadProfile.aggregate(baseline.values())
+        cost_before = self.production.cost_of_profile(aggregate_before)
+        if not self.should_negotiate():
+            return SystemResult(
+                negotiation=None,
+                negotiated=False,
+                peak_before_kw=aggregate_before.peak(),
+                peak_after_kw=aggregate_before.peak(),
+                production_cost_before=cost_before,
+                production_cost_after=cost_before,
+                reward_paid=0.0,
+            )
+        result = self.negotiate(**session_kwargs)
+        adjusted = self.apply_cutdowns(baseline, result)
+        aggregate_after = LoadProfile.aggregate(adjusted.values())
+        cost_after = self.production.cost_of_profile(aggregate_after)
+        return SystemResult(
+            negotiation=result,
+            negotiated=True,
+            peak_before_kw=aggregate_before.peak(),
+            peak_after_kw=aggregate_after.peak(),
+            production_cost_before=cost_before,
+            production_cost_after=cost_after,
+            reward_paid=result.total_reward_paid,
+        )

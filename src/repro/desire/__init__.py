@@ -1,0 +1,81 @@
+"""A Python re-implementation of the DESIRE compositional modelling concepts.
+
+DESIRE (framework for DEsign and Specification of Interacting REasoning
+components) is the compositional development method the paper uses to design
+and implement its multi-agent system (Section 4).  A DESIRE design consists of
+
+* **process composition** — components at different abstraction levels, either
+  *primitive* (knowledge-based or computational) or *composed* of
+  sub-components, with typed input/output interfaces
+  (:mod:`repro.desire.component`),
+* **knowledge composition** — information types (ontologies of sorts, objects
+  and relations, :mod:`repro.desire.information_types`) and knowledge bases
+  (rules over those ontologies, :mod:`repro.desire.knowledge_base`),
+* the **relation between both** — which knowledge a component uses, how
+  information flows between components (:mod:`repro.desire.links`) and how
+  task control activates components (:mod:`repro.desire.task_control`).
+
+The :mod:`repro.desire.engine` module executes a composed component to
+quiescence, and :mod:`repro.desire.trace` records the execution for
+inspection and verification.  The agents of the paper (Section 5) are built
+as DESIRE component hierarchies in :mod:`repro.agents`.
+"""
+
+from repro.desire.component import (
+    Component,
+    ComposedComponent,
+    ComputationalComponent,
+    InterfaceSpec,
+    KnowledgeComponent,
+    PrimitiveComponent,
+)
+from repro.desire.engine import DesireEngine, EngineReport
+from repro.desire.errors import (
+    CompositionError,
+    DesireError,
+    KnowledgeError,
+    OntologyError,
+)
+from repro.desire.information_types import (
+    Atom,
+    InformationState,
+    InformationType,
+    Relation,
+    Sort,
+    TruthValue,
+)
+from repro.desire.knowledge_base import Fact, KnowledgeBase, Rule
+from repro.desire.links import InformationLink, LinkMapping
+from repro.desire.task_control import ActivationRecord, TaskControl, TaskControlRule
+from repro.desire.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "ActivationRecord",
+    "Atom",
+    "Component",
+    "ComposedComponent",
+    "CompositionError",
+    "ComputationalComponent",
+    "DesireEngine",
+    "DesireError",
+    "EngineReport",
+    "ExecutionTrace",
+    "Fact",
+    "InformationLink",
+    "InformationState",
+    "InformationType",
+    "InterfaceSpec",
+    "KnowledgeBase",
+    "KnowledgeComponent",
+    "KnowledgeError",
+    "LinkMapping",
+    "OntologyError",
+    "PrimitiveComponent",
+    "Relation",
+    "Rule",
+    "Sort",
+    "TaskControl",
+    "TaskControlRule",
+    "TraceEvent",
+    "TruthValue",
+]

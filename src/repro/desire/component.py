@@ -1,0 +1,293 @@
+"""Components: the process-composition building blocks of DESIRE.
+
+A *component* models a process at some abstraction level (Section 4.1).  Every
+component has an input interface and an output interface, each described by an
+:class:`~repro.desire.information_types.InformationType` and holding an
+:class:`~repro.desire.information_types.InformationState`.
+
+Components are either
+
+* **primitive** — a :class:`KnowledgeComponent` (reasoning: a knowledge base
+  is forward-chained over the input state to produce the output state) or a
+  :class:`ComputationalComponent` (calculation/optimisation: an arbitrary
+  Python callable maps the input state to output assertions), or
+* **composed** — a :class:`ComposedComponent` containing sub-components,
+  information links between their interfaces, and task control knowledge
+  determining the activation order.
+
+This mirrors the paper's process abstraction hierarchies (Figures 2-5): e.g.
+the Utility Agent's *own process control* is a composed component containing
+*determine general negotiation strategy* and *evaluate negotiation process*.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.desire.errors import CompositionError
+from repro.desire.information_types import (
+    Atom,
+    InformationState,
+    InformationType,
+    TruthValue,
+)
+from repro.desire.knowledge_base import KnowledgeBase
+from repro.desire.links import InformationLink
+from repro.desire.task_control import TaskControl
+
+
+@dataclass
+class InterfaceSpec:
+    """Declaration of a component interface: its information type."""
+
+    information_type: InformationType
+
+    def new_state(self, name: str) -> InformationState:
+        return InformationState(name)
+
+
+class Component(abc.ABC):
+    """Common behaviour of primitive and composed components."""
+
+    def __init__(
+        self,
+        name: str,
+        input_type: Optional[InformationType] = None,
+        output_type: Optional[InformationType] = None,
+    ) -> None:
+        if not name:
+            raise CompositionError("component name must be non-empty")
+        self.name = name
+        self.input_type = input_type or InformationType(f"{name}_input")
+        self.output_type = output_type or InformationType(f"{name}_output")
+        self.input_state = InformationState(f"{name}.input")
+        self.output_state = InformationState(f"{name}.output")
+        self.activation_count = 0
+
+    # -- interface handling --------------------------------------------------
+
+    def receive(self, atom: Atom, value: TruthValue = TruthValue.TRUE) -> bool:
+        """Assert an atom on the input interface."""
+        return self.input_state.assert_atom(atom, value)
+
+    def emit(self, atom: Atom, value: TruthValue = TruthValue.TRUE) -> bool:
+        """Assert an atom on the output interface."""
+        return self.output_state.assert_atom(atom, value)
+
+    def reset(self) -> None:
+        """Clear both interfaces (between independent activations)."""
+        self.input_state.clear()
+        self.output_state.clear()
+
+    # -- activation ------------------------------------------------------------
+
+    def activate(self) -> int:
+        """Run the component once; returns the number of output changes."""
+        self.activation_count += 1
+        return self._run()
+
+    @abc.abstractmethod
+    def _run(self) -> int:
+        """Component-specific processing; returns the number of output changes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PrimitiveComponent(Component):
+    """Marker base class for primitive (non-composed) components."""
+
+
+class KnowledgeComponent(PrimitiveComponent):
+    """A primitive reasoning component driven by a knowledge base.
+
+    Activation copies the input state into a working state, forward-chains the
+    knowledge base over it and transfers every derived atom belonging to the
+    output information type to the output interface.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        knowledge_base: KnowledgeBase,
+        input_type: Optional[InformationType] = None,
+        output_type: Optional[InformationType] = None,
+    ) -> None:
+        super().__init__(name, input_type, output_type)
+        self.knowledge_base = knowledge_base
+
+    def _run(self) -> int:
+        working = self.input_state.copy(f"{self.name}.working")
+        self.knowledge_base.forward_chain(working)
+        changes = 0
+        for atom in working:
+            if self.output_type.accepts(atom):
+                if self.output_state.assert_atom(atom, working.value_of(atom)):
+                    changes += 1
+        return changes
+
+
+class ComputationalComponent(PrimitiveComponent):
+    """A primitive component performing calculation or optimisation.
+
+    The supplied function receives the input state and returns an iterable of
+    ``(atom, truth_value)`` pairs (or bare atoms, implying TRUE) asserted on
+    the output interface.  This corresponds to DESIRE primitive components
+    that are not knowledge-based ("capable of performing tasks such as
+    calculation, information retrieval, optimisation", Section 4.1.1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[[InformationState], Iterable[object]],
+        input_type: Optional[InformationType] = None,
+        output_type: Optional[InformationType] = None,
+    ) -> None:
+        super().__init__(name, input_type, output_type)
+        self._function = function
+
+    def _run(self) -> int:
+        results = self._function(self.input_state)
+        changes = 0
+        for item in results or ():
+            if isinstance(item, Atom):
+                atom, value = item, TruthValue.TRUE
+            elif (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[0], Atom)
+                and isinstance(item[1], TruthValue)
+            ):
+                atom, value = item
+            else:
+                raise CompositionError(
+                    f"computational component {self.name!r} produced {item!r}, "
+                    "expected an Atom or an (Atom, TruthValue) pair"
+                )
+            if self.output_state.assert_atom(atom, value):
+                changes += 1
+        return changes
+
+
+class ComposedComponent(Component):
+    """A component composed of sub-components, links and task control."""
+
+    def __init__(
+        self,
+        name: str,
+        input_type: Optional[InformationType] = None,
+        output_type: Optional[InformationType] = None,
+        max_cycles: int = 100,
+    ) -> None:
+        super().__init__(name, input_type, output_type)
+        if max_cycles <= 0:
+            raise CompositionError(f"max_cycles must be positive, got {max_cycles}")
+        self.max_cycles = max_cycles
+        self._children: dict[str, Component] = {}
+        self._links: list[InformationLink] = []
+        self.task_control = TaskControl(owner=name)
+
+    # -- composition -----------------------------------------------------------
+
+    def add_child(self, component: Component) -> Component:
+        if component.name in self._children:
+            raise CompositionError(
+                f"component {self.name!r} already has a child named {component.name!r}"
+            )
+        if component is self:
+            raise CompositionError("a component cannot contain itself")
+        self._children[component.name] = component
+        return component
+
+    def child(self, name: str) -> Component:
+        try:
+            return self._children[name]
+        except KeyError:
+            raise CompositionError(
+                f"component {self.name!r} has no child named {name!r}"
+            ) from None
+
+    @property
+    def children(self) -> list[Component]:
+        return list(self._children.values())
+
+    @property
+    def child_names(self) -> list[str]:
+        return list(self._children)
+
+    def add_link(self, link: InformationLink) -> InformationLink:
+        """Add an information link between interfaces within this composition."""
+        valid_endpoints = set(self._children) | {self.name}
+        if link.source_component not in valid_endpoints:
+            raise CompositionError(
+                f"link {link.name!r} has unknown source {link.source_component!r}"
+            )
+        if link.target_component not in valid_endpoints:
+            raise CompositionError(
+                f"link {link.name!r} has unknown target {link.target_component!r}"
+            )
+        self._links.append(link)
+        return link
+
+    @property
+    def links(self) -> list[InformationLink]:
+        return list(self._links)
+
+    def descendants(self) -> list[Component]:
+        """All components beneath this one (depth-first, pre-order)."""
+        collected: list[Component] = []
+        for child in self._children.values():
+            collected.append(child)
+            if isinstance(child, ComposedComponent):
+                collected.extend(child.descendants())
+        return collected
+
+    # -- execution ---------------------------------------------------------------
+
+    def _resolve_state(self, component_name: str, interface: str) -> InformationState:
+        """Interface state for a link endpoint.
+
+        For the composed component itself, a link *from* it reads its input
+        interface (information entering the composition) and a link *to* it
+        writes its output interface (information leaving the composition).
+        For children it is the reverse: links read child outputs and write
+        child inputs.
+        """
+        if component_name == self.name:
+            return self.input_state if interface == "source" else self.output_state
+        child = self.child(component_name)
+        return child.output_state if interface == "source" else child.input_state
+
+    def propagate_links(self) -> int:
+        """Transfer information along every link; returns the change count."""
+        changes = 0
+        for link in self._links:
+            source = self._resolve_state(link.source_component, "source")
+            target = self._resolve_state(link.target_component, "target")
+            changes += link.transfer(source, target)
+        return changes
+
+    def _run(self) -> int:
+        """Activate children under task control until quiescence.
+
+        Each cycle: propagate links, then activate every child the task
+        control deems eligible (in task-control order).  The composition is
+        quiescent when a full cycle produces no interface changes.
+        """
+        total_changes = 0
+        for cycle in range(self.max_cycles):
+            changes = self.propagate_links()
+            eligible = self.task_control.eligible_components(self, cycle)
+            for component_name in eligible:
+                child = self.child(component_name)
+                child_changes = child.activate()
+                self.task_control.record_activation(component_name, cycle, child_changes)
+                changes += child_changes
+            changes += self.propagate_links()
+            total_changes += changes
+            if changes == 0:
+                break
+        return total_changes

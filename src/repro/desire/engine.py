@@ -1,0 +1,103 @@
+"""The DESIRE execution engine.
+
+The engine runs a top-level composed component to quiescence, recording an
+:class:`~repro.desire.trace.ExecutionTrace` along the way.  It corresponds to
+the "implementation generator" role of the original DESIRE software
+environment: given a compositional specification, it produces executable
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.desire.component import ComposedComponent, Component
+from repro.desire.errors import DesireError
+from repro.desire.trace import ExecutionTrace, TraceEvent, TraceEventKind
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one engine run."""
+
+    cycles: int = 0
+    total_changes: int = 0
+    quiescent: bool = False
+    activations: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "total_changes": self.total_changes,
+            "quiescent": self.quiescent,
+            "activations": dict(self.activations),
+        }
+
+
+class DesireEngine:
+    """Runs a component hierarchy to quiescence with tracing."""
+
+    def __init__(self, max_cycles: int = 200) -> None:
+        if max_cycles <= 0:
+            raise DesireError(f"max_cycles must be positive, got {max_cycles}")
+        self.max_cycles = max_cycles
+        self.trace = ExecutionTrace("engine")
+
+    def run(self, component: Component) -> EngineReport:
+        """Activate a component (hierarchy) until it is quiescent.
+
+        For a primitive component a single activation suffices (it is a pure
+        function of its input); for a composed component the engine cycles
+        until no interface changes occur or ``max_cycles`` is hit.
+        """
+        report = EngineReport()
+        if not isinstance(component, ComposedComponent):
+            changes = component.activate()
+            self.trace.record_activation(component.name, cycle=0, changes=changes)
+            report.cycles = 1
+            report.total_changes = changes
+            report.quiescent = True
+            report.activations[component.name] = 1
+            return report
+
+        for cycle in range(self.max_cycles):
+            changes = component.propagate_links()
+            eligible = component.task_control.eligible_components(component, cycle)
+            for name in eligible:
+                child = component.child(name)
+                child_changes = child.activate()
+                component.task_control.record_activation(name, cycle, child_changes)
+                self.trace.record_activation(name, cycle=cycle, changes=child_changes)
+                report.activations[name] = report.activations.get(name, 0) + 1
+                changes += child_changes
+            changes += component.propagate_links()
+            report.cycles = cycle + 1
+            report.total_changes += changes
+            if changes == 0:
+                report.quiescent = True
+                self.trace.record(
+                    TraceEvent(
+                        TraceEventKind.NOTE,
+                        component.name,
+                        detail=f"quiescent after {cycle + 1} cycles",
+                        cycle=cycle,
+                    )
+                )
+                break
+        return report
+
+    def run_until(self, component: ComposedComponent, condition, max_runs: int = 50) -> EngineReport:
+        """Repeatedly run a composition until ``condition(component)`` holds.
+
+        Useful for negotiation loops where external information (new bids)
+        arrives between runs.  Returns the report of the final run.
+        """
+        if max_runs <= 0:
+            raise DesireError(f"max_runs must be positive, got {max_runs}")
+        report = EngineReport()
+        for __ in range(max_runs):
+            report = self.run(component)
+            if condition(component):
+                return report
+        return report

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the DESIRE framework."""
+
+from __future__ import annotations
+
+
+class DesireError(Exception):
+    """Base class for all DESIRE framework errors."""
+
+
+class OntologyError(DesireError):
+    """An information type (ontology) is used inconsistently.
+
+    Examples: referring to an undeclared sort, building an atom whose
+    arguments do not match the relation's signature.
+    """
+
+
+class KnowledgeError(DesireError):
+    """A knowledge base or rule is malformed.
+
+    Examples: a rule conclusion over a relation that is not part of the
+    component's output information type, a rule with unbound variables in
+    the conclusion.
+    """
+
+
+class CompositionError(DesireError):
+    """A process composition is malformed.
+
+    Examples: an information link between non-existent components, a task
+    control rule referring to an unknown component, duplicated component
+    names within one composition.
+    """

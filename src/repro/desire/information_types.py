@@ -1,0 +1,308 @@
+"""Information types: the knowledge-composition building blocks of DESIRE.
+
+An *information type* defines an ontology: sorts (domains of objects),
+objects belonging to those sorts, and relations over sorts.  Ground *atoms*
+built from relations and objects are the vocabulary of the components'
+input/output interfaces and of the knowledge bases.  Information *states*
+assign epistemic truth values (true / false / unknown) to atoms, following
+DESIRE's three-valued treatment of partial information.
+
+Information types compose: a type can *include* other types, making their
+sorts, objects and relations visible (Section 4.2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.desire.errors import OntologyError
+
+#: Values allowed as atom arguments: named objects, numbers or booleans.
+ObjectValue = Union[str, int, float, bool]
+
+
+class TruthValue(Enum):
+    """Three-valued epistemic truth value of an atom in an information state."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def negate(self) -> "TruthValue":
+        if self is TruthValue.TRUE:
+            return TruthValue.FALSE
+        if self is TruthValue.FALSE:
+            return TruthValue.TRUE
+        return TruthValue.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A named domain of objects.
+
+    A sort may be declared *numeric*, in which case any int/float value is
+    considered to belong to it without explicit object declarations (DESIRE's
+    built-in sorts for numbers are modelled this way).
+    """
+
+    name: str
+    numeric: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise OntologyError(f"invalid sort name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named relation with a typed argument signature."""
+
+    name: str
+    argument_sorts: tuple[Sort, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise OntologyError(f"invalid relation name {self.name!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.argument_sorts)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A ground atom: a relation applied to concrete argument values."""
+
+    relation: str
+    arguments: tuple[ObjectValue, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.relation
+        rendered = ", ".join(str(a) for a in self.arguments)
+        return f"{self.relation}({rendered})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+
+class InformationType:
+    """An ontology: sorts, objects, relations — possibly composed of others."""
+
+    def __init__(self, name: str, includes: Optional[Iterable["InformationType"]] = None) -> None:
+        if not name:
+            raise OntologyError("information type name must be non-empty")
+        self.name = name
+        self._includes: list[InformationType] = list(includes or [])
+        self._sorts: dict[str, Sort] = {}
+        self._objects: dict[str, set[ObjectValue]] = {}
+        self._relations: dict[str, Relation] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    def declare_sort(self, name: str, numeric: bool = False) -> Sort:
+        """Declare (or re-fetch) a sort."""
+        existing = self.find_sort(name)
+        if existing is not None:
+            if existing.numeric != numeric:
+                raise OntologyError(
+                    f"sort {name!r} re-declared with a different numeric flag"
+                )
+            return existing
+        sort = Sort(name, numeric)
+        self._sorts[name] = sort
+        self._objects.setdefault(name, set())
+        return sort
+
+    def declare_object(self, sort_name: str, value: ObjectValue) -> None:
+        """Declare an object as belonging to a sort."""
+        sort = self.find_sort(sort_name)
+        if sort is None:
+            raise OntologyError(f"cannot declare object for unknown sort {sort_name!r}")
+        self._objects.setdefault(sort_name, set()).add(value)
+
+    def declare_relation(self, name: str, *argument_sorts: str) -> Relation:
+        """Declare (or re-fetch) a relation with the given argument sorts."""
+        sorts = []
+        for sort_name in argument_sorts:
+            sort = self.find_sort(sort_name)
+            if sort is None:
+                raise OntologyError(
+                    f"relation {name!r} refers to unknown sort {sort_name!r}"
+                )
+            sorts.append(sort)
+        existing = self.find_relation(name)
+        if existing is not None:
+            if existing.argument_sorts != tuple(sorts):
+                raise OntologyError(f"relation {name!r} re-declared with a different signature")
+            return existing
+        relation = Relation(name, tuple(sorts))
+        self._relations[name] = relation
+        return relation
+
+    # -- lookup (searches included types too) ---------------------------------
+
+    def find_sort(self, name: str) -> Optional[Sort]:
+        if name in self._sorts:
+            return self._sorts[name]
+        for included in self._includes:
+            found = included.find_sort(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_relation(self, name: str) -> Optional[Relation]:
+        if name in self._relations:
+            return self._relations[name]
+        for included in self._includes:
+            found = included.find_relation(name)
+            if found is not None:
+                return found
+        return None
+
+    def objects_of(self, sort_name: str) -> set[ObjectValue]:
+        """All objects declared for a sort, across included types."""
+        values: set[ObjectValue] = set(self._objects.get(sort_name, set()))
+        for included in self._includes:
+            values |= included.objects_of(sort_name)
+        return values
+
+    def relations(self) -> dict[str, Relation]:
+        """All visible relations (own plus included)."""
+        merged: dict[str, Relation] = {}
+        for included in self._includes:
+            merged.update(included.relations())
+        merged.update(self._relations)
+        return merged
+
+    def sorts(self) -> dict[str, Sort]:
+        """All visible sorts (own plus included)."""
+        merged: dict[str, Sort] = {}
+        for included in self._includes:
+            merged.update(included.sorts())
+        merged.update(self._sorts)
+        return merged
+
+    # -- atom construction & validation ---------------------------------------
+
+    def atom(self, relation_name: str, *arguments: ObjectValue) -> Atom:
+        """Build a ground atom, validating it against the ontology."""
+        candidate = Atom(relation_name, tuple(arguments))
+        self.validate_atom(candidate)
+        return candidate
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Check that an atom is well-formed under this ontology."""
+        relation = self.find_relation(atom.relation)
+        if relation is None:
+            raise OntologyError(f"unknown relation {atom.relation!r} in atom {atom}")
+        if relation.arity != atom.arity:
+            raise OntologyError(
+                f"atom {atom} has {atom.arity} arguments, "
+                f"relation {relation.name!r} expects {relation.arity}"
+            )
+        for value, sort in zip(atom.arguments, relation.argument_sorts):
+            if sort.numeric:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise OntologyError(
+                        f"argument {value!r} of {atom} must be numeric (sort {sort.name!r})"
+                    )
+                continue
+            declared = self.objects_of(sort.name)
+            if declared and value not in declared:
+                raise OntologyError(
+                    f"argument {value!r} of {atom} is not a declared object of sort {sort.name!r}"
+                )
+
+    def accepts(self, atom: Atom) -> bool:
+        """Whether the atom is well-formed under this ontology."""
+        try:
+            self.validate_atom(atom)
+        except OntologyError:
+            return False
+        return True
+
+
+class InformationState:
+    """A three-valued assignment of truth values to atoms.
+
+    This models the content of a component's input or output interface at a
+    point in time.  Atoms not present are ``UNKNOWN``.
+    """
+
+    def __init__(self, name: str = "state") -> None:
+        self.name = name
+        self._values: dict[Atom, TruthValue] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._values)
+
+    def value_of(self, atom: Atom) -> TruthValue:
+        """Truth value of an atom (``UNKNOWN`` when never asserted)."""
+        return self._values.get(atom, TruthValue.UNKNOWN)
+
+    def holds(self, atom: Atom) -> bool:
+        return self.value_of(atom) is TruthValue.TRUE
+
+    def assert_atom(self, atom: Atom, value: TruthValue = TruthValue.TRUE) -> bool:
+        """Set an atom's truth value.
+
+        Returns ``True`` when this changed the state (used by the engine to
+        detect quiescence).
+        """
+        if not isinstance(value, TruthValue):
+            raise TypeError(f"expected a TruthValue, got {value!r}")
+        if self._values.get(atom) == value:
+            return False
+        if value is TruthValue.UNKNOWN:
+            removed = atom in self._values
+            self._values.pop(atom, None)
+            return removed
+        self._values[atom] = value
+        return True
+
+    def retract(self, atom: Atom) -> bool:
+        """Forget an atom (back to ``UNKNOWN``)."""
+        return self.assert_atom(atom, TruthValue.UNKNOWN)
+
+    def atoms_where(self, value: TruthValue) -> list[Atom]:
+        """All atoms holding the given truth value."""
+        return [atom for atom, v in self._values.items() if v == value]
+
+    def true_atoms(self) -> list[Atom]:
+        return self.atoms_where(TruthValue.TRUE)
+
+    def atoms_of_relation(self, relation_name: str, value: TruthValue = TruthValue.TRUE) -> list[Atom]:
+        """All atoms of one relation holding a given truth value."""
+        return [
+            atom for atom, v in self._values.items()
+            if atom.relation == relation_name and v == value
+        ]
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def copy(self, name: Optional[str] = None) -> "InformationState":
+        duplicate = InformationState(name or self.name)
+        duplicate._values = dict(self._values)
+        return duplicate
+
+    def merge_from(self, other: "InformationState") -> int:
+        """Copy every non-unknown atom from another state; returns change count."""
+        changes = 0
+        for atom, value in other._values.items():
+            if self.assert_atom(atom, value):
+                changes += 1
+        return changes
+
+    def as_dict(self) -> dict[str, str]:
+        """String rendering of the state (for traces and debugging)."""
+        return {str(atom): value.value for atom, value in sorted(
+            self._values.items(), key=lambda item: str(item[0])
+        )}

@@ -1,0 +1,262 @@
+"""Knowledge bases: rules over information types.
+
+DESIRE represents knowledge as formulae in order-sorted predicate logic that
+can be normalised into rules.  We implement the rule form directly: a
+:class:`Rule` has a conjunctive antecedent of (possibly negated) patterns and
+a consequent of patterns; patterns may contain variables (strings starting
+with an uppercase letter or ``?``) that are bound by matching against the
+current information state.  A :class:`KnowledgeBase` applies its rules by
+exhaustive forward chaining (to quiescence), which is how DESIRE primitive
+reasoning components derive their output from their input.
+
+Conditions may also include *evaluable* numeric guards expressed as Python
+callables over the variable binding, because the load-management knowledge in
+the paper involves arithmetic comparisons (e.g. "required reward below offered
+reward").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.desire.errors import KnowledgeError
+from repro.desire.information_types import (
+    Atom,
+    InformationState,
+    ObjectValue,
+    TruthValue,
+)
+
+#: A pattern argument is either a concrete value or a variable name.
+PatternArgument = Union[ObjectValue, "Variable"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named logical variable used in rule patterns."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KnowledgeError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor for a :class:`Variable`."""
+    return Variable(name)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A (possibly non-ground) atom pattern, optionally negated.
+
+    ``negated=True`` means the pattern matches when the corresponding ground
+    atom is explicitly FALSE or not known to be TRUE (negation as absence of
+    truth, which is how the prototype's knowledge uses negative conditions).
+    """
+
+    relation: str
+    arguments: tuple[PatternArgument, ...] = ()
+    negated: bool = False
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.arguments)
+        body = f"{self.relation}({rendered})" if self.arguments else self.relation
+        return f"not {body}" if self.negated else body
+
+    def variables(self) -> set[str]:
+        return {a.name for a in self.arguments if isinstance(a, Variable)}
+
+    def ground(self, binding: Mapping[str, ObjectValue]) -> Atom:
+        """Instantiate the pattern under a binding (must cover all variables)."""
+        arguments: list[ObjectValue] = []
+        for argument in self.arguments:
+            if isinstance(argument, Variable):
+                if argument.name not in binding:
+                    raise KnowledgeError(
+                        f"variable {argument} unbound when grounding pattern {self}"
+                    )
+                arguments.append(binding[argument.name])
+            else:
+                arguments.append(argument)
+        return Atom(self.relation, tuple(arguments))
+
+    def match(self, atom: Atom, binding: Mapping[str, ObjectValue]) -> Optional[dict[str, ObjectValue]]:
+        """Try to extend ``binding`` so the pattern matches ``atom``."""
+        if atom.relation != self.relation or atom.arity != len(self.arguments):
+            return None
+        extended = dict(binding)
+        for pattern_arg, atom_arg in zip(self.arguments, atom.arguments):
+            if isinstance(pattern_arg, Variable):
+                bound = extended.get(pattern_arg.name)
+                if bound is None:
+                    extended[pattern_arg.name] = atom_arg
+                elif bound != atom_arg:
+                    return None
+            elif pattern_arg != atom_arg:
+                return None
+        return extended
+
+
+#: A guard is a predicate over the variable binding (e.g. numeric comparison).
+Guard = Callable[[Mapping[str, ObjectValue]], bool]
+
+
+@dataclass
+class Rule:
+    """An if-then rule: conjunctive antecedent, guards, consequent patterns."""
+
+    name: str
+    antecedent: Sequence[Pattern] = field(default_factory=tuple)
+    consequent: Sequence[Pattern] = field(default_factory=tuple)
+    guards: Sequence[Guard] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KnowledgeError("rule name must be non-empty")
+        if not self.consequent:
+            raise KnowledgeError(f"rule {self.name!r} must have at least one conclusion")
+        bound = set()
+        for pattern in self.antecedent:
+            if not pattern.negated:
+                bound |= pattern.variables()
+        for pattern in self.consequent:
+            unbound = pattern.variables() - bound
+            if unbound:
+                raise KnowledgeError(
+                    f"rule {self.name!r} concludes with unbound variables {sorted(unbound)}"
+                )
+        for pattern in self.antecedent:
+            if pattern.negated:
+                unbound = pattern.variables() - bound
+                if unbound:
+                    raise KnowledgeError(
+                        f"rule {self.name!r} has negated pattern {pattern} with "
+                        f"variables {sorted(unbound)} not bound by positive patterns"
+                    )
+
+    def bindings(self, state: InformationState) -> list[dict[str, ObjectValue]]:
+        """All bindings under which the antecedent (and guards) hold in ``state``."""
+        candidates: list[dict[str, ObjectValue]] = [{}]
+        positives = [p for p in self.antecedent if not p.negated]
+        negatives = [p for p in self.antecedent if p.negated]
+        for pattern in positives:
+            new_candidates: list[dict[str, ObjectValue]] = []
+            atoms = state.atoms_of_relation(pattern.relation, TruthValue.TRUE)
+            for binding in candidates:
+                for atom in atoms:
+                    extended = pattern.match(atom, binding)
+                    if extended is not None:
+                        new_candidates.append(extended)
+            candidates = new_candidates
+            if not candidates:
+                return []
+        surviving = []
+        for binding in candidates:
+            rejected = False
+            for pattern in negatives:
+                ground = pattern.ground(binding)
+                if state.value_of(ground) is TruthValue.TRUE:
+                    rejected = True
+                    break
+            if rejected:
+                continue
+            if all(guard(binding) for guard in self.guards):
+                surviving.append(binding)
+        return surviving
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact with a truth value (initial content of a knowledge base)."""
+
+    atom: Atom
+    value: TruthValue = TruthValue.TRUE
+
+
+class KnowledgeBase:
+    """A named collection of facts and rules, applied by forward chaining."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: Optional[Iterable[Rule]] = None,
+        facts: Optional[Iterable[Fact]] = None,
+    ) -> None:
+        if not name:
+            raise KnowledgeError("knowledge base name must be non-empty")
+        self.name = name
+        self._rules: list[Rule] = list(rules or [])
+        self._facts: list[Fact] = list(facts or [])
+        self._included: list[KnowledgeBase] = []
+
+    # -- composition -----------------------------------------------------
+
+    def include(self, other: "KnowledgeBase") -> None:
+        """Compose this knowledge base from another (Section 4.2.2)."""
+        if other is self:
+            raise KnowledgeError("a knowledge base cannot include itself")
+        self._included.append(other)
+
+    def add_rule(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    def add_fact(self, fact: Fact) -> None:
+        self._facts.append(fact)
+
+    def rules(self) -> list[Rule]:
+        """All rules, own plus included, in declaration order."""
+        collected: list[Rule] = []
+        for included in self._included:
+            collected.extend(included.rules())
+        collected.extend(self._rules)
+        return collected
+
+    def facts(self) -> list[Fact]:
+        """All facts, own plus included, in declaration order."""
+        collected: list[Fact] = []
+        for included in self._included:
+            collected.extend(included.facts())
+        collected.extend(self._facts)
+        return collected
+
+    # -- reasoning ---------------------------------------------------------
+
+    def seed(self, state: InformationState) -> int:
+        """Assert all facts into a state; returns the number of changes."""
+        changes = 0
+        for fact in self.facts():
+            if state.assert_atom(fact.atom, fact.value):
+                changes += 1
+        return changes
+
+    def forward_chain(self, state: InformationState, max_iterations: int = 1000) -> int:
+        """Apply rules exhaustively to quiescence.
+
+        Returns the number of atoms whose value changed.  Raises
+        :class:`KnowledgeError` if quiescence is not reached within
+        ``max_iterations`` passes (a safeguard against non-terminating rule
+        sets).
+        """
+        total_changes = self.seed(state)
+        for __ in range(max_iterations):
+            changes_this_pass = 0
+            for rule in self.rules():
+                for binding in rule.bindings(state):
+                    for pattern in rule.consequent:
+                        atom = pattern.ground(binding)
+                        value = TruthValue.FALSE if pattern.negated else TruthValue.TRUE
+                        if state.assert_atom(atom, value):
+                            changes_this_pass += 1
+            if changes_this_pass == 0:
+                return total_changes
+            total_changes += changes_this_pass
+        raise KnowledgeError(
+            f"knowledge base {self.name!r} did not reach quiescence "
+            f"within {max_iterations} iterations"
+        )

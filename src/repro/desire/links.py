@@ -1,0 +1,89 @@
+"""Information links: the static view of a process composition.
+
+A link connects the interface of one component (or the enclosing composition)
+to the interface of another and describes *which* information flows and how
+atoms are renamed on the way (DESIRE's information exchange specification,
+Section 4.1.2).  A link without mappings transfers every atom unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.desire.errors import CompositionError
+from repro.desire.information_types import Atom, InformationState, TruthValue
+
+
+@dataclass(frozen=True)
+class LinkMapping:
+    """Renames atoms of one relation as they cross a link.
+
+    ``argument_indices`` selects/permutes argument positions; ``None`` keeps
+    all arguments in order.  An optional ``transform`` callable can rewrite
+    the argument tuple (e.g. to scale a numeric argument).
+    """
+
+    source_relation: str
+    target_relation: str
+    argument_indices: Optional[tuple[int, ...]] = None
+    transform: Optional[Callable[[tuple], tuple]] = None
+
+    def apply(self, atom: Atom) -> Optional[Atom]:
+        """Map a source atom to a target atom, or ``None`` if not applicable."""
+        if atom.relation != self.source_relation:
+            return None
+        arguments = atom.arguments
+        if self.argument_indices is not None:
+            try:
+                arguments = tuple(arguments[i] for i in self.argument_indices)
+            except IndexError:
+                raise CompositionError(
+                    f"link mapping {self.source_relation!r}->{self.target_relation!r} "
+                    f"selects argument indices {self.argument_indices} "
+                    f"but atom {atom} has arity {atom.arity}"
+                ) from None
+        if self.transform is not None:
+            arguments = tuple(self.transform(arguments))
+        return Atom(self.target_relation, arguments)
+
+
+@dataclass
+class InformationLink:
+    """A directed information channel between two component interfaces."""
+
+    name: str
+    source_component: str
+    target_component: str
+    mappings: Sequence[LinkMapping] = field(default_factory=tuple)
+    #: When True (default) the link carries both TRUE and FALSE atoms;
+    #: when False only TRUE atoms cross.
+    carry_negative: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CompositionError("link name must be non-empty")
+        if self.source_component == self.target_component:
+            raise CompositionError(
+                f"link {self.name!r} connects component "
+                f"{self.source_component!r} to itself"
+            )
+
+    def transfer(self, source: InformationState, target: InformationState) -> int:
+        """Move matching atoms from ``source`` to ``target``; returns change count."""
+        changes = 0
+        for atom in list(source):
+            value = source.value_of(atom)
+            if value is TruthValue.UNKNOWN:
+                continue
+            if value is TruthValue.FALSE and not self.carry_negative:
+                continue
+            if not self.mappings:
+                if target.assert_atom(atom, value):
+                    changes += 1
+                continue
+            for mapping in self.mappings:
+                mapped = mapping.apply(atom)
+                if mapped is not None and target.assert_atom(mapped, value):
+                    changes += 1
+        return changes

@@ -1,0 +1,117 @@
+"""Task control knowledge: the dynamic view of a process composition.
+
+Task control determines *which* sub-components of a composed component are
+activated and *in which order* (Section 4.1.2: "a specification of task
+control knowledge used to control processes and information exchange").
+
+We support two regimes that cover all the compositions needed for the paper's
+agents:
+
+* a default *activation order* — every child is eligible every cycle, in a
+  declared order (or declaration order when none is given), and
+* conditional :class:`TaskControlRule`\\ s that make a component eligible only
+  when a predicate over the composition holds (e.g. "activate *evaluate
+  negotiation process* only after negotiation has ended").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.desire.errors import CompositionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.desire.component import ComposedComponent
+
+
+@dataclass
+class TaskControlRule:
+    """Makes a component eligible for activation when a condition holds."""
+
+    component_name: str
+    condition: Callable[["ComposedComponent", int], bool]
+    description: str = ""
+
+    def applies(self, composition: "ComposedComponent", cycle: int) -> bool:
+        return bool(self.condition(composition, cycle))
+
+
+@dataclass
+class ActivationRecord:
+    """One activation of one child component, for traceability."""
+
+    component_name: str
+    cycle: int
+    changes: int
+
+
+class TaskControl:
+    """Task control knowledge attached to one composed component."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._order: Optional[list[str]] = None
+        self._rules: list[TaskControlRule] = []
+        self._excluded: set[str] = set()
+        self._history: list[ActivationRecord] = []
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_activation_order(self, order: Sequence[str]) -> None:
+        """Fix the order in which eligible children are activated."""
+        if len(set(order)) != len(order):
+            raise CompositionError(
+                f"activation order for {self.owner!r} contains duplicates: {list(order)}"
+            )
+        self._order = list(order)
+
+    def add_rule(self, rule: TaskControlRule) -> None:
+        """Add a conditional eligibility rule for one child."""
+        self._rules.append(rule)
+
+    def exclude(self, component_name: str) -> None:
+        """Permanently exclude a child from the default activation set.
+
+        Used for children that must only run when an explicit rule fires
+        (e.g. evaluation components that run after negotiation ends).
+        """
+        self._excluded.add(component_name)
+
+    def include(self, component_name: str) -> None:
+        """Undo a previous :meth:`exclude`."""
+        self._excluded.discard(component_name)
+
+    # -- queries ---------------------------------------------------------------
+
+    def eligible_components(self, composition: "ComposedComponent", cycle: int) -> list[str]:
+        """Names of children to activate this cycle, in activation order."""
+        names = self._order if self._order is not None else composition.child_names
+        unknown = [n for n in names if n not in composition.child_names]
+        if unknown:
+            raise CompositionError(
+                f"task control of {self.owner!r} refers to unknown components {unknown}"
+            )
+        eligible = []
+        for name in names:
+            if name in self._excluded:
+                rules = [r for r in self._rules if r.component_name == name]
+                if rules and any(r.applies(composition, cycle) for r in rules):
+                    eligible.append(name)
+                continue
+            blocking = [r for r in self._rules if r.component_name == name]
+            if blocking and not any(r.applies(composition, cycle) for r in blocking):
+                continue
+            eligible.append(name)
+        return eligible
+
+    def record_activation(self, component_name: str, cycle: int, changes: int) -> None:
+        self._history.append(ActivationRecord(component_name, cycle, changes))
+
+    @property
+    def history(self) -> list[ActivationRecord]:
+        return list(self._history)
+
+    def activations_of(self, component_name: str) -> int:
+        """How often one child has been activated under this control."""
+        return sum(1 for record in self._history if record.component_name == component_name)

@@ -1,0 +1,115 @@
+"""Execution traces of DESIRE component hierarchies.
+
+The companion paper (ref [2]) verifies the multi-agent system against
+behavioural properties using execution traces.  We record traces in the same
+spirit: a linear sequence of :class:`TraceEvent` objects (activations,
+interface changes, link transfers) that tests and analysis code can query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+
+class TraceEventKind(Enum):
+    """Classification of trace events."""
+
+    ACTIVATION = "activation"
+    INPUT_CHANGE = "input_change"
+    OUTPUT_CHANGE = "output_change"
+    LINK_TRANSFER = "link_transfer"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded step of an execution."""
+
+    kind: TraceEventKind
+    component: str
+    detail: str = ""
+    cycle: Optional[int] = None
+    changes: int = 0
+
+
+class ExecutionTrace:
+    """Append-only record of an execution of a component hierarchy."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def record_activation(self, component: str, cycle: Optional[int] = None, changes: int = 0) -> None:
+        self.record(TraceEvent(TraceEventKind.ACTIVATION, component, cycle=cycle, changes=changes))
+
+    def record_note(self, component: str, detail: str) -> None:
+        self.record(TraceEvent(TraceEventKind.NOTE, component, detail=detail))
+
+    def record_output_change(self, component: str, detail: str, changes: int = 1) -> None:
+        self.record(TraceEvent(TraceEventKind.OUTPUT_CHANGE, component, detail=detail, changes=changes))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def events_of(self, component: str) -> list[TraceEvent]:
+        """Every event concerning one component."""
+        return [event for event in self._events if event.component == component]
+
+    def activations(self, component: Optional[str] = None) -> list[TraceEvent]:
+        """Activation events, optionally restricted to one component."""
+        return [
+            event
+            for event in self._events
+            if event.kind is TraceEventKind.ACTIVATION
+            and (component is None or event.component == component)
+        ]
+
+    def activation_count(self, component: str) -> int:
+        return len(self.activations(component))
+
+    def components_seen(self) -> list[str]:
+        """Distinct component names in first-appearance order."""
+        seen: list[str] = []
+        for event in self._events:
+            if event.component not in seen:
+                seen.append(event.component)
+        return seen
+
+    def merge(self, others: Iterable["ExecutionTrace"]) -> "ExecutionTrace":
+        """A new trace concatenating this one with others (in order)."""
+        merged = ExecutionTrace(f"{self.name}+merged")
+        merged._events = list(self._events)
+        for other in others:
+            merged._events.extend(other._events)
+        return merged
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering (for debugging and reports)."""
+        lines = []
+        events = self._events if limit is None else self._events[:limit]
+        for index, event in enumerate(events):
+            cycle = f" cycle={event.cycle}" if event.cycle is not None else ""
+            detail = f" {event.detail}" if event.detail else ""
+            lines.append(
+                f"[{index:4d}] {event.kind.value:<14} {event.component}{cycle}"
+                f" changes={event.changes}{detail}"
+            )
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Experiment harness: one module per reproduced figure / evaluation question.
+
+Each experiment module exposes a ``run_*`` function returning a structured
+result object (with ``rows()`` for tabular output and ``render()`` for a
+plain-text report) so that the corresponding benchmark in ``benchmarks/`` and
+the examples can share the same code path.  The mapping between experiments,
+paper artefacts and modules is documented in ``DESIGN.md`` (Section 4) and the
+measured-versus-paper values are recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentInfo, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentInfo", "get_experiment"]

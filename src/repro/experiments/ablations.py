@@ -1,0 +1,187 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+The paper's Figures 3 and 5 make several strategy slots explicit without
+fixing them: the Utility Agent's *bid acceptance strategy*, its *announcement
+determination* method, and the Customer Agent's *bid selection* policy.  The
+prototype picks one option for each; these ablations quantify what the other
+options would have changed on the same populations.
+
+* **A1 — bid acceptance**: accept-all (the prototype) vs. selective
+  acceptance (accept only enough bids to cover the overuse).
+* **A2 — customer bidding policy**: highest-acceptable-cut-down (the
+  prototype, Figures 8/9) vs. expected-gain maximisation.
+* **A3 — announcement determination**: generate-and-select vs. statistical
+  optimisation of the opening reward table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import RewardTable
+from repro.negotiation.strategy import (
+    AcceptAllBids,
+    ConstantBeta,
+    ExpectedGainBidding,
+    GenerateAndSelectAnnouncements,
+    HighestAcceptableCutdownBidding,
+    SelectiveBidAcceptance,
+    StatisticalAnnouncementOptimisation,
+)
+
+
+@dataclass
+class AblationEntry:
+    """One variant of one ablation."""
+
+    ablation: str
+    variant: str
+    result: NegotiationResult
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "ablation": self.ablation,
+            "variant": self.variant,
+            "rounds": self.result.rounds,
+            "final_overuse": self.result.final_overuse,
+            "peak_reduction_fraction": self.result.peak_reduction_fraction,
+            "total_reward_paid": self.result.total_reward_paid,
+            "participation": self.result.participation_rate,
+            "customer_surplus": self.result.total_customer_surplus,
+        }
+
+
+@dataclass
+class AblationResult:
+    """All ablation runs."""
+
+    entries: list[AblationEntry]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [entry.as_row() for entry in self.entries]
+
+    def entry(self, ablation: str, variant: str) -> AblationEntry:
+        for candidate in self.entries:
+            if candidate.ablation == ablation and candidate.variant == variant:
+                return candidate
+        raise KeyError(f"no ablation entry for {ablation!r}/{variant!r}")
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="Ablations — strategy-slot variants")
+
+
+def _paper_scenario_with_method(method: RewardTablesMethod) -> Scenario:
+    base = paper_prototype_scenario()
+    return Scenario(
+        name=f"ablation_{method.name}",
+        population=base.population,
+        method=method,
+        description=base.description,
+    )
+
+
+def _flexible_paper_population():
+    """The prototype population made uniformly flexible.
+
+    With every customer at requirement scale 0.8 the very first announcement
+    already attracts more cut-down than the overuse requires, which is the
+    situation in which the bid-acceptance strategy actually matters (under
+    the calibrated population every bid is needed, so accept-all and
+    selective acceptance coincide).
+    """
+    from repro.agents.population import CustomerPopulation
+    from repro.core.scenario import (
+        PAPER_NORMAL_USE,
+        PAPER_NUM_CUSTOMERS,
+        PAPER_PREDICTED_USE_PER_CUSTOMER,
+        paper_requirement_table,
+    )
+    from repro.runtime.clock import TimeInterval
+
+    return CustomerPopulation.calibrated(
+        predicted_uses=[PAPER_PREDICTED_USE_PER_CUSTOMER] * PAPER_NUM_CUSTOMERS,
+        requirements=[paper_requirement_table(0.8)] * PAPER_NUM_CUSTOMERS,
+        normal_use=PAPER_NORMAL_USE,
+        interval=TimeInterval.from_hours(17, 20),
+        max_allowed_overuse=15.0,
+    )
+
+
+def run_acceptance_ablation(seed: int = 0) -> list[AblationEntry]:
+    """A1: accept-all vs. selective bid acceptance on a flexible population."""
+    entries = []
+    base = paper_prototype_scenario()
+    for variant, policy in (
+        ("accept_all", AcceptAllBids()),
+        ("selective", SelectiveBidAcceptance(safety_margin=0.05)),
+    ):
+        method = RewardTablesMethod(
+            max_reward=30.0,
+            beta_controller=ConstantBeta(2.0),
+            initial_table=RewardTable(dict(base.method.initial_table.entries)),
+            acceptance_policy=policy,
+        )
+        scenario = Scenario(
+            name=f"ablation_acceptance_{variant}",
+            population=_flexible_paper_population(),
+            method=method,
+            description="Flexible prototype population for the acceptance ablation",
+        )
+        result = NegotiationSession(scenario, seed=seed).run()
+        entries.append(AblationEntry("bid_acceptance", variant, result))
+    return entries
+
+
+def run_bidding_policy_ablation(num_households: int = 25, seed: int = 0) -> list[AblationEntry]:
+    """A2: highest-acceptable vs. expected-gain customer bidding on a synthetic town."""
+    entries = []
+    for variant, policy in (
+        ("highest_acceptable", HighestAcceptableCutdownBidding()),
+        ("expected_gain", ExpectedGainBidding()),
+    ):
+        method = RewardTablesMethod(
+            max_reward=60.0,
+            beta_controller=ConstantBeta(2.0),
+            bidding_policy=policy,
+            reward_epsilon=0.3,
+        )
+        scenario = synthetic_scenario(num_households=num_households, seed=seed, method=method)
+        result = NegotiationSession(scenario, seed=seed).run()
+        entries.append(AblationEntry("bidding_policy", variant, result))
+    return entries
+
+
+def run_announcement_policy_ablation(
+    num_households: int = 25, seed: int = 0
+) -> list[AblationEntry]:
+    """A3: generate-and-select vs. statistical optimisation of the opening table."""
+    entries = []
+    for variant, policy in (
+        ("generate_and_select", GenerateAndSelectAnnouncements()),
+        ("statistical_optimisation", StatisticalAnnouncementOptimisation()),
+    ):
+        method = RewardTablesMethod(
+            max_reward=60.0,
+            beta_controller=ConstantBeta(2.0),
+            announcement_policy=policy,
+            reward_epsilon=0.3,
+        )
+        scenario = synthetic_scenario(num_households=num_households, seed=seed, method=method)
+        result = NegotiationSession(scenario, seed=seed).run()
+        entries.append(AblationEntry("announcement_policy", variant, result))
+    return entries
+
+
+def run_ablations(num_households: int = 25, seed: int = 0) -> AblationResult:
+    """Run all three ablations and collect the comparison table."""
+    entries: list[AblationEntry] = []
+    entries.extend(run_acceptance_ablation(seed=seed))
+    entries.extend(run_bidding_policy_ablation(num_households=num_households, seed=seed))
+    entries.extend(run_announcement_policy_ablation(num_households=num_households, seed=seed))
+    return AblationResult(entries=entries)

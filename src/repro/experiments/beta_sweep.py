@@ -1,0 +1,103 @@
+"""Experiment E7 — the effect of β, and dynamic β (Section 7 future work).
+
+The prototype keeps β constant; the paper explicitly asks what happens when β
+is varied and whether adapting it "on the basis of experience" helps.  This
+experiment sweeps constant β values over the calibrated prototype scenario and
+adds the adaptive controller, reporting rounds to convergence, the total
+reward expenditure and the final overuse for each setting — the speed/cost
+trade-off β governs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import paper_prototype_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.strategy import AdaptiveBeta, BetaController, ConstantBeta
+
+
+@dataclass
+class BetaSweepEntry:
+    """Result of one β configuration."""
+
+    label: str
+    beta: Optional[float]
+    result: NegotiationResult
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "beta": self.label,
+            "rounds": self.result.rounds,
+            "final_overuse": self.result.final_overuse,
+            "peak_reduction_fraction": self.result.peak_reduction_fraction,
+            "total_reward_paid": self.result.total_reward_paid,
+            "termination": self.result.termination_reason.value,
+        }
+
+
+@dataclass
+class BetaSweepResult:
+    """The full sweep."""
+
+    entries: list[BetaSweepEntry]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [entry.as_row() for entry in self.entries]
+
+    def entry(self, label: str) -> BetaSweepEntry:
+        for entry in self.entries:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no sweep entry labelled {label!r}")
+
+    def constant_entries(self) -> list[BetaSweepEntry]:
+        return [e for e in self.entries if e.beta is not None]
+
+    def successful_entries(self) -> list[BetaSweepEntry]:
+        """Constant-β entries that actually reached the overuse target.
+
+        A very small β can terminate early with ``reward_saturated`` (its
+        per-round increments fall below the ε=1 threshold before the peak is
+        solved); those runs are excluded from speed comparisons.
+        """
+        from repro.negotiation.termination import TerminationReason
+
+        return [
+            e
+            for e in self.constant_entries()
+            if e.result.termination_reason is TerminationReason.OVERUSE_ACCEPTABLE
+        ]
+
+    def rounds_nonincreasing_in_beta(self) -> bool:
+        """Among successful runs, higher β never needs *more* rounds to converge."""
+        ordered = sorted(self.successful_entries(), key=lambda e: e.beta)
+        rounds = [e.result.rounds for e in ordered]
+        return all(b <= a for a, b in zip(rounds, rounds[1:]))
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E7 — beta sweep (speed vs reward cost)")
+
+
+def run_beta_sweep(
+    betas: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0),
+    include_adaptive: bool = True,
+    seed: int = 0,
+) -> BetaSweepResult:
+    """Sweep constant β values (plus the adaptive controller) on the prototype scenario."""
+    if not betas:
+        raise ValueError("need at least one beta value")
+    entries: list[BetaSweepEntry] = []
+    for beta in betas:
+        scenario = paper_prototype_scenario(beta=beta)
+        result = NegotiationSession(scenario, seed=seed).run()
+        entries.append(BetaSweepEntry(label=f"{beta:.2f}", beta=beta, result=result))
+    if include_adaptive:
+        controller: BetaController = AdaptiveBeta(initial_beta=1.0)
+        scenario = paper_prototype_scenario(beta_controller=controller)
+        result = NegotiationSession(scenario, seed=seed).run()
+        entries.append(BetaSweepEntry(label="adaptive", beta=None, result=result))
+    return BetaSweepResult(entries=entries)

@@ -1,0 +1,138 @@
+"""Experiments E2/E3 — Figures 6 and 7: the Utility Agent across rounds.
+
+Figure 6 shows the Utility Agent at the start of the prototype negotiation:
+normal capacity 100, predicted usage 135 (overuse 35), and the round-1 reward
+table offering, e.g., a reward of 17 for a cut-down of 0.4.  Figure 7 shows
+the third (final) round: the predicted overuse has fallen to 13 and the
+announced reward for a cut-down of 0.4 has risen to 24.8.
+
+This experiment runs the calibrated prototype scenario end to end through the
+multi-agent session and reports exactly those quantities per round, together
+with the paper's reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.plotting import ascii_trajectories
+from repro.analysis.reporting import format_key_values, format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import paper_prototype_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.messages import RewardTableAnnouncement
+
+#: The quantities the paper reports in Figures 6 and 7.
+PAPER_REFERENCE = {
+    "normal_capacity": 100.0,
+    "initial_predicted_usage": 135.0,
+    "initial_overuse": 35.0,
+    "round1_reward_at_0.4": 17.0,
+    "round3_reward_at_0.4": 24.8,
+    "final_overuse": 13.0,
+    "rounds": 3,
+}
+
+
+@dataclass
+class UtilityRoundsResult:
+    """Per-round Utility Agent view of the calibrated prototype run."""
+
+    result: NegotiationResult
+
+    # -- per-round data ---------------------------------------------------------
+
+    def rows(self) -> list[dict[str, float]]:
+        """One row per negotiation round (paper rounds are 1-based)."""
+        rows = []
+        for record in self.result.record.rounds:
+            announcement = record.announcement
+            reward_04 = None
+            if isinstance(announcement, RewardTableAnnouncement):
+                reward_04 = announcement.table.reward_for(0.4)
+            rows.append(
+                {
+                    "round": record.round_number + 1,
+                    "predicted_overuse_before": record.predicted_overuse_before,
+                    "predicted_overuse_after": record.predicted_overuse_after,
+                    "reward_at_0.4": reward_04 if reward_04 is not None else 0.0,
+                    "participation": record.participation,
+                }
+            )
+        return rows
+
+    def reward_table_rows(self, round_index: int) -> list[dict[str, float]]:
+        """The full announced reward table of one round (0-based index)."""
+        record = self.result.record.rounds[round_index]
+        announcement = record.announcement
+        if not isinstance(announcement, RewardTableAnnouncement):
+            raise TypeError("the prototype scenario announces reward tables")
+        return announcement.table.as_rows()
+
+    # -- paper comparison ------------------------------------------------------------
+
+    def measured(self) -> dict[str, float]:
+        """The measured counterparts of the paper's Figure 6/7 values."""
+        rewards_04 = self.result.reward_trajectory(0.4)
+        return {
+            "normal_capacity": self.result.record.normal_use,
+            "initial_predicted_usage": self.result.record.normal_use
+            + self.result.initial_overuse,
+            "initial_overuse": self.result.initial_overuse,
+            "round1_reward_at_0.4": rewards_04[0] if rewards_04 else 0.0,
+            "round3_reward_at_0.4": rewards_04[2] if len(rewards_04) >= 3 else (
+                rewards_04[-1] if rewards_04 else 0.0
+            ),
+            "final_overuse": self.result.final_overuse,
+            "rounds": self.result.rounds,
+        }
+
+    def comparison_rows(self) -> list[dict[str, object]]:
+        measured = self.measured()
+        rows = []
+        for key, paper_value in PAPER_REFERENCE.items():
+            measured_value = measured[key]
+            rows.append(
+                {
+                    "quantity": key,
+                    "paper": paper_value,
+                    "measured": measured_value,
+                    "relative_error": (
+                        abs(measured_value - paper_value) / paper_value
+                        if paper_value
+                        else 0.0
+                    ),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        rounds_table = format_table(self.rows(), title="Figure 6/7 — Utility Agent per round")
+        comparison = format_table(
+            self.comparison_rows(), title="Paper vs measured (Figures 6 and 7)"
+        )
+        trajectories = ascii_trajectories(
+            {
+                "overuse": self.result.overuse_trajectory(),
+                "reward@0.4": self.result.reward_trajectory(0.4),
+            },
+            title="Trajectories",
+        )
+        first_table = format_table(
+            self.reward_table_rows(0), title="Round 1 announced reward table (Figure 6)"
+        )
+        last_table = format_table(
+            self.reward_table_rows(self.result.rounds - 1),
+            title="Final round announced reward table (Figure 7)",
+        )
+        return "\n\n".join([rounds_table, comparison, trajectories, first_table, last_table])
+
+
+def run_utility_rounds(
+    beta: Optional[float] = None, seed: int = 0
+) -> UtilityRoundsResult:
+    """Run the calibrated prototype scenario and collect the Figure 6/7 view."""
+    scenario = paper_prototype_scenario(beta=beta)
+    result = NegotiationSession(scenario, seed=seed).run()
+    return UtilityRoundsResult(result=result)

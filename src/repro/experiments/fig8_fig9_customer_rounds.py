@@ -1,0 +1,125 @@
+"""Experiment E4 — Figures 8 and 9: the Customer Agent across rounds.
+
+Figures 8 and 9 show one Customer Agent's view of the prototype negotiation:
+its private cut-down-reward table (at least 10 for a cut-down of 0.3, at
+least 21 for 0.4, ...), and its choices — the highest acceptable cut-down —
+per round: 0.2 in the first round, 0.4 in the second and third rounds.
+
+This experiment runs the same calibrated prototype scenario as E2/E3 and
+reports the Figure-8 customer's requirement table, the per-round acceptable
+cut-down sets and the chosen bids, against the paper's reference behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_key_values, format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import paper_prototype_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.messages import RewardTableAnnouncement
+from repro.negotiation.reward_table import CutdownRewardRequirements
+
+#: The customer shown in Figures 8 and 9 is customer ``c000`` of the
+#: calibrated population (requirement scale 1.0).
+FIGURE_CUSTOMER = "c000"
+
+#: Reference behaviour reported in the paper.
+PAPER_REFERENCE = {
+    "required_reward_at_0.3": 10.0,
+    "required_reward_at_0.4": 21.0,
+    "round1_bid": 0.2,
+    "round2_bid": 0.4,
+    "round3_bid": 0.4,
+}
+
+
+@dataclass
+class CustomerRoundsResult:
+    """The Figure 8/9 customer's view of the prototype negotiation."""
+
+    result: NegotiationResult
+    requirements: CutdownRewardRequirements
+
+    def requirement_rows(self) -> list[dict[str, float]]:
+        """The customer's private cut-down-reward table (Figure 8, upper part)."""
+        return [
+            {"cutdown": cutdown, "required_reward": self.requirements.requirements[cutdown]}
+            for cutdown in self.requirements.cutdowns()
+        ]
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per round: offered reward at key cut-downs, acceptable set, chosen bid."""
+        bids = self.result.customer_bid_trajectory(FIGURE_CUSTOMER)
+        rows = []
+        for index, record in enumerate(self.result.record.rounds):
+            announcement = record.announcement
+            if not isinstance(announcement, RewardTableAnnouncement):
+                continue
+            table = announcement.table
+            acceptable = self.requirements.acceptable_cutdowns(table)
+            rows.append(
+                {
+                    "round": index + 1,
+                    "offered_at_0.3": table.reward_for(0.3),
+                    "offered_at_0.4": table.reward_for(0.4),
+                    "highest_acceptable": max(acceptable) if acceptable else 0.0,
+                    "chosen_bid": bids[index] if index < len(bids) else 0.0,
+                }
+            )
+        return rows
+
+    def measured(self) -> dict[str, float]:
+        bids = self.result.customer_bid_trajectory(FIGURE_CUSTOMER)
+        measured = {
+            "required_reward_at_0.3": self.requirements.required_reward_for(0.3),
+            "required_reward_at_0.4": self.requirements.required_reward_for(0.4),
+            "round1_bid": bids[0] if len(bids) > 0 else 0.0,
+            "round2_bid": bids[1] if len(bids) > 1 else 0.0,
+            "round3_bid": bids[2] if len(bids) > 2 else (bids[-1] if bids else 0.0),
+        }
+        return measured
+
+    def comparison_rows(self) -> list[dict[str, object]]:
+        measured = self.measured()
+        return [
+            {
+                "quantity": key,
+                "paper": paper_value,
+                "measured": measured[key],
+                "match": abs(measured[key] - paper_value) < 1e-9,
+            }
+            for key, paper_value in PAPER_REFERENCE.items()
+        ]
+
+    def outcome_summary(self) -> dict[str, float]:
+        outcome = self.result.customer_outcomes[FIGURE_CUSTOMER]
+        return {
+            "final_bid_cutdown": outcome.final_bid_cutdown,
+            "awarded": float(outcome.awarded),
+            "committed_cutdown": outcome.committed_cutdown,
+            "reward": outcome.reward,
+            "surplus": outcome.surplus,
+        }
+
+    def render(self) -> str:
+        requirement_table = format_table(
+            self.requirement_rows(), title="Figure 8 — customer requirement table"
+        )
+        rounds_table = format_table(
+            self.rows(), title="Figure 8/9 — customer per round"
+        )
+        comparison = format_table(
+            self.comparison_rows(), title="Paper vs measured (Figures 8 and 9)"
+        )
+        outcome = format_key_values(self.outcome_summary())
+        return "\n\n".join([requirement_table, rounds_table, comparison, outcome])
+
+
+def run_customer_rounds(seed: int = 0) -> CustomerRoundsResult:
+    """Run the calibrated prototype scenario and collect the Figure 8/9 view."""
+    scenario = paper_prototype_scenario()
+    requirements = scenario.population.spec(FIGURE_CUSTOMER).requirements
+    result = NegotiationSession(scenario, seed=seed).run()
+    return CustomerRoundsResult(result=result, requirements=requirements)

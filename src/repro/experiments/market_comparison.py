@@ -1,0 +1,95 @@
+"""Experiment E8 — negotiation versus the computational-market baseline.
+
+Section 7 names computational markets (Ygge & Akkermans) as an alternative
+mechanism being explored for the same problem.  This experiment runs the
+reward-table negotiation and the equilibrium market on the *same* customer
+population (same predicted uses, same private requirement tables) and
+compares: how much of the needed reduction each mechanism achieves, how much
+the utility pays, how many rounds / price iterations it takes, and how much
+surplus customers end up with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.market.equilibrium import EquilibriumMarket, MarketOutcome
+
+
+@dataclass
+class MarketComparisonResult:
+    """Negotiation and market outcomes on the same population."""
+
+    negotiation: NegotiationResult
+    market: MarketOutcome
+    needed_reduction: float
+
+    def negotiation_reduction(self) -> float:
+        """Overuse removed by the negotiation (absolute units)."""
+        return max(0.0, self.negotiation.overuse_reduction)
+
+    def rows(self) -> list[dict[str, object]]:
+        negotiation_reduction = self.negotiation_reduction()
+        return [
+            {
+                "mechanism": "reward_table_negotiation",
+                "reduction_achieved": negotiation_reduction,
+                "needed_reduction": self.needed_reduction,
+                "fraction_of_needed": (
+                    min(1.0, negotiation_reduction / self.needed_reduction)
+                    if self.needed_reduction > 0
+                    else 1.0
+                ),
+                "utility_payment": self.negotiation.total_reward_paid,
+                "rounds_or_iterations": self.negotiation.rounds,
+                "customer_surplus": self.negotiation.total_customer_surplus,
+            },
+            {
+                "mechanism": "equilibrium_market",
+                "reduction_achieved": self.market.total_reduction,
+                "needed_reduction": self.needed_reduction,
+                "fraction_of_needed": self.market.reduction_achieved_fraction,
+                "utility_payment": self.market.total_payment,
+                "rounds_or_iterations": self.market.iterations,
+                "customer_surplus": self.market.total_customer_surplus,
+            },
+        ]
+
+    def both_remove_needed_reduction(self, tolerance: float = 0.05) -> bool:
+        """Whether both mechanisms deliver (almost) the needed reduction."""
+        if self.needed_reduction <= 0:
+            return True
+        rows = self.rows()
+        return all(row["fraction_of_needed"] >= 1.0 - tolerance for row in rows)
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E8 — negotiation vs computational market")
+
+
+def run_market_comparison(
+    use_paper_scenario: bool = True,
+    num_households: int = 40,
+    seed: int = 0,
+    reservation_price: Optional[float] = None,
+) -> MarketComparisonResult:
+    """Run both mechanisms on the same population and collect the comparison."""
+    scenario: Scenario
+    if use_paper_scenario:
+        scenario = paper_prototype_scenario()
+    else:
+        scenario = synthetic_scenario(num_households=num_households, seed=seed)
+    negotiation = NegotiationSession(scenario, seed=seed).run()
+    market = EquilibriumMarket.from_population(
+        scenario.population, reservation_price=reservation_price
+    ).clear()
+    needed = max(
+        0.0, scenario.population.initial_overuse - scenario.population.max_allowed_overuse
+    )
+    return MarketComparisonResult(
+        negotiation=negotiation, market=market, needed_reduction=needed
+    )

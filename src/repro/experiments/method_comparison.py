@@ -1,0 +1,96 @@
+"""Experiment E6 — comparing the three announcement methods (Section 3.2.4).
+
+The paper argues that none of the three methods dominates: the offer method
+is fast but gives customers no influence; the request-for-bids method gives
+customers influence but takes many rounds; the reward-table method sits in
+between.  This experiment runs all three mechanisms on the same synthetic
+population and compares rounds, messages, peak reduction, money spent by the
+utility and customer surplus — making the qualitative trade-off of Section
+3.2.4 quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import MethodMetrics, summarise_results
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import Scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.methods.base import NegotiationMethod
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.strategy import ConstantBeta
+
+
+@dataclass
+class MethodComparisonResult:
+    """Per-method results and aggregate metrics on a common population."""
+
+    results: dict[str, list[NegotiationResult]]
+
+    def metrics(self) -> list[MethodMetrics]:
+        return [summarise_results(runs) for runs in self.results.values()]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [metric.as_dict() for metric in self.metrics()]
+
+    def method_metric(self, method: str) -> MethodMetrics:
+        if method not in self.results:
+            raise KeyError(f"no results for method {method!r}")
+        return summarise_results(self.results[method])
+
+    def fastest_method(self) -> str:
+        """Method with the fewest rounds (the offer method, per the paper)."""
+        return min(self.metrics(), key=lambda m: m.mean_rounds).method
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E6 — announcement-method comparison")
+
+
+def _build_methods(
+    max_reward: float, beta: float, x_max: float, step_fraction: float
+) -> dict[str, NegotiationMethod]:
+    return {
+        "offer": OfferMethod(x_max=x_max),
+        "request_for_bids": RequestForBidsMethod(step_fraction=step_fraction),
+        "reward_tables": RewardTablesMethod(
+            max_reward=max_reward, beta_controller=ConstantBeta(beta)
+        ),
+    }
+
+
+def run_method_comparison(
+    num_households: int = 40,
+    seeds: Sequence[int] = (0, 1, 2),
+    max_reward: float = 60.0,
+    beta: float = 2.0,
+    x_max: float = 0.8,
+    step_fraction: float = 0.1,
+) -> MethodComparisonResult:
+    """Run all three methods on the same populations (one per seed)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: dict[str, list[NegotiationResult]] = {
+        "offer": [],
+        "request_for_bids": [],
+        "reward_tables": [],
+    }
+    for seed in seeds:
+        methods = _build_methods(max_reward, beta, x_max, step_fraction)
+        for method_name, method in methods.items():
+            base = synthetic_scenario(
+                num_households=num_households, seed=seed, method=method
+            )
+            scenario = Scenario(
+                name=f"method_comparison_{method_name}_{seed}",
+                population=base.population,
+                method=method,
+                weather=base.weather,
+            )
+            result = NegotiationSession(scenario, seed=seed).run()
+            results[method_name].append(result)
+    return MethodComparisonResult(results=results)

@@ -1,0 +1,146 @@
+"""Experiment E10 — convergence of the monotonic concession protocol.
+
+"The strength of this protocol is that the negotiation process always
+converges" (Section 3.1).  This experiment measures that claim empirically
+over randomised populations: every run must terminate within the round
+budget, announced rewards must never decrease, customers' bids must never
+retreat, and the predicted overuse trajectory must be non-increasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.agents.population import CustomerPopulation
+from repro.analysis.convergence import (
+    analyse_convergence,
+    bid_trajectory_is_monotone,
+    reward_trajectory_is_monotone,
+)
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import Scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import CutdownRewardRequirements
+from repro.negotiation.strategy import ConstantBeta
+from repro.negotiation.termination import TerminationReason
+from repro.runtime.rng import RandomSource
+
+
+@dataclass
+class ConvergenceRun:
+    """One randomised population's negotiation, with the protocol checks."""
+
+    seed: int
+    num_customers: int
+    result: NegotiationResult
+    rewards_monotone: bool
+    bids_monotone: bool
+    overuse_monotone: bool
+
+    @property
+    def converged(self) -> bool:
+        return self.result.termination_reason is not TerminationReason.NOT_TERMINATED
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "num_customers": self.num_customers,
+            "rounds": self.result.rounds,
+            "final_overuse": self.result.final_overuse,
+            "converged": self.converged,
+            "rewards_monotone": self.rewards_monotone,
+            "bids_monotone": self.bids_monotone,
+            "overuse_monotone": self.overuse_monotone,
+            "termination": self.result.termination_reason.value,
+        }
+
+
+@dataclass
+class ProtocolConvergenceResult:
+    """All randomised runs."""
+
+    runs: list[ConvergenceRun]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [run.as_row() for run in self.runs]
+
+    def all_converged(self) -> bool:
+        return all(run.converged for run in self.runs)
+
+    def all_monotone(self) -> bool:
+        return all(
+            run.rewards_monotone and run.bids_monotone and run.overuse_monotone
+            for run in self.runs
+        )
+
+    def max_rounds_observed(self) -> int:
+        return max(run.result.rounds for run in self.runs)
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E10 — monotonic concession convergence")
+
+
+def _random_population(seed: int, random: RandomSource) -> CustomerPopulation:
+    """A randomised calibrated population with a guaranteed initial peak."""
+    num_customers = random.integer(10, 40)
+    predicted = [max(1.0, random.normal(6.0, 2.0)) for __ in range(num_customers)]
+    total = sum(predicted)
+    # Normal capacity between 60% and 90% of the predicted total: a real peak.
+    normal_use = total * random.uniform(0.6, 0.9)
+    requirements = []
+    base = CutdownRewardRequirements.paper_figure_8_customer()
+    for __ in range(num_customers):
+        scale = max(0.3, random.lognormal(0.3, 0.5))
+        requirements.append(
+            CutdownRewardRequirements(
+                requirements={c: r * scale for c, r in base.requirements.items()},
+                max_feasible_cutdown=random.choice([0.5, 0.6, 0.7, 0.8]),
+            )
+        )
+    return CustomerPopulation.calibrated(
+        predicted_uses=predicted,
+        requirements=requirements,
+        normal_use=normal_use,
+        max_allowed_overuse=0.05 * normal_use,
+    )
+
+
+def run_protocol_convergence(
+    seeds: Sequence[int] = tuple(range(10)),
+    beta: float = 2.0,
+    max_reward: float = 40.0,
+) -> ProtocolConvergenceResult:
+    """Run randomised reward-table negotiations and check the protocol properties."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = []
+    for seed in seeds:
+        random = RandomSource(seed, "protocol_convergence")
+        population = _random_population(seed, random)
+        method = RewardTablesMethod(
+            max_reward=max_reward, beta_controller=ConstantBeta(beta)
+        )
+        scenario = Scenario(
+            name=f"protocol_convergence_{seed}", population=population, method=method
+        )
+        result = NegotiationSession(scenario, seed=seed).run()
+        rewards_monotone = reward_trajectory_is_monotone(result.reward_trajectory(0.4))
+        bids_monotone = all(
+            bid_trajectory_is_monotone(result.customer_bid_trajectory(customer))
+            for customer in population.customer_ids
+        )
+        overuse_monotone = analyse_convergence(result).overuse_monotone_nonincreasing
+        runs.append(
+            ConvergenceRun(
+                seed=seed,
+                num_customers=len(population),
+                result=result,
+                rewards_monotone=rewards_monotone,
+                bids_monotone=bids_monotone,
+                overuse_monotone=overuse_monotone,
+            )
+        )
+    return ProtocolConvergenceResult(runs=runs)

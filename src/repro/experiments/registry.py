@@ -1,0 +1,104 @@
+"""Registry mapping experiment ids to runnable entry points.
+
+The ids follow the per-experiment index of ``DESIGN.md``; the benchmark files
+under ``benchmarks/`` and the examples resolve experiments through this
+registry so the mapping stays in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.beta_sweep import run_beta_sweep
+from repro.experiments.fig1_demand_curve import run_demand_curve
+from repro.experiments.fig6_fig7_utility_rounds import run_utility_rounds
+from repro.experiments.fig8_fig9_customer_rounds import run_customer_rounds
+from repro.experiments.market_comparison import run_market_comparison
+from repro.experiments.method_comparison import run_method_comparison
+from repro.experiments.protocol_convergence import run_protocol_convergence
+from repro.experiments.reward_update_dynamics import run_reward_dynamics
+from repro.experiments.scalability import run_scalability
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Metadata and entry point of one experiment."""
+
+    experiment_id: str
+    paper_artefact: str
+    description: str
+    runner: Callable[..., object]
+
+
+EXPERIMENTS: dict[str, ExperimentInfo] = {
+    "E1": ExperimentInfo(
+        experiment_id="E1",
+        paper_artefact="Figure 1",
+        description="Daily demand curve with an expensive-production peak",
+        runner=run_demand_curve,
+    ),
+    "E2": ExperimentInfo(
+        experiment_id="E2",
+        paper_artefact="Figure 6",
+        description="Utility Agent, round 1: overuse 35, reward 17 at cut-down 0.4",
+        runner=run_utility_rounds,
+    ),
+    "E3": ExperimentInfo(
+        experiment_id="E3",
+        paper_artefact="Figure 7",
+        description="Utility Agent, round 3: overuse ~13, reward ~24.8 at cut-down 0.4",
+        runner=run_utility_rounds,
+    ),
+    "E4": ExperimentInfo(
+        experiment_id="E4",
+        paper_artefact="Figures 8 and 9",
+        description="Customer Agent requirement table and per-round bids (0.2, 0.4, 0.4)",
+        runner=run_customer_rounds,
+    ),
+    "E5": ExperimentInfo(
+        experiment_id="E5",
+        paper_artefact="Section 6 formulae",
+        description="Logistic reward-escalation dynamics (monotone, bounded, saturating)",
+        runner=run_reward_dynamics,
+    ),
+    "E6": ExperimentInfo(
+        experiment_id="E6",
+        paper_artefact="Section 3.2.4",
+        description="Offer vs request-for-bids vs reward-tables on a common population",
+        runner=run_method_comparison,
+    ),
+    "E7": ExperimentInfo(
+        experiment_id="E7",
+        paper_artefact="Section 7 (dynamic beta)",
+        description="Constant-beta sweep plus the adaptive-beta controller",
+        runner=run_beta_sweep,
+    ),
+    "E8": ExperimentInfo(
+        experiment_id="E8",
+        paper_artefact="Section 7 / refs [1][12]",
+        description="Reward-table negotiation vs equilibrium computational market",
+        runner=run_market_comparison,
+    ),
+    "E9": ExperimentInfo(
+        experiment_id="E9",
+        paper_artefact="Section 5 (large numbers of Customer Agents)",
+        description="Scalability sweep over the population size",
+        runner=run_scalability,
+    ),
+    "E10": ExperimentInfo(
+        experiment_id="E10",
+        paper_artefact="Section 3.1",
+        description="Monotonic concession protocol always converges (randomised populations)",
+        runner=run_protocol_convergence,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentInfo:
+    """Look up one experiment by id (raises ``KeyError`` for unknown ids)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {known}") from None

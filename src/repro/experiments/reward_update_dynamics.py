@@ -1,0 +1,128 @@
+"""Experiment E5 — dynamics of the logistic reward-update rule (Section 6).
+
+The prototype escalates rewards with::
+
+    new_reward = reward + beta * overuse * (1 - reward / max_reward) * reward
+
+This experiment sweeps β, the overuse level and the starting reward and
+verifies/quantifies the properties the paper ascribes to the rule: rewards
+increase monotonically, never exceed ``max_reward``, rise faster when the
+overuse is higher, and the per-round increment shrinks as the reward
+approaches the maximum (which triggers the ``increment <= 1`` termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.negotiation.formulas import new_reward
+
+
+@dataclass
+class RewardTrajectory:
+    """One simulated escalation sequence at fixed β and overuse."""
+
+    beta: float
+    overuse: float
+    max_reward: float
+    initial_reward: float
+    rewards: list[float]
+
+    @property
+    def final_reward(self) -> float:
+        return self.rewards[-1]
+
+    @property
+    def rounds_to_saturation(self) -> int:
+        """Rounds until the increment drops to at most 1 (the prototype's stop)."""
+        for index in range(1, len(self.rewards)):
+            if self.rewards[index] - self.rewards[index - 1] <= 1.0:
+                return index
+        return len(self.rewards)
+
+    @property
+    def is_monotone(self) -> bool:
+        return all(b >= a for a, b in zip(self.rewards, self.rewards[1:]))
+
+    @property
+    def is_bounded(self) -> bool:
+        return all(r <= self.max_reward + 1e-9 for r in self.rewards)
+
+    @property
+    def increments(self) -> list[float]:
+        return [b - a for a, b in zip(self.rewards, self.rewards[1:])]
+
+
+@dataclass
+class RewardDynamicsResult:
+    """The full parameter sweep."""
+
+    trajectories: list[RewardTrajectory]
+
+    def rows(self) -> list[dict[str, float]]:
+        return [
+            {
+                "beta": t.beta,
+                "overuse": t.overuse,
+                "initial_reward": t.initial_reward,
+                "final_reward": t.final_reward,
+                "rounds_to_saturation": t.rounds_to_saturation,
+                "monotone": t.is_monotone,
+                "bounded": t.is_bounded,
+            }
+            for t in self.trajectories
+        ]
+
+    def all_monotone(self) -> bool:
+        return all(t.is_monotone for t in self.trajectories)
+
+    def all_bounded(self) -> bool:
+        return all(t.is_bounded for t in self.trajectories)
+
+    def saturation_speeds_up_with_beta(self) -> bool:
+        """Higher β (same overuse, start) should not converge more slowly."""
+        by_key: dict[tuple[float, float], list[RewardTrajectory]] = {}
+        for trajectory in self.trajectories:
+            by_key.setdefault((trajectory.overuse, trajectory.initial_reward), []).append(
+                trajectory
+            )
+        for group in by_key.values():
+            ordered = sorted(group, key=lambda t: t.beta)
+            finals = [t.final_reward for t in ordered]
+            if any(b < a - 1e-9 for a, b in zip(finals, finals[1:])):
+                return False
+        return True
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E5 — logistic reward-update dynamics")
+
+
+def run_reward_dynamics(
+    betas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    overuses: Sequence[float] = (0.1, 0.35, 0.6),
+    initial_rewards: Sequence[float] = (5.0, 17.0),
+    max_reward: float = 30.0,
+    rounds: int = 12,
+) -> RewardDynamicsResult:
+    """Sweep β × overuse × initial reward and record the escalation sequences."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    trajectories = []
+    for beta in betas:
+        for overuse in overuses:
+            for initial in initial_rewards:
+                rewards = [initial]
+                for __ in range(rounds):
+                    rewards.append(new_reward(rewards[-1], beta, overuse, max_reward))
+                trajectories.append(
+                    RewardTrajectory(
+                        beta=beta,
+                        overuse=overuse,
+                        max_reward=max_reward,
+                        initial_reward=initial,
+                        rewards=rewards,
+                    )
+                )
+    return RewardDynamicsResult(trajectories=trajectories)

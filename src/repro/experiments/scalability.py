@@ -1,0 +1,97 @@
+"""Experiment E9 — scalability in the number of Customer Agents.
+
+The paper's framing is explicitly about "a (large) number of Customer
+Agents", but the prototype only demonstrates a handful.  This experiment
+sweeps the population size and measures how the negotiation behaves as it
+grows: rounds to converge, messages exchanged, wall-clock time per run and
+the achieved peak reduction.  Message volume should grow linearly in the
+number of customers and rounds should stay roughly flat, which is the
+property that makes the announcement-based protocol usable at scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.results import NegotiationResult
+from repro.core.scenario import synthetic_scenario
+from repro.core.session import NegotiationSession
+
+
+@dataclass
+class ScalabilityEntry:
+    """One population size."""
+
+    num_households: int
+    result: NegotiationResult
+    wall_seconds: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "num_households": self.num_households,
+            "rounds": self.result.rounds,
+            "messages": self.result.messages_sent,
+            "messages_per_household": self.result.messages_sent / self.num_households,
+            "peak_reduction_fraction": self.result.peak_reduction_fraction,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class ScalabilityResult:
+    """The full population-size sweep."""
+
+    entries: list[ScalabilityEntry]
+
+    def rows(self) -> list[dict[str, float]]:
+        return [entry.as_row() for entry in self.entries]
+
+    def messages_scale_linearly(self, tolerance: float = 0.5) -> bool:
+        """Messages per household should stay within a band as size grows.
+
+        ``tolerance`` is the allowed relative deviation of the per-household
+        message count from the smallest population's value (rounds may differ
+        by one or two, so some slack is needed).
+        """
+        if len(self.entries) < 2:
+            return True
+        reference = self.entries[0].result.messages_sent / self.entries[0].num_households
+        for entry in self.entries[1:]:
+            per_household = entry.result.messages_sent / entry.num_households
+            if reference == 0:
+                return per_household == 0
+            if abs(per_household - reference) / reference > tolerance:
+                return False
+        return True
+
+    def rounds_bounded(self, maximum: int = 60) -> bool:
+        return all(entry.result.rounds <= maximum for entry in self.entries)
+
+    def render(self) -> str:
+        return format_table(self.rows(), title="E9 — scalability in the number of customers")
+
+
+def run_scalability(
+    sizes: Sequence[int] = (10, 25, 50, 100, 200),
+    seed: int = 0,
+    max_reward: float = 60.0,
+    beta: float = 2.0,
+) -> ScalabilityResult:
+    """Run the reward-table negotiation at increasing population sizes."""
+    if not sizes:
+        raise ValueError("need at least one population size")
+    entries = []
+    for size in sizes:
+        scenario = synthetic_scenario(
+            num_households=size, seed=seed, max_reward=max_reward, beta=beta
+        )
+        start = time.perf_counter()
+        result = NegotiationSession(scenario, seed=seed).run()
+        elapsed = time.perf_counter() - start
+        entries.append(
+            ScalabilityEntry(num_households=size, result=result, wall_seconds=elapsed)
+        )
+    return ScalabilityResult(entries=entries)

@@ -1,0 +1,63 @@
+"""Electricity-grid / demand-side substrate.
+
+The paper's domain (Section 2) is load management for domestic consumers: a
+utility serves a population of households whose aggregate demand exhibits a
+peak that is expensive to supply (Figure 1).  This package provides the
+synthetic equivalent of that domain:
+
+* :mod:`repro.grid.appliances` — appliance-level load models (heating, hot
+  water, white goods, lighting...), including whether a device's use can be
+  deferred or cut down.
+* :mod:`repro.grid.household` — households composed of appliances, with a
+  household size and comfort preferences.
+* :mod:`repro.grid.weather` — a simple synthetic weather model driving
+  heating demand (the Utility Agent "acquires information from the External
+  World, e.g. weather conditions").
+* :mod:`repro.grid.demand` — daily demand profiles per household and
+  aggregated over a population (reproduces Figure 1).
+* :mod:`repro.grid.load_profile` — the :class:`LoadProfile` value type shared
+  by the demand, prediction and production modules.
+* :mod:`repro.grid.prediction` — statistical consumption prediction used by
+  the Utility Agent ("predictions are calculated on the basis of statistical
+  models").
+* :mod:`repro.grid.production` — production capacity and cost (normal vs.
+  expensive peak production).
+* :mod:`repro.grid.pricing` — tariff structures (lower / normal / higher
+  prices) used by the offer and request-for-bids methods.
+"""
+
+from repro.grid.appliances import (
+    Appliance,
+    ApplianceCategory,
+    ApplianceLibrary,
+    standard_appliance_library,
+)
+from repro.grid.demand import DemandCurve, DemandModel, PopulationDemand
+from repro.grid.household import Household, HouseholdProfile
+from repro.grid.load_profile import LoadProfile
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.pricing import Tariff, TariffSchedule
+from repro.grid.production import ProductionModel, ProductionSegment
+from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
+
+__all__ = [
+    "Appliance",
+    "ApplianceCategory",
+    "ApplianceLibrary",
+    "ConsumptionPredictor",
+    "DemandCurve",
+    "DemandModel",
+    "Household",
+    "HouseholdProfile",
+    "LoadProfile",
+    "PopulationDemand",
+    "PredictionModel",
+    "ProductionModel",
+    "ProductionSegment",
+    "Tariff",
+    "TariffSchedule",
+    "WeatherCondition",
+    "WeatherModel",
+    "WeatherSample",
+    "standard_appliance_library",
+]

@@ -1,0 +1,176 @@
+"""Demand curves and population demand (reproduces Figure 1).
+
+Figure 1 of the paper shows a daily electricity demand curve with a peak that
+exceeds the level servable at normal production cost.  :class:`DemandModel`
+builds such curves from a household population and a weather sample;
+:class:`DemandCurve` carries the curve together with the normal-cost
+production level so the peak/overuse structure of Figure 1 can be rendered
+and measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.grid.household import Household
+from repro.grid.load_profile import LoadProfile
+from repro.grid.weather import WeatherSample
+from repro.runtime.clock import TimeInterval, TimeSlot
+from repro.runtime.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class DemandCurve:
+    """A demand profile together with the normal-production threshold.
+
+    This is exactly the content of Figure 1: demand over time, a horizontal
+    "normal production costs" level, and the region above it that requires
+    "expensive production costs".
+    """
+
+    demand: LoadProfile
+    normal_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.normal_capacity <= 0:
+            raise ValueError("normal capacity must be positive")
+
+    @property
+    def peak_demand(self) -> float:
+        return self.demand.peak()
+
+    @property
+    def has_peak(self) -> bool:
+        """Whether demand ever exceeds the normal-cost capacity."""
+        return self.peak_demand > self.normal_capacity
+
+    @property
+    def peak_overuse(self) -> float:
+        """Peak demand above normal capacity (kW); 0 when there is no peak."""
+        return max(0.0, self.peak_demand - self.normal_capacity)
+
+    @property
+    def relative_overuse(self) -> float:
+        """Peak overuse as a fraction of normal capacity."""
+        return self.peak_overuse / self.normal_capacity
+
+    def peak_interval(self) -> Optional[TimeInterval]:
+        """The contiguous interval in which demand exceeds normal capacity."""
+        return self.demand.peak_interval(self.normal_capacity)
+
+    def expensive_energy(self) -> float:
+        """Energy (kWh) that must be produced at expensive cost."""
+        return self.demand.exceedance(self.normal_capacity)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Tabular rendering: one row per slot (used by the Figure 1 bench)."""
+        rows = []
+        for index, value in enumerate(self.demand):
+            slot = TimeSlot(index, self.demand.slots_per_day)
+            rows.append(
+                {
+                    "slot": index,
+                    "hour": slot.start_hour,
+                    "demand_kw": value,
+                    "normal_capacity_kw": self.normal_capacity,
+                    "overuse_kw": max(0.0, value - self.normal_capacity),
+                }
+            )
+        return rows
+
+
+@dataclass
+class PopulationDemand:
+    """Per-household and aggregate demand of a population for one day."""
+
+    household_profiles: dict[str, LoadProfile]
+    weather: Optional[WeatherSample] = None
+
+    def __post_init__(self) -> None:
+        if not self.household_profiles:
+            raise ValueError("population demand needs at least one household")
+
+    @property
+    def aggregate(self) -> LoadProfile:
+        return LoadProfile.aggregate(self.household_profiles.values())
+
+    @property
+    def household_ids(self) -> list[str]:
+        return list(self.household_profiles)
+
+    def household(self, household_id: str) -> LoadProfile:
+        try:
+            return self.household_profiles[household_id]
+        except KeyError:
+            raise KeyError(f"no household {household_id!r} in population demand") from None
+
+    def demand_in(self, interval: TimeInterval) -> dict[str, float]:
+        """Average demand (kW) per household during an interval."""
+        return {
+            household_id: profile.average_in(interval)
+            for household_id, profile in self.household_profiles.items()
+        }
+
+    def curve(self, normal_capacity: float) -> DemandCurve:
+        return DemandCurve(self.aggregate, normal_capacity)
+
+
+class DemandModel:
+    """Builds population demand from households and weather."""
+
+    def __init__(
+        self,
+        households: Sequence[Household],
+        random: Optional[RandomSource] = None,
+        behavioural_noise: float = 0.08,
+    ) -> None:
+        if not households:
+            raise ValueError("demand model needs at least one household")
+        if behavioural_noise < 0:
+            raise ValueError("behavioural noise must be non-negative")
+        self.households = list(households)
+        self._random = random if random is not None else RandomSource(0, "demand")
+        self.behavioural_noise = behavioural_noise
+
+    def realise(self, weather: Optional[WeatherSample] = None) -> PopulationDemand:
+        """Realise one day of demand (with per-household behavioural noise)."""
+        profiles: dict[str, LoadProfile] = {}
+        for household in self.households:
+            base = household.demand_profile(weather)
+            if self.behavioural_noise > 0:
+                noise = self._random.normal_array(
+                    1.0, self.behavioural_noise, base.slots_per_day
+                )
+                noisy = np.clip(base.as_array() * noise, 0.0, None)
+                profiles[household.household_id] = LoadProfile(tuple(float(v) for v in noisy))
+            else:
+                profiles[household.household_id] = base
+        return PopulationDemand(profiles, weather)
+
+    def expected_aggregate(self, weather: Optional[WeatherSample] = None) -> LoadProfile:
+        """Noise-free aggregate demand (the statistical expectation)."""
+        return LoadProfile.aggregate(
+            household.demand_profile(weather) for household in self.households
+        )
+
+    def normal_capacity_for_target(
+        self, weather: Optional[WeatherSample] = None, headroom: float = 0.0,
+        quantile: float = 0.75,
+    ) -> float:
+        """A normal-production capacity that makes the daily peak an *overuse* peak.
+
+        The utility's normal (cheap) production capacity is set near the
+        ``quantile`` of the expected daily demand distribution plus
+        ``headroom``; demand above it requires expensive production, exactly
+        the Figure 1 situation.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        aggregate = self.expected_aggregate(weather)
+        level = float(np.quantile(aggregate.as_array(), quantile))
+        return level * (1.0 + headroom)

@@ -1,0 +1,194 @@
+"""Load profiles: electricity use (kW) per time slot over one day."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.runtime.clock import TimeInterval, TimeSlot
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Electricity load per slot of a day, in kW (average power per slot).
+
+    A frozen value type: arithmetic returns new profiles.  Energy for a slot
+    is ``power * slot_hours`` kWh.
+    """
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a load profile needs at least one slot")
+        if any(v < 0 for v in self.values):
+            raise ValueError("load values must be non-negative")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, slots_per_day: int = 24) -> "LoadProfile":
+        return cls(tuple(0.0 for __ in range(slots_per_day)))
+
+    @classmethod
+    def constant(cls, power_kw: float, slots_per_day: int = 24) -> "LoadProfile":
+        if power_kw < 0:
+            raise ValueError("power must be non-negative")
+        return cls(tuple(float(power_kw) for __ in range(slots_per_day)))
+
+    @classmethod
+    def from_sequence(cls, values: Sequence[float]) -> "LoadProfile":
+        return cls(tuple(float(v) for v in values))
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def slots_per_day(self) -> int:
+        return len(self.values)
+
+    @property
+    def slot_hours(self) -> float:
+        return 24.0 / len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    def at(self, slot: TimeSlot) -> float:
+        """Load during one slot (kW)."""
+        if slot.slots_per_day != self.slots_per_day:
+            raise ValueError(
+                f"slot resolution {slot.slots_per_day} does not match "
+                f"profile resolution {self.slots_per_day}"
+            )
+        return self.values[slot.index]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    # -- aggregate measures -----------------------------------------------------
+
+    def peak(self) -> float:
+        """Maximum load over the day (kW)."""
+        return max(self.values)
+
+    def peak_slot(self) -> TimeSlot:
+        """Slot at which the load is maximal (earliest if tied)."""
+        index = int(np.argmax(self.as_array()))
+        return TimeSlot(index, self.slots_per_day)
+
+    def total_energy(self) -> float:
+        """Total energy over the day (kWh)."""
+        return float(sum(self.values) * self.slot_hours)
+
+    def average(self) -> float:
+        """Mean load over the day (kW)."""
+        return float(np.mean(self.as_array()))
+
+    def load_factor(self) -> float:
+        """Average load divided by peak load (1.0 means perfectly flat)."""
+        peak = self.peak()
+        if peak == 0:
+            return 1.0
+        return self.average() / peak
+
+    def energy_in(self, interval: TimeInterval) -> float:
+        """Energy used during an interval (kWh)."""
+        return float(
+            sum(self.at(slot) for slot in interval.slots()) * self.slot_hours
+        )
+
+    def average_in(self, interval: TimeInterval) -> float:
+        """Average load during an interval (kW)."""
+        loads = [self.at(slot) for slot in interval.slots()]
+        return float(np.mean(loads))
+
+    def exceedance(self, threshold: float) -> float:
+        """Total energy above a threshold power (kWh); 0 when never exceeded."""
+        excess = np.clip(self.as_array() - threshold, 0.0, None)
+        return float(excess.sum() * self.slot_hours)
+
+    def slots_above(self, threshold: float) -> list[TimeSlot]:
+        """Slots in which the load exceeds a threshold."""
+        return [
+            TimeSlot(i, self.slots_per_day)
+            for i, v in enumerate(self.values)
+            if v > threshold
+        ]
+
+    def peak_interval(self, threshold: float) -> TimeInterval | None:
+        """The contiguous interval around the peak where load exceeds ``threshold``.
+
+        Returns ``None`` when the profile never exceeds the threshold.
+        """
+        if self.peak() <= threshold:
+            return None
+        peak_index = self.peak_slot().index
+        start = peak_index
+        while start > 0 and self.values[start - 1] > threshold:
+            start -= 1
+        end = peak_index
+        while end < self.slots_per_day - 1 and self.values[end + 1] > threshold:
+            end += 1
+        return TimeInterval(
+            TimeSlot(start, self.slots_per_day), TimeSlot(end, self.slots_per_day)
+        )
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _check_compatible(self, other: "LoadProfile") -> None:
+        if self.slots_per_day != other.slots_per_day:
+            raise ValueError(
+                f"cannot combine profiles with {self.slots_per_day} and "
+                f"{other.slots_per_day} slots per day"
+            )
+
+    def __add__(self, other: "LoadProfile") -> "LoadProfile":
+        self._check_compatible(other)
+        return LoadProfile(tuple(a + b for a, b in zip(self.values, other.values)))
+
+    def __sub__(self, other: "LoadProfile") -> "LoadProfile":
+        self._check_compatible(other)
+        return LoadProfile(tuple(max(0.0, a - b) for a, b in zip(self.values, other.values)))
+
+    def scaled(self, factor: float) -> "LoadProfile":
+        """Profile multiplied by a non-negative factor."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return LoadProfile(tuple(v * factor for v in self.values))
+
+    def clipped(self, ceiling: float) -> "LoadProfile":
+        """Profile with every slot clipped to at most ``ceiling`` kW."""
+        if ceiling < 0:
+            raise ValueError("ceiling must be non-negative")
+        return LoadProfile(tuple(min(v, ceiling) for v in self.values))
+
+    def with_cutdown_in(self, interval: TimeInterval, cutdown: float) -> "LoadProfile":
+        """Profile with load reduced by a fraction inside an interval.
+
+        This is how an awarded cut-down is applied to a household's profile.
+        """
+        if not 0.0 <= cutdown <= 1.0:
+            raise ValueError(f"cutdown must be in [0, 1], got {cutdown}")
+        new_values = list(self.values)
+        for slot in interval.slots():
+            new_values[slot.index] = self.values[slot.index] * (1.0 - cutdown)
+        return LoadProfile(tuple(new_values))
+
+    @staticmethod
+    def aggregate(profiles: Iterable["LoadProfile"]) -> "LoadProfile":
+        """Sum of many profiles (they must share a resolution)."""
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("cannot aggregate zero profiles")
+        total = profiles[0]
+        for profile in profiles[1:]:
+            total = total + profile
+        return total

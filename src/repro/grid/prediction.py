@@ -1,0 +1,164 @@
+"""Consumption prediction: the Utility Agent's statistical model.
+
+"To predict the balance between consumption and production, available
+information is analysed and predictions are calculated on the basis of
+statistical models" (Section 5.1.2).  The :class:`ConsumptionPredictor`
+implements this: it is trained on historical daily demand realisations
+(optionally weather-tagged) and predicts the aggregate and per-household
+demand for an upcoming day, with a configurable statistical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.grid.demand import PopulationDemand
+from repro.grid.load_profile import LoadProfile
+from repro.grid.weather import WeatherSample
+from repro.runtime.clock import TimeInterval
+
+
+class PredictionModel(Enum):
+    """Statistical model used for prediction."""
+
+    #: Plain mean of historical profiles.
+    MEAN = "mean"
+    #: Exponentially weighted mean (recent days matter more).
+    EXPONENTIAL_SMOOTHING = "exponential_smoothing"
+    #: Mean of historical days re-scaled by the heating factor of the
+    #: forecast weather relative to the historical average heating factor.
+    WEATHER_ADJUSTED = "weather_adjusted"
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """A prediction of one day's demand."""
+
+    aggregate: LoadProfile
+    per_household: dict[str, LoadProfile]
+    model: PredictionModel
+
+    def household_prediction_in(self, interval: TimeInterval) -> dict[str, float]:
+        """Predicted average demand (kW) per household during an interval."""
+        return {
+            household_id: profile.average_in(interval)
+            for household_id, profile in self.per_household.items()
+        }
+
+    def aggregate_in(self, interval: TimeInterval) -> float:
+        """Predicted average aggregate demand (kW) during an interval."""
+        return self.aggregate.average_in(interval)
+
+
+class ConsumptionPredictor:
+    """Predicts per-household and aggregate demand from history."""
+
+    def __init__(
+        self,
+        model: PredictionModel = PredictionModel.MEAN,
+        smoothing_factor: float = 0.4,
+    ) -> None:
+        if not 0.0 < smoothing_factor <= 1.0:
+            raise ValueError("smoothing factor must be in (0, 1]")
+        self.model = model
+        self.smoothing_factor = smoothing_factor
+        self._history: list[PopulationDemand] = []
+
+    # -- training -----------------------------------------------------------
+
+    def observe(self, demand: PopulationDemand) -> None:
+        """Record one realised day of demand."""
+        if self._history and set(demand.household_ids) != set(self._history[0].household_ids):
+            raise ValueError("all observed days must cover the same households")
+        self._history.append(demand)
+
+    def observe_many(self, demands: Sequence[PopulationDemand]) -> None:
+        for demand in demands:
+            self.observe(demand)
+
+    @property
+    def history_length(self) -> int:
+        return len(self._history)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, forecast_weather: Optional[WeatherSample] = None) -> PredictionResult:
+        """Predict the next day's demand.
+
+        Raises
+        ------
+        ValueError
+            If no history has been observed yet.
+        """
+        if not self._history:
+            raise ValueError("cannot predict without any observed history")
+        household_ids = self._history[0].household_ids
+        weights = self._weights()
+        per_household: dict[str, LoadProfile] = {}
+        for household_id in household_ids:
+            stacked = np.stack(
+                [day.household(household_id).as_array() for day in self._history]
+            )
+            mean_profile = np.average(stacked, axis=0, weights=weights)
+            per_household[household_id] = LoadProfile(tuple(float(v) for v in mean_profile))
+        adjustment = self._weather_adjustment(forecast_weather)
+        if adjustment != 1.0:
+            per_household = {
+                household_id: profile.scaled(adjustment)
+                for household_id, profile in per_household.items()
+            }
+        aggregate = LoadProfile.aggregate(per_household.values())
+        return PredictionResult(aggregate, per_household, self.model)
+
+    def _weights(self) -> np.ndarray:
+        n = len(self._history)
+        if self.model is PredictionModel.EXPONENTIAL_SMOOTHING and n > 1:
+            alpha = self.smoothing_factor
+            weights = np.array([(1 - alpha) ** (n - 1 - i) for i in range(n)])
+            return weights / weights.sum()
+        return np.full(n, 1.0 / n)
+
+    def _weather_adjustment(self, forecast: Optional[WeatherSample]) -> float:
+        if self.model is not PredictionModel.WEATHER_ADJUSTED or forecast is None:
+            return 1.0
+        historical_factors = [
+            day.weather.heating_factor for day in self._history if day.weather is not None
+        ]
+        if not historical_factors:
+            return 1.0
+        mean_factor = float(np.mean(historical_factors))
+        if mean_factor <= 0:
+            return 1.0
+        # Heating is roughly half of winter domestic load; scale that share.
+        heating_share = 0.5
+        ratio = forecast.heating_factor / mean_factor
+        return (1.0 - heating_share) + heating_share * ratio
+
+    # -- error metrics -----------------------------------------------------------
+
+    def mean_absolute_error(
+        self, prediction: PredictionResult, actual: PopulationDemand
+    ) -> float:
+        """Mean absolute error of the aggregate prediction (kW per slot)."""
+        predicted = prediction.aggregate.as_array()
+        realised = actual.aggregate.as_array()
+        if predicted.shape != realised.shape:
+            raise ValueError("prediction and actual have different resolutions")
+        return float(np.mean(np.abs(predicted - realised)))
+
+    def mean_absolute_percentage_error(
+        self, prediction: PredictionResult, actual: PopulationDemand
+    ) -> float:
+        """MAPE of the aggregate prediction (fraction, not percent)."""
+        predicted = prediction.aggregate.as_array()
+        realised = actual.aggregate.as_array()
+        if predicted.shape != realised.shape:
+            raise ValueError("prediction and actual have different resolutions")
+        mask = realised > 0
+        if not mask.any():
+            return 0.0
+        return float(np.mean(np.abs(predicted[mask] - realised[mask]) / realised[mask]))

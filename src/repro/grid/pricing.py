@@ -1,0 +1,102 @@
+"""Tariffs: the lower / normal / higher price structure of the paper.
+
+Both the offer method and the request-for-bids method (Sections 3.2.1 and
+3.2.2) rely on three price levels known to the Customer Agents:
+
+* the **lower price** paid for electricity within the agreed allowance
+  (``x_max`` percent, or the bid ``y_min``),
+* the **normal price** paid by customers who do not participate, and
+* the **higher price** paid for electricity consumed beyond the allowance.
+
+:class:`Tariff` captures those levels; :class:`TariffSchedule` assigns a
+tariff to the peak interval and the normal price elsewhere, and prices a
+household's consumption under a deal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.grid.load_profile import LoadProfile
+from repro.runtime.clock import TimeInterval
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """The three price levels of the paper's pricing scheme (per kWh)."""
+
+    lower_price: float
+    normal_price: float
+    higher_price: float
+
+    def __post_init__(self) -> None:
+        if self.lower_price < 0 or self.normal_price < 0 or self.higher_price < 0:
+            raise ValueError("prices must be non-negative")
+        if not self.lower_price <= self.normal_price <= self.higher_price:
+            raise ValueError(
+                "tariff must satisfy lower_price <= normal_price <= higher_price, got "
+                f"{self.lower_price}, {self.normal_price}, {self.higher_price}"
+            )
+
+    @property
+    def discount(self) -> float:
+        """Absolute saving per kWh when paying the lower instead of normal price."""
+        return self.normal_price - self.lower_price
+
+    @property
+    def penalty(self) -> float:
+        """Absolute surcharge per kWh when paying the higher instead of normal price."""
+        return self.higher_price - self.normal_price
+
+    @classmethod
+    def standard(cls) -> "Tariff":
+        """A representative domestic tariff (currency units per kWh)."""
+        return cls(lower_price=0.20, normal_price=0.30, higher_price=0.55)
+
+
+@dataclass(frozen=True)
+class TariffSchedule:
+    """Pricing of one day given a peak interval and a tariff for that interval."""
+
+    tariff: Tariff
+    peak_interval: Optional[TimeInterval] = None
+
+    def cost_without_deal(self, profile: LoadProfile) -> float:
+        """Electricity bill at the normal price for the whole day."""
+        return profile.total_energy() * self.tariff.normal_price
+
+    def cost_with_offer_deal(
+        self, profile: LoadProfile, allowance_kwh: float
+    ) -> float:
+        """Bill under an offer/bids-style deal in the peak interval.
+
+        Energy within the allowance during the peak interval is billed at the
+        lower price, energy above it at the higher price, and energy outside
+        the interval at the normal price.  With no peak interval the whole
+        day is billed normally.
+        """
+        if allowance_kwh < 0:
+            raise ValueError("allowance must be non-negative")
+        if self.peak_interval is None:
+            return self.cost_without_deal(profile)
+        peak_energy = profile.energy_in(self.peak_interval)
+        off_peak_energy = profile.total_energy() - peak_energy
+        within = min(peak_energy, allowance_kwh)
+        above = max(0.0, peak_energy - allowance_kwh)
+        return (
+            off_peak_energy * self.tariff.normal_price
+            + within * self.tariff.lower_price
+            + above * self.tariff.higher_price
+        )
+
+    def offer_deal_gain(
+        self, profile: LoadProfile, allowance_kwh: float
+    ) -> float:
+        """Customer gain from accepting an offer deal versus paying normally.
+
+        Positive means the deal is financially attractive for this profile.
+        """
+        return self.cost_without_deal(profile) - self.cost_with_offer_deal(
+            profile, allowance_kwh
+        )

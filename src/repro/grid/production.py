@@ -1,0 +1,149 @@
+"""Production capacity and cost model.
+
+The Utility Agent acquires "information from Producer Agent (e.g.,
+availability of electricity and cost)" (Section 5.1).  We model production as
+a merit-order stack of :class:`ProductionSegment` blocks: cheap base
+capacity first (the "normal production costs" region of Figure 1), then
+increasingly expensive peak capacity.  The utility's economic motive for load
+management — avoiding the expensive segments — falls directly out of this
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.grid.load_profile import LoadProfile
+
+
+@dataclass(frozen=True)
+class ProductionSegment:
+    """A block of production capacity with a marginal cost."""
+
+    name: str
+    capacity_kw: float
+    marginal_cost: float  # currency units per kWh
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise ValueError(f"segment {self.name!r}: capacity must be positive")
+        if self.marginal_cost < 0:
+            raise ValueError(f"segment {self.name!r}: marginal cost must be non-negative")
+
+
+class ProductionModel:
+    """A merit-order production stack."""
+
+    def __init__(self, segments: Sequence[ProductionSegment]) -> None:
+        if not segments:
+            raise ValueError("production model needs at least one segment")
+        ordered = sorted(segments, key=lambda s: s.marginal_cost)
+        if list(ordered) != list(segments):
+            raise ValueError("segments must be given in non-decreasing marginal-cost order")
+        self.segments = list(segments)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def two_tier(
+        cls,
+        normal_capacity_kw: float,
+        peak_capacity_kw: float,
+        normal_cost: float = 0.25,
+        peak_cost: float = 0.75,
+    ) -> "ProductionModel":
+        """The Figure 1 structure: normal-cost base plus expensive peak capacity."""
+        if peak_cost < normal_cost:
+            raise ValueError("peak cost must be at least the normal cost")
+        return cls(
+            [
+                ProductionSegment("normal", normal_capacity_kw, normal_cost),
+                ProductionSegment("peak", peak_capacity_kw, peak_cost),
+            ]
+        )
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def total_capacity_kw(self) -> float:
+        return sum(segment.capacity_kw for segment in self.segments)
+
+    @property
+    def normal_capacity_kw(self) -> float:
+        """Capacity of the cheapest segment (the 'normal production' level)."""
+        return self.segments[0].capacity_kw
+
+    @property
+    def normal_cost(self) -> float:
+        return self.segments[0].marginal_cost
+
+    @property
+    def peak_cost(self) -> float:
+        return self.segments[-1].marginal_cost
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, demand_kw: float) -> list[tuple[ProductionSegment, float]]:
+        """Allocate an instantaneous demand across segments in merit order.
+
+        Returns ``(segment, dispatched_kw)`` pairs.  Demand beyond total
+        capacity is *unserved* and simply not dispatched (the caller can
+        detect it by summing).
+        """
+        if demand_kw < 0:
+            raise ValueError("demand must be non-negative")
+        remaining = demand_kw
+        allocation = []
+        for segment in self.segments:
+            if remaining <= 0:
+                break
+            used = min(segment.capacity_kw, remaining)
+            allocation.append((segment, used))
+            remaining -= used
+        return allocation
+
+    def unserved(self, demand_kw: float) -> float:
+        """Demand (kW) beyond total capacity."""
+        return max(0.0, demand_kw - self.total_capacity_kw)
+
+    def marginal_cost_at(self, demand_kw: float) -> float:
+        """Marginal cost of serving the last kW of a given demand level."""
+        if demand_kw < 0:
+            raise ValueError("demand must be non-negative")
+        if demand_kw == 0:
+            return self.segments[0].marginal_cost
+        cumulative = 0.0
+        for segment in self.segments:
+            cumulative += segment.capacity_kw
+            if demand_kw <= cumulative:
+                return segment.marginal_cost
+        return self.segments[-1].marginal_cost
+
+    def cost_of_slot(self, demand_kw: float, slot_hours: float) -> float:
+        """Production cost of serving a demand level for ``slot_hours`` hours."""
+        if slot_hours < 0:
+            raise ValueError("slot duration must be non-negative")
+        return sum(
+            used * slot_hours * segment.marginal_cost
+            for segment, used in self.dispatch(demand_kw)
+        )
+
+    def cost_of_profile(self, profile: LoadProfile) -> float:
+        """Total production cost of serving a daily load profile."""
+        return sum(
+            self.cost_of_slot(value, profile.slot_hours) for value in profile
+        )
+
+    def expensive_cost_of_profile(self, profile: LoadProfile) -> float:
+        """Cost incurred above the cheapest segment (the avoidable peak cost)."""
+        total = self.cost_of_profile(profile)
+        cheap_only = sum(
+            min(value, self.normal_capacity_kw) * profile.slot_hours * self.normal_cost
+            for value in profile
+        )
+        return total - cheap_only
+
+    def savings_between(self, before: LoadProfile, after: LoadProfile) -> float:
+        """Production-cost savings achieved by replacing ``before`` with ``after``."""
+        return self.cost_of_profile(before) - self.cost_of_profile(after)

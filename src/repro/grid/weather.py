@@ -1,0 +1,96 @@
+"""Synthetic weather model.
+
+The Utility Agent acquires "general information about the external world
+itself, for example weather conditions" (Section 5.1.4) because cold snaps
+drive heating load and hence demand peaks.  We model daily weather as a
+temperature (°C) plus a qualitative condition, and translate temperature into
+a *heating factor*: a multiplier on heating-related appliance energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.runtime.rng import RandomSource
+
+
+class WeatherCondition(Enum):
+    """Qualitative weather classification, as the external world reports it."""
+
+    MILD = "mild"
+    COLD = "cold"
+    SEVERE_COLD = "severe_cold"
+    WARM = "warm"
+
+
+@dataclass(frozen=True)
+class WeatherSample:
+    """Weather for one day."""
+
+    temperature_c: float
+    condition: WeatherCondition
+
+    @property
+    def heating_factor(self) -> float:
+        """Multiplier on heating energy relative to a mild reference day.
+
+        Calibrated so a mild day (around +10 °C) has factor 1.0, a cold day
+        (around -5 °C) roughly 1.5 and a severe cold snap (-20 °C) roughly 2.0.
+        The relationship is linear in heating degree days below 17 °C, which
+        is the standard simple model for space-heating demand.
+        """
+        reference_degree_days = max(0.0, 17.0 - 10.0)
+        degree_days = max(0.0, 17.0 - self.temperature_c)
+        if reference_degree_days == 0:
+            return 1.0
+        return max(0.25, degree_days / reference_degree_days)
+
+
+#: Mean daily temperature per condition (°C) used by the generator.
+_CONDITION_MEANS = {
+    WeatherCondition.WARM: 18.0,
+    WeatherCondition.MILD: 10.0,
+    WeatherCondition.COLD: -5.0,
+    WeatherCondition.SEVERE_COLD: -18.0,
+}
+
+
+class WeatherModel:
+    """Generates daily weather samples, optionally forced to a condition."""
+
+    def __init__(self, random: Optional[RandomSource] = None) -> None:
+        self._random = random if random is not None else RandomSource(0, "weather")
+
+    def sample(self, condition: Optional[WeatherCondition] = None) -> WeatherSample:
+        """Draw the weather for one day.
+
+        Parameters
+        ----------
+        condition:
+            When given, the day is of this type (temperature still varies
+            around the condition's mean); when omitted, the condition is drawn
+            with winter-weighted probabilities.
+        """
+        if condition is None:
+            condition = self._random.choice(
+                [
+                    WeatherCondition.WARM,
+                    WeatherCondition.MILD,
+                    WeatherCondition.COLD,
+                    WeatherCondition.SEVERE_COLD,
+                ],
+                weights=[0.15, 0.45, 0.3, 0.1],
+            )
+        mean = _CONDITION_MEANS[condition]
+        temperature = self._random.normal(mean, 2.5)
+        return WeatherSample(temperature_c=temperature, condition=condition)
+
+    def cold_snap(self) -> WeatherSample:
+        """A severe-cold day — the canonical peak-inducing scenario."""
+        return self.sample(WeatherCondition.SEVERE_COLD)
+
+    def reference_day(self) -> WeatherSample:
+        """A deterministic mild reference day (heating factor exactly 1.0)."""
+        return WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)

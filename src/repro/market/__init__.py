@@ -1,0 +1,23 @@
+"""Computational-market baseline.
+
+Section 3.2.4 and the discussion in Section 7 point to computational markets
+(Ygge & Akkermans, "Power Load Management as a Computational Market",
+ICMAS'96 — reference [12]) as an alternative mechanism for the same load
+management problem.  This package implements such a baseline so the
+negotiation protocols can be compared against it (experiment E8):
+
+* :mod:`repro.market.equilibrium` — a uniform-price market for load
+  *reduction* during the peak interval, cleared by bisection on the price.
+* :mod:`repro.market.market_agent` — the per-customer supply behaviour
+  (how much reduction a customer offers at a given price).
+"""
+
+from repro.market.equilibrium import EquilibriumMarket, MarketOutcome
+from repro.market.market_agent import CustomerSupplyCurve, UtilityDemandCurve
+
+__all__ = [
+    "CustomerSupplyCurve",
+    "EquilibriumMarket",
+    "MarketOutcome",
+    "UtilityDemandCurve",
+]

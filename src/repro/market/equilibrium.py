@@ -1,0 +1,164 @@
+"""Clearing the computational market for load reduction.
+
+The :class:`EquilibriumMarket` searches for the lowest uniform price at which
+the aggregate reduction supplied by the customers covers the utility's needed
+reduction (capped at the utility's reservation price).  The search is a
+bisection on the price axis; the iteration count plays the role the
+negotiation round count plays for the protocol-based mechanisms, so the two
+approaches can be compared on speed, reduction achieved and money spent
+(experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.agents.population import CustomerPopulation
+from repro.market.market_agent import CustomerSupplyCurve, SupplyOffer, UtilityDemandCurve
+
+
+@dataclass
+class MarketOutcome:
+    """Result of clearing the market once."""
+
+    clearing_price: float
+    total_reduction: float
+    needed_reduction: float
+    total_payment: float
+    iterations: int
+    offers: dict[str, SupplyOffer] = field(default_factory=dict)
+    cleared: bool = True
+
+    @property
+    def reduction_achieved_fraction(self) -> float:
+        if self.needed_reduction <= 0:
+            return 1.0
+        return min(1.0, self.total_reduction / self.needed_reduction)
+
+    @property
+    def total_customer_surplus(self) -> float:
+        return sum(offer.surplus for offer in self.offers.values())
+
+    @property
+    def payment_per_unit_reduction(self) -> float:
+        if self.total_reduction <= 0:
+            return float("inf") if self.total_payment > 0 else 0.0
+        return self.total_payment / self.total_reduction
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "clearing_price": self.clearing_price,
+            "total_reduction": self.total_reduction,
+            "needed_reduction": self.needed_reduction,
+            "total_payment": self.total_payment,
+            "iterations": self.iterations,
+            "cleared": float(self.cleared),
+            "total_customer_surplus": self.total_customer_surplus,
+        }
+
+
+class EquilibriumMarket:
+    """A uniform-price market for peak-interval load reduction."""
+
+    def __init__(
+        self,
+        supply_curves: Sequence[CustomerSupplyCurve],
+        demand: UtilityDemandCurve,
+        price_tolerance: float = 1e-3,
+        max_iterations: int = 60,
+    ) -> None:
+        if not supply_curves:
+            raise ValueError("the market needs at least one supplier")
+        if price_tolerance <= 0:
+            raise ValueError("price tolerance must be positive")
+        if max_iterations <= 0:
+            raise ValueError("max iterations must be positive")
+        self.supply_curves = list(supply_curves)
+        self.demand = demand
+        self.price_tolerance = price_tolerance
+        self.max_iterations = max_iterations
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def aggregate_supply(self, price: float) -> float:
+        """Total reduction supplied at a price."""
+        return sum(curve.reduction_at(price) for curve in self.supply_curves)
+
+    # -- clearing ----------------------------------------------------------------------
+
+    def clear(self) -> MarketOutcome:
+        """Find the lowest price covering the needed reduction (or the reservation cap).
+
+        The price is found by bisection between zero and the utility's
+        reservation price.  If even the reservation price cannot buy the
+        needed reduction, the market clears at the reservation price with
+        whatever reduction is available (``cleared=False``).
+        """
+        needed = self.demand.needed_reduction
+        ceiling = self.demand.reservation_price
+        iterations = 0
+        if needed <= 0:
+            return self._outcome(price=0.0, iterations=0, cleared=True)
+        supply_at_ceiling = self.aggregate_supply(ceiling)
+        if supply_at_ceiling < needed:
+            return self._outcome(price=ceiling, iterations=1, cleared=False)
+        low, high = 0.0, ceiling
+        while high - low > self.price_tolerance and iterations < self.max_iterations:
+            mid = (low + high) / 2.0
+            iterations += 1
+            if self.aggregate_supply(mid) >= needed:
+                high = mid
+            else:
+                low = mid
+        return self._outcome(price=high, iterations=iterations, cleared=True)
+
+    def _outcome(self, price: float, iterations: int, cleared: bool) -> MarketOutcome:
+        offers = {
+            curve.customer: curve.best_response(price) for curve in self.supply_curves
+        }
+        total_reduction = sum(offer.reduction for offer in offers.values())
+        total_payment = sum(offer.payment for offer in offers.values())
+        return MarketOutcome(
+            clearing_price=price,
+            total_reduction=total_reduction,
+            needed_reduction=self.demand.needed_reduction,
+            total_payment=total_payment,
+            iterations=iterations,
+            offers=offers,
+            cleared=cleared,
+        )
+
+    # -- constructors ------------------------------------------------------------------------
+
+    @classmethod
+    def from_population(
+        cls,
+        population: CustomerPopulation,
+        reservation_price: Optional[float] = None,
+        price_tolerance: float = 1e-3,
+    ) -> "EquilibriumMarket":
+        """Build a market over the same population a negotiation would use.
+
+        The needed reduction is the overuse beyond the population's
+        ``max_allowed_overuse``; the default reservation price corresponds to
+        a generous willingness to pay per unit of reduced peak consumption
+        (comparable to the reward levels of the negotiation scenarios).
+        """
+        supply = [
+            CustomerSupplyCurve(
+                customer=spec.customer_id,
+                predicted_use=spec.predicted_use,
+                requirements=spec.requirements,
+            )
+            for spec in population.specs
+        ]
+        needed = max(0.0, population.initial_overuse - population.max_allowed_overuse)
+        if reservation_price is None:
+            # Willingness to pay per unit (kW) of reduction: scaled so it is
+            # in the same currency range as the negotiation's max rewards.
+            reservation_price = 25.0
+        demand = UtilityDemandCurve(
+            needed_reduction=needed, reservation_price=reservation_price
+        )
+        return cls(supply, demand, price_tolerance=price_tolerance)

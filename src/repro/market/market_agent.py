@@ -1,0 +1,100 @@
+"""Supply and demand behaviour of the computational-market participants.
+
+In the market framing of load management (Ygge & Akkermans), the commodity is
+*load reduction* during the peak interval.  Customers are suppliers: at a
+price ``p`` per unit of reduction, a customer offers the cut-down that
+maximises ``p * reduction - discomfort``, with discomfort read from the same
+cut-down-reward requirement table the negotiating Customer Agent uses — so the
+comparison between mechanisms is apples-to-apples.  The utility is the (only)
+buyer: it wants enough reduction to remove the predicted overuse and values a
+unit of reduction at the avoided expensive-production cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.negotiation.reward_table import CutdownRewardRequirements, DEFAULT_CUTDOWN_GRID
+
+
+@dataclass(frozen=True)
+class SupplyOffer:
+    """A customer's best response at a given price."""
+
+    cutdown: float
+    reduction: float
+    surplus: float
+    payment: float
+
+
+@dataclass
+class CustomerSupplyCurve:
+    """One customer's supply of load reduction as a function of price."""
+
+    customer: str
+    predicted_use: float
+    requirements: CutdownRewardRequirements
+    grid: Sequence[float] = DEFAULT_CUTDOWN_GRID
+
+    def __post_init__(self) -> None:
+        if self.predicted_use < 0:
+            raise ValueError("predicted use must be non-negative")
+
+    def best_response(self, price: float) -> SupplyOffer:
+        """The cut-down maximising the customer's surplus at ``price``.
+
+        A customer never supplies at negative surplus and never beyond its
+        physically feasible cut-down.
+        """
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        best = SupplyOffer(cutdown=0.0, reduction=0.0, surplus=0.0, payment=0.0)
+        for cutdown in self.grid:
+            if cutdown == 0.0:
+                continue
+            if cutdown > self.requirements.max_feasible_cutdown + 1e-12:
+                continue
+            discomfort = self.requirements.interpolated_requirement(cutdown)
+            reduction = cutdown * self.predicted_use
+            payment = price * reduction
+            surplus = payment - discomfort
+            if surplus > best.surplus or (
+                surplus == best.surplus and reduction > best.reduction and surplus > 0
+            ):
+                best = SupplyOffer(
+                    cutdown=cutdown, reduction=reduction, surplus=surplus, payment=payment
+                )
+        return best
+
+    def reduction_at(self, price: float) -> float:
+        """Reduction supplied at a price (convenience for aggregation)."""
+        return self.best_response(price).reduction
+
+
+@dataclass
+class UtilityDemandCurve:
+    """The utility's willingness to pay for load reduction.
+
+    The utility needs ``needed_reduction`` to bring the predicted overuse
+    down to its acceptable level, and values reduction at the expensive
+    production cost it avoids (per unit of predicted peak consumption) up to
+    a reservation price; beyond the needed amount its marginal value is zero.
+    """
+
+    needed_reduction: float
+    reservation_price: float
+
+    def __post_init__(self) -> None:
+        if self.needed_reduction < 0:
+            raise ValueError("needed reduction must be non-negative")
+        if self.reservation_price < 0:
+            raise ValueError("reservation price must be non-negative")
+
+    def demand_at(self, price: float) -> float:
+        """Reduction demanded at a price."""
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        if price > self.reservation_price:
+            return 0.0
+        return self.needed_reduction

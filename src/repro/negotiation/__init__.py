@@ -1,0 +1,111 @@
+"""Negotiation protocols for load management.
+
+This package implements Section 3 (the negotiation methods) and Section 6
+(the prototype's formulae) of the paper:
+
+* :mod:`repro.negotiation.formulas` — the exact Section 6 formulae:
+  ``predicted_use_with_cutdown``, ``predicted_overuse``, ``overuse`` and the
+  logistic reward update ``new_reward``.
+* :mod:`repro.negotiation.reward_table` — reward tables announced by the
+  Utility Agent and cut-down-reward requirement tables held by customers.
+* :mod:`repro.negotiation.messages` — announcements, bids and awards for all
+  three announcement methods.
+* :mod:`repro.negotiation.protocol` — the monotonic concession protocol
+  (Rosenschein & Zlotkin) as a checkable state machine.
+* :mod:`repro.negotiation.termination` — termination conditions (overuse
+  acceptable, reward saturation, round budget).
+* :mod:`repro.negotiation.strategy` — the tunable policies: β controllers,
+  bid-acceptance strategies, customer bidding policies and announcement
+  construction policies.
+* :mod:`repro.negotiation.methods` — the three announcement methods: offer,
+  request for bids, and announce reward tables.
+"""
+
+from repro.negotiation.formulas import (
+    new_reward,
+    predicted_overuse,
+    predicted_use_with_cutdown,
+    relative_overuse,
+    update_reward_table,
+)
+from repro.negotiation.messages import (
+    Announcement,
+    Award,
+    Bid,
+    CutdownBid,
+    OfferAnnouncement,
+    OfferResponse,
+    QuantityBid,
+    RequestForBidsAnnouncement,
+    RewardTableAnnouncement,
+)
+from repro.negotiation.protocol import (
+    MonotonicConcessionProtocol,
+    NegotiationOutcome,
+    NegotiationRecord,
+    ProtocolViolation,
+    RoundRecord,
+)
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+from repro.negotiation.strategy import (
+    AcceptAllBids,
+    AdaptiveBeta,
+    BetaController,
+    BidAcceptancePolicy,
+    ConstantBeta,
+    CustomerBiddingPolicy,
+    ExpectedGainBidding,
+    GenerateAndSelectAnnouncements,
+    HighestAcceptableCutdownBidding,
+    SelectiveBidAcceptance,
+    StatisticalAnnouncementOptimisation,
+)
+from repro.negotiation.termination import (
+    CompositeTermination,
+    MaxRoundsReached,
+    OveruseAcceptable,
+    RewardSaturated,
+    TerminationCondition,
+    TerminationReason,
+)
+
+__all__ = [
+    "AcceptAllBids",
+    "AdaptiveBeta",
+    "Announcement",
+    "Award",
+    "BetaController",
+    "Bid",
+    "BidAcceptancePolicy",
+    "CompositeTermination",
+    "ConstantBeta",
+    "CustomerBiddingPolicy",
+    "CutdownBid",
+    "CutdownRewardRequirements",
+    "ExpectedGainBidding",
+    "GenerateAndSelectAnnouncements",
+    "HighestAcceptableCutdownBidding",
+    "MaxRoundsReached",
+    "MonotonicConcessionProtocol",
+    "NegotiationOutcome",
+    "NegotiationRecord",
+    "OfferAnnouncement",
+    "OfferResponse",
+    "OveruseAcceptable",
+    "ProtocolViolation",
+    "QuantityBid",
+    "RequestForBidsAnnouncement",
+    "RewardSaturated",
+    "RewardTable",
+    "RewardTableAnnouncement",
+    "RoundRecord",
+    "SelectiveBidAcceptance",
+    "StatisticalAnnouncementOptimisation",
+    "TerminationCondition",
+    "TerminationReason",
+    "new_reward",
+    "predicted_overuse",
+    "predicted_use_with_cutdown",
+    "relative_overuse",
+    "update_reward_table",
+]

@@ -1,0 +1,156 @@
+"""The Section 6 formulae of the paper, implemented verbatim.
+
+The prototype's Utility Agent predicts the balance between consumption and
+production with::
+
+    predicted_use_with_cutdown(c) =
+        predicted_use(c)                    if (1 - cutdown(c)) * allowed_use(c) >= predicted_use(c)
+        (1 - cutdown(c)) * allowed_use(c)   otherwise
+
+    predicted_overuse = sum_{c in CA} predicted_use_with_cutdown(c) - normal_use
+
+    overuse = predicted_overuse / normal_use
+
+and escalates rewards between rounds with the logistic rule::
+
+    new_reward = reward + beta * overuse * (1 - reward / max_reward) * reward
+
+β determines how steeply rewards increase (constant in the prototype); the
+``(1 - reward/max_reward)`` factor keeps the reward below ``max_reward``; and
+the negotiation ends when the reward increment is at most 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.negotiation.reward_table import RewardTable
+
+
+def predicted_use_with_cutdown(
+    predicted_use: float, allowed_use: float, cutdown: float
+) -> float:
+    """Predicted use of one customer after applying its promised cut-down.
+
+    A cut-down is relative to the customer's *allowed* (baseline) use; if the
+    reduced allowance still exceeds what the customer was going to use anyway,
+    the prediction is unchanged.
+
+    Parameters
+    ----------
+    predicted_use:
+        The customer's predicted consumption in the peak interval (kW or kWh —
+        any unit, as long as it is consistent across customers).
+    allowed_use:
+        The customer's baseline / allowed consumption in the same unit.
+    cutdown:
+        The cut-down fraction the customer has committed to, in [0, 1].
+    """
+    if predicted_use < 0:
+        raise ValueError(f"predicted use must be non-negative, got {predicted_use}")
+    if allowed_use < 0:
+        raise ValueError(f"allowed use must be non-negative, got {allowed_use}")
+    if not 0.0 <= cutdown <= 1.0:
+        raise ValueError(f"cutdown must be in [0, 1], got {cutdown}")
+    reduced_allowance = (1.0 - cutdown) * allowed_use
+    if reduced_allowance >= predicted_use:
+        return predicted_use
+    return reduced_allowance
+
+
+def predicted_overuse(
+    predicted_uses: Mapping[str, float],
+    allowed_uses: Mapping[str, float],
+    cutdowns: Mapping[str, float],
+    normal_use: float,
+) -> float:
+    """Aggregate predicted overuse given every customer's committed cut-down.
+
+    ``cutdowns`` may omit customers (treated as a zero cut-down).  The result
+    may be negative when the committed cut-downs push predicted consumption
+    below the normal capacity.
+
+    Parameters
+    ----------
+    predicted_uses / allowed_uses:
+        Per-customer predicted and allowed use (same keys).
+    cutdowns:
+        Per-customer committed cut-down fraction.
+    normal_use:
+        The capacity servable at normal production cost (the paper's
+        ``normal_use``).
+    """
+    if normal_use <= 0:
+        raise ValueError(f"normal use must be positive, got {normal_use}")
+    missing = set(predicted_uses) - set(allowed_uses)
+    if missing:
+        raise ValueError(f"allowed_uses missing customers: {sorted(missing)}")
+    total = 0.0
+    for customer, predicted in predicted_uses.items():
+        cutdown = cutdowns.get(customer, 0.0)
+        total += predicted_use_with_cutdown(predicted, allowed_uses[customer], cutdown)
+    return total - normal_use
+
+
+def relative_overuse(overuse_value: float, normal_use: float) -> float:
+    """The paper's ``overuse`` ratio: predicted overuse relative to normal use."""
+    if normal_use <= 0:
+        raise ValueError(f"normal use must be positive, got {normal_use}")
+    return overuse_value / normal_use
+
+
+def new_reward(reward: float, beta: float, overuse: float, max_reward: float) -> float:
+    """One application of the logistic reward-escalation rule.
+
+    ``new_reward = reward + beta * overuse * (1 - reward/max_reward) * reward``
+
+    The result never exceeds ``max_reward`` for ``reward`` in
+    ``[0, max_reward]`` and ``beta * overuse <= 1``; for larger products the
+    result is clamped at ``max_reward`` so monotonic concession towards the
+    customers is preserved even with aggressive parameters.  A non-positive
+    ``overuse`` (no peak left) leaves the reward unchanged: the Utility Agent
+    never *reduces* an announced reward, as the monotonic concession protocol
+    requires.
+    """
+    if reward < 0:
+        raise ValueError(f"reward must be non-negative, got {reward}")
+    if max_reward <= 0:
+        raise ValueError(f"max reward must be positive, got {max_reward}")
+    if reward > max_reward:
+        raise ValueError(f"reward ({reward}) exceeds max reward ({max_reward})")
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    if overuse <= 0:
+        return reward
+    updated = reward + beta * overuse * (1.0 - reward / max_reward) * reward
+    return min(updated, max_reward)
+
+
+def update_reward_table(
+    table: RewardTable, beta: float, overuse: float, max_reward: float
+) -> RewardTable:
+    """Apply the reward-escalation rule to every entry of a reward table.
+
+    Returns a new table announcing rewards "at least as high, and for some
+    cut-down values higher than in the former reward table" — the monotonic
+    concession step of Section 3.2.3.
+    """
+    updated_entries = {
+        cutdown: new_reward(reward, beta, overuse, max_reward)
+        for cutdown, reward in table.entries.items()
+    }
+    return RewardTable(entries=updated_entries, interval=table.interval)
+
+
+def reward_increment(old: RewardTable, new: RewardTable) -> float:
+    """Largest per-entry reward increase between two tables.
+
+    The prototype stops negotiating "when the difference between the new
+    reward values and the (old) reward values is less than or equal to 1";
+    this function computes that difference.
+    """
+    if set(old.entries) != set(new.entries):
+        raise ValueError("reward tables cover different cut-down values")
+    if not old.entries:
+        return 0.0
+    return max(new.entries[c] - old.entries[c] for c in old.entries)

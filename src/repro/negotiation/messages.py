@@ -1,0 +1,156 @@
+"""Announcements, bids and awards exchanged during negotiation.
+
+These are the *content* objects carried inside
+:class:`~repro.runtime.messaging.Message` envelopes.  Each of the three
+announcement methods of Section 3.2 has its own announcement and bid types;
+they share the :class:`Announcement` / :class:`Bid` base classes so the
+protocol and analysis code can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.grid.pricing import Tariff
+from repro.negotiation.reward_table import RewardTable
+from repro.runtime.clock import TimeInterval
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """Base class for announcements sent by the Utility Agent."""
+
+    round_number: int
+    interval: Optional[TimeInterval] = None
+
+    def method_name(self) -> str:
+        return "abstract"
+
+
+@dataclass(frozen=True)
+class OfferAnnouncement(Announcement):
+    """The offer method's single take-it-or-leave-it announcement.
+
+    "if they only use ``x_max`` % of a given amount of electricity, they will
+    receive that electricity for a lower price.  If, however, they use more
+    electricity than this given amount, they will have to pay a higher price"
+    (Section 3.2.1).
+    """
+
+    #: Fraction of the allowed amount customers may use at the lower price.
+    x_max: float = 0.8
+    tariff: Tariff = field(default_factory=Tariff.standard)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.x_max <= 1.0:
+            raise ValueError(f"x_max must be in (0, 1], got {self.x_max}")
+
+    def method_name(self) -> str:
+        return "offer"
+
+    def allowance_for(self, allowed_use: float) -> float:
+        """The amount a customer may use at the lower price."""
+        if allowed_use < 0:
+            raise ValueError("allowed use must be non-negative")
+        return self.x_max * allowed_use
+
+
+@dataclass(frozen=True)
+class RequestForBidsAnnouncement(Announcement):
+    """The request-for-bids method's announcement.
+
+    Customers are asked to state how much electricity they really need
+    (``y_min``); awarded bids pay the lower price for ``y_min`` and the higher
+    price for anything beyond (Section 3.2.2).
+    """
+
+    tariff: Tariff = field(default_factory=Tariff.standard)
+    #: Minimum improvement (kW) expected from a customer that moves
+    #: "one step forward" instead of standing still.
+    step_size: float = 0.0
+
+    def method_name(self) -> str:
+        return "request_for_bids"
+
+
+@dataclass(frozen=True)
+class RewardTableAnnouncement(Announcement):
+    """The announce-reward-tables method's announcement (Section 3.2.3)."""
+
+    table: RewardTable = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            raise ValueError("a reward table announcement needs a table")
+
+    def method_name(self) -> str:
+        return "reward_tables"
+
+
+@dataclass(frozen=True)
+class Bid:
+    """Base class for customer responses to an announcement."""
+
+    customer: str
+    round_number: int
+
+    def method_name(self) -> str:
+        return "abstract"
+
+
+@dataclass(frozen=True)
+class OfferResponse(Bid):
+    """Yes/no answer to an :class:`OfferAnnouncement`."""
+
+    accept: bool = False
+
+    def method_name(self) -> str:
+        return "offer"
+
+
+@dataclass(frozen=True)
+class QuantityBid(Bid):
+    """Response to a request for bids: the electricity really needed (y_min)."""
+
+    needed_use: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.needed_use < 0:
+            raise ValueError(f"needed use must be non-negative, got {self.needed_use}")
+
+    def method_name(self) -> str:
+        return "request_for_bids"
+
+
+@dataclass(frozen=True)
+class CutdownBid(Bid):
+    """Response to a reward-table announcement: the committed cut-down fraction."""
+
+    cutdown: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cutdown <= 1.0:
+            raise ValueError(f"cutdown must be in [0, 1], got {self.cutdown}")
+
+    def method_name(self) -> str:
+        return "reward_tables"
+
+
+@dataclass(frozen=True)
+class Award:
+    """The Utility Agent's final decision on one customer's bid."""
+
+    customer: str
+    accepted: bool
+    #: The cut-down (or allowance) the award commits the customer to.
+    committed_cutdown: float = 0.0
+    #: The reward (or price advantage) the customer receives.
+    reward: float = 0.0
+    round_number: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.committed_cutdown <= 1.0:
+            raise ValueError("committed cut-down must be in [0, 1]")
+        if self.reward < 0:
+            raise ValueError("reward must be non-negative")

@@ -1,0 +1,28 @@
+"""The three announcement methods of Section 3.2.
+
+Each method bundles the Utility-Agent side (how to construct and escalate
+announcements, how to evaluate responses) and the Customer-Agent side (how to
+respond to an announcement given the customer's private preferences) of one
+negotiation mechanism:
+
+* :class:`~repro.negotiation.methods.offer.OfferMethod` — one-shot
+  take-it-or-leave-it offer (Section 3.2.1),
+* :class:`~repro.negotiation.methods.request_for_bids.RequestForBidsMethod`
+  — iterative request for quantity bids (Section 3.2.2),
+* :class:`~repro.negotiation.methods.reward_tables.RewardTablesMethod` — the
+  prototype's announce-reward-tables method (Sections 3.2.3 and 6).
+"""
+
+from repro.negotiation.methods.base import CustomerContext, NegotiationMethod, UtilityContext
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+
+__all__ = [
+    "CustomerContext",
+    "NegotiationMethod",
+    "OfferMethod",
+    "RequestForBidsMethod",
+    "RewardTablesMethod",
+    "UtilityContext",
+]

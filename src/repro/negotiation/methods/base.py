@@ -1,0 +1,160 @@
+"""Common interface of the three announcement methods.
+
+A :class:`NegotiationMethod` is a *mechanism*: it defines what the Utility
+Agent announces, how Customer Agents may respond, how responses are folded
+into a new prediction and when the process stops.  The agents in
+:mod:`repro.agents` delegate their cooperation-management decisions to a
+method object, so switching between the offer, request-for-bids and
+reward-tables mechanisms is a one-line configuration change — which is
+exactly the flexibility Section 3.2.4 argues for ("allow agents to use all
+three methods ... as different strategies").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.negotiation.messages import Announcement, Bid
+from repro.negotiation.reward_table import CutdownRewardRequirements
+from repro.negotiation.termination import TerminationReason
+from repro.runtime.clock import TimeInterval
+
+
+@dataclass
+class UtilityContext:
+    """Everything the Utility Agent knows when driving a negotiation.
+
+    Attributes
+    ----------
+    normal_use:
+        Capacity servable at normal production cost during the peak interval
+        (the paper's ``normal_use``).
+    predicted_uses:
+        Per-customer predicted consumption in the peak interval.
+    allowed_uses:
+        Per-customer allowed (baseline) consumption in the peak interval.
+    interval:
+        The peak interval being negotiated about.
+    max_allowed_overuse:
+        The largest predicted overuse the Utility Agent tolerates without
+        further negotiation (absolute, same unit as ``normal_use``).
+    """
+
+    normal_use: float
+    predicted_uses: dict[str, float]
+    allowed_uses: dict[str, float]
+    interval: Optional[TimeInterval] = None
+    max_allowed_overuse: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.normal_use <= 0:
+            raise ValueError("normal use must be positive")
+        if set(self.predicted_uses) != set(self.allowed_uses):
+            raise ValueError("predicted and allowed uses must cover the same customers")
+        if self.max_allowed_overuse < 0:
+            raise ValueError("max allowed overuse must be non-negative")
+
+    @property
+    def customers(self) -> list[str]:
+        return list(self.predicted_uses)
+
+    @property
+    def total_predicted_use(self) -> float:
+        return sum(self.predicted_uses.values())
+
+    @property
+    def initial_overuse(self) -> float:
+        return self.total_predicted_use - self.normal_use
+
+    @property
+    def initial_relative_overuse(self) -> float:
+        return self.initial_overuse / self.normal_use
+
+
+@dataclass
+class CustomerContext:
+    """Everything one Customer Agent knows when responding to announcements."""
+
+    customer: str
+    predicted_use: float
+    allowed_use: float
+    requirements: CutdownRewardRequirements
+
+    def __post_init__(self) -> None:
+        if self.predicted_use < 0:
+            raise ValueError("predicted use must be non-negative")
+        if self.allowed_use < 0:
+            raise ValueError("allowed use must be non-negative")
+
+
+@dataclass
+class RoundEvaluation:
+    """The Utility Agent's evaluation of the responses of one round."""
+
+    predicted_overuse: float
+    relative_overuse: float
+    termination: Optional[TerminationReason] = None
+    accepted_customers: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.termination is not None
+
+
+class NegotiationMethod(abc.ABC):
+    """Interface shared by the offer, request-for-bids and reward-table methods."""
+
+    #: Human-readable method name used in traces and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_announcement(self, context: UtilityContext) -> Announcement:
+        """The Utility Agent's opening announcement."""
+
+    @abc.abstractmethod
+    def respond(
+        self,
+        announcement: Announcement,
+        customer: CustomerContext,
+        previous_bid: Optional[Bid] = None,
+    ) -> Bid:
+        """A Customer Agent's response to an announcement."""
+
+    @abc.abstractmethod
+    def evaluate_round(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        bids: Mapping[str, Bid],
+        round_number: int,
+    ) -> RoundEvaluation:
+        """Fold the round's bids into a new prediction and check termination."""
+
+    @abc.abstractmethod
+    def next_announcement(
+        self,
+        context: UtilityContext,
+        previous: Announcement,
+        evaluation: RoundEvaluation,
+        round_number: int,
+    ) -> Optional[Announcement]:
+        """The next announcement, or ``None`` when no further round is possible.
+
+        Implementations must respect the monotonic concession protocol: the
+        returned announcement must be at least as attractive to customers as
+        ``previous``.
+        """
+
+    @abc.abstractmethod
+    def committed_cutdowns(
+        self, context: UtilityContext, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        """Per-customer cut-down fractions implied by the given bids."""
+
+    @abc.abstractmethod
+    def rewards_due(
+        self, context: UtilityContext, announcement: Announcement, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        """Per-customer reward (or price advantage) owed if these bids are awarded."""

@@ -1,0 +1,189 @@
+"""The offer method (Section 3.2.1): one-shot take-it-or-leave-it deal.
+
+The Utility Agent announces a single offer: customers who keep their
+consumption within ``x_max`` of their allowed amount during the peak interval
+pay the lower price for that electricity (and the higher price for any
+excess); customers who decline simply pay the normal price.  Only one round
+of negotiation takes place, so the method is fast but gives customers "almost
+no influence on the negotiation process".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.grid.pricing import Tariff
+from repro.negotiation.formulas import predicted_overuse, relative_overuse
+from repro.negotiation.messages import Announcement, Bid, OfferAnnouncement, OfferResponse
+from repro.negotiation.methods.base import (
+    CustomerContext,
+    NegotiationMethod,
+    RoundEvaluation,
+    UtilityContext,
+)
+from repro.negotiation.termination import TerminationReason
+
+
+class OfferMethod(NegotiationMethod):
+    """One-shot offer: lower price within the allowance, higher price above it.
+
+    Parameters
+    ----------
+    x_max:
+        Fraction of the allowed amount customers may use at the lower price
+        ("This ``x_max`` is the same for all consumers", as Swedish law
+        requires equal treatment).
+    tariff:
+        The lower / normal / higher price levels, known to all customers.
+    peak_hours:
+        Duration of the peak interval in hours, used to convert average-power
+        predictions into billable energy.
+    """
+
+    name = "offer"
+
+    def __init__(
+        self,
+        x_max: float = 0.8,
+        tariff: Optional[Tariff] = None,
+        peak_hours: float = 3.0,
+    ) -> None:
+        if not 0.0 < x_max <= 1.0:
+            raise ValueError(f"x_max must be in (0, 1], got {x_max}")
+        if peak_hours <= 0:
+            raise ValueError("peak duration must be positive")
+        self.x_max = float(x_max)
+        self.tariff = tariff if tariff is not None else Tariff.standard()
+        self.peak_hours = float(peak_hours)
+
+    # -- Utility Agent side ----------------------------------------------------
+
+    def initial_announcement(self, context: UtilityContext) -> OfferAnnouncement:
+        return OfferAnnouncement(
+            round_number=0,
+            interval=context.interval,
+            x_max=self.x_max,
+            tariff=self.tariff,
+        )
+
+    def evaluate_round(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        bids: Mapping[str, Bid],
+        round_number: int,
+    ) -> RoundEvaluation:
+        cutdowns = self.committed_cutdowns(context, bids)
+        # Treat acceptance as a commitment to stay within x_max of the
+        # allowed use; the implied cut-down relative to the allowance is
+        # (1 - x_max), which predicted_use_with_cutdown converts per customer.
+        overuse = predicted_overuse(
+            context.predicted_uses, context.allowed_uses, cutdowns, context.normal_use
+        )
+        ratio = relative_overuse(overuse, context.normal_use)
+        accepted = {
+            customer: isinstance(bid, OfferResponse) and bid.accept
+            for customer, bid in bids.items()
+        }
+        # The offer method always terminates after its single round.
+        reason = (
+            TerminationReason.OVERUSE_ACCEPTABLE
+            if overuse <= context.max_allowed_overuse
+            else TerminationReason.AGREEMENT
+        )
+        return RoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_customers=accepted,
+        )
+
+    def next_announcement(
+        self,
+        context: UtilityContext,
+        previous: Announcement,
+        evaluation: RoundEvaluation,
+        round_number: int,
+    ) -> Optional[Announcement]:
+        # "only one step is made in the negotiation and then the negotiation ends."
+        return None
+
+    # -- Customer Agent side -----------------------------------------------------
+
+    def respond(
+        self,
+        announcement: Announcement,
+        customer: CustomerContext,
+        previous_bid: Optional[Bid] = None,
+    ) -> OfferResponse:
+        if not isinstance(announcement, OfferAnnouncement):
+            raise TypeError("offer method needs an OfferAnnouncement")
+        accept = self._deal_is_worthwhile(announcement, customer)
+        return OfferResponse(
+            customer=customer.customer,
+            round_number=announcement.round_number,
+            accept=accept,
+        )
+
+    def _deal_is_worthwhile(
+        self, announcement: OfferAnnouncement, customer: CustomerContext
+    ) -> bool:
+        """Whether accepting (and complying with) the offer beats declining.
+
+        The customer compares its peak-interval bill at the normal price with
+        the bill under the deal assuming it cuts down to the allowance, and
+        weighs the price saving against the monetised discomfort of that
+        cut-down (its requirement table).  Customers that cannot physically
+        reach the allowance decline.
+        """
+        allowance = announcement.allowance_for(customer.allowed_use)
+        predicted_energy = customer.predicted_use * self.peak_hours
+        allowance_energy = allowance * self.peak_hours
+        tariff = announcement.tariff
+        if customer.predicted_use <= allowance:
+            # Already within the allowance: the lower price is a pure gain.
+            return True
+        required_cutdown = 1.0 - allowance / customer.predicted_use
+        if required_cutdown > customer.requirements.max_feasible_cutdown:
+            return False
+        discomfort = customer.requirements.interpolated_requirement(required_cutdown)
+        bill_normal = predicted_energy * tariff.normal_price
+        bill_deal = allowance_energy * tariff.lower_price
+        saving = bill_normal - bill_deal
+        return saving >= discomfort
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def committed_cutdowns(
+        self, context: UtilityContext, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        cutdowns: dict[str, float] = {}
+        for customer, bid in bids.items():
+            if isinstance(bid, OfferResponse) and bid.accept:
+                cutdowns[customer] = 1.0 - self.x_max
+            else:
+                cutdowns[customer] = 0.0
+        return cutdowns
+
+    def rewards_due(
+        self, context: UtilityContext, announcement: Announcement, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        """The price advantage granted to accepting customers.
+
+        The "reward" of the offer method is implicit in the tariff: the
+        difference between the normal and the lower price on the allowance
+        actually consumed.
+        """
+        if not isinstance(announcement, OfferAnnouncement):
+            raise TypeError("offer method needs an OfferAnnouncement")
+        rewards: dict[str, float] = {}
+        for customer, bid in bids.items():
+            if isinstance(bid, OfferResponse) and bid.accept:
+                allowance = announcement.allowance_for(context.allowed_uses.get(customer, 0.0))
+                consumed = min(context.predicted_uses.get(customer, 0.0), allowance)
+                rewards[customer] = (
+                    consumed * self.peak_hours * announcement.tariff.discount
+                )
+            else:
+                rewards[customer] = 0.0
+        return rewards

@@ -1,0 +1,233 @@
+"""The request-for-bids method (Section 3.2.2).
+
+The Utility Agent requests bids; each Customer Agent states how much
+electricity it really needs (``y_min``) when a reward — here the lower tariff
+on the bid amount — is promised.  If the resulting predicted balance is not
+satisfactory, a new request is issued and customers either repeat their bid
+("stand still") or improve it slightly ("one step forward").  Customers have
+much more influence than under the offer method, at the cost of a longer,
+multi-round negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.grid.pricing import Tariff
+from repro.negotiation.formulas import relative_overuse
+from repro.negotiation.messages import (
+    Announcement,
+    Bid,
+    QuantityBid,
+    RequestForBidsAnnouncement,
+)
+from repro.negotiation.methods.base import (
+    CustomerContext,
+    NegotiationMethod,
+    RoundEvaluation,
+    UtilityContext,
+)
+from repro.negotiation.termination import TerminationReason
+
+
+class RequestForBidsMethod(NegotiationMethod):
+    """Iterative quantity bidding.
+
+    Parameters
+    ----------
+    tariff:
+        The lower / normal / higher price levels.
+    step_fraction:
+        The "one step forward" size: the fraction of its predicted use a
+        customer shaves off its bid when it decides to improve.
+    peak_hours:
+        Duration of the peak interval in hours (converts power to energy for
+        the customer's financial comparison).
+    max_rounds:
+        Round budget; the method also stops as soon as a round brings no
+        improvement (every customer stood still).
+    """
+
+    name = "request_for_bids"
+
+    def __init__(
+        self,
+        tariff: Optional[Tariff] = None,
+        step_fraction: float = 0.1,
+        peak_hours: float = 3.0,
+        max_rounds: int = 20,
+    ) -> None:
+        if not 0.0 < step_fraction <= 1.0:
+            raise ValueError("step fraction must be in (0, 1]")
+        if peak_hours <= 0:
+            raise ValueError("peak duration must be positive")
+        if max_rounds <= 0:
+            raise ValueError("max rounds must be positive")
+        self.tariff = tariff if tariff is not None else Tariff.standard()
+        self.step_fraction = float(step_fraction)
+        self.peak_hours = float(peak_hours)
+        self.max_rounds = int(max_rounds)
+        self._previous_total_need: Optional[float] = None
+
+    # -- Utility Agent side -------------------------------------------------------
+
+    def initial_announcement(self, context: UtilityContext) -> RequestForBidsAnnouncement:
+        self._previous_total_need = None
+        return RequestForBidsAnnouncement(
+            round_number=0,
+            interval=context.interval,
+            tariff=self.tariff,
+            step_size=self.step_fraction,
+        )
+
+    def evaluate_round(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        bids: Mapping[str, Bid],
+        round_number: int,
+    ) -> RoundEvaluation:
+        needs = self._needed_uses(context, bids)
+        total_need = sum(needs.values())
+        overuse = total_need - context.normal_use
+        ratio = relative_overuse(overuse, context.normal_use)
+        reason: Optional[TerminationReason] = None
+        if overuse <= context.max_allowed_overuse:
+            reason = TerminationReason.OVERUSE_ACCEPTABLE
+        elif round_number + 1 >= self.max_rounds:
+            reason = TerminationReason.MAX_ROUNDS
+        elif (
+            self._previous_total_need is not None
+            and total_need >= self._previous_total_need - 1e-9
+        ):
+            # Every customer stood still: no further improvement can come.
+            reason = TerminationReason.REWARD_SATURATED
+        self._previous_total_need = total_need
+        accepted = {
+            customer: isinstance(bid, QuantityBid)
+            and bid.needed_use < context.predicted_uses.get(customer, 0.0)
+            for customer, bid in bids.items()
+        }
+        return RoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_customers=accepted,
+        )
+
+    def next_announcement(
+        self,
+        context: UtilityContext,
+        previous: Announcement,
+        evaluation: RoundEvaluation,
+        round_number: int,
+    ) -> Optional[RequestForBidsAnnouncement]:
+        if evaluation.termination is not None:
+            return None
+        return RequestForBidsAnnouncement(
+            round_number=round_number + 1,
+            interval=previous.interval,
+            tariff=self.tariff,
+            step_size=self.step_fraction,
+        )
+
+    # -- Customer Agent side --------------------------------------------------------
+
+    def respond(
+        self,
+        announcement: Announcement,
+        customer: CustomerContext,
+        previous_bid: Optional[Bid] = None,
+    ) -> QuantityBid:
+        if not isinstance(announcement, RequestForBidsAnnouncement):
+            raise TypeError("request-for-bids method needs a RequestForBidsAnnouncement")
+        if isinstance(previous_bid, QuantityBid):
+            current_need = previous_bid.needed_use
+        else:
+            current_need = customer.predicted_use
+        candidate = max(0.0, current_need - self.step_fraction * customer.predicted_use)
+        if self._step_is_worthwhile(announcement, customer, current_need, candidate):
+            needed = candidate
+        else:
+            needed = current_need  # stand still
+        return QuantityBid(
+            customer=customer.customer,
+            round_number=announcement.round_number,
+            needed_use=needed,
+        )
+
+    def _step_is_worthwhile(
+        self,
+        announcement: RequestForBidsAnnouncement,
+        customer: CustomerContext,
+        current_need: float,
+        candidate_need: float,
+    ) -> bool:
+        """Whether moving one step forward beats standing still.
+
+        The step lowers the customer's peak consumption to ``candidate_need``.
+        The financial gain is the saved energy cost (the customer buys less
+        peak energy, at the lower price granted on awarded bids); the cost is
+        the discomfort of the implied cut-down, read from the requirement
+        table.  Infeasible cut-downs are never worthwhile.
+        """
+        if customer.predicted_use <= 0 or candidate_need >= current_need:
+            return False
+        implied_cutdown = 1.0 - candidate_need / customer.predicted_use
+        if implied_cutdown > customer.requirements.max_feasible_cutdown:
+            return False
+        current_cutdown = max(0.0, 1.0 - current_need / customer.predicted_use)
+        discomfort_delta = customer.requirements.interpolated_requirement(
+            implied_cutdown
+        ) - customer.requirements.interpolated_requirement(current_cutdown)
+        saved_energy = (current_need - candidate_need) * self.peak_hours
+        # A customer that bids and is awarded pays the lower price for what it
+        # needs; the energy it no longer consumes was worth the normal price.
+        financial_gain = saved_energy * announcement.tariff.normal_price
+        return financial_gain >= discomfort_delta
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _needed_uses(
+        self, context: UtilityContext, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        needs: dict[str, float] = {}
+        for customer, predicted in context.predicted_uses.items():
+            bid = bids.get(customer)
+            if isinstance(bid, QuantityBid):
+                needs[customer] = min(predicted, bid.needed_use)
+            else:
+                needs[customer] = predicted
+        return needs
+
+    def committed_cutdowns(
+        self, context: UtilityContext, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        """Per-customer cut-down fractions implied by the quantity bids."""
+        fractions: dict[str, float] = {}
+        for customer, bid in bids.items():
+            predicted = context.predicted_uses.get(customer, 0.0)
+            if isinstance(bid, QuantityBid) and predicted > 0:
+                fractions[customer] = max(0.0, 1.0 - bid.needed_use / predicted)
+            else:
+                fractions[customer] = 0.0
+        return fractions
+
+    def rewards_due(
+        self, context: UtilityContext, announcement: Announcement, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        """Price advantage on the bid amount for customers whose bids are awarded."""
+        if not isinstance(announcement, RequestForBidsAnnouncement):
+            raise TypeError("request-for-bids method needs a RequestForBidsAnnouncement")
+        rewards: dict[str, float] = {}
+        for customer, bid in bids.items():
+            if isinstance(bid, QuantityBid):
+                billable = min(
+                    bid.needed_use, context.predicted_uses.get(customer, bid.needed_use)
+                )
+                rewards[customer] = (
+                    billable * self.peak_hours * announcement.tariff.discount
+                )
+            else:
+                rewards[customer] = 0.0
+        return rewards

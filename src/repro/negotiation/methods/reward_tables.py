@@ -1,0 +1,235 @@
+"""The announce-reward-tables method (Sections 3.2.3 and 6).
+
+The Utility Agent announces a reward table; each Customer Agent replies with
+the cut-down it is prepared to implement; the Utility Agent recomputes the
+predicted overuse with the Section 6 formulae and, if unsatisfied, announces
+a new table whose rewards have been escalated with the logistic rule.  The
+process ends when the overuse is acceptable or the rewards have (almost)
+saturated at ``max_reward``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.negotiation.formulas import (
+    predicted_overuse,
+    relative_overuse,
+    update_reward_table,
+)
+from repro.negotiation.messages import (
+    Announcement,
+    Bid,
+    CutdownBid,
+    RewardTableAnnouncement,
+)
+from repro.negotiation.methods.base import (
+    CustomerContext,
+    NegotiationMethod,
+    RoundEvaluation,
+    UtilityContext,
+)
+from repro.negotiation.reward_table import DEFAULT_CUTDOWN_GRID, RewardTable
+from repro.negotiation.strategy import (
+    AcceptAllBids,
+    AnnouncementPolicy,
+    BetaController,
+    BidAcceptancePolicy,
+    ConstantBeta,
+    CustomerBiddingPolicy,
+    GenerateAndSelectAnnouncements,
+    HighestAcceptableCutdownBidding,
+)
+from repro.negotiation.termination import (
+    CompositeTermination,
+    NegotiationStatus,
+    TerminationCondition,
+)
+
+
+class RewardTablesMethod(NegotiationMethod):
+    """The prototype's negotiation mechanism.
+
+    Parameters
+    ----------
+    max_reward:
+        The maximum reward the Utility Agent can offer (fixed in advance,
+        Section 3.2.3).
+    beta_controller:
+        Supplies β for each reward escalation (constant in the prototype).
+    initial_table:
+        Optional explicit opening reward table (used to reproduce the exact
+        Figure 6 scenario); when omitted the ``announcement_policy`` builds
+        one.
+    announcement_policy:
+        How the opening table is constructed when not given explicitly.
+    acceptance_policy:
+        Which bids are accepted once the negotiation ends.
+    bidding_policy:
+        The customer-side policy (highest acceptable cut-down by default).
+    termination:
+        Stopping criterion; defaults to the paper's composite condition.
+    cutdown_grid:
+        The discrete cut-down fractions offered.
+    """
+
+    name = "reward_tables"
+
+    def __init__(
+        self,
+        max_reward: float = 30.0,
+        beta_controller: Optional[BetaController] = None,
+        initial_table: Optional[RewardTable] = None,
+        announcement_policy: Optional[AnnouncementPolicy] = None,
+        acceptance_policy: Optional[BidAcceptancePolicy] = None,
+        bidding_policy: Optional[CustomerBiddingPolicy] = None,
+        termination: Optional[TerminationCondition] = None,
+        cutdown_grid: Sequence[float] = DEFAULT_CUTDOWN_GRID,
+        reward_epsilon: float = 1.0,
+        max_rounds: int = 50,
+    ) -> None:
+        if max_reward <= 0:
+            raise ValueError("max reward must be positive")
+        if initial_table is not None and initial_table.max_reward_offered() > max_reward:
+            raise ValueError("the initial table already exceeds max_reward")
+        self.max_reward = float(max_reward)
+        self.beta_controller = beta_controller or ConstantBeta()
+        self.initial_table = initial_table
+        self.announcement_policy = announcement_policy or GenerateAndSelectAnnouncements()
+        self.acceptance_policy = acceptance_policy or AcceptAllBids()
+        self.bidding_policy = bidding_policy or HighestAcceptableCutdownBidding()
+        self.cutdown_grid = tuple(cutdown_grid)
+        self.termination = termination or CompositeTermination.paper_default(
+            max_allowed_overuse=0.0, epsilon=reward_epsilon, max_rounds=max_rounds
+        )
+        self._previous_relative_overuse: Optional[float] = None
+
+    # -- Utility Agent side ------------------------------------------------------
+
+    def initial_announcement(self, context: UtilityContext) -> RewardTableAnnouncement:
+        if self.initial_table is not None:
+            table = self.initial_table
+        else:
+            table = self.announcement_policy.initial_table(
+                context.initial_relative_overuse, self.max_reward, self.cutdown_grid
+            )
+        if context.interval is not None:
+            table = table.with_interval(context.interval)
+        self._previous_relative_overuse = None
+        return RewardTableAnnouncement(round_number=0, interval=context.interval, table=table)
+
+    def evaluate_round(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        bids: Mapping[str, Bid],
+        round_number: int,
+    ) -> RoundEvaluation:
+        cutdowns = self.committed_cutdowns(context, bids)
+        overuse = predicted_overuse(
+            context.predicted_uses, context.allowed_uses, cutdowns, context.normal_use
+        )
+        ratio = relative_overuse(overuse, context.normal_use)
+        status = NegotiationStatus(
+            round_number=round_number,
+            predicted_overuse=overuse,
+            normal_use=context.normal_use,
+            previous_table=None,
+            current_table=None,
+        )
+        reason = self._overuse_condition(context).check(status)
+        acceptance = self.acceptance_policy.select(
+            cutdowns, context.predicted_uses, context.normal_use, context.total_predicted_use
+        )
+        return RoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_customers=acceptance,
+        )
+
+    def next_announcement(
+        self,
+        context: UtilityContext,
+        previous: Announcement,
+        evaluation: RoundEvaluation,
+        round_number: int,
+    ) -> Optional[RewardTableAnnouncement]:
+        if not isinstance(previous, RewardTableAnnouncement):
+            raise TypeError("reward-tables method needs a RewardTableAnnouncement")
+        beta = self.beta_controller.next_beta(
+            round_number, evaluation.relative_overuse, self._previous_relative_overuse
+        )
+        self._previous_relative_overuse = evaluation.relative_overuse
+        new_table = update_reward_table(
+            previous.table, beta, evaluation.relative_overuse, self.max_reward
+        )
+        status = NegotiationStatus(
+            round_number=round_number,
+            predicted_overuse=evaluation.predicted_overuse,
+            normal_use=context.normal_use,
+            previous_table=previous.table,
+            current_table=new_table,
+        )
+        if self.termination.check(status) is not None:
+            return None
+        return RewardTableAnnouncement(
+            round_number=round_number + 1, interval=previous.interval, table=new_table
+        )
+
+    def _overuse_condition(self, context: UtilityContext) -> TerminationCondition:
+        from repro.negotiation.termination import OveruseAcceptable
+
+        return OveruseAcceptable(context.max_allowed_overuse)
+
+    # -- Customer Agent side ---------------------------------------------------------
+
+    def respond(
+        self,
+        announcement: Announcement,
+        customer: CustomerContext,
+        previous_bid: Optional[Bid] = None,
+    ) -> CutdownBid:
+        if not isinstance(announcement, RewardTableAnnouncement):
+            raise TypeError("reward-tables method needs a RewardTableAnnouncement")
+        previous_cutdown = (
+            previous_bid.cutdown if isinstance(previous_bid, CutdownBid) else None
+        )
+        cutdown = self.bidding_policy.choose_cutdown(
+            announcement.table, customer.requirements, previous_cutdown
+        )
+        return CutdownBid(
+            customer=customer.customer,
+            round_number=announcement.round_number,
+            cutdown=cutdown,
+        )
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def committed_cutdowns(
+        self, context: UtilityContext, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        cutdowns: dict[str, float] = {}
+        for customer, bid in bids.items():
+            if isinstance(bid, CutdownBid):
+                cutdowns[customer] = bid.cutdown
+            else:
+                cutdowns[customer] = 0.0
+        return cutdowns
+
+    def rewards_due(
+        self, context: UtilityContext, announcement: Announcement, bids: Mapping[str, Bid]
+    ) -> dict[str, float]:
+        if not isinstance(announcement, RewardTableAnnouncement):
+            raise TypeError("reward-tables method needs a RewardTableAnnouncement")
+        rewards: dict[str, float] = {}
+        for customer, bid in bids.items():
+            if isinstance(bid, CutdownBid) and bid.cutdown > 0:
+                try:
+                    rewards[customer] = announcement.table.reward_for(bid.cutdown)
+                except KeyError:
+                    rewards[customer] = 0.0
+            else:
+                rewards[customer] = 0.0
+        return rewards

@@ -1,0 +1,312 @@
+"""Reward tables and customer cut-down-reward requirement tables.
+
+A :class:`RewardTable` is what the Utility Agent announces in the
+announce-reward-tables method: "possible cut-down values, a reward value
+assigned to each cut-down value, together with a time interval" (Section
+3.2.3).
+
+A :class:`CutdownRewardRequirements` table is the Customer Agent's private
+knowledge of its own preferences: "the percentage with which a Customer Agent
+is willing to decrease (cut-down) its electricity usage, given a specific
+level of financial compensation" (Section 6.2) — e.g. the Figure 8/9 customer
+requires a reward of at least 10 for a cut-down of 0.3 and at least 21 for a
+cut-down of 0.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.runtime.clock import TimeInterval
+
+#: Default grid of cut-down fractions used by the prototype (Figure 6:
+#: "for each cut-down fraction (0, 0.1, 0.2, ...)").
+DEFAULT_CUTDOWN_GRID: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def _validate_cutdown(cutdown: float) -> float:
+    if not 0.0 <= cutdown <= 1.0:
+        raise ValueError(f"cut-down fraction must be in [0, 1], got {cutdown}")
+    return round(float(cutdown), 6)
+
+
+@dataclass(frozen=True)
+class RewardTable:
+    """Rewards offered by the Utility Agent per cut-down fraction.
+
+    Attributes
+    ----------
+    entries:
+        Mapping cut-down fraction -> reward (currency units for implementing
+        that cut-down during the interval).
+    interval:
+        The time interval the cut-downs refer to (may be ``None`` in unit
+        tests and formula-level computations).
+    """
+
+    entries: Mapping[float, float]
+    interval: Optional[TimeInterval] = None
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a reward table needs at least one entry")
+        normalised = {}
+        for cutdown, reward in self.entries.items():
+            cutdown = _validate_cutdown(cutdown)
+            if reward < 0:
+                raise ValueError(f"reward for cut-down {cutdown} must be non-negative")
+            normalised[cutdown] = float(reward)
+        object.__setattr__(self, "entries", normalised)
+
+    # -- access ----------------------------------------------------------------
+
+    def cutdowns(self) -> list[float]:
+        """Cut-down fractions offered, ascending."""
+        return sorted(self.entries)
+
+    def reward_for(self, cutdown: float) -> float:
+        """Reward offered for a specific cut-down fraction.
+
+        Raises
+        ------
+        KeyError
+            If the cut-down value is not in the table (customers may only
+            choose "from some discrete values").
+        """
+        key = _validate_cutdown(cutdown)
+        if key not in self.entries:
+            raise KeyError(f"cut-down {cutdown} not offered by this reward table")
+        return self.entries[key]
+
+    def max_reward_offered(self) -> float:
+        return max(self.entries.values())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- comparisons -------------------------------------------------------------
+
+    def at_least_as_generous_as(self, other: "RewardTable") -> bool:
+        """Whether every reward in this table is >= the other's (same grid).
+
+        This is the monotonic-concession requirement on successive
+        announcements by the Utility Agent.
+        """
+        if set(self.entries) != set(other.entries):
+            return False
+        return all(self.entries[c] >= other.entries[c] for c in self.entries)
+
+    def strictly_more_generous_than(self, other: "RewardTable") -> bool:
+        """At least as generous, and strictly better for some cut-down."""
+        return self.at_least_as_generous_as(other) and any(
+            self.entries[c] > other.entries[c] for c in self.entries
+        )
+
+    def is_monotone_in_cutdown(self) -> bool:
+        """Whether larger cut-downs are rewarded at least as much as smaller ones."""
+        ordered = self.cutdowns()
+        rewards = [self.entries[c] for c in ordered]
+        return all(b >= a for a, b in zip(rewards, rewards[1:]))
+
+    # -- construction helpers -------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[float, float]],
+        interval: Optional[TimeInterval] = None,
+    ) -> "RewardTable":
+        return cls(dict(pairs), interval)
+
+    @classmethod
+    def linear(
+        cls,
+        reward_at_full_cutdown: float,
+        grid: Iterable[float] = DEFAULT_CUTDOWN_GRID,
+        interval: Optional[TimeInterval] = None,
+    ) -> "RewardTable":
+        """A table whose reward is proportional to the cut-down fraction."""
+        if reward_at_full_cutdown < 0:
+            raise ValueError("reward at full cut-down must be non-negative")
+        return cls(
+            {c: reward_at_full_cutdown * _validate_cutdown(c) for c in grid}, interval
+        )
+
+    @classmethod
+    def convex(
+        cls,
+        reward_at_full_cutdown: float,
+        exponent: float = 2.0,
+        grid: Iterable[float] = DEFAULT_CUTDOWN_GRID,
+        interval: Optional[TimeInterval] = None,
+    ) -> "RewardTable":
+        """A table whose reward grows super-linearly with the cut-down.
+
+        Convexity reflects that deep cut-downs hurt customers more than
+        proportionally, so they must be rewarded more than proportionally.
+        """
+        if reward_at_full_cutdown < 0:
+            raise ValueError("reward at full cut-down must be non-negative")
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        return cls(
+            {
+                c: reward_at_full_cutdown * (_validate_cutdown(c) ** exponent)
+                for c in grid
+            },
+            interval,
+        )
+
+    def with_interval(self, interval: TimeInterval) -> "RewardTable":
+        return RewardTable(dict(self.entries), interval)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Tabular rendering (used by the Figure 6/7 bench)."""
+        return [
+            {"cutdown": cutdown, "reward": self.entries[cutdown]}
+            for cutdown in self.cutdowns()
+        ]
+
+
+@dataclass(frozen=True)
+class CutdownRewardRequirements:
+    """A customer's private requirement: minimum reward per cut-down fraction.
+
+    A cut-down is *acceptable* under an announced reward table when the
+    offered reward is at least the required reward ("Each cut-down for which
+    the required reward value of the customer is lower than the reward offered
+    by the Utility Agent, is an acceptable cut-down", Section 6.2; we read
+    "lower" as "not higher", i.e. ties are acceptable, which also matches the
+    monotonic concession framing of equally-acceptable deals).
+
+    ``max_feasible_cutdown`` captures the physical limit reported by the
+    Resource Consumer Agents: cut-downs above it are never acceptable no
+    matter the reward.
+    """
+
+    requirements: Mapping[float, float]
+    max_feasible_cutdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.requirements:
+            raise ValueError("a requirement table needs at least one entry")
+        normalised = {}
+        for cutdown, required in self.requirements.items():
+            cutdown = _validate_cutdown(cutdown)
+            if required < 0:
+                raise ValueError(f"required reward for cut-down {cutdown} must be non-negative")
+            normalised[cutdown] = float(required)
+        object.__setattr__(self, "requirements", normalised)
+        if not 0.0 <= self.max_feasible_cutdown <= 1.0:
+            raise ValueError("max feasible cut-down must be in [0, 1]")
+
+    def cutdowns(self) -> list[float]:
+        return sorted(self.requirements)
+
+    def required_reward_for(self, cutdown: float) -> float:
+        key = _validate_cutdown(cutdown)
+        if key not in self.requirements:
+            raise KeyError(f"cut-down {cutdown} not covered by this requirement table")
+        return self.requirements[key]
+
+    def is_acceptable(self, cutdown: float, offered_reward: float) -> bool:
+        """Whether a cut-down is acceptable at an offered reward."""
+        key = _validate_cutdown(cutdown)
+        if key > self.max_feasible_cutdown + 1e-12:
+            return False
+        if key == 0.0:
+            return True
+        required = self.requirements.get(key)
+        if required is None:
+            return False
+        return offered_reward >= required
+
+    def acceptable_cutdowns(self, table: RewardTable) -> list[float]:
+        """All cut-downs in the announced table acceptable to this customer."""
+        return [
+            cutdown
+            for cutdown in table.cutdowns()
+            if self.is_acceptable(cutdown, table.entries[cutdown])
+        ]
+
+    def highest_acceptable_cutdown(self, table: RewardTable) -> float:
+        """The customer's preferred (largest acceptable) cut-down; 0.0 if none."""
+        acceptable = self.acceptable_cutdowns(table)
+        return max(acceptable) if acceptable else 0.0
+
+    def surplus(self, cutdown: float, offered_reward: float) -> float:
+        """Offered reward minus required reward (the customer's gain margin)."""
+        if cutdown == 0.0:
+            return 0.0
+        required = self.requirements.get(_validate_cutdown(cutdown))
+        if required is None:
+            raise KeyError(f"cut-down {cutdown} not covered by this requirement table")
+        return offered_reward - required
+
+    def is_monotone(self) -> bool:
+        """Whether deeper cut-downs require at least as much reward."""
+        ordered = self.cutdowns()
+        required = [self.requirements[c] for c in ordered]
+        return all(b >= a for a, b in zip(required, required[1:]))
+
+    def interpolated_requirement(self, cutdown: float) -> float:
+        """Required reward for an arbitrary cut-down fraction.
+
+        Linearly interpolates between grid points; extrapolates with the last
+        segment's slope beyond the grid.  Returns ``inf`` for cut-downs beyond
+        the customer's physical limit.  Used by the offer and request-for-bids
+        methods, whose deals are not restricted to the discrete grid.
+        """
+        cutdown = _validate_cutdown(cutdown)
+        if cutdown > self.max_feasible_cutdown + 1e-12:
+            return float("inf")
+        if cutdown == 0.0:
+            return 0.0
+        grid = self.cutdowns()
+        if cutdown in self.requirements:
+            return self.requirements[cutdown]
+        below = [c for c in grid if c < cutdown]
+        above = [c for c in grid if c > cutdown]
+        if below and above:
+            low, high = max(below), min(above)
+            low_value, high_value = self.requirements[low], self.requirements[high]
+            fraction = (cutdown - low) / (high - low)
+            return low_value + fraction * (high_value - low_value)
+        if below:
+            if len(below) >= 2:
+                second, last = below[-2], below[-1]
+                slope = (self.requirements[last] - self.requirements[second]) / (last - second)
+            else:
+                last = below[-1]
+                slope = self.requirements[last] / last if last > 0 else 0.0
+            return self.requirements[below[-1]] + slope * (cutdown - below[-1])
+        first = above[0]
+        return self.requirements[first] * (cutdown / first)
+
+    @classmethod
+    def paper_figure_8_customer(cls) -> "CutdownRewardRequirements":
+        """The requirement table of the customer shown in Figures 8 and 9.
+
+        The paper gives two anchor points — at least 10 for a cut-down of 0.3
+        and at least 21 for 0.4 ("and so on") — and the behaviour that in the
+        first round (reward table of Figure 6) the highest acceptable cut-down
+        is 0.2.  The remaining values are interpolated consistently with that
+        behaviour and with convex discomfort.
+        """
+        return cls(
+            requirements={
+                0.0: 0.0,
+                0.1: 1.0,
+                0.2: 4.0,
+                0.3: 10.0,
+                0.4: 21.0,
+                0.5: 35.0,
+                0.6: 52.0,
+                0.7: 72.0,
+                0.8: 95.0,
+                0.9: 121.0,
+                1.0: 150.0,
+            },
+            max_feasible_cutdown=0.8,
+        )

@@ -1,0 +1,363 @@
+"""Tunable negotiation policies.
+
+The paper separates the *mechanics* of each announcement method from the
+*strategies* the agents plug into them:
+
+* the Utility Agent's **β controller** — the prototype uses a constant β;
+  Section 7 explicitly calls for "dynamically varying the value of beta on
+  the basis of experience" (implemented here as :class:`AdaptiveBeta`);
+* the Utility Agent's **announcement determination** — "generate and select"
+  versus "statistical analysis and optimisation" (Figure 3);
+* the Utility Agent's **bid acceptance strategy** (Figure 3: *determine bid
+  acceptance*): accept every bid, or select just enough bids;
+* the Customer Agent's **bidding policy** (Figure 5: *choose appropriate
+  bid* / *calculate expected gain*): bid the highest acceptable cut-down
+  (the prototype's behaviour, Figures 8/9) or maximise expected gain.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.negotiation.formulas import update_reward_table
+from repro.negotiation.reward_table import (
+    DEFAULT_CUTDOWN_GRID,
+    CutdownRewardRequirements,
+    RewardTable,
+)
+
+
+# ---------------------------------------------------------------------------
+# beta controllers
+# ---------------------------------------------------------------------------
+
+class BetaController(abc.ABC):
+    """Supplies the β used for the next reward-table update."""
+
+    @abc.abstractmethod
+    def next_beta(self, round_number: int, overuse: float, previous_overuse: Optional[float]) -> float:
+        """β for the upcoming update.
+
+        Parameters
+        ----------
+        round_number:
+            Round just completed (0-based).
+        overuse:
+            Current relative overuse (predicted overuse / normal use).
+        previous_overuse:
+            Relative overuse after the previous round (``None`` in round 0).
+        """
+
+
+class ConstantBeta(BetaController):
+    """The prototype's behaviour: "the factor beta ... has a constant value"."""
+
+    def __init__(self, beta: float = 2.0) -> None:
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        self.beta = float(beta)
+
+    def next_beta(self, round_number: int, overuse: float, previous_overuse: Optional[float]) -> float:
+        return self.beta
+
+
+class AdaptiveBeta(BetaController):
+    """Dynamic β based on experience (the Section 7 extension).
+
+    The controller speeds up (raises β) when the overuse is not falling fast
+    enough between rounds and slows down (lowers β) when it is falling
+    quickly, so the utility spends no more reward than necessary while still
+    converging in few rounds.
+    """
+
+    def __init__(
+        self,
+        initial_beta: float = 2.0,
+        min_beta: float = 0.25,
+        max_beta: float = 8.0,
+        target_improvement: float = 0.3,
+        adjustment: float = 1.5,
+    ) -> None:
+        if not 0 < min_beta <= initial_beta <= max_beta:
+            raise ValueError("need 0 < min_beta <= initial_beta <= max_beta")
+        if not 0 < target_improvement < 1:
+            raise ValueError("target improvement must be in (0, 1)")
+        if adjustment <= 1:
+            raise ValueError("adjustment factor must exceed 1")
+        self.beta = float(initial_beta)
+        self.min_beta = float(min_beta)
+        self.max_beta = float(max_beta)
+        self.target_improvement = float(target_improvement)
+        self.adjustment = float(adjustment)
+
+    def next_beta(self, round_number: int, overuse: float, previous_overuse: Optional[float]) -> float:
+        if previous_overuse is None or previous_overuse <= 0:
+            return self.beta
+        improvement = (previous_overuse - overuse) / previous_overuse
+        if improvement < self.target_improvement:
+            self.beta = min(self.max_beta, self.beta * self.adjustment)
+        elif improvement > 2 * self.target_improvement:
+            self.beta = max(self.min_beta, self.beta / self.adjustment)
+        return self.beta
+
+
+# ---------------------------------------------------------------------------
+# announcement determination (initial reward table construction)
+# ---------------------------------------------------------------------------
+
+class AnnouncementPolicy(abc.ABC):
+    """Constructs the Utility Agent's initial reward table."""
+
+    @abc.abstractmethod
+    def initial_table(
+        self,
+        relative_overuse: float,
+        max_reward: float,
+        grid: Sequence[float] = DEFAULT_CUTDOWN_GRID,
+    ) -> RewardTable:
+        """The first announced reward table."""
+
+
+class GenerateAndSelectAnnouncements(AnnouncementPolicy):
+    """Generate candidate tables and select one (Figure 3, left branch).
+
+    Candidates are convex tables at several generosity levels; the policy
+    selects the cheapest candidate whose generosity scales with the severity
+    of the predicted overuse — a simple qualitative selection, as the paper
+    suggests ("this selection process can be randomly determined, or it can
+    be based on, for example, predictions of the results").
+    """
+
+    def __init__(self, generosity_levels: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8)) -> None:
+        if not generosity_levels:
+            raise ValueError("need at least one generosity level")
+        if any(not 0 < g <= 1 for g in generosity_levels):
+            raise ValueError("generosity levels must be in (0, 1]")
+        self.generosity_levels = sorted(generosity_levels)
+
+    def initial_table(
+        self,
+        relative_overuse: float,
+        max_reward: float,
+        grid: Sequence[float] = DEFAULT_CUTDOWN_GRID,
+    ) -> RewardTable:
+        if max_reward <= 0:
+            raise ValueError("max reward must be positive")
+        candidates = [
+            RewardTable.convex(level * max_reward, exponent=1.6, grid=grid)
+            for level in self.generosity_levels
+        ]
+        # Severe overuse (>= 30% of capacity) warrants the most generous
+        # candidate, mild overuse the least generous one.
+        severity = min(1.0, max(0.0, relative_overuse) / 0.3)
+        index = min(
+            len(candidates) - 1, int(round(severity * (len(candidates) - 1)))
+        )
+        return candidates[index]
+
+
+class StatisticalAnnouncementOptimisation(AnnouncementPolicy):
+    """Optimise the initial table against a model of customer acceptance.
+
+    The policy assumes customers accept a cut-down when the offered reward
+    exceeds their (unknown) requirement, modelled as proportional to an
+    assumed marginal discomfort; it then picks the cheapest table expected to
+    remove the predicted overuse.  This is the "statistical analysis and
+    optimisation" branch of Figure 3.
+    """
+
+    def __init__(
+        self,
+        assumed_requirement_scale: float = 50.0,
+        assumed_exponent: float = 1.8,
+        acceptance_margin: float = 1.1,
+    ) -> None:
+        if assumed_requirement_scale <= 0:
+            raise ValueError("requirement scale must be positive")
+        if assumed_exponent <= 0:
+            raise ValueError("exponent must be positive")
+        if acceptance_margin < 1.0:
+            raise ValueError("acceptance margin must be at least 1")
+        self.assumed_requirement_scale = assumed_requirement_scale
+        self.assumed_exponent = assumed_exponent
+        self.acceptance_margin = acceptance_margin
+
+    def initial_table(
+        self,
+        relative_overuse: float,
+        max_reward: float,
+        grid: Sequence[float] = DEFAULT_CUTDOWN_GRID,
+    ) -> RewardTable:
+        if max_reward <= 0:
+            raise ValueError("max reward must be positive")
+        # The cut-down every customer must (on average) deliver to remove the
+        # overuse entirely.
+        needed_cutdown = min(0.9, max(0.0, relative_overuse) / (1.0 + max(0.0, relative_overuse)))
+        entries = {}
+        for cutdown in grid:
+            assumed_requirement = (
+                self.assumed_requirement_scale * (cutdown ** self.assumed_exponent)
+            )
+            if cutdown <= needed_cutdown:
+                reward = min(max_reward, assumed_requirement * self.acceptance_margin)
+            else:
+                # Deeper cut-downs than needed are offered but not subsidised
+                # beyond the proportional trend.
+                reward = min(max_reward, assumed_requirement)
+            entries[cutdown] = reward
+        return RewardTable(entries)
+
+
+# ---------------------------------------------------------------------------
+# bid acceptance strategies (Utility Agent)
+# ---------------------------------------------------------------------------
+
+class BidAcceptancePolicy(abc.ABC):
+    """Decides which customer bids the Utility Agent accepts."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        bids: Mapping[str, float],
+        predicted_uses: Mapping[str, float],
+        normal_use: float,
+        total_predicted: float,
+    ) -> dict[str, bool]:
+        """Per-customer acceptance decision.
+
+        Parameters
+        ----------
+        bids:
+            Customer name -> committed cut-down fraction.
+        predicted_uses:
+            Customer name -> predicted use in the peak interval.
+        normal_use:
+            Capacity servable at normal cost.
+        total_predicted:
+            Total predicted use before any cut-down.
+        """
+
+
+class AcceptAllBids(BidAcceptancePolicy):
+    """The prototype's behaviour: every responding customer's bid is accepted."""
+
+    def select(
+        self,
+        bids: Mapping[str, float],
+        predicted_uses: Mapping[str, float],
+        normal_use: float,
+        total_predicted: float,
+    ) -> dict[str, bool]:
+        return {customer: cutdown > 0 for customer, cutdown in bids.items()}
+
+
+class SelectiveBidAcceptance(BidAcceptancePolicy):
+    """Accept only enough bids to remove the overuse, preferring big savers.
+
+    Rewards cost money, so once the accumulated cut-downs remove the overuse
+    (plus a safety margin) the remaining bids are declined.  Bids are ranked
+    by the absolute consumption reduction they deliver.
+    """
+
+    def __init__(self, safety_margin: float = 0.05) -> None:
+        if safety_margin < 0:
+            raise ValueError("safety margin must be non-negative")
+        self.safety_margin = safety_margin
+
+    def select(
+        self,
+        bids: Mapping[str, float],
+        predicted_uses: Mapping[str, float],
+        normal_use: float,
+        total_predicted: float,
+    ) -> dict[str, bool]:
+        overuse = total_predicted - normal_use
+        target_reduction = overuse * (1.0 + self.safety_margin)
+        decisions = {customer: False for customer in bids}
+        if target_reduction <= 0:
+            return decisions
+        savings = [
+            (customer, bids[customer] * predicted_uses.get(customer, 0.0))
+            for customer in bids
+            if bids[customer] > 0
+        ]
+        savings.sort(key=lambda item: item[1], reverse=True)
+        accumulated = 0.0
+        for customer, saving in savings:
+            if accumulated >= target_reduction:
+                break
+            decisions[customer] = True
+            accumulated += saving
+        return decisions
+
+
+# ---------------------------------------------------------------------------
+# customer bidding policies
+# ---------------------------------------------------------------------------
+
+class CustomerBiddingPolicy(abc.ABC):
+    """Chooses a customer's cut-down bid given an announced reward table."""
+
+    @abc.abstractmethod
+    def choose_cutdown(
+        self,
+        table: RewardTable,
+        requirements: CutdownRewardRequirements,
+        previous_bid: Optional[float] = None,
+    ) -> float:
+        """The cut-down to bid this round (0.0 means no cut-down)."""
+
+
+class HighestAcceptableCutdownBidding(CustomerBiddingPolicy):
+    """The prototype's behaviour: bid the highest acceptable cut-down.
+
+    "the Customer Agent chooses the highest acceptable cut-down as its
+    preferred cut-down and informs the Utility Agent of this choice"
+    (Section 6.2).  Monotonic concession is preserved by never bidding below
+    a previous bid (rewards only rise, so previously acceptable cut-downs
+    remain acceptable; the ``max`` is a guard against irregular tables).
+    """
+
+    def choose_cutdown(
+        self,
+        table: RewardTable,
+        requirements: CutdownRewardRequirements,
+        previous_bid: Optional[float] = None,
+    ) -> float:
+        candidate = requirements.highest_acceptable_cutdown(table)
+        if previous_bid is not None:
+            return max(candidate, previous_bid)
+        return candidate
+
+
+class ExpectedGainBidding(CustomerBiddingPolicy):
+    """Bid the cut-down maximising the customer's surplus (Figure 5).
+
+    The surplus of a cut-down is the offered reward minus the customer's
+    required reward (its monetised discomfort).  Among acceptable cut-downs
+    the one with the largest surplus is chosen; ties go to the larger
+    cut-down (better for the grid at equal gain).
+    """
+
+    def choose_cutdown(
+        self,
+        table: RewardTable,
+        requirements: CutdownRewardRequirements,
+        previous_bid: Optional[float] = None,
+    ) -> float:
+        best_cutdown = 0.0
+        best_surplus = 0.0
+        for cutdown in requirements.acceptable_cutdowns(table):
+            if cutdown == 0.0:
+                continue
+            surplus = requirements.surplus(cutdown, table.entries[cutdown])
+            if surplus > best_surplus or (
+                surplus == best_surplus and cutdown > best_cutdown
+            ):
+                best_cutdown = cutdown
+                best_surplus = surplus
+        if previous_bid is not None:
+            return max(best_cutdown, previous_bid)
+        return best_cutdown

@@ -1,0 +1,135 @@
+"""Termination conditions of the negotiation process.
+
+The paper (Sections 3.2.3 and 6) ends the reward-table negotiation when
+
+1. "the peak is satisfactorily low for the Utility Agent (at most the maximal
+   allowed overuse)", or
+2. "the reward values in the new reward table have (almost) reached the
+   maximum value the Utility Agent can offer" — operationalised in the
+   prototype as a per-round reward increment of at most 1.
+
+We model each condition as a small object so strategies and experiments can
+mix them (plus a round-budget safety net) with :class:`CompositeTermination`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.negotiation.formulas import reward_increment
+from repro.negotiation.reward_table import RewardTable
+
+
+class TerminationReason(Enum):
+    """Why a negotiation ended."""
+
+    OVERUSE_ACCEPTABLE = "overuse_acceptable"
+    REWARD_SATURATED = "reward_saturated"
+    MAX_ROUNDS = "max_rounds"
+    AGREEMENT = "agreement"
+    NOT_TERMINATED = "not_terminated"
+
+
+@dataclass(frozen=True)
+class NegotiationStatus:
+    """Snapshot of the quantities termination conditions look at."""
+
+    round_number: int
+    predicted_overuse: float
+    normal_use: float
+    previous_table: Optional[RewardTable] = None
+    current_table: Optional[RewardTable] = None
+
+    @property
+    def relative_overuse(self) -> float:
+        if self.normal_use <= 0:
+            raise ValueError("normal use must be positive")
+        return self.predicted_overuse / self.normal_use
+
+
+class TerminationCondition(abc.ABC):
+    """A single stopping criterion."""
+
+    @abc.abstractmethod
+    def check(self, status: NegotiationStatus) -> Optional[TerminationReason]:
+        """Return the reason to stop, or ``None`` to continue."""
+
+
+class OveruseAcceptable(TerminationCondition):
+    """Stop when predicted overuse is at most the maximal allowed overuse."""
+
+    def __init__(self, max_allowed_overuse: float = 0.0) -> None:
+        self.max_allowed_overuse = float(max_allowed_overuse)
+
+    def check(self, status: NegotiationStatus) -> Optional[TerminationReason]:
+        if status.predicted_overuse <= self.max_allowed_overuse:
+            return TerminationReason.OVERUSE_ACCEPTABLE
+        return None
+
+
+class RewardSaturated(TerminationCondition):
+    """Stop when the per-round reward increment drops to at most ``epsilon``.
+
+    The prototype uses ``epsilon = 1``.
+    """
+
+    def __init__(self, epsilon: float = 1.0) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def check(self, status: NegotiationStatus) -> Optional[TerminationReason]:
+        if status.previous_table is None or status.current_table is None:
+            return None
+        if reward_increment(status.previous_table, status.current_table) <= self.epsilon:
+            return TerminationReason.REWARD_SATURATED
+        return None
+
+
+class MaxRoundsReached(TerminationCondition):
+    """Safety net: stop after a fixed number of rounds."""
+
+    def __init__(self, max_rounds: int = 100) -> None:
+        if max_rounds <= 0:
+            raise ValueError(f"max rounds must be positive, got {max_rounds}")
+        self.max_rounds = int(max_rounds)
+
+    def check(self, status: NegotiationStatus) -> Optional[TerminationReason]:
+        if status.round_number >= self.max_rounds:
+            return TerminationReason.MAX_ROUNDS
+        return None
+
+
+class CompositeTermination(TerminationCondition):
+    """First condition that fires decides the reason (checked in order)."""
+
+    def __init__(self, conditions: Sequence[TerminationCondition]) -> None:
+        if not conditions:
+            raise ValueError("a composite termination needs at least one condition")
+        self.conditions = list(conditions)
+
+    def check(self, status: NegotiationStatus) -> Optional[TerminationReason]:
+        for condition in self.conditions:
+            reason = condition.check(status)
+            if reason is not None:
+                return reason
+        return None
+
+    @classmethod
+    def paper_default(
+        cls,
+        max_allowed_overuse: float = 0.0,
+        epsilon: float = 1.0,
+        max_rounds: int = 100,
+    ) -> "CompositeTermination":
+        """The prototype's termination: acceptable overuse, saturation, budget."""
+        return cls(
+            [
+                OveruseAcceptable(max_allowed_overuse),
+                RewardSaturated(epsilon),
+                MaxRoundsReached(max_rounds),
+            ]
+        )

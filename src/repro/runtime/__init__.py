@@ -1,0 +1,44 @@
+"""Discrete-event multi-agent runtime.
+
+This package is the execution substrate on which the DESIRE-style agents run.
+The original prototype was executed inside the DESIRE software environment,
+which provided component scheduling and message transport; here we provide an
+equivalent, small, deterministic runtime:
+
+* :mod:`repro.runtime.clock` — simulation time (slots of a day, rounds of a
+  negotiation).
+* :mod:`repro.runtime.events` — event objects and the event queue.
+* :mod:`repro.runtime.scheduler` — a deterministic discrete-event scheduler.
+* :mod:`repro.runtime.messaging` — typed messages, mailboxes and a message
+  bus connecting agents.
+* :mod:`repro.runtime.simulation` — the top-level simulation driver that
+  advances the clock, delivers messages and steps agents.
+* :mod:`repro.runtime.rng` — seeded random-number helpers so every experiment
+  is reproducible.
+"""
+
+from repro.runtime.clock import SimulationClock, TimeInterval, TimeSlot
+from repro.runtime.events import Event, EventQueue, EventType
+from repro.runtime.messaging import Mailbox, Message, MessageBus, Performative
+from repro.runtime.rng import RandomSource
+from repro.runtime.scheduler import ScheduledTask, Scheduler
+from repro.runtime.simulation import Simulation, SimulationError, SimulationReport
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "EventType",
+    "Mailbox",
+    "Message",
+    "MessageBus",
+    "Performative",
+    "RandomSource",
+    "ScheduledTask",
+    "Scheduler",
+    "Simulation",
+    "SimulationClock",
+    "SimulationError",
+    "SimulationReport",
+    "TimeInterval",
+    "TimeSlot",
+]

@@ -1,0 +1,197 @@
+"""Simulation time for the load-management domain.
+
+The paper reasons about electricity demand over a day (Figure 1 shows a daily
+demand curve with a peak) and about *time intervals* attached to reward tables
+("the Customer Agent ... is prepared to make a cut-down x during interval I").
+We therefore model time as discrete slots of a day (by default 24 hourly
+slots, but any resolution is supported) plus a continuous simulation clock
+used by the discrete-event scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Number of minutes in a day; used to validate slot resolutions.
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True, order=True)
+class TimeSlot:
+    """A discrete slot of a day.
+
+    Parameters
+    ----------
+    index:
+        Slot index within the day, ``0 <= index < slots_per_day``.
+    slots_per_day:
+        Resolution of the day.  24 means hourly slots, 96 means
+        quarter-hourly slots.
+    """
+
+    index: int
+    slots_per_day: int = 24
+
+    def __post_init__(self) -> None:
+        if self.slots_per_day <= 0:
+            raise ValueError(f"slots_per_day must be positive, got {self.slots_per_day}")
+        if MINUTES_PER_DAY % self.slots_per_day != 0:
+            raise ValueError(
+                f"slots_per_day must divide {MINUTES_PER_DAY} minutes, got {self.slots_per_day}"
+            )
+        if not 0 <= self.index < self.slots_per_day:
+            raise ValueError(
+                f"slot index {self.index} out of range for {self.slots_per_day} slots per day"
+            )
+
+    @property
+    def minutes(self) -> int:
+        """Length of the slot in minutes."""
+        return MINUTES_PER_DAY // self.slots_per_day
+
+    @property
+    def hours(self) -> float:
+        """Length of the slot in hours."""
+        return self.minutes / 60.0
+
+    @property
+    def start_hour(self) -> float:
+        """Hour of day (0-24) at which this slot starts."""
+        return self.index * self.hours
+
+    @property
+    def end_hour(self) -> float:
+        """Hour of day (0-24) at which this slot ends."""
+        return (self.index + 1) * self.hours
+
+    def next(self) -> "TimeSlot":
+        """The following slot, wrapping around midnight."""
+        return TimeSlot((self.index + 1) % self.slots_per_day, self.slots_per_day)
+
+    def previous(self) -> "TimeSlot":
+        """The preceding slot, wrapping around midnight."""
+        return TimeSlot((self.index - 1) % self.slots_per_day, self.slots_per_day)
+
+    def label(self) -> str:
+        """Human-readable ``HH:MM-HH:MM`` label."""
+        start = int(self.start_hour * 60)
+        end = int(self.end_hour * 60)
+        return f"{start // 60:02d}:{start % 60:02d}-{(end // 60) % 24:02d}:{end % 60:02d}"
+
+    @classmethod
+    def from_hour(cls, hour: float, slots_per_day: int = 24) -> "TimeSlot":
+        """Slot containing the given hour of day."""
+        if not 0 <= hour < 24:
+            raise ValueError(f"hour must be in [0, 24), got {hour}")
+        index = int(hour * slots_per_day / 24)
+        return cls(index, slots_per_day)
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A contiguous interval of slots within a day.
+
+    Reward tables announced by the Utility Agent always refer to a specific
+    time interval (the expected peak period).
+    """
+
+    start: TimeSlot
+    end: TimeSlot
+
+    def __post_init__(self) -> None:
+        if self.start.slots_per_day != self.end.slots_per_day:
+            raise ValueError("interval endpoints must use the same slot resolution")
+        if self.end.index < self.start.index:
+            raise ValueError(
+                f"interval end ({self.end.index}) precedes start ({self.start.index})"
+            )
+
+    @property
+    def slots_per_day(self) -> int:
+        return self.start.slots_per_day
+
+    @property
+    def num_slots(self) -> int:
+        """Number of slots covered, inclusive of both endpoints."""
+        return self.end.index - self.start.index + 1
+
+    @property
+    def duration_hours(self) -> float:
+        return self.num_slots * self.start.hours
+
+    def slots(self) -> Iterator[TimeSlot]:
+        """Iterate over the slots covered by the interval."""
+        for index in range(self.start.index, self.end.index + 1):
+            yield TimeSlot(index, self.slots_per_day)
+
+    def contains(self, slot: TimeSlot) -> bool:
+        """Whether ``slot`` falls inside the interval."""
+        if slot.slots_per_day != self.slots_per_day:
+            return False
+        return self.start.index <= slot.index <= self.end.index
+
+    def label(self) -> str:
+        """Human-readable ``HH:MM-HH:MM`` label spanning the interval."""
+        start = int(self.start.start_hour * 60)
+        end = int(self.end.end_hour * 60)
+        return f"{start // 60:02d}:{start % 60:02d}-{(end // 60) % 24:02d}:{end % 60:02d}"
+
+    @classmethod
+    def from_hours(
+        cls, start_hour: float, end_hour: float, slots_per_day: int = 24
+    ) -> "TimeInterval":
+        """Interval covering ``[start_hour, end_hour)`` of the day."""
+        if end_hour <= start_hour:
+            raise ValueError("end_hour must be after start_hour")
+        start = TimeSlot.from_hour(start_hour, slots_per_day)
+        # The end slot is the slot containing the last instant before end_hour.
+        last = min(end_hour - 1e-9, 24 - 1e-9)
+        end = TimeSlot.from_hour(last, slots_per_day)
+        return cls(start, end)
+
+
+class SimulationClock:
+    """Monotone simulation clock used by the discrete-event scheduler.
+
+    Time is a float in abstract "ticks"; for negotiation experiments one tick
+    corresponds to one negotiation round, for day-long grid simulations one
+    tick corresponds to one time slot.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises
+        ------
+        ValueError
+            If ``when`` lies in the past; simulation time is monotone.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot move clock backwards from {self._now} to {when}")
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` ticks."""
+        if delta < 0:
+            raise ValueError(f"cannot advance by a negative delta ({delta})")
+        self._now += float(delta)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between independent experiment repetitions)."""
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now})"

@@ -1,0 +1,146 @@
+"""Events and the event queue for the discrete-event scheduler.
+
+Events are ordered by ``(time, priority, sequence)``: earlier events first,
+then higher-priority events (lower numeric value), and finally insertion
+order, which makes scheduling fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+
+class EventType(Enum):
+    """Classification of events flowing through the simulation."""
+
+    #: A message is delivered to an agent's mailbox.
+    MESSAGE_DELIVERY = "message_delivery"
+    #: An agent is given a turn to run its internal processes.
+    AGENT_STEP = "agent_step"
+    #: The external world updates (weather, consumption measurements).
+    WORLD_UPDATE = "world_update"
+    #: A negotiation round boundary.
+    ROUND_BOUNDARY = "round_boundary"
+    #: A user-supplied callback.
+    CALLBACK = "callback"
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    event_type:
+        Classification used by the simulation driver.
+    target:
+        Identifier of the agent or component the event concerns (may be
+        ``None`` for global events).
+    payload:
+        Arbitrary event payload (a message, a slot index, ...).
+    priority:
+        Lower values fire first among events with equal time.
+    action:
+        Optional callable executed when the event is dispatched.
+    """
+
+    time: float
+    event_type: EventType
+    target: Optional[str] = None
+    payload: Any = None
+    priority: int = 0
+    action: Optional[Callable[["Event"], None]] = None
+    sequence: int = field(default=-1, compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, event: Event) -> Event:
+        """Add an event; assigns its sequence number and returns it."""
+        if event.time < 0:
+            raise ValueError(f"event time must be non-negative, got {event.time}")
+        event.sequence = next(self._counter)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        while self._heap:
+            __, event = heapq.heappop(self._heap)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest pending event."""
+        while self._heap:
+            __, event = self._heap[0]
+            if event.sequence in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        raise IndexError("peek at an empty event queue")
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously pushed event.
+
+        Returns ``True`` if the event was pending, ``False`` if it had already
+        been dispatched or cancelled.
+        """
+        if event.sequence < 0:
+            return False
+        pending = any(
+            e.sequence == event.sequence for __, e in self._heap
+        ) and event.sequence not in self._cancelled
+        if pending:
+            self._cancelled.add(event.sequence)
+        return pending
+
+    def next_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        try:
+            return self.peek().time
+        except IndexError:
+            return None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._cancelled.clear()
+
+    def drain(self) -> list[Event]:
+        """Pop every pending event in order (useful in tests)."""
+        events = []
+        while self:
+            events.append(self.pop())
+        return events

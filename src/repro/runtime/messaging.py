@@ -1,0 +1,243 @@
+"""Typed messages, mailboxes and the message bus.
+
+The paper's agents interact exclusively through communicated information
+(announcements, bids, awards), mediated by the DESIRE environment.  The
+:class:`MessageBus` plays that mediating role: agents never hold references
+to each other, they only know each other's names and exchange
+:class:`Message` objects through the bus.  Delivery order is deterministic
+(FIFO per sender, senders interleaved in registration order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional
+
+
+class Performative(Enum):
+    """Speech-act classification of messages in the negotiation domain."""
+
+    #: Utility Agent announces an offer / request-for-bids / reward table.
+    ANNOUNCE = "announce"
+    #: Customer Agent responds with a bid (or yes/no for the offer method).
+    BID = "bid"
+    #: Utility Agent accepts a bid.
+    AWARD = "award"
+    #: Utility Agent rejects a bid (or ends the negotiation without award).
+    REJECT = "reject"
+    #: Negotiation-terminating confirmation.
+    CONFIRM = "confirm"
+    #: Generic information passing (weather, consumption, production data).
+    INFORM = "inform"
+    #: Request for information (UA -> Producer Agent, CA -> Resource Consumer).
+    REQUEST = "request"
+    #: Reply to a REQUEST.
+    REPLY = "reply"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message exchanged between two agents.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Agent names as registered on the bus.
+    performative:
+        Speech act.
+    content:
+        Arbitrary payload (an :class:`~repro.negotiation.messages.Announcement`,
+        a :class:`~repro.negotiation.messages.Bid`, a dict of observations...).
+    conversation_id:
+        Identifier tying together all messages of one negotiation process.
+    round_number:
+        Negotiation round the message belongs to (0-based), if applicable.
+    message_id:
+        Unique id assigned by the bus at send time (``-1`` before sending).
+    """
+
+    sender: str
+    receiver: str
+    performative: Performative
+    content: Any = None
+    conversation_id: str = ""
+    round_number: Optional[int] = None
+    message_id: int = field(default=-1, compare=False)
+
+    def with_id(self, message_id: int) -> "Message":
+        """Copy of the message carrying its bus-assigned id."""
+        return Message(
+            sender=self.sender,
+            receiver=self.receiver,
+            performative=self.performative,
+            content=self.content,
+            conversation_id=self.conversation_id,
+            round_number=self.round_number,
+            message_id=message_id,
+        )
+
+
+class Mailbox:
+    """FIFO queue of messages awaiting processing by one agent."""
+
+    def __init__(self, owner: str) -> None:
+        self._owner = owner
+        self._queue: deque[Message] = deque()
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def deliver(self, message: Message) -> None:
+        """Append a message (called by the bus)."""
+        if message.receiver != self._owner:
+            raise ValueError(
+                f"message for {message.receiver!r} delivered to mailbox of {self._owner!r}"
+            )
+        self._queue.append(message)
+
+    def collect(self) -> list[Message]:
+        """Remove and return every pending message, oldest first."""
+        messages = list(self._queue)
+        self._queue.clear()
+        return messages
+
+    def collect_matching(
+        self,
+        performative: Optional[Performative] = None,
+        conversation_id: Optional[str] = None,
+    ) -> list[Message]:
+        """Remove and return pending messages matching the given filters."""
+        matched: list[Message] = []
+        remaining: deque[Message] = deque()
+        for message in self._queue:
+            performative_ok = performative is None or message.performative == performative
+            conversation_ok = (
+                conversation_id is None or message.conversation_id == conversation_id
+            )
+            if performative_ok and conversation_ok:
+                matched.append(message)
+            else:
+                remaining.append(message)
+        self._queue = remaining
+        return matched
+
+    def peek(self) -> Optional[Message]:
+        """The oldest pending message without removing it, or ``None``."""
+        return self._queue[0] if self._queue else None
+
+
+class MessageBus:
+    """Connects named agents and transports messages between them.
+
+    The bus keeps a full log of every message sent, which the analysis layer
+    uses to count negotiation traffic and reconstruct traces.
+    """
+
+    def __init__(self) -> None:
+        self._mailboxes: dict[str, Mailbox] = {}
+        self._log: list[Message] = []
+        self._counter = itertools.count()
+        self._observers: list[Callable[[Message], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str) -> Mailbox:
+        """Register an agent name and return its mailbox."""
+        if not name:
+            raise ValueError("agent name must be non-empty")
+        if name in self._mailboxes:
+            raise ValueError(f"agent {name!r} is already registered on the bus")
+        mailbox = Mailbox(name)
+        self._mailboxes[name] = mailbox
+        return mailbox
+
+    def unregister(self, name: str) -> None:
+        """Remove an agent from the bus (pending messages are dropped)."""
+        self._mailboxes.pop(name, None)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._mailboxes
+
+    @property
+    def agent_names(self) -> list[str]:
+        """Registered agent names in registration order."""
+        return list(self._mailboxes)
+
+    # -- transport ---------------------------------------------------------
+
+    def send(self, message: Message) -> Message:
+        """Deliver a message to the receiver's mailbox.
+
+        Returns the stamped copy of the message (with its assigned id).
+        """
+        if message.receiver not in self._mailboxes:
+            raise KeyError(f"unknown receiver {message.receiver!r}")
+        if message.sender not in self._mailboxes:
+            raise KeyError(f"unknown sender {message.sender!r}")
+        stamped = message.with_id(next(self._counter))
+        self._mailboxes[message.receiver].deliver(stamped)
+        self._log.append(stamped)
+        for observer in self._observers:
+            observer(stamped)
+        return stamped
+
+    def broadcast(
+        self, sender: str, receivers: Iterable[str], performative: Performative,
+        content: Any, conversation_id: str = "", round_number: Optional[int] = None,
+    ) -> list[Message]:
+        """Send the same content to many receivers (one message each)."""
+        sent = []
+        for receiver in receivers:
+            message = Message(
+                sender=sender,
+                receiver=receiver,
+                performative=performative,
+                content=content,
+                conversation_id=conversation_id,
+                round_number=round_number,
+            )
+            sent.append(self.send(message))
+        return sent
+
+    def mailbox(self, name: str) -> Mailbox:
+        """The mailbox of a registered agent."""
+        try:
+            return self._mailboxes[name]
+        except KeyError:
+            raise KeyError(f"agent {name!r} is not registered on the bus") from None
+
+    # -- observation -------------------------------------------------------
+
+    def add_observer(self, observer: Callable[[Message], None]) -> None:
+        """Register a callback invoked for every sent message."""
+        self._observers.append(observer)
+
+    @property
+    def log(self) -> list[Message]:
+        """All messages sent so far, in send order (do not mutate)."""
+        return list(self._log)
+
+    def message_count(self) -> int:
+        return len(self._log)
+
+    def messages_by_performative(self) -> dict[Performative, int]:
+        """Histogram of message counts per performative."""
+        counts: dict[Performative, int] = defaultdict(int)
+        for message in self._log:
+            counts[message.performative] += 1
+        return dict(counts)
+
+    def conversation(self, conversation_id: str) -> list[Message]:
+        """All messages belonging to one conversation, in send order."""
+        return [m for m in self._log if m.conversation_id == conversation_id]
+
+    def clear_log(self) -> None:
+        """Drop the message log (mailbox contents are untouched)."""
+        self._log.clear()

@@ -1,0 +1,182 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler owns the :class:`~repro.runtime.clock.SimulationClock` and the
+:class:`~repro.runtime.events.EventQueue`.  Callers schedule events at
+absolute times or after delays, and :meth:`Scheduler.run` dispatches them in
+order until the queue is exhausted, a time horizon is reached or a stop
+condition holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.events import Event, EventQueue, EventType
+
+
+@dataclass
+class ScheduledTask:
+    """Handle for a scheduled (possibly repeating) task."""
+
+    event: Event
+    interval: Optional[float] = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Dispatches events in deterministic time order."""
+
+    def __init__(self, clock: Optional[SimulationClock] = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self.queue = EventQueue()
+        self._dispatched = 0
+        self._handlers: dict[EventType, list[Callable[[Event], None]]] = {}
+
+    @property
+    def dispatched_count(self) -> int:
+        """Number of events dispatched so far."""
+        return self._dispatched
+
+    # -- registration ------------------------------------------------------
+
+    def add_handler(self, event_type: EventType, handler: Callable[[Event], None]) -> None:
+        """Register a handler invoked for every dispatched event of a type."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule_at(
+        self,
+        when: float,
+        event_type: EventType,
+        target: Optional[str] = None,
+        payload: object = None,
+        priority: int = 0,
+        action: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule an event at absolute simulation time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {when}, current time is {self.clock.now}"
+            )
+        event = Event(
+            time=when,
+            event_type=event_type,
+            target=target,
+            payload=payload,
+            priority=priority,
+            action=action,
+        )
+        return self.queue.push(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        event_type: EventType,
+        target: Optional[str] = None,
+        payload: object = None,
+        priority: int = 0,
+        action: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule an event ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(
+            self.clock.now + delay, event_type, target, payload, priority, action
+        )
+
+    def schedule_repeating(
+        self,
+        first: float,
+        interval: float,
+        event_type: EventType,
+        target: Optional[str] = None,
+        payload: object = None,
+        priority: int = 0,
+        action: Optional[Callable[[Event], None]] = None,
+    ) -> ScheduledTask:
+        """Schedule an event that re-arms itself every ``interval`` ticks."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        task = ScheduledTask(event=None, interval=interval)  # type: ignore[arg-type]
+
+        def repeating_action(event: Event) -> None:
+            if task.cancelled:
+                return
+            if action is not None:
+                action(event)
+            next_event = self.schedule_at(
+                event.time + interval, event_type, target, payload, priority, repeating_action
+            )
+            task.event = next_event
+
+        task.event = self.schedule_at(
+            first, event_type, target, payload, priority, repeating_action
+        )
+        return task
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next pending event, advancing the clock to its time.
+
+        Returns the dispatched event, or ``None`` when the queue is empty.
+        """
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self._dispatch(event)
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Dispatch events until exhaustion, a horizon or a stop condition.
+
+        Parameters
+        ----------
+        until:
+            Do not dispatch events scheduled after this time (the clock is
+            left at the last dispatched event's time, not advanced to
+            ``until``).
+        max_events:
+            Upper bound on the number of events to dispatch in this call.
+        stop_condition:
+            Checked before each dispatch; when it returns ``True`` the run
+            ends.
+
+        Returns
+        -------
+        int
+            Number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self.queue:
+            if stop_condition is not None and stop_condition():
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            next_time = self.queue.next_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            self._dispatch(event)
+            dispatched += 1
+        return dispatched
+
+    def _dispatch(self, event: Event) -> None:
+        self._dispatched += 1
+        if event.action is not None:
+            event.action(event)
+        for handler in self._handlers.get(event.event_type, []):
+            handler(event)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.population import CustomerPopulation, PopulationConfig
+from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import CutdownRewardRequirements
+from repro.negotiation.strategy import ConstantBeta
+from repro.runtime.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345, "test")
+
+
+@pytest.fixture
+def cold_day() -> WeatherSample:
+    """A deterministic severe-cold day."""
+    return WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    """The calibrated prototype scenario (scenario construction is cheap but shared)."""
+    return paper_prototype_scenario()
+
+
+@pytest.fixture(scope="session")
+def paper_result():
+    """The paper scenario run once per test session (it is deterministic)."""
+    return NegotiationSession(paper_prototype_scenario(), seed=0).run()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_scenario() -> Scenario:
+    """A small synthetic scenario shared by integration-style tests."""
+    return synthetic_scenario(num_households=12, seed=3)
+
+
+@pytest.fixture
+def tiny_population() -> CustomerPopulation:
+    """Three hand-specified customers with an obvious peak."""
+    base = CutdownRewardRequirements.paper_figure_8_customer()
+    scaled = CutdownRewardRequirements(
+        requirements={c: 2.0 * r for c, r in base.requirements.items()},
+        max_feasible_cutdown=0.6,
+    )
+    return CustomerPopulation.calibrated(
+        predicted_uses=[10.0, 8.0, 12.0],
+        requirements=[base, scaled, base],
+        normal_use=24.0,
+        max_allowed_overuse=1.0,
+    )
+
+
+@pytest.fixture
+def reward_tables_method() -> RewardTablesMethod:
+    """A default reward-tables method with a constant beta."""
+    return RewardTablesMethod(max_reward=40.0, beta_controller=ConstantBeta(2.0))

@@ -1,0 +1,105 @@
+"""Tests for cut-down allocation across Resource Consumer Agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.allocation import AllocationPolicy, CutdownAllocator
+from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.grid.appliances import standard_appliance_library
+from repro.grid.household import Household, HouseholdProfile
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.runtime.clock import TimeInterval
+
+
+@pytest.fixture
+def consumers():
+    library = standard_appliance_library()
+    profile = HouseholdProfile(
+        household_id="h_alloc",
+        size=3,
+        ownership={
+            "electric_space_heating": 1.0,
+            "hot_water_boiler": 1.0,
+            "washing_machine": 1.0,
+            "fridge_freezer": 1.0,
+        },
+        comfort_weight=1.0,
+        flexibility_scale=1.0,
+    )
+    household = Household(profile, library)
+    weather = WeatherSample(-10.0, WeatherCondition.COLD)
+    return [
+        ResourceConsumerAgent(household, library.get(name), 1.0, "customer_agent_h_alloc", weather)
+        for name in profile.ownership
+    ]
+
+
+@pytest.fixture
+def interval():
+    return TimeInterval.from_hours(17, 20)
+
+
+class TestGreedyAllocation:
+    def test_feasible_target_is_met(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.GREEDY_BY_FLEXIBILITY)
+        result = allocator.allocate(consumers, interval, committed_cutdown=0.2)
+        assert result.feasible
+        assert result.total_curtailed_kwh == pytest.approx(result.target_kwh, rel=1e-6)
+
+    def test_most_flexible_devices_cut_first(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.GREEDY_BY_FLEXIBILITY)
+        result = allocator.allocate(consumers, interval, committed_cutdown=0.1)
+        by_appliance = {a.appliance: a for a in result.allocations}
+        # The washing machine (flexibility 0.9) is curtailed before the
+        # fridge (flexibility 0.2): if anything was cut at all, the most
+        # flexible device carries a positive share.
+        if result.target_kwh > 0:
+            assert by_appliance["washing_machine"].curtailed_kwh > 0
+        for allocation in result.allocations:
+            assert allocation.curtailed_kwh >= 0
+            assert allocation.cutdown_fraction <= 1.0 + 1e-9
+
+    def test_infeasible_target_reports_shortfall(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.GREEDY_BY_FLEXIBILITY)
+        result = allocator.allocate(consumers, interval, committed_cutdown=1.0)
+        assert not result.feasible
+        assert result.shortfall_kwh > 0
+        # Every device is curtailed up to (at most) its saveable energy.
+        for allocation, consumer in zip(
+            sorted(result.allocations, key=lambda a: a.device),
+            sorted(consumers, key=lambda c: c.name),
+        ):
+            assert allocation.curtailed_kwh <= consumer.saveable_energy(interval) + 1e-9
+
+    def test_zero_cutdown_curtails_nothing(self, consumers, interval):
+        result = CutdownAllocator().allocate(consumers, interval, committed_cutdown=0.0)
+        assert result.total_curtailed_kwh == 0.0
+        assert result.feasible
+        assert all(value == 0.0 for value in result.instructions().values())
+
+    def test_invalid_cutdown_rejected(self, consumers, interval):
+        with pytest.raises(ValueError):
+            CutdownAllocator().allocate(consumers, interval, committed_cutdown=1.5)
+
+
+class TestProportionalAllocation:
+    def test_shares_proportional_to_saveable_energy(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.PROPORTIONAL)
+        result = allocator.allocate(consumers, interval, committed_cutdown=0.15)
+        saveable = {c.name: c.saveable_energy(interval) for c in consumers}
+        positive = [a for a in result.allocations if saveable[a.device] > 0]
+        shares = {a.device: a.curtailed_kwh / saveable[a.device] for a in positive}
+        assert len(set(round(s, 6) for s in shares.values())) == 1  # same share everywhere
+
+    def test_matches_target_when_feasible(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.PROPORTIONAL)
+        result = allocator.allocate(consumers, interval, committed_cutdown=0.2)
+        assert result.total_curtailed_kwh == pytest.approx(result.target_kwh, rel=1e-6)
+
+    def test_instructions_give_fractions_per_device(self, consumers, interval):
+        allocator = CutdownAllocator(AllocationPolicy.PROPORTIONAL)
+        result = allocator.allocate(consumers, interval, committed_cutdown=0.2)
+        instructions = result.instructions()
+        assert set(instructions) == {c.name for c in consumers}
+        assert all(0.0 <= fraction <= 1.0 for fraction in instructions.values())

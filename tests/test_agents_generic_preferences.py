@@ -1,0 +1,177 @@
+"""Tests for the generic agent model (Figures 2-5) and customer preferences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.generic import (
+    GENERIC_AGENT_TASKS,
+    build_customer_agent_model,
+    build_generic_agent_model,
+    build_utility_agent_model,
+    component_names,
+)
+from repro.agents.preferences import CustomerPreferenceModel
+from repro.desire.component import ComposedComponent
+from repro.grid.household import Household
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+class TestGenericAgentModel:
+    def test_seven_generic_tasks(self):
+        assert len(GENERIC_AGENT_TASKS) == 7
+        model = build_generic_agent_model("agent")
+        assert model.child_names == list(GENERIC_AGENT_TASKS)
+
+    def test_utility_agent_figure_2_hierarchy(self):
+        """Own process control refines into the Figure 2 sub-tasks."""
+        model = build_utility_agent_model()
+        own_process_control = model.child("own_process_control")
+        assert isinstance(own_process_control, ComposedComponent)
+        assert set(own_process_control.child_names) == {
+            "determine_general_negotiation_strategy",
+            "evaluate_negotiation_process",
+        }
+        strategy = own_process_control.child("determine_general_negotiation_strategy")
+        assert set(strategy.child_names) == {
+            "determine_announcement_method",
+            "determine_bid_acceptance_strategy",
+        }
+
+    def test_utility_agent_figure_3_hierarchy(self):
+        """Cooperation management refines into the Figure 3 sub-tasks."""
+        model = build_utility_agent_model()
+        cooperation = model.child("cooperation_management")
+        assert set(cooperation.child_names) == {
+            "determine_announcement",
+            "determine_bid_acceptance",
+        }
+        determine_announcement = cooperation.child("determine_announcement")
+        assert "determine_announcement_by_generate_and_select" in determine_announcement.child_names
+        assert (
+            "determine_announcement_by_statistical_analysis_and_optimisation"
+            in determine_announcement.child_names
+        )
+        generate_and_select = determine_announcement.child(
+            "determine_announcement_by_generate_and_select"
+        )
+        assert set(generate_and_select.child_names) == {
+            "generate_announcements",
+            "evaluate_prediction_for_announcements",
+            "select_announcement",
+        }
+        bid_acceptance = cooperation.child("determine_bid_acceptance")
+        assert set(bid_acceptance.child_names) == {
+            "monitor_bid_receipt",
+            "evaluate_bids",
+            "select_bids",
+        }
+
+    def test_utility_agent_specific_task(self):
+        model = build_utility_agent_model()
+        specific = model.child("agent_specific_task")
+        assert set(specific.child_names) == {
+            "determine_predicted_balance_consumption_production",
+            "evaluate_prediction",
+        }
+
+    def test_utility_agent_keeps_all_generic_tasks(self):
+        model = build_utility_agent_model()
+        assert set(model.child_names) == set(GENERIC_AGENT_TASKS)
+
+    def test_customer_agent_figure_4_hierarchy(self):
+        model = build_customer_agent_model()
+        own_process_control = model.child("own_process_control")
+        strategies = own_process_control.child("determine_general_negotiation_strategies")
+        assert set(strategies.child_names) == {
+            "determine_general_resource_allocation_strategy",
+            "determine_general_bidding_strategy",
+        }
+        evaluation = own_process_control.child("evaluate_processes")
+        assert set(evaluation.child_names) == {
+            "evaluate_resource_allocation_process",
+            "evaluate_bidding_process",
+        }
+
+    def test_customer_agent_figure_5_hierarchy(self):
+        model = build_customer_agent_model()
+        cooperation = model.child("cooperation_management")
+        assert set(cooperation.child_names) == {
+            "determine_resource_consumers",
+            "determine_bid",
+        }
+        determine_bid = cooperation.child("determine_bid")
+        assert "generate_bids" in determine_bid.child_names
+        select_bid = determine_bid.child("select_bid")
+        assert set(select_bid.child_names) == {
+            "choose_appropriate_bid",
+            "calculate_expected_gain",
+        }
+        resource_consumers = cooperation.child("determine_resource_consumers")
+        assert "determine_needs_of_resource_consumers" in resource_consumers.child_names
+
+    def test_models_are_executable_compositions(self):
+        """The hierarchies are real DESIRE components, not just name trees."""
+        model = build_utility_agent_model()
+        changes = model.activate()
+        assert changes == 0  # structural placeholders are quiescent immediately
+        assert model.activation_count == 1
+
+    def test_component_names_helper(self):
+        names = component_names(build_customer_agent_model("ca"))
+        assert "ca" in names
+        assert "calculate_expected_gain" in names
+        assert len(names) > 15
+
+
+class TestCustomerPreferenceModel:
+    def test_requirements_scale_with_energy(self):
+        model = CustomerPreferenceModel(comfort_weight=1.0, discomfort_scale=2.0)
+        small = model.requirements_for_energy(5.0)
+        large = model.requirements_for_energy(20.0)
+        assert large.required_reward_for(0.4) > small.required_reward_for(0.4)
+
+    def test_requirements_convex_and_monotone(self):
+        model = CustomerPreferenceModel(exponent=1.8)
+        requirements = model.requirements_for_energy(10.0)
+        assert requirements.is_monotone()
+        # Convexity: doubling the cut-down more than doubles the requirement.
+        assert requirements.required_reward_for(0.4) > 2 * requirements.required_reward_for(0.2)
+
+    def test_zero_cutdown_needs_no_reward(self):
+        requirements = CustomerPreferenceModel().requirements_for_energy(10.0)
+        assert requirements.required_reward_for(0.0) == 0.0
+
+    def test_requirements_for_household(self, cold_day):
+        household = Household.generate("h1", RandomSource(3, "pref"))
+        interval = TimeInterval.from_hours(17, 20)
+        model = CustomerPreferenceModel()
+        requirements = model.requirements_for_household(household, interval, cold_day)
+        assert requirements.is_monotone()
+        assert 0.0 < requirements.max_feasible_cutdown <= 1.0
+
+    def test_comfort_weight_raises_requirements(self, cold_day):
+        household = Household.generate("h1", RandomSource(3, "pref"))
+        interval = TimeInterval.from_hours(17, 20)
+        relaxed = CustomerPreferenceModel(comfort_weight=0.5)
+        picky = CustomerPreferenceModel(comfort_weight=2.0)
+        relaxed_req = relaxed.requirements_for_household(household, interval, cold_day)
+        picky_req = picky.requirements_for_household(household, interval, cold_day)
+        assert picky_req.required_reward_for(0.4) > relaxed_req.required_reward_for(0.4)
+
+    def test_sample_is_reproducible(self):
+        a = CustomerPreferenceModel.sample(RandomSource(11, "p"))
+        b = CustomerPreferenceModel.sample(RandomSource(11, "p"))
+        assert a.comfort_weight == b.comfort_weight
+        assert a.exponent == b.exponent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CustomerPreferenceModel(comfort_weight=0.0)
+        with pytest.raises(ValueError):
+            CustomerPreferenceModel(discomfort_scale=0.0)
+        with pytest.raises(ValueError):
+            CustomerPreferenceModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            CustomerPreferenceModel().requirements_for_energy(-1.0)

@@ -1,0 +1,144 @@
+"""Tests for the DESIRE knowledge-level formulation of the agents' decisions.
+
+The key property: the knowledge-based components derive exactly the same
+decisions as the procedural implementations used by the sessions, so the
+DESIRE specification and the executable system agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.knowledge import (
+    CustomerBidComponent,
+    UtilityEvaluationComponent,
+    customer_bid_knowledge,
+    negotiation_ontology,
+    utility_evaluation_knowledge,
+)
+from repro.core.scenario import PAPER_INITIAL_REWARD_TABLE, paper_requirement_table
+from repro.desire.information_types import Atom, InformationState
+from repro.negotiation.formulas import update_reward_table
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+from repro.negotiation.strategy import HighestAcceptableCutdownBidding
+
+
+class TestOntology:
+    def test_declares_all_negotiation_relations(self):
+        ontology = negotiation_ontology()
+        for relation in (
+            "offered_reward", "required_reward", "feasible", "acceptable_cutdown",
+            "preferred_cutdown", "predicted_overuse", "max_allowed_overuse",
+            "overuse_acceptable", "continue_negotiation",
+        ):
+            assert ontology.find_relation(relation) is not None
+
+    def test_atoms_validate(self):
+        ontology = negotiation_ontology()
+        assert ontology.accepts(Atom("offered_reward", (0.4, 17.0)))
+        assert not ontology.accepts(Atom("offered_reward", ("not a number", 17.0)))
+
+
+class TestCustomerBidKnowledge:
+    def test_figure_6_round_1_derivation(self):
+        """The knowledge base derives the Figure 8 customer's round-1 choice."""
+        component = CustomerBidComponent()
+        table = RewardTable(PAPER_INITIAL_REWARD_TABLE)
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        component.load(table, requirements)
+        component.activate()
+        assert component.preferred_cutdown() == pytest.approx(0.2)
+        assert 0.3 not in component.acceptable_cutdowns()
+
+    def test_matches_procedural_policy_across_rounds(self):
+        """Knowledge-level and procedural bids agree on every escalated table."""
+        policy = HighestAcceptableCutdownBidding()
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        component = CustomerBidComponent()
+        table = RewardTable(PAPER_INITIAL_REWARD_TABLE)
+        for overuse in (0.35, 0.30, 0.25, 0.15, 0.05):
+            component.load(table, requirements)
+            component.activate()
+            assert component.preferred_cutdown() == pytest.approx(
+                policy.choose_cutdown(table, requirements)
+            )
+            table = update_reward_table(table, beta=2.0, overuse=overuse, max_reward=30.0)
+
+    def test_matches_procedural_policy_for_scaled_customers(self):
+        policy = HighestAcceptableCutdownBidding()
+        table = RewardTable(PAPER_INITIAL_REWARD_TABLE)
+        for scale in (0.8, 1.0, 1.5, 3.5):
+            requirements = paper_requirement_table(scale)
+            component = CustomerBidComponent()
+            component.load(table, requirements)
+            component.activate()
+            assert component.preferred_cutdown() == pytest.approx(
+                policy.choose_cutdown(table, requirements)
+            )
+
+    def test_infeasible_cutdowns_never_acceptable(self):
+        component = CustomerBidComponent()
+        generous = RewardTable({0.8: 1000.0, 0.9: 1000.0, 1.0: 1000.0})
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()  # feasible <= 0.8
+        component.load(generous, requirements)
+        component.activate()
+        assert all(c <= 0.8 + 1e-9 for c in component.acceptable_cutdowns())
+
+    def test_reload_clears_previous_state(self):
+        component = CustomerBidComponent()
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        component.load(RewardTable({0.4: 100.0}), requirements)
+        component.activate()
+        assert component.preferred_cutdown() == pytest.approx(0.4)
+        component.load(RewardTable({0.4: 1.0}), requirements)
+        component.activate()
+        assert component.preferred_cutdown() == 0.0
+
+    def test_raw_knowledge_base_is_reusable(self):
+        kb = customer_bid_knowledge()
+        state = InformationState()
+        state.assert_atom(Atom("offered_reward", (0.3, 12.0)))
+        state.assert_atom(Atom("required_reward", (0.3, 10.0)))
+        state.assert_atom(Atom("feasible", (0.3,)))
+        kb.forward_chain(state)
+        assert state.holds(Atom("acceptable_cutdown", (0.3,)))
+
+
+class TestUtilityEvaluationKnowledge:
+    def test_acceptable_and_continue_are_mutually_exclusive(self):
+        component = UtilityEvaluationComponent()
+        component.load(predicted_overuse=12.7, max_allowed_overuse=15.0)
+        component.activate()
+        assert component.overuse_acceptable()
+        assert not component.should_continue()
+
+        component.load(predicted_overuse=25.6, max_allowed_overuse=15.0)
+        component.activate()
+        assert not component.overuse_acceptable()
+        assert component.should_continue()
+
+    def test_boundary_is_acceptable(self):
+        component = UtilityEvaluationComponent()
+        component.load(predicted_overuse=15.0, max_allowed_overuse=15.0)
+        component.activate()
+        assert component.overuse_acceptable()
+
+    def test_matches_paper_round_decisions(self, paper_result):
+        """The knowledge component reproduces the UA's per-round continue/stop choices."""
+        component = UtilityEvaluationComponent()
+        trajectory = paper_result.overuse_trajectory()[1:]  # after each round
+        for index, overuse in enumerate(trajectory):
+            component.load(predicted_overuse=overuse, max_allowed_overuse=15.0)
+            component.activate()
+            is_last_round = index == len(trajectory) - 1
+            assert component.overuse_acceptable() == is_last_round
+            assert component.should_continue() == (not is_last_round)
+
+    def test_raw_knowledge_base(self):
+        kb = utility_evaluation_knowledge()
+        state = InformationState()
+        state.assert_atom(Atom("predicted_overuse", (35.0,)))
+        state.assert_atom(Atom("max_allowed_overuse", (15.0,)))
+        kb.forward_chain(state)
+        assert state.holds(Atom("continue_negotiation", ()))
+        assert not state.holds(Atom("overuse_acceptable", ()))

@@ -1,0 +1,206 @@
+"""Tests for the analysis package (metrics, convergence, statistics, reporting, plotting)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import (
+    analyse_convergence,
+    analyse_trajectory,
+    bid_trajectory_is_monotone,
+    reward_trajectory_is_monotone,
+)
+from repro.analysis.metrics import (
+    compare_methods,
+    reward_statistics,
+    rounds_statistics,
+    summarise_results,
+)
+from repro.analysis.plotting import ascii_bar_chart, ascii_line_chart, ascii_trajectories
+from repro.analysis.reporting import format_key_values, format_table, render_report
+from repro.analysis.statistics import (
+    confidence_interval,
+    relative_difference,
+    summarise,
+    within_factor,
+)
+
+
+class TestStatistics:
+    def test_summarise(self):
+        stats = summarise([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+        assert stats.std > 0
+        assert summarise([5.0]).std == 0.0
+
+    def test_summarise_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+    def test_confidence_interval_contains_mean(self):
+        values = [10.0, 11.0, 9.0, 10.5, 9.5]
+        low, high = confidence_interval(values, 0.95)
+        assert low < 10.0 < high
+        narrow_low, narrow_high = confidence_interval(values, 0.90)
+        assert (narrow_high - narrow_low) <= (high - low)
+
+    def test_confidence_interval_single_sample(self):
+        assert confidence_interval([3.0]) == (3.0, 3.0)
+
+    def test_confidence_interval_validation(self):
+        with pytest.raises(ValueError):
+            confidence_interval([], 0.95)
+        with pytest.raises(ValueError):
+            confidence_interval([1.0], 1.5)
+
+    def test_confidence_interval_unusual_level(self):
+        low, high = confidence_interval([10.0, 12.0, 8.0, 11.0], confidence=0.8)
+        assert low < 10.25 < high
+
+    def test_relative_difference_and_within_factor(self):
+        assert relative_difference(12.0, 10.0) == pytest.approx(0.2)
+        assert relative_difference(0.0, 0.0) == 0.0
+        assert math.isinf(relative_difference(1.0, 0.0))
+        assert within_factor(12.0, 10.0, 1.5)
+        assert not within_factor(20.0, 10.0, 1.5)
+        assert within_factor(0.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+
+
+class TestConvergence:
+    def test_analyse_trajectory(self):
+        analysis = analyse_trajectory([35.0, 30.0, 25.0, 13.0])
+        assert analysis.rounds == 3
+        assert analysis.initial_overuse == 35.0
+        assert analysis.final_overuse == 13.0
+        assert analysis.overuse_monotone_nonincreasing
+        assert analysis.mean_reduction_per_round == pytest.approx(22.0 / 3)
+        assert 0 < analysis.geometric_decay_rate < 1
+        assert analysis.rounds_to_halve_overuse == 3
+        assert analysis.as_dict()["rounds"] == 3
+
+    def test_non_monotone_detected(self):
+        analysis = analyse_trajectory([10.0, 12.0, 8.0])
+        assert not analysis.overuse_monotone_nonincreasing
+
+    def test_trajectory_needs_initial_value(self):
+        with pytest.raises(ValueError):
+            analyse_trajectory([])
+
+    def test_already_converged(self):
+        analysis = analyse_trajectory([0.0])
+        assert analysis.rounds == 0
+        assert analysis.rounds_to_halve_overuse == 0
+        assert analysis.mean_reduction_per_round == 0.0
+
+    def test_never_halves(self):
+        analysis = analyse_trajectory([10.0, 9.0, 8.0])
+        assert analysis.rounds_to_halve_overuse is None
+
+    def test_monotone_helpers(self):
+        assert reward_trajectory_is_monotone([17.0, 21.5, 24.6])
+        assert not reward_trajectory_is_monotone([17.0, 16.0])
+        assert bid_trajectory_is_monotone([0.2, 0.4, 0.4])
+        assert not bid_trajectory_is_monotone([0.4, 0.2])
+
+    def test_analyse_convergence_of_result(self, paper_result):
+        analysis = analyse_convergence(paper_result)
+        assert analysis.rounds == paper_result.rounds
+        assert analysis.overuse_monotone_nonincreasing
+
+
+class TestMetrics:
+    def test_summarise_results_and_statistics(self, paper_result):
+        metrics = summarise_results([paper_result, paper_result])
+        assert metrics.runs == 2
+        assert metrics.method == "reward_tables"
+        assert metrics.mean_rounds == paper_result.rounds
+        assert metrics.mean_reward_paid == pytest.approx(paper_result.total_reward_paid)
+        assert metrics.as_dict()["mean_participation"] > 0
+        assert reward_statistics([paper_result]).mean == pytest.approx(
+            paper_result.total_reward_paid
+        )
+        assert rounds_statistics([paper_result]).mean == paper_result.rounds
+
+    def test_summarise_results_rejects_mixed_methods(self, paper_result):
+        import copy
+
+        other = copy.copy(paper_result)
+        other.method_name = "offer"
+        with pytest.raises(ValueError):
+            summarise_results([paper_result, other])
+        with pytest.raises(ValueError):
+            summarise_results([])
+
+    def test_compare_methods(self, paper_result):
+        rows = compare_methods({"reward_tables": [paper_result]})
+        assert len(rows) == 1
+        with pytest.raises(ValueError):
+            compare_methods({})
+
+
+class TestReportingAndPlotting:
+    def test_format_table_alignment_and_precision(self):
+        table = format_table(
+            [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 10.0}],
+            precision=2,
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in table and "10.00" in table
+        assert "name" in lines[1] and "value" in lines[1]
+
+    def test_format_table_empty_and_booleans(self):
+        assert "(empty table)" in format_table([])
+        rendered = format_table([{"ok": True, "bad": False}])
+        assert "yes" in rendered and "no" in rendered
+
+    def test_format_key_values(self):
+        rendered = format_key_values({"alpha": 1.5, "beta_long_name": "x"})
+        assert "alpha" in rendered and "beta_long_name" in rendered
+        assert format_key_values({}) == "(no values)"
+
+    def test_render_report(self):
+        report = render_report({"Section": "content"}, title="Title")
+        assert report.startswith("Title")
+        assert "Section" in report and "content" in report
+
+    def test_ascii_bar_chart(self):
+        chart = ascii_bar_chart({"offer": 1.0, "reward_tables": 3.0}, width=20, title="rounds")
+        assert "offer" in chart and "#" in chart
+        assert ascii_bar_chart({}) == "(no data)"
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+    def test_ascii_bar_chart_zero_values(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+    def test_ascii_line_chart(self):
+        chart = ascii_line_chart([1, 2, 3, 4, 5, 4, 3], height=5, threshold=3.0, title="demand")
+        assert "demand" in chart
+        assert "*" in chart and "-" in chart
+        assert ascii_line_chart([]) == "(no data)"
+        with pytest.raises(ValueError):
+            ascii_line_chart([1.0], height=1)
+
+    def test_ascii_line_chart_flat_series(self):
+        chart = ascii_line_chart([2.0, 2.0, 2.0], height=4)
+        assert "*" in chart
+
+    def test_ascii_line_chart_resampling(self):
+        chart = ascii_line_chart(list(range(100)), height=5, width=20)
+        longest_row = max(len(line) for line in chart.splitlines())
+        assert longest_row <= 20 + 15
+
+    def test_ascii_trajectories(self):
+        rendered = ascii_trajectories({"overuse": [35.0, 30.0, 13.0]}, title="traj")
+        assert "overuse" in rendered and "35.00" in rendered
+        assert ascii_trajectories({}) == "(no data)"

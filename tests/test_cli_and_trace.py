@@ -1,0 +1,109 @@
+"""Tests for the CLI and for message-level negotiation traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace import build_negotiation_trace
+from repro.cli import build_parser, command_list, command_quickstart, command_run, main
+from repro.core.scenario import paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.messages import Award
+
+
+class TestNegotiationTrace:
+    @pytest.fixture(scope="class")
+    def session(self):
+        session = NegotiationSession(paper_prototype_scenario(), seed=0)
+        session.run()
+        return session
+
+    def test_trace_reconstructs_rounds_from_messages(self, session):
+        trace = build_negotiation_trace(session.simulation.bus.log)
+        assert trace.num_rounds == 3
+        assert trace.conversation_id == session.utility_agent.conversation_id
+        first = trace.round(0)
+        assert first.num_customers_addressed == 20
+        assert first.num_bids == 20
+        table = first.announced_table()
+        assert table is not None
+        assert table.table.reward_for(0.4) == pytest.approx(17.0)
+
+    def test_trace_bid_cutdowns_match_result(self, session):
+        trace = build_negotiation_trace(session.simulation.bus.log)
+        result = session._collect_result(0)
+        for round_index in range(trace.num_rounds):
+            cutdowns = trace.round(round_index).bid_cutdowns()
+            assert cutdowns["c000"] == pytest.approx(
+                result.customer_bid_trajectory("c000")[round_index]
+            )
+
+    def test_trace_awards_and_rows(self, session):
+        trace = build_negotiation_trace(session.simulation.bus.log)
+        awards = trace.awards()
+        assert len(awards) == 20
+        assert all(isinstance(a, Award) for a in awards.values())
+        rows = trace.rows()
+        assert len(rows) == 3
+        assert rows[0]["reward_at_0.4"] == pytest.approx(17.0)
+        assert rows[-1]["positive_bids"] >= rows[0]["positive_bids"]
+        assert "Negotiation trace" in trace.render()
+        assert trace.total_messages == session.simulation.bus.message_count()
+
+    def test_trace_for_explicit_conversation_and_unknown_round(self, session):
+        log = session.simulation.bus.log
+        trace = build_negotiation_trace(log, conversation_id="does_not_exist")
+        assert trace.num_rounds == 0
+        real = build_negotiation_trace(log)
+        with pytest.raises(KeyError):
+            real.round(99)
+
+    def test_trace_with_extra_agents(self):
+        scenario = synthetic_scenario(num_households=6, seed=2)
+        session = NegotiationSession(
+            scenario, seed=2, include_producer=True, include_external_world=True
+        )
+        session.run()
+        trace = build_negotiation_trace(session.simulation.bus.log)
+        # Producer/world request-reply traffic in the same conversation is
+        # preserved as "other" messages rather than being misfiled into rounds.
+        assert trace.num_rounds >= 1
+        assert all(
+            message.performative.value in ("request", "reply", "inform", "confirm")
+            for message in trace.other_messages
+        )
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert command_list() == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E10" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert command_run("e5") == 0
+        output = capsys.readouterr().out
+        assert "E5" in output and "beta" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert command_run("E99") == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quickstart_command(self, capsys):
+        assert command_quickstart() == 0
+        output = capsys.readouterr().out
+        assert "overuse trajectory" in output
+        assert "reward_tables" in output
+
+    def test_main_dispatch(self, capsys):
+        assert main(["list"]) == 0
+        assert main(["run", "E5"]) == 0
+        assert main(["quickstart"]) == 0
+        capsys.readouterr()
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+        arguments = parser.parse_args(["run", "E2"])
+        assert arguments.command == "run" and arguments.experiment == "E2"

@@ -1,0 +1,137 @@
+"""Tests for day-ahead planning and multi-day campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planning import CampaignResult, DayAheadPlanner, MultiDayCampaign
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.production import ProductionModel
+from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
+from repro.runtime.rng import RandomSource
+
+
+@pytest.fixture
+def households():
+    random = RandomSource(4, "planning_test")
+    return [Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(15)]
+
+
+@pytest.fixture
+def planner(households):
+    random = RandomSource(4, "planning_test")
+    demand_model = DemandModel(households, random.spawn("d"))
+    capacity = demand_model.normal_capacity_for_target(quantile=0.8)
+    return DayAheadPlanner(households, capacity, random=random.spawn("planner"))
+
+
+@pytest.fixture
+def cold_forecast():
+    return WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+
+
+@pytest.fixture
+def mild_forecast():
+    return WeatherSample(temperature_c=12.0, condition=WeatherCondition.MILD)
+
+
+class TestDayAheadPlanner:
+    def test_requires_history_before_planning(self, planner, cold_forecast):
+        with pytest.raises(ValueError):
+            planner.plan(cold_forecast)
+
+    def test_cold_forecast_produces_scenario(self, planner, mild_forecast, cold_forecast):
+        for __ in range(3):
+            planner.observe_day(mild_forecast)
+        assert planner.history_length == 3
+        scenario = planner.plan(cold_forecast)
+        assert scenario is not None
+        assert scenario.population.initial_overuse > 0
+        assert scenario.population.interval is not None
+        assert len(scenario.population) == 15
+        # Every customer's requirement table is usable by the negotiation.
+        for spec in scenario.population.specs:
+            assert spec.requirements.is_monotone()
+            assert spec.predicted_use >= 0
+
+    def test_planned_scenario_is_negotiable(self, planner, mild_forecast, cold_forecast):
+        from repro.core.session import NegotiationSession
+
+        for __ in range(3):
+            planner.observe_day(mild_forecast)
+        scenario = planner.plan(cold_forecast)
+        result = NegotiationSession(scenario, seed=0).run()
+        assert result.rounds >= 1
+        assert result.final_overuse <= result.initial_overuse
+
+    def test_predicted_peak_interval(self, planner, mild_forecast, cold_forecast):
+        for __ in range(3):
+            planner.observe_day(mild_forecast)
+        interval = planner.predicted_peak_interval(cold_forecast)
+        assert interval is not None
+        assert interval.num_slots >= 1
+
+    def test_mild_forecast_may_need_no_negotiation(self, households, mild_forecast):
+        random = RandomSource(4, "planning_test_mild")
+        demand_model = DemandModel(households, random.spawn("d"))
+        # Generous capacity: no peak even on the forecast day.
+        capacity = demand_model.expected_aggregate(mild_forecast).peak() * 1.5
+        planner = DayAheadPlanner(households, capacity, random=random.spawn("p"))
+        planner.observe_day(mild_forecast)
+        assert planner.plan(mild_forecast) is None
+
+    def test_validation(self, households):
+        with pytest.raises(ValueError):
+            DayAheadPlanner([], 100.0)
+        with pytest.raises(ValueError):
+            DayAheadPlanner(households, 0.0)
+        with pytest.raises(ValueError):
+            DayAheadPlanner(households, 100.0, max_allowed_overuse_fraction=1.5)
+
+
+class TestMultiDayCampaign:
+    def test_campaign_runs_and_learns(self, planner):
+        campaign = MultiDayCampaign(planner, warmup_days=2, seed=3)
+        conditions = [
+            WeatherCondition.MILD,
+            WeatherCondition.SEVERE_COLD,
+            WeatherCondition.COLD,
+            WeatherCondition.MILD,
+        ]
+        result = campaign.run(num_days=4, conditions=conditions)
+        assert result.num_days == 4
+        # The predictor saw the warm-up days plus every campaign day.
+        assert planner.history_length == 2 + 4
+        # At least the severe-cold day triggers a negotiation.
+        assert result.days_negotiated >= 1
+        negotiated_days = [day for day in result.days if day.negotiated]
+        for day in negotiated_days:
+            assert day.outcome is not None
+            assert day.outcome.peak_after_kw <= day.outcome.peak_before_kw + 1e-6
+            assert day.outcome.reward_paid >= 0
+        rows = result.rows()
+        assert len(rows) == 4
+        assert all("negotiated" in row for row in rows)
+        assert result.total_reward_paid >= 0
+
+    def test_campaign_with_mild_days_only(self, planner):
+        campaign = MultiDayCampaign(planner, warmup_days=2, seed=3)
+        result = campaign.run(num_days=2, conditions=[WeatherCondition.WARM])
+        assert result.days_negotiated == 0
+        assert result.total_reward_paid == 0.0
+        assert result.total_net_benefit == 0.0
+
+    def test_campaign_validation(self, planner):
+        campaign = MultiDayCampaign(planner, warmup_days=1)
+        with pytest.raises(ValueError):
+            campaign.run(num_days=0)
+        with pytest.raises(ValueError):
+            MultiDayCampaign(planner, warmup_days=0)
+
+    def test_campaign_result_empty(self):
+        result = CampaignResult()
+        assert result.num_days == 0
+        assert result.days_negotiated == 0
+        assert result.total_reward_paid == 0.0

@@ -1,0 +1,168 @@
+"""Tests for scenarios, negotiation sessions, results and the full pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import CustomerOutcome, NegotiationResult
+from repro.core.scenario import (
+    PAPER_INITIAL_REWARD_TABLE,
+    Scenario,
+    paper_prototype_scenario,
+    paper_requirement_table,
+    synthetic_scenario,
+)
+from repro.core.session import NegotiationSession
+from repro.core.system import LoadBalancingSystem
+from repro.grid.production import ProductionModel
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.strategy import AdaptiveBeta
+from repro.negotiation.termination import TerminationReason
+
+
+class TestScenarios:
+    def test_paper_scenario_matches_figure_6_setup(self, paper_scenario):
+        assert paper_scenario.num_customers == 20
+        assert paper_scenario.normal_use == 100.0
+        assert paper_scenario.initial_overuse == pytest.approx(35.0)
+        assert paper_scenario.initial_relative_overuse == pytest.approx(0.35)
+        assert PAPER_INITIAL_REWARD_TABLE[0.4] == 17.0
+
+    def test_paper_requirement_table_scaling(self):
+        base = paper_requirement_table(1.0)
+        doubled = paper_requirement_table(2.0)
+        assert doubled.required_reward_for(0.4) == 2 * base.required_reward_for(0.4)
+        with pytest.raises(ValueError):
+            paper_requirement_table(0.0)
+
+    def test_paper_scenario_beta_override(self):
+        scenario = paper_prototype_scenario(beta=0.5)
+        assert scenario.method.beta_controller.beta == 0.5
+
+    def test_paper_scenario_accepts_controller(self):
+        controller = AdaptiveBeta(initial_beta=1.5)
+        scenario = paper_prototype_scenario(beta_controller=controller)
+        assert scenario.method.beta_controller is controller
+
+    def test_synthetic_scenario_has_peak_and_interval(self, small_synthetic_scenario):
+        assert small_synthetic_scenario.initial_overuse > 0
+        assert small_synthetic_scenario.population.interval is not None
+        assert small_synthetic_scenario.weather is not None
+
+    def test_synthetic_scenario_custom_method(self):
+        scenario = synthetic_scenario(num_households=5, seed=0, method=OfferMethod())
+        assert scenario.method.name == "offer"
+
+
+class TestNegotiationSession:
+    def test_session_is_deterministic(self, paper_scenario):
+        first = NegotiationSession(paper_prototype_scenario(), seed=0).run()
+        second = NegotiationSession(paper_prototype_scenario(), seed=0).run()
+        assert first.rounds == second.rounds
+        assert first.final_overuse == second.final_overuse
+        assert first.total_reward_paid == second.total_reward_paid
+
+    def test_build_is_idempotent(self):
+        session = NegotiationSession(paper_prototype_scenario(), seed=0)
+        first = session.build()
+        second = session.build()
+        assert first is second
+
+    def test_result_contains_every_customer(self, paper_result):
+        assert len(paper_result.customer_outcomes) == 20
+        assert set(paper_result.customer_outcomes) == {f"c{i:03d}" for i in range(20)}
+
+    def test_result_headline_metrics(self, paper_result):
+        assert paper_result.rounds == 3
+        assert paper_result.initial_overuse == pytest.approx(35.0)
+        assert paper_result.final_overuse < paper_result.initial_overuse
+        assert 0 < paper_result.peak_reduction_fraction < 1
+        assert paper_result.participation_rate > 0.5
+        assert paper_result.total_reward_paid > 0
+        assert paper_result.reward_per_unit_overuse_removed > 0
+        assert paper_result.termination_reason is TerminationReason.OVERUSE_ACCEPTABLE
+        summary = paper_result.summary()
+        assert summary["method"] == "reward_tables"
+        assert summary["rounds"] == 3
+
+    def test_trajectories_have_consistent_lengths(self, paper_result):
+        assert len(paper_result.overuse_trajectory()) == paper_result.rounds + 1
+        assert len(paper_result.reward_trajectory(0.4)) == paper_result.rounds
+        assert len(paper_result.customer_bid_trajectory("c000")) == paper_result.rounds
+
+    def test_session_with_all_optional_agents(self):
+        scenario = synthetic_scenario(num_households=6, seed=2)
+        session = NegotiationSession(
+            scenario, seed=2, include_producer=True, include_external_world=True,
+            with_resource_consumers=True,
+        )
+        result = session.run()
+        assert result.rounds >= 1
+        assert result.messages_sent > 0
+        # Producer, world and RCAs add participants beyond UA + CAs.
+        assert len(session.simulation.participant_names) > 7
+
+    def test_offer_method_session_single_round(self):
+        scenario = synthetic_scenario(num_households=8, seed=4, method=OfferMethod(x_max=0.8))
+        result = NegotiationSession(scenario, seed=4).run()
+        assert result.rounds == 1
+        assert result.method_name == "offer"
+
+    def test_customer_outcome_validation(self):
+        with pytest.raises(ValueError):
+            CustomerOutcome("c", 1.5, True, 0.2, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            CustomerOutcome("c", 0.5, True, 1.2, 1.0, 0.0)
+
+
+class TestLoadBalancingSystem:
+    def test_pipeline_reduces_peak_and_cost(self, paper_scenario):
+        system = LoadBalancingSystem(paper_prototype_scenario(), seed=0)
+        outcome = system.run()
+        assert outcome.negotiated
+        assert outcome.peak_after_kw < outcome.peak_before_kw
+        assert outcome.production_cost_after < outcome.production_cost_before
+        assert outcome.reward_paid > 0
+        summary = outcome.summary()
+        assert summary["peak_reduction_kw"] > 0
+
+    def test_pipeline_on_synthetic_scenario(self):
+        scenario = synthetic_scenario(num_households=10, seed=5)
+        system = LoadBalancingSystem(scenario, seed=5)
+        outcome = system.run()
+        assert outcome.negotiated
+        assert outcome.peak_after_kw <= outcome.peak_before_kw + 1e-6
+
+    def test_no_negotiation_when_no_peak(self):
+        scenario = synthetic_scenario(num_households=10, seed=5, cold_snap=False)
+        # Raise the tolerated overuse so the mild day never triggers negotiation.
+        scenario.population.max_allowed_overuse = scenario.population.initial_overuse + 1
+        system = LoadBalancingSystem(scenario, seed=5)
+        assert not system.should_negotiate()
+        outcome = system.run()
+        assert not outcome.negotiated
+        assert outcome.peak_before_kw == outcome.peak_after_kw
+        assert outcome.reward_paid == 0.0
+
+    def test_custom_production_model(self):
+        scenario = paper_prototype_scenario()
+        production = ProductionModel.two_tier(100.0, 100.0, 0.2, 2.0)
+        system = LoadBalancingSystem(scenario, production=production, seed=0)
+        outcome = system.run()
+        # With very expensive peak production, the negotiation pays for itself.
+        assert outcome.production_savings > 0
+
+    def test_baseline_profiles_for_calibrated_population(self, paper_scenario):
+        system = LoadBalancingSystem(paper_prototype_scenario(), seed=0)
+        profiles = system.baseline_profiles()
+        assert len(profiles) == 20
+        interval = paper_scenario.population.interval
+        for profile in profiles.values():
+            assert profile.average_in(interval) == pytest.approx(6.75)
+
+    def test_apply_cutdowns_requires_interval(self, paper_result):
+        scenario = paper_prototype_scenario()
+        scenario.population.interval = None
+        system = LoadBalancingSystem(scenario, seed=0)
+        with pytest.raises(ValueError):
+            system.apply_cutdowns(system.baseline_profiles(), paper_result, interval=None)

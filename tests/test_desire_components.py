@@ -1,0 +1,277 @@
+"""Tests for DESIRE components, links, task control, engine and trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desire.component import (
+    ComposedComponent,
+    ComputationalComponent,
+    KnowledgeComponent,
+)
+from repro.desire.engine import DesireEngine
+from repro.desire.errors import CompositionError, DesireError
+from repro.desire.information_types import Atom, InformationState, InformationType, TruthValue
+from repro.desire.knowledge_base import KnowledgeBase, Pattern, Rule, var
+from repro.desire.links import InformationLink, LinkMapping
+from repro.desire.task_control import TaskControl, TaskControlRule
+from repro.desire.trace import ExecutionTrace, TraceEvent, TraceEventKind
+
+
+def doubling_component(name: str = "doubler") -> ComputationalComponent:
+    """A primitive component that doubles every numeric 'value' atom."""
+
+    def double(state: InformationState):
+        for atom in state.atoms_of_relation("value"):
+            yield Atom("doubled", (atom.arguments[0] * 2,))
+
+    return ComputationalComponent(name, double)
+
+
+class TestPrimitiveComponents:
+    def test_computational_component_produces_output(self):
+        component = doubling_component()
+        component.receive(Atom("value", (3,)))
+        changes = component.activate()
+        assert changes == 1
+        assert component.output_state.holds(Atom("doubled", (6,)))
+        assert component.activation_count == 1
+
+    def test_computational_component_rejects_non_atoms(self):
+        component = ComputationalComponent("broken", lambda state: ["not an atom"])
+        with pytest.raises(CompositionError):
+            component.activate()
+
+    def test_knowledge_component_filters_output_by_type(self):
+        output_type = InformationType("out")
+        output_type.declare_sort("x", numeric=True)
+        output_type.declare_relation("conclusion", "x")
+        kb = KnowledgeBase(
+            "kb",
+            rules=[
+                Rule(
+                    "conclude",
+                    (Pattern("premise", (var("X"),)),),
+                    (Pattern("conclusion", (var("X"),)),),
+                )
+            ],
+        )
+        component = KnowledgeComponent("reasoner", kb, output_type=output_type)
+        component.receive(Atom("premise", (1,)))
+        component.activate()
+        assert component.output_state.holds(Atom("conclusion", (1,)))
+        # The premise itself is not part of the output information type.
+        assert not component.output_state.holds(Atom("premise", (1,)))
+
+    def test_reset_clears_interfaces(self):
+        component = doubling_component()
+        component.receive(Atom("value", (1,)))
+        component.activate()
+        component.reset()
+        assert len(component.input_state) == 0
+        assert len(component.output_state) == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CompositionError):
+            ComputationalComponent("", lambda state: ())
+
+
+class TestLinks:
+    def test_link_transfers_all_atoms_without_mappings(self):
+        source = InformationState()
+        target = InformationState()
+        source.assert_atom(Atom("a", (1,)))
+        source.assert_atom(Atom("b", (2,)), TruthValue.FALSE)
+        link = InformationLink("l", "x", "y")
+        assert link.transfer(source, target) == 2
+        assert target.holds(Atom("a", (1,)))
+        assert target.value_of(Atom("b", (2,))) is TruthValue.FALSE
+
+    def test_link_can_drop_negative_information(self):
+        source = InformationState()
+        target = InformationState()
+        source.assert_atom(Atom("a", (1,)), TruthValue.FALSE)
+        link = InformationLink("l", "x", "y", carry_negative=False)
+        assert link.transfer(source, target) == 0
+
+    def test_mapping_renames_and_permutes(self):
+        mapping = LinkMapping("bid_made", "received_bid", argument_indices=(1, 0))
+        atom = mapping.apply(Atom("bid_made", ("c1", 0.4)))
+        assert atom == Atom("received_bid", (0.4, "c1"))
+        assert mapping.apply(Atom("other", ())) is None
+
+    def test_mapping_transform(self):
+        mapping = LinkMapping("kw", "mw", transform=lambda args: (args[0] / 1000.0,))
+        assert mapping.apply(Atom("kw", (5000.0,))) == Atom("mw", (5.0,))
+
+    def test_mapping_bad_indices_raise(self):
+        mapping = LinkMapping("a", "b", argument_indices=(3,))
+        with pytest.raises(CompositionError):
+            mapping.apply(Atom("a", (1,)))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(CompositionError):
+            InformationLink("bad", "x", "x")
+
+
+class TestComposedComponent:
+    def build_pipeline(self) -> ComposedComponent:
+        """input -> doubler -> negator -> output, linked through the composition."""
+        composition = ComposedComponent("pipeline")
+        composition.add_child(doubling_component("doubler"))
+
+        def negate(state: InformationState):
+            for atom in state.atoms_of_relation("doubled"):
+                yield Atom("negated", (-atom.arguments[0],))
+
+        composition.add_child(ComputationalComponent("negator", negate))
+        composition.add_link(InformationLink("in_to_doubler", "pipeline", "doubler"))
+        composition.add_link(InformationLink("doubler_to_negator", "doubler", "negator"))
+        composition.add_link(InformationLink("negator_to_out", "negator", "pipeline"))
+        return composition
+
+    def test_information_flows_through_links(self):
+        pipeline = self.build_pipeline()
+        pipeline.receive(Atom("value", (3,)))
+        pipeline.activate()
+        assert pipeline.output_state.holds(Atom("negated", (-6,)))
+
+    def test_duplicate_child_rejected(self):
+        composition = ComposedComponent("c")
+        composition.add_child(doubling_component("child"))
+        with pytest.raises(CompositionError):
+            composition.add_child(doubling_component("child"))
+
+    def test_link_to_unknown_component_rejected(self):
+        composition = ComposedComponent("c")
+        with pytest.raises(CompositionError):
+            composition.add_link(InformationLink("l", "c", "ghost"))
+
+    def test_unknown_child_lookup_rejected(self):
+        with pytest.raises(CompositionError):
+            ComposedComponent("c").child("ghost")
+
+    def test_descendants_are_recursive(self):
+        outer = ComposedComponent("outer")
+        inner = ComposedComponent("inner")
+        inner.add_child(doubling_component("leaf"))
+        outer.add_child(inner)
+        names = [component.name for component in outer.descendants()]
+        assert names == ["inner", "leaf"]
+
+    def test_quiescence_reached(self):
+        pipeline = self.build_pipeline()
+        pipeline.receive(Atom("value", (1,)))
+        first = pipeline.activate()
+        second = pipeline.activate()
+        assert first > 0
+        assert second == 0
+
+
+class TestTaskControl:
+    def test_activation_order_is_respected(self):
+        composition = ComposedComponent("c")
+        composition.add_child(doubling_component("a"))
+        composition.add_child(doubling_component("b"))
+        composition.task_control.set_activation_order(["b", "a"])
+        eligible = composition.task_control.eligible_components(composition, cycle=0)
+        assert eligible == ["b", "a"]
+
+    def test_duplicate_order_rejected(self):
+        control = TaskControl("c")
+        with pytest.raises(CompositionError):
+            control.set_activation_order(["a", "a"])
+
+    def test_unknown_component_in_order_rejected(self):
+        composition = ComposedComponent("c")
+        composition.add_child(doubling_component("a"))
+        composition.task_control.set_activation_order(["a", "ghost"])
+        with pytest.raises(CompositionError):
+            composition.task_control.eligible_components(composition, cycle=0)
+
+    def test_excluded_component_needs_rule_to_run(self):
+        composition = ComposedComponent("c")
+        composition.add_child(doubling_component("always"))
+        composition.add_child(doubling_component("conditional"))
+        composition.task_control.exclude("conditional")
+        assert composition.task_control.eligible_components(composition, 0) == ["always"]
+        composition.task_control.add_rule(
+            TaskControlRule("conditional", lambda comp, cycle: cycle >= 2)
+        )
+        assert composition.task_control.eligible_components(composition, 1) == ["always"]
+        assert composition.task_control.eligible_components(composition, 2) == [
+            "always",
+            "conditional",
+        ]
+
+    def test_rule_without_exclusion_gates_component(self):
+        composition = ComposedComponent("c")
+        composition.add_child(doubling_component("gated"))
+        composition.task_control.add_rule(
+            TaskControlRule("gated", lambda comp, cycle: cycle == 1)
+        )
+        assert composition.task_control.eligible_components(composition, 0) == []
+        assert composition.task_control.eligible_components(composition, 1) == ["gated"]
+
+    def test_activation_history(self):
+        control = TaskControl("c")
+        control.record_activation("a", 0, 3)
+        control.record_activation("a", 1, 0)
+        control.record_activation("b", 1, 1)
+        assert control.activations_of("a") == 2
+        assert len(control.history) == 3
+
+
+class TestEngineAndTrace:
+    def test_engine_runs_primitive(self):
+        engine = DesireEngine()
+        component = doubling_component()
+        component.receive(Atom("value", (2,)))
+        report = engine.run(component)
+        assert report.quiescent
+        assert report.activations == {"doubler": 1}
+
+    def test_engine_runs_composition_to_quiescence(self):
+        engine = DesireEngine()
+        composition = TestComposedComponent().build_pipeline()
+        composition.receive(Atom("value", (4,)))
+        report = engine.run(composition)
+        assert report.quiescent
+        assert composition.output_state.holds(Atom("negated", (-8,)))
+        assert len(engine.trace) > 0
+        assert "doubler" in engine.trace.components_seen()
+
+    def test_engine_run_until_condition(self):
+        engine = DesireEngine()
+        composition = TestComposedComponent().build_pipeline()
+        composition.receive(Atom("value", (1,)))
+        report = engine.run_until(
+            composition, lambda c: c.output_state.holds(Atom("negated", (-2,))), max_runs=3
+        )
+        assert report.quiescent
+
+    def test_engine_invalid_parameters(self):
+        with pytest.raises(DesireError):
+            DesireEngine(max_cycles=0)
+        with pytest.raises(DesireError):
+            DesireEngine().run_until(ComposedComponent("c"), lambda c: True, max_runs=0)
+
+    def test_trace_queries(self):
+        trace = ExecutionTrace("t")
+        trace.record_activation("a", cycle=0, changes=2)
+        trace.record_activation("b", cycle=0, changes=0)
+        trace.record_activation("a", cycle=1, changes=1)
+        trace.record_note("a", "done")
+        assert trace.activation_count("a") == 2
+        assert trace.activation_count("b") == 1
+        assert trace.components_seen() == ["a", "b"]
+        assert len(trace.events_of("a")) == 3
+        assert "activation" in trace.render(limit=2)
+
+    def test_trace_merge(self):
+        first = ExecutionTrace("first")
+        first.record_activation("a")
+        second = ExecutionTrace("second")
+        second.record_activation("b")
+        merged = first.merge([second])
+        assert merged.components_seen() == ["a", "b"]

@@ -1,0 +1,165 @@
+"""Tests for repro.desire.information_types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desire.errors import OntologyError
+from repro.desire.information_types import (
+    Atom,
+    InformationState,
+    InformationType,
+    TruthValue,
+)
+
+
+@pytest.fixture
+def ontology() -> InformationType:
+    info = InformationType("negotiation_domain")
+    info.declare_sort("customer")
+    info.declare_sort("amount", numeric=True)
+    info.declare_object("customer", "c1")
+    info.declare_object("customer", "c2")
+    info.declare_relation("predicted_use", "customer", "amount")
+    info.declare_relation("peak_expected")
+    return info
+
+
+class TestInformationType:
+    def test_atom_construction_and_validation(self, ontology):
+        atom = ontology.atom("predicted_use", "c1", 6.75)
+        assert atom.relation == "predicted_use"
+        assert atom.arity == 2
+        assert str(atom) == "predicted_use(c1, 6.75)"
+
+    def test_unknown_relation_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.atom("unknown_relation", "c1")
+
+    def test_wrong_arity_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.atom("predicted_use", "c1")
+
+    def test_undeclared_object_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.atom("predicted_use", "c99", 1.0)
+
+    def test_numeric_sort_accepts_numbers_only(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.atom("predicted_use", "c1", "not-a-number")
+        with pytest.raises(OntologyError):
+            ontology.atom("predicted_use", "c1", True)
+
+    def test_zero_arity_relation(self, ontology):
+        atom = ontology.atom("peak_expected")
+        assert atom.arity == 0
+        assert str(atom) == "peak_expected"
+
+    def test_accepts_helper(self, ontology):
+        assert ontology.accepts(Atom("peak_expected"))
+        assert not ontology.accepts(Atom("nonexistent"))
+
+    def test_inclusion_makes_sorts_and_relations_visible(self, ontology):
+        extended = InformationType("extended", includes=[ontology])
+        extended.declare_relation("allowed_use", "customer", "amount")
+        atom = extended.atom("predicted_use", "c2", 3.0)
+        assert extended.accepts(atom)
+        assert extended.find_sort("customer") is not None
+        assert "predicted_use" in extended.relations()
+        assert "customer" in extended.sorts()
+
+    def test_redeclaring_sort_consistently_is_idempotent(self, ontology):
+        ontology.declare_sort("customer")
+        with pytest.raises(OntologyError):
+            ontology.declare_sort("customer", numeric=True)
+
+    def test_redeclaring_relation_with_other_signature_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.declare_relation("predicted_use", "customer")
+
+    def test_relation_with_unknown_sort_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.declare_relation("broken", "nonexistent_sort")
+
+    def test_object_for_unknown_sort_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.declare_object("nonexistent_sort", "x")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(OntologyError):
+            InformationType("")
+        info = InformationType("ok")
+        with pytest.raises(OntologyError):
+            info.declare_sort("bad name!")
+
+
+class TestInformationState:
+    def test_unknown_by_default(self, ontology):
+        state = InformationState()
+        atom = ontology.atom("peak_expected")
+        assert state.value_of(atom) is TruthValue.UNKNOWN
+        assert not state.holds(atom)
+
+    def test_assert_and_change_detection(self, ontology):
+        state = InformationState()
+        atom = ontology.atom("peak_expected")
+        assert state.assert_atom(atom) is True
+        assert state.assert_atom(atom) is False  # no change
+        assert state.holds(atom)
+        assert state.assert_atom(atom, TruthValue.FALSE) is True
+        assert not state.holds(atom)
+
+    def test_retract(self, ontology):
+        state = InformationState()
+        atom = ontology.atom("peak_expected")
+        state.assert_atom(atom)
+        assert state.retract(atom) is True
+        assert state.value_of(atom) is TruthValue.UNKNOWN
+        assert state.retract(atom) is False
+
+    def test_atoms_of_relation(self, ontology):
+        state = InformationState()
+        state.assert_atom(ontology.atom("predicted_use", "c1", 5.0))
+        state.assert_atom(ontology.atom("predicted_use", "c2", 7.0))
+        state.assert_atom(ontology.atom("peak_expected"))
+        atoms = state.atoms_of_relation("predicted_use")
+        assert len(atoms) == 2
+
+    def test_copy_is_independent(self, ontology):
+        state = InformationState()
+        atom = ontology.atom("peak_expected")
+        state.assert_atom(atom)
+        duplicate = state.copy()
+        duplicate.assert_atom(atom, TruthValue.FALSE)
+        assert state.holds(atom)
+
+    def test_merge_counts_changes(self, ontology):
+        state = InformationState()
+        other = InformationState()
+        other.assert_atom(ontology.atom("peak_expected"))
+        other.assert_atom(ontology.atom("predicted_use", "c1", 5.0), TruthValue.FALSE)
+        assert state.merge_from(other) == 2
+        assert state.merge_from(other) == 0
+
+    def test_truth_value_negate(self):
+        assert TruthValue.TRUE.negate() is TruthValue.FALSE
+        assert TruthValue.FALSE.negate() is TruthValue.TRUE
+        assert TruthValue.UNKNOWN.negate() is TruthValue.UNKNOWN
+
+    def test_invalid_truth_value_rejected(self, ontology):
+        state = InformationState()
+        with pytest.raises(TypeError):
+            state.assert_atom(ontology.atom("peak_expected"), "true")  # type: ignore[arg-type]
+
+    def test_as_dict_rendering(self, ontology):
+        state = InformationState()
+        state.assert_atom(ontology.atom("peak_expected"))
+        rendered = state.as_dict()
+        assert rendered == {"peak_expected": "true"}
+
+    def test_iteration_and_len(self, ontology):
+        state = InformationState()
+        state.assert_atom(ontology.atom("peak_expected"))
+        state.assert_atom(ontology.atom("predicted_use", "c1", 5.0))
+        assert len(state) == 2
+        assert len(list(state)) == 2

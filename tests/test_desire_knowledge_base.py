@@ -1,0 +1,212 @@
+"""Tests for repro.desire.knowledge_base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desire.errors import KnowledgeError
+from repro.desire.information_types import Atom, InformationState, TruthValue
+from repro.desire.knowledge_base import Fact, KnowledgeBase, Pattern, Rule, var
+
+
+class TestPattern:
+    def test_match_binds_variables(self):
+        pattern = Pattern("predicted_use", (var("C"), var("X")))
+        binding = pattern.match(Atom("predicted_use", ("c1", 6.75)), {})
+        assert binding == {"C": "c1", "X": 6.75}
+
+    def test_match_respects_existing_binding(self):
+        pattern = Pattern("predicted_use", (var("C"), var("X")))
+        binding = pattern.match(Atom("predicted_use", ("c1", 6.75)), {"C": "c2"})
+        assert binding is None
+
+    def test_match_constant_mismatch(self):
+        pattern = Pattern("predicted_use", ("c1", var("X")))
+        assert pattern.match(Atom("predicted_use", ("c2", 1.0)), {}) is None
+
+    def test_ground_requires_full_binding(self):
+        pattern = Pattern("bid", (var("C"), var("X")))
+        atom = pattern.ground({"C": "c1", "X": 0.4})
+        assert atom == Atom("bid", ("c1", 0.4))
+        with pytest.raises(KnowledgeError):
+            pattern.ground({"C": "c1"})
+
+    def test_variables_and_str(self):
+        pattern = Pattern("bid", (var("C"), 0.4), negated=True)
+        assert pattern.variables() == {"C"}
+        assert str(pattern).startswith("not ")
+
+
+class TestRule:
+    def test_rule_requires_conclusion(self):
+        with pytest.raises(KnowledgeError):
+            Rule("empty", antecedent=(), consequent=())
+
+    def test_rule_rejects_unbound_conclusion_variable(self):
+        with pytest.raises(KnowledgeError):
+            Rule(
+                "unbound",
+                antecedent=(Pattern("a", (var("X"),)),),
+                consequent=(Pattern("b", (var("Y"),)),),
+            )
+
+    def test_negated_antecedent_variables_must_be_bound_positively(self):
+        with pytest.raises(KnowledgeError):
+            Rule(
+                "bad_negation",
+                antecedent=(Pattern("a", (var("X"),), negated=True),),
+                consequent=(Pattern("b", ("constant",)),),
+            )
+
+    def test_bindings_with_guard(self):
+        rule = Rule(
+            "acceptable",
+            antecedent=(
+                Pattern("offered", (var("Cut"), var("Reward"))),
+                Pattern("required", (var("Cut"), var("Need"))),
+            ),
+            consequent=(Pattern("acceptable_cutdown", (var("Cut"),)),),
+            guards=(lambda b: b["Reward"] >= b["Need"],),
+        )
+        state = InformationState()
+        state.assert_atom(Atom("offered", (0.3, 9.0)))
+        state.assert_atom(Atom("offered", (0.2, 5.0)))
+        state.assert_atom(Atom("required", (0.3, 10.0)))
+        state.assert_atom(Atom("required", (0.2, 4.0)))
+        bindings = rule.bindings(state)
+        assert len(bindings) == 1
+        assert bindings[0]["Cut"] == 0.2
+
+
+class TestKnowledgeBase:
+    def build_acceptability_kb(self) -> KnowledgeBase:
+        """The Customer Agent's acceptability knowledge expressed as rules."""
+        return KnowledgeBase(
+            "acceptability",
+            rules=[
+                Rule(
+                    "acceptable_when_reward_sufficient",
+                    antecedent=(
+                        Pattern("offered", (var("Cut"), var("Reward"))),
+                        Pattern("required", (var("Cut"), var("Need"))),
+                    ),
+                    consequent=(Pattern("acceptable", (var("Cut"),)),),
+                    guards=(lambda b: b["Reward"] >= b["Need"],),
+                ),
+            ],
+        )
+
+    def test_forward_chain_derives_acceptable_cutdowns(self):
+        kb = self.build_acceptability_kb()
+        state = InformationState()
+        for cutdown, reward in [(0.1, 2.0), (0.2, 5.0), (0.3, 9.0), (0.4, 17.0)]:
+            state.assert_atom(Atom("offered", (cutdown, reward)))
+        for cutdown, need in [(0.1, 1.0), (0.2, 4.0), (0.3, 10.0), (0.4, 21.0)]:
+            state.assert_atom(Atom("required", (cutdown, need)))
+        kb.forward_chain(state)
+        acceptable = {a.arguments[0] for a in state.atoms_of_relation("acceptable")}
+        assert acceptable == {0.1, 0.2}
+
+    def test_facts_are_seeded(self):
+        kb = KnowledgeBase(
+            "facts",
+            rules=[
+                Rule(
+                    "propagate",
+                    antecedent=(Pattern("a", (var("X"),)),),
+                    consequent=(Pattern("b", (var("X"),)),),
+                )
+            ],
+            facts=[Fact(Atom("a", (1,)))],
+        )
+        state = InformationState()
+        changes = kb.forward_chain(state)
+        assert changes >= 2
+        assert state.holds(Atom("b", (1,)))
+
+    def test_chaining_through_multiple_rules(self):
+        kb = KnowledgeBase(
+            "chain",
+            rules=[
+                Rule("r1", (Pattern("a", (var("X"),)),), (Pattern("b", (var("X"),)),)),
+                Rule("r2", (Pattern("b", (var("X"),)),), (Pattern("c", (var("X"),)),)),
+                Rule("r3", (Pattern("c", (var("X"),)),), (Pattern("d", (var("X"),)),)),
+            ],
+        )
+        state = InformationState()
+        state.assert_atom(Atom("a", ("seed",)))
+        kb.forward_chain(state)
+        assert state.holds(Atom("d", ("seed",)))
+
+    def test_negated_condition(self):
+        kb = KnowledgeBase(
+            "negation",
+            rules=[
+                Rule(
+                    "fire_unless_blocked",
+                    antecedent=(
+                        Pattern("candidate", (var("X"),)),
+                        Pattern("blocked", (var("X"),), negated=True),
+                    ),
+                    consequent=(Pattern("selected", (var("X"),)),),
+                )
+            ],
+        )
+        state = InformationState()
+        state.assert_atom(Atom("candidate", ("a",)))
+        state.assert_atom(Atom("candidate", ("b",)))
+        state.assert_atom(Atom("blocked", ("b",)))
+        kb.forward_chain(state)
+        selected = {a.arguments[0] for a in state.atoms_of_relation("selected")}
+        assert selected == {"a"}
+
+    def test_negative_conclusions(self):
+        kb = KnowledgeBase(
+            "negative",
+            rules=[
+                Rule(
+                    "reject",
+                    antecedent=(Pattern("bad", (var("X"),)),),
+                    consequent=(Pattern("approved", (var("X"),), negated=True),),
+                )
+            ],
+        )
+        state = InformationState()
+        state.assert_atom(Atom("bad", ("x",)))
+        kb.forward_chain(state)
+        assert state.value_of(Atom("approved", ("x",))) is TruthValue.FALSE
+
+    def test_quiescence_is_reached_and_idempotent(self):
+        kb = self.build_acceptability_kb()
+        state = InformationState()
+        state.assert_atom(Atom("offered", (0.2, 5.0)))
+        state.assert_atom(Atom("required", (0.2, 4.0)))
+        first = kb.forward_chain(state)
+        second = kb.forward_chain(state)
+        assert first > 0
+        assert second == 0
+
+    def test_composition_via_include(self):
+        base = KnowledgeBase(
+            "base",
+            rules=[Rule("r1", (Pattern("a", (var("X"),)),), (Pattern("b", (var("X"),)),))],
+        )
+        extended = KnowledgeBase(
+            "extended",
+            rules=[Rule("r2", (Pattern("b", (var("X"),)),), (Pattern("c", (var("X"),)),))],
+        )
+        extended.include(base)
+        assert len(extended.rules()) == 2
+        state = InformationState()
+        state.assert_atom(Atom("a", (1,)))
+        extended.forward_chain(state)
+        assert state.holds(Atom("c", (1,)))
+
+    def test_self_inclusion_rejected(self):
+        kb = KnowledgeBase("self")
+        with pytest.raises(KnowledgeError):
+            kb.include(kb)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KnowledgeError):
+            KnowledgeBase("")

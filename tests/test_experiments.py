@@ -1,0 +1,179 @@
+"""Tests for the experiment harness (registry + each experiment module)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.beta_sweep import run_beta_sweep
+from repro.experiments.fig1_demand_curve import run_demand_curve
+from repro.experiments.fig6_fig7_utility_rounds import PAPER_REFERENCE, run_utility_rounds
+from repro.experiments.fig8_fig9_customer_rounds import run_customer_rounds
+from repro.experiments.market_comparison import run_market_comparison
+from repro.experiments.method_comparison import run_method_comparison
+from repro.experiments.protocol_convergence import run_protocol_convergence
+from repro.experiments.reward_update_dynamics import run_reward_dynamics
+from repro.experiments.scalability import run_scalability
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+
+    def test_lookup(self):
+        info = get_experiment("E2")
+        assert info.paper_artefact == "Figure 6"
+        assert callable(info.runner)
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+
+class TestFigure1Experiment:
+    def test_cold_day_produces_peak(self):
+        result = run_demand_curve(num_households=20, seed=0, cold_snap=True)
+        summary = result.summary()
+        assert summary["has_peak"]
+        assert summary["peak_overuse_kw"] > 0
+        assert summary["expensive_energy_kwh"] > 0
+        assert summary["expensive_cost"] > 0
+        assert 16 <= summary["peak_hour"] <= 22  # evening peak
+        assert len(result.rows()) == 24
+        assert "Figure 1" in result.render()
+
+    def test_mild_day_has_smaller_peak(self):
+        cold = run_demand_curve(num_households=20, seed=0, cold_snap=True)
+        mild = run_demand_curve(num_households=20, seed=0, cold_snap=False)
+        assert mild.curve.peak_demand < cold.curve.peak_demand
+
+
+class TestFigure6To9Experiments:
+    def test_utility_rounds_match_paper(self):
+        result = run_utility_rounds()
+        comparison = {row["quantity"]: row for row in result.comparison_rows()}
+        assert set(comparison) == set(PAPER_REFERENCE)
+        # Exact quantities are exact; calibrated ones within 5%.
+        assert comparison["initial_overuse"]["relative_error"] == 0.0
+        assert comparison["round1_reward_at_0.4"]["relative_error"] == 0.0
+        assert comparison["rounds"]["relative_error"] == 0.0
+        assert comparison["round3_reward_at_0.4"]["relative_error"] < 0.05
+        assert comparison["final_overuse"]["relative_error"] < 0.10
+        rows = result.rows()
+        assert len(rows) == 3
+        assert rows[0]["reward_at_0.4"] == pytest.approx(17.0)
+        assert "Figure 6/7" in result.render()
+
+    def test_utility_rounds_reward_table_rows(self):
+        result = run_utility_rounds()
+        first = result.reward_table_rows(0)
+        assert {row["cutdown"] for row in first} == {round(0.1 * i, 1) for i in range(11)}
+
+    def test_customer_rounds_match_paper(self):
+        result = run_customer_rounds()
+        assert all(row["match"] for row in result.comparison_rows())
+        rows = result.rows()
+        assert [row["chosen_bid"] for row in rows] == [0.2, 0.4, 0.4]
+        assert rows[0]["highest_acceptable"] == 0.2
+        outcome = result.outcome_summary()
+        assert outcome["awarded"] == 1.0
+        assert "customer requirement table" in result.render()
+
+
+class TestRewardDynamicsExperiment:
+    def test_properties_hold_across_sweep(self):
+        result = run_reward_dynamics()
+        assert result.all_monotone()
+        assert result.all_bounded()
+        assert result.saturation_speeds_up_with_beta()
+        assert len(result.rows()) == 4 * 3 * 2
+        assert "E5" in result.render()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            run_reward_dynamics(rounds=0)
+
+
+class TestMethodComparisonExperiment:
+    def test_compares_all_three_methods(self):
+        result = run_method_comparison(num_households=12, seeds=(0,))
+        methods = {row["method"] for row in result.rows()}
+        assert methods == {"offer", "request_for_bids", "reward_tables"}
+        # The offer method is single-round, hence the fastest (Section 3.2.1).
+        assert result.fastest_method() == "offer"
+        offer = result.method_metric("offer")
+        bids = result.method_metric("request_for_bids")
+        assert offer.mean_rounds == 1
+        assert bids.mean_rounds >= offer.mean_rounds
+        with pytest.raises(KeyError):
+            result.method_metric("nonexistent")
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_method_comparison(seeds=())
+
+
+class TestBetaSweepExperiment:
+    def test_sweep_shape_and_monotonicity(self):
+        result = run_beta_sweep(betas=(0.5, 2.0, 4.0), include_adaptive=True)
+        assert len(result.entries) == 4
+        assert result.rounds_nonincreasing_in_beta()
+        assert result.entry("adaptive").beta is None
+        # Sufficiently large betas solve the peak; a very small beta may
+        # saturate prematurely (its increments fall below epsilon=1).
+        successful = {e.label for e in result.successful_entries()}
+        assert {"2.00", "4.00"} <= successful
+        assert result.entry("adaptive").result.final_overuse <= 15.0
+        with pytest.raises(KeyError):
+            result.entry("42")
+        with pytest.raises(ValueError):
+            run_beta_sweep(betas=())
+
+    def test_lower_beta_needs_more_rounds(self):
+        result = run_beta_sweep(betas=(1.0, 4.0), include_adaptive=False)
+        slow = result.entry("1.00").result.rounds
+        fast = result.entry("4.00").result.rounds
+        assert slow >= fast
+
+    def test_tiny_beta_saturates_before_solving_peak(self):
+        result = run_beta_sweep(betas=(0.5,), include_adaptive=False)
+        entry = result.entry("0.50")
+        assert entry.result.termination_reason.value == "reward_saturated"
+        assert entry.result.final_overuse > 15.0
+
+
+class TestMarketComparisonExperiment:
+    def test_paper_population_comparison(self):
+        result = run_market_comparison(use_paper_scenario=True)
+        rows = {row["mechanism"]: row for row in result.rows()}
+        assert set(rows) == {"reward_table_negotiation", "equilibrium_market"}
+        assert result.both_remove_needed_reduction(tolerance=0.1)
+        assert rows["equilibrium_market"]["rounds_or_iterations"] > 0
+        assert "E8" in result.render()
+
+    def test_synthetic_population_comparison(self):
+        result = run_market_comparison(use_paper_scenario=False, num_households=12, seed=1)
+        assert result.needed_reduction > 0
+        assert result.negotiation_reduction() > 0
+
+
+class TestScalabilityExperiment:
+    def test_sweep_properties(self):
+        result = run_scalability(sizes=(5, 10, 20), seed=0)
+        rows = result.rows()
+        assert [row["num_households"] for row in rows] == [5, 10, 20]
+        assert result.rounds_bounded(maximum=60)
+        assert result.messages_scale_linearly(tolerance=1.0)
+        assert all(row["wall_seconds"] > 0 for row in rows)
+        assert "E9" in result.render()
+        with pytest.raises(ValueError):
+            run_scalability(sizes=())
+
+
+class TestProtocolConvergenceExperiment:
+    def test_randomised_runs_always_converge(self):
+        result = run_protocol_convergence(seeds=(0, 1, 2))
+        assert result.all_converged()
+        assert result.all_monotone()
+        assert result.max_rounds_observed() <= 50
+        assert len(result.rows()) == 3
+        with pytest.raises(ValueError):
+            run_protocol_convergence(seeds=())

@@ -1,0 +1,63 @@
+"""Tests for the strategy-slot ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablations,
+    run_acceptance_ablation,
+    run_announcement_policy_ablation,
+    run_bidding_policy_ablation,
+)
+
+
+class TestAcceptanceAblation:
+    def test_selective_acceptance_spends_less_on_flexible_population(self):
+        entries = {e.variant: e for e in run_acceptance_ablation()}
+        accept_all = entries["accept_all"].result
+        selective = entries["selective"].result
+        # On a population whose offers overshoot the needed reduction, the
+        # selective strategy declines the surplus bids and pays less.
+        assert selective.total_reward_paid < accept_all.total_reward_paid
+        assert selective.participation_rate < accept_all.participation_rate
+        # Both still remove the peak (predicted overuse goes non-positive).
+        assert accept_all.final_overuse <= 0
+        assert selective.final_overuse <= 0
+
+
+class TestBiddingPolicyAblation:
+    def test_both_policies_reduce_the_peak(self):
+        entries = {e.variant: e for e in run_bidding_policy_ablation(num_households=15)}
+        for entry in entries.values():
+            assert entry.result.peak_reduction_fraction > 0
+        # Expected-gain bidding never leaves customers worse off than the
+        # highest-acceptable policy in aggregate surplus.
+        assert (
+            entries["expected_gain"].result.total_customer_surplus
+            >= entries["highest_acceptable"].result.total_customer_surplus - 1e-9
+        )
+
+
+class TestAnnouncementPolicyAblation:
+    def test_both_policies_produce_valid_negotiations(self):
+        entries = {e.variant: e for e in run_announcement_policy_ablation(num_households=15)}
+        assert set(entries) == {"generate_and_select", "statistical_optimisation"}
+        for entry in entries.values():
+            assert entry.result.rounds >= 1
+            assert entry.result.peak_reduction_fraction > 0
+
+
+class TestCombinedAblations:
+    def test_run_all_and_render(self):
+        result = run_ablations(num_households=12, seed=0)
+        rows = result.rows()
+        assert len(rows) == 6
+        assert {row["ablation"] for row in rows} == {
+            "bid_acceptance", "bidding_policy", "announcement_policy",
+        }
+        assert "Ablations" in result.render()
+        entry = result.entry("bid_acceptance", "selective")
+        assert entry.result.total_reward_paid > 0
+        with pytest.raises(KeyError):
+            result.entry("bid_acceptance", "nonexistent")

@@ -1,0 +1,253 @@
+"""Tests for appliances, households, weather and demand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.appliances import (
+    Appliance,
+    ApplianceCategory,
+    ApplianceLibrary,
+    standard_appliance_library,
+)
+from repro.grid.demand import DemandCurve, DemandModel, PopulationDemand
+from repro.grid.household import Household, HouseholdProfile
+from repro.grid.load_profile import LoadProfile
+from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+@pytest.fixture
+def library() -> ApplianceLibrary:
+    return standard_appliance_library()
+
+
+@pytest.fixture
+def household(library) -> Household:
+    profile = HouseholdProfile(
+        household_id="h1",
+        size=3,
+        ownership={"electric_space_heating": 1.0, "hot_water_boiler": 1.0, "lighting": 1.0},
+        comfort_weight=1.0,
+        flexibility_scale=0.8,
+    )
+    return Household(profile, library)
+
+
+class TestAppliances:
+    def test_standard_library_is_populated(self, library):
+        assert len(library) >= 8
+        assert "electric_space_heating" in library
+        assert library.get("lighting").category is ApplianceCategory.LIGHTING
+
+    def test_library_rejects_duplicates_and_unknown(self, library):
+        with pytest.raises(ValueError):
+            library.add(library.get("lighting"))
+        with pytest.raises(KeyError):
+            library.get("flux_capacitor")
+
+    def test_by_category(self, library):
+        white_goods = library.by_category(ApplianceCategory.WHITE_GOODS)
+        assert {a.name for a in white_goods} >= {"washing_machine", "dishwasher"}
+
+    def test_daily_profile_energy_matches_declared(self, library):
+        lighting = library.get("lighting")
+        profile = lighting.daily_profile()
+        assert profile.total_energy() == pytest.approx(lighting.daily_energy_kwh, rel=0.05)
+
+    def test_per_person_scaling(self, library):
+        boiler = library.get("hot_water_boiler")
+        single = boiler.daily_profile(household_size=1).total_energy()
+        family = boiler.daily_profile(household_size=4).total_energy()
+        assert family > 2 * single
+
+    def test_heating_factor_only_affects_heating(self, library):
+        heater = library.get("electric_space_heating")
+        fridge = library.get("fridge_freezer")
+        assert heater.daily_profile(heating_factor=2.0).total_energy() == pytest.approx(
+            2 * heater.daily_profile(heating_factor=1.0).total_energy(), rel=0.1
+        )
+        assert fridge.daily_profile(heating_factor=2.0).total_energy() == pytest.approx(
+            fridge.daily_profile(heating_factor=1.0).total_energy()
+        )
+
+    def test_rated_power_caps_profile(self, library):
+        stove = library.get("electric_stove")
+        profile = stove.daily_profile(household_size=1)
+        assert profile.peak() <= stove.rated_power_kw + 1e-9
+
+    def test_saveable_energy_respects_flexibility(self, library):
+        washing = library.get("washing_machine")
+        fridge = library.get("fridge_freezer")
+        interval = TimeInterval.from_hours(17, 20)
+        washing_profile = washing.daily_profile()
+        fridge_profile = fridge.daily_profile()
+        assert washing.saveable_energy(washing_profile, interval) == pytest.approx(
+            washing_profile.energy_in(interval) * washing.flexibility
+        )
+        assert fridge.saveable_energy(fridge_profile, interval) < fridge_profile.energy_in(interval)
+
+    def test_appliance_validation(self):
+        with pytest.raises(ValueError):
+            Appliance("bad", ApplianceCategory.OTHER, -1.0, 1.0, tuple([1.0] * 24), 0.5)
+        with pytest.raises(ValueError):
+            Appliance("bad", ApplianceCategory.OTHER, 1.0, 1.0, tuple([1.0] * 23), 0.5)
+        with pytest.raises(ValueError):
+            Appliance("bad", ApplianceCategory.OTHER, 1.0, 1.0, tuple([1.0] * 24), 1.5)
+        with pytest.raises(ValueError):
+            Appliance("bad", ApplianceCategory.OTHER, 1.0, 1.0, tuple([0.0] * 24), 0.5)
+
+    def test_resolution_resampling(self, library):
+        lighting = library.get("lighting")
+        fine = lighting.daily_profile(slots_per_day=96)
+        assert fine.slots_per_day == 96
+        assert fine.total_energy() == pytest.approx(
+            lighting.daily_profile(slots_per_day=24).total_energy(), rel=0.05
+        )
+        with pytest.raises(ValueError):
+            lighting.daily_profile(slots_per_day=7)
+
+    def test_sample_ownership(self, library):
+        random = RandomSource(0, "ownership")
+        ownership = library.sample_ownership(random, household_size=3)
+        assert set(ownership) == set(library.names)
+        assert all(scale >= 0 for scale in ownership.values())
+        # Cold appliances and lighting are (nearly) always owned.
+        assert ownership["fridge_freezer"] > 0
+        with pytest.raises(ValueError):
+            library.sample_ownership(random, 0)
+
+
+class TestWeather:
+    def test_heating_factor_monotone_in_cold(self):
+        mild = WeatherSample(10.0, WeatherCondition.MILD)
+        cold = WeatherSample(-5.0, WeatherCondition.COLD)
+        severe = WeatherSample(-20.0, WeatherCondition.SEVERE_COLD)
+        assert mild.heating_factor == pytest.approx(1.0)
+        assert severe.heating_factor > cold.heating_factor > mild.heating_factor
+
+    def test_warm_day_floor(self):
+        warm = WeatherSample(30.0, WeatherCondition.WARM)
+        assert warm.heating_factor >= 0.25
+
+    def test_model_is_deterministic_per_seed(self):
+        a = WeatherModel(RandomSource(5, "w")).sample()
+        b = WeatherModel(RandomSource(5, "w")).sample()
+        assert a == b
+
+    def test_cold_snap_and_reference_day(self):
+        model = WeatherModel(RandomSource(0, "w"))
+        assert model.cold_snap().condition is WeatherCondition.SEVERE_COLD
+        assert model.reference_day().heating_factor == pytest.approx(1.0)
+
+    def test_forced_condition(self):
+        model = WeatherModel(RandomSource(0, "w"))
+        sample = model.sample(WeatherCondition.WARM)
+        assert sample.condition is WeatherCondition.WARM
+
+
+class TestHousehold:
+    def test_demand_profile_covers_owned_appliances(self, household):
+        demand = household.demand_profile()
+        assert demand.total_energy() > 0
+        assert demand.slots_per_day == 24
+
+    def test_cold_weather_raises_demand(self, household, cold_day):
+        mild = household.demand_profile()
+        cold = household.demand_profile(cold_day)
+        assert cold.total_energy() > mild.total_energy()
+
+    def test_saveable_energy_and_max_cutdown(self, household, cold_day):
+        interval = TimeInterval.from_hours(17, 20)
+        saveable = household.saveable_energy(interval, cold_day)
+        max_cutdown = household.max_cutdown_fraction(interval, cold_day)
+        assert saveable > 0
+        assert 0 < max_cutdown <= 1.0
+
+    def test_unknown_appliance_rejected(self, library):
+        profile = HouseholdProfile(
+            household_id="bad", size=2, ownership={"warp_drive": 1.0},
+            comfort_weight=1.0, flexibility_scale=0.5,
+        )
+        with pytest.raises(ValueError):
+            Household(profile, library)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            HouseholdProfile("h", 0, {}, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            HouseholdProfile("h", 2, {}, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            HouseholdProfile("h", 2, {}, 1.0, 0.0)
+
+    def test_generate_is_reproducible(self, library):
+        a = Household.generate("h1", RandomSource(9, "h"), library)
+        b = Household.generate("h1", RandomSource(9, "h"), library)
+        assert a.profile == b.profile
+
+    def test_generated_household_has_plausible_size(self, library):
+        household = Household.generate("h1", RandomSource(1, "h"), library)
+        assert 1 <= household.size <= 5
+
+
+class TestDemand:
+    def build_model(self, num: int = 10, seed: int = 0) -> DemandModel:
+        random = RandomSource(seed, "demand_test")
+        households = [
+            Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(num)
+        ]
+        return DemandModel(households, random.spawn("noise"), behavioural_noise=0.05)
+
+    def test_realise_covers_all_households(self, cold_day):
+        model = self.build_model(8)
+        realised = model.realise(cold_day)
+        assert len(realised.household_ids) == 8
+        assert realised.aggregate.total_energy() > 0
+
+    def test_expected_aggregate_is_noise_free_and_deterministic(self, cold_day):
+        model = self.build_model(5, seed=3)
+        first = model.expected_aggregate(cold_day)
+        second = model.expected_aggregate(cold_day)
+        assert first == second
+
+    def test_normal_capacity_sits_below_peak(self, cold_day):
+        model = self.build_model(10)
+        capacity = model.normal_capacity_for_target(cold_day, quantile=0.75)
+        aggregate = model.expected_aggregate(cold_day)
+        assert capacity < aggregate.peak()
+        assert capacity > aggregate.as_array().min()
+
+    def test_demand_curve_overuse_quantities(self, cold_day):
+        model = self.build_model(10)
+        realised = model.realise(cold_day)
+        capacity = model.normal_capacity_for_target(cold_day)
+        curve = realised.curve(capacity)
+        assert curve.has_peak
+        assert curve.peak_overuse == pytest.approx(curve.peak_demand - capacity)
+        assert curve.relative_overuse > 0
+        assert curve.expensive_energy() > 0
+        assert curve.peak_interval() is not None
+        rows = curve.as_rows()
+        assert len(rows) == 24
+        assert all(row["overuse_kw"] >= 0 for row in rows)
+
+    def test_demand_in_interval(self, cold_day):
+        model = self.build_model(4)
+        realised = model.realise(cold_day)
+        interval = TimeInterval.from_hours(17, 20)
+        per_household = realised.demand_in(interval)
+        assert set(per_household) == set(realised.household_ids)
+        assert all(v >= 0 for v in per_household.values())
+
+    def test_population_demand_validation(self):
+        with pytest.raises(ValueError):
+            PopulationDemand({})
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            DemandCurve(LoadProfile.constant(1.0), 0.0)
+
+    def test_demand_model_validation(self):
+        with pytest.raises(ValueError):
+            DemandModel([], behavioural_noise=0.1)

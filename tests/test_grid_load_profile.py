@@ -1,0 +1,122 @@
+"""Tests for repro.grid.load_profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.load_profile import LoadProfile
+from repro.runtime.clock import TimeInterval, TimeSlot
+
+
+@pytest.fixture
+def evening_peak() -> LoadProfile:
+    """A stylised profile: 2 kW base, 8 kW evening peak at 17-20h."""
+    values = [2.0] * 24
+    for hour in (17, 18, 19):
+        values[hour] = 8.0
+    return LoadProfile.from_sequence(values)
+
+
+class TestConstruction:
+    def test_zeros_and_constant(self):
+        assert LoadProfile.zeros(24).total_energy() == 0.0
+        assert LoadProfile.constant(2.0, 24).total_energy() == pytest.approx(48.0)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            LoadProfile(())
+        with pytest.raises(ValueError):
+            LoadProfile((1.0, -0.5))
+        with pytest.raises(ValueError):
+            LoadProfile.constant(-1.0)
+
+    def test_slot_hours(self):
+        assert LoadProfile.zeros(24).slot_hours == 1.0
+        assert LoadProfile.zeros(96).slot_hours == pytest.approx(0.25)
+
+
+class TestMeasures:
+    def test_peak_and_peak_slot(self, evening_peak):
+        assert evening_peak.peak() == 8.0
+        assert evening_peak.peak_slot() == TimeSlot(17, 24)
+
+    def test_total_energy(self, evening_peak):
+        assert evening_peak.total_energy() == pytest.approx(21 * 2.0 + 3 * 8.0)
+
+    def test_average_and_load_factor(self, evening_peak):
+        assert evening_peak.average() == pytest.approx(evening_peak.total_energy() / 24)
+        assert 0 < evening_peak.load_factor() < 1
+        assert LoadProfile.constant(3.0).load_factor() == pytest.approx(1.0)
+        assert LoadProfile.zeros().load_factor() == 1.0
+
+    def test_energy_and_average_in_interval(self, evening_peak):
+        interval = TimeInterval.from_hours(17, 20)
+        assert evening_peak.energy_in(interval) == pytest.approx(24.0)
+        assert evening_peak.average_in(interval) == pytest.approx(8.0)
+
+    def test_exceedance(self, evening_peak):
+        assert evening_peak.exceedance(2.0) == pytest.approx(18.0)
+        assert evening_peak.exceedance(100.0) == 0.0
+
+    def test_slots_above(self, evening_peak):
+        assert [s.index for s in evening_peak.slots_above(5.0)] == [17, 18, 19]
+
+    def test_peak_interval_detection(self, evening_peak):
+        interval = evening_peak.peak_interval(5.0)
+        assert interval is not None
+        assert (interval.start.index, interval.end.index) == (17, 19)
+        assert evening_peak.peak_interval(10.0) is None
+
+    def test_at_requires_matching_resolution(self, evening_peak):
+        with pytest.raises(ValueError):
+            evening_peak.at(TimeSlot(0, 48))
+        assert evening_peak.at(TimeSlot(17, 24)) == 8.0
+
+
+class TestArithmetic:
+    def test_addition_and_aggregate(self, evening_peak):
+        total = evening_peak + evening_peak
+        assert total.peak() == 16.0
+        aggregated = LoadProfile.aggregate([evening_peak] * 3)
+        assert aggregated.peak() == 24.0
+
+    def test_subtraction_clamps_at_zero(self, evening_peak):
+        diff = LoadProfile.constant(1.0) - evening_peak
+        assert min(diff) == 0.0
+
+    def test_mixed_resolutions_rejected(self, evening_peak):
+        with pytest.raises(ValueError):
+            evening_peak + LoadProfile.zeros(48)
+
+    def test_scaled(self, evening_peak):
+        assert evening_peak.scaled(0.5).peak() == 4.0
+        with pytest.raises(ValueError):
+            evening_peak.scaled(-1.0)
+
+    def test_clipped(self, evening_peak):
+        clipped = evening_peak.clipped(5.0)
+        assert clipped.peak() == 5.0
+        with pytest.raises(ValueError):
+            evening_peak.clipped(-1.0)
+
+    def test_with_cutdown_in_interval(self, evening_peak):
+        interval = TimeInterval.from_hours(17, 20)
+        reduced = evening_peak.with_cutdown_in(interval, 0.5)
+        assert reduced.at(TimeSlot(17, 24)) == pytest.approx(4.0)
+        assert reduced.at(TimeSlot(12, 24)) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            evening_peak.with_cutdown_in(interval, 1.5)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile.aggregate([])
+
+    def test_indexing_and_iteration(self, evening_peak):
+        assert evening_peak[17] == 8.0
+        assert len(evening_peak) == 24
+        assert list(evening_peak)[0] == 2.0
+
+    def test_as_array_round_trip(self, evening_peak):
+        array = evening_peak.as_array()
+        rebuilt = LoadProfile.from_sequence(array)
+        assert rebuilt == evening_peak

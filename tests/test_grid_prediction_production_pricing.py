@@ -1,0 +1,202 @@
+"""Tests for consumption prediction, production and tariffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.load_profile import LoadProfile
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.pricing import Tariff, TariffSchedule
+from repro.grid.production import ProductionModel, ProductionSegment
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+def build_demand_model(num: int = 6, seed: int = 0) -> DemandModel:
+    random = RandomSource(seed, "prediction_test")
+    households = [Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(num)]
+    return DemandModel(households, random.spawn("noise"), behavioural_noise=0.05)
+
+
+class TestConsumptionPredictor:
+    def test_prediction_requires_history(self):
+        with pytest.raises(ValueError):
+            ConsumptionPredictor().predict()
+
+    def test_mean_prediction_tracks_history(self, cold_day):
+        model = build_demand_model()
+        predictor = ConsumptionPredictor(PredictionModel.MEAN)
+        for __ in range(5):
+            predictor.observe(model.realise(cold_day))
+        prediction = predictor.predict()
+        actual = model.realise(cold_day)
+        mape = predictor.mean_absolute_percentage_error(prediction, actual)
+        assert predictor.history_length == 5
+        assert mape < 0.25
+
+    def test_exponential_smoothing_weights_recent_days_more(self, cold_day):
+        model = build_demand_model()
+        mild = WeatherSample(10.0, WeatherCondition.MILD)
+        predictor = ConsumptionPredictor(PredictionModel.EXPONENTIAL_SMOOTHING, smoothing_factor=0.7)
+        # Old mild days followed by recent cold days.
+        for __ in range(3):
+            predictor.observe(model.realise(mild))
+        for __ in range(3):
+            predictor.observe(model.realise(cold_day))
+        smoothed = predictor.predict().aggregate.total_energy()
+        flat_predictor = ConsumptionPredictor(PredictionModel.MEAN)
+        for __ in range(3):
+            flat_predictor.observe(model.realise(mild))
+        for __ in range(3):
+            flat_predictor.observe(model.realise(cold_day))
+        flat = flat_predictor.predict().aggregate.total_energy()
+        assert smoothed > flat
+
+    def test_weather_adjusted_prediction_scales_with_forecast(self, cold_day):
+        model = build_demand_model()
+        mild = WeatherSample(10.0, WeatherCondition.MILD)
+        predictor = ConsumptionPredictor(PredictionModel.WEATHER_ADJUSTED)
+        for __ in range(4):
+            predictor.observe(model.realise(mild))
+        cold_forecast = predictor.predict(cold_day).aggregate.total_energy()
+        mild_forecast = predictor.predict(mild).aggregate.total_energy()
+        assert cold_forecast > mild_forecast
+
+    def test_household_coverage_and_interval_view(self, cold_day):
+        model = build_demand_model(4)
+        predictor = ConsumptionPredictor()
+        predictor.observe(model.realise(cold_day))
+        prediction = predictor.predict()
+        interval = TimeInterval.from_hours(17, 20)
+        per_household = prediction.household_prediction_in(interval)
+        assert len(per_household) == 4
+        assert prediction.aggregate_in(interval) == pytest.approx(
+            sum(per_household.values()), rel=1e-6
+        )
+
+    def test_mismatched_households_rejected(self, cold_day):
+        predictor = ConsumptionPredictor()
+        predictor.observe(build_demand_model(3, seed=0).realise(cold_day))
+        with pytest.raises(ValueError):
+            predictor.observe(build_demand_model(4, seed=1).realise(cold_day))
+
+    def test_invalid_smoothing_factor(self):
+        with pytest.raises(ValueError):
+            ConsumptionPredictor(smoothing_factor=0.0)
+
+    def test_error_metrics_shape_mismatch(self, cold_day):
+        predictor = ConsumptionPredictor()
+        model = build_demand_model(3)
+        predictor.observe(model.realise(cold_day))
+        prediction = predictor.predict()
+        other = build_demand_model(3, seed=9).realise(cold_day)
+        assert predictor.mean_absolute_error(prediction, other) >= 0
+
+
+class TestProduction:
+    def test_two_tier_structure(self):
+        production = ProductionModel.two_tier(100.0, 50.0, 0.25, 0.75)
+        assert production.normal_capacity_kw == 100.0
+        assert production.total_capacity_kw == 150.0
+        assert production.normal_cost == 0.25
+        assert production.peak_cost == 0.75
+
+    def test_dispatch_merit_order(self):
+        production = ProductionModel.two_tier(100.0, 50.0)
+        allocation = production.dispatch(120.0)
+        assert allocation[0][1] == 100.0
+        assert allocation[1][1] == 20.0
+        assert production.unserved(120.0) == 0.0
+        assert production.unserved(200.0) == 50.0
+
+    def test_marginal_cost(self):
+        production = ProductionModel.two_tier(100.0, 50.0, 0.25, 0.75)
+        assert production.marginal_cost_at(50.0) == 0.25
+        assert production.marginal_cost_at(100.0) == 0.25
+        assert production.marginal_cost_at(101.0) == 0.75
+        assert production.marginal_cost_at(1000.0) == 0.75
+
+    def test_cost_of_profile_and_expensive_share(self):
+        production = ProductionModel.two_tier(10.0, 10.0, 0.2, 1.0)
+        flat = LoadProfile.constant(5.0)
+        peaky = LoadProfile.from_sequence([5.0] * 23 + [15.0])
+        assert production.cost_of_profile(flat) == pytest.approx(5.0 * 24 * 0.2)
+        expensive = production.expensive_cost_of_profile(peaky)
+        assert expensive == pytest.approx(5.0 * 1.0)
+        assert production.expensive_cost_of_profile(flat) == pytest.approx(0.0)
+
+    def test_savings_between_profiles(self):
+        production = ProductionModel.two_tier(10.0, 10.0, 0.2, 1.0)
+        before = LoadProfile.from_sequence([12.0] * 24)
+        after = LoadProfile.from_sequence([10.0] * 24)
+        assert production.savings_between(before, after) > 0
+
+    def test_segment_order_enforced(self):
+        with pytest.raises(ValueError):
+            ProductionModel(
+                [ProductionSegment("peak", 10, 1.0), ProductionSegment("base", 10, 0.2)]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductionModel([])
+        with pytest.raises(ValueError):
+            ProductionSegment("bad", 0.0, 0.2)
+        with pytest.raises(ValueError):
+            ProductionModel.two_tier(10, 10, normal_cost=0.8, peak_cost=0.2)
+        production = ProductionModel.two_tier(10, 10)
+        with pytest.raises(ValueError):
+            production.dispatch(-1.0)
+        with pytest.raises(ValueError):
+            production.marginal_cost_at(-1.0)
+        with pytest.raises(ValueError):
+            production.cost_of_slot(5.0, -1.0)
+
+
+class TestTariffs:
+    def test_standard_tariff_ordering(self):
+        tariff = Tariff.standard()
+        assert tariff.lower_price < tariff.normal_price < tariff.higher_price
+        assert tariff.discount > 0
+        assert tariff.penalty > 0
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            Tariff(0.4, 0.3, 0.5)
+        with pytest.raises(ValueError):
+            Tariff(-0.1, 0.3, 0.5)
+
+    def test_cost_without_deal(self):
+        schedule = TariffSchedule(Tariff.standard())
+        profile = LoadProfile.constant(2.0)
+        assert schedule.cost_without_deal(profile) == pytest.approx(48.0 * 0.30)
+
+    def test_offer_deal_cheaper_when_within_allowance(self):
+        interval = TimeInterval.from_hours(17, 20)
+        schedule = TariffSchedule(Tariff.standard(), interval)
+        profile = LoadProfile.constant(2.0)
+        peak_energy = profile.energy_in(interval)
+        with_deal = schedule.cost_with_offer_deal(profile, allowance_kwh=peak_energy)
+        assert with_deal < schedule.cost_without_deal(profile)
+        assert schedule.offer_deal_gain(profile, peak_energy) > 0
+
+    def test_offer_deal_penalises_excess(self):
+        interval = TimeInterval.from_hours(17, 20)
+        schedule = TariffSchedule(Tariff.standard(), interval)
+        profile = LoadProfile.constant(4.0)
+        tight_allowance = 1.0  # far below actual peak consumption
+        cost = schedule.cost_with_offer_deal(profile, tight_allowance)
+        assert cost > schedule.cost_without_deal(profile) - 1.0  # penalty kicks in
+
+    def test_no_interval_means_normal_billing(self):
+        schedule = TariffSchedule(Tariff.standard(), None)
+        profile = LoadProfile.constant(1.0)
+        assert schedule.cost_with_offer_deal(profile, 10.0) == schedule.cost_without_deal(profile)
+
+    def test_negative_allowance_rejected(self):
+        schedule = TariffSchedule(Tariff.standard(), TimeInterval.from_hours(17, 20))
+        with pytest.raises(ValueError):
+            schedule.cost_with_offer_deal(LoadProfile.constant(1.0), -1.0)

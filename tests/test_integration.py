@@ -1,0 +1,134 @@
+"""End-to-end integration tests across all layers.
+
+These tests exercise the full stack together: grid substrate -> prediction ->
+scenario -> multi-agent negotiation over the message bus (with Producer Agent,
+External World and Resource Consumer Agents attached) -> application of the
+awarded cut-downs -> cost accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import analyse_convergence
+from repro.core.planning import DayAheadPlanner, MultiDayCampaign
+from repro.core.scenario import paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.core.system import LoadBalancingSystem
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.load_profile import LoadProfile
+from repro.grid.production import ProductionModel
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.runtime.messaging import Performative
+from repro.runtime.rng import RandomSource
+
+
+class TestFullStackNegotiation:
+    def test_synthetic_town_with_all_agent_types(self):
+        """UA + CAs + RCAs + Producer + External World on one bus, end to end."""
+        scenario = synthetic_scenario(num_households=10, seed=11)
+        session = NegotiationSession(
+            scenario,
+            seed=11,
+            include_producer=True,
+            include_external_world=True,
+            with_resource_consumers=True,
+        )
+        result = session.run()
+
+        assert result.rounds >= 1
+        assert result.final_overuse < result.initial_overuse
+        assert session.utility_agent.protocol.violations == []
+        # The UA actually received producer and world information.
+        assert session.utility_agent.producer_reports
+        assert session.utility_agent.world_observations
+        # Awarded customers instructed their Resource Consumer Agents.
+        histogram = session.simulation.bus.messages_by_performative()
+        awarded = [a for a in session.customer_agents if a.award and a.award.accepted]
+        if awarded:
+            assert histogram.get(Performative.CONFIRM, 0) > 0
+            instructed = [
+                rca.instructed_cutdown
+                for agent in awarded
+                for rca in agent.resource_consumers
+            ]
+            assert any(cutdown > 0 for cutdown in instructed)
+
+    def test_cutdowns_applied_to_profiles_reduce_peak_energy(self):
+        scenario = synthetic_scenario(num_households=12, seed=13)
+        system = LoadBalancingSystem(scenario, seed=13)
+        baseline = system.baseline_profiles()
+        outcome = system.run()
+        assert outcome.negotiated
+        adjusted = system.apply_cutdowns(baseline, outcome.negotiation)
+        interval = scenario.population.interval
+        before = LoadProfile.aggregate(baseline.values()).energy_in(interval)
+        after = LoadProfile.aggregate(adjusted.values()).energy_in(interval)
+        assert after < before
+        # Off-peak energy is untouched by the cut-downs.
+        before_total = LoadProfile.aggregate(baseline.values()).total_energy()
+        after_total = LoadProfile.aggregate(adjusted.values()).total_energy()
+        assert before_total - after_total == pytest.approx(before - after, rel=1e-6)
+
+    def test_every_method_completes_on_the_same_population(self):
+        for method in (OfferMethod(), RequestForBidsMethod(), None):
+            scenario = synthetic_scenario(num_households=10, seed=17, method=method)
+            result = NegotiationSession(scenario, seed=17).run()
+            assert result.final_overuse <= result.initial_overuse + 1e-9
+            analysis = analyse_convergence(result)
+            assert analysis.overuse_monotone_nonincreasing
+
+    def test_paper_scenario_with_protocol_checking_strict(self):
+        scenario = paper_prototype_scenario()
+        session = NegotiationSession(scenario, seed=0, check_protocol=True)
+        result = session.run()
+        assert result.rounds == 3
+        assert session.utility_agent.protocol.violations == []
+
+
+class TestPredictToNegotiateLoop:
+    def test_planner_scenario_runs_through_the_full_pipeline(self):
+        random = RandomSource(23, "integration_planner")
+        households = [
+            Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(12)
+        ]
+        demand_model = DemandModel(households, random.spawn("demand"))
+        capacity = demand_model.normal_capacity_for_target(quantile=0.8)
+        planner = DayAheadPlanner(households, capacity, random=random.spawn("planner"))
+        mild = WeatherSample(10.0, WeatherCondition.MILD)
+        cold = WeatherSample(-18.0, WeatherCondition.SEVERE_COLD)
+        for __ in range(3):
+            planner.observe_day(mild)
+        scenario = planner.plan(cold)
+        assert scenario is not None
+        production = ProductionModel.two_tier(capacity, capacity, 0.25, 0.9)
+        system = LoadBalancingSystem(scenario, production=production, seed=23)
+        outcome = system.run()
+        assert outcome.negotiated
+        assert outcome.peak_after_kw <= outcome.peak_before_kw + 1e-6
+        assert outcome.production_savings >= 0
+
+    def test_short_campaign_is_deterministic(self):
+        def run_once():
+            random = RandomSource(29, "integration_campaign")
+            households = [
+                Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(10)
+            ]
+            demand_model = DemandModel(households, random.spawn("demand"))
+            capacity = demand_model.normal_capacity_for_target(quantile=0.85)
+            planner = DayAheadPlanner(households, capacity, random=random.spawn("planner"))
+            campaign = MultiDayCampaign(planner, warmup_days=2, seed=29)
+            return campaign.run(
+                num_days=3,
+                conditions=[WeatherCondition.MILD, WeatherCondition.SEVERE_COLD,
+                            WeatherCondition.MILD],
+            )
+
+        first = run_once()
+        second = run_once()
+        assert first.days_negotiated == second.days_negotiated
+        assert first.total_reward_paid == pytest.approx(second.total_reward_paid)
+        assert [d.negotiated for d in first.days] == [d.negotiated for d in second.days]

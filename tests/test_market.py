@@ -1,0 +1,131 @@
+"""Tests for the computational-market baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import paper_prototype_scenario
+from repro.market.equilibrium import EquilibriumMarket, MarketOutcome
+from repro.market.market_agent import CustomerSupplyCurve, UtilityDemandCurve
+from repro.negotiation.reward_table import CutdownRewardRequirements
+
+
+@pytest.fixture
+def supply_curve() -> CustomerSupplyCurve:
+    return CustomerSupplyCurve(
+        customer="c1",
+        predicted_use=10.0,
+        requirements=CutdownRewardRequirements.paper_figure_8_customer(),
+    )
+
+
+class TestCustomerSupplyCurve:
+    def test_zero_price_supplies_nothing(self, supply_curve):
+        offer = supply_curve.best_response(0.0)
+        assert offer.reduction == 0.0
+        assert offer.surplus == 0.0
+
+    def test_supply_is_nondecreasing_in_price(self, supply_curve):
+        reductions = [supply_curve.reduction_at(p) for p in (0.0, 2.0, 5.0, 10.0, 20.0)]
+        assert all(b >= a for a, b in zip(reductions, reductions[1:]))
+
+    def test_best_response_has_nonnegative_surplus(self, supply_curve):
+        for price in (0.5, 1.0, 3.0, 8.0):
+            assert supply_curve.best_response(price).surplus >= 0.0
+
+    def test_never_exceeds_feasible_cutdown(self, supply_curve):
+        offer = supply_curve.best_response(1e6)
+        assert offer.cutdown <= supply_curve.requirements.max_feasible_cutdown + 1e-9
+
+    def test_negative_price_rejected(self, supply_curve):
+        with pytest.raises(ValueError):
+            supply_curve.best_response(-1.0)
+
+    def test_negative_predicted_use_rejected(self):
+        with pytest.raises(ValueError):
+            CustomerSupplyCurve("c", -1.0, CutdownRewardRequirements.paper_figure_8_customer())
+
+
+class TestUtilityDemandCurve:
+    def test_demand_is_step_shaped(self):
+        demand = UtilityDemandCurve(needed_reduction=20.0, reservation_price=10.0)
+        assert demand.demand_at(5.0) == 20.0
+        assert demand.demand_at(10.0) == 20.0
+        assert demand.demand_at(10.01) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityDemandCurve(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            UtilityDemandCurve(1.0, -5.0)
+        with pytest.raises(ValueError):
+            UtilityDemandCurve(1.0, 5.0).demand_at(-1.0)
+
+
+class TestEquilibriumMarket:
+    def build_market(self, needed: float = 6.0, reservation: float = 10.0) -> EquilibriumMarket:
+        base = CutdownRewardRequirements.paper_figure_8_customer()
+        curves = [
+            CustomerSupplyCurve(f"c{i}", 10.0, base) for i in range(4)
+        ]
+        return EquilibriumMarket(curves, UtilityDemandCurve(needed, reservation))
+
+    def test_clearing_covers_needed_reduction(self):
+        market = self.build_market(needed=6.0)
+        outcome = market.clear()
+        assert outcome.cleared
+        assert outcome.total_reduction >= outcome.needed_reduction
+        assert outcome.iterations > 0
+        assert outcome.reduction_achieved_fraction == 1.0
+
+    def test_clearing_price_is_minimal_up_to_tolerance(self):
+        market = self.build_market(needed=6.0)
+        outcome = market.clear()
+        below = outcome.clearing_price - 5 * market.price_tolerance
+        if below > 0:
+            assert market.aggregate_supply(below) <= outcome.total_reduction
+
+    def test_zero_needed_reduction_clears_at_zero(self):
+        market = self.build_market(needed=0.0)
+        outcome = market.clear()
+        assert outcome.clearing_price == 0.0
+        assert outcome.total_payment == 0.0
+        assert outcome.iterations == 0
+
+    def test_infeasible_demand_caps_at_reservation_price(self):
+        market = self.build_market(needed=1000.0, reservation=3.0)
+        outcome = market.clear()
+        assert not outcome.cleared
+        assert outcome.clearing_price == 3.0
+        assert outcome.reduction_achieved_fraction < 1.0
+
+    def test_payments_and_surplus_are_consistent(self):
+        outcome = self.build_market(needed=8.0).clear()
+        assert outcome.total_payment == pytest.approx(
+            sum(offer.payment for offer in outcome.offers.values())
+        )
+        assert outcome.total_customer_surplus >= 0
+        assert outcome.payment_per_unit_reduction > 0
+        summary = outcome.summary()
+        assert summary["cleared"] == 1.0
+
+    def test_from_population_uses_same_preferences(self):
+        scenario = paper_prototype_scenario()
+        market = EquilibriumMarket.from_population(scenario.population)
+        outcome = market.clear()
+        needed = scenario.population.initial_overuse - scenario.population.max_allowed_overuse
+        assert outcome.needed_reduction == pytest.approx(needed)
+        assert outcome.cleared
+        assert outcome.total_reduction >= needed
+
+    def test_validation(self):
+        demand = UtilityDemandCurve(1.0, 1.0)
+        with pytest.raises(ValueError):
+            EquilibriumMarket([], demand)
+        curve = CustomerSupplyCurve(
+            "c", 1.0, CutdownRewardRequirements.paper_figure_8_customer()
+        )
+        with pytest.raises(ValueError):
+            EquilibriumMarket([curve], demand, price_tolerance=0.0)
+        with pytest.raises(ValueError):
+            EquilibriumMarket([curve], demand, max_iterations=0)

@@ -1,0 +1,149 @@
+"""Tests for the Section 6 formulae (repro.negotiation.formulas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.negotiation.formulas import (
+    new_reward,
+    predicted_overuse,
+    predicted_use_with_cutdown,
+    relative_overuse,
+    reward_increment,
+    update_reward_table,
+)
+from repro.negotiation.reward_table import RewardTable
+
+
+class TestPredictedUseWithCutdown:
+    def test_cutdown_applies_when_allowance_binds(self):
+        # Reduced allowance (1-0.4)*10 = 6 < predicted 8, so the cut-down binds.
+        assert predicted_use_with_cutdown(8.0, 10.0, 0.4) == pytest.approx(6.0)
+
+    def test_prediction_unchanged_when_allowance_is_loose(self):
+        # Reduced allowance (1-0.1)*10 = 9 >= predicted 8, so nothing changes.
+        assert predicted_use_with_cutdown(8.0, 10.0, 0.1) == pytest.approx(8.0)
+
+    def test_zero_cutdown_is_identity(self):
+        assert predicted_use_with_cutdown(7.5, 7.5, 0.0) == 7.5
+
+    def test_full_cutdown_zeroes_use(self):
+        assert predicted_use_with_cutdown(7.5, 7.5, 1.0) == 0.0
+
+    def test_boundary_equality(self):
+        # (1-0.2)*10 = 8 == predicted 8: the paper keeps the prediction.
+        assert predicted_use_with_cutdown(8.0, 10.0, 0.2) == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_use_with_cutdown(-1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            predicted_use_with_cutdown(1.0, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            predicted_use_with_cutdown(1.0, 1.0, 1.5)
+
+
+class TestPredictedOveruse:
+    def test_paper_figure_6_initial_overuse(self):
+        # 20 customers at 6.75 each = 135 against a normal use of 100 -> 35.
+        predicted = {f"c{i}": 6.75 for i in range(20)}
+        assert predicted_overuse(predicted, predicted, {}, 100.0) == pytest.approx(35.0)
+
+    def test_cutdowns_reduce_overuse(self):
+        predicted = {"a": 10.0, "b": 10.0}
+        overuse = predicted_overuse(predicted, predicted, {"a": 0.5}, 15.0)
+        assert overuse == pytest.approx(0.0)
+
+    def test_missing_cutdowns_treated_as_zero(self):
+        predicted = {"a": 10.0}
+        assert predicted_overuse(predicted, predicted, {}, 8.0) == pytest.approx(2.0)
+
+    def test_can_be_negative(self):
+        predicted = {"a": 10.0}
+        assert predicted_overuse(predicted, predicted, {"a": 0.8}, 8.0) < 0
+
+    def test_missing_allowed_use_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_overuse({"a": 1.0}, {}, {}, 10.0)
+
+    def test_nonpositive_normal_use_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_overuse({"a": 1.0}, {"a": 1.0}, {}, 0.0)
+
+    def test_relative_overuse(self):
+        assert relative_overuse(35.0, 100.0) == pytest.approx(0.35)
+        with pytest.raises(ValueError):
+            relative_overuse(1.0, 0.0)
+
+
+class TestNewReward:
+    def test_paper_round_values(self):
+        # With beta=2, overuse ratio ~0.3027 and max reward 30, the reward of
+        # 17 for a 0.4 cut-down rises to about 21.5 — the calibrated round 2
+        # value that makes the Figure 8 customer switch to a 0.4 cut-down.
+        updated = new_reward(17.0, 2.0, 0.3027, 30.0)
+        assert updated == pytest.approx(21.46, abs=0.05)
+
+    def test_reward_never_exceeds_max(self):
+        reward = 17.0
+        for __ in range(100):
+            reward = new_reward(reward, 5.0, 0.9, 30.0)
+        assert reward <= 30.0
+
+    def test_monotone_nondecreasing(self):
+        assert new_reward(10.0, 2.0, 0.3, 30.0) >= 10.0
+
+    def test_zero_or_negative_overuse_leaves_reward_unchanged(self):
+        assert new_reward(10.0, 2.0, 0.0, 30.0) == 10.0
+        assert new_reward(10.0, 2.0, -0.5, 30.0) == 10.0
+
+    def test_higher_overuse_gives_bigger_increment(self):
+        low = new_reward(10.0, 2.0, 0.1, 30.0)
+        high = new_reward(10.0, 2.0, 0.5, 30.0)
+        assert high > low
+
+    def test_increment_shrinks_near_max(self):
+        far = new_reward(10.0, 2.0, 0.3, 30.0) - 10.0
+        near = new_reward(29.0, 2.0, 0.3, 30.0) - 29.0
+        assert near < far
+
+    def test_zero_reward_stays_zero(self):
+        assert new_reward(0.0, 2.0, 0.5, 30.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            new_reward(-1.0, 2.0, 0.3, 30.0)
+        with pytest.raises(ValueError):
+            new_reward(1.0, -2.0, 0.3, 30.0)
+        with pytest.raises(ValueError):
+            new_reward(1.0, 2.0, 0.3, 0.0)
+        with pytest.raises(ValueError):
+            new_reward(31.0, 2.0, 0.3, 30.0)
+
+
+class TestUpdateRewardTable:
+    def test_update_is_monotone_concession(self):
+        table = RewardTable({0.0: 0.0, 0.2: 5.0, 0.4: 17.0})
+        updated = update_reward_table(table, beta=2.0, overuse=0.35, max_reward=30.0)
+        assert updated.at_least_as_generous_as(table)
+        assert updated.strictly_more_generous_than(table)
+
+    def test_update_preserves_grid_and_interval(self):
+        table = RewardTable({0.0: 0.0, 0.2: 5.0, 0.4: 17.0})
+        updated = update_reward_table(table, 2.0, 0.35, 30.0)
+        assert set(updated.entries) == set(table.entries)
+        assert updated.interval == table.interval
+
+    def test_update_preserves_monotonicity_in_cutdown(self):
+        table = RewardTable({round(0.1 * i, 1): 2.0 * i for i in range(11)})
+        updated = update_reward_table(table, 2.0, 0.4, 30.0)
+        assert updated.is_monotone_in_cutdown()
+
+    def test_reward_increment(self):
+        old = RewardTable({0.2: 5.0, 0.4: 17.0})
+        new = RewardTable({0.2: 6.0, 0.4: 21.0})
+        assert reward_increment(old, new) == pytest.approx(4.0)
+
+    def test_reward_increment_requires_same_grid(self):
+        with pytest.raises(ValueError):
+            reward_increment(RewardTable({0.2: 5.0}), RewardTable({0.4: 17.0}))

@@ -1,0 +1,337 @@
+"""Tests for the three announcement methods (offer, request-for-bids, reward tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.negotiation.messages import (
+    CutdownBid,
+    OfferAnnouncement,
+    OfferResponse,
+    QuantityBid,
+    RewardTableAnnouncement,
+)
+from repro.negotiation.methods.base import CustomerContext, UtilityContext
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+from repro.negotiation.strategy import ConstantBeta, SelectiveBidAcceptance
+from repro.negotiation.termination import TerminationReason
+
+
+def utility_context(num_customers: int = 4, per_customer: float = 10.0, normal: float = 30.0,
+                    max_allowed: float = 0.0) -> UtilityContext:
+    predicted = {f"c{i}": per_customer for i in range(num_customers)}
+    return UtilityContext(
+        normal_use=normal,
+        predicted_uses=predicted,
+        allowed_uses=dict(predicted),
+        max_allowed_overuse=max_allowed,
+    )
+
+
+def customer_context(customer: str = "c0", predicted: float = 10.0,
+                     scale: float = 1.0) -> CustomerContext:
+    base = CutdownRewardRequirements.paper_figure_8_customer()
+    requirements = CutdownRewardRequirements(
+        {c: r * scale for c, r in base.requirements.items()},
+        max_feasible_cutdown=base.max_feasible_cutdown,
+    )
+    return CustomerContext(
+        customer=customer, predicted_use=predicted, allowed_use=predicted,
+        requirements=requirements,
+    )
+
+
+class TestUtilityContext:
+    def test_derived_quantities(self):
+        context = utility_context(4, 10.0, 30.0)
+        assert context.total_predicted_use == 40.0
+        assert context.initial_overuse == 10.0
+        assert context.initial_relative_overuse == pytest.approx(1 / 3)
+        assert context.customers == ["c0", "c1", "c2", "c3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityContext(normal_use=0.0, predicted_uses={"a": 1.0}, allowed_uses={"a": 1.0})
+        with pytest.raises(ValueError):
+            UtilityContext(normal_use=10.0, predicted_uses={"a": 1.0}, allowed_uses={"b": 1.0})
+        with pytest.raises(ValueError):
+            CustomerContext("c", -1.0, 1.0, CutdownRewardRequirements({0.2: 1.0}))
+
+
+class TestRewardTablesMethod:
+    def test_initial_announcement_uses_explicit_table(self):
+        table = RewardTable({0.2: 5.0, 0.4: 17.0})
+        method = RewardTablesMethod(max_reward=30.0, initial_table=table)
+        announcement = method.initial_announcement(utility_context())
+        assert isinstance(announcement, RewardTableAnnouncement)
+        assert announcement.table.reward_for(0.4) == 17.0
+        assert announcement.round_number == 0
+
+    def test_initial_table_above_max_reward_rejected(self):
+        with pytest.raises(ValueError):
+            RewardTablesMethod(max_reward=10.0, initial_table=RewardTable({0.4: 17.0}))
+
+    def test_generated_initial_table_bounded_by_max_reward(self):
+        method = RewardTablesMethod(max_reward=25.0)
+        announcement = method.initial_announcement(utility_context())
+        assert announcement.table.max_reward_offered() <= 25.0
+
+    def test_respond_follows_bidding_policy_and_monotonicity(self):
+        method = RewardTablesMethod(max_reward=30.0)
+        announcement = RewardTableAnnouncement(
+            round_number=0,
+            table=RewardTable({0.0: 0, 0.1: 2, 0.2: 5, 0.3: 9, 0.4: 17}),
+        )
+        customer = customer_context()
+        bid = method.respond(announcement, customer)
+        assert isinstance(bid, CutdownBid) and bid.cutdown == 0.2
+        better = RewardTableAnnouncement(
+            round_number=1,
+            table=RewardTable({0.0: 0, 0.1: 3, 0.2: 8, 0.3: 13, 0.4: 22}),
+        )
+        second = method.respond(better, customer, previous_bid=bid)
+        assert second.cutdown >= bid.cutdown
+
+    def test_evaluate_round_computes_overuse_and_termination(self):
+        method = RewardTablesMethod(max_reward=30.0)
+        context = utility_context(4, 10.0, 30.0, max_allowed=2.0)
+        announcement = method.initial_announcement(context)
+        bids = {
+            f"c{i}": CutdownBid(customer=f"c{i}", round_number=0, cutdown=0.3)
+            for i in range(4)
+        }
+        evaluation = method.evaluate_round(context, announcement, bids, 0)
+        # 4 customers at 10 each with 0.3 cut-down -> 28 total, overuse -2.
+        assert evaluation.predicted_overuse == pytest.approx(-2.0)
+        assert evaluation.termination is TerminationReason.OVERUSE_ACCEPTABLE
+
+    def test_next_announcement_is_monotone_concession(self):
+        method = RewardTablesMethod(
+            max_reward=30.0,
+            beta_controller=ConstantBeta(2.0),
+            initial_table=RewardTable({0.2: 5.0, 0.4: 17.0}),
+        )
+        context = utility_context()
+        first = method.initial_announcement(context)
+        bids = {"c0": CutdownBid(customer="c0", round_number=0, cutdown=0.0)}
+        evaluation = method.evaluate_round(context, first, bids, 0)
+        second = method.next_announcement(context, first, evaluation, 0)
+        assert second is not None
+        assert second.round_number == 1
+        assert second.table.strictly_more_generous_than(first.table)
+
+    def test_next_announcement_none_when_saturated(self):
+        # Rewards already at the maximum: the increment is ~0, so negotiation ends.
+        method = RewardTablesMethod(
+            max_reward=30.0, initial_table=RewardTable({0.2: 29.99, 0.4: 30.0})
+        )
+        context = utility_context()
+        first = method.initial_announcement(context)
+        bids = {"c0": CutdownBid(customer="c0", round_number=0, cutdown=0.0)}
+        evaluation = method.evaluate_round(context, first, bids, 0)
+        assert method.next_announcement(context, first, evaluation, 0) is None
+
+    def test_rewards_due_and_cutdowns(self):
+        method = RewardTablesMethod(max_reward=30.0, initial_table=RewardTable({0.2: 5.0, 0.4: 17.0}))
+        context = utility_context(2)
+        announcement = method.initial_announcement(context)
+        bids = {
+            "c0": CutdownBid(customer="c0", round_number=0, cutdown=0.4),
+            "c1": CutdownBid(customer="c1", round_number=0, cutdown=0.0),
+        }
+        rewards = method.rewards_due(context, announcement, bids)
+        assert rewards == {"c0": 17.0, "c1": 0.0}
+        cutdowns = method.committed_cutdowns(context, bids)
+        assert cutdowns == {"c0": 0.4, "c1": 0.0}
+
+    def test_selective_acceptance_plugs_in(self):
+        method = RewardTablesMethod(
+            max_reward=30.0, acceptance_policy=SelectiveBidAcceptance(safety_margin=0.0)
+        )
+        context = utility_context(4, 10.0, 38.0)
+        announcement = method.initial_announcement(context)
+        bids = {
+            f"c{i}": CutdownBid(customer=f"c{i}", round_number=0, cutdown=0.3)
+            for i in range(4)
+        }
+        evaluation = method.evaluate_round(context, announcement, bids, 0)
+        # Overuse is only 2, a single 0.3 cut-down of 10 covers it.
+        assert sum(evaluation.accepted_customers.values()) == 1
+
+    def test_respond_rejects_wrong_announcement_type(self):
+        method = RewardTablesMethod()
+        with pytest.raises(TypeError):
+            method.respond(OfferAnnouncement(round_number=0), customer_context())
+
+
+class TestOfferMethod:
+    def test_single_round_only(self):
+        method = OfferMethod(x_max=0.8)
+        context = utility_context()
+        announcement = method.initial_announcement(context)
+        evaluation = method.evaluate_round(context, announcement, {}, 0)
+        assert method.next_announcement(context, announcement, evaluation, 0) is None
+        assert evaluation.termination is not None
+
+    def test_flexible_customer_accepts(self):
+        method = OfferMethod(x_max=0.7)
+        announcement = method.initial_announcement(utility_context())
+        flexible = customer_context(scale=0.2)  # cheap to cut down
+        response = method.respond(announcement, flexible)
+        assert isinstance(response, OfferResponse) and response.accept
+
+    def test_inflexible_customer_declines(self):
+        method = OfferMethod(x_max=0.7)
+        announcement = method.initial_announcement(utility_context())
+        stubborn = customer_context(scale=50.0)  # discomfort dwarfs any saving
+        assert not method.respond(announcement, stubborn).accept
+
+    def test_customer_within_allowance_always_accepts(self):
+        method = OfferMethod(x_max=0.8)
+        announcement = method.initial_announcement(utility_context())
+        small_user = CustomerContext(
+            customer="tiny", predicted_use=5.0, allowed_use=10.0,
+            requirements=CutdownRewardRequirements.paper_figure_8_customer(),
+        )
+        assert method.respond(announcement, small_user).accept
+
+    def test_infeasible_cutdown_declines(self):
+        method = OfferMethod(x_max=0.2)  # would require an 80% cut-down
+        announcement = method.initial_announcement(utility_context())
+        customer = customer_context()  # max feasible 0.8 -> borderline
+        limited = CustomerContext(
+            customer="limited", predicted_use=10.0, allowed_use=10.0,
+            requirements=CutdownRewardRequirements(
+                {0.2: 1.0, 0.4: 5.0}, max_feasible_cutdown=0.4
+            ),
+        )
+        assert not method.respond(announcement, limited).accept
+
+    def test_committed_cutdowns_and_rewards(self):
+        method = OfferMethod(x_max=0.8)
+        context = utility_context(2)
+        announcement = method.initial_announcement(context)
+        bids = {
+            "c0": OfferResponse(customer="c0", round_number=0, accept=True),
+            "c1": OfferResponse(customer="c1", round_number=0, accept=False),
+        }
+        cutdowns = method.committed_cutdowns(context, bids)
+        assert cutdowns["c0"] == pytest.approx(0.2)
+        assert cutdowns["c1"] == 0.0
+        rewards = method.rewards_due(context, announcement, bids)
+        assert rewards["c0"] > 0 and rewards["c1"] == 0.0
+
+    def test_evaluate_round_reduces_overuse_with_acceptances(self):
+        method = OfferMethod(x_max=0.8)
+        context = utility_context(4, 10.0, 35.0)
+        announcement = method.initial_announcement(context)
+        all_accept = {
+            f"c{i}": OfferResponse(customer=f"c{i}", round_number=0, accept=True)
+            for i in range(4)
+        }
+        none_accept = {
+            f"c{i}": OfferResponse(customer=f"c{i}", round_number=0, accept=False)
+            for i in range(4)
+        }
+        with_deal = method.evaluate_round(context, announcement, all_accept, 0)
+        without = method.evaluate_round(context, announcement, none_accept, 0)
+        assert with_deal.predicted_overuse < without.predicted_overuse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfferMethod(x_max=0.0)
+        with pytest.raises(ValueError):
+            OfferMethod(peak_hours=0.0)
+
+
+class TestRequestForBidsMethod:
+    def test_customer_steps_down_when_worthwhile(self):
+        method = RequestForBidsMethod(step_fraction=0.1)
+        announcement = method.initial_announcement(utility_context())
+        flexible = customer_context(scale=0.05)
+        bid = method.respond(announcement, flexible)
+        assert isinstance(bid, QuantityBid)
+        assert bid.needed_use < flexible.predicted_use
+
+    def test_stubborn_customer_stands_still(self):
+        method = RequestForBidsMethod(step_fraction=0.1)
+        announcement = method.initial_announcement(utility_context())
+        stubborn = customer_context(scale=100.0)
+        bid = method.respond(announcement, stubborn)
+        assert bid.needed_use == pytest.approx(stubborn.predicted_use)
+
+    def test_successive_bids_never_increase(self):
+        method = RequestForBidsMethod(step_fraction=0.1)
+        context = utility_context()
+        announcement = method.initial_announcement(context)
+        customer = customer_context(scale=0.05)
+        previous = None
+        needs = []
+        for __ in range(5):
+            bid = method.respond(announcement, customer, previous)
+            needs.append(bid.needed_use)
+            previous = bid
+        assert all(b <= a + 1e-9 for a, b in zip(needs, needs[1:]))
+
+    def test_evaluate_round_stops_when_everyone_stands_still(self):
+        method = RequestForBidsMethod(step_fraction=0.1, max_rounds=10)
+        context = utility_context(2, 10.0, 15.0)
+        announcement = method.initial_announcement(context)
+        bids = {
+            "c0": QuantityBid(customer="c0", round_number=0, needed_use=10.0),
+            "c1": QuantityBid(customer="c1", round_number=0, needed_use=10.0),
+        }
+        first = method.evaluate_round(context, announcement, bids, 0)
+        assert first.termination is None  # first round establishes the baseline
+        second = method.evaluate_round(context, announcement, bids, 1)
+        assert second.termination is TerminationReason.REWARD_SATURATED
+
+    def test_evaluate_round_overuse_acceptable(self):
+        method = RequestForBidsMethod()
+        context = utility_context(2, 10.0, 18.0, max_allowed=0.0)
+        announcement = method.initial_announcement(context)
+        bids = {
+            "c0": QuantityBid(customer="c0", round_number=0, needed_use=8.0),
+            "c1": QuantityBid(customer="c1", round_number=0, needed_use=9.0),
+        }
+        evaluation = method.evaluate_round(context, announcement, bids, 0)
+        assert evaluation.termination is TerminationReason.OVERUSE_ACCEPTABLE
+        assert evaluation.predicted_overuse == pytest.approx(-1.0)
+
+    def test_max_rounds_termination(self):
+        method = RequestForBidsMethod(max_rounds=1)
+        context = utility_context(1, 10.0, 5.0)
+        announcement = method.initial_announcement(context)
+        bids = {"c0": QuantityBid(customer="c0", round_number=0, needed_use=10.0)}
+        evaluation = method.evaluate_round(context, announcement, bids, 0)
+        assert evaluation.termination is TerminationReason.MAX_ROUNDS
+
+    def test_committed_cutdown_fractions(self):
+        method = RequestForBidsMethod()
+        context = utility_context(2)
+        bids = {
+            "c0": QuantityBid(customer="c0", round_number=0, needed_use=7.0),
+            "c1": QuantityBid(customer="c1", round_number=0, needed_use=10.0),
+        }
+        fractions = method.committed_cutdowns(context, bids)
+        assert fractions["c0"] == pytest.approx(0.3)
+        assert fractions["c1"] == 0.0
+
+    def test_next_announcement_continues_until_termination(self):
+        method = RequestForBidsMethod()
+        context = utility_context()
+        first = method.initial_announcement(context)
+        bids = {"c0": QuantityBid(customer="c0", round_number=0, needed_use=9.0)}
+        evaluation = method.evaluate_round(context, first, bids, 0)
+        if evaluation.termination is None:
+            second = method.next_announcement(context, first, evaluation, 0)
+            assert second is not None and second.round_number == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestForBidsMethod(step_fraction=0.0)
+        with pytest.raises(ValueError):
+            RequestForBidsMethod(max_rounds=0)

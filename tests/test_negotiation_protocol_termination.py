@@ -1,0 +1,211 @@
+"""Tests for the monotonic concession protocol, messages and termination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.pricing import Tariff
+from repro.negotiation.messages import (
+    Award,
+    CutdownBid,
+    OfferAnnouncement,
+    OfferResponse,
+    QuantityBid,
+    RewardTableAnnouncement,
+)
+from repro.negotiation.protocol import (
+    MonotonicConcessionProtocol,
+    NegotiationOutcome,
+    NegotiationRecord,
+    ProtocolViolation,
+    RoundRecord,
+)
+from repro.negotiation.reward_table import RewardTable
+from repro.negotiation.termination import (
+    CompositeTermination,
+    MaxRoundsReached,
+    NegotiationStatus,
+    OveruseAcceptable,
+    RewardSaturated,
+    TerminationReason,
+)
+
+
+def table_announcement(round_number: int, base: float) -> RewardTableAnnouncement:
+    return RewardTableAnnouncement(
+        round_number=round_number,
+        table=RewardTable({0.2: base, 0.4: base * 3}),
+    )
+
+
+class TestMessages:
+    def test_offer_announcement_allowance(self):
+        offer = OfferAnnouncement(round_number=0, x_max=0.8)
+        assert offer.allowance_for(10.0) == pytest.approx(8.0)
+        assert offer.method_name() == "offer"
+        with pytest.raises(ValueError):
+            OfferAnnouncement(round_number=0, x_max=1.5)
+        with pytest.raises(ValueError):
+            offer.allowance_for(-1.0)
+
+    def test_reward_table_announcement_requires_table(self):
+        with pytest.raises(ValueError):
+            RewardTableAnnouncement(round_number=0, table=None)
+        assert table_announcement(0, 5.0).method_name() == "reward_tables"
+
+    def test_bid_validation(self):
+        with pytest.raises(ValueError):
+            CutdownBid(customer="c", round_number=0, cutdown=1.5)
+        with pytest.raises(ValueError):
+            QuantityBid(customer="c", round_number=0, needed_use=-1.0)
+        assert OfferResponse(customer="c", round_number=0, accept=True).method_name() == "offer"
+
+    def test_award_validation(self):
+        with pytest.raises(ValueError):
+            Award(customer="c", accepted=True, committed_cutdown=1.5)
+        with pytest.raises(ValueError):
+            Award(customer="c", accepted=True, reward=-1.0)
+
+
+class TestMonotonicConcessionProtocol:
+    def test_accepts_monotone_announcements(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_announcement(table_announcement(0, 5.0))
+        protocol.record_announcement(table_announcement(1, 6.0))
+        assert len(protocol.announcements) == 2
+        assert protocol.violations == []
+
+    def test_rejects_less_generous_announcement(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_announcement(table_announcement(0, 6.0))
+        with pytest.raises(ProtocolViolation):
+            protocol.record_announcement(table_announcement(1, 5.0))
+
+    def test_rejects_stale_round_number(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_announcement(table_announcement(1, 5.0))
+        with pytest.raises(ProtocolViolation):
+            protocol.record_announcement(table_announcement(1, 6.0))
+
+    def test_rejects_retreating_bid(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_bid(CutdownBid(customer="c1", round_number=0, cutdown=0.3))
+        with pytest.raises(ProtocolViolation):
+            protocol.record_bid(CutdownBid(customer="c1", round_number=1, cutdown=0.2))
+
+    def test_accepts_stand_still_and_progress(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_bid(CutdownBid(customer="c1", round_number=0, cutdown=0.2))
+        protocol.record_bid(CutdownBid(customer="c1", round_number=1, cutdown=0.2))
+        protocol.record_bid(CutdownBid(customer="c1", round_number=2, cutdown=0.4))
+        assert [b.cutdown for b in protocol.bids_of("c1")] == [0.2, 0.2, 0.4]
+
+    def test_non_strict_mode_records_violations(self):
+        protocol = MonotonicConcessionProtocol(strict=False)
+        protocol.record_announcement(table_announcement(0, 6.0))
+        protocol.record_announcement(table_announcement(1, 5.0))
+        assert len(protocol.violations) == 1
+
+    def test_agreement_reached(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_bid(CutdownBid(customer="c1", round_number=0, cutdown=0.4))
+        protocol.record_bid(CutdownBid(customer="c2", round_number=0, cutdown=0.2))
+        assert protocol.agreement_reached({"c1": 0.4, "c2": 0.2})
+        assert not protocol.agreement_reached({"c1": 0.5, "c2": 0.2})
+        assert not protocol.agreement_reached({"c3": 0.1})
+
+    def test_customers_heard_from(self):
+        protocol = MonotonicConcessionProtocol()
+        protocol.record_bid(CutdownBid(customer="c1", round_number=0, cutdown=0.1))
+        assert protocol.customers_heard_from() == ["c1"]
+
+
+class TestNegotiationRecord:
+    def build_record(self, final_overuse: float) -> NegotiationRecord:
+        record = NegotiationRecord(
+            conversation_id="n", normal_use=100.0, initial_overuse=35.0
+        )
+        record.rounds.append(
+            RoundRecord(
+                round_number=0,
+                announcement=table_announcement(0, 5.0),
+                bids={"c1": CutdownBid(customer="c1", round_number=0, cutdown=0.2)},
+                predicted_overuse_before=35.0,
+                predicted_overuse_after=final_overuse,
+            )
+        )
+        record.final_overuse = final_overuse
+        return record
+
+    def test_outcome_classification(self):
+        assert self.build_record(-1.0).outcome is NegotiationOutcome.PEAK_REMOVED
+        assert self.build_record(12.0).outcome is NegotiationOutcome.PEAK_REDUCED
+        assert self.build_record(35.0).outcome is NegotiationOutcome.NO_IMPROVEMENT
+        ongoing = NegotiationRecord("n", 100.0, 35.0)
+        assert ongoing.outcome is NegotiationOutcome.ONGOING
+
+    def test_overuse_trajectory_and_final_bids(self):
+        record = self.build_record(12.0)
+        assert record.overuse_trajectory == [35.0, 12.0]
+        assert record.final_bids()["c1"].cutdown == 0.2
+
+    def test_round_participation(self):
+        round_record = RoundRecord(
+            round_number=0,
+            announcement=table_announcement(0, 5.0),
+            bids={
+                "c1": CutdownBid(customer="c1", round_number=0, cutdown=0.2),
+                "c2": CutdownBid(customer="c2", round_number=0, cutdown=0.0),
+            },
+        )
+        assert round_record.participation == pytest.approx(0.5)
+        assert RoundRecord(0, table_announcement(0, 5.0)).participation == 0.0
+
+
+class TestTermination:
+    def status(self, overuse: float, round_number: int = 0, previous=None, current=None):
+        return NegotiationStatus(
+            round_number=round_number,
+            predicted_overuse=overuse,
+            normal_use=100.0,
+            previous_table=previous,
+            current_table=current,
+        )
+
+    def test_overuse_acceptable(self):
+        condition = OveruseAcceptable(max_allowed_overuse=15.0)
+        assert condition.check(self.status(12.0)) is TerminationReason.OVERUSE_ACCEPTABLE
+        assert condition.check(self.status(20.0)) is None
+
+    def test_reward_saturated(self):
+        condition = RewardSaturated(epsilon=1.0)
+        previous = RewardTable({0.4: 29.0})
+        barely = RewardTable({0.4: 29.9})
+        big = RewardTable({0.4: 31.0})
+        assert condition.check(self.status(20.0, previous=previous, current=barely)) \
+            is TerminationReason.REWARD_SATURATED
+        assert condition.check(self.status(20.0, previous=previous, current=big)) is None
+        assert condition.check(self.status(20.0)) is None  # no tables yet
+
+    def test_max_rounds(self):
+        condition = MaxRoundsReached(max_rounds=3)
+        assert condition.check(self.status(20.0, round_number=3)) is TerminationReason.MAX_ROUNDS
+        assert condition.check(self.status(20.0, round_number=2)) is None
+
+    def test_composite_order(self):
+        composite = CompositeTermination.paper_default(max_allowed_overuse=15.0, max_rounds=5)
+        assert composite.check(self.status(10.0)) is TerminationReason.OVERUSE_ACCEPTABLE
+        assert composite.check(self.status(20.0, round_number=5)) is TerminationReason.MAX_ROUNDS
+        assert composite.check(self.status(20.0, round_number=1)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardSaturated(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            MaxRoundsReached(0)
+        with pytest.raises(ValueError):
+            CompositeTermination([])
+        with pytest.raises(ValueError):
+            self.status(10.0).relative_overuse if False else NegotiationStatus(
+                0, 10.0, 0.0
+            ).relative_overuse

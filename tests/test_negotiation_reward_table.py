@@ -1,0 +1,143 @@
+"""Tests for reward tables and customer requirement tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.negotiation.reward_table import (
+    DEFAULT_CUTDOWN_GRID,
+    CutdownRewardRequirements,
+    RewardTable,
+)
+from repro.runtime.clock import TimeInterval
+
+
+class TestRewardTable:
+    def test_default_grid_matches_figure_6(self):
+        # Figure 6 shows cut-down fractions 0, 0.1, 0.2, ... 1.0.
+        assert DEFAULT_CUTDOWN_GRID == tuple(round(0.1 * i, 1) for i in range(11))
+
+    def test_reward_lookup(self):
+        table = RewardTable({0.2: 5.0, 0.4: 17.0})
+        assert table.reward_for(0.4) == 17.0
+        with pytest.raises(KeyError):
+            table.reward_for(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardTable({})
+        with pytest.raises(ValueError):
+            RewardTable({0.2: -1.0})
+        with pytest.raises(ValueError):
+            RewardTable({1.2: 5.0})
+
+    def test_generosity_comparisons(self):
+        smaller = RewardTable({0.2: 5.0, 0.4: 17.0})
+        equal = RewardTable({0.2: 5.0, 0.4: 17.0})
+        larger = RewardTable({0.2: 6.0, 0.4: 17.0})
+        different_grid = RewardTable({0.3: 10.0})
+        assert equal.at_least_as_generous_as(smaller)
+        assert not equal.strictly_more_generous_than(smaller)
+        assert larger.strictly_more_generous_than(smaller)
+        assert not smaller.at_least_as_generous_as(larger)
+        assert not larger.at_least_as_generous_as(different_grid)
+
+    def test_linear_and_convex_constructors(self):
+        linear = RewardTable.linear(30.0)
+        convex = RewardTable.convex(30.0, exponent=2.0)
+        assert linear.reward_for(0.5) == pytest.approx(15.0)
+        assert convex.reward_for(0.5) == pytest.approx(7.5)
+        assert linear.is_monotone_in_cutdown()
+        assert convex.is_monotone_in_cutdown()
+        assert linear.max_reward_offered() == pytest.approx(30.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RewardTable.linear(-1.0)
+        with pytest.raises(ValueError):
+            RewardTable.convex(10.0, exponent=0.0)
+
+    def test_with_interval(self):
+        interval = TimeInterval.from_hours(17, 20)
+        table = RewardTable({0.4: 17.0}).with_interval(interval)
+        assert table.interval == interval
+
+    def test_as_rows_sorted_by_cutdown(self):
+        table = RewardTable({0.4: 17.0, 0.1: 2.0})
+        rows = table.as_rows()
+        assert [row["cutdown"] for row in rows] == [0.1, 0.4]
+
+    def test_cutdown_normalisation(self):
+        table = RewardTable({0.30000000001: 9.0})
+        assert table.reward_for(0.3) == 9.0
+
+
+class TestCutdownRewardRequirements:
+    def test_paper_figure_8_anchor_points(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        assert requirements.required_reward_for(0.3) == 10.0
+        assert requirements.required_reward_for(0.4) == 21.0
+        assert requirements.is_monotone()
+
+    def test_acceptability_rule(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        assert requirements.is_acceptable(0.3, 10.0)       # ties are acceptable
+        assert not requirements.is_acceptable(0.3, 9.99)
+        assert requirements.is_acceptable(0.0, 0.0)          # zero cut-down always fine
+        assert not requirements.is_acceptable(0.9, 1e9)      # beyond feasibility
+
+    def test_acceptable_and_highest_cutdown_against_figure_6_table(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        figure_6_table = RewardTable(
+            {0.0: 0, 0.1: 2, 0.2: 5, 0.3: 9, 0.4: 17, 0.5: 21,
+             0.6: 24, 0.7: 26, 0.8: 27.5, 0.9: 28.5, 1.0: 29}
+        )
+        acceptable = requirements.acceptable_cutdowns(figure_6_table)
+        assert 0.2 in acceptable and 0.3 not in acceptable
+        # The paper: "the Customer Agent chooses the highest acceptable
+        # cut-down ... namely a cut-down of 0.2" in round 1.
+        assert requirements.highest_acceptable_cutdown(figure_6_table) == 0.2
+
+    def test_surplus(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        assert requirements.surplus(0.4, 24.8) == pytest.approx(3.8)
+        assert requirements.surplus(0.0, 100.0) == 0.0
+        with pytest.raises(KeyError):
+            requirements.surplus(0.45, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CutdownRewardRequirements({})
+        with pytest.raises(ValueError):
+            CutdownRewardRequirements({0.2: -1.0})
+        with pytest.raises(ValueError):
+            CutdownRewardRequirements({0.2: 1.0}, max_feasible_cutdown=1.5)
+
+    def test_interpolated_requirement_between_grid_points(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        interpolated = requirements.interpolated_requirement(0.35)
+        assert 10.0 < interpolated < 21.0
+        assert interpolated == pytest.approx((10.0 + 21.0) / 2, rel=0.01)
+
+    def test_interpolated_requirement_edges(self):
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        assert requirements.interpolated_requirement(0.0) == 0.0
+        assert requirements.interpolated_requirement(0.3) == 10.0
+        assert math.isinf(requirements.interpolated_requirement(0.9))
+
+    def test_interpolation_extrapolates_beyond_grid(self):
+        requirements = CutdownRewardRequirements(
+            {0.1: 1.0, 0.2: 4.0}, max_feasible_cutdown=1.0
+        )
+        beyond = requirements.interpolated_requirement(0.3)
+        assert beyond == pytest.approx(7.0)  # last slope continued
+
+    def test_interpolation_below_grid(self):
+        requirements = CutdownRewardRequirements({0.2: 4.0}, max_feasible_cutdown=1.0)
+        assert requirements.interpolated_requirement(0.1) == pytest.approx(2.0)
+
+    def test_unknown_cutdown_not_acceptable(self):
+        requirements = CutdownRewardRequirements({0.2: 4.0})
+        assert not requirements.is_acceptable(0.35, 100.0)

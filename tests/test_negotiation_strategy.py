@@ -1,0 +1,177 @@
+"""Tests for negotiation strategies: beta controllers, acceptance, bidding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+from repro.negotiation.strategy import (
+    AcceptAllBids,
+    AdaptiveBeta,
+    ConstantBeta,
+    ExpectedGainBidding,
+    GenerateAndSelectAnnouncements,
+    HighestAcceptableCutdownBidding,
+    SelectiveBidAcceptance,
+    StatisticalAnnouncementOptimisation,
+)
+
+
+class TestBetaControllers:
+    def test_constant_beta_never_changes(self):
+        controller = ConstantBeta(2.0)
+        assert controller.next_beta(0, 0.35, None) == 2.0
+        assert controller.next_beta(5, 0.05, 0.06) == 2.0
+
+    def test_constant_beta_validation(self):
+        with pytest.raises(ValueError):
+            ConstantBeta(-1.0)
+
+    def test_adaptive_beta_raises_when_progress_is_slow(self):
+        controller = AdaptiveBeta(initial_beta=1.0, target_improvement=0.3)
+        # Only 5% improvement between rounds: speed up.
+        beta = controller.next_beta(1, overuse=0.38, previous_overuse=0.40)
+        assert beta > 1.0
+
+    def test_adaptive_beta_lowers_when_progress_is_fast(self):
+        controller = AdaptiveBeta(initial_beta=4.0, target_improvement=0.3)
+        # 75% improvement: slow down to save reward budget.
+        beta = controller.next_beta(1, overuse=0.10, previous_overuse=0.40)
+        assert beta < 4.0
+
+    def test_adaptive_beta_respects_bounds(self):
+        controller = AdaptiveBeta(initial_beta=2.0, min_beta=1.0, max_beta=3.0)
+        for __ in range(10):
+            controller.next_beta(1, 0.40, 0.40)  # no progress at all
+        assert controller.beta <= 3.0
+        for __ in range(10):
+            controller.next_beta(1, 0.01, 0.40)
+        assert controller.beta >= 1.0
+
+    def test_adaptive_beta_first_round_keeps_initial(self):
+        controller = AdaptiveBeta(initial_beta=2.0)
+        assert controller.next_beta(0, 0.35, None) == 2.0
+
+    def test_adaptive_beta_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBeta(initial_beta=0.1, min_beta=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveBeta(target_improvement=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveBeta(adjustment=0.9)
+
+
+class TestAnnouncementPolicies:
+    def test_generate_and_select_scales_with_overuse(self):
+        policy = GenerateAndSelectAnnouncements()
+        mild = policy.initial_table(relative_overuse=0.05, max_reward=30.0)
+        severe = policy.initial_table(relative_overuse=0.6, max_reward=30.0)
+        assert severe.max_reward_offered() > mild.max_reward_offered()
+        assert severe.max_reward_offered() <= 30.0
+        assert severe.is_monotone_in_cutdown()
+
+    def test_generate_and_select_validation(self):
+        with pytest.raises(ValueError):
+            GenerateAndSelectAnnouncements(generosity_levels=())
+        with pytest.raises(ValueError):
+            GenerateAndSelectAnnouncements(generosity_levels=(1.5,))
+        with pytest.raises(ValueError):
+            GenerateAndSelectAnnouncements().initial_table(0.3, 0.0)
+
+    def test_statistical_optimisation_covers_needed_cutdown(self):
+        policy = StatisticalAnnouncementOptimisation()
+        table = policy.initial_table(relative_overuse=0.35, max_reward=50.0)
+        assert table.is_monotone_in_cutdown()
+        assert table.max_reward_offered() <= 50.0
+        # The needed per-customer cut-down for a 35% overuse is about 0.26;
+        # the covered range should be rewarded above the assumed requirement.
+        assert table.reward_for(0.2) > 0
+
+    def test_statistical_optimisation_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalAnnouncementOptimisation(assumed_requirement_scale=0.0)
+        with pytest.raises(ValueError):
+            StatisticalAnnouncementOptimisation(acceptance_margin=0.5)
+
+
+class TestBidAcceptance:
+    def test_accept_all_accepts_positive_cutdowns_only(self):
+        policy = AcceptAllBids()
+        decisions = policy.select(
+            bids={"a": 0.2, "b": 0.0}, predicted_uses={"a": 10, "b": 10},
+            normal_use=15, total_predicted=20,
+        )
+        assert decisions == {"a": True, "b": False}
+
+    def test_selective_acceptance_stops_when_enough(self):
+        policy = SelectiveBidAcceptance(safety_margin=0.0)
+        decisions = policy.select(
+            bids={"big": 0.5, "small": 0.1, "tiny": 0.05},
+            predicted_uses={"big": 20.0, "small": 10.0, "tiny": 10.0},
+            normal_use=30.0,
+            total_predicted=40.0,
+        )
+        # The overuse is 10; the big bid alone saves 10, so the others are declined.
+        assert decisions["big"] is True
+        assert decisions["small"] is False and decisions["tiny"] is False
+
+    def test_selective_acceptance_no_overuse_declines_all(self):
+        policy = SelectiveBidAcceptance()
+        decisions = policy.select(
+            bids={"a": 0.3}, predicted_uses={"a": 10.0}, normal_use=20.0, total_predicted=15.0
+        )
+        assert decisions == {"a": False}
+
+    def test_selective_acceptance_validation(self):
+        with pytest.raises(ValueError):
+            SelectiveBidAcceptance(safety_margin=-0.1)
+
+
+class TestCustomerBidding:
+    def figure_table(self) -> RewardTable:
+        return RewardTable(
+            {0.0: 0, 0.1: 2, 0.2: 5, 0.3: 9, 0.4: 17, 0.5: 21,
+             0.6: 24, 0.7: 26, 0.8: 27.5, 0.9: 28.5, 1.0: 29}
+        )
+
+    def test_highest_acceptable_matches_paper(self):
+        policy = HighestAcceptableCutdownBidding()
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        assert policy.choose_cutdown(self.figure_table(), requirements) == 0.2
+
+    def test_highest_acceptable_never_retreats(self):
+        policy = HighestAcceptableCutdownBidding()
+        requirements = CutdownRewardRequirements.paper_figure_8_customer()
+        chosen = policy.choose_cutdown(self.figure_table(), requirements, previous_bid=0.3)
+        assert chosen == 0.3
+
+    def test_expected_gain_prefers_best_surplus(self):
+        policy = ExpectedGainBidding()
+        requirements = CutdownRewardRequirements(
+            {0.0: 0.0, 0.2: 1.0, 0.4: 16.0}, max_feasible_cutdown=0.8
+        )
+        table = RewardTable({0.0: 0.0, 0.2: 5.0, 0.4: 17.0})
+        # Surplus: 0.2 -> 4, 0.4 -> 1; the expected-gain bidder picks 0.2 while
+        # the highest-acceptable bidder would pick 0.4.
+        assert policy.choose_cutdown(table, requirements) == 0.2
+        assert HighestAcceptableCutdownBidding().choose_cutdown(table, requirements) == 0.4
+
+    def test_expected_gain_respects_previous_bid(self):
+        policy = ExpectedGainBidding()
+        requirements = CutdownRewardRequirements({0.0: 0.0, 0.2: 1.0}, max_feasible_cutdown=0.8)
+        table = RewardTable({0.0: 0.0, 0.2: 5.0})
+        assert policy.choose_cutdown(table, requirements, previous_bid=0.4) == 0.4
+
+    def test_expected_gain_ties_go_to_larger_cutdown(self):
+        policy = ExpectedGainBidding()
+        requirements = CutdownRewardRequirements(
+            {0.0: 0.0, 0.2: 3.0, 0.4: 15.0}, max_feasible_cutdown=0.8
+        )
+        table = RewardTable({0.0: 0.0, 0.2: 5.0, 0.4: 17.0})  # both surplus 2
+        assert policy.choose_cutdown(table, requirements) == 0.4
+
+    def test_no_acceptable_cutdown_bids_zero(self):
+        policy = HighestAcceptableCutdownBidding()
+        requirements = CutdownRewardRequirements({0.2: 100.0}, max_feasible_cutdown=0.8)
+        table = RewardTable({0.2: 5.0})
+        assert policy.choose_cutdown(table, requirements) == 0.0

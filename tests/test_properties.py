@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the behavioural properties the companion verification paper
+([2]/[7]) establishes for the multi-agent system — monotonicity, boundedness,
+convergence — plus structural invariants of the substrate data types.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.load_profile import LoadProfile
+from repro.negotiation.formulas import (
+    new_reward,
+    predicted_overuse,
+    predicted_use_with_cutdown,
+    update_reward_table,
+)
+from repro.negotiation.reward_table import (
+    DEFAULT_CUTDOWN_GRID,
+    CutdownRewardRequirements,
+    RewardTable,
+)
+from repro.negotiation.strategy import HighestAcceptableCutdownBidding
+from repro.runtime.events import Event, EventQueue, EventType
+from repro.runtime.rng import RandomSource
+
+# -- strategies --------------------------------------------------------------------
+
+finite_positive = st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+rewards = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+betas = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+overuses = st.floats(min_value=-1.0, max_value=2.0, allow_nan=False)
+
+
+def reward_tables(max_reward: float = 100.0):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=max_reward, allow_nan=False),
+        min_size=len(DEFAULT_CUTDOWN_GRID),
+        max_size=len(DEFAULT_CUTDOWN_GRID),
+    ).map(lambda values: RewardTable(dict(zip(DEFAULT_CUTDOWN_GRID, sorted(values)))))
+
+
+def requirement_tables():
+    return st.lists(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        min_size=len(DEFAULT_CUTDOWN_GRID),
+        max_size=len(DEFAULT_CUTDOWN_GRID),
+    ).map(
+        lambda values: CutdownRewardRequirements(
+            dict(zip(DEFAULT_CUTDOWN_GRID, sorted(values))), max_feasible_cutdown=1.0
+        )
+    )
+
+
+# -- Section 6 formulae ---------------------------------------------------------------
+
+
+class TestFormulaProperties:
+    @given(predicted=finite_positive, allowed=finite_positive, cutdown=fractions)
+    def test_predicted_use_with_cutdown_bounds(self, predicted, allowed, cutdown):
+        value = predicted_use_with_cutdown(predicted, allowed, cutdown)
+        assert 0.0 <= value <= predicted + 1e-9
+
+    @given(predicted=finite_positive, allowed=finite_positive,
+           low=fractions, high=fractions)
+    def test_predicted_use_monotone_in_cutdown(self, predicted, allowed, low, high):
+        low, high = min(low, high), max(low, high)
+        assert predicted_use_with_cutdown(predicted, allowed, high) <= (
+            predicted_use_with_cutdown(predicted, allowed, low) + 1e-9
+        )
+
+    @given(
+        uses=st.lists(finite_positive, min_size=1, max_size=10),
+        cutdown=fractions,
+        normal=finite_positive,
+    )
+    def test_overuse_decreases_with_uniform_cutdown(self, uses, cutdown, normal):
+        predicted = {f"c{i}": u for i, u in enumerate(uses)}
+        without = predicted_overuse(predicted, predicted, {}, normal)
+        with_cut = predicted_overuse(
+            predicted, predicted, {c: cutdown for c in predicted}, normal
+        )
+        assert with_cut <= without + 1e-9
+
+    @given(reward=rewards, beta=betas, overuse=overuses)
+    def test_new_reward_monotone_and_bounded(self, reward, beta, overuse):
+        max_reward = max(reward, 1.0) + 10.0
+        updated = new_reward(reward, beta, overuse, max_reward)
+        assert updated >= reward - 1e-12
+        assert updated <= max_reward + 1e-9
+
+    @given(reward=st.floats(min_value=0.0, max_value=50.0), beta=betas,
+           overuse=st.floats(min_value=0.0, max_value=2.0))
+    def test_new_reward_fixed_point_at_max(self, reward, beta, overuse):
+        # Once a reward reaches max_reward it stays there exactly.
+        assert new_reward(50.0, beta, overuse, 50.0) == 50.0
+        __ = reward  # reward only used to vary the example space
+
+    @given(table=reward_tables(50.0), beta=betas,
+           overuse=st.floats(min_value=0.0, max_value=2.0))
+    def test_table_update_is_monotone_concession(self, table, beta, overuse):
+        updated = update_reward_table(table, beta, overuse, 50.0)
+        assert updated.at_least_as_generous_as(table)
+        assert set(updated.entries) == set(table.entries)
+
+    @given(table=reward_tables(50.0), beta=betas,
+           overuse=st.floats(min_value=0.0, max_value=2.0))
+    def test_table_update_preserves_cutdown_monotonicity(self, table, beta, overuse):
+        # The constructor strategy sorts rewards, so the input is monotone;
+        # the logistic update must preserve that ordering.
+        updated = update_reward_table(table, beta, overuse, 50.0)
+        assert updated.is_monotone_in_cutdown()
+
+
+# -- customer behaviour -----------------------------------------------------------------
+
+
+class TestCustomerProperties:
+    @given(table=reward_tables(), requirements=requirement_tables())
+    def test_highest_acceptable_cutdown_is_acceptable(self, table, requirements):
+        cutdown = requirements.highest_acceptable_cutdown(table)
+        if cutdown > 0:
+            assert requirements.is_acceptable(cutdown, table.entries[cutdown])
+
+    @given(table=reward_tables(), requirements=requirement_tables(), extra=rewards)
+    def test_more_generous_table_never_lowers_the_bid(self, table, requirements, extra):
+        policy = HighestAcceptableCutdownBidding()
+        first = policy.choose_cutdown(table, requirements)
+        better = RewardTable({c: r + extra for c, r in table.entries.items()})
+        second = policy.choose_cutdown(better, requirements, previous_bid=first)
+        assert second >= first
+
+    @given(requirements=requirement_tables(), cutdown=fractions)
+    def test_interpolated_requirement_nonnegative(self, requirements, cutdown):
+        assert requirements.interpolated_requirement(cutdown) >= 0.0
+
+
+# -- load profiles ------------------------------------------------------------------------
+
+
+class TestLoadProfileProperties:
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=48))
+    def test_energy_nonnegative_and_peak_bounds_average(self, values):
+        profile = LoadProfile.from_sequence(values)
+        assert profile.total_energy() >= 0.0
+        assert profile.average() <= profile.peak() + 1e-9
+        assert 0.0 <= profile.load_factor() <= 1.0 + 1e-9
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=24, max_size=24),
+        factor=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_scaling_scales_energy(self, values, factor):
+        profile = LoadProfile.from_sequence(values)
+        scaled = profile.scaled(factor)
+        assert scaled.total_energy() == pytest.approx(profile.total_energy() * factor)
+
+    @given(
+        a=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=24, max_size=24),
+        b=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=24, max_size=24),
+    )
+    def test_addition_adds_energy(self, a, b):
+        pa, pb = LoadProfile.from_sequence(a), LoadProfile.from_sequence(b)
+        assert (pa + pb).total_energy() == pytest.approx(pa.total_energy() + pb.total_energy())
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=24, max_size=24),
+        ceiling=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_clipping_never_raises_load(self, values, ceiling):
+        profile = LoadProfile.from_sequence(values)
+        clipped = profile.clipped(ceiling)
+        assert clipped.peak() <= min(profile.peak(), ceiling) + 1e-9
+
+
+# -- runtime -------------------------------------------------------------------------------
+
+
+class TestRuntimeProperties:
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_event_queue_pops_in_time_order(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(Event(time, EventType.CALLBACK))
+        popped = [queue.pop().time for __ in range(len(times))]
+        assert popped == sorted(popped)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_source_reproducible(self, seed):
+        assert RandomSource(seed).uniform() == RandomSource(seed).uniform()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           low=st.integers(min_value=-100, max_value=100),
+           span=st.integers(min_value=0, max_value=100))
+    def test_integer_draws_within_bounds(self, seed, low, span):
+        value = RandomSource(seed).integer(low, low + span)
+        assert low <= value <= low + span
+

@@ -1,0 +1,127 @@
+"""Tests for repro.runtime.clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.clock import MINUTES_PER_DAY, SimulationClock, TimeInterval, TimeSlot
+
+
+class TestTimeSlot:
+    def test_hourly_slot_basics(self):
+        slot = TimeSlot(18, 24)
+        assert slot.minutes == 60
+        assert slot.hours == 1.0
+        assert slot.start_hour == 18.0
+        assert slot.end_hour == 19.0
+
+    def test_quarter_hour_resolution(self):
+        slot = TimeSlot(0, 96)
+        assert slot.minutes == 15
+        assert slot.hours == 0.25
+
+    def test_label_format(self):
+        assert TimeSlot(17, 24).label() == "17:00-18:00"
+        assert TimeSlot(0, 24).label() == "00:00-01:00"
+
+    def test_last_slot_label_wraps_to_midnight(self):
+        assert TimeSlot(23, 24).label() == "23:00-00:00"
+
+    def test_next_and_previous_wrap_around(self):
+        assert TimeSlot(23, 24).next() == TimeSlot(0, 24)
+        assert TimeSlot(0, 24).previous() == TimeSlot(23, 24)
+
+    def test_from_hour(self):
+        assert TimeSlot.from_hour(17.5) == TimeSlot(17, 24)
+        assert TimeSlot.from_hour(0.0) == TimeSlot(0, 24)
+
+    def test_from_hour_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TimeSlot.from_hour(24.0)
+        with pytest.raises(ValueError):
+            TimeSlot.from_hour(-1.0)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSlot(24, 24)
+        with pytest.raises(ValueError):
+            TimeSlot(-1, 24)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSlot(0, 0)
+        with pytest.raises(ValueError):
+            TimeSlot(0, 7)  # 7 does not divide 1440 minutes
+
+    def test_ordering(self):
+        assert TimeSlot(3, 24) < TimeSlot(4, 24)
+
+
+class TestTimeInterval:
+    def test_slots_iteration_and_count(self):
+        interval = TimeInterval(TimeSlot(17, 24), TimeSlot(19, 24))
+        slots = list(interval.slots())
+        assert len(slots) == interval.num_slots == 3
+        assert slots[0].index == 17 and slots[-1].index == 19
+
+    def test_duration_hours(self):
+        interval = TimeInterval.from_hours(17, 20)
+        assert interval.duration_hours == pytest.approx(3.0)
+
+    def test_contains(self):
+        interval = TimeInterval.from_hours(17, 20)
+        assert interval.contains(TimeSlot(18, 24))
+        assert not interval.contains(TimeSlot(20, 24))
+        assert not interval.contains(TimeSlot(18, 48))  # resolution mismatch
+
+    def test_label(self):
+        assert TimeInterval.from_hours(17, 20).label() == "17:00-20:00"
+
+    def test_mixed_resolutions_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(TimeSlot(0, 24), TimeSlot(10, 48))
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(TimeSlot(19, 24), TimeSlot(17, 24))
+
+    def test_from_hours_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TimeInterval.from_hours(20, 17)
+
+    def test_from_hours_fine_resolution(self):
+        interval = TimeInterval.from_hours(17, 20, slots_per_day=96)
+        assert interval.num_slots == 12
+        assert interval.duration_hours == pytest.approx(3.0)
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_to_and_by(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+
+    def test_cannot_move_backwards(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+        with pytest.raises(ValueError):
+            clock.advance_by(-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+
+def test_minutes_per_day_constant():
+    assert MINUTES_PER_DAY == 1440

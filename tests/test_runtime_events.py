@@ -1,0 +1,151 @@
+"""Tests for repro.runtime.events and the scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.events import Event, EventQueue, EventType
+from repro.runtime.scheduler import Scheduler
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(Event(5.0, EventType.AGENT_STEP))
+        queue.push(Event(1.0, EventType.AGENT_STEP))
+        queue.push(Event(3.0, EventType.AGENT_STEP))
+        assert [queue.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        queue = EventQueue()
+        late = queue.push(Event(1.0, EventType.AGENT_STEP, target="low", priority=5))
+        first = queue.push(Event(1.0, EventType.AGENT_STEP, target="a", priority=0))
+        second = queue.push(Event(1.0, EventType.AGENT_STEP, target="b", priority=0))
+        order = [queue.pop().target for _ in range(3)]
+        assert order == ["a", "b", "low"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(Event(0.0, EventType.CALLBACK))
+        assert queue and len(queue) == 1
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(Event(2.0, EventType.CALLBACK))
+        assert queue.peek().time == 2.0
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_cancel_pending_event(self):
+        queue = EventQueue()
+        keep = queue.push(Event(1.0, EventType.CALLBACK, target="keep"))
+        drop = queue.push(Event(2.0, EventType.CALLBACK, target="drop"))
+        assert queue.cancel(drop) is True
+        assert len(queue) == 1
+        remaining = queue.drain()
+        assert [e.target for e in remaining] == ["keep"]
+
+    def test_cancel_unknown_event_returns_false(self):
+        queue = EventQueue()
+        event = Event(1.0, EventType.CALLBACK)
+        assert queue.cancel(event) is False
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, EventType.CALLBACK))
+
+    def test_next_time(self):
+        queue = EventQueue()
+        assert queue.next_time() is None
+        queue.push(Event(4.0, EventType.CALLBACK))
+        assert queue.next_time() == 4.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, EventType.CALLBACK))
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestScheduler:
+    def test_schedule_and_run_advances_clock(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(2.0, EventType.CALLBACK, action=lambda e: fired.append(e.time))
+        scheduler.schedule_at(1.0, EventType.CALLBACK, action=lambda e: fired.append(e.time))
+        dispatched = scheduler.run()
+        assert dispatched == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.clock.now == 2.0
+
+    def test_schedule_after_uses_relative_delay(self):
+        scheduler = Scheduler(SimulationClock(10.0))
+        event = scheduler.schedule_after(5.0, EventType.CALLBACK)
+        assert event.time == 15.0
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = Scheduler(SimulationClock(10.0))
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(5.0, EventType.CALLBACK)
+        with pytest.raises(ValueError):
+            scheduler.schedule_after(-1.0, EventType.CALLBACK)
+
+    def test_run_until_horizon_leaves_later_events(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(1.0, EventType.CALLBACK)
+        scheduler.schedule_at(10.0, EventType.CALLBACK)
+        dispatched = scheduler.run(until=5.0)
+        assert dispatched == 1
+        assert len(scheduler.queue) == 1
+
+    def test_run_max_events(self):
+        scheduler = Scheduler()
+        for i in range(5):
+            scheduler.schedule_at(float(i), EventType.CALLBACK)
+        assert scheduler.run(max_events=3) == 3
+        assert len(scheduler.queue) == 2
+
+    def test_stop_condition(self):
+        scheduler = Scheduler()
+        seen = []
+        for i in range(5):
+            scheduler.schedule_at(float(i), EventType.CALLBACK, action=lambda e: seen.append(e.time))
+        scheduler.run(stop_condition=lambda: len(seen) >= 2)
+        assert len(seen) == 2
+
+    def test_handlers_invoked_by_type(self):
+        scheduler = Scheduler()
+        handled = []
+        scheduler.add_handler(EventType.WORLD_UPDATE, lambda e: handled.append(e.payload))
+        scheduler.schedule_at(0.0, EventType.WORLD_UPDATE, payload="weather")
+        scheduler.schedule_at(0.0, EventType.AGENT_STEP, payload="ignored")
+        scheduler.run()
+        assert handled == ["weather"]
+
+    def test_repeating_task_rearms_and_cancels(self):
+        scheduler = Scheduler()
+        fired = []
+        task = scheduler.schedule_repeating(
+            first=0.0, interval=1.0, event_type=EventType.CALLBACK,
+            action=lambda e: fired.append(e.time),
+        )
+        scheduler.run(until=3.5)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+        task.cancel()
+        scheduler.run(until=6.0)
+        assert len(fired) <= 5  # at most the already-armed event fires
+
+    def test_repeating_requires_positive_interval(self):
+        scheduler = Scheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_repeating(0.0, 0.0, EventType.CALLBACK)
+
+    def test_step_returns_none_when_empty(self):
+        assert Scheduler().step() is None

@@ -1,0 +1,140 @@
+"""Tests for repro.runtime.messaging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.messaging import Mailbox, Message, MessageBus, Performative
+
+
+def make_message(sender="a", receiver="b", performative=Performative.INFORM, **kwargs):
+    return Message(sender=sender, receiver=receiver, performative=performative, **kwargs)
+
+
+class TestMailbox:
+    def test_deliver_and_collect_fifo(self):
+        mailbox = Mailbox("b")
+        mailbox.deliver(make_message(content=1))
+        mailbox.deliver(make_message(content=2))
+        assert [m.content for m in mailbox.collect()] == [1, 2]
+        assert len(mailbox) == 0
+
+    def test_deliver_to_wrong_owner_rejected(self):
+        mailbox = Mailbox("someone_else")
+        with pytest.raises(ValueError):
+            mailbox.deliver(make_message(receiver="b"))
+
+    def test_collect_matching_filters_and_preserves_rest(self):
+        mailbox = Mailbox("b")
+        mailbox.deliver(make_message(performative=Performative.ANNOUNCE, conversation_id="n1"))
+        mailbox.deliver(make_message(performative=Performative.BID, conversation_id="n1"))
+        mailbox.deliver(make_message(performative=Performative.ANNOUNCE, conversation_id="n2"))
+        matched = mailbox.collect_matching(Performative.ANNOUNCE, conversation_id="n1")
+        assert len(matched) == 1
+        assert len(mailbox) == 2
+
+    def test_peek(self):
+        mailbox = Mailbox("b")
+        assert mailbox.peek() is None
+        mailbox.deliver(make_message(content="x"))
+        assert mailbox.peek().content == "x"
+        assert len(mailbox) == 1
+
+
+class TestMessageBus:
+    def test_register_and_send(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        sent = bus.send(make_message(content="hello"))
+        assert sent.message_id == 0
+        assert bus.mailbox("b").collect()[0].content == "hello"
+
+    def test_duplicate_registration_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(ValueError):
+            bus.register("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MessageBus().register("")
+
+    def test_unknown_sender_or_receiver_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(KeyError):
+            bus.send(make_message(sender="a", receiver="ghost"))
+        bus.register("b")
+        with pytest.raises(KeyError):
+            bus.send(make_message(sender="ghost", receiver="b"))
+
+    def test_broadcast_sends_one_message_per_receiver(self):
+        bus = MessageBus()
+        for name in ("ua", "c1", "c2", "c3"):
+            bus.register(name)
+        sent = bus.broadcast("ua", ["c1", "c2", "c3"], Performative.ANNOUNCE, "table", "n1", 0)
+        assert len(sent) == 3
+        assert bus.message_count() == 3
+        assert all(len(bus.mailbox(c).collect()) == 1 for c in ("c1", "c2", "c3"))
+
+    def test_log_and_histogram(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(make_message(performative=Performative.ANNOUNCE))
+        bus.send(make_message(performative=Performative.BID))
+        bus.send(make_message(performative=Performative.BID))
+        histogram = bus.messages_by_performative()
+        assert histogram[Performative.BID] == 2
+        assert histogram[Performative.ANNOUNCE] == 1
+
+    def test_conversation_filter(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(make_message(conversation_id="n1"))
+        bus.send(make_message(conversation_id="n2"))
+        assert len(bus.conversation("n1")) == 1
+
+    def test_observer_called_for_every_message(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        seen = []
+        bus.add_observer(lambda m: seen.append(m.message_id))
+        bus.send(make_message())
+        bus.send(make_message())
+        assert seen == [0, 1]
+
+    def test_message_ids_increase(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        ids = [bus.send(make_message()).message_id for _ in range(5)]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_unregister(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.unregister("b")
+        assert not bus.is_registered("b")
+        with pytest.raises(KeyError):
+            bus.mailbox("b")
+
+    def test_clear_log_keeps_mailboxes(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(make_message())
+        bus.clear_log()
+        assert bus.message_count() == 0
+        assert len(bus.mailbox("b")) == 1
+
+    def test_message_immutability_and_with_id(self):
+        message = make_message()
+        stamped = message.with_id(7)
+        assert stamped.message_id == 7
+        assert message.message_id == -1
+        assert stamped.sender == message.sender

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Standalone perf-bench entry point for the E9 scalability sweep.
+
+Runs the extended fast-path sweep (10 -> 10,000 households by default) plus
+the object-path reference sweep, writes the plain-text report to
+``benchmarks/reports/E9_scalability_fast.txt`` and the machine-readable perf
+trajectory to ``benchmarks/BENCH_scalability.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --sizes 10 100 1000 --seed 3
+    PYTHONPATH=src python benchmarks/run_bench.py --skip-object-path
+
+The JSON artefact is what CI and future scaling PRs diff against; the text
+report is for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.scalability import (  # noqa: E402  (path setup above)
+    FAST_PATH_SIZES,
+    run_scalability,
+    write_benchmark_json,
+)
+
+#: Object-path reference sizes: kept small, the object path is the slow one.
+OBJECT_PATH_SIZES: tuple[int, ...] = (10, 50, 200)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(FAST_PATH_SIZES),
+        help="fast-path population sizes to sweep",
+    )
+    parser.add_argument(
+        "--object-sizes", type=int, nargs="+", default=list(OBJECT_PATH_SIZES),
+        help="object-path reference sizes (kept small on purpose)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-object-path", action="store_true",
+        help="only run the fast path (no reference sweep, no speedup entry)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=BENCH_DIR / "BENCH_scalability.json",
+        help="where to write the machine-readable trajectory",
+    )
+    arguments = parser.parse_args(argv)
+
+    print(f"fast-path sweep: sizes={arguments.sizes} seed={arguments.seed}")
+    fast_result = run_scalability(
+        sizes=tuple(arguments.sizes), seed=arguments.seed, fast=True
+    )
+    print(fast_result.render())
+
+    object_result = None
+    if not arguments.skip_object_path:
+        print(f"object-path reference: sizes={arguments.object_sizes}")
+        object_result = run_scalability(
+            sizes=tuple(arguments.object_sizes), seed=arguments.seed, fast=False
+        )
+        print(object_result.render())
+
+    report_dir = BENCH_DIR / "reports"
+    report_dir.mkdir(exist_ok=True)
+    report_path = report_dir / "E9_scalability_fast.txt"
+    report = fast_result.render()
+    if object_result is not None:
+        report += "\n\n" + object_result.render()
+    report_path.write_text(report + "\n", encoding="utf-8")
+    json_path = write_benchmark_json(
+        arguments.json, fast_result, object_result, seed=arguments.seed
+    )
+    print(f"wrote {report_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from repro.experiments.scalability import run_scalability
+import time
+
+import pytest
+
+from repro.experiments.scalability import run_scalability, write_benchmark_json
 
 
 def test_scalability_sweep(benchmark, write_report):
@@ -22,6 +26,38 @@ def test_scalability_sweep(benchmark, write_report):
     # Every population size still achieves a peak reduction.
     assert all(row["peak_reduction_fraction"] > 0 for row in rows)
     write_report("E9_scalability", result.render())
+
+
+def test_fast_scalability_sweep(write_report, tmp_path):
+    """The vectorized fast path sweeps an order of magnitude further than the
+    object path and reports the same negotiation trajectory at shared sizes."""
+    result = run_scalability(sizes=(10, 50, 200, 1000), seed=0, fast=True)
+    rows = result.rows()
+    assert [row["num_households"] for row in rows] == [10, 50, 200, 1000]
+    assert result.rounds_bounded(maximum=60)
+    assert result.messages_scale_linearly(tolerance=1.0)
+    assert all(row["peak_reduction_fraction"] > 0 for row in rows)
+    # The machine-readable trajectory artefact round-trips.
+    payload_path = write_benchmark_json(tmp_path / "bench.json", result, seed=0)
+    assert payload_path.exists()
+    write_report("E9_scalability_fast_ci", result.render())
+
+
+@pytest.mark.perf_smoke
+def test_fast_path_200_households_within_budget():
+    """Tier-1 perf guard: the 200-household fast-path negotiation must stay
+    well under a generous wall-clock budget (it runs in ~10 ms; the budget
+    leaves two orders of magnitude of headroom for slow CI machines)."""
+    from repro.core.fast_session import FastSession
+    from repro.core.scenario import synthetic_scenario
+
+    scenario = synthetic_scenario(num_households=200, seed=0)
+    start = time.perf_counter()
+    result = FastSession(scenario, seed=0).run()
+    elapsed = time.perf_counter() - start
+    assert result.rounds >= 1
+    assert result.peak_reduction_fraction > 0
+    assert elapsed < 2.0, f"fast path took {elapsed:.2f}s for 200 households"
 
 
 def test_single_negotiation_round_trip_cost(benchmark):

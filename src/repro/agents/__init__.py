@@ -16,6 +16,9 @@
 * :mod:`repro.agents.preferences` — building customer cut-down-reward
   requirement tables from household characteristics.
 * :mod:`repro.agents.population` — generating Customer Agent populations.
+* :mod:`repro.agents.vectorized` — :class:`VectorizedPopulation`: all
+  customer state in numpy arrays, batched bid decisions for the negotiation
+  fast path.
 """
 
 from repro.agents.base import AgentBase
@@ -32,6 +35,7 @@ from repro.agents.preferences import CustomerPreferenceModel
 from repro.agents.producer_agent import ProducerAgent
 from repro.agents.resource_consumer_agent import ResourceConsumerAgent
 from repro.agents.utility_agent import UtilityAgent
+from repro.agents.vectorized import VectorizedPopulation
 
 __all__ = [
     "AgentBase",
@@ -44,6 +48,7 @@ __all__ = [
     "ProducerAgent",
     "ResourceConsumerAgent",
     "UtilityAgent",
+    "VectorizedPopulation",
     "build_customer_agent_model",
     "build_generic_agent_model",
     "build_utility_agent_model",

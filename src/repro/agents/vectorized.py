@@ -1,0 +1,298 @@
+"""Vectorized customer population — the negotiation fast path's data plane.
+
+The object-based runtime allocates one :class:`~repro.agents.customer_agent.
+CustomerAgent` per household and one frozen message per delivery, which caps
+practical population sizes at a few hundred households.  The paper, however,
+frames the protocol around "a (large) number of Customer Agents".
+:class:`VectorizedPopulation` removes the per-agent overhead: it holds all
+customer state — predicted/allowed uses, cut-down capacities and the private
+cut-down-reward requirement tables — in numpy arrays and evaluates every
+customer's bid decision for a round in one batched call.
+
+**When to use which path.**  Use the faithful object path
+(:class:`~repro.core.session.NegotiationSession`) when you need the full
+multi-agent machinery: DESIRE process models, Resource Consumer Agents,
+producer/external-world information flows, or message-level traces.  Use the
+fast path (:class:`~repro.core.fast_session.FastSession` over this class)
+when you need throughput: population sweeps, parameter searches and
+large-scale load-management runs.  For a fixed seed both paths produce the
+same rounds, bids and outcomes — equivalence is enforced by
+``tests/test_fast_session_equivalence.py``.
+
+Exactness matters more than elegance here: every batched computation mirrors
+the scalar code in :mod:`repro.negotiation.reward_table` and
+:mod:`repro.negotiation.strategy` operation-for-operation (same comparison
+epsilons, same float operation order) so the fast path is bit-identical, not
+merely approximately equal.  Populations whose customers use heterogeneous
+requirement grids fall back to the scalar per-customer code automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.population import CustomerPopulation
+
+
+class VectorizedPopulation:
+    """All customer-side negotiation state of one population, as numpy arrays.
+
+    Attributes
+    ----------
+    customer_ids:
+        Customer identifiers, in population (spec) order; every array below is
+        aligned with this order.
+    predicted_uses / allowed_uses:
+        Per-customer predicted and allowed (baseline) consumption in the peak
+        interval.
+    max_feasible_cutdowns:
+        Per-customer physical cut-down limit (from the requirement tables).
+    requirement_grid:
+        The shared ascending cut-down grid of the requirement tables, or
+        ``None`` when customers use heterogeneous grids (scalar fallback).
+    requirement_matrix:
+        ``(num_customers, grid_size)`` matrix of required rewards, aligned
+        with ``requirement_grid`` (``None`` for heterogeneous grids).
+    """
+
+    def __init__(
+        self,
+        customer_ids: Sequence[str],
+        predicted_uses: Sequence[float],
+        allowed_uses: Sequence[float],
+        requirements: Sequence[CutdownRewardRequirements],
+    ) -> None:
+        if not customer_ids:
+            raise ValueError("a vectorized population needs at least one customer")
+        if not (
+            len(customer_ids) == len(predicted_uses) == len(allowed_uses) == len(requirements)
+        ):
+            raise ValueError("customer ids, uses and requirements must align")
+        self.customer_ids = list(customer_ids)
+        self.predicted_uses = np.asarray(predicted_uses, dtype=float)
+        self.allowed_uses = np.asarray(allowed_uses, dtype=float)
+        self.requirements = list(requirements)
+        self.max_feasible_cutdowns = np.array(
+            [r.max_feasible_cutdown for r in self.requirements], dtype=float
+        )
+        self.requirement_grid: Optional[np.ndarray] = None
+        self.requirement_matrix: Optional[np.ndarray] = None
+        self._build_requirement_matrix()
+
+    def _build_requirement_matrix(self) -> None:
+        """Pack the requirement tables into one matrix when grids are shared."""
+        first_grid = self.requirements[0].cutdowns()
+        for table in self.requirements[1:]:
+            if table.cutdowns() != first_grid:
+                return  # heterogeneous grids: scalar fallback stays in charge
+        self.requirement_grid = np.asarray(first_grid, dtype=float)
+        self.requirement_matrix = np.array(
+            [[r.requirements[c] for c in first_grid] for r in self.requirements],
+            dtype=float,
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_population(cls, population: "CustomerPopulation") -> "VectorizedPopulation":
+        """Pack a :class:`~repro.agents.population.CustomerPopulation`."""
+        specs = population.specs
+        return cls(
+            customer_ids=[s.customer_id for s in specs],
+            predicted_uses=[s.predicted_use for s in specs],
+            allowed_uses=[s.allowed_use for s in specs],
+            requirements=[s.requirements for s in specs],
+        )
+
+    # -- basic views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.customer_ids)
+
+    @property
+    def is_vectorizable(self) -> bool:
+        """Whether all customers share one requirement grid (batched kernels)."""
+        return self.requirement_grid is not None
+
+    # -- reward-table bidding (batched) ------------------------------------------
+
+    def _required_rewards_for(self, table: RewardTable) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-customer required rewards aligned with the announced table's grid.
+
+        Returns ``(table_grid, offered_rewards, required_matrix)`` where the
+        matrix holds ``inf`` for cut-downs a customer's requirement table does
+        not cover (never acceptable, matching the scalar ``dict.get`` miss)
+        and ``0`` for the zero cut-down (always acceptable).
+        """
+        assert self.requirement_grid is not None and self.requirement_matrix is not None
+        table_cutdowns = table.cutdowns()
+        table_grid = np.asarray(table_cutdowns, dtype=float)
+        offered = np.array([table.entries[c] for c in table_cutdowns], dtype=float)
+        grid_size = self.requirement_grid.shape[0]
+        columns = np.searchsorted(self.requirement_grid, table_grid)
+        clamped = np.minimum(columns, grid_size - 1)
+        covered = self.requirement_grid[clamped] == table_grid
+        required = np.where(
+            covered[None, :],
+            self.requirement_matrix[:, clamped],
+            np.inf,
+        )
+        required[:, table_grid == 0.0] = 0.0
+        return table_grid, offered, required
+
+    def _acceptable_mask(
+        self, table_grid: np.ndarray, offered: np.ndarray, required: np.ndarray
+    ) -> np.ndarray:
+        """Mirror of ``CutdownRewardRequirements.is_acceptable`` per cell."""
+        feasible = table_grid[None, :] <= self.max_feasible_cutdowns[:, None] + 1e-12
+        return feasible & (offered[None, :] >= required)
+
+    def highest_acceptable_cutdowns(self, table: RewardTable) -> np.ndarray:
+        """Batched ``CutdownRewardRequirements.highest_acceptable_cutdown``."""
+        if not self.is_vectorizable:
+            return np.array(
+                [r.highest_acceptable_cutdown(table) for r in self.requirements]
+            )
+        table_grid, offered, required = self._required_rewards_for(table)
+        acceptable = self._acceptable_mask(table_grid, offered, required)
+        return np.where(acceptable, table_grid[None, :], 0.0).max(axis=1)
+
+    def expected_gain_cutdowns(self, table: RewardTable) -> np.ndarray:
+        """Batched ``ExpectedGainBidding.choose_cutdown`` (without history).
+
+        Among acceptable positive cut-downs, pick the one with the largest
+        surplus (offered minus required reward); ties go to the larger
+        cut-down, exactly as the scalar policy's scan does.
+        """
+        if not self.is_vectorizable:
+            from repro.negotiation.strategy import ExpectedGainBidding
+
+            policy = ExpectedGainBidding()
+            return np.array(
+                [policy.choose_cutdown(table, r) for r in self.requirements]
+            )
+        table_grid, offered, required = self._required_rewards_for(table)
+        acceptable = self._acceptable_mask(table_grid, offered, required)
+        eligible = acceptable & (table_grid[None, :] > 0.0)
+        surplus = np.where(eligible, offered[None, :] - required, -np.inf)
+        best = surplus.max(axis=1)
+        chosen = np.where(surplus == best[:, None], table_grid[None, :], 0.0).max(axis=1)
+        return np.where(np.isneginf(best), 0.0, chosen)
+
+    # -- requirement interpolation (batched) ---------------------------------------
+
+    def interpolated_requirements(self, cutdowns: np.ndarray) -> np.ndarray:
+        """Batched ``CutdownRewardRequirements.interpolated_requirement``.
+
+        Linear interpolation between grid points, last-segment-slope
+        extrapolation beyond the grid, proportional extrapolation below it and
+        ``inf`` beyond the customer's feasible cut-down — operation-for-
+        operation identical to the scalar code.
+        """
+        cutdowns = np.asarray(cutdowns, dtype=float)
+        if np.any((cutdowns < 0.0) | (cutdowns > 1.0)):
+            raise ValueError("cut-down fractions must be in [0, 1]")
+        if not self.is_vectorizable:
+            return np.array(
+                [
+                    r.interpolated_requirement(float(x))
+                    for r, x in zip(self.requirements, cutdowns)
+                ]
+            )
+        grid = self.requirement_grid
+        values = self.requirement_matrix
+        grid_size = grid.shape[0]
+        x = np.round(cutdowns, 6)
+        rows = np.arange(len(self.customer_ids))
+        result = np.zeros(len(self.customer_ids), dtype=float)
+
+        infeasible = x > self.max_feasible_cutdowns + 1e-12
+        zero = (x == 0.0) & ~infeasible
+        position = np.searchsorted(grid, x, side="left")
+        clamped = np.minimum(position, grid_size - 1)
+        exact = (position < grid_size) & (grid[clamped] == x) & ~infeasible & ~zero
+        open_cases = ~(infeasible | zero | exact)
+
+        result[infeasible] = np.inf
+        result[exact] = values[rows[exact], position[exact]]
+
+        # Between two grid points: linear interpolation (scalar formula:
+        # low_value + fraction * (high_value - low_value)).
+        between = open_cases & (position > 0) & (position < grid_size)
+        if np.any(between):
+            row = rows[between]
+            high_index = position[between]
+            low = grid[high_index - 1]
+            high = grid[high_index]
+            low_value = values[row, high_index - 1]
+            high_value = values[row, high_index]
+            fraction = (x[between] - low) / (high - low)
+            result[between] = low_value + fraction * (high_value - low_value)
+
+        # Beyond the last grid point: extrapolate with the last segment's slope.
+        beyond = open_cases & (position == grid_size)
+        if np.any(beyond):
+            row = rows[beyond]
+            if grid_size >= 2:
+                second, last = grid[-2], grid[-1]
+                slope = (values[row, -1] - values[row, -2]) / (last - second)
+            else:
+                last = grid[-1]
+                slope = values[row, -1] / last if last > 0 else np.zeros(len(row))
+            result[beyond] = values[row, -1] + slope * (x[beyond] - grid[-1])
+
+        # Below the first grid point: proportional to the first requirement.
+        below = open_cases & (position == 0)
+        if np.any(below):
+            row = rows[below]
+            result[below] = values[row, 0] * (x[below] / grid[0])
+        return result
+
+    # -- request-for-bids stepping (batched) ---------------------------------------
+
+    def step_quantity_bids(
+        self,
+        current_needs: np.ndarray,
+        step_fraction: float,
+        peak_hours: float,
+        normal_price: float,
+    ) -> np.ndarray:
+        """Batched ``RequestForBidsMethod.respond``: step forward or stand still.
+
+        Mirrors ``_step_is_worthwhile``: a customer moves one step forward when
+        the financial gain of the saved peak energy covers the marginal
+        discomfort of the implied cut-down, and the implied cut-down stays
+        physically feasible; otherwise it repeats its previous bid.
+        """
+        predicted = self.predicted_uses
+        candidate = np.maximum(0.0, current_needs - step_fraction * predicted)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            safe_predicted = np.where(predicted > 0.0, predicted, 1.0)
+            implied = 1.0 - candidate / safe_predicted
+            current_cutdown = np.maximum(0.0, 1.0 - current_needs / safe_predicted)
+            possible = (
+                (predicted > 0.0)
+                & (candidate < current_needs)
+                & ~(implied > self.max_feasible_cutdowns)
+            )
+            discomfort_delta = self.interpolated_requirements(
+                np.clip(implied, 0.0, 1.0)
+            ) - self.interpolated_requirements(np.clip(current_cutdown, 0.0, 1.0))
+            saved_energy = (current_needs - candidate) * peak_hours
+            financial_gain = saved_energy * normal_price
+            worthwhile = possible & (financial_gain >= discomfort_delta)
+        return np.where(worthwhile, candidate, current_needs)
+
+    # -- outcome helpers ----------------------------------------------------------
+
+    def realised_surpluses(
+        self, committed_cutdowns: np.ndarray, rewards: np.ndarray
+    ) -> np.ndarray:
+        """Batched ``CustomerAgent.realised_surplus`` for awarded customers."""
+        discomfort = self.interpolated_requirements(committed_cutdowns)
+        return np.where(np.isinf(discomfort), rewards, rewards - discomfort)

@@ -8,6 +8,9 @@ prototype demonstrates:
 * :mod:`repro.core.session` — :class:`NegotiationSession`: builds the Utility
   Agent and the Customer Agents for a scenario, runs the round-synchronous
   multi-agent negotiation over the message bus and collects the results.
+* :mod:`repro.core.fast_session` — :class:`FastSession`: the vectorized fast
+  path; identical outcomes to :class:`NegotiationSession` at fixed seeds,
+  batched numpy bid decisions, scales to 10,000 households.
 * :mod:`repro.core.results` — result value types and derived metrics.
 * :mod:`repro.core.system` — :class:`LoadBalancingSystem`: the full pipeline
   (predict demand, decide whether to negotiate, negotiate, apply the awarded
@@ -20,6 +23,7 @@ from repro.core.planning import (
     DayAheadPlanner,
     MultiDayCampaign,
 )
+from repro.core.fast_session import FastSession
 from repro.core.results import CustomerOutcome, NegotiationResult, SystemResult
 from repro.core.scenario import (
     Scenario,
@@ -34,6 +38,7 @@ __all__ = [
     "CampaignResult",
     "CustomerOutcome",
     "DayAheadPlanner",
+    "FastSession",
     "LoadBalancingSystem",
     "MultiDayCampaign",
     "NegotiationResult",

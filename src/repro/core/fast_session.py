@@ -1,0 +1,349 @@
+"""The negotiation fast path: vectorized sessions for large populations.
+
+:class:`FastSession` runs the same negotiation as
+:class:`~repro.core.session.NegotiationSession` — same announcement methods,
+same monotonic concession protocol, same termination conditions — but replaces
+the per-customer agent objects and per-delivery message objects with one
+:class:`~repro.agents.vectorized.VectorizedPopulation` whose bid decisions are
+evaluated in batched numpy calls.  The utility side of each round (overuse
+prediction, reward escalation, termination, awards) is delegated to the very
+same :class:`~repro.negotiation.methods.base.NegotiationMethod` object the
+object path uses, so round-by-round behaviour is identical by construction.
+
+**Equivalence contract.**  For a fixed seed, ``FastSession(scenario).run()``
+returns the same rounds, bids, message counts, awards and
+:class:`~repro.core.results.NegotiationResult` as
+``NegotiationSession(scenario).run()``.  Message *counts* are maintained as
+streaming per-performative counters (one announcement and one bid per
+customer per round, one award/reject per customer at the end) without
+materialising message objects — mirroring the counter semantics of
+:class:`~repro.runtime.messaging.MessageBus`.
+
+**When to use which path.**  The object path exercises the full multi-agent
+machinery (DESIRE models, resource consumers, producer/world information
+flows, message-level traces) and should stay the reference for paper-facing
+figures; the fast path is for scale — population sweeps, parameter searches
+and the 10k-household scalability trajectory.  It supports the negotiation
+core only: no producer agent, no external world, no resource consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.vectorized import VectorizedPopulation
+from repro.core.results import CustomerOutcome, NegotiationResult
+from repro.core.scenario import Scenario
+from repro.negotiation.messages import Award, Bid, CutdownBid, QuantityBid
+from repro.negotiation.methods.base import RoundEvaluation
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.protocol import (
+    MonotonicConcessionProtocol,
+    NegotiationRecord,
+    RoundRecord,
+)
+from repro.negotiation.strategy import (
+    ExpectedGainBidding,
+    HighestAcceptableCutdownBidding,
+)
+from repro.negotiation.termination import TerminationReason
+from repro.runtime.messaging import Performative
+
+
+class FastSession:
+    """Vectorized drop-in for :class:`~repro.core.session.NegotiationSession`.
+
+    Parameters mirror the object path's core configuration.  ``seed`` is kept
+    for signature compatibility: the negotiation itself is deterministic (no
+    randomness is drawn during a run), exactly as in the object path.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: Optional[int] = 0,
+        max_simulation_rounds: int = 200,
+        check_protocol: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.max_simulation_rounds = max_simulation_rounds
+        self.check_protocol = check_protocol
+        self.population: Optional[VectorizedPopulation] = None
+        self.protocol: Optional[MonotonicConcessionProtocol] = None
+        self.record: Optional[NegotiationRecord] = None
+        #: Streaming per-performative counters (mirrors MessageBus semantics).
+        self.message_counts: dict[Performative, int] = {}
+        self._messages_sent = 0
+
+    # -- message accounting ------------------------------------------------------
+
+    def _count_messages(self, performative: Performative, count: int) -> None:
+        if count <= 0:
+            return
+        self.message_counts[performative] = (
+            self.message_counts.get(performative, 0) + count
+        )
+        self._messages_sent += count
+
+    def message_count(self) -> int:
+        """Total messages the object path would have sent (streaming counter)."""
+        return self._messages_sent
+
+    def messages_by_performative(self) -> dict[Performative, int]:
+        """Histogram of the messages the object path would have sent."""
+        return dict(self.message_counts)
+
+    # -- customer side (batched) ---------------------------------------------------
+
+    def _respond_all(self, announcement, state: dict) -> list[Bid]:
+        """Every customer's bid for one announcement, in population order.
+
+        Dispatches to the batched kernels for the stock reward-table bidding
+        policies and for the request-for-bids method; any other method or
+        policy falls back to per-customer scalar ``method.respond`` calls
+        (still message-free, so still much faster than the object path).
+        """
+        population = self.population
+        method = self.scenario.method
+        round_number = announcement.round_number
+        if isinstance(method, RewardTablesMethod):
+            policy = method.bidding_policy
+            policy_type = type(policy)
+            if policy_type is HighestAcceptableCutdownBidding:
+                candidates = population.highest_acceptable_cutdowns(announcement.table)
+            elif policy_type is ExpectedGainBidding:
+                candidates = population.expected_gain_cutdowns(announcement.table)
+            else:
+                candidates = np.array(
+                    [
+                        policy.choose_cutdown(announcement.table, requirements, None)
+                        for requirements in population.requirements
+                    ]
+                )
+            previous = state.get("cutdowns")
+            if previous is not None:
+                candidates = np.maximum(candidates, previous)
+            state["cutdowns"] = candidates
+            return [
+                CutdownBid(
+                    customer=customer,
+                    round_number=round_number,
+                    cutdown=float(cutdown),
+                )
+                for customer, cutdown in zip(population.customer_ids, candidates)
+            ]
+        if isinstance(method, RequestForBidsMethod):
+            current = state.get("needs")
+            if current is None:
+                current = population.predicted_uses.copy()
+            needs = population.step_quantity_bids(
+                current,
+                method.step_fraction,
+                method.peak_hours,
+                announcement.tariff.normal_price,
+            )
+            state["needs"] = needs
+            return [
+                QuantityBid(
+                    customer=customer,
+                    round_number=round_number,
+                    needed_use=float(needed),
+                )
+                for customer, needed in zip(population.customer_ids, needs)
+            ]
+        # Generic fallback: scalar respond per customer, still message-free.
+        if "contexts" not in state:
+            state["contexts"] = self.scenario.population.customer_contexts()
+        contexts = state["contexts"]
+        previous_bids = state.get("bids", [None] * len(population))
+        bids = [
+            method.respond(announcement, context, previous)
+            for context, previous in zip(contexts, previous_bids)
+        ]
+        state["bids"] = bids
+        return bids
+
+    def _check_bid_concession(
+        self, bids: list[Bid], previous: Optional[list[Bid]]
+    ) -> None:
+        """Vectorized stand-in for the protocol's per-bid concession check."""
+        if previous is None:
+            return
+        for earlier, current in zip(previous, bids):
+            if (
+                isinstance(earlier, CutdownBid)
+                and isinstance(current, CutdownBid)
+                and current.cutdown < earlier.cutdown
+            ):
+                self.protocol._record_violation(
+                    f"customer {current.customer!r} retreated from cut-down "
+                    f"{earlier.cutdown} to {current.cutdown}"
+                )
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> NegotiationResult:
+        """Run the negotiation to completion and return the result."""
+        scenario = self.scenario
+        method = scenario.method
+        self.population = VectorizedPopulation.from_population(scenario.population)
+        population = self.population
+        context = scenario.population.utility_context()
+        self._context = context
+        conversation_id = f"negotiation_{scenario.name}"
+        self.protocol = MonotonicConcessionProtocol(strict=self.check_protocol)
+        self.record = NegotiationRecord(
+            conversation_id=conversation_id,
+            normal_use=context.normal_use,
+            initial_overuse=context.initial_overuse,
+        )
+        self.message_counts = {}
+        self._messages_sent = 0
+        num_customers = len(population)
+
+        if context.initial_overuse <= context.max_allowed_overuse:
+            # The object path's Utility Agent finishes in its first step
+            # without sending anything (one simulation round elapses).
+            self.record.final_overuse = context.initial_overuse
+            self.record.termination_reason = TerminationReason.OVERUSE_ACCEPTABLE
+            return self._collect_result(
+                awards={}, final_bids=[None] * num_customers, simulation_rounds=1
+            )
+
+        # Simulation round 1: initial announcement broadcast + every bid.
+        announcement = method.initial_announcement(context)
+        self.protocol.record_announcement(announcement)
+        state: dict = {}
+        bids = self._respond_all(announcement, state)
+        previous_bids: Optional[list[Bid]] = None
+        self._count_messages(Performative.ANNOUNCE, num_customers)
+        self._count_messages(Performative.BID, num_customers)
+        round_number = 0
+        simulation_rounds = 1
+        awards: dict[str, Award] = {}
+        finished = False
+        while simulation_rounds < self.max_simulation_rounds and not finished:
+            # Each later simulation round evaluates the previous exchange and
+            # either finishes (awards go out) or announces the next round.
+            simulation_rounds += 1
+            self._check_bid_concession(bids, previous_bids)
+            bids_by_customer = {bid.customer: bid for bid in bids}
+            evaluation = method.evaluate_round(
+                context, announcement, bids_by_customer, round_number
+            )
+            self.record.rounds.append(
+                RoundRecord(
+                    round_number=round_number,
+                    announcement=announcement,
+                    bids=dict(bids_by_customer),
+                    predicted_overuse_before=(
+                        context.initial_overuse
+                        if round_number == 0
+                        else self.record.rounds[-1].predicted_overuse_after
+                    ),
+                    predicted_overuse_after=evaluation.predicted_overuse,
+                )
+            )
+            if evaluation.termination is not None:
+                awards = self._finish(
+                    evaluation, announcement, bids_by_customer, round_number,
+                    evaluation.termination,
+                )
+                finished = True
+                continue
+            next_announcement = method.next_announcement(
+                context, announcement, evaluation, round_number
+            )
+            if next_announcement is None:
+                awards = self._finish(
+                    evaluation, announcement, bids_by_customer, round_number,
+                    TerminationReason.REWARD_SATURATED,
+                )
+                finished = True
+                continue
+            self.protocol.record_announcement(next_announcement)
+            announcement = next_announcement
+            round_number += 1
+            previous_bids = bids
+            bids = self._respond_all(announcement, state)
+            self._count_messages(Performative.ANNOUNCE, num_customers)
+            self._count_messages(Performative.BID, num_customers)
+        final_bids: list[Optional[Bid]] = list(bids)
+        return self._collect_result(awards, final_bids, simulation_rounds)
+
+    def _finish(
+        self,
+        evaluation: RoundEvaluation,
+        announcement,
+        bids_by_customer: dict[str, Bid],
+        round_number: int,
+        reason: TerminationReason,
+    ) -> dict[str, Award]:
+        self.record.termination_reason = reason
+        self.record.final_overuse = evaluation.predicted_overuse
+        method = self.scenario.method
+        context_cutdowns = method.committed_cutdowns(self._context, bids_by_customer)
+        rewards = method.rewards_due(self._context, announcement, bids_by_customer)
+        awards: dict[str, Award] = {}
+        accepted_total = 0
+        for customer in self.population.customer_ids:
+            accepted = evaluation.accepted_customers.get(customer, False)
+            awards[customer] = Award(
+                customer=customer,
+                accepted=accepted,
+                committed_cutdown=context_cutdowns.get(customer, 0.0) if accepted else 0.0,
+                reward=rewards.get(customer, 0.0) if accepted else 0.0,
+                round_number=round_number,
+            )
+            accepted_total += 1 if accepted else 0
+        self._count_messages(Performative.AWARD, accepted_total)
+        self._count_messages(
+            Performative.REJECT, len(self.population.customer_ids) - accepted_total
+        )
+        return awards
+
+    def _collect_result(
+        self,
+        awards: dict[str, Award],
+        final_bids: list[Optional[Bid]],
+        simulation_rounds: int,
+    ) -> NegotiationResult:
+        population = self.population
+        outcomes: dict[str, CustomerOutcome] = {}
+        total_reward_paid = 0.0
+        for index, customer in enumerate(population.customer_ids):
+            award = awards.get(customer)
+            last_bid = final_bids[index]
+            final_cutdown = getattr(last_bid, "cutdown", 0.0) if last_bid is not None else 0.0
+            accepted = award is not None and award.accepted
+            reward = award.reward if accepted else 0.0
+            committed = award.committed_cutdown if accepted else 0.0
+            if accepted:
+                discomfort = population.requirements[index].interpolated_requirement(
+                    committed
+                )
+                surplus = reward if discomfort == float("inf") else reward - discomfort
+            else:
+                surplus = 0.0
+            outcomes[customer] = CustomerOutcome(
+                customer=customer,
+                final_bid_cutdown=float(final_cutdown),
+                awarded=accepted,
+                committed_cutdown=float(committed),
+                reward=float(reward),
+                surplus=float(surplus),
+            )
+            total_reward_paid += reward
+        return NegotiationResult(
+            scenario_name=self.scenario.name,
+            method_name=self.scenario.method.name,
+            record=self.record,
+            customer_outcomes=outcomes,
+            total_reward_paid=total_reward_paid,
+            messages_sent=self._messages_sent,
+            simulation_rounds=simulation_rounds,
+        )

@@ -34,6 +34,7 @@ class NegotiationSession:
         with_resource_consumers: bool = False,
         max_simulation_rounds: int = 200,
         check_protocol: bool = True,
+        retain_message_log: bool = True,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -42,6 +43,7 @@ class NegotiationSession:
         self.with_resource_consumers = with_resource_consumers
         self.max_simulation_rounds = max_simulation_rounds
         self.check_protocol = check_protocol
+        self.retain_message_log = retain_message_log
         self.simulation: Optional[Simulation] = None
         self.utility_agent: Optional[UtilityAgent] = None
         self.customer_agents: list[CustomerAgent] = []
@@ -53,7 +55,11 @@ class NegotiationSession:
         if self.simulation is not None:
             return self.simulation
         scenario = self.scenario
-        simulation = Simulation(seed=self.seed, max_rounds=self.max_simulation_rounds)
+        simulation = Simulation(
+            seed=self.seed,
+            max_rounds=self.max_simulation_rounds,
+            retain_message_log=self.retain_message_log,
+        )
 
         self.customer_agents = scenario.population.build_customer_agents(
             scenario.method, with_resource_consumers=self.with_resource_consumers

@@ -7,18 +7,39 @@ grows: rounds to converge, messages exchanged, wall-clock time per run and
 the achieved peak reduction.  Message volume should grow linearly in the
 number of customers and rounds should stay roughly flat, which is the
 property that makes the announcement-based protocol usable at scale.
+
+Two execution paths are available:
+
+* the faithful **object path** (:class:`~repro.core.session.NegotiationSession`,
+  one agent object per household, one message object per delivery), which
+  tops out at a few hundred households; and
+* the vectorized **fast path** (:class:`~repro.core.fast_session.FastSession`
+  over a :class:`~repro.agents.vectorized.VectorizedPopulation`), which
+  evaluates every customer's bid decision in batched numpy calls and scales
+  to 10,000 households while producing identical negotiation outcomes.
+
+``run_scalability(fast=True)`` selects the fast path;
+:func:`write_benchmark_json` emits the measured trajectory as a
+machine-readable artefact (``benchmarks/BENCH_scalability.json``).
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.analysis.reporting import format_table
+from repro.core.fast_session import FastSession
 from repro.core.results import NegotiationResult
 from repro.core.scenario import synthetic_scenario
 from repro.core.session import NegotiationSession
+
+#: Default sweep of the fast path: two orders of magnitude beyond the object
+#: path's practical ceiling.
+FAST_PATH_SIZES: tuple[int, ...] = (10, 50, 200, 1000, 5000, 10000)
 
 
 @dataclass
@@ -45,6 +66,7 @@ class ScalabilityResult:
     """The full population-size sweep."""
 
     entries: list[ScalabilityEntry]
+    fast_path: bool = False
 
     def rows(self) -> list[dict[str, float]]:
         return [entry.as_row() for entry in self.entries]
@@ -71,7 +93,20 @@ class ScalabilityResult:
         return all(entry.result.rounds <= maximum for entry in self.entries)
 
     def render(self) -> str:
-        return format_table(self.rows(), title="E9 — scalability in the number of customers")
+        path = "fast path (vectorized)" if self.fast_path else "object path"
+        return format_table(
+            self.rows(),
+            title=f"E9 — scalability in the number of customers [{path}]",
+        )
+
+    def as_json_payload(self) -> dict[str, object]:
+        """Machine-readable perf trajectory (for BENCH_scalability.json)."""
+        return {
+            "experiment": "E9_scalability",
+            "path": "fast" if self.fast_path else "object",
+            "sizes": [entry.num_households for entry in self.entries],
+            "entries": self.rows(),
+        }
 
 
 def run_scalability(
@@ -79,8 +114,14 @@ def run_scalability(
     seed: int = 0,
     max_reward: float = 60.0,
     beta: float = 2.0,
+    fast: bool = False,
 ) -> ScalabilityResult:
-    """Run the reward-table negotiation at increasing population sizes."""
+    """Run the reward-table negotiation at increasing population sizes.
+
+    With ``fast=True`` the vectorized :class:`FastSession` carries the sweep
+    (required beyond a few hundred households); outcomes are identical to the
+    object path at equal seeds, only the wall-clock trajectory differs.
+    """
     if not sizes:
         raise ValueError("need at least one population size")
     entries = []
@@ -89,9 +130,56 @@ def run_scalability(
             num_households=size, seed=seed, max_reward=max_reward, beta=beta
         )
         start = time.perf_counter()
-        result = NegotiationSession(scenario, seed=seed).run()
+        if fast:
+            result = FastSession(scenario, seed=seed).run()
+        else:
+            result = NegotiationSession(scenario, seed=seed).run()
         elapsed = time.perf_counter() - start
         entries.append(
             ScalabilityEntry(num_households=size, result=result, wall_seconds=elapsed)
         )
-    return ScalabilityResult(entries=entries)
+    return ScalabilityResult(entries=entries, fast_path=fast)
+
+
+def write_benchmark_json(
+    path: Union[str, Path],
+    fast_result: ScalabilityResult,
+    object_result: Optional[ScalabilityResult] = None,
+    seed: int = 0,
+) -> Path:
+    """Write the measured perf trajectory as a machine-readable JSON artefact.
+
+    The payload carries the fast-path sweep (sizes, wall_seconds, messages,
+    peak_reduction_fraction per entry), optionally the object-path sweep for
+    the overlapping sizes, and — when both cover a common size — the measured
+    speedup at the largest shared population.
+    """
+    payload: dict[str, object] = {
+        "experiment": "E9_scalability",
+        "seed": seed,
+        "fast_path": fast_result.as_json_payload(),
+    }
+    if object_result is not None:
+        payload["object_path"] = object_result.as_json_payload()
+        fast_by_size = {e.num_households: e for e in fast_result.entries}
+        shared = [
+            e.num_households
+            for e in object_result.entries
+            if e.num_households in fast_by_size
+        ]
+        if shared:
+            size = max(shared)
+            object_entry = next(
+                e for e in object_result.entries if e.num_households == size
+            )
+            fast_entry = fast_by_size[size]
+            if fast_entry.wall_seconds > 0:
+                payload["speedup_at_shared_max"] = {
+                    "num_households": size,
+                    "object_wall_seconds": object_entry.wall_seconds,
+                    "fast_wall_seconds": fast_entry.wall_seconds,
+                    "speedup": object_entry.wall_seconds / fast_entry.wall_seconds,
+                }
+    destination = Path(path)
+    destination.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return destination

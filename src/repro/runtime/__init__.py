@@ -19,7 +19,13 @@ equivalent, small, deterministic runtime:
 
 from repro.runtime.clock import SimulationClock, TimeInterval, TimeSlot
 from repro.runtime.events import Event, EventQueue, EventType
-from repro.runtime.messaging import Mailbox, Message, MessageBus, Performative
+from repro.runtime.messaging import (
+    Mailbox,
+    Message,
+    MessageBus,
+    MessageLogView,
+    Performative,
+)
 from repro.runtime.rng import RandomSource
 from repro.runtime.scheduler import ScheduledTask, Scheduler
 from repro.runtime.simulation import Simulation, SimulationError, SimulationReport
@@ -31,6 +37,7 @@ __all__ = [
     "Mailbox",
     "Message",
     "MessageBus",
+    "MessageLogView",
     "Performative",
     "RandomSource",
     "ScheduledTask",

@@ -6,15 +6,24 @@ The paper's agents interact exclusively through communicated information
 to each other, they only know each other's names and exchange
 :class:`Message` objects through the bus.  Delivery order is deterministic
 (FIFO per sender, senders interleaved in registration order).
+
+Traffic statistics are *streaming*: the bus maintains a total counter and a
+per-performative histogram at send time, so :meth:`MessageBus.message_count`
+and :meth:`MessageBus.messages_by_performative` are O(1) and never rescan the
+log.  For large-population runs the log itself can be bounded
+(``max_log_entries``) or disabled outright (``retain_log=False``) without
+affecting the counters, and :meth:`MessageBus.broadcast` stamps ids in one
+batched pass instead of re-dispatching through :meth:`MessageBus.send` per
+receiver.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 
 class Performative(Enum):
@@ -69,15 +78,7 @@ class Message:
 
     def with_id(self, message_id: int) -> "Message":
         """Copy of the message carrying its bus-assigned id."""
-        return Message(
-            sender=self.sender,
-            receiver=self.receiver,
-            performative=self.performative,
-            content=self.content,
-            conversation_id=self.conversation_id,
-            round_number=self.round_number,
-            message_id=message_id,
-        )
+        return replace(self, message_id=message_id)
 
 
 class Mailbox:
@@ -125,6 +126,8 @@ class Mailbox:
                 matched.append(message)
             else:
                 remaining.append(message)
+        if not matched:
+            return matched
         self._queue = remaining
         return matched
 
@@ -133,18 +136,73 @@ class Mailbox:
         return self._queue[0] if self._queue else None
 
 
+class MessageLogView(Sequence):
+    """Read-only, zero-copy view over the bus's message log.
+
+    Iteration and indexing go straight to the underlying storage; mutation is
+    not offered.  Obtained via :attr:`MessageBus.log`.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Union[list[Message], deque]) -> None:
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            # A bounded log is deque-backed, which does not support slicing
+            # (and islice rejects the negative indices of reversed slices);
+            # bounded logs are small by construction, so copying is fine.
+            if isinstance(self._entries, deque):
+                return list(self._entries)[index]
+            return self._entries[index]
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageLogView({len(self._entries)} messages)"
+
+
 class MessageBus:
     """Connects named agents and transports messages between them.
 
-    The bus keeps a full log of every message sent, which the analysis layer
-    uses to count negotiation traffic and reconstruct traces.
+    The bus keeps a log of every message sent, which the analysis layer uses
+    to reconstruct traces, plus *streaming* per-performative counters that are
+    maintained at send time so traffic statistics never rescan the log.
+
+    Parameters
+    ----------
+    retain_log:
+        When ``False`` no messages are retained at all (counters keep
+        working); use this for large-population runs where the log would
+        dominate memory.
+    max_log_entries:
+        When set, only the most recent ``max_log_entries`` messages are
+        retained (a bounded ring); counters still cover all traffic.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        retain_log: bool = True,
+        max_log_entries: Optional[int] = None,
+    ) -> None:
+        if max_log_entries is not None and max_log_entries < 0:
+            raise ValueError("max_log_entries must be non-negative")
         self._mailboxes: dict[str, Mailbox] = {}
-        self._log: list[Message] = []
+        self._retain_log = retain_log and (max_log_entries is None or max_log_entries > 0)
+        self._max_log_entries = max_log_entries
+        self._log: Union[list[Message], deque] = (
+            [] if max_log_entries is None else deque(maxlen=max_log_entries)
+        )
         self._counter = itertools.count()
         self._observers: list[Callable[[Message], None]] = []
+        self._total_sent = 0
+        self._performative_counts: dict[Performative, int] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -183,27 +241,68 @@ class MessageBus:
             raise KeyError(f"unknown sender {message.sender!r}")
         stamped = message.with_id(next(self._counter))
         self._mailboxes[message.receiver].deliver(stamped)
-        self._log.append(stamped)
+        self._record(stamped)
+        return stamped
+
+    def _record(self, stamped: Message) -> None:
+        """Streaming bookkeeping for one sent message."""
+        self._total_sent += 1
+        counts = self._performative_counts
+        performative = stamped.performative
+        counts[performative] = counts.get(performative, 0) + 1
+        if self._retain_log:
+            self._log.append(stamped)
         for observer in self._observers:
             observer(stamped)
-        return stamped
 
     def broadcast(
         self, sender: str, receivers: Iterable[str], performative: Performative,
         content: Any, conversation_id: str = "", round_number: Optional[int] = None,
     ) -> list[Message]:
-        """Send the same content to many receivers (one message each)."""
-        sent = []
+        """Send the same content to many receivers (one message each).
+
+        The batched path stamps ids directly at construction time — no
+        intermediate unstamped message, no per-receiver re-dispatch through
+        :meth:`send` — which matters when one announcement fans out to
+        thousands of Customer Agents.
+        """
+        if sender not in self._mailboxes:
+            raise KeyError(f"unknown sender {sender!r}")
+        mailboxes = self._mailboxes
+        counter = self._counter
+        # Validate every receiver before delivering anything, so a failed
+        # broadcast never leaves partially delivered (and uncounted) messages.
+        resolved: list[tuple[str, Mailbox]] = []
         for receiver in receivers:
-            message = Message(
+            try:
+                resolved.append((receiver, mailboxes[receiver]))
+            except KeyError:
+                raise KeyError(f"unknown receiver {receiver!r}") from None
+        sent: list[Message] = []
+        for receiver, mailbox in resolved:
+            stamped = Message(
                 sender=sender,
                 receiver=receiver,
                 performative=performative,
                 content=content,
                 conversation_id=conversation_id,
                 round_number=round_number,
+                message_id=next(counter),
             )
-            sent.append(self.send(message))
+            # The receiver matches the mailbox owner by construction, so the
+            # per-message ownership check in Mailbox.deliver is skipped.
+            mailbox._queue.append(stamped)
+            sent.append(stamped)
+        if sent:
+            self._total_sent += len(sent)
+            counts = self._performative_counts
+            counts[performative] = counts.get(performative, 0) + len(sent)
+            if self._retain_log:
+                self._log.extend(sent)
+            if self._observers:
+                for stamped in sent:
+                    for observer in self._observers:
+                        observer(stamped)
         return sent
 
     def mailbox(self, name: str) -> Mailbox:
@@ -220,24 +319,38 @@ class MessageBus:
         self._observers.append(observer)
 
     @property
-    def log(self) -> list[Message]:
-        """All messages sent so far, in send order (do not mutate)."""
-        return list(self._log)
+    def log(self) -> MessageLogView:
+        """Read-only view of the retained messages, in send order.
+
+        With ``retain_log=False`` the view is empty; with ``max_log_entries``
+        it covers only the most recent messages.  :meth:`message_count` and
+        :meth:`messages_by_performative` always cover *all* traffic.
+        """
+        return MessageLogView(self._log)
+
+    @property
+    def retains_log(self) -> bool:
+        """Whether sent messages are retained for trace reconstruction."""
+        return self._retain_log
 
     def message_count(self) -> int:
-        return len(self._log)
+        """Total messages sent so far (streaming counter, O(1))."""
+        return self._total_sent
 
     def messages_by_performative(self) -> dict[Performative, int]:
-        """Histogram of message counts per performative."""
-        counts: dict[Performative, int] = defaultdict(int)
-        for message in self._log:
-            counts[message.performative] += 1
-        return dict(counts)
+        """Histogram of message counts per performative.
+
+        Read from the streaming counters maintained at send time — no log
+        rescan, and correct even when log retention is bounded or disabled.
+        """
+        return dict(self._performative_counts)
 
     def conversation(self, conversation_id: str) -> list[Message]:
-        """All messages belonging to one conversation, in send order."""
+        """All *retained* messages belonging to one conversation, in send order."""
         return [m for m in self._log if m.conversation_id == conversation_id]
 
     def clear_log(self) -> None:
-        """Drop the message log (mailbox contents are untouched)."""
+        """Drop the message log and counters (mailbox contents are untouched)."""
         self._log.clear()
+        self._total_sent = 0
+        self._performative_counts.clear()

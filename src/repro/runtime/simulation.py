@@ -65,15 +65,30 @@ class Simulation:
         Root seed for all stochastic components.
     max_rounds:
         Safety bound on the number of rounds :meth:`run` will execute.
+    retain_message_log:
+        Forwarded to :class:`~repro.runtime.messaging.MessageBus`; disable for
+        large populations where retaining every message would dominate memory
+        (traffic counters keep working).
+    max_log_entries:
+        Forwarded to :class:`~repro.runtime.messaging.MessageBus`; bounds log
+        retention to the most recent messages.
     """
 
-    def __init__(self, seed: Optional[int] = None, max_rounds: int = 10_000) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        max_rounds: int = 10_000,
+        retain_message_log: bool = True,
+        max_log_entries: Optional[int] = None,
+    ) -> None:
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
         self.random = RandomSource(seed, name="simulation")
         self.clock = SimulationClock()
         self.scheduler = Scheduler(self.clock)
-        self.bus = MessageBus()
+        self.bus = MessageBus(
+            retain_log=retain_message_log, max_log_entries=max_log_entries
+        )
         self.max_rounds = max_rounds
         self._participants: dict[str, Steppable] = {}
         self._round = 0

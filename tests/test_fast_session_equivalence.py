@@ -1,0 +1,203 @@
+"""Fast-path equivalence: FastSession must reproduce NegotiationSession.
+
+The vectorized fast path is only trustworthy if it is *indistinguishable*
+from the faithful object path at equal seeds: same rounds, same announced
+tables, same per-customer bids, same message counts, same awards and the same
+final :class:`~repro.core.results.NegotiationResult`.  These tests pin that
+contract across both negotiation methods, several population sizes, both
+stock bidding policies, the calibrated paper scenario, heterogeneous
+requirement grids (scalar fallback) and the no-negotiation edge case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.population import CustomerPopulation
+from repro.agents.vectorized import VectorizedPopulation
+from repro.core.fast_session import FastSession
+from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
+from repro.negotiation.strategy import ConstantBeta, ExpectedGainBidding
+
+
+def assert_equivalent(slow_result, fast_result) -> None:
+    """Field-by-field equality of two NegotiationResults."""
+    assert fast_result.rounds == slow_result.rounds
+    assert fast_result.messages_sent == slow_result.messages_sent
+    assert fast_result.simulation_rounds == slow_result.simulation_rounds
+    assert fast_result.total_reward_paid == slow_result.total_reward_paid
+    assert fast_result.record.termination_reason == slow_result.record.termination_reason
+    assert fast_result.record.final_overuse == slow_result.record.final_overuse
+    assert fast_result.record.initial_overuse == slow_result.record.initial_overuse
+    for slow_round, fast_round in zip(slow_result.record.rounds, fast_result.record.rounds):
+        assert fast_round.announcement == slow_round.announcement
+        assert fast_round.bids == slow_round.bids
+        assert fast_round.predicted_overuse_before == slow_round.predicted_overuse_before
+        assert fast_round.predicted_overuse_after == slow_round.predicted_overuse_after
+    assert fast_result.customer_outcomes == slow_result.customer_outcomes
+
+
+def run_both(make_scenario) -> tuple:
+    """Run object and fast paths on independently built scenarios."""
+    slow = NegotiationSession(make_scenario(), seed=0)
+    slow_result = slow.run()
+    fast = FastSession(make_scenario(), seed=0)
+    fast_result = fast.run()
+    return slow, slow_result, fast, fast_result
+
+
+class TestRewardTablesEquivalence:
+    @pytest.mark.parametrize("num_households", [4, 12, 30])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_synthetic_population(self, num_households, seed):
+        def make():
+            return synthetic_scenario(num_households=num_households, seed=seed)
+
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+
+    def test_paper_prototype(self):
+        slow, slow_result, fast, fast_result = run_both(paper_prototype_scenario)
+        assert_equivalent(slow_result, fast_result)
+        assert slow_result.rounds == 3
+        # The fast path's streaming counters match the bus histogram exactly.
+        assert fast.messages_by_performative() == (
+            slow.simulation.bus.messages_by_performative()
+        )
+
+    def test_expected_gain_bidding_policy(self):
+        def make():
+            method = RewardTablesMethod(
+                max_reward=60.0,
+                beta_controller=ConstantBeta(2.0),
+                bidding_policy=ExpectedGainBidding(),
+                reward_epsilon=0.3,
+            )
+            return synthetic_scenario(num_households=16, seed=2, method=method)
+
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+
+    def test_heterogeneous_requirement_grids_fall_back_to_scalar(self):
+        # Customers whose requirement tables cover *different* cut-down grids
+        # cannot be packed into one matrix; the fast path must fall back to
+        # the scalar per-customer code and still match the object path.
+        coarse = CutdownRewardRequirements(
+            requirements={0.0: 0.0, 0.2: 4.0, 0.4: 21.0, 0.8: 95.0},
+            max_feasible_cutdown=0.8,
+        )
+        fine = CutdownRewardRequirements.paper_figure_8_customer()
+
+        def make():
+            population = CustomerPopulation.calibrated(
+                predicted_uses=[12.0, 9.0, 14.0, 11.0],
+                requirements=[coarse, fine, coarse, fine],
+                normal_use=30.0,
+                max_allowed_overuse=2.0,
+            )
+            method = RewardTablesMethod(
+                max_reward=40.0, beta_controller=ConstantBeta(2.0)
+            )
+            return Scenario(name="hetero", population=population, method=method)
+
+        fast = FastSession(make(), seed=0)
+        _, slow_result, fast, fast_result = run_both(make)
+        assert not fast.population.is_vectorizable
+        assert_equivalent(slow_result, fast_result)
+
+    def test_no_negotiation_when_overuse_acceptable(self):
+        def make():
+            population = CustomerPopulation.calibrated(
+                predicted_uses=[5.0, 5.0],
+                requirements=[CutdownRewardRequirements.paper_figure_8_customer()] * 2,
+                normal_use=9.5,
+                max_allowed_overuse=2.0,
+            )
+            return Scenario(
+                name="calm",
+                population=population,
+                method=RewardTablesMethod(max_reward=30.0),
+            )
+
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+        assert fast_result.messages_sent == 0
+        assert fast_result.simulation_rounds == 1
+
+
+class TestRequestForBidsEquivalence:
+    @pytest.mark.parametrize("num_households", [5, 15, 40])
+    def test_synthetic_population(self, num_households):
+        def make():
+            return synthetic_scenario(
+                num_households=num_households, seed=1, method=RequestForBidsMethod()
+            )
+
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+
+
+class TestVectorizedKernels:
+    """Batched kernels against their scalar reference, point by point."""
+
+    @pytest.fixture
+    def population(self) -> VectorizedPopulation:
+        scenario = synthetic_scenario(num_households=25, seed=4)
+        return VectorizedPopulation.from_population(scenario.population)
+
+    def test_highest_acceptable_matches_scalar(self, population):
+        table = RewardTable.convex(35.0, exponent=1.6)
+        batched = population.highest_acceptable_cutdowns(table)
+        scalar = [
+            requirements.highest_acceptable_cutdown(table)
+            for requirements in population.requirements
+        ]
+        assert batched.tolist() == scalar
+
+    def test_expected_gain_matches_scalar(self, population):
+        table = RewardTable.convex(50.0, exponent=1.4)
+        policy = ExpectedGainBidding()
+        batched = population.expected_gain_cutdowns(table)
+        scalar = [
+            policy.choose_cutdown(table, requirements)
+            for requirements in population.requirements
+        ]
+        assert batched.tolist() == scalar
+
+    def test_interpolated_requirements_match_scalar(self, population):
+        rng = np.random.default_rng(11)
+        queries = rng.uniform(0.0, 1.0, size=len(population.customer_ids))
+        batched = population.interpolated_requirements(queries)
+        scalar = [
+            requirements.interpolated_requirement(float(query))
+            for requirements, query in zip(population.requirements, queries)
+        ]
+        assert batched.tolist() == scalar
+
+    def test_interpolation_covers_off_grid_and_infeasible_points(self):
+        requirements = CutdownRewardRequirements(
+            requirements={0.1: 2.0, 0.5: 10.0, 0.9: 50.0},
+            max_feasible_cutdown=0.95,
+        )
+        population = VectorizedPopulation(
+            customer_ids=["a", "b", "c", "d", "e"],
+            predicted_uses=[1.0] * 5,
+            allowed_uses=[1.0] * 5,
+            requirements=[requirements] * 5,
+        )
+        queries = np.array([0.05, 0.3, 0.5, 0.93, 0.99])
+        batched = population.interpolated_requirements(queries)
+        scalar = [requirements.interpolated_requirement(q) for q in queries]
+        assert batched.tolist() == scalar
+        assert batched[-1] == float("inf")
+
+    def test_rejects_out_of_range_queries(self, population):
+        with pytest.raises(ValueError):
+            population.interpolated_requirements(
+                np.linspace(-0.1, 0.5, len(population.customer_ids))
+            )

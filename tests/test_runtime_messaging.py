@@ -138,3 +138,108 @@ class TestMessageBus:
         assert stamped.message_id == 7
         assert message.message_id == -1
         assert stamped.sender == message.sender
+
+
+class TestStreamingCounters:
+    def test_counters_survive_disabled_retention(self):
+        bus = MessageBus(retain_log=False)
+        bus.register("a")
+        bus.register("b")
+        bus.send(make_message(performative=Performative.ANNOUNCE))
+        bus.send(make_message(performative=Performative.BID))
+        bus.send(make_message(performative=Performative.BID))
+        assert len(bus.log) == 0
+        assert not bus.retains_log
+        assert bus.message_count() == 3
+        assert bus.messages_by_performative() == {
+            Performative.ANNOUNCE: 1,
+            Performative.BID: 2,
+        }
+
+    def test_bounded_retention_keeps_recent_messages_and_full_counters(self):
+        bus = MessageBus(max_log_entries=2)
+        bus.register("a")
+        bus.register("b")
+        for index in range(5):
+            bus.send(make_message(content=index))
+        assert bus.message_count() == 5
+        assert [m.content for m in bus.log] == [3, 4]
+        assert bus.messages_by_performative() == {Performative.INFORM: 5}
+
+    def test_broadcast_updates_counters_and_delivers(self):
+        bus = MessageBus()
+        for name in ("ua", "c1", "c2", "c3"):
+            bus.register(name)
+        seen = []
+        bus.add_observer(lambda m: seen.append(m.message_id))
+        sent = bus.broadcast("ua", ["c1", "c2", "c3"], Performative.ANNOUNCE, "t", "n1", 0)
+        assert [m.message_id for m in sent] == [0, 1, 2]
+        assert seen == [0, 1, 2]
+        assert bus.message_count() == 3
+        assert bus.messages_by_performative() == {Performative.ANNOUNCE: 3}
+        assert all(len(bus.mailbox(c)) == 1 for c in ("c1", "c2", "c3"))
+        assert [m.receiver for m in sent] == ["c1", "c2", "c3"]
+        assert all(m.sender == "ua" for m in sent)
+
+    def test_broadcast_rejects_unknown_sender_and_receiver(self):
+        bus = MessageBus()
+        bus.register("ua")
+        bus.register("c1")
+        with pytest.raises(KeyError):
+            bus.broadcast("ghost", ["c1"], Performative.ANNOUNCE, None)
+        with pytest.raises(KeyError):
+            bus.broadcast("ua", ["c1", "ghost"], Performative.ANNOUNCE, None)
+
+    def test_failed_broadcast_delivers_and_counts_nothing(self):
+        # All receivers are validated up front: a broadcast containing an
+        # unknown receiver must not leave partially delivered (and
+        # uncounted) messages behind.
+        bus = MessageBus()
+        bus.register("ua")
+        bus.register("c1")
+        with pytest.raises(KeyError):
+            bus.broadcast("ua", ["c1", "ghost"], Performative.ANNOUNCE, None)
+        assert len(bus.mailbox("c1")) == 0
+        assert bus.message_count() == 0
+        assert len(bus.log) == 0
+
+    def test_bounded_log_view_supports_reversed_slices(self):
+        bus = MessageBus(max_log_entries=3)
+        bus.register("a")
+        bus.register("b")
+        for index in range(5):
+            bus.send(make_message(content=index))
+        assert [m.content for m in bus.log[::-1]] == [4, 3, 2]
+        assert [m.content for m in bus.log[-2:]] == [3, 4]
+
+    def test_clear_log_resets_counters(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        bus.send(make_message())
+        bus.clear_log()
+        assert bus.message_count() == 0
+        assert bus.messages_by_performative() == {}
+
+    def test_log_view_is_live_and_indexable(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        view = bus.log
+        bus.send(make_message(content="x"))
+        bus.send(make_message(content="y"))
+        assert len(view) == 2
+        assert view[0].content == "x"
+        assert [m.content for m in view[1:]] == ["y"]
+        assert not hasattr(view, "append")
+
+
+class TestMailboxNoMatchFastPath:
+    def test_collect_matching_without_match_keeps_queue_untouched(self):
+        mailbox = Mailbox("b")
+        mailbox.deliver(make_message(performative=Performative.INFORM))
+        mailbox.deliver(make_message(performative=Performative.REPLY))
+        queue_before = mailbox._queue
+        assert mailbox.collect_matching(Performative.ANNOUNCE) == []
+        assert mailbox._queue is queue_before
+        assert len(mailbox) == 2

@@ -11,14 +11,19 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --sizes 10 100 1000 --seed 3
     PYTHONPATH=src python benchmarks/run_bench.py --skip-object-path
+    PYTHONPATH=src python benchmarks/run_bench.py --check
 
 The JSON artefact is what CI and future scaling PRs diff against; the text
-report is for humans.
+report is for humans.  ``--check`` runs a fresh fast-path sweep over the
+committed baseline's sizes and exits non-zero when the negotiation behaviour
+drifts (rounds/messages/peak reduction are deterministic and must match
+exactly) or the wall-clock regresses beyond per-size tolerances.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -35,6 +40,88 @@ from repro.experiments.scalability import (  # noqa: E402  (path setup above)
 
 #: Object-path reference sizes: kept small, the object path is the slow one.
 OBJECT_PATH_SIZES: tuple[int, ...] = (10, 50, 200)
+
+#: Wall-clock regression tolerances for ``--check``, as (max population size,
+#: allowed slowdown factor) bands.  Small runs are millisecond-scale and
+#: dominated by scheduler noise, so they get the widest band; an absolute
+#: floor below keeps sub-10ms entries from flagging at all.
+WALL_TOLERANCE_BANDS: tuple[tuple[int, float], ...] = (
+    (200, 4.0),
+    (2000, 3.0),
+    (10**9, 2.0),
+)
+#: Minimum wall-clock (seconds) a regression must exceed before it counts.
+WALL_ABSOLUTE_FLOOR_SECONDS = 0.25
+
+
+def wall_tolerance_for(size: int) -> float:
+    """Allowed slowdown factor over the committed baseline for one size."""
+    for upper, factor in WALL_TOLERANCE_BANDS:
+        if size <= upper:
+            return factor
+    return WALL_TOLERANCE_BANDS[-1][1]  # pragma: no cover - bands end at inf
+
+
+def check_against_baseline(baseline_path: Path) -> int:
+    """Compare a fresh fast-path sweep against the committed trajectory.
+
+    Returns 0 when behaviour matches and wall-clock stays within tolerance,
+    1 on any regression, 2 when the baseline artefact is missing/unreadable.
+    """
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        baseline = payload["fast_path"]
+        baseline_entries = {
+            int(entry["num_households"]): entry for entry in baseline["entries"]
+        }
+        seed = int(payload.get("seed", 0))
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return 2
+    sizes = tuple(sorted(baseline_entries))
+    print(f"perf check against {baseline_path} (sizes={list(sizes)} seed={seed})")
+    fresh = run_scalability(sizes=sizes, seed=seed, fast=True)
+    failures: list[str] = []
+    for entry in fresh.entries:
+        size = entry.num_households
+        row = entry.as_row()
+        base = baseline_entries[size]
+        # Deterministic behaviour must reproduce the baseline exactly.
+        for key in ("rounds", "messages"):
+            if row[key] != base[key]:
+                failures.append(
+                    f"size {size}: {key} changed {base[key]} -> {row[key]}"
+                )
+        if abs(row["peak_reduction_fraction"] - base["peak_reduction_fraction"]) > 1e-9:
+            failures.append(
+                f"size {size}: peak_reduction_fraction changed "
+                f"{base['peak_reduction_fraction']} -> {row['peak_reduction_fraction']}"
+            )
+        # Wall-clock gets a per-size tolerance band plus an absolute floor.
+        allowed = max(
+            base["wall_seconds"] * wall_tolerance_for(size),
+            WALL_ABSOLUTE_FLOOR_SECONDS,
+        )
+        status = "ok"
+        if row["wall_seconds"] > allowed:
+            failures.append(
+                f"size {size}: wall_seconds {row['wall_seconds']:.4f} exceeds "
+                f"{allowed:.4f} (baseline {base['wall_seconds']:.4f} x "
+                f"{wall_tolerance_for(size):.1f})"
+            )
+            status = "REGRESSION"
+        print(
+            f"  size {size:>6}: wall {row['wall_seconds']:.4f}s "
+            f"(baseline {base['wall_seconds']:.4f}s, allowed {allowed:.4f}s) "
+            f"rounds {row['rounds']} messages {row['messages']} [{status}]"
+        )
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf check passed: behaviour identical, wall-clock within tolerances")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,7 +143,28 @@ def main(argv: list[str] | None = None) -> int:
         "--json", type=Path, default=BENCH_DIR / "BENCH_scalability.json",
         help="where to write the machine-readable trajectory",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh sweep against the committed trajectory instead of "
+             "rewriting it; exits non-zero on regression",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.check:
+        # The check must replay the committed baseline exactly, so sweep
+        # parameters cannot be overridden alongside it.
+        if (
+            arguments.sizes != list(FAST_PATH_SIZES)
+            or arguments.object_sizes != list(OBJECT_PATH_SIZES)
+            or arguments.seed != 0
+            or arguments.skip_object_path
+        ):
+            parser.error(
+                "--check replays the committed baseline's sizes and seed; it "
+                "cannot be combined with --sizes/--object-sizes/--seed/"
+                "--skip-object-path"
+            )
+        return check_against_baseline(arguments.json)
 
     print(f"fast-path sweep: sizes={arguments.sizes} seed={arguments.seed}")
     fast_result = run_scalability(

@@ -48,13 +48,14 @@ def test_fast_path_200_households_within_budget():
     """Tier-1 perf guard: the 200-household fast-path negotiation must stay
     well under a generous wall-clock budget (it runs in ~10 ms; the budget
     leaves two orders of magnitude of headroom for slow CI machines)."""
-    from repro.core.fast_session import FastSession
+    from repro.api import run
     from repro.core.scenario import synthetic_scenario
 
     scenario = synthetic_scenario(num_households=200, seed=0)
     start = time.perf_counter()
-    result = FastSession(scenario, seed=0).run()
+    result = run(scenario, backend="vectorized", seed=0)
     elapsed = time.perf_counter() - start
+    assert result.metadata["backend"] == "vectorized"
     assert result.rounds >= 1
     assert result.peak_reduction_fraction > 0
     assert elapsed < 2.0, f"fast path took {elapsed:.2f}s for 200 households"
@@ -62,12 +63,12 @@ def test_fast_path_200_households_within_budget():
 
 def test_single_negotiation_round_trip_cost(benchmark):
     """Micro-benchmark: one complete negotiation on a 50-household population."""
+    from repro.api import run
     from repro.core.scenario import synthetic_scenario
-    from repro.core.session import NegotiationSession
 
     def run_once():
         scenario = synthetic_scenario(num_households=50, seed=0)
-        return NegotiationSession(scenario, seed=0).run()
+        return run(scenario, backend="object", seed=0)
 
     result = benchmark(run_once)
     assert result.rounds >= 1

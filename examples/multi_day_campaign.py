@@ -51,7 +51,12 @@ def main(num_households: int = 40, num_days: int = 14) -> None:
         normal_cost=0.25,
         peak_cost=0.90,
     )
-    campaign = MultiDayCampaign(planner, production=production, warmup_days=4, seed=21)
+    # Each day's negotiation goes through the repro.api engine façade;
+    # backend="auto" keeps campaigns tractable at 10k+ households by picking
+    # the vectorized path whenever the planned scenario qualifies.
+    campaign = MultiDayCampaign(
+        planner, production=production, warmup_days=4, seed=21, backend="auto"
+    )
 
     # A two-week stretch with a cold spell in the middle.
     conditions = (

@@ -6,6 +6,11 @@ capacity of 100) negotiates with 20 Customer Agents using the
 announce-reward-tables method, escalating rewards with the logistic rule
 until the predicted overuse is acceptable.
 
+Everything goes through the :mod:`repro.api` engine façade: build the
+scenario with the fluent builder, call :func:`repro.api.run`, and let
+``backend="auto"`` pick the execution path (the result records which backend
+ran — the choice never changes the outcome, only the wall-clock).
+
 Run with::
 
     python examples/quickstart.py
@@ -15,22 +20,21 @@ from __future__ import annotations
 
 from repro.analysis.plotting import ascii_trajectories
 from repro.analysis.reporting import format_key_values, format_table
-from repro.core import NegotiationSession, paper_prototype_scenario
+from repro.api import run, scenario
 
 
 def main() -> None:
-    scenario = paper_prototype_scenario()
-    print(f"Scenario: {scenario.name}")
-    print(f"  customers:          {scenario.num_customers}")
-    print(f"  normal capacity:    {scenario.normal_use:.0f}")
-    print(f"  predicted usage:    {scenario.normal_use + scenario.initial_overuse:.0f}")
-    print(f"  predicted overuse:  {scenario.initial_overuse:.0f}")
+    prototype = scenario().paper_prototype().build()
+    print(f"Scenario: {prototype.name}")
+    print(f"  customers:          {prototype.num_customers}")
+    print(f"  normal capacity:    {prototype.normal_use:.0f}")
+    print(f"  predicted usage:    {prototype.normal_use + prototype.initial_overuse:.0f}")
+    print(f"  predicted overuse:  {prototype.initial_overuse:.0f}")
     print()
 
-    session = NegotiationSession(scenario, seed=0)
-    result = session.run()
+    result = run(prototype, seed=0)
 
-    print("Negotiation finished.")
+    print(f"Negotiation finished (backend: {result.metadata['backend']}).")
     print(format_key_values(result.summary()))
     print()
     print(
@@ -55,6 +59,14 @@ def main() -> None:
         for outcome in list(result.customer_outcomes.values())[:8]
     ]
     print(format_table(outcome_rows, title="First 8 customer outcomes"))
+
+    # The same run on the faithful object path (full agent society) is
+    # bit-identical — that is the engine façade's equivalence contract.
+    reference = run(prototype, backend="object", seed=0)
+    if reference.customer_outcomes != result.customer_outcomes:
+        raise RuntimeError("backend equivalence violated — please report this")
+    print()
+    print("Re-ran on the object path: outcomes identical, as guaranteed.")
 
 
 if __name__ == "__main__":

@@ -40,7 +40,9 @@ def main(num_households: int = 60) -> None:
         normal_cost=0.25,
         peak_cost=0.80,
     )
-    system = LoadBalancingSystem(scenario, production=production, seed=7)
+    # backend="auto" routes the negotiation through the repro.api façade: the
+    # vectorized path when the scenario qualifies, the object path otherwise.
+    system = LoadBalancingSystem(scenario, production=production, seed=7, backend="auto")
 
     baseline = LoadProfile.aggregate(system.baseline_profiles().values())
     print(ascii_line_chart(

@@ -16,15 +16,16 @@ The package is organised in layers:
 * :mod:`repro.market` — the computational-market baseline.
 * :mod:`repro.core` — scenarios, negotiation sessions and the full
   load-balancing pipeline.
+* :mod:`repro.api` — the engine façade: one ``run()`` entry point over
+  pluggable negotiation backends, plus the fluent scenario builder.
 * :mod:`repro.analysis` — metrics, convergence analysis and ASCII plotting.
 * :mod:`repro.experiments` — one module per reproduced figure/experiment.
 
 Quickstart::
 
-    from repro.core import paper_prototype_scenario, NegotiationSession
+    from repro.api import run, scenario
 
-    scenario = paper_prototype_scenario()
-    result = NegotiationSession(scenario).run()
+    result = run(scenario().paper_prototype().build())
     print(result.summary())
 """
 
@@ -37,16 +38,21 @@ from repro.core import (
     paper_prototype_scenario,
     synthetic_scenario,
 )
+from repro import api
+from repro.api import EngineConfig, ScenarioBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EngineConfig",
     "LoadBalancingSystem",
     "NegotiationResult",
     "NegotiationSession",
     "Scenario",
+    "ScenarioBuilder",
     "SystemResult",
     "__version__",
+    "api",
     "paper_prototype_scenario",
     "synthetic_scenario",
 ]

@@ -37,6 +37,22 @@ from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTabl
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agents.population import CustomerPopulation
+    from repro.negotiation.messages import OfferAnnouncement
+
+
+def shares_requirement_grid(
+    requirements: Sequence[CutdownRewardRequirements],
+) -> bool:
+    """Whether all requirement tables use one cut-down grid.
+
+    This is *the* vectorizability criterion: when it holds the tables pack
+    into one ``(num_customers, grid_size)`` matrix and the batched kernels
+    apply; otherwise the scalar per-customer code stays in charge.  The
+    engine façade's ``backend="auto"`` selection consults the same function,
+    so the two can never drift.
+    """
+    first_grid = requirements[0].cutdowns()
+    return all(table.cutdowns() == first_grid for table in requirements[1:])
 
 
 class VectorizedPopulation:
@@ -86,10 +102,9 @@ class VectorizedPopulation:
 
     def _build_requirement_matrix(self) -> None:
         """Pack the requirement tables into one matrix when grids are shared."""
+        if not shares_requirement_grid(self.requirements):
+            return  # heterogeneous grids: scalar fallback stays in charge
         first_grid = self.requirements[0].cutdowns()
-        for table in self.requirements[1:]:
-            if table.cutdowns() != first_grid:
-                return  # heterogeneous grids: scalar fallback stays in charge
         self.requirement_grid = np.asarray(first_grid, dtype=float)
         self.requirement_matrix = np.array(
             [[r.requirements[c] for c in first_grid] for r in self.requirements],
@@ -287,6 +302,35 @@ class VectorizedPopulation:
             financial_gain = saved_energy * normal_price
             worthwhile = possible & (financial_gain >= discomfort_delta)
         return np.where(worthwhile, candidate, current_needs)
+
+    # -- offer-method evaluation (batched) ------------------------------------------
+
+    def offer_acceptances(
+        self, announcement: "OfferAnnouncement", peak_hours: float
+    ) -> np.ndarray:
+        """Batched ``OfferMethod._deal_is_worthwhile``: one bool per customer.
+
+        A customer accepts when it is already within the allowance, or when
+        the price saving of complying (normal-price bill on the prediction
+        minus lower-price bill on the allowance) covers the monetised
+        discomfort of the required cut-down; customers that cannot physically
+        reach the allowance decline.  Operation order mirrors the scalar code
+        exactly, so the decisions are bit-identical.
+        """
+        allowances = announcement.x_max * self.allowed_uses
+        predicted = self.predicted_uses
+        within = predicted <= allowances
+        with np.errstate(divide="ignore", invalid="ignore"):
+            safe_predicted = np.where(predicted > 0.0, predicted, 1.0)
+            required = 1.0 - allowances / safe_predicted
+        infeasible = ~within & (required > self.max_feasible_cutdowns)
+        undecided = ~within & ~infeasible
+        discomfort = self.interpolated_requirements(np.where(undecided, required, 0.0))
+        tariff = announcement.tariff
+        bill_normal = (predicted * peak_hours) * tariff.normal_price
+        bill_deal = (allowances * peak_hours) * tariff.lower_price
+        saving = bill_normal - bill_deal
+        return within | (undecided & (saving >= discomfort))
 
     # -- outcome helpers ----------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""repro.api — the one entry point for running negotiations.
+
+Every in-repo negotiation run (experiments, CLI, the load-balancing system,
+planning campaigns, examples and benchmarks) goes through this façade::
+
+    from repro.api import run, scenario
+
+    result = run(scenario().households(200).build())          # backend="auto"
+    result = run(my_scenario, backend="object", seed=3)       # explicit backend
+
+The pieces:
+
+* :func:`run` — dispatches a scenario to a registered backend;
+  ``backend="auto"`` picks the vectorized fast path when the scenario
+  qualifies and falls back to the faithful object path otherwise, recording
+  the choice in ``result.metadata["backend"]``.
+* :class:`EngineConfig` — consolidates the former kwarg sprawl (``seed``,
+  ``max_simulation_rounds``, ``check_protocol``, …).
+* :class:`NegotiationEngine` / :func:`register_backend` — the backend
+  registry; ``"object"`` and ``"vectorized"`` are built in, ``"sharded"``
+  and ``"async"`` are declared slots for the ROADMAP's distributed runtimes.
+* :func:`scenario` / :class:`ScenarioBuilder` — fluent scenario construction.
+"""
+
+from repro.api.builder import ScenarioBuilder, scenario
+from repro.api.config import EngineConfig
+from repro.api.engine import (
+    AUTO_PRIORITY,
+    BackendError,
+    BackendUnavailableError,
+    BackendUnsupportedError,
+    DuplicateBackendError,
+    NegotiationEngine,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    run,
+    select_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "AUTO_PRIORITY",
+    "BackendError",
+    "BackendUnavailableError",
+    "BackendUnsupportedError",
+    "DuplicateBackendError",
+    "EngineConfig",
+    "NegotiationEngine",
+    "ScenarioBuilder",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run",
+    "scenario",
+    "select_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,102 @@
+"""Engine configuration: one dataclass instead of kwarg sprawl.
+
+Before the façade existed, every call site re-plumbed the same keyword
+arguments into :class:`~repro.core.session.NegotiationSession` /
+:class:`~repro.core.fast_session.FastSession` by hand.  :class:`EngineConfig`
+consolidates them; backends translate it into whatever their session type
+accepts.
+
+Migration table (old session kwarg → config field):
+
+==========================  ============================
+``seed``                    :attr:`EngineConfig.seed`
+``max_simulation_rounds``   :attr:`EngineConfig.max_simulation_rounds`
+``check_protocol``          :attr:`EngineConfig.check_protocol`
+``retain_message_log``      :attr:`EngineConfig.retain_message_log`
+``include_producer``        :attr:`EngineConfig.include_producer`
+``include_external_world``  :attr:`EngineConfig.include_external_world`
+``with_resource_consumers`` :attr:`EngineConfig.with_resource_consumers`
+==========================  ============================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a negotiation engine needs besides the scenario itself.
+
+    Attributes
+    ----------
+    seed:
+        Runtime seed.  Negotiations are deterministic given the scenario, so
+        this only matters for components that draw randomness (kept for
+        reproducibility bookkeeping and signature compatibility).
+    max_simulation_rounds:
+        Hard cap on simulation rounds (defensive bound, not a protocol
+        parameter).
+    check_protocol:
+        Whether the monotonic-concession protocol checker runs in strict mode.
+    retain_message_log:
+        Whether the object path's message bus retains full message logs
+        (ignored by vectorized backends, which never materialise messages).
+    include_producer:
+        Add the Producer Agent to the society (object path only).
+    include_external_world:
+        Add the External World agent (object path only).
+    with_resource_consumers:
+        Attach Resource Consumer Agents to each household (object path only).
+    """
+
+    seed: Optional[int] = 0
+    max_simulation_rounds: int = 200
+    check_protocol: bool = True
+    retain_message_log: bool = True
+    include_producer: bool = False
+    include_external_world: bool = False
+    with_resource_consumers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_simulation_rounds <= 0:
+            raise ValueError("max_simulation_rounds must be positive")
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def needs_full_agent_society(self) -> bool:
+        """Whether the configuration requires the object path's extra agents."""
+        return (
+            self.include_producer
+            or self.include_external_world
+            or self.with_resource_consumers
+        )
+
+    def replace(self, **overrides: object) -> "EngineConfig":
+        """A copy with the given fields replaced (unknown fields raise)."""
+        return dataclasses.replace(self, **overrides)
+
+    # -- session construction ------------------------------------------------------
+
+    def session_kwargs(self) -> dict[str, object]:
+        """Keyword arguments for :class:`~repro.core.session.NegotiationSession`."""
+        return {
+            "seed": self.seed,
+            "include_producer": self.include_producer,
+            "include_external_world": self.include_external_world,
+            "with_resource_consumers": self.with_resource_consumers,
+            "max_simulation_rounds": self.max_simulation_rounds,
+            "check_protocol": self.check_protocol,
+            "retain_message_log": self.retain_message_log,
+        }
+
+    def fast_session_kwargs(self) -> dict[str, object]:
+        """Keyword arguments for :class:`~repro.core.fast_session.FastSession`."""
+        return {
+            "seed": self.seed,
+            "max_simulation_rounds": self.max_simulation_rounds,
+            "check_protocol": self.check_protocol,
+        }

@@ -1,0 +1,348 @@
+"""Negotiation engines: one dispatching entry point, pluggable backends.
+
+The paper separates *what* is negotiated (scenario, reward tables, methods)
+from *how* the agent society executes it.  This module makes the "how"
+pluggable: a :class:`NegotiationEngine` wraps one execution strategy —
+today the faithful object path (:class:`~repro.core.session.NegotiationSession`)
+and the vectorized fast path (:class:`~repro.core.fast_session.FastSession`),
+tomorrow the sharded and async runtimes the ROADMAP plans — behind a common
+``run(scenario, config)`` interface, and :func:`run` dispatches to a backend
+by name.
+
+``backend="auto"`` picks the fastest backend that *qualifies* for the
+scenario (homogeneous requirement grids, a method with batched kernels, no
+extra agents requested) and transparently falls back to the object path
+otherwise.  Which backend actually ran is recorded in
+``NegotiationResult.metadata["backend"]``; by the fast-path equivalence
+contract the choice never changes the result, only the wall-clock.
+
+Registering a new backend::
+
+    @register_backend("sharded")
+    class ShardedBackend(NegotiationEngine):
+        name = "sharded"
+
+        def run(self, scenario, config):
+            ...
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Type
+
+from repro.agents.vectorized import shares_requirement_grid
+from repro.api.config import EngineConfig
+from repro.core.fast_session import FastSession
+from repro.core.results import NegotiationResult
+from repro.core.scenario import Scenario
+from repro.core.session import NegotiationSession
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.strategy import (
+    ExpectedGainBidding,
+    HighestAcceptableCutdownBidding,
+)
+
+
+class BackendError(Exception):
+    """Base class for backend registry and dispatch errors."""
+
+
+class DuplicateBackendError(BackendError):
+    """A backend name was registered twice."""
+
+
+class UnknownBackendError(BackendError, LookupError):
+    """No backend is registered under the requested name."""
+
+
+class BackendUnavailableError(BackendError, NotImplementedError):
+    """The backend is a declared slot whose implementation has not landed yet."""
+
+
+class BackendUnsupportedError(BackendError, ValueError):
+    """The explicitly requested backend cannot run this scenario/config."""
+
+
+class NegotiationEngine(abc.ABC):
+    """One way of executing a negotiation scenario.
+
+    Subclasses wrap a session type (or a future distributed runtime) and are
+    registered by name via :func:`register_backend`.  Engines are stateless:
+    one instance serves every :func:`run` call.
+    """
+
+    #: Registry name; set by subclasses and mirrored by ``register_backend``.
+    name: str = "abstract"
+    #: Declared-but-unimplemented slots set this to ``False``; they appear in
+    #: :func:`available_backends` listings but refuse to run.
+    available: bool = True
+
+    @abc.abstractmethod
+    def run(self, scenario: Scenario, config: EngineConfig) -> NegotiationResult:
+        """Execute the negotiation and return its result."""
+
+    def can_run(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        """Hard capability check: can this engine run the scenario at all?
+
+        Returns ``(ok, reason)``; the reason explains a refusal.  Explicitly
+        selecting a backend that cannot run raises
+        :class:`BackendUnsupportedError` with that reason.
+        """
+        return True, ""
+
+    def qualifies(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        """Whether ``backend="auto"`` should pick this engine.
+
+        Stricter than :meth:`can_run`: an engine may be *able* to run a
+        scenario (e.g. via a scalar fallback) without being the right
+        automatic choice for it.
+        """
+        return self.can_run(scenario, config)
+
+
+_BACKENDS: dict[str, NegotiationEngine] = {}
+
+#: ``backend="auto"`` tries these names in order and picks the first
+#: registered, available backend whose ``qualifies`` check passes.  The
+#: object path is the universal fallback and must stay last.
+AUTO_PRIORITY: tuple[str, ...] = ("sharded", "async", "vectorized", "object")
+
+
+def register_backend(
+    name: str,
+) -> Callable[[Type[NegotiationEngine]], Type[NegotiationEngine]]:
+    """Class decorator registering a :class:`NegotiationEngine` under ``name``."""
+
+    def decorator(cls: Type[NegotiationEngine]) -> Type[NegotiationEngine]:
+        if name in _BACKENDS:
+            raise DuplicateBackendError(
+                f"a negotiation backend named {name!r} is already registered "
+                f"({type(_BACKENDS[name]).__name__}); unregister it first"
+            )
+        cls.name = name
+        _BACKENDS[name] = cls()
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (for tests and plugin teardown)."""
+    _BACKENDS.pop(name, None)
+
+
+def get_backend(name: str) -> NegotiationEngine:
+    """Look up a registered backend by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown negotiation backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_BACKENDS))}"
+        ) from None
+
+
+def available_backends() -> dict[str, bool]:
+    """Registered backend names mapped to their availability."""
+    return {name: engine.available for name, engine in sorted(_BACKENDS.items())}
+
+
+# -- built-in backends ----------------------------------------------------------------
+
+
+@register_backend("object")
+class ObjectBackend(NegotiationEngine):
+    """The faithful multi-agent object path.
+
+    One agent object per household, real messages over the bus, DESIRE
+    process models, optional Producer / External World / Resource Consumer
+    agents — the reference execution for paper-facing figures and the
+    universal fallback of ``backend="auto"``.
+    """
+
+    def run(self, scenario: Scenario, config: EngineConfig) -> NegotiationResult:
+        return NegotiationSession(scenario, **config.session_kwargs()).run()
+
+
+#: Reward-table bidding policies with batched kernels on
+#: :class:`~repro.agents.vectorized.VectorizedPopulation`.
+_VECTORIZED_POLICIES = (HighestAcceptableCutdownBidding, ExpectedGainBidding)
+
+
+def _shared_requirement_grid(scenario: Scenario) -> bool:
+    """Whether every customer's requirement table uses one cut-down grid.
+
+    Delegates to the vectorized layer's own criterion so auto-selection and
+    ``VectorizedPopulation``'s matrix packing can never drift apart.
+    """
+    return shares_requirement_grid(
+        [spec.requirements for spec in scenario.population.specs]
+    )
+
+
+@register_backend("vectorized")
+class VectorizedBackend(NegotiationEngine):
+    """The batched numpy fast path (:class:`~repro.core.fast_session.FastSession`).
+
+    Bit-identical to the object path at equal seeds; scales to 10k+
+    households.  It cannot host the extra agents of the full society, so
+    configurations requesting them are refused.
+    """
+
+    def run(self, scenario: Scenario, config: EngineConfig) -> NegotiationResult:
+        return FastSession(scenario, **config.fast_session_kwargs()).run()
+
+    def can_run(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        if config.needs_full_agent_society:
+            return False, (
+                "producer / external-world / resource-consumer agents require "
+                "the object path"
+            )
+        return True, ""
+
+    def qualifies(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        ok, reason = self.can_run(scenario, config)
+        if not ok:
+            return ok, reason
+        method = scenario.method
+        if isinstance(method, RewardTablesMethod):
+            # Exact-type match, mirroring FastSession's kernel dispatch: a
+            # policy *subclass* would hit the fast path's history-free scalar
+            # fallback and could diverge from the object path, so it must not
+            # qualify for automatic selection.
+            if type(method.bidding_policy) not in _VECTORIZED_POLICIES:
+                return False, (
+                    f"no batched kernel for bidding policy "
+                    f"{type(method.bidding_policy).__name__}"
+                )
+        elif not isinstance(method, (OfferMethod, RequestForBidsMethod)):
+            return False, f"no batched kernel for method {type(method).__name__}"
+        if not _shared_requirement_grid(scenario):
+            return False, "heterogeneous requirement grids (scalar fallback)"
+        return True, ""
+
+
+class _PlannedBackend(NegotiationEngine):
+    """A declared slot for a backend the ROADMAP plans but has not landed."""
+
+    available = False
+    roadmap_item: str = ""
+
+    def run(self, scenario: Scenario, config: EngineConfig) -> NegotiationResult:
+        raise BackendUnavailableError(
+            f"the {self.name!r} backend is a planned slot ({self.roadmap_item}); "
+            f"use backend='auto', 'vectorized' or 'object' until it lands"
+        )
+
+    def can_run(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        return False, f"{self.name!r} backend not implemented yet ({self.roadmap_item})"
+
+
+@register_backend("sharded")
+class ShardedBackend(_PlannedBackend):
+    """Slot for the sharded utility-agent runtime (parallel population slices)."""
+
+    roadmap_item = "ROADMAP: sharded utility agents"
+
+
+@register_backend("async")
+class AsyncBackend(_PlannedBackend):
+    """Slot for the asyncio message-bus runtime (overlapped information acquisition)."""
+
+    roadmap_item = "ROADMAP: async message bus"
+
+
+# -- dispatch --------------------------------------------------------------------------
+
+
+def select_backend(
+    scenario: Scenario, config: EngineConfig
+) -> tuple[NegotiationEngine, dict[str, str]]:
+    """The engine ``backend="auto"`` would pick, plus the rejection reasons.
+
+    Walks :data:`AUTO_PRIORITY` and returns the first available engine whose
+    ``qualifies`` check passes; the second element maps each skipped backend
+    to why it was skipped (useful for diagnostics and tests).
+    """
+    rejections: dict[str, str] = {}
+    for name in AUTO_PRIORITY:
+        engine = _BACKENDS.get(name)
+        if engine is None:
+            continue
+        if not engine.available:
+            rejections[name] = "not implemented yet"
+            continue
+        ok, reason = engine.qualifies(scenario, config)
+        if ok:
+            return engine, rejections
+        rejections[name] = reason
+    raise UnknownBackendError(
+        "no registered backend qualifies for this scenario; "
+        f"rejections: {rejections}"
+    )
+
+
+def run(
+    scenario: Scenario,
+    backend: str = "auto",
+    config: Optional[EngineConfig] = None,
+    **overrides: object,
+) -> NegotiationResult:
+    """Run one negotiation through the engine façade.
+
+    Parameters
+    ----------
+    scenario:
+        The :class:`~repro.core.scenario.Scenario` to negotiate (build one
+        with :func:`repro.api.scenario` or the ``repro.core.scenario``
+        factories).
+    backend:
+        A registered backend name, or ``"auto"`` (default) to pick the
+        fastest qualifying backend with transparent fallback to the object
+        path.
+    config:
+        An :class:`EngineConfig`; defaults to ``EngineConfig()``.
+    **overrides:
+        Individual :class:`EngineConfig` fields overriding ``config``, e.g.
+        ``run(scenario, seed=3, check_protocol=False)``.
+
+    Returns
+    -------
+    NegotiationResult
+        With ``metadata["backend"]`` set to the backend that actually ran.
+    """
+    resolved = config if config is not None else EngineConfig()
+    if overrides:
+        resolved = resolved.replace(**overrides)
+    if backend == "auto":
+        engine, _ = select_backend(scenario, resolved)
+    else:
+        engine = get_backend(backend)
+        if not engine.available:
+            _, reason = engine.can_run(scenario, resolved)
+            raise BackendUnavailableError(
+                f"backend {backend!r} is registered but not available"
+                + (f": {reason}" if reason else "")
+            )
+        ok, reason = engine.can_run(scenario, resolved)
+        if not ok:
+            raise BackendUnsupportedError(
+                f"backend {backend!r} cannot run scenario "
+                f"{scenario.name!r}: {reason}"
+            )
+    result = engine.run(scenario, resolved)
+    result.metadata["backend"] = engine.name
+    return result

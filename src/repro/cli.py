@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run E2               # run one experiment and print its report
     python -m repro run all              # run every experiment (slow but complete)
     python -m repro quickstart           # run the prototype negotiation end to end
+    python -m repro backends             # list the registered negotiation backends
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; anything it prints
 can also be produced programmatically (see the examples/ directory).
@@ -74,17 +75,34 @@ def command_run(experiment_id: str) -> int:
     return 0
 
 
-def command_quickstart() -> int:
+def command_quickstart(backend: str = "auto") -> int:
     """Run the calibrated prototype negotiation and print its summary."""
-    from repro.core import NegotiationSession, paper_prototype_scenario
+    from repro.api import BackendError, run, scenario
 
-    result = NegotiationSession(paper_prototype_scenario(), seed=0).run()
+    try:
+        result = run(scenario().paper_prototype().build(), backend=backend, seed=0)
+    except BackendError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     print(format_key_values(result.summary()))
     print()
+    print(f"backend:            {result.metadata.get('backend', backend)}")
     print("overuse trajectory: "
           + ", ".join(f"{v:.2f}" for v in result.overuse_trajectory()))
     print("reward @ 0.4:       "
           + ", ".join(f"{v:.2f}" for v in result.reward_trajectory(0.4)))
+    return 0
+
+
+def command_backends() -> int:
+    """Print the registered negotiation backends."""
+    from repro.api import available_backends
+
+    rows = [
+        {"backend": name, "status": "available" if ok else "planned slot"}
+        for name, ok in available_backends().items()
+    ]
+    print(format_table(rows, title="Registered negotiation backends"))
     return 0
 
 
@@ -97,7 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the registered experiments")
     run_parser = subparsers.add_parser("run", help="run an experiment by id (or 'all')")
     run_parser.add_argument("experiment", help="experiment id, e.g. E2, or 'all'")
-    subparsers.add_parser("quickstart", help="run the prototype negotiation")
+    quickstart_parser = subparsers.add_parser(
+        "quickstart", help="run the prototype negotiation"
+    )
+    quickstart_parser.add_argument(
+        "--backend", default="auto",
+        help="negotiation backend (auto, object, vectorized; default auto)",
+    )
+    subparsers.add_parser("backends", help="list the registered negotiation backends")
     return parser
 
 
@@ -108,7 +133,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "run":
         return command_run(arguments.experiment)
     if arguments.command == "quickstart":
-        return command_quickstart()
+        return command_quickstart(arguments.backend)
+    if arguments.command == "backends":
+        return command_backends()
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -36,8 +36,9 @@ import numpy as np
 from repro.agents.vectorized import VectorizedPopulation
 from repro.core.results import CustomerOutcome, NegotiationResult
 from repro.core.scenario import Scenario
-from repro.negotiation.messages import Award, Bid, CutdownBid, QuantityBid
+from repro.negotiation.messages import Award, Bid, CutdownBid, OfferResponse, QuantityBid
 from repro.negotiation.methods.base import RoundEvaluation
+from repro.negotiation.methods.offer import OfferMethod
 from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
 from repro.negotiation.protocol import (
@@ -78,6 +79,32 @@ class FastSession:
         #: Streaming per-performative counters (mirrors MessageBus semantics).
         self.message_counts: dict[Performative, int] = {}
         self._messages_sent = 0
+        self._context = None
+        self._has_run = False
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self) -> VectorizedPopulation:
+        """Instantiate the vectorized population, protocol and record (idempotent).
+
+        Mirrors :meth:`NegotiationSession.build`: calling it more than once
+        returns the already-built population instead of resetting negotiation
+        state.
+        """
+        if self.population is not None:
+            return self.population
+        scenario = self.scenario
+        self.population = VectorizedPopulation.from_population(scenario.population)
+        self._context = scenario.population.utility_context()
+        self.protocol = MonotonicConcessionProtocol(strict=self.check_protocol)
+        self.record = NegotiationRecord(
+            conversation_id=f"negotiation_{scenario.name}",
+            normal_use=self._context.normal_use,
+            initial_overuse=self._context.initial_overuse,
+        )
+        self.message_counts = {}
+        self._messages_sent = 0
+        return self.population
 
     # -- message accounting ------------------------------------------------------
 
@@ -103,9 +130,10 @@ class FastSession:
         """Every customer's bid for one announcement, in population order.
 
         Dispatches to the batched kernels for the stock reward-table bidding
-        policies and for the request-for-bids method; any other method or
-        policy falls back to per-customer scalar ``method.respond`` calls
-        (still message-free, so still much faster than the object path).
+        policies, the offer method's yes/no evaluation and the
+        request-for-bids method; any other method or policy falls back to
+        per-customer scalar ``method.respond`` calls (still message-free, so
+        still much faster than the object path).
         """
         population = self.population
         method = self.scenario.method
@@ -135,6 +163,16 @@ class FastSession:
                     cutdown=float(cutdown),
                 )
                 for customer, cutdown in zip(population.customer_ids, candidates)
+            ]
+        if isinstance(method, OfferMethod):
+            accepts = population.offer_acceptances(announcement, method.peak_hours)
+            return [
+                OfferResponse(
+                    customer=customer,
+                    round_number=round_number,
+                    accept=bool(accept),
+                )
+                for customer, accept in zip(population.customer_ids, accepts)
             ]
         if isinstance(method, RequestForBidsMethod):
             current = state.get("needs")
@@ -187,22 +225,24 @@ class FastSession:
     # -- execution -----------------------------------------------------------------
 
     def run(self) -> NegotiationResult:
-        """Run the negotiation to completion and return the result."""
+        """Run the negotiation to completion and return the result.
+
+        One run per session: ``build()`` is idempotent, so a second ``run()``
+        would replay rounds into the already-populated record.  Mirrors the
+        object path, whose simulation also refuses to run twice.
+        """
+        if self._has_run:
+            raise RuntimeError(
+                "this FastSession already ran; create a new session to "
+                "negotiate again"
+            )
+        self._has_run = True
         scenario = self.scenario
         method = scenario.method
-        self.population = VectorizedPopulation.from_population(scenario.population)
-        population = self.population
-        context = scenario.population.utility_context()
-        self._context = context
-        conversation_id = f"negotiation_{scenario.name}"
-        self.protocol = MonotonicConcessionProtocol(strict=self.check_protocol)
-        self.record = NegotiationRecord(
-            conversation_id=conversation_id,
-            normal_use=context.normal_use,
-            initial_overuse=context.initial_overuse,
-        )
-        self.message_counts = {}
-        self._messages_sent = 0
+        population = self.build()
+        context = self._context
+        if context is None:
+            raise RuntimeError("FastSession.build() did not produce a utility context")
         num_customers = len(population)
 
         if context.initial_overuse <= context.max_allowed_overuse:

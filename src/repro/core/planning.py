@@ -209,7 +209,13 @@ class CampaignResult:
 
 
 class MultiDayCampaign:
-    """Observe, predict, negotiate and account over a sequence of days."""
+    """Observe, predict, negotiate and account over a sequence of days.
+
+    ``backend`` is passed through to the :mod:`repro.api` engine façade for
+    each day's negotiation; the default ``"auto"`` selects the vectorized
+    fast path whenever the planned scenario qualifies, which is what makes
+    multi-week campaigns over 10k-household populations tractable.
+    """
 
     def __init__(
         self,
@@ -218,6 +224,7 @@ class MultiDayCampaign:
         weather_model: Optional[WeatherModel] = None,
         warmup_days: int = 3,
         seed: int = 0,
+        backend: str = "auto",
     ) -> None:
         if warmup_days <= 0:
             raise ValueError("the predictor needs at least one warm-up day")
@@ -229,6 +236,7 @@ class MultiDayCampaign:
         self.weather_model = weather_model or WeatherModel(RandomSource(seed, "campaign_weather"))
         self.warmup_days = int(warmup_days)
         self.seed = seed
+        self.backend = backend
 
     def run(
         self,
@@ -251,7 +259,12 @@ class MultiDayCampaign:
                     CampaignDay(day_index=day_index, weather=weather, negotiated=False, outcome=None)
                 )
             else:
-                system = LoadBalancingSystem(scenario, production=self.production, seed=self.seed + day_index)
+                system = LoadBalancingSystem(
+                    scenario,
+                    production=self.production,
+                    seed=self.seed + day_index,
+                    backend=self.backend,
+                )
                 outcome = system.run()
                 result.days.append(
                     CampaignDay(

@@ -39,6 +39,10 @@ class NegotiationResult:
     total_reward_paid: float
     messages_sent: int
     simulation_rounds: int
+    #: Execution metadata recorded by :func:`repro.api.run` — notably
+    #: ``metadata["backend"]``, the name of the engine backend that actually
+    #: ran the negotiation.  Empty when a session is driven directly.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     # -- headline metrics ------------------------------------------------------
 

@@ -105,12 +105,18 @@ class NegotiationSession:
     def run(self) -> NegotiationResult:
         """Run the negotiation to completion and return the result."""
         simulation = self.build()
-        assert self.utility_agent is not None
-        report = simulation.run(stop_when=lambda: self.utility_agent.finished)
+        utility_agent = self.utility_agent
+        if utility_agent is None:
+            raise RuntimeError(
+                "NegotiationSession.build() did not create a Utility Agent; "
+                "the session cannot run"
+            )
+        report = simulation.run(stop_when=lambda: utility_agent.finished)
         return self._collect_result(report.rounds_executed)
 
     def _collect_result(self, simulation_rounds: int) -> NegotiationResult:
-        assert self.utility_agent is not None and self.simulation is not None
+        if self.utility_agent is None or self.simulation is None:
+            raise RuntimeError("the session must be built before collecting results")
         utility = self.utility_agent
         outcomes: dict[str, CustomerOutcome] = {}
         for agent in self.customer_agents:

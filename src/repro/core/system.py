@@ -6,7 +6,9 @@ load management process as a whole:
 1. realise (or take) a day of household demand and predict the aggregate,
 2. decide — exactly as the Utility Agent's *evaluate prediction* task does —
    whether the predicted overuse warrants a negotiation,
-3. run the multi-agent negotiation (a :class:`~repro.core.session.NegotiationSession`),
+3. run the multi-agent negotiation through the :mod:`repro.api` engine façade
+   (``backend="auto"`` by default, so large populations get the vectorized
+   fast path with identical outcomes),
 4. apply the awarded cut-downs to the household load profiles, and
 5. account for production costs and rewards before and after.
 
@@ -21,7 +23,6 @@ from typing import Optional
 
 from repro.core.results import NegotiationResult, SystemResult
 from repro.core.scenario import Scenario
-from repro.core.session import NegotiationSession
 from repro.grid.load_profile import LoadProfile
 from repro.grid.production import ProductionModel
 from repro.runtime.clock import TimeInterval
@@ -35,6 +36,7 @@ class LoadBalancingSystem:
         scenario: Scenario,
         production: Optional[ProductionModel] = None,
         seed: Optional[int] = 0,
+        backend: str = "auto",
     ) -> None:
         self.scenario = scenario
         if production is None:
@@ -45,6 +47,7 @@ class LoadBalancingSystem:
             )
         self.production = production
         self.seed = seed
+        self.backend = backend
 
     # -- pipeline stages -----------------------------------------------------------
 
@@ -53,10 +56,24 @@ class LoadBalancingSystem:
         population = self.scenario.population
         return population.initial_overuse > population.max_allowed_overuse
 
-    def negotiate(self, **session_kwargs) -> NegotiationResult:
-        """Run the multi-agent negotiation for the scenario."""
-        session = NegotiationSession(self.scenario, seed=self.seed, **session_kwargs)
-        return session.run()
+    def negotiate(
+        self, backend: Optional[str] = None, **config_overrides
+    ) -> NegotiationResult:
+        """Run the negotiation for the scenario through the engine façade.
+
+        ``config_overrides`` are :class:`repro.api.EngineConfig` fields (the
+        former ``NegotiationSession`` kwargs — ``check_protocol``,
+        ``include_producer``, …).
+        """
+        # Imported lazily: repro.api depends on repro.core's session modules.
+        from repro.api import EngineConfig, run
+
+        config = EngineConfig(seed=self.seed).replace(**config_overrides)
+        return run(
+            self.scenario,
+            backend=backend if backend is not None else self.backend,
+            config=config,
+        )
 
     def baseline_profiles(self) -> dict[str, LoadProfile]:
         """Per-household demand profiles before any cut-down.
@@ -103,7 +120,7 @@ class LoadBalancingSystem:
 
     # -- full pipeline ------------------------------------------------------------------
 
-    def run(self, **session_kwargs) -> SystemResult:
+    def run(self, backend: Optional[str] = None, **config_overrides) -> SystemResult:
         """Run the full pipeline and return the accounting summary."""
         baseline = self.baseline_profiles()
         aggregate_before = LoadProfile.aggregate(baseline.values())
@@ -118,7 +135,7 @@ class LoadBalancingSystem:
                 production_cost_after=cost_before,
                 reward_paid=0.0,
             )
-        result = self.negotiate(**session_kwargs)
+        result = self.negotiate(backend=backend, **config_overrides)
         adjusted = self.apply_cutdowns(baseline, result)
         aggregate_after = LoadProfile.aggregate(adjusted.values())
         cost_after = self.production.cost_of_profile(aggregate_after)

@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 from repro.analysis.reporting import format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
 from repro.negotiation.reward_table import RewardTable
 from repro.negotiation.strategy import (
@@ -133,7 +133,7 @@ def run_acceptance_ablation(seed: int = 0) -> list[AblationEntry]:
             method=method,
             description="Flexible prototype population for the acceptance ablation",
         )
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         entries.append(AblationEntry("bid_acceptance", variant, result))
     return entries
 
@@ -152,7 +152,7 @@ def run_bidding_policy_ablation(num_households: int = 25, seed: int = 0) -> list
             reward_epsilon=0.3,
         )
         scenario = synthetic_scenario(num_households=num_households, seed=seed, method=method)
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         entries.append(AblationEntry("bidding_policy", variant, result))
     return entries
 
@@ -173,7 +173,7 @@ def run_announcement_policy_ablation(
             reward_epsilon=0.3,
         )
         scenario = synthetic_scenario(num_households=num_households, seed=seed, method=method)
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         entries.append(AblationEntry("announcement_policy", variant, result))
     return entries
 

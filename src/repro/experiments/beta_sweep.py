@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import paper_prototype_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.strategy import AdaptiveBeta, BetaController, ConstantBeta
 
 
@@ -93,11 +93,11 @@ def run_beta_sweep(
     entries: list[BetaSweepEntry] = []
     for beta in betas:
         scenario = paper_prototype_scenario(beta=beta)
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         entries.append(BetaSweepEntry(label=f"{beta:.2f}", beta=beta, result=result))
     if include_adaptive:
         controller: BetaController = AdaptiveBeta(initial_beta=1.0)
         scenario = paper_prototype_scenario(beta_controller=controller)
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         entries.append(BetaSweepEntry(label="adaptive", beta=None, result=result))
     return BetaSweepResult(entries=entries)

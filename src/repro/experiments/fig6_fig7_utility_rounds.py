@@ -20,7 +20,7 @@ from repro.analysis.plotting import ascii_trajectories
 from repro.analysis.reporting import format_key_values, format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import paper_prototype_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.messages import RewardTableAnnouncement
 
 #: The quantities the paper reports in Figures 6 and 7.
@@ -134,5 +134,5 @@ def run_utility_rounds(
 ) -> UtilityRoundsResult:
     """Run the calibrated prototype scenario and collect the Figure 6/7 view."""
     scenario = paper_prototype_scenario(beta=beta)
-    result = NegotiationSession(scenario, seed=seed).run()
+    result = api.run(scenario, seed=seed)
     return UtilityRoundsResult(result=result)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.analysis.reporting import format_key_values, format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import paper_prototype_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.messages import RewardTableAnnouncement
 from repro.negotiation.reward_table import CutdownRewardRequirements
 
@@ -121,5 +121,5 @@ def run_customer_rounds(seed: int = 0) -> CustomerRoundsResult:
     """Run the calibrated prototype scenario and collect the Figure 8/9 view."""
     scenario = paper_prototype_scenario()
     requirements = scenario.population.spec(FIGURE_CUSTOMER).requirements
-    result = NegotiationSession(scenario, seed=seed).run()
+    result = api.run(scenario, seed=seed)
     return CustomerRoundsResult(result=result, requirements=requirements)

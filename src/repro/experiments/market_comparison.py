@@ -17,7 +17,7 @@ from typing import Optional
 from repro.analysis.reporting import format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.market.equilibrium import EquilibriumMarket, MarketOutcome
 
 
@@ -83,7 +83,7 @@ def run_market_comparison(
         scenario = paper_prototype_scenario()
     else:
         scenario = synthetic_scenario(num_households=num_households, seed=seed)
-    negotiation = NegotiationSession(scenario, seed=seed).run()
+    negotiation = api.run(scenario, seed=seed)
     market = EquilibriumMarket.from_population(
         scenario.population, reservation_price=reservation_price
     ).clear()

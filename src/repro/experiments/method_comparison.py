@@ -18,7 +18,7 @@ from repro.analysis.metrics import MethodMetrics, summarise_results
 from repro.analysis.reporting import format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario, synthetic_scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.methods.base import NegotiationMethod
 from repro.negotiation.methods.offer import OfferMethod
 from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
@@ -91,6 +91,6 @@ def run_method_comparison(
                 method=method,
                 weather=base.weather,
             )
-            result = NegotiationSession(scenario, seed=seed).run()
+            result = api.run(scenario, seed=seed)
             results[method_name].append(result)
     return MethodComparisonResult(results=results)

@@ -21,7 +21,7 @@ from repro.analysis.convergence import (
 from repro.analysis.reporting import format_table
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario
-from repro.core.session import NegotiationSession
+from repro import api
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
 from repro.negotiation.reward_table import CutdownRewardRequirements
 from repro.negotiation.strategy import ConstantBeta
@@ -126,7 +126,7 @@ def run_protocol_convergence(
         scenario = Scenario(
             name=f"protocol_convergence_{seed}", population=population, method=method
         )
-        result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, seed=seed)
         rewards_monotone = reward_trajectory_is_monotone(result.reward_trajectory(0.4))
         bids_monotone = all(
             bid_trajectory_is_monotone(result.customer_bid_trajectory(customer))

@@ -18,7 +18,10 @@ Two execution paths are available:
   evaluates every customer's bid decision in batched numpy calls and scales
   to 10,000 households while producing identical negotiation outcomes.
 
-``run_scalability(fast=True)`` selects the fast path;
+Both run through the :mod:`repro.api` engine façade with an explicitly
+chosen backend (``"vectorized"`` vs ``"object"``), since the sweep exists to
+measure the paths against each other.  ``run_scalability(fast=True)`` selects
+the fast path;
 :func:`write_benchmark_json` emits the measured trajectory as a
 machine-readable artefact (``benchmarks/BENCH_scalability.json``).
 """
@@ -31,11 +34,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro import api
 from repro.analysis.reporting import format_table
-from repro.core.fast_session import FastSession
 from repro.core.results import NegotiationResult
 from repro.core.scenario import synthetic_scenario
-from repro.core.session import NegotiationSession
 
 #: Default sweep of the fast path: two orders of magnitude beyond the object
 #: path's practical ceiling.
@@ -129,11 +131,9 @@ def run_scalability(
         scenario = synthetic_scenario(
             num_households=size, seed=seed, max_reward=max_reward, beta=beta
         )
+        backend = "vectorized" if fast else "object"
         start = time.perf_counter()
-        if fast:
-            result = FastSession(scenario, seed=seed).run()
-        else:
-            result = NegotiationSession(scenario, seed=seed).run()
+        result = api.run(scenario, backend=backend, seed=seed)
         elapsed = time.perf_counter() - start
         entries.append(
             ScalabilityEntry(num_households=size, result=result, wall_seconds=elapsed)

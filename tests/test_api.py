@@ -1,0 +1,379 @@
+"""Tests for the repro.api engine façade.
+
+Covers the backend registry (duplicate rejection, unknown names, planned
+slots), ``backend="auto"`` selection on qualifying and non-qualifying
+scenarios, config handling, the deprecation shims, the fluent scenario
+builder's round-trip contract, and the acceptance criterion: ``"auto"``
+produces bit-identical results to each explicitly chosen backend.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.core
+from repro.api import (
+    BackendUnavailableError,
+    BackendUnsupportedError,
+    DuplicateBackendError,
+    EngineConfig,
+    NegotiationEngine,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    run,
+    scenario,
+    select_backend,
+    unregister_backend,
+)
+from repro.core.fast_session import FastSession
+from repro.core.scenario import (
+    Scenario,
+    paper_prototype_scenario,
+    synthetic_scenario,
+)
+from repro.core.session import NegotiationSession
+from repro.agents.population import CustomerPopulation
+from repro.negotiation.methods.offer import OfferMethod
+from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
+from repro.negotiation.methods.reward_tables import RewardTablesMethod
+from repro.negotiation.reward_table import CutdownRewardRequirements
+from repro.negotiation.strategy import ConstantBeta, CustomerBiddingPolicy
+
+from test_fast_session_equivalence import assert_equivalent
+
+
+def small_scenario(**kwargs) -> Scenario:
+    return synthetic_scenario(num_households=kwargs.pop("num_households", 8), **kwargs)
+
+
+def heterogeneous_scenario() -> Scenario:
+    coarse = CutdownRewardRequirements(
+        requirements={0.0: 0.0, 0.2: 4.0, 0.4: 21.0, 0.8: 95.0},
+        max_feasible_cutdown=0.8,
+    )
+    fine = CutdownRewardRequirements.paper_figure_8_customer()
+    population = CustomerPopulation.calibrated(
+        predicted_uses=[12.0, 9.0, 14.0, 11.0],
+        requirements=[coarse, fine, coarse, fine],
+        normal_use=30.0,
+        max_allowed_overuse=2.0,
+    )
+    method = RewardTablesMethod(max_reward=40.0, beta_controller=ConstantBeta(2.0))
+    return Scenario(name="hetero", population=population, method=method)
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        backends = available_backends()
+        assert backends["object"] is True
+        assert backends["vectorized"] is True
+        # Declared slots for the ROADMAP's distributed runtimes.
+        assert backends["sharded"] is False
+        assert backends["async"] is False
+
+    def test_duplicate_name_rejected(self):
+        original = get_backend("object")
+        with pytest.raises(DuplicateBackendError, match="already registered"):
+
+            @register_backend("object")
+            class Impostor(NegotiationEngine):
+                def run(self, scenario, config):  # pragma: no cover
+                    raise AssertionError
+
+        # The registry is unchanged by the failed registration.
+        assert get_backend("object") is original
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        with pytest.raises(UnknownBackendError, match="object"):
+            get_backend("warp_drive")
+        with pytest.raises(UnknownBackendError):
+            run(small_scenario(), backend="warp_drive")
+
+    def test_planned_slots_refuse_to_run(self):
+        for name in ("sharded", "async"):
+            with pytest.raises(BackendUnavailableError, match="not available"):
+                run(small_scenario(), backend=name)
+
+    def test_unavailable_backend_never_executes(self):
+        # A registered-but-unavailable backend must be refused up front, not
+        # probed by running it (a working run() would execute twice).
+        @register_backend("embargoed")
+        class EmbargoedBackend(NegotiationEngine):
+            available = False
+            calls = 0
+
+            def run(self, scenario, config):  # pragma: no cover - must not run
+                EmbargoedBackend.calls += 1
+                raise AssertionError("unavailable backend was executed")
+
+        try:
+            with pytest.raises(BackendUnavailableError, match="not available"):
+                run(small_scenario(), backend="embargoed")
+            assert EmbargoedBackend.calls == 0
+        finally:
+            unregister_backend("embargoed")
+
+    def test_custom_backend_registration_roundtrip(self):
+        @register_backend("echo")
+        class EchoBackend(NegotiationEngine):
+            def run(self, scenario, config):
+                return NegotiationSession(scenario, **config.session_kwargs()).run()
+
+        try:
+            result = run(small_scenario(), backend="echo", seed=0)
+            assert result.metadata["backend"] == "echo"
+        finally:
+            unregister_backend("echo")
+        with pytest.raises(UnknownBackendError):
+            get_backend("echo")
+
+
+class TestAutoSelection:
+    def test_qualifying_scenario_selects_vectorized(self):
+        result = run(small_scenario(), seed=0)
+        assert result.metadata["backend"] == "vectorized"
+
+    def test_offer_method_qualifies(self):
+        result = run(small_scenario(method=OfferMethod()), seed=0)
+        assert result.metadata["backend"] == "vectorized"
+
+    def test_request_for_bids_qualifies(self):
+        result = run(small_scenario(method=RequestForBidsMethod()), seed=0)
+        assert result.metadata["backend"] == "vectorized"
+
+    def test_full_agent_society_falls_back_to_object(self):
+        result = run(
+            small_scenario(), config=EngineConfig(include_producer=True), seed=0
+        )
+        assert result.metadata["backend"] == "object"
+
+    def test_heterogeneous_grids_fall_back_to_object(self):
+        result = run(heterogeneous_scenario(), seed=0)
+        assert result.metadata["backend"] == "object"
+
+    def test_custom_bidding_policy_falls_back_to_object(self):
+        class TimidBidding(CustomerBiddingPolicy):
+            def choose_cutdown(self, table, requirements, previous_bid=None):
+                return 0.0
+
+        method = RewardTablesMethod(
+            max_reward=40.0,
+            beta_controller=ConstantBeta(2.0),
+            bidding_policy=TimidBidding(),
+        )
+        engine, rejections = select_backend(
+            small_scenario(method=method), EngineConfig()
+        )
+        assert engine.name == "object"
+        assert "TimidBidding" in rejections["vectorized"]
+
+    def test_stock_policy_subclass_falls_back_to_object(self):
+        # FastSession dispatches its batched kernels on the *exact* policy
+        # type; a subclass (which may depend on bid history the fast path's
+        # scalar fallback does not thread through) must not auto-qualify.
+        from repro.negotiation.strategy import HighestAcceptableCutdownBidding
+
+        class StickyBidding(HighestAcceptableCutdownBidding):
+            def choose_cutdown(self, table, requirements, previous_bid=None):
+                if previous_bid is not None:
+                    return previous_bid
+                return super().choose_cutdown(table, requirements, previous_bid)
+
+        method = RewardTablesMethod(
+            max_reward=40.0,
+            beta_controller=ConstantBeta(2.0),
+            bidding_policy=StickyBidding(),
+        )
+        engine, rejections = select_backend(
+            small_scenario(method=method), EngineConfig()
+        )
+        assert engine.name == "object"
+        assert "StickyBidding" in rejections["vectorized"]
+
+    def test_select_backend_reports_skipped_slots(self):
+        engine, rejections = select_backend(small_scenario(), EngineConfig())
+        assert engine.name == "vectorized"
+        assert rejections["sharded"] == "not implemented yet"
+        assert rejections["async"] == "not implemented yet"
+
+
+class TestRunConfig:
+    def test_kwarg_overrides_replace_config_fields(self):
+        config = EngineConfig(seed=1, check_protocol=False)
+        result = run(small_scenario(), config=config, seed=7)
+        assert result.metadata["backend"] == "vectorized"
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            run(small_scenario(), retain_msg_log=False)
+
+    def test_explicit_vectorized_with_producer_config_rejected(self):
+        with pytest.raises(BackendUnsupportedError, match="object path"):
+            run(
+                small_scenario(),
+                backend="vectorized",
+                config=EngineConfig(include_producer=True),
+            )
+
+    def test_session_kwargs_match_session_signatures(self):
+        config = EngineConfig(seed=3, max_simulation_rounds=77, check_protocol=False)
+        session = NegotiationSession(paper_prototype_scenario(), **config.session_kwargs())
+        assert session.seed == 3
+        assert session.max_simulation_rounds == 77
+        assert session.check_protocol is False
+        fast = FastSession(paper_prototype_scenario(), **config.fast_session_kwargs())
+        assert fast.seed == 3
+        assert fast.max_simulation_rounds == 77
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_simulation_rounds=0)
+
+
+class TestDeprecationShims:
+    def _reset(self):
+        repro.core._DEPRECATION_WARNED.clear()
+
+    def test_shim_warns_exactly_once(self):
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.core.NegotiationSession(paper_prototype_scenario(), seed=0)
+            repro.core.NegotiationSession(paper_prototype_scenario(), seed=0)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "repro.api.run" in str(deprecations[0].message)
+
+    def test_fast_session_shim_warns_exactly_once(self):
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.core.FastSession(paper_prototype_scenario(), seed=0)
+            repro.core.FastSession(paper_prototype_scenario(), seed=0)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+    def test_shims_still_run_and_subclass_the_real_sessions(self):
+        self._reset()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session = repro.core.NegotiationSession(paper_prototype_scenario(), seed=0)
+        assert isinstance(session, NegotiationSession)
+        assert session.run().rounds == 3
+
+    def test_home_module_classes_do_not_warn(self):
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            NegotiationSession(paper_prototype_scenario(), seed=0)
+            FastSession(paper_prototype_scenario(), seed=0)
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestScenarioBuilder:
+    def test_synthetic_round_trip_matches_manual_construction(self):
+        built = scenario().households(12).seed(3).build()
+        manual = synthetic_scenario(num_households=12, seed=3)
+        assert built.name == manual.name
+        assert built.population.customer_ids == manual.population.customer_ids
+        assert built.population.normal_use == manual.population.normal_use
+        assert [s.predicted_use for s in built.population.specs] == [
+            s.predicted_use for s in manual.population.specs
+        ]
+        assert [s.requirements for s in built.population.specs] == [
+            s.requirements for s in manual.population.specs
+        ]
+        assert_equivalent(run(manual, backend="object", seed=0), run(built, seed=0))
+
+    def test_beta_and_max_reward_flow_into_the_method(self):
+        built = scenario().households(10).beta(3.0).max_reward(80.0).build()
+        manual = synthetic_scenario(num_households=10, beta=3.0, max_reward=80.0)
+        assert built.method.name == manual.method.name
+        assert built.method.max_reward == manual.method.max_reward == 80.0
+        assert_equivalent(run(manual, seed=0), run(built, seed=0))
+
+    def test_paper_round_trip(self):
+        built = scenario().paper_prototype().beta(1.5).build()
+        manual = paper_prototype_scenario(beta=1.5)
+        assert_equivalent(run(manual, seed=0), run(built, seed=0))
+
+    def test_method_names_resolve(self):
+        assert isinstance(
+            scenario().households(5).method("offer").build().method, OfferMethod
+        )
+        assert isinstance(
+            scenario().households(5).method("request_for_bids").build().method,
+            RequestForBidsMethod,
+        )
+        custom = OfferMethod(x_max=0.9)
+        assert scenario().households(5).method(custom).build().method is custom
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            scenario().method("bribery")
+        with pytest.raises(TypeError):
+            scenario().method(42)
+        with pytest.raises(ValueError, match="reward-tables"):
+            scenario().households(5).method("offer").beta(2.0).build()
+        with pytest.raises(ValueError, match="fixed population"):
+            scenario().households(10).paper_prototype().build()
+        # Explicit method *instances* must be rejected in paper mode too,
+        # never silently replaced by the calibrated reward-tables method.
+        with pytest.raises(ValueError, match="calibrated"):
+            scenario().paper_prototype().method(OfferMethod(x_max=0.9)).build()
+        with pytest.raises(ValueError, match="calibrated"):
+            scenario().paper_prototype().method("offer").build()
+        with pytest.raises(ValueError, match="paper-scenario parameter"):
+            scenario().households(5).max_allowed_overuse(3.0).build()
+
+    def test_builder_run_shortcut(self):
+        result = scenario().households(6).run(seed=0)
+        assert result.metadata["backend"] == "vectorized"
+        assert result.rounds >= 1
+
+
+def _method_variants() -> list:
+    return [
+        pytest.param(lambda: None, id="reward_tables"),
+        pytest.param(lambda: OfferMethod(), id="offer"),
+        pytest.param(lambda: RequestForBidsMethod(), id="request_for_bids"),
+    ]
+
+
+class TestAutoEquivalence:
+    """Acceptance criterion: auto is bit-identical to each explicit backend."""
+
+    @pytest.mark.parametrize("make_method", _method_variants())
+    def test_auto_matches_explicit_backends(self, make_method):
+        def make():
+            return synthetic_scenario(num_households=10, seed=1, method=make_method())
+
+        auto = run(make(), seed=0)
+        vectorized = run(make(), backend="vectorized", seed=0)
+        objectpath = run(make(), backend="object", seed=0)
+        assert auto.metadata["backend"] == "vectorized"
+        assert_equivalent(objectpath, auto)
+        assert_equivalent(objectpath, vectorized)
+
+    @pytest.mark.tier2
+    @pytest.mark.parametrize("num_households", [40, 120])
+    @pytest.mark.parametrize("seed", [0, 11])
+    @pytest.mark.parametrize("make_method", _method_variants())
+    def test_auto_matches_explicit_backends_matrix(
+        self, num_households, seed, make_method
+    ):
+        def make():
+            return synthetic_scenario(
+                num_households=num_households, seed=seed, method=make_method()
+            )
+
+        auto = run(make(), seed=seed)
+        vectorized = run(make(), backend="vectorized", seed=seed)
+        objectpath = run(make(), backend="object", seed=seed)
+        assert auto.metadata["backend"] == "vectorized"
+        assert_equivalent(objectpath, auto)
+        assert_equivalent(objectpath, vectorized)

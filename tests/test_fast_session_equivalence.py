@@ -19,6 +19,7 @@ from repro.agents.vectorized import VectorizedPopulation
 from repro.core.fast_session import FastSession
 from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario
 from repro.core.session import NegotiationSession
+from repro.negotiation.methods.offer import OfferMethod
 from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
 from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
@@ -140,6 +141,93 @@ class TestRequestForBidsEquivalence:
 
         _, slow_result, _, fast_result = run_both(make)
         assert_equivalent(slow_result, fast_result)
+
+
+class TestOfferMethodEquivalence:
+    """The batched yes/no kernel must reproduce OfferMethod.respond exactly."""
+
+    @pytest.mark.parametrize("num_households", [5, 20])
+    @pytest.mark.parametrize("x_max", [0.6, 0.8, 0.95])
+    def test_synthetic_population(self, num_households, x_max):
+        def make():
+            return synthetic_scenario(
+                num_households=num_households, seed=2, method=OfferMethod(x_max=x_max)
+            )
+
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+
+    def test_heterogeneous_grids_fall_back_and_match(self):
+        coarse = CutdownRewardRequirements(
+            requirements={0.0: 0.0, 0.25: 3.0, 0.5: 30.0},
+            max_feasible_cutdown=0.5,
+        )
+        fine = CutdownRewardRequirements.paper_figure_8_customer()
+
+        def make():
+            population = CustomerPopulation.calibrated(
+                predicted_uses=[12.0, 9.0, 14.0, 11.0],
+                requirements=[coarse, fine, coarse, fine],
+                normal_use=30.0,
+                max_allowed_overuse=2.0,
+            )
+            return Scenario(
+                name="hetero_offer", population=population, method=OfferMethod()
+            )
+
+        fast = FastSession(make(), seed=0)
+        fast.build()
+        assert not fast.population.is_vectorizable
+        _, slow_result, _, fast_result = run_both(make)
+        assert_equivalent(slow_result, fast_result)
+
+    def test_offer_kernel_matches_scalar_decisions(self):
+        scenario = synthetic_scenario(
+            num_households=30, seed=5, method=OfferMethod(x_max=0.7)
+        )
+        method = scenario.method
+        population = VectorizedPopulation.from_population(scenario.population)
+        announcement = method.initial_announcement(
+            scenario.population.utility_context()
+        )
+        batched = population.offer_acceptances(announcement, method.peak_hours)
+        scalar = [
+            method._deal_is_worthwhile(announcement, context)
+            for context in scenario.population.customer_contexts()
+        ]
+        assert batched.tolist() == scalar
+
+
+class TestSessionContracts:
+    """build() idempotency and the no-bare-assert error contract."""
+
+    def test_fast_session_build_is_idempotent(self):
+        session = FastSession(paper_prototype_scenario(), seed=0)
+        first = session.build()
+        assert session.build() is first
+        result = session.run()
+        assert session.population is first
+        assert result.rounds == 3
+
+    def test_fast_session_refuses_second_run(self):
+        # build() idempotency means a second run() would replay rounds into
+        # the same record; it must refuse, like the object path's simulation.
+        session = FastSession(paper_prototype_scenario(), seed=0)
+        session.run()
+        with pytest.raises(RuntimeError, match="already ran"):
+            session.run()
+
+    def test_object_session_build_is_idempotent(self):
+        session = NegotiationSession(paper_prototype_scenario(), seed=0)
+        first = session.build()
+        assert session.build() is first
+
+    def test_object_session_run_without_utility_agent_raises(self):
+        session = NegotiationSession(paper_prototype_scenario(), seed=0)
+        session.build()
+        session.utility_agent = None
+        with pytest.raises(RuntimeError, match="Utility Agent"):
+            session.run()
 
 
 class TestVectorizedKernels:

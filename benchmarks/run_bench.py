@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Standalone perf-bench entry point for the E9 scalability sweep.
 
-Runs the extended fast-path sweep (10 -> 10,000 households by default) plus
+Runs the extended fast-path sweep (10 -> 10,000 households by default), the
+sharded-runtime sweep (5,000 -> 50,000 households, one worker per core) and
 the object-path reference sweep, writes the plain-text report to
 ``benchmarks/reports/E9_scalability_fast.txt`` and the machine-readable perf
 trajectory to ``benchmarks/BENCH_scalability.json``.
@@ -10,14 +11,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --sizes 10 100 1000 --seed 3
-    PYTHONPATH=src python benchmarks/run_bench.py --skip-object-path
+    PYTHONPATH=src python benchmarks/run_bench.py --shards 8 --sharded-sizes 10000 50000
+    PYTHONPATH=src python benchmarks/run_bench.py --skip-object-path --skip-sharded
     PYTHONPATH=src python benchmarks/run_bench.py --check
 
 The JSON artefact is what CI and future scaling PRs diff against; the text
-report is for humans.  ``--check`` runs a fresh fast-path sweep over the
-committed baseline's sizes and exits non-zero when the negotiation behaviour
-drifts (rounds/messages/peak reduction are deterministic and must match
-exactly) or the wall-clock regresses beyond per-size tolerances.
+report is for humans.  ``--check`` replays the committed baseline's fast-path
+and sharded sweeps and exits non-zero when the negotiation behaviour drifts
+(rounds/messages/peak reduction are deterministic and must match exactly
+across backends — the sharded runtime is bit-identical to the fast path by
+contract) or the wall-clock regresses beyond per-size tolerances.
 """
 
 from __future__ import annotations
@@ -32,8 +35,10 @@ REPO_ROOT = BENCH_DIR.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.agents.sharded import default_shard_count  # noqa: E402  (path setup)
 from repro.experiments.scalability import (  # noqa: E402  (path setup above)
     FAST_PATH_SIZES,
+    SHARDED_SIZES,
     run_scalability,
     write_benchmark_json,
 )
@@ -62,27 +67,14 @@ def wall_tolerance_for(size: int) -> float:
     return WALL_TOLERANCE_BANDS[-1][1]  # pragma: no cover - bands end at inf
 
 
-def check_against_baseline(baseline_path: Path) -> int:
-    """Compare a fresh fast-path sweep against the committed trajectory.
-
-    Returns 0 when behaviour matches and wall-clock stays within tolerance,
-    1 on any regression, 2 when the baseline artefact is missing/unreadable.
-    """
-    try:
-        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
-        baseline = payload["fast_path"]
-        baseline_entries = {
-            int(entry["num_households"]): entry for entry in baseline["entries"]
-        }
-        seed = int(payload.get("seed", 0))
-    except (OSError, KeyError, ValueError, TypeError) as error:
-        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
-        return 2
-    sizes = tuple(sorted(baseline_entries))
-    print(f"perf check against {baseline_path} (sizes={list(sizes)} seed={seed})")
-    fresh = run_scalability(sizes=sizes, seed=seed, fast=True)
-    failures: list[str] = []
-    for entry in fresh.entries:
+def _check_sweep(
+    label: str,
+    baseline_entries: dict[int, dict],
+    fresh_entries: list,
+    failures: list[str],
+) -> None:
+    """Behaviour must match the baseline exactly; wall-clock within bands."""
+    for entry in fresh_entries:
         size = entry.num_households
         row = entry.as_row()
         base = baseline_entries[size]
@@ -90,11 +82,11 @@ def check_against_baseline(baseline_path: Path) -> int:
         for key in ("rounds", "messages"):
             if row[key] != base[key]:
                 failures.append(
-                    f"size {size}: {key} changed {base[key]} -> {row[key]}"
+                    f"{label} size {size}: {key} changed {base[key]} -> {row[key]}"
                 )
         if abs(row["peak_reduction_fraction"] - base["peak_reduction_fraction"]) > 1e-9:
             failures.append(
-                f"size {size}: peak_reduction_fraction changed "
+                f"{label} size {size}: peak_reduction_fraction changed "
                 f"{base['peak_reduction_fraction']} -> {row['peak_reduction_fraction']}"
             )
         # Wall-clock gets a per-size tolerance band plus an absolute floor.
@@ -105,16 +97,71 @@ def check_against_baseline(baseline_path: Path) -> int:
         status = "ok"
         if row["wall_seconds"] > allowed:
             failures.append(
-                f"size {size}: wall_seconds {row['wall_seconds']:.4f} exceeds "
-                f"{allowed:.4f} (baseline {base['wall_seconds']:.4f} x "
+                f"{label} size {size}: wall_seconds {row['wall_seconds']:.4f} "
+                f"exceeds {allowed:.4f} (baseline {base['wall_seconds']:.4f} x "
                 f"{wall_tolerance_for(size):.1f})"
             )
             status = "REGRESSION"
         print(
-            f"  size {size:>6}: wall {row['wall_seconds']:.4f}s "
+            f"  [{label}] size {size:>6}: wall {row['wall_seconds']:.4f}s "
             f"(baseline {base['wall_seconds']:.4f}s, allowed {allowed:.4f}s) "
             f"rounds {row['rounds']} messages {row['messages']} [{status}]"
         )
+
+
+def check_against_baseline(baseline_path: Path) -> int:
+    """Compare fresh sweeps against the committed trajectory.
+
+    Replays the fast-path sweep and, when the baseline carries one, the
+    sharded sweep (at the baseline's shard count).  Returns 0 when behaviour
+    matches and wall-clock stays within tolerance, 1 on any regression, 2
+    when the baseline artefact is missing/unreadable.
+    """
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        baseline = payload["fast_path"]
+        baseline_entries = {
+            int(entry["num_households"]): entry for entry in baseline["entries"]
+        }
+        seed = int(payload.get("seed", 0))
+        sharded_baseline = payload.get("sharded_path")
+        if sharded_baseline is not None:
+            sharded_entries = {
+                int(entry["num_households"]): entry
+                for entry in sharded_baseline["entries"]
+            }
+            shards = int(sharded_baseline.get("shards") or default_shard_count())
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return 2
+    sizes = tuple(sorted(baseline_entries))
+    print(f"perf check against {baseline_path} (sizes={list(sizes)} seed={seed})")
+    fresh = run_scalability(sizes=sizes, seed=seed, fast=True)
+    failures: list[str] = []
+    _check_sweep("fast", baseline_entries, fresh.entries, failures)
+
+    if sharded_baseline is not None:
+        sharded_sizes = tuple(sorted(sharded_entries))
+        print(f"sharded check (sizes={list(sharded_sizes)} shards={shards})")
+        fresh_sharded = run_scalability(
+            sizes=sharded_sizes, seed=seed, backend="sharded", shards=shards
+        )
+        _check_sweep("sharded", sharded_entries, fresh_sharded.entries, failures)
+        # Cross-backend equivalence: at sizes both sweeps cover, the sharded
+        # runtime must reproduce the fast path's behaviour bit for bit.
+        fast_fresh = {e.num_households: e.as_row() for e in fresh.entries}
+        for entry in fresh_sharded.entries:
+            row = entry.as_row()
+            fast_row = fast_fresh.get(entry.num_households)
+            if fast_row is None:
+                continue
+            for key in ("rounds", "messages", "peak_reduction_fraction"):
+                if row[key] != fast_row[key]:
+                    failures.append(
+                        f"sharded size {entry.num_households}: {key} diverges "
+                        f"from the fast path ({fast_row[key]} -> {row[key]})"
+                    )
+
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
         for failure in failures:
@@ -134,10 +181,22 @@ def main(argv: list[str] | None = None) -> int:
         "--object-sizes", type=int, nargs="+", default=list(OBJECT_PATH_SIZES),
         help="object-path reference sizes (kept small on purpose)",
     )
+    parser.add_argument(
+        "--sharded-sizes", type=int, nargs="+", default=list(SHARDED_SIZES),
+        help="sharded-runtime population sizes to sweep",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="worker count for the sharded sweep (default: one per core, min 2)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--skip-object-path", action="store_true",
-        help="only run the fast path (no reference sweep, no speedup entry)",
+        help="skip the object-path reference sweep (no speedup entry)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the sharded-runtime sweep",
     )
     parser.add_argument(
         "--json", type=Path, default=BENCH_DIR / "BENCH_scalability.json",
@@ -156,21 +215,42 @@ def main(argv: list[str] | None = None) -> int:
         if (
             arguments.sizes != list(FAST_PATH_SIZES)
             or arguments.object_sizes != list(OBJECT_PATH_SIZES)
+            or arguments.sharded_sizes != list(SHARDED_SIZES)
+            or arguments.shards is not None
             or arguments.seed != 0
             or arguments.skip_object_path
+            or arguments.skip_sharded
         ):
             parser.error(
-                "--check replays the committed baseline's sizes and seed; it "
-                "cannot be combined with --sizes/--object-sizes/--seed/"
-                "--skip-object-path"
+                "--check replays the committed baseline's sizes, shards and "
+                "seed; it cannot be combined with --sizes/--object-sizes/"
+                "--sharded-sizes/--shards/--seed/--skip-object-path/"
+                "--skip-sharded"
             )
         return check_against_baseline(arguments.json)
+
+    shards = (
+        arguments.shards
+        if arguments.shards is not None
+        else max(2, default_shard_count())
+    )
 
     print(f"fast-path sweep: sizes={arguments.sizes} seed={arguments.seed}")
     fast_result = run_scalability(
         sizes=tuple(arguments.sizes), seed=arguments.seed, fast=True
     )
     print(fast_result.render())
+
+    sharded_result = None
+    if not arguments.skip_sharded:
+        print(
+            f"sharded sweep: sizes={arguments.sharded_sizes} shards={shards}"
+        )
+        sharded_result = run_scalability(
+            sizes=tuple(arguments.sharded_sizes), seed=arguments.seed,
+            backend="sharded", shards=shards,
+        )
+        print(sharded_result.render())
 
     object_result = None
     if not arguments.skip_object_path:
@@ -184,11 +264,14 @@ def main(argv: list[str] | None = None) -> int:
     report_dir.mkdir(exist_ok=True)
     report_path = report_dir / "E9_scalability_fast.txt"
     report = fast_result.render()
+    if sharded_result is not None:
+        report += "\n\n" + sharded_result.render()
     if object_result is not None:
         report += "\n\n" + object_result.render()
     report_path.write_text(report + "\n", encoding="utf-8")
     json_path = write_benchmark_json(
-        arguments.json, fast_result, object_result, seed=arguments.seed
+        arguments.json, fast_result, object_result, seed=arguments.seed,
+        sharded_result=sharded_result,
     )
     print(f"wrote {report_path}")
     print(f"wrote {json_path}")

@@ -1,0 +1,104 @@
+"""Benchmark — multi-week load-management campaigns at town scale.
+
+The ROADMAP's "multi-negotiation campaigns at scale" item: run the full
+observe → predict → negotiate → apply → account loop
+(:class:`~repro.core.planning.MultiDayCampaign`) over a multi-week horizon on
+a 10,000-household population with ``backend="auto"``, so every planned day
+that qualifies rides the batched fast path (vectorized, or sharded once the
+population crosses the shard threshold on a multi-core host).
+
+The 10k multi-week run is tier-2 (minutes of wall-clock, dominated by the
+per-household preference modelling in the planning layer, not by the
+negotiations themselves); a 1,000-household week runs in tier-1 as a
+``perf_smoke`` guard with a generous budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.planning import DayAheadPlanner, MultiDayCampaign
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.weather import WeatherCondition
+from repro.runtime.rng import RandomSource
+
+#: One cold snap per three-day cycle keeps a steady stream of negotiated days.
+CONDITION_CYCLE = (
+    WeatherCondition.MILD,
+    WeatherCondition.SEVERE_COLD,
+    WeatherCondition.COLD,
+)
+
+
+def build_campaign(num_households: int, seed: int = 7) -> MultiDayCampaign:
+    random = RandomSource(seed, "campaign_scale")
+    households = [
+        Household.generate(f"h{i}", random.spawn(f"h{i}"))
+        for i in range(num_households)
+    ]
+    demand_model = DemandModel(households, random.spawn("demand"))
+    capacity = demand_model.normal_capacity_for_target(quantile=0.8)
+    planner = DayAheadPlanner(households, capacity, random=random.spawn("planner"))
+    return MultiDayCampaign(planner, warmup_days=2, seed=seed, backend="auto")
+
+
+def assert_campaign_rides_the_fast_path(result) -> None:
+    """Every negotiated day must have run through a batched backend."""
+    negotiated = [day for day in result.days if day.negotiated]
+    assert negotiated, "the cold-snap cycle should force at least one negotiation"
+    for day in negotiated:
+        backend = day.outcome.negotiation.metadata["backend"]
+        assert backend in ("vectorized", "sharded"), (
+            f"day {day.day_index} fell back to {backend!r}"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_campaign_week_300_households_within_budget():
+    """Tier-1 guard: a 300-household week (plan + negotiate + account every
+    day) stays under a generous budget and rides the batched backends.  The
+    run takes ~5 s — dominated by the planning layer — and the budget leaves
+    an order of magnitude of headroom for slow CI machines."""
+    campaign = build_campaign(300)
+    start = time.perf_counter()
+    result = campaign.run(num_days=6, conditions=CONDITION_CYCLE)
+    elapsed = time.perf_counter() - start
+    assert result.num_days == 6
+    assert_campaign_rides_the_fast_path(result)
+    assert result.total_reward_paid >= 0
+    assert elapsed < 60.0, f"300-household week took {elapsed:.1f}s"
+
+
+@pytest.mark.tier2
+def test_campaign_multiweek_10k_households(write_report):
+    """The ROADMAP's 10k-household multi-week campaign benchmark: two weeks of
+    day-ahead planning over 10,000 households with ``backend="auto"``."""
+    campaign = build_campaign(10_000)
+    start = time.perf_counter()
+    result = campaign.run(num_days=14, conditions=CONDITION_CYCLE)
+    elapsed = time.perf_counter() - start
+    assert result.num_days == 14
+    assert_campaign_rides_the_fast_path(result)
+    # The pipeline stays economically sane at scale: rewards are paid on
+    # negotiated days and the utility never pays without negotiating.
+    assert result.days_negotiated >= 4
+    assert result.total_reward_paid > 0
+    lines = [
+        "campaign — 10k households, 14 days (backend=auto)",
+        f"wall_seconds: {elapsed:.2f}",
+        f"days_negotiated: {result.days_negotiated}",
+        f"total_reward_paid: {result.total_reward_paid:.2f}",
+        f"total_net_benefit: {result.total_net_benefit:.2f}",
+    ]
+    for day in result.days:
+        row = day.as_row()
+        backend = (
+            day.outcome.negotiation.metadata["backend"]
+            if day.outcome is not None and day.outcome.negotiation is not None
+            else "-"
+        )
+        lines.append(f"  day {row['day']:>2}: negotiated={row['negotiated']} backend={backend}")
+    write_report("campaign_scale_10k", "\n".join(lines))

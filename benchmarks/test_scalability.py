@@ -43,6 +43,29 @@ def test_fast_scalability_sweep(write_report, tmp_path):
     write_report("E9_scalability_fast_ci", result.render())
 
 
+def test_sharded_scalability_sweep(write_report, tmp_path):
+    """The sharded runtime sweeps the same trajectory as the fast path and
+    the JSON artefact records its shard count and the speedup entry."""
+    fast = run_scalability(sizes=(50, 200), seed=0, fast=True)
+    sharded = run_scalability(sizes=(50, 200), seed=0, backend="sharded", shards=2)
+    assert sharded.path_label == "sharded"
+    assert sharded.shards == 2
+    # Bit-identical negotiation behaviour at every shared size.
+    for fast_row, sharded_row in zip(fast.rows(), sharded.rows()):
+        assert sharded_row["rounds"] == fast_row["rounds"]
+        assert sharded_row["messages"] == fast_row["messages"]
+        assert sharded_row["peak_reduction_fraction"] == fast_row["peak_reduction_fraction"]
+    payload_path = write_benchmark_json(
+        tmp_path / "bench.json", fast, seed=0, sharded_result=sharded
+    )
+    import json
+
+    payload = json.loads(payload_path.read_text(encoding="utf-8"))
+    assert payload["sharded_path"]["shards"] == 2
+    assert payload["sharded_speedup_at_shared_max"]["num_households"] == 200
+    write_report("E9_scalability_sharded_ci", sharded.render())
+
+
 @pytest.mark.perf_smoke
 def test_fast_path_200_households_within_budget():
     """Tier-1 perf guard: the 200-household fast-path negotiation must stay

@@ -19,7 +19,12 @@
 * :mod:`repro.agents.vectorized` — :class:`VectorizedPopulation`: all
   customer state in numpy arrays, batched bid decisions for the negotiation
   fast path.
+* :mod:`repro.agents.sharded` — :class:`ShardedPopulation`: contiguous
+  zero-copy shards of a vectorized population whose per-round kernels fan
+  out to a worker pool (the sharded runtime's data plane).
 """
+
+from repro.agents.sharded import ShardedPopulation
 
 from repro.agents.base import AgentBase
 from repro.agents.customer_agent import CustomerAgent
@@ -47,6 +52,7 @@ __all__ = [
     "PopulationConfig",
     "ProducerAgent",
     "ResourceConsumerAgent",
+    "ShardedPopulation",
     "UtilityAgent",
     "VectorizedPopulation",
     "build_customer_agent_model",

@@ -1,0 +1,254 @@
+"""Sharded customer population — parallel slices of the vectorized data plane.
+
+:class:`~repro.agents.vectorized.VectorizedPopulation` already evaluates every
+customer's bid decision for a round in one batched numpy call, but a single
+process rides that call on one core.  The population arrays partition
+trivially by index range, so :class:`ShardedPopulation` splits them into K
+contiguous shards — each a zero-copy row view of the parent — and fans every
+per-round kernel out to a :mod:`concurrent.futures` pool, concatenating the
+shard results back into population order.
+
+**Bit-identity.**  Every kernel is per-customer (each output row depends only
+on that customer's row and the announced table), so partitioning by index
+range and concatenating in shard order reproduces the unsharded arrays bit
+for bit; no floating-point reassociation happens across shard boundaries.
+The *aggregates* a Utility Agent derives from the shard results (the global
+overuse estimate above all) are reduced by the very same Section 6 code path
+the scalar and vectorized sessions use, which is what keeps the sharded
+runtime in the fast path's equivalence contract.  Shard-local partial sums
+(:meth:`shard_use_partials`) are exposed for between-round reconciliation
+diagnostics; they use exactly-rounded summation so the reconciled estimate
+can be asserted against the authoritative one.
+
+Threads, not processes: the kernels are numpy-bound and release the GIL, so a
+thread pool gets the cores without pickling 50k-household arrays per round.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.vectorized import VectorizedPopulation
+from repro.negotiation.reward_table import RewardTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.negotiation.messages import OfferAnnouncement
+
+
+def default_shard_count() -> int:
+    """The shard count used when none is configured: one shard per core."""
+    return os.cpu_count() or 1
+
+
+def partition_bounds(num_customers: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal index ranges covering ``[0, num_customers)``.
+
+    The first ``num_customers % num_shards`` shards get one extra customer, so
+    shard sizes differ by at most one.  More shards than customers collapses
+    to one customer per shard.
+    """
+    if num_customers < 1:
+        raise ValueError("cannot partition an empty population")
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    num_shards = min(num_shards, num_customers)
+    base, extra = divmod(num_customers, num_shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class ShardedPopulation:
+    """K contiguous shards of one :class:`VectorizedPopulation`, kernels fanned out.
+
+    Duck-types the population API the fast session drives (attribute views
+    plus the per-round kernels), so :class:`~repro.core.sharded_session.
+    ShardedSession` is a drop-in over it.  Without an attached executor the
+    shards run serially — same results, useful for tests and one-core hosts.
+
+    Parameters
+    ----------
+    population:
+        The packed global population (shards are row views into it).
+    num_shards:
+        Requested shard count; clamped to the population size.
+    executor:
+        Optional :class:`concurrent.futures.Executor` running the shard
+        kernels; attach one later with :meth:`attach_executor`.
+    """
+
+    def __init__(
+        self,
+        population: VectorizedPopulation,
+        num_shards: int,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.population = population
+        self.bounds = partition_bounds(len(population), num_shards)
+        self.shards = [population.slice(start, stop) for start, stop in self.bounds]
+        self._executor = executor
+
+    @classmethod
+    def from_population(
+        cls, population, num_shards: int, executor: Optional[Executor] = None
+    ) -> "ShardedPopulation":
+        """Pack a :class:`~repro.agents.population.CustomerPopulation` and shard it."""
+        return cls(
+            VectorizedPopulation.from_population(population), num_shards, executor
+        )
+
+    def attach_executor(self, executor: Optional[Executor]) -> None:
+        """Set (or clear, with ``None``) the pool running the shard kernels."""
+        self._executor = executor
+
+    # -- delegated views ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.population)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def customer_ids(self) -> list[str]:
+        return self.population.customer_ids
+
+    @property
+    def predicted_uses(self) -> np.ndarray:
+        return self.population.predicted_uses
+
+    @property
+    def allowed_uses(self) -> np.ndarray:
+        return self.population.allowed_uses
+
+    @property
+    def requirements(self) -> list:
+        return self.population.requirements
+
+    @property
+    def max_feasible_cutdowns(self) -> np.ndarray:
+        return self.population.max_feasible_cutdowns
+
+    @property
+    def is_vectorizable(self) -> bool:
+        return self.population.is_vectorizable
+
+    def kernel_cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters summed over all shard-local kernel caches."""
+        totals = {"hits": 0, "misses": 0}
+        for shard in self.shards:
+            stats = shard.kernel_cache_stats()
+            totals["hits"] += stats["hits"]
+            totals["misses"] += stats["misses"]
+        return totals
+
+    # -- fan-out machinery -------------------------------------------------------
+
+    def map_shards(
+        self, kernel: Callable[[VectorizedPopulation, int, int], object]
+    ) -> list:
+        """Run ``kernel(shard, start, stop)`` on every shard, in shard order.
+
+        With an attached executor the shards run concurrently (futures are
+        collected in submission order, so results always come back in
+        population order); otherwise serially.
+        """
+        if self._executor is None or len(self.shards) == 1:
+            return [
+                kernel(shard, start, stop)
+                for shard, (start, stop) in zip(self.shards, self.bounds)
+            ]
+        futures = [
+            self._executor.submit(kernel, shard, start, stop)
+            for shard, (start, stop) in zip(self.shards, self.bounds)
+        ]
+        return [future.result() for future in futures]
+
+    def _concat(self, parts: Sequence[np.ndarray]) -> np.ndarray:
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # -- per-round kernels (fanned out) -------------------------------------------
+
+    def highest_acceptable_cutdowns(self, table: RewardTable) -> np.ndarray:
+        return self._concat(
+            self.map_shards(lambda shard, a, b: shard.highest_acceptable_cutdowns(table))
+        )
+
+    def expected_gain_cutdowns(self, table: RewardTable) -> np.ndarray:
+        return self._concat(
+            self.map_shards(lambda shard, a, b: shard.expected_gain_cutdowns(table))
+        )
+
+    def interpolated_requirements(self, cutdowns: np.ndarray) -> np.ndarray:
+        queries = np.asarray(cutdowns, dtype=float)
+        return self._concat(
+            self.map_shards(
+                lambda shard, a, b: shard.interpolated_requirements(queries[a:b])
+            )
+        )
+
+    def step_quantity_bids(
+        self,
+        current_needs: np.ndarray,
+        step_fraction: float,
+        peak_hours: float,
+        normal_price: float,
+    ) -> np.ndarray:
+        needs = np.asarray(current_needs, dtype=float)
+        return self._concat(
+            self.map_shards(
+                lambda shard, a, b: shard.step_quantity_bids(
+                    needs[a:b], step_fraction, peak_hours, normal_price
+                )
+            )
+        )
+
+    def offer_acceptances(
+        self, announcement: "OfferAnnouncement", peak_hours: float
+    ) -> np.ndarray:
+        return self._concat(
+            self.map_shards(
+                lambda shard, a, b: shard.offer_acceptances(announcement, peak_hours)
+            )
+        )
+
+    def realised_surpluses(
+        self, committed_cutdowns: np.ndarray, rewards: np.ndarray
+    ) -> np.ndarray:
+        committed = np.asarray(committed_cutdowns, dtype=float)
+        due = np.asarray(rewards, dtype=float)
+        return self._concat(
+            self.map_shards(
+                lambda shard, a, b: shard.realised_surpluses(committed[a:b], due[a:b])
+            )
+        )
+
+    # -- between-round reconciliation ----------------------------------------------
+
+    def shard_use_partials(self, cutdowns: np.ndarray) -> np.ndarray:
+        """Per-shard partial sums of ``predicted_use_with_cutdown`` (Section 6).
+
+        Each shard reduces its slice with exactly-rounded summation
+        (:func:`math.fsum`); ``fsum(partials) - normal_use`` reconciles the
+        shards into a global overuse estimate for diagnostics.  The
+        *authoritative* per-round estimate stays with the shared method
+        object's evaluation (same code path as the scalar and vectorized
+        sessions), which is what the bit-identity contract is pinned to.
+        """
+        committed = np.asarray(cutdowns, dtype=float)
+
+        def partial(shard: VectorizedPopulation, start: int, stop: int) -> float:
+            reduced = (1.0 - committed[start:stop]) * shard.allowed_uses
+            return math.fsum(np.minimum(shard.predicted_uses, reduced))
+
+        return np.array(self.map_shards(partial), dtype=float)

@@ -39,6 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agents.population import CustomerPopulation
     from repro.negotiation.messages import OfferAnnouncement
 
+#: Bound on each per-population kernel-cache kind (entries are per announced
+#: table / per query vector; a negotiation touches one table per round, so a
+#: handful of slots suffices to cover a round's kernel calls).
+KERNEL_CACHE_SIZE = 8
+
 
 def shares_requirement_grid(
     requirements: Sequence[CutdownRewardRequirements],
@@ -99,6 +104,13 @@ class VectorizedPopulation:
         self.requirement_grid: Optional[np.ndarray] = None
         self.requirement_matrix: Optional[np.ndarray] = None
         self._build_requirement_matrix()
+        self._reset_kernel_cache()
+
+    def _reset_kernel_cache(self) -> None:
+        self._required_rewards_cache: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._interpolation_cache: dict[bytes, np.ndarray] = {}
+        self.kernel_cache_hits = 0
+        self.kernel_cache_misses = 0
 
     def _build_requirement_matrix(self) -> None:
         """Pack the requirement tables into one matrix when grids are shared."""
@@ -134,6 +146,52 @@ class VectorizedPopulation:
         """Whether all customers share one requirement grid (batched kernels)."""
         return self.requirement_grid is not None
 
+    # -- sharding ---------------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "VectorizedPopulation":
+        """A shard of this population covering customers ``[start, stop)``.
+
+        The shard shares the parent's numpy arrays (row views, no copies) so a
+        :class:`~repro.agents.sharded.ShardedPopulation` over 50k households
+        costs no extra memory.  A shard inherits the parent's vectorizability:
+        a heterogeneous parent yields heterogeneous (scalar-fallback) shards
+        even when the sliced rows happen to share one grid, so every shard of
+        one population runs the same kernel flavour.  Each shard owns its own
+        kernel cache (caches are not thread-shared).
+        """
+        if not 0 <= start < stop <= len(self.customer_ids):
+            raise ValueError(
+                f"invalid shard range [{start}, {stop}) for a population of "
+                f"{len(self.customer_ids)} customers"
+            )
+        shard = object.__new__(VectorizedPopulation)
+        shard.customer_ids = self.customer_ids[start:stop]
+        shard.predicted_uses = self.predicted_uses[start:stop]
+        shard.allowed_uses = self.allowed_uses[start:stop]
+        shard.requirements = self.requirements[start:stop]
+        shard.max_feasible_cutdowns = self.max_feasible_cutdowns[start:stop]
+        shard.requirement_grid = self.requirement_grid
+        shard.requirement_matrix = (
+            None if self.requirement_matrix is None
+            else self.requirement_matrix[start:stop]
+        )
+        shard._reset_kernel_cache()
+        return shard
+
+    # -- kernel cache -----------------------------------------------------------
+
+    def kernel_cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the per-round kernel cache (observability)."""
+        return {"hits": self.kernel_cache_hits, "misses": self.kernel_cache_misses}
+
+    @staticmethod
+    def _cache_store(cache: dict, key, value):
+        """FIFO-bounded insert; returns ``value`` for call-through style."""
+        if len(cache) >= KERNEL_CACHE_SIZE:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+        return value
+
     # -- reward-table bidding (batched) ------------------------------------------
 
     def _required_rewards_for(self, table: RewardTable) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -143,7 +201,24 @@ class VectorizedPopulation:
         matrix holds ``inf`` for cut-downs a customer's requirement table does
         not cover (never acceptable, matching the scalar ``dict.get`` miss)
         and ``0`` for the zero cut-down (always acceptable).
+
+        The triplet is cached per table content (the negotiation announces one
+        table per round), so the bidding kernels, acceptance masks and any
+        re-evaluation of the same round's table share one computation.  Cached
+        arrays are frozen read-only; kernels treat them as immutable inputs.
         """
+        key = ("required", tuple(sorted(table.entries.items())))
+        cached = self._required_rewards_cache.get(key)
+        if cached is not None:
+            self.kernel_cache_hits += 1
+            return cached
+        self.kernel_cache_misses += 1
+        triplet = self._compute_required_rewards(table)
+        for array in triplet:
+            array.setflags(write=False)
+        return self._cache_store(self._required_rewards_cache, key, triplet)
+
+    def _compute_required_rewards(self, table: RewardTable) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         assert self.requirement_grid is not None and self.requirement_matrix is not None
         table_cutdowns = table.cutdowns()
         table_grid = np.asarray(table_cutdowns, dtype=float)
@@ -208,10 +283,27 @@ class VectorizedPopulation:
         extrapolation beyond the grid, proportional extrapolation below it and
         ``inf`` beyond the customer's feasible cut-down — operation-for-
         operation identical to the scalar code.
+
+        Results are cached per query vector (keyed by its bytes), so repeated
+        evaluations within a round — e.g. the request-for-bids method querying
+        an unchanged needs vector, or the surplus accounting replaying the
+        final committed cut-downs — reuse the round's computation.  Cached
+        arrays are frozen read-only.
         """
         cutdowns = np.asarray(cutdowns, dtype=float)
         if np.any((cutdowns < 0.0) | (cutdowns > 1.0)):
             raise ValueError("cut-down fractions must be in [0, 1]")
+        key = cutdowns.tobytes()
+        cached = self._interpolation_cache.get(key)
+        if cached is not None:
+            self.kernel_cache_hits += 1
+            return cached
+        self.kernel_cache_misses += 1
+        result = self._compute_interpolated_requirements(cutdowns)
+        result.setflags(write=False)
+        return self._cache_store(self._interpolation_cache, key, result)
+
+    def _compute_interpolated_requirements(self, cutdowns: np.ndarray) -> np.ndarray:
         if not self.is_vectorizable:
             return np.array(
                 [

@@ -17,8 +17,8 @@ The pieces:
 * :class:`EngineConfig` — consolidates the former kwarg sprawl (``seed``,
   ``max_simulation_rounds``, ``check_protocol``, …).
 * :class:`NegotiationEngine` / :func:`register_backend` — the backend
-  registry; ``"object"`` and ``"vectorized"`` are built in, ``"sharded"``
-  and ``"async"`` are declared slots for the ROADMAP's distributed runtimes.
+  registry; ``"object"``, ``"vectorized"`` and ``"sharded"`` are built in,
+  ``"async"`` is a declared slot for the ROADMAP's asyncio runtime.
 * :func:`scenario` / :class:`ScenarioBuilder` — fluent scenario construction.
 """
 

@@ -25,6 +25,15 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.agents.sharded import default_shard_count
+
+#: Population size from which ``backend="auto"`` starts considering the
+#: sharded runtime.  Below it the per-round fan-out overhead outweighs the
+#: parallel kernel time and the vectorized single-core path wins; at 5000
+#: households a round's kernel time is an order of magnitude above the
+#: pool's dispatch cost, so multiple workers have something real to split.
+DEFAULT_SHARD_THRESHOLD = 5000
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -50,6 +59,14 @@ class EngineConfig:
         Add the External World agent (object path only).
     with_resource_consumers:
         Attach Resource Consumer Agents to each household (object path only).
+    shards:
+        Shard/worker count for the sharded runtime.  ``None`` (default) means
+        one shard per CPU core; the effective count is clamped to the
+        population size.  Setting it to ``1`` effectively disables sharding.
+    shard_threshold:
+        Minimum population size at which ``backend="auto"`` considers the
+        sharded runtime (explicitly requesting ``backend="sharded"`` ignores
+        it).
     """
 
     seed: Optional[int] = 0
@@ -59,10 +76,16 @@ class EngineConfig:
     include_producer: bool = False
     include_external_world: bool = False
     with_resource_consumers: bool = False
+    shards: Optional[int] = None
+    shard_threshold: int = DEFAULT_SHARD_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.max_simulation_rounds <= 0:
             raise ValueError("max_simulation_rounds must be positive")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 when given")
+        if self.shard_threshold < 1:
+            raise ValueError("shard_threshold must be positive")
 
     # -- derived views -----------------------------------------------------------
 
@@ -100,3 +123,11 @@ class EngineConfig:
             "max_simulation_rounds": self.max_simulation_rounds,
             "check_protocol": self.check_protocol,
         }
+
+    def sharded_session_kwargs(self) -> dict[str, object]:
+        """Keyword arguments for :class:`~repro.core.sharded_session.ShardedSession`."""
+        return {**self.fast_session_kwargs(), "shards": self.shards}
+
+    def resolved_shards(self) -> int:
+        """The worker count the sharded runtime would use (before clamping)."""
+        return self.shards if self.shards is not None else default_shard_count()

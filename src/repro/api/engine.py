@@ -3,11 +3,12 @@
 The paper separates *what* is negotiated (scenario, reward tables, methods)
 from *how* the agent society executes it.  This module makes the "how"
 pluggable: a :class:`NegotiationEngine` wraps one execution strategy —
-today the faithful object path (:class:`~repro.core.session.NegotiationSession`)
-and the vectorized fast path (:class:`~repro.core.fast_session.FastSession`),
-tomorrow the sharded and async runtimes the ROADMAP plans — behind a common
-``run(scenario, config)`` interface, and :func:`run` dispatches to a backend
-by name.
+the faithful object path (:class:`~repro.core.session.NegotiationSession`),
+the vectorized fast path (:class:`~repro.core.fast_session.FastSession`) and
+the parallel sharded runtime (:class:`~repro.core.sharded_session.
+ShardedSession`); the async runtime the ROADMAP plans is a declared slot —
+behind a common ``run(scenario, config)`` interface, and :func:`run`
+dispatches to a backend by name.
 
 ``backend="auto"`` picks the fastest backend that *qualifies* for the
 scenario (homogeneous requirement grids, a method with batched kernels, no
@@ -37,6 +38,7 @@ from repro.core.fast_session import FastSession
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario
 from repro.core.session import NegotiationSession
+from repro.core.sharded_session import ShardedSession
 from repro.negotiation.methods.offer import OfferMethod
 from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
@@ -187,6 +189,46 @@ def _shared_requirement_grid(scenario: Scenario) -> bool:
     )
 
 
+def _no_full_society(config: EngineConfig) -> tuple[bool, str]:
+    """Hard capability check shared by every batched (non-object) backend."""
+    if config.needs_full_agent_society:
+        return False, (
+            "producer / external-world / resource-consumer agents require "
+            "the object path"
+        )
+    return True, ""
+
+
+def _fast_path_qualifies(
+    scenario: Scenario, config: EngineConfig
+) -> tuple[bool, str]:
+    """Whether the scenario rides the batched kernels end to end.
+
+    Shared by the vectorized and sharded backends so the two can never drift:
+    the sharded runtime is the vectorized data plane cut into slices, so a
+    scenario that would hit the fast path's scalar fallback disqualifies both.
+    """
+    ok, reason = _no_full_society(config)
+    if not ok:
+        return ok, reason
+    method = scenario.method
+    if isinstance(method, RewardTablesMethod):
+        # Exact-type match, mirroring FastSession's kernel dispatch: a
+        # policy *subclass* would hit the fast path's history-free scalar
+        # fallback and could diverge from the object path, so it must not
+        # qualify for automatic selection.
+        if type(method.bidding_policy) not in _VECTORIZED_POLICIES:
+            return False, (
+                f"no batched kernel for bidding policy "
+                f"{type(method.bidding_policy).__name__}"
+            )
+    elif not isinstance(method, (OfferMethod, RequestForBidsMethod)):
+        return False, f"no batched kernel for method {type(method).__name__}"
+    if not _shared_requirement_grid(scenario):
+        return False, "heterogeneous requirement grids (scalar fallback)"
+    return True, ""
+
+
 @register_backend("vectorized")
 class VectorizedBackend(NegotiationEngine):
     """The batched numpy fast path (:class:`~repro.core.fast_session.FastSession`).
@@ -202,34 +244,54 @@ class VectorizedBackend(NegotiationEngine):
     def can_run(
         self, scenario: Scenario, config: EngineConfig
     ) -> tuple[bool, str]:
-        if config.needs_full_agent_society:
-            return False, (
-                "producer / external-world / resource-consumer agents require "
-                "the object path"
-            )
-        return True, ""
+        return _no_full_society(config)
 
     def qualifies(
         self, scenario: Scenario, config: EngineConfig
     ) -> tuple[bool, str]:
-        ok, reason = self.can_run(scenario, config)
+        return _fast_path_qualifies(scenario, config)
+
+
+@register_backend("sharded")
+class ShardedBackend(NegotiationEngine):
+    """The parallel runtime (:class:`~repro.core.sharded_session.ShardedSession`).
+
+    Partitions the vectorized population into per-core shards and fans each
+    round's kernels out to a thread pool; bit-identical to the vectorized and
+    object paths at equal seeds.  ``backend="auto"`` only picks it for
+    populations of at least :attr:`EngineConfig.shard_threshold` households
+    with more than one worker available — below that the single-core
+    vectorized path wins — but it can always be requested explicitly.
+    """
+
+    def run(self, scenario: Scenario, config: EngineConfig) -> NegotiationResult:
+        session = ShardedSession(scenario, **config.sharded_session_kwargs())
+        result = session.run()
+        result.metadata["shards"] = session.num_shards
+        return result
+
+    def can_run(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        return _no_full_society(config)
+
+    def qualifies(
+        self, scenario: Scenario, config: EngineConfig
+    ) -> tuple[bool, str]:
+        ok, reason = _fast_path_qualifies(scenario, config)
         if not ok:
             return ok, reason
-        method = scenario.method
-        if isinstance(method, RewardTablesMethod):
-            # Exact-type match, mirroring FastSession's kernel dispatch: a
-            # policy *subclass* would hit the fast path's history-free scalar
-            # fallback and could diverge from the object path, so it must not
-            # qualify for automatic selection.
-            if type(method.bidding_policy) not in _VECTORIZED_POLICIES:
-                return False, (
-                    f"no batched kernel for bidding policy "
-                    f"{type(method.bidding_policy).__name__}"
-                )
-        elif not isinstance(method, (OfferMethod, RequestForBidsMethod)):
-            return False, f"no batched kernel for method {type(method).__name__}"
-        if not _shared_requirement_grid(scenario):
-            return False, "heterogeneous requirement grids (scalar fallback)"
+        num_households = len(scenario.population.specs)
+        if num_households < config.shard_threshold:
+            return False, (
+                f"population of {num_households} below the shard threshold "
+                f"({config.shard_threshold}); single-core vectorized path wins"
+            )
+        if config.resolved_shards() < 2:
+            return False, (
+                "only one worker available (set EngineConfig.shards >= 2 to "
+                "shard anyway)"
+            )
         return True, ""
 
 
@@ -249,13 +311,6 @@ class _PlannedBackend(NegotiationEngine):
         self, scenario: Scenario, config: EngineConfig
     ) -> tuple[bool, str]:
         return False, f"{self.name!r} backend not implemented yet ({self.roadmap_item})"
-
-
-@register_backend("sharded")
-class ShardedBackend(_PlannedBackend):
-    """Slot for the sharded utility-agent runtime (parallel population slices)."""
-
-    roadmap_item = "ROADMAP: sharded utility agents"
 
 
 @register_backend("async")
@@ -327,8 +382,9 @@ def run(
     resolved = config if config is not None else EngineConfig()
     if overrides:
         resolved = resolved.replace(**overrides)
+    rejections: dict[str, str] = {}
     if backend == "auto":
-        engine, _ = select_backend(scenario, resolved)
+        engine, rejections = select_backend(scenario, resolved)
     else:
         engine = get_backend(backend)
         if not engine.available:
@@ -345,4 +401,9 @@ def run(
             )
     result = engine.run(scenario, resolved)
     result.metadata["backend"] = engine.name
+    if backend == "auto":
+        # Why faster backends were passed over (empty when the first choice
+        # won) — lets callers and tests see e.g. that "sharded" was excluded
+        # for being below the shard threshold.
+        result.metadata["backend_rejections"] = rejections
     return result

@@ -11,6 +11,10 @@ prototype demonstrates:
 * :mod:`repro.core.fast_session` — :class:`FastSession`: the vectorized fast
   path; identical outcomes to :class:`NegotiationSession` at fixed seeds,
   batched numpy bid decisions, scales to 10,000 households.
+* :mod:`repro.core.sharded_session` — :class:`ShardedSession`: the parallel
+  runtime; the vectorized population cut into per-core shards with each
+  round's kernels fanned out to a thread pool, identical outcomes again,
+  scales to 50,000 households.
 * :mod:`repro.core.results` — result value types and derived metrics.
 * :mod:`repro.core.system` — :class:`LoadBalancingSystem`: the full pipeline
   (predict demand, decide whether to negotiate, negotiate, apply the awarded

@@ -355,27 +355,33 @@ class FastSession:
         population = self.population
         outcomes: dict[str, CustomerOutcome] = {}
         total_reward_paid = 0.0
+        num_customers = len(population.customer_ids)
+        committed_all = np.zeros(num_customers, dtype=float)
+        rewards_all = np.zeros(num_customers, dtype=float)
+        accepted_all = np.zeros(num_customers, dtype=bool)
         for index, customer in enumerate(population.customer_ids):
             award = awards.get(customer)
+            if award is not None and award.accepted:
+                accepted_all[index] = True
+                committed_all[index] = award.committed_cutdown
+                rewards_all[index] = award.reward
+        # One batched surplus evaluation instead of a per-customer scalar
+        # interpolation loop; non-accepted rows carry (0, 0) and interpolate
+        # to a surplus of exactly 0.0, matching the scalar code's short-cut.
+        surpluses = population.realised_surpluses(committed_all, rewards_all)
+        for index, customer in enumerate(population.customer_ids):
             last_bid = final_bids[index]
             final_cutdown = getattr(last_bid, "cutdown", 0.0) if last_bid is not None else 0.0
-            accepted = award is not None and award.accepted
-            reward = award.reward if accepted else 0.0
-            committed = award.committed_cutdown if accepted else 0.0
-            if accepted:
-                discomfort = population.requirements[index].interpolated_requirement(
-                    committed
-                )
-                surplus = reward if discomfort == float("inf") else reward - discomfort
-            else:
-                surplus = 0.0
+            accepted = bool(accepted_all[index])
+            reward = float(rewards_all[index]) if accepted else 0.0
+            committed = float(committed_all[index]) if accepted else 0.0
             outcomes[customer] = CustomerOutcome(
                 customer=customer,
                 final_bid_cutdown=float(final_cutdown),
                 awarded=accepted,
                 committed_cutdown=float(committed),
                 reward=float(reward),
-                surplus=float(surplus),
+                surplus=float(surpluses[index]) if accepted else 0.0,
             )
             total_reward_paid += reward
         return NegotiationResult(

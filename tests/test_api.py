@@ -71,8 +71,8 @@ class TestBackendRegistry:
         backends = available_backends()
         assert backends["object"] is True
         assert backends["vectorized"] is True
-        # Declared slots for the ROADMAP's distributed runtimes.
-        assert backends["sharded"] is False
+        assert backends["sharded"] is True
+        # Declared slot for the ROADMAP's async runtime.
         assert backends["async"] is False
 
     def test_duplicate_name_rejected(self):
@@ -94,9 +94,8 @@ class TestBackendRegistry:
             run(small_scenario(), backend="warp_drive")
 
     def test_planned_slots_refuse_to_run(self):
-        for name in ("sharded", "async"):
-            with pytest.raises(BackendUnavailableError, match="not available"):
-                run(small_scenario(), backend=name)
+        with pytest.raises(BackendUnavailableError, match="not available"):
+            run(small_scenario(), backend="async")
 
     def test_unavailable_backend_never_executes(self):
         # A registered-but-unavailable backend must be refused up front, not
@@ -197,8 +196,77 @@ class TestAutoSelection:
     def test_select_backend_reports_skipped_slots(self):
         engine, rejections = select_backend(small_scenario(), EngineConfig())
         assert engine.name == "vectorized"
-        assert rejections["sharded"] == "not implemented yet"
+        assert "below the shard threshold" in rejections["sharded"]
         assert rejections["async"] == "not implemented yet"
+
+
+class TestShardedSelection:
+    """Auto-selection of the sharded runtime and its metadata trail."""
+
+    def test_auto_selects_sharded_above_threshold_with_workers(self):
+        result = run(small_scenario(), seed=0, shards=2, shard_threshold=4)
+        assert result.metadata["backend"] == "sharded"
+        assert result.metadata["shards"] == 2
+        assert result.metadata["backend_rejections"] == {}
+
+    def test_auto_records_threshold_rejection_reason(self):
+        # 8 households sit below the default threshold: the fast path runs
+        # and the metadata says exactly why sharding was passed over.
+        result = run(small_scenario(), seed=0, shards=2)
+        assert result.metadata["backend"] == "vectorized"
+        rejections = result.metadata["backend_rejections"]
+        assert "below the shard threshold" in rejections["sharded"]
+
+    def test_auto_records_single_worker_rejection_reason(self):
+        result = run(small_scenario(), seed=0, shards=1, shard_threshold=4)
+        assert result.metadata["backend"] == "vectorized"
+        assert "one worker" in result.metadata["backend_rejections"]["sharded"]
+
+    def test_auto_records_fallback_reasons_on_object_path(self):
+        # A scenario the batched kernels cannot carry excludes *both* fast
+        # backends, and each exclusion reason lands in the metadata.
+        result = run(heterogeneous_scenario(), seed=0, shards=2, shard_threshold=2)
+        assert result.metadata["backend"] == "object"
+        rejections = result.metadata["backend_rejections"]
+        assert "heterogeneous requirement grids" in rejections["sharded"]
+        assert "heterogeneous requirement grids" in rejections["vectorized"]
+
+    def test_explicit_backend_records_no_rejections(self):
+        result = run(small_scenario(), backend="vectorized", seed=0)
+        assert result.metadata["backend"] == "vectorized"
+        assert "backend_rejections" not in result.metadata
+
+    def test_explicit_sharded_ignores_threshold(self):
+        result = run(small_scenario(), backend="sharded", seed=0, shards=3)
+        assert result.metadata["backend"] == "sharded"
+        assert result.metadata["shards"] == 3
+
+    def test_explicit_sharded_with_producer_config_rejected(self):
+        with pytest.raises(BackendUnsupportedError, match="object path"):
+            run(
+                small_scenario(),
+                backend="sharded",
+                config=EngineConfig(include_producer=True, shards=2),
+            )
+
+    def test_sharded_equivalent_to_auto_fast_path(self):
+        auto = run(small_scenario(), seed=0)
+        sharded = run(small_scenario(), seed=0, shards=2, shard_threshold=4)
+        assert auto.metadata["backend"] == "vectorized"
+        assert sharded.metadata["backend"] == "sharded"
+        assert_equivalent(auto, sharded)
+
+    def test_invalid_shard_config_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            EngineConfig(shards=0)
+        with pytest.raises(ValueError, match="shard_threshold"):
+            EngineConfig(shard_threshold=0)
+
+    def test_resolved_shards_defaults_to_core_count(self):
+        from repro.agents.sharded import default_shard_count
+
+        assert EngineConfig().resolved_shards() == default_shard_count()
+        assert EngineConfig(shards=5).resolved_shards() == 5
 
 
 class TestRunConfig:
@@ -249,6 +317,9 @@ class TestDeprecationShims:
         assert "repro.api.run" in str(deprecations[0].message)
 
     def test_fast_session_shim_warns_exactly_once(self):
+        # Direct construction must warn exactly once per process, and the
+        # warning must name the replacement entry point so the migration
+        # path is in the message itself, not just the docs.
         self._reset()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
@@ -256,6 +327,8 @@ class TestDeprecationShims:
             repro.core.FastSession(paper_prototype_scenario(), seed=0)
         deprecations = [w for w in caught if w.category is DeprecationWarning]
         assert len(deprecations) == 1
+        assert "repro.api.run" in str(deprecations[0].message)
+        assert "FastSession" in str(deprecations[0].message)
 
     def test_shims_still_run_and_subclass_the_real_sessions(self):
         self._reset()
@@ -354,10 +427,12 @@ class TestAutoEquivalence:
 
         auto = run(make(), seed=0)
         vectorized = run(make(), backend="vectorized", seed=0)
+        sharded = run(make(), backend="sharded", seed=0, shards=2)
         objectpath = run(make(), backend="object", seed=0)
         assert auto.metadata["backend"] == "vectorized"
         assert_equivalent(objectpath, auto)
         assert_equivalent(objectpath, vectorized)
+        assert_equivalent(objectpath, sharded)
 
     @pytest.mark.tier2
     @pytest.mark.parametrize("num_households", [40, 120])
@@ -373,7 +448,23 @@ class TestAutoEquivalence:
 
         auto = run(make(), seed=seed)
         vectorized = run(make(), backend="vectorized", seed=seed)
+        sharded = run(make(), backend="sharded", seed=seed, shards=4)
         objectpath = run(make(), backend="object", seed=seed)
         assert auto.metadata["backend"] == "vectorized"
         assert_equivalent(objectpath, auto)
         assert_equivalent(objectpath, vectorized)
+        assert_equivalent(objectpath, sharded)
+
+    @pytest.mark.tier2
+    @pytest.mark.parametrize("make_method", _method_variants())
+    def test_auto_selected_sharded_matches_object_path(self, make_method):
+        # Force auto past the shard threshold so the selected-and-recorded
+        # backend really is "sharded", then pin the equivalence contract.
+        def make():
+            return synthetic_scenario(num_households=64, seed=3, method=make_method())
+
+        auto = run(make(), seed=0, shards=2, shard_threshold=32)
+        objectpath = run(make(), backend="object", seed=0)
+        assert auto.metadata["backend"] == "sharded"
+        assert auto.metadata["shards"] == 2
+        assert_equivalent(objectpath, auto)

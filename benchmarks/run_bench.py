@@ -2,10 +2,12 @@
 """Standalone perf-bench entry point for the E9 scalability sweep.
 
 Runs the extended fast-path sweep (10 -> 10,000 households by default), the
-sharded-runtime sweep (5,000 -> 50,000 households, one worker per core) and
-the object-path reference sweep, writes the plain-text report to
-``benchmarks/reports/E9_scalability_fast.txt`` and the machine-readable perf
-trajectory to ``benchmarks/BENCH_scalability.json``.
+sharded-runtime sweep (5,000 -> 50,000 households, one worker per core), the
+object-path reference sweep and the 10k-household 14-day campaign benchmark
+(planning-phase vs negotiation-phase wall-clock split, columnar and scalar
+planning), writes the plain-text reports to ``benchmarks/reports/`` and the
+machine-readable perf trajectories to ``benchmarks/BENCH_scalability.json``
+and ``benchmarks/BENCH_campaign.json``.
 
 Usage::
 
@@ -13,14 +15,16 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --sizes 10 100 1000 --seed 3
     PYTHONPATH=src python benchmarks/run_bench.py --shards 8 --sharded-sizes 10000 50000
     PYTHONPATH=src python benchmarks/run_bench.py --skip-object-path --skip-sharded
+    PYTHONPATH=src python benchmarks/run_bench.py --skip-campaign-scalar
     PYTHONPATH=src python benchmarks/run_bench.py --check
 
-The JSON artefact is what CI and future scaling PRs diff against; the text
-report is for humans.  ``--check`` replays the committed baseline's fast-path
-and sharded sweeps and exits non-zero when the negotiation behaviour drifts
-(rounds/messages/peak reduction are deterministic and must match exactly
-across backends — the sharded runtime is bit-identical to the fast path by
-contract) or the wall-clock regresses beyond per-size tolerances.
+The JSON artefacts are what CI and future scaling PRs diff against; the text
+reports are for humans.  ``--check`` replays the committed baselines' sweeps
+and the columnar campaign and exits non-zero when behaviour drifts
+(rounds/messages/peak reduction/negotiated days/reward totals are
+deterministic and must match exactly across backends — the sharded runtime
+and the columnar planning path are bit-identical by contract) or wall-clock
+regresses beyond the tolerances.
 """
 
 from __future__ import annotations
@@ -36,6 +40,14 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.agents.sharded import default_shard_count  # noqa: E402  (path setup)
+from repro.experiments.campaign_bench import (  # noqa: E402  (path setup above)
+    CAMPAIGN_DAYS,
+    CAMPAIGN_HOUSEHOLDS,
+    CAMPAIGN_SEED,
+    render_entry,
+    run_campaign_bench,
+    write_campaign_json,
+)
 from repro.experiments.scalability import (  # noqa: E402  (path setup above)
     FAST_PATH_SIZES,
     SHARDED_SIZES,
@@ -57,6 +69,13 @@ WALL_TOLERANCE_BANDS: tuple[tuple[int, float], ...] = (
 )
 #: Minimum wall-clock (seconds) a regression must exceed before it counts.
 WALL_ABSOLUTE_FLOOR_SECONDS = 0.25
+
+#: Campaign-phase wall-clock tolerance for ``--check``: the replay's
+#: planning/negotiation phases may be at most this factor slower than the
+#: committed baseline (one band — the campaign runs at a single size).
+CAMPAIGN_WALL_TOLERANCE = 3.0
+#: Absolute floor (seconds) below which campaign phase regressions are noise.
+CAMPAIGN_WALL_FLOOR_SECONDS = 5.0
 
 
 def wall_tolerance_for(size: int) -> float:
@@ -109,13 +128,66 @@ def _check_sweep(
         )
 
 
-def check_against_baseline(baseline_path: Path) -> int:
+def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
+    """Replay the committed campaign trajectory and compare.
+
+    Campaign *behaviour* (which days negotiated, total reward) is
+    deterministic and must reproduce the baseline exactly; the planning- and
+    negotiation-phase wall-clock each get a tolerance factor plus an absolute
+    floor.  A missing artefact is reported as a failure — the campaign
+    trajectory ships with the repository.
+    """
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        base = payload["columnar"]
+        seed = int(payload.get("seed", CAMPAIGN_SEED))
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        failures.append(f"cannot read campaign baseline {baseline_path}: {error}")
+        return
+    print(
+        f"campaign check against {baseline_path} "
+        f"({base['num_households']} households x {base['num_days']} days seed={seed})"
+    )
+    entry = run_campaign_bench(
+        num_households=int(base["num_households"]),
+        num_days=int(base["num_days"]),
+        seed=seed,
+        backend=str(base.get("backend", "auto")),
+        planning="columnar",
+    )
+    row = entry.as_row()
+    for key in ("days_negotiated", "negotiated_days", "total_reward_paid"):
+        if row[key] != base[key]:
+            failures.append(
+                f"campaign: {key} changed {base[key]} -> {row[key]}"
+            )
+    for phase in ("planning_seconds", "negotiation_seconds"):
+        allowed = max(
+            float(base[phase]) * CAMPAIGN_WALL_TOLERANCE, CAMPAIGN_WALL_FLOOR_SECONDS
+        )
+        status = "ok"
+        if row[phase] > allowed:
+            failures.append(
+                f"campaign: {phase} {row[phase]:.2f} exceeds {allowed:.2f} "
+                f"(baseline {float(base[phase]):.2f} x {CAMPAIGN_WALL_TOLERANCE:.1f})"
+            )
+            status = "REGRESSION"
+        print(
+            f"  [campaign] {phase}: {row[phase]:.2f}s "
+            f"(baseline {float(base[phase]):.2f}s, allowed {allowed:.2f}s) [{status}]"
+        )
+
+
+def check_against_baseline(
+    baseline_path: Path, campaign_path: Path | None = None
+) -> int:
     """Compare fresh sweeps against the committed trajectory.
 
-    Replays the fast-path sweep and, when the baseline carries one, the
-    sharded sweep (at the baseline's shard count).  Returns 0 when behaviour
-    matches and wall-clock stays within tolerance, 1 on any regression, 2
-    when the baseline artefact is missing/unreadable.
+    Replays the fast-path sweep, the sharded sweep when the baseline carries
+    one (at the baseline's shard count), and the campaign trajectory when
+    ``campaign_path`` is given.  Returns 0 when behaviour matches and
+    wall-clock stays within tolerance, 1 on any regression, 2 when the
+    scalability baseline artefact is missing/unreadable.
     """
     try:
         payload = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -162,6 +234,9 @@ def check_against_baseline(baseline_path: Path) -> int:
                         f"from the fast path ({fast_row[key]} -> {row[key]})"
                     )
 
+    if campaign_path is not None:
+        check_campaign_baseline(campaign_path, failures)
+
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
         for failure in failures:
@@ -203,6 +278,27 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable trajectory",
     )
     parser.add_argument(
+        "--campaign-json", type=Path, default=BENCH_DIR / "BENCH_campaign.json",
+        help="where to write (or read, with --check) the campaign trajectory",
+    )
+    parser.add_argument(
+        "--campaign-households", type=int, default=CAMPAIGN_HOUSEHOLDS,
+        help="population size of the campaign benchmark",
+    )
+    parser.add_argument(
+        "--campaign-days", type=int, default=CAMPAIGN_DAYS,
+        help="length of the campaign benchmark (days)",
+    )
+    parser.add_argument(
+        "--skip-campaign", action="store_true",
+        help="skip the multi-day campaign benchmark",
+    )
+    parser.add_argument(
+        "--skip-campaign-scalar", action="store_true",
+        help="skip the scalar-planning reference campaign (no planning_speedup "
+             "entry; the scalar run costs minutes at 10k households)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="compare a fresh sweep against the committed trajectory instead of "
              "rewriting it; exits non-zero on regression",
@@ -220,14 +316,17 @@ def main(argv: list[str] | None = None) -> int:
             or arguments.seed != 0
             or arguments.skip_object_path
             or arguments.skip_sharded
+            or arguments.campaign_households != CAMPAIGN_HOUSEHOLDS
+            or arguments.campaign_days != CAMPAIGN_DAYS
         ):
             parser.error(
                 "--check replays the committed baseline's sizes, shards and "
                 "seed; it cannot be combined with --sizes/--object-sizes/"
                 "--sharded-sizes/--shards/--seed/--skip-object-path/"
-                "--skip-sharded"
+                "--skip-sharded/--campaign-households/--campaign-days"
             )
-        return check_against_baseline(arguments.json)
+        campaign_path = None if arguments.skip_campaign else arguments.campaign_json
+        return check_against_baseline(arguments.json, campaign_path)
 
     shards = (
         arguments.shards
@@ -275,6 +374,52 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"wrote {report_path}")
     print(f"wrote {json_path}")
+
+    if not arguments.skip_campaign:
+        print(
+            f"campaign benchmark: {arguments.campaign_households} households x "
+            f"{arguments.campaign_days} days (columnar planning)"
+        )
+        columnar_entry = run_campaign_bench(
+            num_households=arguments.campaign_households,
+            num_days=arguments.campaign_days,
+            seed=arguments.seed,
+        )
+        print(render_entry(columnar_entry))
+        scalar_entry = None
+        if not arguments.skip_campaign_scalar:
+            print("campaign benchmark: scalar-planning reference run")
+            scalar_entry = run_campaign_bench(
+                num_households=arguments.campaign_households,
+                num_days=arguments.campaign_days,
+                seed=arguments.seed,
+                planning="scalar",
+            )
+            print(render_entry(scalar_entry))
+            # The columnar pipeline is an optimisation, not a behaviour
+            # change: both planning paths must realise the identical campaign.
+            if scalar_entry.result.rows() != columnar_entry.result.rows():
+                print(
+                    "campaign FAILURE: scalar and columnar planning diverged",
+                    file=sys.stderr,
+                )
+                return 1
+            speedup = (
+                scalar_entry.result.planning_seconds
+                / columnar_entry.result.planning_seconds
+            )
+            print(f"planning_speedup (scalar/columnar): {speedup:.1f}x")
+        campaign_report = render_entry(columnar_entry)
+        if scalar_entry is not None:
+            campaign_report += "\n\n" + render_entry(scalar_entry)
+        campaign_report_path = report_dir / "campaign_pipeline.txt"
+        campaign_report_path.write_text(campaign_report + "\n", encoding="utf-8")
+        campaign_json_path = write_campaign_json(
+            arguments.campaign_json, columnar_entry, scalar_entry,
+            seed=arguments.seed,
+        )
+        print(f"wrote {campaign_report_path}")
+        print(f"wrote {campaign_json_path}")
     return 0
 
 

@@ -2,14 +2,18 @@
 
 The ROADMAP's "multi-negotiation campaigns at scale" item: run the full
 observe → predict → negotiate → apply → account loop
-(:class:`~repro.core.planning.MultiDayCampaign`) over a multi-week horizon on
-a 10,000-household population with ``backend="auto"``, so every planned day
-that qualifies rides the batched fast path (vectorized, or sharded once the
-population crosses the shard threshold on a multi-core host).
+(:func:`repro.api.campaign`) over a multi-week horizon on a 10,000-household
+population with ``backend="auto"``, so every planned day that qualifies rides
+the batched fast path (vectorized, or sharded once the population crosses the
+shard threshold on a multi-core host).
 
-The 10k multi-week run is tier-2 (minutes of wall-clock, dominated by the
-per-household preference modelling in the planning layer, not by the
-negotiations themselves); a 1,000-household week runs in tier-1 as a
+Since the columnar planning pipeline landed, the planning layer runs on the
+:class:`~repro.grid.fleet.HouseholdFleet` kernels and the per-phase
+wall-clock split (``CampaignResult.planning_seconds`` /
+``negotiation_seconds``) is part of the report; the committed trajectory
+lives in ``benchmarks/BENCH_campaign.json`` (see ``run_bench.py``).
+
+The 10k multi-week run is tier-2; a 300-household week runs in tier-1 as a
 ``perf_smoke`` guard with a generous budget.
 """
 
@@ -19,30 +23,7 @@ import time
 
 import pytest
 
-from repro.core.planning import DayAheadPlanner, MultiDayCampaign
-from repro.grid.demand import DemandModel
-from repro.grid.household import Household
-from repro.grid.weather import WeatherCondition
-from repro.runtime.rng import RandomSource
-
-#: One cold snap per three-day cycle keeps a steady stream of negotiated days.
-CONDITION_CYCLE = (
-    WeatherCondition.MILD,
-    WeatherCondition.SEVERE_COLD,
-    WeatherCondition.COLD,
-)
-
-
-def build_campaign(num_households: int, seed: int = 7) -> MultiDayCampaign:
-    random = RandomSource(seed, "campaign_scale")
-    households = [
-        Household.generate(f"h{i}", random.spawn(f"h{i}"))
-        for i in range(num_households)
-    ]
-    demand_model = DemandModel(households, random.spawn("demand"))
-    capacity = demand_model.normal_capacity_for_target(quantile=0.8)
-    planner = DayAheadPlanner(households, capacity, random=random.spawn("planner"))
-    return MultiDayCampaign(planner, warmup_days=2, seed=seed, backend="auto")
+from repro.experiments.campaign_bench import render_entry, run_campaign_bench
 
 
 def assert_campaign_rides_the_fast_path(result) -> None:
@@ -50,55 +31,41 @@ def assert_campaign_rides_the_fast_path(result) -> None:
     negotiated = [day for day in result.days if day.negotiated]
     assert negotiated, "the cold-snap cycle should force at least one negotiation"
     for day in negotiated:
-        backend = day.outcome.negotiation.metadata["backend"]
-        assert backend in ("vectorized", "sharded"), (
-            f"day {day.day_index} fell back to {backend!r}"
+        assert day.backend in ("vectorized", "sharded"), (
+            f"day {day.day_index} fell back to {day.backend!r}"
         )
 
 
 @pytest.mark.perf_smoke
 def test_campaign_week_300_households_within_budget():
     """Tier-1 guard: a 300-household week (plan + negotiate + account every
-    day) stays under a generous budget and rides the batched backends.  The
-    run takes ~5 s — dominated by the planning layer — and the budget leaves
-    an order of magnitude of headroom for slow CI machines."""
-    campaign = build_campaign(300)
+    day) stays under a generous budget and rides the batched backends.  With
+    columnar planning the run takes well under a second; the budget leaves
+    two orders of magnitude of headroom for slow CI machines."""
     start = time.perf_counter()
-    result = campaign.run(num_days=6, conditions=CONDITION_CYCLE)
+    entry = run_campaign_bench(num_households=300, num_days=6)
     elapsed = time.perf_counter() - start
+    result = entry.result
     assert result.num_days == 6
     assert_campaign_rides_the_fast_path(result)
     assert result.total_reward_paid >= 0
+    # The phase split accounts for the bulk of the measured wall-clock.
+    assert result.planning_seconds > 0
+    assert result.planning_seconds + result.negotiation_seconds <= entry.wall_seconds
     assert elapsed < 60.0, f"300-household week took {elapsed:.1f}s"
 
 
 @pytest.mark.tier2
 def test_campaign_multiweek_10k_households(write_report):
     """The ROADMAP's 10k-household multi-week campaign benchmark: two weeks of
-    day-ahead planning over 10,000 households with ``backend="auto"``."""
-    campaign = build_campaign(10_000)
-    start = time.perf_counter()
-    result = campaign.run(num_days=14, conditions=CONDITION_CYCLE)
-    elapsed = time.perf_counter() - start
+    day-ahead planning over 10,000 households with ``backend="auto"`` and
+    columnar planning."""
+    entry = run_campaign_bench(num_households=10_000, num_days=14)
+    result = entry.result
     assert result.num_days == 14
     assert_campaign_rides_the_fast_path(result)
     # The pipeline stays economically sane at scale: rewards are paid on
     # negotiated days and the utility never pays without negotiating.
     assert result.days_negotiated >= 4
     assert result.total_reward_paid > 0
-    lines = [
-        "campaign — 10k households, 14 days (backend=auto)",
-        f"wall_seconds: {elapsed:.2f}",
-        f"days_negotiated: {result.days_negotiated}",
-        f"total_reward_paid: {result.total_reward_paid:.2f}",
-        f"total_net_benefit: {result.total_net_benefit:.2f}",
-    ]
-    for day in result.days:
-        row = day.as_row()
-        backend = (
-            day.outcome.negotiation.metadata["backend"]
-            if day.outcome is not None and day.outcome.negotiation is not None
-            else "-"
-        )
-        lines.append(f"  day {row['day']:>2}: negotiated={row['negotiated']} backend={backend}")
-    write_report("campaign_scale_10k", "\n".join(lines))
+    write_report("campaign_scale_10k", render_entry(entry))

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import sys
 
+import repro.api
 from repro.analysis.reporting import format_table
-from repro.core.planning import DayAheadPlanner, MultiDayCampaign
+from repro.core.planning import DayAheadPlanner
 from repro.grid.demand import DemandModel
 from repro.grid.household import Household
 from repro.grid.production import ProductionModel
@@ -51,13 +52,6 @@ def main(num_households: int = 40, num_days: int = 14) -> None:
         normal_cost=0.25,
         peak_cost=0.90,
     )
-    # Each day's negotiation goes through the repro.api engine façade;
-    # backend="auto" keeps campaigns tractable at 10k+ households by picking
-    # the vectorized path whenever the planned scenario qualifies.
-    campaign = MultiDayCampaign(
-        planner, production=production, warmup_days=4, seed=21, backend="auto"
-    )
-
     # A two-week stretch with a cold spell in the middle.
     conditions = (
         [WeatherCondition.MILD] * 3
@@ -65,12 +59,27 @@ def main(num_households: int = 40, num_days: int = 14) -> None:
            WeatherCondition.COLD]
         + [WeatherCondition.MILD] * (num_days - 7)
     )
-    result = campaign.run(num_days=num_days, conditions=conditions[:num_days])
+    # The whole campaign runs through the repro.api engine façade: day-ahead
+    # planning on the columnar HouseholdFleet kernels, each day's negotiation
+    # on the fastest qualifying backend (backend="auto"), with the per-day
+    # backend choices recorded in the result.
+    result = repro.api.campaign(
+        planner,
+        num_days,
+        conditions=conditions[:num_days],
+        production=production,
+        warmup_days=4,
+        seed=21,
+    )
 
     print()
     print(format_table(result.rows(), title="Campaign log (one row per day)", precision=1))
     print()
-    print(f"Days negotiated:     {result.days_negotiated} / {result.num_days}")
+    backends = sorted({backend for backend in result.backends if backend})
+    print(f"Days negotiated:     {result.days_negotiated} / {result.num_days} "
+          f"(backends: {', '.join(backends) if backends else 'none'})")
+    print(f"Planning phase:      {result.planning_seconds:.2f}s, "
+          f"negotiation phase:   {result.negotiation_seconds:.2f}s")
     print(f"Total rewards paid:  {result.total_reward_paid:.1f}")
     print(f"Total net benefit:   {result.total_net_benefit:.1f} "
           "(production savings minus rewards)")

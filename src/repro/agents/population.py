@@ -19,13 +19,16 @@ about a given peak interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.agents.customer_agent import CustomerAgent
-from repro.agents.preferences import CustomerPreferenceModel
+from repro.agents.preferences import CustomerPreferenceModel, FleetRequirements
 from repro.agents.resource_consumer_agent import ResourceConsumerAgent
 from repro.grid.appliances import ApplianceLibrary, standard_appliance_library
 from repro.grid.demand import DemandModel
+from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
 from repro.grid.household import Household
 from repro.grid.weather import WeatherSample
 from repro.negotiation.methods.base import CustomerContext, NegotiationMethod, UtilityContext
@@ -93,6 +96,10 @@ class CustomerPopulation:
         self.max_allowed_overuse = float(max_allowed_overuse)
         self.households = list(households or [])
         self.weather = weather
+        #: The columnar fleet the population was planned from, when it came
+        #: out of a fleet-backed constructor; lets downstream consumers (the
+        #: load-balancing system's accounting) reuse the packed arrays.
+        self.fleet: Optional[HouseholdFleet] = None
 
     # -- basic views ---------------------------------------------------------------
 
@@ -164,6 +171,52 @@ class CustomerPopulation:
     # -- constructors ----------------------------------------------------------------------
 
     @classmethod
+    def from_fleet(
+        cls,
+        fleet: HouseholdFleet,
+        predicted_uses: Union[Sequence[float], np.ndarray],
+        requirements: FleetRequirements,
+        normal_use: float,
+        interval: Optional[TimeInterval] = None,
+        max_allowed_overuse: float = 0.0,
+        weather: Optional[WeatherSample] = None,
+    ) -> "CustomerPopulation":
+        """A population assembled from columnar planning arrays.
+
+        The compute-heavy planning quantities (predicted uses, requirement
+        tables) arrive as arrays straight from the fleet kernels; this
+        constructor only materialises the per-customer spec objects the
+        negotiation sessions consume.  The resulting population is
+        bit-identical to one built through the scalar per-household loop.
+        """
+        if len(fleet) != len(predicted_uses) or len(fleet) != len(requirements):
+            raise ValueError("fleet, predicted uses and requirements must align")
+        tables = requirements.tables()
+        predicted = [float(use) for use in predicted_uses]
+        specs = [
+            CustomerSpec(
+                customer_id=customer_id,
+                predicted_use=use,
+                allowed_use=use,
+                requirements=table,
+                household=household,
+            )
+            for customer_id, use, table, household in zip(
+                fleet.household_ids, predicted, tables, fleet.households
+            )
+        ]
+        population = cls(
+            specs=specs,
+            normal_use=normal_use,
+            interval=interval,
+            max_allowed_overuse=max_allowed_overuse,
+            households=fleet.households,
+            weather=weather,
+        )
+        population.fleet = fleet
+        return population
+
+    @classmethod
     def synthetic(
         cls,
         config: PopulationConfig,
@@ -172,6 +225,7 @@ class CustomerPopulation:
         library: Optional[ApplianceLibrary] = None,
         capacity_quantile: float = 0.75,
         max_allowed_overuse_fraction: float = 0.02,
+        planning: str = "columnar",
     ) -> "CustomerPopulation":
         """A synthetic household population with grid-substrate demand.
 
@@ -180,7 +234,15 @@ class CustomerPopulation:
         cut-down is relative to what the customer was going to consume); the
         normal capacity is set from the demand distribution so that a peak
         exists.
+
+        ``planning`` selects how the per-customer quantities are computed:
+        ``"columnar"`` (default) runs the fleet kernels, ``"scalar"`` the
+        per-household object loop.  The two are bit-identical — the scalar
+        path survives as the equivalence oracle and as the fallback for
+        fleet-incompatible household sets.
         """
+        if planning not in ("columnar", "scalar"):
+            raise ValueError(f"unknown planning mode {planning!r}")
         random = RandomSource(config.seed, name="population")
         library = library or standard_appliance_library()
         households = [
@@ -188,8 +250,14 @@ class CustomerPopulation:
                                config.slots_per_day)
             for i in range(config.num_households)
         ]
+        fleet: Optional[HouseholdFleet] = None
+        if planning == "columnar":
+            try:
+                fleet = HouseholdFleet(households)
+            except FleetIncompatibleError:
+                fleet = None
         demand_model = DemandModel(
-            households, random.spawn("demand"), config.behavioural_noise
+            households, random.spawn("demand"), config.behavioural_noise, fleet=fleet
         )
         aggregate = demand_model.expected_aggregate(weather)
         normal_use = demand_model.normal_capacity_for_target(weather, quantile=capacity_quantile)
@@ -197,14 +265,37 @@ class CustomerPopulation:
             interval = aggregate.peak_interval(normal_use)
             if interval is None:
                 interval = TimeInterval.from_hours(17, 20, config.slots_per_day)
-        specs = []
         preference_random = random.spawn("preferences")
-        for household in households:
+        base_weights = [
+            CustomerPreferenceModel.sample(
+                preference_random.spawn(household.household_id)
+            ).comfort_weight
+            for household in households
+        ]
+        max_allowed_overuse = max_allowed_overuse_fraction * normal_use
+        if fleet is not None:
+            model = CustomerPreferenceModel(
+                discomfort_scale=config.preference_scale,
+                exponent=config.preference_exponent,
+            )
+            requirements = model.requirements_for_fleet(
+                fleet, interval, weather, comfort_weights=base_weights
+            )
+            return cls.from_fleet(
+                fleet=fleet,
+                predicted_uses=fleet.average_in(interval, weather),
+                requirements=requirements,
+                normal_use=normal_use,
+                interval=interval,
+                max_allowed_overuse=max_allowed_overuse,
+                weather=weather,
+            )
+        specs = []
+        for household, base_weight in zip(households, base_weights):
             demand = household.demand_profile(weather)
             predicted = demand.average_in(interval)
-            base_model = CustomerPreferenceModel.sample(preference_random.spawn(household.household_id))
             model = CustomerPreferenceModel(
-                comfort_weight=base_model.comfort_weight,
+                comfort_weight=base_weight,
                 discomfort_scale=config.preference_scale,
                 exponent=config.preference_exponent,
             )
@@ -222,7 +313,7 @@ class CustomerPopulation:
             specs=specs,
             normal_use=normal_use,
             interval=interval,
-            max_allowed_overuse=max_allowed_overuse_fraction * normal_use,
+            max_allowed_overuse=max_allowed_overuse,
             households=households,
             weather=weather,
         )

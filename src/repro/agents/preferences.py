@@ -14,7 +14,9 @@ is private to the customer; this module constructs it either
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.grid.household import Household
 from repro.grid.weather import WeatherSample
@@ -24,6 +26,41 @@ from repro.negotiation.reward_table import (
 )
 from repro.runtime.clock import TimeInterval
 from repro.runtime.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.grid.fleet import HouseholdFleet
+
+
+@dataclass(frozen=True)
+class FleetRequirements:
+    """Requirement tables for a whole fleet, in columnar form.
+
+    ``matrix`` is the full ``(num_households, grid)`` required-reward table —
+    row ``i`` carries the same values as the scalar
+    :meth:`CustomerPreferenceModel.requirements_for_household` table of
+    household ``i`` (bit-identical); ``max_feasible`` and ``energies`` are the
+    per-household physical cut-down limits and peak-interval energies the
+    tables were derived from.
+    """
+
+    grid: tuple[float, ...]
+    matrix: np.ndarray
+    max_feasible: np.ndarray
+    energies: np.ndarray
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def tables(self) -> list[CutdownRewardRequirements]:
+        """Materialise one :class:`CutdownRewardRequirements` per household."""
+        grid = self.grid
+        return [
+            CutdownRewardRequirements(
+                requirements=dict(zip(grid, row)),
+                max_feasible_cutdown=feasible,
+            )
+            for row, feasible in zip(self.matrix.tolist(), self.max_feasible.tolist())
+        ]
 
 
 @dataclass
@@ -100,6 +137,55 @@ class CustomerPreferenceModel:
             grid=self.grid,
         )
         return model.requirements_for_energy(energy, max_feasible)
+
+    def requirements_for_fleet(
+        self,
+        fleet: "HouseholdFleet",
+        interval: TimeInterval,
+        weather: Optional[WeatherSample] = None,
+        comfort_weights: Optional[Union[Sequence[float], np.ndarray]] = None,
+    ) -> FleetRequirements:
+        """The full ``(num_households, grid)`` requirement matrix, batched.
+
+        One broadcasted expression replaces the per-household
+        :meth:`requirements_for_household` loop: the fleet kernels deliver the
+        per-household peak-interval energies and feasible cut-downs, and the
+        matrix is ``(comfort x scale x energy) x grid**exponent`` — the same
+        float operations in the same order as the scalar path, so row ``i`` is
+        bit-identical to household ``i``'s scalar table.
+
+        ``comfort_weights`` optionally replaces the model's scalar
+        ``comfort_weight`` with a per-household vector (used by the synthetic
+        population generator, whose customers each sample their own base
+        attitude); either way the household's own comfort weight multiplies in
+        exactly as in the scalar path.
+        """
+        energies = fleet.energy_in(interval, weather)
+        max_feasible = fleet.max_cutdown_fractions(
+            interval, weather, demand_energies=energies
+        )
+        if comfort_weights is None:
+            base = np.full(len(fleet), self.comfort_weight)
+        else:
+            base = np.asarray(comfort_weights, dtype=float)
+            if base.shape != (len(fleet),):
+                raise ValueError("comfort_weights must have one entry per household")
+        effective = base * fleet.comfort_weights
+        grid = tuple(float(c) for c in self.grid)
+        # Python ** matches the scalar path bit-for-bit; np.power can differ
+        # in the last ulp for some bases.
+        powers = np.array([c ** self.exponent for c in grid])
+        scale = (effective * self.discomfort_scale) * energies
+        matrix = scale[:, None] * powers[None, :]
+        zero_columns = [index for index, c in enumerate(grid) if c == 0.0]
+        if zero_columns:
+            matrix[:, zero_columns] = 0.0
+        matrix.setflags(write=False)
+        max_feasible.setflags(write=False)
+        energies.setflags(write=False)
+        return FleetRequirements(
+            grid=grid, matrix=matrix, max_feasible=max_feasible, energies=energies
+        )
 
     @classmethod
     def sample(cls, random: RandomSource, grid: Sequence[float] = DEFAULT_CUTDOWN_GRID) -> "CustomerPreferenceModel":

@@ -14,8 +14,13 @@ The pieces:
   ``backend="auto"`` picks the vectorized fast path when the scenario
   qualifies and falls back to the faithful object path otherwise, recording
   the choice in ``result.metadata["backend"]``.
+* :func:`campaign` — runs a multi-day planning campaign
+  (:class:`~repro.core.planning.MultiDayCampaign`) through the same backend
+  registry and :class:`EngineConfig`, with columnar day-ahead planning by
+  default and per-day backend choices recorded in the result.
 * :class:`EngineConfig` — consolidates the former kwarg sprawl (``seed``,
-  ``max_simulation_rounds``, ``check_protocol``, …).
+  ``max_simulation_rounds``, ``check_protocol``, …) plus the campaign
+  ``planning`` path.
 * :class:`NegotiationEngine` / :func:`register_backend` — the backend
   registry; ``"object"``, ``"vectorized"`` and ``"sharded"`` are built in,
   ``"async"`` is a declared slot for the ROADMAP's asyncio runtime.
@@ -23,6 +28,7 @@ The pieces:
 """
 
 from repro.api.builder import ScenarioBuilder, scenario
+from repro.api.campaign import campaign
 from repro.api.config import EngineConfig
 from repro.api.engine import (
     AUTO_PRIORITY,
@@ -51,6 +57,7 @@ __all__ = [
     "ScenarioBuilder",
     "UnknownBackendError",
     "available_backends",
+    "campaign",
     "get_backend",
     "register_backend",
     "run",

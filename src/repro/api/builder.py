@@ -49,6 +49,7 @@ class ScenarioBuilder:
         self._num_households = 50
         self._seed = 0
         self._cold_snap = True
+        self._planning = "columnar"
         self._method: Union[str, NegotiationMethod] = "reward_tables"
         self._beta: Optional[float] = None
         self._max_reward: Optional[float] = None
@@ -88,6 +89,20 @@ class ScenarioBuilder:
     def mild_day(self) -> "ScenarioBuilder":
         """Shorthand for ``cold_snap(False)``."""
         return self.cold_snap(False)
+
+    def planning(self, mode: str) -> "ScenarioBuilder":
+        """How the synthetic population's planning quantities are computed.
+
+        ``"columnar"`` (default) runs the batched
+        :class:`~repro.grid.fleet.HouseholdFleet` kernels; ``"scalar"`` the
+        per-household loop.  Bit-identical by contract — the scalar path
+        exists as the equivalence oracle.
+        """
+        if mode not in ("columnar", "scalar"):
+            raise ValueError(f"unknown planning mode {mode!r}")
+        self._planning = mode
+        self._synthetic_only_calls.append('planning')
+        return self
 
     # -- method ------------------------------------------------------------------
 
@@ -219,6 +234,7 @@ class ScenarioBuilder:
             seed=self._seed,
             method=method,
             cold_snap=self._cold_snap,
+            planning=self._planning,
             **kwargs,
         )
 

@@ -1,0 +1,98 @@
+"""Multi-day campaigns through the engine façade.
+
+:func:`campaign` is to :class:`~repro.core.planning.MultiDayCampaign` what
+:func:`repro.api.run` is to the session classes: one entry point that routes
+every planned day's negotiation through the backend registry with a single
+:class:`~repro.api.config.EngineConfig`, and records what actually ran::
+
+    from repro.api import EngineConfig, campaign
+
+    result = campaign(planner, num_days=14)               # backend="auto"
+    result = campaign(planner, num_days=14, backend="object",
+                      config=EngineConfig(planning="scalar"))   # oracle run
+
+The default configuration plans each day on the columnar
+:class:`~repro.grid.fleet.HouseholdFleet` kernels and negotiates on the
+fastest qualifying backend; ``EngineConfig(planning="scalar")`` plus
+``backend="object"`` reruns the identical campaign through the faithful
+object path — the seed-equivalence oracle.  Per-day backend choices land in
+``CampaignDay.backend`` (``CampaignResult.backends`` as a list), and the
+planning/negotiation wall-clock split in ``CampaignResult.planning_seconds``
+/ ``negotiation_seconds``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.api.config import EngineConfig
+from repro.core.planning import CampaignResult, DayAheadPlanner, MultiDayCampaign
+from repro.grid.production import ProductionModel
+from repro.grid.weather import WeatherCondition, WeatherModel
+
+
+def campaign(
+    planner: DayAheadPlanner,
+    num_days: int,
+    *,
+    conditions: Optional[Sequence[WeatherCondition]] = None,
+    backend: str = "auto",
+    config: Optional[EngineConfig] = None,
+    warmup_days: int = 3,
+    seed: int = 0,
+    production: Optional[ProductionModel] = None,
+    weather_model: Optional[WeatherModel] = None,
+    **overrides: object,
+) -> CampaignResult:
+    """Run a multi-day load-management campaign through the engine façade.
+
+    Parameters
+    ----------
+    planner:
+        The :class:`~repro.core.planning.DayAheadPlanner` owning the
+        households, predictor and preference models.
+    num_days:
+        Campaign length (after ``warmup_days`` predictor warm-up days).
+    conditions:
+        Optional repeating weather-condition cycle; free-running weather
+        otherwise.
+    backend:
+        Engine backend for each day's negotiation — a registered name or
+        ``"auto"`` (default).
+    config:
+        Base :class:`EngineConfig`; its ``planning`` field selects the
+        columnar or scalar planning path (when omitted, the planner's own
+        ``planning`` mode governs), its ``seed`` is stepped per day.
+    warmup_days / seed / production / weather_model:
+        Passed through to :class:`~repro.core.planning.MultiDayCampaign`.
+    **overrides:
+        Individual :class:`EngineConfig` fields overriding ``config``, e.g.
+        ``campaign(planner, 14, planning="scalar")``.
+
+    Returns
+    -------
+    CampaignResult
+        With ``metadata`` recording the requested backend and the planning
+        mode; per-day backend choices are on ``CampaignResult.backends``.
+    """
+    resolved = config
+    if overrides:
+        resolved = (config if config is not None else EngineConfig()).replace(**overrides)
+    runner = MultiDayCampaign(
+        planner,
+        production=production,
+        weather_model=weather_model,
+        warmup_days=warmup_days,
+        seed=seed,
+        backend=backend,
+        config=resolved,
+    )
+    result = runner.run(num_days, conditions=conditions)
+    result.metadata.update(
+        {
+            "backend": backend,
+            # With no config given, the planner's own planning mode governs.
+            "planning": resolved.planning if resolved is not None else planner.planning,
+        }
+    )
+    return result

@@ -67,6 +67,14 @@ class EngineConfig:
         Minimum population size at which ``backend="auto"`` considers the
         sharded runtime (explicitly requesting ``backend="sharded"`` ignores
         it).
+    planning:
+        Planning path used by campaign runs (:func:`repro.api.campaign` /
+        :class:`~repro.core.planning.MultiDayCampaign`): ``"columnar"``
+        (default) runs the day-ahead planner on the batched
+        :class:`~repro.grid.fleet.HouseholdFleet` kernels, ``"scalar"`` on
+        the per-household object loop.  Both build bit-identical scenarios;
+        the scalar path is the seed-equivalence oracle.  Ignored by single
+        negotiations, whose scenario is already built.
     """
 
     seed: Optional[int] = 0
@@ -78,6 +86,7 @@ class EngineConfig:
     with_resource_consumers: bool = False
     shards: Optional[int] = None
     shard_threshold: int = DEFAULT_SHARD_THRESHOLD
+    planning: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.max_simulation_rounds <= 0:
@@ -86,6 +95,10 @@ class EngineConfig:
             raise ValueError("shards must be at least 1 when given")
         if self.shard_threshold < 1:
             raise ValueError("shard_threshold must be positive")
+        if self.planning not in ("columnar", "scalar"):
+            raise ValueError(
+                f"planning must be 'columnar' or 'scalar', got {self.planning!r}"
+            )
 
     # -- derived views -----------------------------------------------------------
 

@@ -14,12 +14,22 @@ loop on top of the substrates:
   realised demand comes in.  This is the "dynamic load management of the
   power grid" the introduction of the paper motivates, and it exercises the
   prediction, negotiation and accounting layers together.
+
+The planning path is *columnar* end to end: the planner packs its households
+into a :class:`~repro.grid.fleet.HouseholdFleet` and, per planned day, runs
+one array-native prediction plus one broadcasted requirement-matrix build
+(:meth:`~repro.agents.preferences.CustomerPreferenceModel
+.requirements_for_fleet`) instead of a per-household Python loop — the same
+day's plan, bit for bit, at a fraction of the wall-clock.  The scalar
+per-household path survives as ``planning="scalar"``: the equivalence oracle
+and the fallback for fleet-incompatible household sets.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.agents.population import CustomerPopulation, CustomerSpec
 from repro.agents.preferences import CustomerPreferenceModel
@@ -27,8 +37,9 @@ from repro.core.results import SystemResult
 from repro.core.scenario import Scenario
 from repro.core.system import LoadBalancingSystem
 from repro.grid.demand import DemandModel
+from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
 from repro.grid.household import Household
-from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.prediction import ConsumptionPredictor, FleetPrediction, PredictionModel
 from repro.grid.production import ProductionModel
 from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
 from repro.negotiation.methods.base import NegotiationMethod
@@ -36,6 +47,12 @@ from repro.negotiation.methods.reward_tables import RewardTablesMethod
 from repro.negotiation.strategy import ConstantBeta
 from repro.runtime.clock import TimeInterval
 from repro.runtime.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import would cycle via repro.api)
+    from repro.api.config import EngineConfig
+
+#: Planning-path modes of :meth:`DayAheadPlanner.plan`.
+PLANNING_MODES = ("columnar", "scalar")
 
 
 class DayAheadPlanner:
@@ -56,6 +73,11 @@ class DayAheadPlanner:
     method_factory:
         Callable building a fresh negotiation method per planned day (a
         method object carries per-negotiation state such as β controllers).
+    planning:
+        Default planning path: ``"columnar"`` (fleet kernels, the default) or
+        ``"scalar"`` (per-household loop, the equivalence oracle).  Both
+        produce bit-identical scenarios; fleet-incompatible household sets
+        fall back to scalar automatically.
     """
 
     def __init__(
@@ -68,6 +90,7 @@ class DayAheadPlanner:
         beta: float = 2.0,
         max_allowed_overuse_fraction: float = 0.02,
         random: Optional[RandomSource] = None,
+        planning: str = "columnar",
     ) -> None:
         if not households:
             raise ValueError("the planner needs at least one household")
@@ -75,6 +98,10 @@ class DayAheadPlanner:
             raise ValueError("normal capacity must be positive")
         if not 0.0 <= max_allowed_overuse_fraction < 1.0:
             raise ValueError("max allowed overuse fraction must be in [0, 1)")
+        if planning not in PLANNING_MODES:
+            raise ValueError(
+                f"unknown planning mode {planning!r}; expected one of {PLANNING_MODES}"
+            )
         self.households = list(households)
         self.normal_capacity_kw = float(normal_capacity_kw)
         self.predictor = predictor or ConsumptionPredictor(PredictionModel.WEATHER_ADJUSTED)
@@ -82,16 +109,31 @@ class DayAheadPlanner:
         self.max_reward = float(max_reward)
         self.beta = float(beta)
         self.max_allowed_overuse_fraction = float(max_allowed_overuse_fraction)
+        self.planning = planning
         self._random = random if random is not None else RandomSource(0, "planner")
+        try:
+            self.fleet: Optional[HouseholdFleet] = HouseholdFleet(self.households)
+        except FleetIncompatibleError:
+            self.fleet = None
         self._demand_model = DemandModel(
-            self.households, self._random.spawn("demand"), behavioural_noise=0.05
+            self.households, self._random.spawn("demand"), behavioural_noise=0.05,
+            fleet=self.fleet,
         )
+        #: Memoised last prediction, keyed by (forecast, history length):
+        #: ``predicted_peak_interval`` and ``plan`` share one predictor run.
+        self._prediction_cache: Optional[tuple[WeatherSample, int, FleetPrediction]] = None
 
     # -- observation --------------------------------------------------------------
 
     def observe_day(self, weather: WeatherSample) -> None:
         """Realise one day of demand under ``weather`` and feed it to the predictor."""
-        self.predictor.observe(self._demand_model.realise(weather))
+        self.observe_days([weather])
+
+    def observe_days(self, weathers: Sequence[WeatherSample]) -> None:
+        """Realise several days and feed them to the predictor in one batch."""
+        self.predictor.observe_many(
+            [self._demand_model.realise(weather) for weather in weathers]
+        )
 
     @property
     def history_length(self) -> int:
@@ -99,18 +141,83 @@ class DayAheadPlanner:
 
     # -- planning -------------------------------------------------------------------
 
+    def _predict(self, forecast: WeatherSample) -> FleetPrediction:
+        """One predictor run per (forecast, history) pair, memoised."""
+        cached = self._prediction_cache
+        history = self.predictor.history_length
+        if cached is not None and cached[0] == forecast and cached[1] == history:
+            return cached[2]
+        prediction = self.predictor.predict_columnar(forecast)
+        self._prediction_cache = (forecast, history, prediction)
+        return prediction
+
     def predicted_peak_interval(self, forecast: WeatherSample) -> Optional[TimeInterval]:
         """The contiguous interval in which predicted demand exceeds capacity."""
-        prediction = self.predictor.predict(forecast)
-        return prediction.aggregate.peak_interval(self.normal_capacity_kw)
+        return self._predict(forecast).aggregate.peak_interval(self.normal_capacity_kw)
 
-    def plan(self, forecast: WeatherSample, method: Optional[NegotiationMethod] = None) -> Optional[Scenario]:
-        """Build tomorrow's scenario, or ``None`` when no peak is predicted."""
-        prediction = self.predictor.predict(forecast)
+    def plan(
+        self,
+        forecast: WeatherSample,
+        method: Optional[NegotiationMethod] = None,
+        planning: Optional[str] = None,
+    ) -> Optional[Scenario]:
+        """Build tomorrow's scenario, or ``None`` when no peak is predicted.
+
+        ``planning`` overrides the planner's default path for this call;
+        ``"columnar"`` and ``"scalar"`` build bit-identical scenarios.
+        """
+        mode = planning if planning is not None else self.planning
+        if mode not in PLANNING_MODES:
+            raise ValueError(
+                f"unknown planning mode {mode!r}; expected one of {PLANNING_MODES}"
+            )
+        prediction = self._predict(forecast)
         interval = prediction.aggregate.peak_interval(self.normal_capacity_kw)
         if interval is None:
             return None
-        per_household = prediction.household_prediction_in(interval)
+        if mode == "columnar" and self.fleet is not None:
+            population = self._columnar_population(prediction, interval, forecast)
+        else:
+            population = self._scalar_population(prediction, interval, forecast)
+        if method is None:
+            method = RewardTablesMethod(
+                max_reward=self.max_reward,
+                beta_controller=ConstantBeta(self.beta),
+                reward_epsilon=0.005 * self.max_reward,
+            )
+        return Scenario(
+            name="day_ahead_plan",
+            population=population,
+            method=method,
+            description="Day-ahead scenario built from the consumption predictor",
+            weather=forecast,
+        )
+
+    def _columnar_population(
+        self, prediction: FleetPrediction, interval: TimeInterval, forecast: WeatherSample
+    ) -> CustomerPopulation:
+        """The fleet path: batched kernels, no per-household loop."""
+        fleet = self.fleet
+        if list(prediction.household_ids) != fleet.household_ids:
+            raise ValueError("prediction household order does not match the fleet")
+        requirements = self.preference_model.requirements_for_fleet(
+            fleet, interval, forecast
+        )
+        return CustomerPopulation.from_fleet(
+            fleet=fleet,
+            predicted_uses=prediction.average_in(interval),
+            requirements=requirements,
+            normal_use=self.normal_capacity_kw,
+            interval=interval,
+            max_allowed_overuse=self.max_allowed_overuse_fraction * self.normal_capacity_kw,
+            weather=forecast,
+        )
+
+    def _scalar_population(
+        self, prediction: FleetPrediction, interval: TimeInterval, forecast: WeatherSample
+    ) -> CustomerPopulation:
+        """The per-household object loop (equivalence oracle / fallback)."""
+        per_household = prediction.as_result().household_prediction_in(interval)
         specs = []
         for household in self.households:
             predicted = per_household[household.household_id]
@@ -126,25 +233,12 @@ class DayAheadPlanner:
                     household=household,
                 )
             )
-        population = CustomerPopulation(
+        return CustomerPopulation(
             specs=specs,
             normal_use=self.normal_capacity_kw,
             interval=interval,
             max_allowed_overuse=self.max_allowed_overuse_fraction * self.normal_capacity_kw,
             households=self.households,
-            weather=forecast,
-        )
-        if method is None:
-            method = RewardTablesMethod(
-                max_reward=self.max_reward,
-                beta_controller=ConstantBeta(self.beta),
-                reward_epsilon=0.005 * self.max_reward,
-            )
-        return Scenario(
-            name="day_ahead_plan",
-            population=population,
-            method=method,
-            description="Day-ahead scenario built from the consumption predictor",
             weather=forecast,
         )
 
@@ -158,6 +252,11 @@ class CampaignDay:
     negotiated: bool
     outcome: Optional[SystemResult]
     prediction_error: Optional[float] = None
+    #: Which engine backend ran the day's negotiation (``None`` when the day
+    #: needed none).  Deliberately not part of :meth:`as_row`: by the
+    #: equivalence contract the backend choice never changes the outcome, so
+    #: rows stay comparable across backends.
+    backend: Optional[str] = None
 
     def as_row(self) -> dict[str, object]:
         row: dict[str, object] = {
@@ -185,6 +284,13 @@ class CampaignResult:
     """Outcome of a multi-day campaign."""
 
     days: list[CampaignDay] = field(default_factory=list)
+    #: Wall-clock spent in the planning layer (observe / predict / plan) and
+    #: in the negotiation-plus-accounting layer, across the whole campaign.
+    planning_seconds: float = 0.0
+    negotiation_seconds: float = 0.0
+    #: Run bookkeeping recorded by the façade (backend requested, planning
+    #: mode, per-day backends); never part of :meth:`rows`.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_days(self) -> int:
@@ -204,6 +310,11 @@ class CampaignResult:
             day.outcome.net_utility_benefit for day in self.days if day.outcome is not None
         )
 
+    @property
+    def backends(self) -> list[Optional[str]]:
+        """Engine backend per day (``None`` on days without a negotiation)."""
+        return [day.backend for day in self.days]
+
     def rows(self) -> list[dict[str, object]]:
         return [day.as_row() for day in self.days]
 
@@ -211,10 +322,13 @@ class CampaignResult:
 class MultiDayCampaign:
     """Observe, predict, negotiate and account over a sequence of days.
 
-    ``backend`` is passed through to the :mod:`repro.api` engine façade for
-    each day's negotiation; the default ``"auto"`` selects the vectorized
-    fast path whenever the planned scenario qualifies, which is what makes
-    multi-week campaigns over 10k-household populations tractable.
+    Each day's negotiation runs through the :mod:`repro.api` engine façade
+    with the given ``backend`` and :class:`~repro.api.EngineConfig`; the
+    default ``backend="auto"`` selects the vectorized fast path whenever the
+    planned scenario qualifies, which is what makes multi-week campaigns over
+    10k-household populations tractable.  The backend that actually ran each
+    day is recorded on the :class:`CampaignDay`, and the planning- versus
+    negotiation-phase wall-clock split on the :class:`CampaignResult`.
     """
 
     def __init__(
@@ -225,6 +339,7 @@ class MultiDayCampaign:
         warmup_days: int = 3,
         seed: int = 0,
         backend: str = "auto",
+        config: Optional["EngineConfig"] = None,
     ) -> None:
         if warmup_days <= 0:
             raise ValueError("the predictor needs at least one warm-up day")
@@ -237,6 +352,7 @@ class MultiDayCampaign:
         self.warmup_days = int(warmup_days)
         self.seed = seed
         self.backend = backend
+        self.config = config
 
     def run(
         self,
@@ -246,32 +362,49 @@ class MultiDayCampaign:
         """Run the campaign for ``num_days`` (after the warm-up observations)."""
         if num_days <= 0:
             raise ValueError("num_days must be positive")
-        # Warm up the predictor on mild reference days.
-        for __ in range(self.warmup_days):
-            self.planner.observe_day(self.weather_model.reference_day())
+        planning_mode = self.config.planning if self.config is not None else None
         result = CampaignResult()
+        # Warm up the predictor on mild reference days, in one batch.
+        start = time.perf_counter()
+        self.planner.observe_days(
+            [self.weather_model.reference_day() for __ in range(self.warmup_days)]
+        )
+        result.planning_seconds += time.perf_counter() - start
         for day_index in range(num_days):
             condition = conditions[day_index % len(conditions)] if conditions else None
             weather = self.weather_model.sample(condition)
-            scenario = self.planner.plan(weather)
+            start = time.perf_counter()
+            scenario = self.planner.plan(weather, planning=planning_mode)
+            result.planning_seconds += time.perf_counter() - start
             if scenario is None or scenario.population.initial_overuse <= scenario.population.max_allowed_overuse:
                 result.days.append(
                     CampaignDay(day_index=day_index, weather=weather, negotiated=False, outcome=None)
                 )
             else:
+                start = time.perf_counter()
                 system = LoadBalancingSystem(
                     scenario,
                     production=self.production,
                     seed=self.seed + day_index,
                     backend=self.backend,
+                    config=self.config,
                 )
                 outcome = system.run()
+                result.negotiation_seconds += time.perf_counter() - start
+                backend = (
+                    outcome.negotiation.metadata.get("backend")
+                    if outcome.negotiation is not None
+                    else None
+                )
                 result.days.append(
                     CampaignDay(
                         day_index=day_index, weather=weather,
                         negotiated=outcome.negotiated, outcome=outcome,
+                        backend=backend,
                     )
                 )
             # The day actually happens and the predictor learns from it.
+            start = time.perf_counter()
             self.planner.observe_day(weather)
+            result.planning_seconds += time.perf_counter() - start
         return result

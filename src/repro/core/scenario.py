@@ -148,12 +148,18 @@ def synthetic_scenario(
     cold_snap: bool = True,
     max_reward: float = 60.0,
     beta: float = 2.0,
+    planning: str = "columnar",
 ) -> Scenario:
     """A grid-substrate scenario with generated households.
 
     A cold-snap day drives heating demand up and produces an evening peak
     above the normal production capacity; the negotiation method (reward
     tables by default) is then used to shave it.
+
+    ``planning`` selects how the population's per-customer quantities are
+    computed — ``"columnar"`` (batched :class:`~repro.grid.fleet
+    .HouseholdFleet` kernels, the default) or ``"scalar"`` (per-household
+    loop); the two are bit-identical.
     """
     weather_model = WeatherModel()
     weather = (
@@ -162,7 +168,7 @@ def synthetic_scenario(
         else weather_model.reference_day()
     )
     config = PopulationConfig(num_households=num_households, seed=seed)
-    population = CustomerPopulation.synthetic(config, weather=weather)
+    population = CustomerPopulation.synthetic(config, weather=weather, planning=planning)
     if method is None:
         # The synthetic populations have milder relative overuse than the
         # calibrated prototype scenario, so the per-round reward increments

@@ -19,13 +19,19 @@ production capabilities".
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.core.results import NegotiationResult, SystemResult
 from repro.core.scenario import Scenario
+from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
 from repro.grid.load_profile import LoadProfile
 from repro.grid.production import ProductionModel
 from repro.runtime.clock import TimeInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import would cycle via repro.api)
+    from repro.api.config import EngineConfig
 
 
 class LoadBalancingSystem:
@@ -37,6 +43,7 @@ class LoadBalancingSystem:
         production: Optional[ProductionModel] = None,
         seed: Optional[int] = 0,
         backend: str = "auto",
+        config: Optional["EngineConfig"] = None,
     ) -> None:
         self.scenario = scenario
         if production is None:
@@ -48,6 +55,7 @@ class LoadBalancingSystem:
         self.production = production
         self.seed = seed
         self.backend = backend
+        self.config = config
 
     # -- pipeline stages -----------------------------------------------------------
 
@@ -63,12 +71,15 @@ class LoadBalancingSystem:
 
         ``config_overrides`` are :class:`repro.api.EngineConfig` fields (the
         former ``NegotiationSession`` kwargs — ``check_protocol``,
-        ``include_producer``, …).
+        ``include_producer``, …) overriding the system's base config.  The
+        system's ``seed`` always wins over the base config's (campaigns step
+        it per day).
         """
         # Imported lazily: repro.api depends on repro.core's session modules.
         from repro.api import EngineConfig, run
 
-        config = EngineConfig(seed=self.seed).replace(**config_overrides)
+        base = self.config if self.config is not None else EngineConfig()
+        config = base.replace(seed=self.seed).replace(**config_overrides)
         return run(
             self.scenario,
             backend=backend if backend is not None else self.backend,
@@ -118,10 +129,94 @@ class LoadBalancingSystem:
             adjusted[customer] = profile.with_cutdown_in(interval, cutdown)
         return adjusted
 
+    # -- columnar accounting ------------------------------------------------------------
+
+    def _accounting_fleet(self) -> Optional[HouseholdFleet]:
+        """A fleet over the population's households, when one can be built.
+
+        Populations assembled by the columnar planner / synthetic generator
+        carry their fleet; otherwise one is packed on the fly.  Calibrated
+        populations (no household models) and fleet-incompatible household
+        sets return ``None`` and use the scalar accounting path.
+        """
+        population = self.scenario.population
+        if population.fleet is not None:
+            return population.fleet
+        specs = population.specs
+        # The fleet path keys negotiation outcomes by household id, so it is
+        # only sound when every spec's customer id IS its household's id (as
+        # the fleet/synthetic/planner constructors guarantee); populations
+        # with divergent ids keep the per-customer scalar accounting.
+        if any(
+            spec.household is None or spec.customer_id != spec.household.household_id
+            for spec in specs
+        ):
+            return None
+        try:
+            fleet = HouseholdFleet([spec.household for spec in specs])
+        except FleetIncompatibleError:
+            return None
+        population.fleet = fleet
+        return fleet
+
     # -- full pipeline ------------------------------------------------------------------
 
     def run(self, backend: Optional[str] = None, **config_overrides) -> SystemResult:
-        """Run the full pipeline and return the accounting summary."""
+        """Run the full pipeline and return the accounting summary.
+
+        Accounting (baseline aggregation, cut-down application, peak and cost
+        measurement) rides the columnar fleet kernels when the population has
+        household models — bit-identical to the per-household
+        :meth:`baseline_profiles` / :meth:`apply_cutdowns` path, which remains
+        both the public API and the fallback for calibrated populations.
+        """
+        fleet = self._accounting_fleet()
+        if fleet is None:
+            return self._run_scalar(backend, **config_overrides)
+        weather = self.scenario.weather
+        baseline_matrix = fleet.demand_profiles(weather)
+        aggregate_before = LoadProfile.from_array(baseline_matrix.sum(axis=0))
+        cost_before = self.production.cost_of_profile(aggregate_before)
+        if not self.should_negotiate():
+            return SystemResult(
+                negotiation=None,
+                negotiated=False,
+                peak_before_kw=aggregate_before.peak(),
+                peak_after_kw=aggregate_before.peak(),
+                production_cost_before=cost_before,
+                production_cost_after=cost_before,
+                reward_paid=0.0,
+            )
+        result = self.negotiate(backend=backend, **config_overrides)
+        interval = self.scenario.population.interval
+        if interval is None:
+            raise ValueError("cannot apply cut-downs without a peak interval")
+        cutdowns = np.array(
+            [
+                result.customer_outcomes[customer_id].committed_cutdown
+                if customer_id in result.customer_outcomes
+                else 0.0
+                for customer_id in fleet.household_ids
+            ]
+        )
+        adjusted_matrix = np.array(baseline_matrix)
+        indices = [slot.index for slot in interval.slots()]
+        # Same elementwise operation as LoadProfile.with_cutdown_in.
+        adjusted_matrix[:, indices] = baseline_matrix[:, indices] * (1.0 - cutdowns)[:, None]
+        aggregate_after = LoadProfile.from_array(adjusted_matrix.sum(axis=0))
+        cost_after = self.production.cost_of_profile(aggregate_after)
+        return SystemResult(
+            negotiation=result,
+            negotiated=True,
+            peak_before_kw=aggregate_before.peak(),
+            peak_after_kw=aggregate_after.peak(),
+            production_cost_before=cost_before,
+            production_cost_after=cost_after,
+            reward_paid=result.total_reward_paid,
+        )
+
+    def _run_scalar(self, backend: Optional[str] = None, **config_overrides) -> SystemResult:
+        """The per-household accounting path (calibrated populations)."""
         baseline = self.baseline_profiles()
         aggregate_before = LoadProfile.aggregate(baseline.values())
         cost_before = self.production.cost_of_profile(aggregate_before)

@@ -1,0 +1,165 @@
+"""Campaign benchmark — the 10k-household multi-week planning pipeline.
+
+The ROADMAP's "multi-negotiation campaigns at scale" item measured campaign
+wall-clock as dominated by the *planning* layer (per-household preference
+modelling in :meth:`~repro.core.planning.DayAheadPlanner.plan`), not by the
+negotiations.  This experiment tracks that split: it runs the full
+observe → predict → negotiate → apply → account loop through
+:func:`repro.api.campaign` and records the planning-phase and
+negotiation-phase wall-clock separately, for both the columnar
+(:class:`~repro.grid.fleet.HouseholdFleet`) and the scalar (per-household
+oracle) planning paths.
+
+:func:`write_campaign_json` emits the machine-readable trajectory
+(``benchmarks/BENCH_campaign.json``) that CI replays via
+``benchmarks/run_bench.py --check``; the recorded ``planning_speedup`` is
+the scalar-versus-columnar planning wall-clock ratio at the benchmark scale.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.api import EngineConfig, campaign
+from repro.core.planning import CampaignResult, DayAheadPlanner
+from repro.grid.demand import DemandModel
+from repro.grid.household import Household
+from repro.grid.weather import WeatherCondition
+from repro.runtime.rng import RandomSource
+
+#: Benchmark scale: the ROADMAP's 10k-household two-week campaign.
+CAMPAIGN_HOUSEHOLDS = 10_000
+CAMPAIGN_DAYS = 14
+CAMPAIGN_SEED = 7
+CAMPAIGN_WARMUP_DAYS = 2
+
+#: One cold snap per three-day cycle keeps a steady stream of negotiated days.
+CONDITION_CYCLE = (
+    WeatherCondition.MILD,
+    WeatherCondition.SEVERE_COLD,
+    WeatherCondition.COLD,
+)
+
+
+def build_campaign_planner(
+    num_households: int, seed: int = CAMPAIGN_SEED, planning: str = "columnar"
+) -> DayAheadPlanner:
+    """The benchmark's standard planner: generated town, 0.8-quantile capacity."""
+    random = RandomSource(seed, "campaign_scale")
+    households = [
+        Household.generate(f"h{i}", random.spawn(f"h{i}"))
+        for i in range(num_households)
+    ]
+    demand_model = DemandModel(households, random.spawn("demand"))
+    capacity = demand_model.normal_capacity_for_target(quantile=0.8)
+    return DayAheadPlanner(
+        households, capacity, random=random.spawn("planner"), planning=planning
+    )
+
+
+@dataclass
+class CampaignBenchEntry:
+    """One measured campaign run."""
+
+    num_households: int
+    num_days: int
+    planning: str
+    backend: str
+    result: CampaignResult
+    wall_seconds: float
+
+    def as_row(self) -> dict[str, object]:
+        result = self.result
+        return {
+            "num_households": self.num_households,
+            "num_days": self.num_days,
+            "planning": self.planning,
+            "backend": self.backend,
+            "wall_seconds": self.wall_seconds,
+            "planning_seconds": result.planning_seconds,
+            "negotiation_seconds": result.negotiation_seconds,
+            "days_negotiated": result.days_negotiated,
+            "negotiated_days": [day.day_index for day in result.days if day.negotiated],
+            "total_reward_paid": result.total_reward_paid,
+            "total_net_benefit": result.total_net_benefit,
+            "backends": [backend or "-" for backend in result.backends],
+        }
+
+
+def run_campaign_bench(
+    num_households: int = CAMPAIGN_HOUSEHOLDS,
+    num_days: int = CAMPAIGN_DAYS,
+    seed: int = CAMPAIGN_SEED,
+    backend: str = "auto",
+    planning: str = "columnar",
+) -> CampaignBenchEntry:
+    """Run one campaign at the benchmark configuration and time it."""
+    planner = build_campaign_planner(num_households, seed, planning=planning)
+    start = time.perf_counter()
+    result = campaign(
+        planner,
+        num_days,
+        conditions=CONDITION_CYCLE,
+        backend=backend,
+        config=EngineConfig(planning=planning),
+        warmup_days=CAMPAIGN_WARMUP_DAYS,
+        seed=seed,
+    )
+    wall = time.perf_counter() - start
+    return CampaignBenchEntry(
+        num_households=num_households,
+        num_days=num_days,
+        planning=planning,
+        backend=backend,
+        result=result,
+        wall_seconds=wall,
+    )
+
+
+def render_entry(entry: CampaignBenchEntry) -> str:
+    row = entry.as_row()
+    lines = [
+        f"campaign — {row['num_households']} households, {row['num_days']} days "
+        f"(backend={row['backend']}, planning={row['planning']})",
+        f"wall_seconds: {row['wall_seconds']:.2f}",
+        f"planning_seconds: {row['planning_seconds']:.2f}",
+        f"negotiation_seconds: {row['negotiation_seconds']:.2f}",
+        f"days_negotiated: {row['days_negotiated']}",
+        f"total_reward_paid: {row['total_reward_paid']:.2f}",
+        f"total_net_benefit: {row['total_net_benefit']:.2f}",
+    ]
+    for day, backend in zip(entry.result.days, row["backends"]):
+        lines.append(
+            f"  day {day.day_index:>2}: negotiated={day.negotiated} backend={backend}"
+        )
+    return "\n".join(lines)
+
+
+def write_campaign_json(
+    path: Path,
+    columnar: CampaignBenchEntry,
+    scalar: Optional[CampaignBenchEntry] = None,
+    seed: int = CAMPAIGN_SEED,
+) -> Path:
+    """Write the machine-readable campaign trajectory.
+
+    ``planning_speedup`` — the scalar/columnar planning-phase wall-clock
+    ratio — is only present when the scalar reference run was measured.
+    """
+    payload: dict[str, object] = {
+        "experiment": "campaign_scale",
+        "seed": seed,
+        "columnar": columnar.as_row(),
+    }
+    if scalar is not None:
+        payload["scalar_planning"] = scalar.as_row()
+        if columnar.result.planning_seconds > 0:
+            payload["planning_speedup"] = (
+                scalar.result.planning_seconds / columnar.result.planning_seconds
+            )
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -33,9 +33,10 @@ from repro.grid.appliances import (
     standard_appliance_library,
 )
 from repro.grid.demand import DemandCurve, DemandModel, PopulationDemand
+from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
 from repro.grid.household import Household, HouseholdProfile
 from repro.grid.load_profile import LoadProfile
-from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.prediction import ConsumptionPredictor, FleetPrediction, PredictionModel
 from repro.grid.pricing import Tariff, TariffSchedule
 from repro.grid.production import ProductionModel, ProductionSegment
 from repro.grid.weather import WeatherCondition, WeatherModel, WeatherSample
@@ -47,7 +48,10 @@ __all__ = [
     "ConsumptionPredictor",
     "DemandCurve",
     "DemandModel",
+    "FleetIncompatibleError",
+    "FleetPrediction",
     "Household",
+    "HouseholdFleet",
     "HouseholdProfile",
     "LoadProfile",
     "PopulationDemand",

@@ -86,6 +86,27 @@ class Appliance:
         if not 0.0 <= self.flexibility <= 1.0:
             raise ValueError(f"{self.name}: flexibility must be in [0, 1]")
 
+    def slot_weights(self, slots_per_day: int = 24) -> np.ndarray:
+        """Normalised per-slot energy weights at the requested resolution.
+
+        The 24-hour usage pattern resampled to ``slots_per_day`` slots and
+        normalised to sum to one; shared by :meth:`daily_profile` and the
+        columnar :class:`~repro.grid.fleet.HouseholdFleet` kernels so the two
+        paths can never drift.
+        """
+        pattern = np.asarray(self.usage_pattern, dtype=float)
+        if slots_per_day % 24 == 0:
+            repeat = slots_per_day // 24
+            resampled = np.repeat(pattern, repeat)
+        elif 24 % slots_per_day == 0:
+            group = 24 // slots_per_day
+            resampled = pattern.reshape(slots_per_day, group).mean(axis=1)
+        else:
+            raise ValueError(
+                f"slots_per_day ({slots_per_day}) must be a multiple or divisor of 24"
+            )
+        return resampled / resampled.sum() if resampled.sum() > 0 else resampled
+
     def daily_profile(
         self,
         slots_per_day: int = 24,
@@ -112,25 +133,13 @@ class Appliance:
             raise ValueError("scale must be non-negative")
         if heating_factor < 0:
             raise ValueError("heating factor must be non-negative")
-        pattern = np.asarray(self.usage_pattern, dtype=float)
         energy = self.daily_energy_kwh * scale
         if self.per_person:
             energy *= household_size
         if self.category in (ApplianceCategory.SPACE_HEATING, ApplianceCategory.WATER_HEATING):
             energy *= heating_factor
-        # Resample the 24-hour pattern to the requested resolution.
-        if slots_per_day % 24 == 0:
-            repeat = slots_per_day // 24
-            resampled = np.repeat(pattern, repeat)
-        elif 24 % slots_per_day == 0:
-            group = 24 // slots_per_day
-            resampled = pattern.reshape(slots_per_day, group).mean(axis=1)
-        else:
-            raise ValueError(
-                f"slots_per_day ({slots_per_day}) must be a multiple or divisor of 24"
-            )
         slot_hours = 24.0 / slots_per_day
-        weights = resampled / resampled.sum() if resampled.sum() > 0 else resampled
+        weights = self.slot_weights(slots_per_day)
         energy_per_slot = weights * energy
         power = energy_per_slot / slot_hours
         # No single slot can exceed the rated power times persons using it.

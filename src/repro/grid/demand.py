@@ -11,7 +11,7 @@ and measured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.grid.load_profile import LoadProfile
 from repro.grid.weather import WeatherSample
 from repro.runtime.clock import TimeInterval, TimeSlot
 from repro.runtime.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import would cycle)
+    from repro.grid.fleet import HouseholdFleet
 
 
 @dataclass(frozen=True)
@@ -82,24 +85,67 @@ class DemandCurve:
         return rows
 
 
-@dataclass
 class PopulationDemand:
-    """Per-household and aggregate demand of a population for one day."""
+    """Per-household and aggregate demand of a population for one day.
 
-    household_profiles: dict[str, LoadProfile]
-    weather: Optional[WeatherSample] = None
+    Holds either a mapping ``household_id -> LoadProfile`` (the historical
+    object representation) or a columnar ``(num_households, slots)`` matrix
+    plus the id list (what the fleet-backed :class:`DemandModel` and the
+    consumption predictor exchange).  Either representation converts to the
+    other lazily and bit-identically, so callers can mix freely.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.household_profiles:
+    def __init__(
+        self,
+        household_profiles: Optional[dict[str, LoadProfile]] = None,
+        weather: Optional[WeatherSample] = None,
+        *,
+        household_ids: Optional[Sequence[str]] = None,
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        if household_profiles is None and matrix is None:
+            raise ValueError("population demand needs profiles or a matrix")
+        if household_profiles is not None and not household_profiles:
             raise ValueError("population demand needs at least one household")
+        if matrix is not None:
+            if household_ids is None:
+                raise ValueError("a demand matrix needs the household id list")
+            if matrix.ndim != 2 or matrix.shape[0] != len(household_ids):
+                raise ValueError("demand matrix rows must align with household ids")
+            if matrix.shape[0] == 0:
+                raise ValueError("population demand needs at least one household")
+        self._profiles = dict(household_profiles) if household_profiles is not None else None
+        self._ids = list(household_ids) if household_ids is not None else None
+        self._matrix = matrix
+        self.weather = weather
+
+    @property
+    def household_profiles(self) -> dict[str, LoadProfile]:
+        if self._profiles is None:
+            self._profiles = {
+                household_id: LoadProfile.from_array(row)
+                for household_id, row in zip(self._ids, self._matrix)
+            }
+        return self._profiles
+
+    def matrix(self) -> np.ndarray:
+        """``(num_households, slots)`` demand matrix, rows in id order."""
+        if self._matrix is None:
+            self._matrix = np.array(
+                [profile.as_array() for profile in self._profiles.values()]
+            )
+            self._matrix.setflags(write=False)
+        return self._matrix
 
     @property
     def aggregate(self) -> LoadProfile:
-        return LoadProfile.aggregate(self.household_profiles.values())
+        return LoadProfile.from_array(self.matrix().sum(axis=0))
 
     @property
     def household_ids(self) -> list[str]:
-        return list(self.household_profiles)
+        if self._ids is None:
+            self._ids = list(self._profiles)
+        return list(self._ids)
 
     def household(self, household_id: str) -> LoadProfile:
         try:
@@ -126,6 +172,7 @@ class DemandModel:
         households: Sequence[Household],
         random: Optional[RandomSource] = None,
         behavioural_noise: float = 0.08,
+        fleet: Optional["HouseholdFleet"] = None,
     ) -> None:
         if not households:
             raise ValueError("demand model needs at least one household")
@@ -134,9 +181,46 @@ class DemandModel:
         self.households = list(households)
         self._random = random if random is not None else RandomSource(0, "demand")
         self.behavioural_noise = behavioural_noise
+        # Columnar fast path: pack the households into a HouseholdFleet when
+        # they are homogeneous (shared library/resolution); heterogeneous
+        # populations keep the scalar per-household path.  Callers that
+        # already hold a fleet over the same households pass it in instead of
+        # paying for a second packing.  Imported lazily to avoid a
+        # demand <-> fleet module cycle.
+        from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+
+        if fleet is not None and fleet.households == self.households:
+            self._fleet: Optional[HouseholdFleet] = fleet
+        else:
+            try:
+                self._fleet = HouseholdFleet(self.households)
+            except FleetIncompatibleError:
+                self._fleet = None
 
     def realise(self, weather: Optional[WeatherSample] = None) -> PopulationDemand:
-        """Realise one day of demand (with per-household behavioural noise)."""
+        """Realise one day of demand (with per-household behavioural noise).
+
+        The fleet-backed columnar path draws the same noise stream as the
+        scalar path (numpy generators are chunking-invariant) and applies it
+        with the same elementwise operations, so both paths realise
+        bit-identical days.
+        """
+        if self._fleet is None:
+            return self._realise_scalar(weather)
+        base = self._fleet.demand_profiles(weather)
+        if self.behavioural_noise > 0:
+            noise = self._random.normal_array(
+                1.0, self.behavioural_noise, base.size
+            ).reshape(base.shape)
+            matrix = np.clip(base * noise, 0.0, None)
+        else:
+            matrix = base
+        return PopulationDemand(
+            weather=weather, household_ids=self._fleet.household_ids, matrix=matrix
+        )
+
+    def _realise_scalar(self, weather: Optional[WeatherSample] = None) -> PopulationDemand:
+        """The per-household object path (fleet-incompatible populations, tests)."""
         profiles: dict[str, LoadProfile] = {}
         for household in self.households:
             base = household.demand_profile(weather)
@@ -152,6 +236,8 @@ class DemandModel:
 
     def expected_aggregate(self, weather: Optional[WeatherSample] = None) -> LoadProfile:
         """Noise-free aggregate demand (the statistical expectation)."""
+        if self._fleet is not None:
+            return self._fleet.aggregate_demand(weather)
         return LoadProfile.aggregate(
             household.demand_profile(weather) for household in self.households
         )

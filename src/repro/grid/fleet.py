@@ -1,0 +1,288 @@
+"""Columnar household fleets: struct-of-arrays kernels over a population.
+
+The planning layer of the Utility Agent (Section 5.1's observe → predict →
+negotiate loop) repeatedly needs the same three quantities for *every*
+household of a population: its daily demand profile under tomorrow's weather,
+the energy it has at stake in the predicted peak interval and the largest
+cut-down its appliances could physically deliver (what its Resource Consumer
+Agents would report).  The object model computes each of these one household
+at a time, rebuilding ~10 appliance profiles per call — fine for the
+prototype's handful of customers, ruinous for 10k-household day-ahead
+planning.
+
+:class:`HouseholdFleet` is the columnar view: household attributes (appliance
+ownership scales, sizes, comfort weights, flexibility scales) and appliance
+parameters (slot weights, daily energies, rated-power caps, flexibilities)
+are packed into numpy arrays once, and the per-household quantities come out
+of batched kernels — ``demand_profiles``, ``energy_in``, ``saveable_energy``
+and ``max_cutdown_fractions``.
+
+**Exactness contract.**  Every kernel mirrors the scalar code in
+:class:`~repro.grid.household.Household` and
+:class:`~repro.grid.appliances.Appliance` operation-for-operation (same float
+multiplication order, same sequential accumulation over appliances and time
+slots, powers precomputed with Python ``**``), so the fleet path is
+*bit-identical* to the per-household object path — the same guarantee
+:class:`~repro.agents.vectorized.VectorizedPopulation` gives the negotiation
+kernels.  ``tests/test_grid_fleet.py`` enforces it per household.
+
+A fleet requires a *homogeneous* population: all households share one
+appliance library, one profile resolution, and list their owned appliances in
+library order (which :meth:`Household.generate` guarantees).  Heterogeneous
+populations raise :class:`FleetIncompatibleError`; callers fall back to the
+scalar per-household path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.grid.appliances import ApplianceCategory
+from repro.grid.household import Household
+from repro.grid.load_profile import LoadProfile, matrix_average_in
+from repro.grid.weather import WeatherSample
+from repro.runtime.clock import TimeInterval
+
+#: Heating-driven appliance categories (their energy scales with the weather's
+#: heating factor, mirroring :meth:`Appliance.daily_profile`).
+_HEATING_CATEGORIES = (ApplianceCategory.SPACE_HEATING, ApplianceCategory.WATER_HEATING)
+
+#: Per-fleet cache bound on weather-keyed kernel intermediates.  A campaign
+#: touches one heating factor per day; a handful of slots covers the planner's
+#: predict/plan/account calls for that day without unbounded growth.
+_WEATHER_CACHE_SIZE = 4
+
+
+class FleetIncompatibleError(ValueError):
+    """The households cannot be packed into one columnar fleet."""
+
+
+def _interval_slot_indices(interval: TimeInterval, slots_per_day: int) -> list[int]:
+    if interval.slots_per_day != slots_per_day:
+        raise ValueError(
+            f"interval resolution {interval.slots_per_day} does not match "
+            f"fleet resolution {slots_per_day}"
+        )
+    return [slot.index for slot in interval.slots()]
+
+
+class HouseholdFleet:
+    """All planning-relevant attributes of a household population, as arrays.
+
+    Attributes
+    ----------
+    households:
+        The packed :class:`~repro.grid.household.Household` objects, in fleet
+        order; every array below is aligned with this order.
+    household_ids:
+        Household identifiers, in fleet order.
+    sizes / comfort_weights / flexibility_scales:
+        Per-household attribute vectors (``(N,)``).
+    ownership:
+        ``(N, A)`` matrix of appliance usage scales (0 = not owned), with
+        appliance columns in library order.
+    """
+
+    def __init__(self, households: Sequence[Household]) -> None:
+        if not households:
+            raise FleetIncompatibleError("a fleet needs at least one household")
+        self.households = list(households)
+        first = self.households[0]
+        self.slots_per_day = first.slots_per_day
+        self.library = first.library
+        appliances = self.library.all()
+        names = [appliance.name for appliance in appliances]
+        index_of = {name: column for column, name in enumerate(names)}
+        ownership_rows = []
+        for household in self.households:
+            if household.slots_per_day != self.slots_per_day:
+                raise FleetIncompatibleError(
+                    "all fleet households must share one profile resolution"
+                )
+            if household.library is not self.library and (
+                household.library.names != names
+                or [household.library.get(n) for n in names] != appliances
+            ):
+                raise FleetIncompatibleError(
+                    "all fleet households must share one appliance library"
+                )
+            # The scalar path aggregates appliances in ownership-dict order;
+            # the fleet aggregates in library order.  Bit-identity therefore
+            # requires the owned appliances to appear in library order.
+            owned_columns = [
+                index_of[name]
+                for name, scale in household.profile.ownership.items()
+                if scale > 0
+            ]
+            if owned_columns != sorted(owned_columns):
+                raise FleetIncompatibleError(
+                    f"household {household.household_id!r} lists owned "
+                    f"appliances out of library order"
+                )
+            ownership_rows.append(
+                [household.profile.ownership.get(name, 0.0) for name in names]
+            )
+        self.household_ids = [h.household_id for h in self.households]
+        self.sizes = np.array([float(h.size) for h in self.households])
+        self.comfort_weights = np.array(
+            [h.profile.comfort_weight for h in self.households]
+        )
+        self.flexibility_scales = np.array(
+            [h.profile.flexibility_scale for h in self.households]
+        )
+        self.ownership = np.array(ownership_rows, dtype=float)
+        # Per-appliance static columns (library order).
+        self._appliances = appliances
+        self._daily_energies = np.array([a.daily_energy_kwh for a in appliances])
+        self._rated_powers = np.array([a.rated_power_kw for a in appliances])
+        self._flexibilities = np.array([a.flexibility for a in appliances])
+        self._per_person = [a.per_person for a in appliances]
+        self._heating = [a.category in _HEATING_CATEGORIES for a in appliances]
+        self._slot_weights = np.stack(
+            [a.slot_weights(self.slots_per_day) for a in appliances]
+        )
+        # Rated-power caps are weather-independent: rated * (size | 1) * max(scale, 1).
+        self._caps = np.stack(
+            [
+                (
+                    self._rated_powers[column] * self.sizes
+                    if self._per_person[column]
+                    else np.full(len(self.households), self._rated_powers[column])
+                )
+                * np.maximum(self.ownership[:, column], 1.0)
+                for column in range(len(appliances))
+            ]
+        )  # (A, N)
+        #: Weather-keyed kernel caches (heating factor -> arrays), FIFO-bounded.
+        self._power_cache: dict[float, list[np.ndarray]] = {}
+        self._demand_cache: dict[float, np.ndarray] = {}
+
+    # -- basic views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.households)
+
+    @property
+    def num_appliances(self) -> int:
+        return len(self._appliances)
+
+    @staticmethod
+    def heating_factor(weather: Optional[WeatherSample]) -> float:
+        return weather.heating_factor if weather is not None else 1.0
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _appliance_powers(self, heating_factor: float) -> list[np.ndarray]:
+        """Per-appliance ``(N, S)`` power matrices, mirroring ``daily_profile``."""
+        cached = self._power_cache.get(heating_factor)
+        if cached is not None:
+            return cached
+        slot_hours = 24.0 / self.slots_per_day
+        powers = []
+        for column in range(self.num_appliances):
+            # Same multiplication order as Appliance.daily_profile: base
+            # energy x ownership scale, then x household size (per-person
+            # appliances), then x heating factor (heating categories).
+            energy = self._daily_energies[column] * self.ownership[:, column]
+            if self._per_person[column]:
+                energy = energy * self.sizes
+            if self._heating[column]:
+                energy = energy * heating_factor
+            per_slot = self._slot_weights[column][None, :] * energy[:, None]
+            power = per_slot / slot_hours
+            powers.append(np.minimum(power, self._caps[column][:, None]))
+        if len(self._power_cache) >= _WEATHER_CACHE_SIZE:
+            self._power_cache.pop(next(iter(self._power_cache)))
+        self._power_cache[heating_factor] = powers
+        return powers
+
+    def demand_profiles(self, weather: Optional[WeatherSample] = None) -> np.ndarray:
+        """``(N, S)`` matrix of per-household daily demand (kW per slot).
+
+        Row ``i`` is bit-identical to
+        ``households[i].demand_profile(weather).as_array()``.
+        """
+        factor = self.heating_factor(weather)
+        cached = self._demand_cache.get(factor)
+        if cached is not None:
+            return cached
+        total = np.zeros((len(self.households), self.slots_per_day))
+        for power in self._appliance_powers(factor):
+            # Sequential accumulation in library order matches the scalar
+            # LoadProfile.aggregate over owned appliances (adding an unowned
+            # appliance's exact 0.0 contribution preserves every bit).
+            total = total + power
+        total.setflags(write=False)
+        if len(self._demand_cache) >= _WEATHER_CACHE_SIZE:
+            self._demand_cache.pop(next(iter(self._demand_cache)))
+        self._demand_cache[factor] = total
+        return total
+
+    def aggregate_demand(self, weather: Optional[WeatherSample] = None) -> LoadProfile:
+        """Population aggregate profile; equals summing the per-household profiles."""
+        return LoadProfile.from_array(self.demand_profiles(weather).sum(axis=0))
+
+    @staticmethod
+    def _interval_energy(matrix: np.ndarray, indices: Sequence[int], slot_hours: float) -> np.ndarray:
+        """Per-row interval energy with the scalar path's summation order."""
+        total = np.zeros(matrix.shape[0])
+        for index in indices:
+            total = total + matrix[:, index]
+        return total * slot_hours
+
+    def energy_in(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        """Per-household energy (kWh) used during the interval (``(N,)``)."""
+        indices = _interval_slot_indices(interval, self.slots_per_day)
+        slot_hours = 24.0 / self.slots_per_day
+        return self._interval_energy(self.demand_profiles(weather), indices, slot_hours)
+
+    def average_in(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        """Per-household average demand (kW) during the interval (``(N,)``)."""
+        _interval_slot_indices(interval, self.slots_per_day)  # resolution check
+        return matrix_average_in(self.demand_profiles(weather), interval)
+
+    def saveable_energy(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        """Per-household saveable energy (kWh) in the interval (``(N,)``).
+
+        What the Resource Consumer Agents report upward: each appliance's
+        interval energy times its flexibility, scaled by the household's
+        flexibility scale, accumulated in library order like the scalar
+        :meth:`Household.saveable_energy`.
+        """
+        indices = _interval_slot_indices(interval, self.slots_per_day)
+        slot_hours = 24.0 / self.slots_per_day
+        factor = self.heating_factor(weather)
+        total = np.zeros(len(self.households))
+        for column, power in enumerate(self._appliance_powers(factor)):
+            energy = self._interval_energy(power, indices, slot_hours)
+            total = total + (energy * self._flexibilities[column]) * self.flexibility_scales
+        return total
+
+    def max_cutdown_fractions(
+        self,
+        interval: TimeInterval,
+        weather: Optional[WeatherSample] = None,
+        demand_energies: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Largest physically implementable cut-down fraction per household.
+
+        ``demand_energies`` lets callers that already hold
+        ``energy_in(interval, weather)`` skip recomputing it.
+        """
+        demand = (
+            demand_energies
+            if demand_energies is not None
+            else self.energy_in(interval, weather)
+        )
+        saveable = self.saveable_energy(interval, weather)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.minimum(1.0, saveable / demand)
+        return np.where(demand > 0, fractions, 0.0)

@@ -42,6 +42,11 @@ class LoadProfile:
     def from_sequence(cls, values: Sequence[float]) -> "LoadProfile":
         return cls(tuple(float(v) for v in values))
 
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "LoadProfile":
+        """A profile from a 1-D numpy array (float64 round-trips exactly)."""
+        return cls(tuple(float(v) for v in values))
+
     # -- basic properties ----------------------------------------------------
 
     @property
@@ -192,3 +197,17 @@ class LoadProfile:
         for profile in profiles[1:]:
             total = total + profile
         return total
+
+
+def matrix_average_in(matrix: np.ndarray, interval: TimeInterval) -> np.ndarray:
+    """Per-row average of a ``(rows, slots)`` matrix over an interval's slots.
+
+    The columnar counterpart of :meth:`LoadProfile.average_in`, shared by the
+    fleet kernels and the columnar predictor so the two can never drift: the
+    contiguous-copy-then-``np.mean`` form reduces each row over the same
+    number of contiguous elements as the scalar ``np.mean`` over a slot list,
+    which makes the result bit-identical per row.
+    """
+    indices = [slot.index for slot in interval.slots()]
+    columns = np.ascontiguousarray(matrix[:, indices])
+    return np.mean(columns, axis=1)

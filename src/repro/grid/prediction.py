@@ -6,6 +6,15 @@ statistical models" (Section 5.1.2).  The :class:`ConsumptionPredictor`
 implements this: it is trained on historical daily demand realisations
 (optionally weather-tagged) and predicts the aggregate and per-household
 demand for an upcoming day, with a configurable statistical model.
+
+The predictor is *columnar*: observed days are appended to a growing
+``(days, num_households, slots)`` history buffer (incremental — no
+full-history refit per observed day), and a prediction is one weighted
+reduction over that buffer.  :meth:`ConsumptionPredictor.predict_columnar`
+exposes the array-native result (:class:`FleetPrediction`, per-household
+*vectors* instead of ``dict[str, float]``); :meth:`ConsumptionPredictor.predict`
+keeps the historical per-household ``LoadProfile`` mapping, materialised from
+the same columnar core, so both views are bit-identical.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.grid.demand import PopulationDemand
-from repro.grid.load_profile import LoadProfile
+from repro.grid.load_profile import LoadProfile, matrix_average_in
 from repro.grid.weather import WeatherSample
 from repro.runtime.clock import TimeInterval
 
@@ -36,7 +45,7 @@ class PredictionModel(Enum):
 
 @dataclass(frozen=True)
 class PredictionResult:
-    """A prediction of one day's demand."""
+    """A prediction of one day's demand (object view)."""
 
     aggregate: LoadProfile
     per_household: dict[str, LoadProfile]
@@ -54,6 +63,42 @@ class PredictionResult:
         return self.aggregate.average_in(interval)
 
 
+@dataclass(frozen=True)
+class FleetPrediction:
+    """A prediction of one day's demand (columnar view).
+
+    ``matrix`` is ``(num_households, slots)`` with rows in ``household_ids``
+    order; row ``i`` carries the same values as the per-household
+    :class:`LoadProfile` of the object view.
+    """
+
+    household_ids: tuple[str, ...]
+    matrix: np.ndarray
+    aggregate: LoadProfile
+    model: PredictionModel
+
+    def average_in(self, interval: TimeInterval) -> np.ndarray:
+        """Predicted average demand (kW) per household during an interval.
+
+        The array-native counterpart of
+        :meth:`PredictionResult.household_prediction_in`: one vector in
+        ``household_ids`` order, bit-identical per household.
+        """
+        return matrix_average_in(self.matrix, interval)
+
+    def aggregate_in(self, interval: TimeInterval) -> float:
+        """Predicted average aggregate demand (kW) during an interval."""
+        return self.aggregate.average_in(interval)
+
+    def as_result(self) -> PredictionResult:
+        """Materialise the object view (per-household ``LoadProfile`` mapping)."""
+        per_household = {
+            household_id: LoadProfile.from_array(row)
+            for household_id, row in zip(self.household_ids, self.matrix)
+        }
+        return PredictionResult(self.aggregate, per_household, self.model)
+
+
 class ConsumptionPredictor:
     """Predicts per-household and aggregate demand from history."""
 
@@ -66,15 +111,41 @@ class ConsumptionPredictor:
             raise ValueError("smoothing factor must be in (0, 1]")
         self.model = model
         self.smoothing_factor = smoothing_factor
-        self._history: list[PopulationDemand] = []
+        self._household_ids: Optional[list[str]] = None
+        self._id_set: Optional[frozenset[str]] = None
+        #: Growing (capacity, N, S) history buffer; rows [0, _num_days) are live.
+        self._buffer: Optional[np.ndarray] = None
+        self._num_days = 0
+        self._weathers: list[Optional[WeatherSample]] = []
 
     # -- training -----------------------------------------------------------
 
     def observe(self, demand: PopulationDemand) -> None:
-        """Record one realised day of demand."""
-        if self._history and set(demand.household_ids) != set(self._history[0].household_ids):
+        """Record one realised day of demand (incremental, no refit)."""
+        matrix = demand.matrix()
+        day_ids = demand.household_ids
+        if self._household_ids is None:
+            self._household_ids = day_ids
+            self._id_set = frozenset(day_ids)
+        elif set(day_ids) != self._id_set:
             raise ValueError("all observed days must cover the same households")
-        self._history.append(demand)
+        elif day_ids != self._household_ids:
+            # Buffer rows are positional; realign a day whose profiles come in
+            # a different id order (the object path looked profiles up by id).
+            position = {household_id: row for row, household_id in enumerate(day_ids)}
+            matrix = matrix[[position[household_id] for household_id in self._household_ids]]
+        if self._buffer is None:
+            capacity = 8
+            self._buffer = np.empty((capacity,) + matrix.shape)
+        elif matrix.shape != self._buffer.shape[1:]:
+            raise ValueError("all observed days must share one demand resolution")
+        elif self._num_days == self._buffer.shape[0]:
+            grown = np.empty((2 * self._buffer.shape[0],) + self._buffer.shape[1:])
+            grown[: self._num_days] = self._buffer[: self._num_days]
+            self._buffer = grown
+        self._buffer[self._num_days] = matrix
+        self._num_days += 1
+        self._weathers.append(demand.weather)
 
     def observe_many(self, demands: Sequence[PopulationDemand]) -> None:
         for demand in demands:
@@ -82,40 +153,49 @@ class ConsumptionPredictor:
 
     @property
     def history_length(self) -> int:
-        return len(self._history)
+        return self._num_days
 
     # -- prediction -----------------------------------------------------------
 
-    def predict(self, forecast_weather: Optional[WeatherSample] = None) -> PredictionResult:
-        """Predict the next day's demand.
+    def predict_columnar(
+        self, forecast_weather: Optional[WeatherSample] = None
+    ) -> FleetPrediction:
+        """Predict the next day's demand as per-household arrays.
 
         Raises
         ------
         ValueError
             If no history has been observed yet.
         """
-        if not self._history:
+        if self._num_days == 0:
             raise ValueError("cannot predict without any observed history")
-        household_ids = self._history[0].household_ids
         weights = self._weights()
-        per_household: dict[str, LoadProfile] = {}
-        for household_id in household_ids:
-            stacked = np.stack(
-                [day.household(household_id).as_array() for day in self._history]
-            )
-            mean_profile = np.average(stacked, axis=0, weights=weights)
-            per_household[household_id] = LoadProfile(tuple(float(v) for v in mean_profile))
+        history = self._buffer[: self._num_days]
+        matrix = np.average(history, axis=0, weights=weights)
         adjustment = self._weather_adjustment(forecast_weather)
         if adjustment != 1.0:
-            per_household = {
-                household_id: profile.scaled(adjustment)
-                for household_id, profile in per_household.items()
-            }
-        aggregate = LoadProfile.aggregate(per_household.values())
-        return PredictionResult(aggregate, per_household, self.model)
+            matrix = matrix * adjustment
+        matrix.setflags(write=False)
+        aggregate = LoadProfile.from_array(matrix.sum(axis=0))
+        return FleetPrediction(
+            household_ids=tuple(self._household_ids),
+            matrix=matrix,
+            aggregate=aggregate,
+            model=self.model,
+        )
+
+    def predict(self, forecast_weather: Optional[WeatherSample] = None) -> PredictionResult:
+        """Predict the next day's demand (object view of :meth:`predict_columnar`).
+
+        Raises
+        ------
+        ValueError
+            If no history has been observed yet.
+        """
+        return self.predict_columnar(forecast_weather).as_result()
 
     def _weights(self) -> np.ndarray:
-        n = len(self._history)
+        n = self._num_days
         if self.model is PredictionModel.EXPONENTIAL_SMOOTHING and n > 1:
             alpha = self.smoothing_factor
             weights = np.array([(1 - alpha) ** (n - 1 - i) for i in range(n)])
@@ -126,7 +206,7 @@ class ConsumptionPredictor:
         if self.model is not PredictionModel.WEATHER_ADJUSTED or forecast is None:
             return 1.0
         historical_factors = [
-            day.weather.heating_factor for day in self._history if day.weather is not None
+            weather.heating_factor for weather in self._weathers if weather is not None
         ]
         if not historical_factors:
             return 1.0

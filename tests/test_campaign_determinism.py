@@ -1,0 +1,220 @@
+"""Campaign determinism and fleet/scalar planning equivalence.
+
+Two contracts from the columnar planning pipeline:
+
+* **Backend determinism** — at a fixed seed, a campaign produces identical
+  ``CampaignResult.rows()`` whichever engine backend runs the negotiations
+  (``"object"`` / ``"vectorized"`` / ``"auto"``): the backend choice changes
+  wall-clock, never outcomes.
+* **Planning equivalence** — the columnar fleet path and the scalar
+  per-household path build bit-identical plans: same predicted uses, same
+  requirement tables per household, hence identical campaigns.
+
+A small population runs in tier-1; the 10k-household planning equivalence
+runs in tier-2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, campaign
+from repro.core.planning import DayAheadPlanner
+from repro.experiments.campaign_bench import (
+    CONDITION_CYCLE,
+    build_campaign_planner,
+)
+from repro.grid.weather import WeatherCondition, WeatherSample
+
+
+def small_planner(planning: str = "columnar") -> DayAheadPlanner:
+    return build_campaign_planner(30, seed=7, planning=planning)
+
+
+def run_small_campaign(backend: str, planning: str = "columnar"):
+    return campaign(
+        small_planner(),
+        6,
+        conditions=CONDITION_CYCLE,
+        backend=backend,
+        config=EngineConfig(planning=planning),
+        warmup_days=2,
+        seed=7,
+    )
+
+
+class TestCampaignBackendDeterminism:
+    def test_rows_identical_across_backends(self):
+        reference = run_small_campaign("object")
+        assert reference.days_negotiated >= 1
+        for backend in ("vectorized", "auto"):
+            other = run_small_campaign(backend)
+            assert other.rows() == reference.rows(), (
+                f"backend {backend!r} diverged from the object path"
+            )
+
+    def test_backends_are_recorded_per_day(self):
+        result = run_small_campaign("auto")
+        assert result.metadata["backend"] == "auto"
+        assert result.metadata["planning"] == "columnar"
+        assert len(result.backends) == result.num_days
+        for day in result.days:
+            if day.negotiated:
+                assert day.backend in ("object", "vectorized", "sharded")
+            else:
+                assert day.backend is None
+        # The backend never leaks into the rows: they must stay comparable
+        # across backends.
+        assert all("backend" not in row for row in result.rows())
+
+    def test_phase_timers_are_populated(self):
+        result = run_small_campaign("auto")
+        assert result.planning_seconds > 0
+        assert result.negotiation_seconds > 0
+
+
+class TestPlanningEquivalence:
+    def test_campaign_rows_identical_across_planning_modes(self):
+        columnar = run_small_campaign("auto", planning="columnar")
+        scalar = run_small_campaign("auto", planning="scalar")
+        assert scalar.metadata["planning"] == "scalar"
+        assert columnar.rows() == scalar.rows()
+
+    def test_campaign_without_config_respects_planner_mode(self):
+        result = campaign(
+            small_planner("scalar"), 3,
+            conditions=CONDITION_CYCLE, warmup_days=2, seed=7,
+        )
+        assert result.metadata["planning"] == "scalar"
+
+    def test_planned_scenarios_bit_identical(self):
+        planner = small_planner()
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+        cold = WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        planner.observe_days([mild, mild])
+        columnar = planner.plan(cold, planning="columnar")
+        scalar = planner.plan(cold, planning="scalar")
+        assert columnar is not None and scalar is not None
+        assert columnar.population.normal_use == scalar.population.normal_use
+        assert columnar.population.interval == scalar.population.interval
+        assert len(columnar.population.specs) == len(scalar.population.specs)
+        for fleet_spec, scalar_spec in zip(
+            columnar.population.specs, scalar.population.specs
+        ):
+            assert fleet_spec.customer_id == scalar_spec.customer_id
+            assert fleet_spec.predicted_use == scalar_spec.predicted_use
+            assert (
+                fleet_spec.requirements.requirements
+                == scalar_spec.requirements.requirements
+            )
+            assert (
+                fleet_spec.requirements.max_feasible_cutdown
+                == scalar_spec.requirements.max_feasible_cutdown
+            )
+
+    def test_prediction_is_memoised_per_forecast(self):
+        planner = small_planner()
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+        cold = WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        planner.observe_day(mild)
+        first = planner._predict(cold)
+        # Same forecast, same history: the cached prediction object is reused
+        # (predicted_peak_interval + plan cost one predictor run per day).
+        assert planner._predict(cold) is first
+        assert planner.predicted_peak_interval(cold) is not None
+        assert planner._predict(cold) is first
+        # New history invalidates the memo.
+        planner.observe_day(mild)
+        assert planner._predict(cold) is not first
+
+    def test_synthetic_population_columnar_equals_scalar(self):
+        from repro.core.scenario import synthetic_scenario
+
+        columnar = synthetic_scenario(num_households=40, planning="columnar")
+        scalar = synthetic_scenario(num_households=40, planning="scalar")
+        assert columnar.population.normal_use == scalar.population.normal_use
+        for fleet_spec, scalar_spec in zip(
+            columnar.population.specs, scalar.population.specs
+        ):
+            assert fleet_spec.predicted_use == scalar_spec.predicted_use
+            assert (
+                fleet_spec.requirements.requirements
+                == scalar_spec.requirements.requirements
+            )
+
+
+class TestColumnarAccountingGuards:
+    def test_divergent_customer_ids_fall_back_to_scalar_accounting(self):
+        """Populations whose customer ids differ from their household ids must
+        not ride the fleet accounting path (outcomes are keyed by customer id,
+        the fleet by household id)."""
+        from repro.agents.population import CustomerPopulation, CustomerSpec
+        from repro.core.scenario import synthetic_scenario
+        from repro.core.system import LoadBalancingSystem
+
+        base = synthetic_scenario(num_households=20)
+        renamed = CustomerPopulation(
+            specs=[
+                CustomerSpec(
+                    customer_id=f"c{i:03d}",
+                    predicted_use=spec.predicted_use,
+                    allowed_use=spec.allowed_use,
+                    requirements=spec.requirements,
+                    household=spec.household,
+                )
+                for i, spec in enumerate(base.population.specs)
+            ],
+            normal_use=base.population.normal_use,
+            interval=base.population.interval,
+            max_allowed_overuse=base.population.max_allowed_overuse,
+            households=base.population.households,
+            weather=base.population.weather,
+        )
+        base.population.fleet = None
+        renamed_scenario = type(base)(
+            name="renamed", population=renamed, method=base.method,
+            weather=base.weather,
+        )
+        system = LoadBalancingSystem(renamed_scenario, seed=0)
+        assert system._accounting_fleet() is None
+        outcome = system.run(backend="vectorized")
+        # The awarded cut-downs must actually be applied.
+        assert outcome.negotiated
+        assert outcome.peak_after_kw < outcome.peak_before_kw
+
+    def test_matching_ids_produce_identical_accounting_either_path(self):
+        from repro.core.scenario import synthetic_scenario
+        from repro.core.system import LoadBalancingSystem
+
+        scenario = synthetic_scenario(num_households=20)
+        fleet_result = LoadBalancingSystem(scenario, seed=0).run(backend="vectorized")
+        scalar_result = LoadBalancingSystem(scenario, seed=0)._run_scalar(
+            backend="vectorized"
+        )
+        assert fleet_result.peak_after_kw == scalar_result.peak_after_kw
+        assert fleet_result.production_cost_after == scalar_result.production_cost_after
+        assert fleet_result.reward_paid == scalar_result.reward_paid
+
+
+@pytest.mark.tier2
+class TestPlanningEquivalenceAtScale:
+    def test_10k_plan_bit_identical(self):
+        planner = build_campaign_planner(10_000, seed=7)
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+        cold = WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        planner.observe_days([mild, mild])
+        columnar = planner.plan(cold, planning="columnar")
+        scalar = planner.plan(cold, planning="scalar")
+        assert columnar is not None and scalar is not None
+        for fleet_spec, scalar_spec in zip(
+            columnar.population.specs, scalar.population.specs
+        ):
+            assert fleet_spec.predicted_use == scalar_spec.predicted_use
+            assert (
+                fleet_spec.requirements.requirements
+                == scalar_spec.requirements.requirements
+            )
+            assert (
+                fleet_spec.requirements.max_feasible_cutdown
+                == scalar_spec.requirements.max_feasible_cutdown
+            )

@@ -1,0 +1,217 @@
+"""Tests for the columnar household fleet and its bit-identity contract.
+
+Every fleet kernel must reproduce the scalar per-household path *bit for
+bit* — not approximately — because the planner's fleet/scalar equivalence
+guarantee (and hence campaign determinism across planning modes) rests on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.appliances import (
+    Appliance,
+    ApplianceCategory,
+    ApplianceLibrary,
+    standard_appliance_library,
+)
+from repro.grid.demand import DemandModel
+from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+from repro.grid.household import Household, HouseholdProfile
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.runtime.clock import TimeInterval
+from repro.runtime.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def households():
+    random = RandomSource(11, "fleet_test")
+    return [Household.generate(f"h{i:03d}", random.spawn(f"h{i}")) for i in range(60)]
+
+
+@pytest.fixture(scope="module")
+def fleet(households):
+    return HouseholdFleet(households)
+
+
+@pytest.fixture(params=[None, "cold"])
+def weather(request):
+    if request.param is None:
+        return None
+    return WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+
+
+@pytest.fixture
+def interval():
+    return TimeInterval.from_hours(16, 21)
+
+
+class TestFleetKernels:
+    def test_demand_profiles_bit_identical(self, fleet, households, weather):
+        matrix = fleet.demand_profiles(weather)
+        assert matrix.shape == (len(households), 24)
+        for row, household in zip(matrix, households):
+            assert np.array_equal(row, household.demand_profile(weather).as_array())
+
+    def test_energy_in_bit_identical(self, fleet, households, weather, interval):
+        energies = fleet.energy_in(interval, weather)
+        for energy, household in zip(energies, households):
+            assert energy == household.demand_profile(weather).energy_in(interval)
+
+    def test_average_in_bit_identical(self, fleet, households, weather, interval):
+        averages = fleet.average_in(interval, weather)
+        for average, household in zip(averages, households):
+            assert average == household.demand_profile(weather).average_in(interval)
+
+    def test_saveable_energy_bit_identical(self, fleet, households, weather, interval):
+        saveable = fleet.saveable_energy(interval, weather)
+        for energy, household in zip(saveable, households):
+            assert energy == household.saveable_energy(interval, weather)
+
+    def test_max_cutdown_fractions_bit_identical(self, fleet, households, weather, interval):
+        fractions = fleet.max_cutdown_fractions(interval, weather)
+        for fraction, household in zip(fractions, households):
+            assert fraction == household.max_cutdown_fraction(interval, weather)
+
+    def test_max_cutdown_fractions_accepts_precomputed_energies(self, fleet, weather, interval):
+        energies = fleet.energy_in(interval, weather)
+        with_energies = fleet.max_cutdown_fractions(
+            interval, weather, demand_energies=energies
+        )
+        assert np.array_equal(with_energies, fleet.max_cutdown_fractions(interval, weather))
+
+    def test_aggregate_demand_matches_scalar_aggregation(self, fleet, households, weather):
+        from repro.grid.load_profile import LoadProfile
+
+        expected = LoadProfile.aggregate(
+            household.demand_profile(weather) for household in households
+        )
+        assert fleet.aggregate_demand(weather).values == expected.values
+
+    def test_demand_matrix_is_cached_and_read_only(self, fleet):
+        first = fleet.demand_profiles(None)
+        assert fleet.demand_profiles(None) is first
+        with pytest.raises(ValueError):
+            first[0, 0] = 1.0
+
+
+class TestFleetCompatibility:
+    def test_requires_households(self):
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([])
+
+    def test_rejects_mixed_resolutions(self, households):
+        library = standard_appliance_library()
+        odd = Household.generate("odd", RandomSource(1, "odd"), library, slots_per_day=48)
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([households[0], odd])
+
+    def test_rejects_out_of_library_order_ownership(self):
+        library = standard_appliance_library()
+        names = library.names
+        profile = HouseholdProfile(
+            household_id="reversed",
+            size=2,
+            ownership={names[3]: 1.0, names[0]: 1.0},
+            comfort_weight=1.0,
+            flexibility_scale=0.8,
+        )
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([Household(profile, library)])
+
+    def test_rejects_different_libraries(self, households):
+        other = ApplianceLibrary([
+            Appliance(
+                name="only_heating",
+                category=ApplianceCategory.SPACE_HEATING,
+                rated_power_kw=5.0,
+                daily_energy_kwh=20.0,
+                usage_pattern=tuple(1.0 for __ in range(24)),
+                flexibility=0.5,
+            )
+        ])
+        profile = HouseholdProfile(
+            household_id="alien", size=2, ownership={"only_heating": 1.0},
+            comfort_weight=1.0, flexibility_scale=0.8,
+        )
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([households[0], Household(profile, other)])
+
+    def test_equal_value_library_is_accepted(self, households):
+        clone = standard_appliance_library()
+        profile = HouseholdProfile(
+            household_id="clone", size=2,
+            ownership={name: 1.0 for name in clone.names},
+            comfort_weight=1.0, flexibility_scale=0.8,
+        )
+        fleet = HouseholdFleet([households[0], Household(profile, clone)])
+        assert len(fleet) == 2
+
+
+class TestColumnarDemandModel:
+    def test_realise_matches_scalar_path(self, households):
+        cold = WeatherSample(temperature_c=-15.0, condition=WeatherCondition.COLD)
+        columnar = DemandModel(households, RandomSource(5, "d")).realise(cold)
+        scalar = DemandModel(households, RandomSource(5, "d"))._realise_scalar(cold)
+        assert columnar.household_ids == scalar.household_ids
+        for household_id in columnar.household_ids:
+            assert columnar.household(household_id).values == scalar.household(household_id).values
+        assert columnar.aggregate.values == scalar.aggregate.values
+
+    def test_population_demand_matrix_round_trip(self, households):
+        demand = DemandModel(households, RandomSource(6, "d")).realise(None)
+        matrix = demand.matrix()
+        profiles = demand.household_profiles
+        for row, household_id in zip(matrix, demand.household_ids):
+            assert tuple(float(v) for v in row) == profiles[household_id].values
+
+
+class TestColumnarPredictor:
+    @pytest.mark.parametrize("model", list(PredictionModel))
+    def test_predict_columnar_matches_object_view(self, households, model):
+        cold = WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        demand_model = DemandModel(households, RandomSource(8, "d"))
+        predictor = ConsumptionPredictor(model)
+        predictor.observe_many([demand_model.realise(cold) for __ in range(4)])
+        columnar = predictor.predict_columnar(cold)
+        objects = predictor.predict(cold)
+        assert list(columnar.household_ids) == list(objects.per_household)
+        for household_id, row in zip(columnar.household_ids, columnar.matrix):
+            assert tuple(float(v) for v in row) == objects.per_household[household_id].values
+        assert columnar.aggregate.values == objects.aggregate.values
+        interval = TimeInterval.from_hours(17, 20)
+        vector = columnar.average_in(interval)
+        mapping = objects.household_prediction_in(interval)
+        for household_id, value in zip(columnar.household_ids, vector):
+            assert value == mapping[household_id]
+
+    def test_observe_realigns_shuffled_household_order(self, households):
+        day_one = DemandModel(households, RandomSource(9, "d")).realise(None)
+        profiles = day_one.household_profiles
+        shuffled = dict(reversed(list(profiles.items())))
+        predictor = ConsumptionPredictor()
+        predictor.observe(day_one)
+        from repro.grid.demand import PopulationDemand
+
+        predictor.observe(PopulationDemand(shuffled))
+        prediction = predictor.predict()
+        # Both days carry identical profiles per id, so the mean equals day one.
+        for household_id, profile in profiles.items():
+            assert prediction.per_household[household_id].values == profile.values
+
+    def test_observe_rejects_different_households(self, households):
+        predictor = ConsumptionPredictor()
+        predictor.observe(DemandModel(households[:5], RandomSource(1, "a")).realise(None))
+        with pytest.raises(ValueError):
+            predictor.observe(DemandModel(households[5:10], RandomSource(2, "b")).realise(None))
+
+    def test_history_buffer_grows_incrementally(self, households):
+        demand_model = DemandModel(households[:3], RandomSource(3, "d"))
+        predictor = ConsumptionPredictor()
+        for day in range(20):
+            predictor.observe(demand_model.realise(None))
+            assert predictor.history_length == day + 1
+        assert predictor._buffer.shape[0] >= 20
+        predictor.predict()

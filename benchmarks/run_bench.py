@@ -44,6 +44,8 @@ from repro.experiments.campaign_bench import (  # noqa: E402  (path setup above)
     CAMPAIGN_DAYS,
     CAMPAIGN_HOUSEHOLDS,
     CAMPAIGN_SEED,
+    LARGE_CAMPAIGN_HOUSEHOLDS,
+    LARGE_CAMPAIGN_WINDOW,
     render_entry,
     run_campaign_bench,
     write_campaign_json,
@@ -76,6 +78,14 @@ WALL_ABSOLUTE_FLOOR_SECONDS = 0.25
 CAMPAIGN_WALL_TOLERANCE = 3.0
 #: Absolute floor (seconds) below which campaign phase regressions are noise.
 CAMPAIGN_WALL_FLOOR_SECONDS = 5.0
+
+#: Peak-memory tolerance for the ``lazy_large`` campaign replay: the fresh
+#: tracemalloc peak may be at most this factor above the committed baseline.
+#: tracemalloc counts live Python/numpy allocations, which are deterministic
+#: up to allocator/runtime details, so the band is tighter than wall-clock;
+#: the absolute floor keeps interpreter-version noise from flagging.
+CAMPAIGN_MEMORY_TOLERANCE = 1.5
+CAMPAIGN_MEMORY_FLOOR_MB = 256.0
 
 
 def wall_tolerance_for(size: int) -> float:
@@ -155,11 +165,37 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
         backend=str(base.get("backend", "auto")),
         planning="columnar",
     )
+    _compare_campaign_entry("campaign", base, entry, failures)
+    large = payload.get("lazy_large")
+    if large is not None:
+        print(
+            f"lazy-large campaign check "
+            f"({large['num_households']} households x {large['num_days']} days, "
+            f"materialise=lazy, history_window={large.get('history_window')})"
+        )
+        large_entry = run_campaign_bench(
+            num_households=int(large["num_households"]),
+            num_days=int(large["num_days"]),
+            seed=seed,
+            backend=str(large.get("backend", "auto")),
+            planning="columnar",
+            materialise="lazy",
+            history_window=large.get("history_window"),
+            retain_logs=False,
+            track_memory=True,
+        )
+        _compare_campaign_entry("lazy_large", large, large_entry, failures)
+
+
+def _compare_campaign_entry(
+    label: str, base: dict, entry, failures: list[str]
+) -> None:
+    """Exact behaviour, banded wall-clock, banded peak memory (when recorded)."""
     row = entry.as_row()
     for key in ("days_negotiated", "negotiated_days", "total_reward_paid"):
         if row[key] != base[key]:
             failures.append(
-                f"campaign: {key} changed {base[key]} -> {row[key]}"
+                f"{label}: {key} changed {base[key]} -> {row[key]}"
             )
     for phase in ("planning_seconds", "negotiation_seconds"):
         allowed = max(
@@ -168,13 +204,31 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
         status = "ok"
         if row[phase] > allowed:
             failures.append(
-                f"campaign: {phase} {row[phase]:.2f} exceeds {allowed:.2f} "
+                f"{label}: {phase} {row[phase]:.2f} exceeds {allowed:.2f} "
                 f"(baseline {float(base[phase]):.2f} x {CAMPAIGN_WALL_TOLERANCE:.1f})"
             )
             status = "REGRESSION"
         print(
-            f"  [campaign] {phase}: {row[phase]:.2f}s "
+            f"  [{label}] {phase}: {row[phase]:.2f}s "
             f"(baseline {float(base[phase]):.2f}s, allowed {allowed:.2f}s) [{status}]"
+        )
+    baseline_peak = base.get("peak_traced_mb")
+    fresh_peak = row.get("peak_traced_mb")
+    if baseline_peak is not None and fresh_peak is not None:
+        allowed = max(
+            float(baseline_peak) * CAMPAIGN_MEMORY_TOLERANCE, CAMPAIGN_MEMORY_FLOOR_MB
+        )
+        status = "ok"
+        if fresh_peak > allowed:
+            failures.append(
+                f"{label}: peak_traced_mb {fresh_peak:.1f} exceeds {allowed:.1f} "
+                f"(baseline {float(baseline_peak):.1f} x "
+                f"{CAMPAIGN_MEMORY_TOLERANCE:.2f})"
+            )
+            status = "REGRESSION"
+        print(
+            f"  [{label}] peak_traced_mb: {fresh_peak:.1f} "
+            f"(baseline {float(baseline_peak):.1f}, allowed {allowed:.1f}) [{status}]"
         )
 
 
@@ -299,6 +353,19 @@ def main(argv: list[str] | None = None) -> int:
              "entry; the scalar run costs minutes at 10k households)",
     )
     parser.add_argument(
+        "--campaign-large-households", type=int, default=LARGE_CAMPAIGN_HOUSEHOLDS,
+        help="population size of the utility-scale lazy campaign point",
+    )
+    parser.add_argument(
+        "--skip-campaign-large", action="store_true",
+        help="skip the utility-scale lazy campaign point (no lazy_large entry)",
+    )
+    parser.add_argument(
+        "--campaign-only", action="store_true",
+        help="run only the campaign stages (leaves BENCH_scalability.json and "
+             "its report untouched)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="compare a fresh sweep against the committed trajectory instead of "
              "rewriting it; exits non-zero on regression",
@@ -318,12 +385,15 @@ def main(argv: list[str] | None = None) -> int:
             or arguments.skip_sharded
             or arguments.campaign_households != CAMPAIGN_HOUSEHOLDS
             or arguments.campaign_days != CAMPAIGN_DAYS
+            or arguments.campaign_large_households != LARGE_CAMPAIGN_HOUSEHOLDS
+            or arguments.campaign_only
         ):
             parser.error(
                 "--check replays the committed baseline's sizes, shards and "
                 "seed; it cannot be combined with --sizes/--object-sizes/"
                 "--sharded-sizes/--shards/--seed/--skip-object-path/"
-                "--skip-sharded/--campaign-households/--campaign-days"
+                "--skip-sharded/--campaign-households/--campaign-days/"
+                "--campaign-large-households/--campaign-only"
             )
         campaign_path = None if arguments.skip_campaign else arguments.campaign_json
         return check_against_baseline(arguments.json, campaign_path)
@@ -334,46 +404,48 @@ def main(argv: list[str] | None = None) -> int:
         else max(2, default_shard_count())
     )
 
-    print(f"fast-path sweep: sizes={arguments.sizes} seed={arguments.seed}")
-    fast_result = run_scalability(
-        sizes=tuple(arguments.sizes), seed=arguments.seed, fast=True
-    )
-    print(fast_result.render())
-
-    sharded_result = None
-    if not arguments.skip_sharded:
-        print(
-            f"sharded sweep: sizes={arguments.sharded_sizes} shards={shards}"
-        )
-        sharded_result = run_scalability(
-            sizes=tuple(arguments.sharded_sizes), seed=arguments.seed,
-            backend="sharded", shards=shards,
-        )
-        print(sharded_result.render())
-
-    object_result = None
-    if not arguments.skip_object_path:
-        print(f"object-path reference: sizes={arguments.object_sizes}")
-        object_result = run_scalability(
-            sizes=tuple(arguments.object_sizes), seed=arguments.seed, fast=False
-        )
-        print(object_result.render())
-
     report_dir = BENCH_DIR / "reports"
     report_dir.mkdir(exist_ok=True)
-    report_path = report_dir / "E9_scalability_fast.txt"
-    report = fast_result.render()
-    if sharded_result is not None:
-        report += "\n\n" + sharded_result.render()
-    if object_result is not None:
-        report += "\n\n" + object_result.render()
-    report_path.write_text(report + "\n", encoding="utf-8")
-    json_path = write_benchmark_json(
-        arguments.json, fast_result, object_result, seed=arguments.seed,
-        sharded_result=sharded_result,
-    )
-    print(f"wrote {report_path}")
-    print(f"wrote {json_path}")
+
+    if not arguments.campaign_only:
+        print(f"fast-path sweep: sizes={arguments.sizes} seed={arguments.seed}")
+        fast_result = run_scalability(
+            sizes=tuple(arguments.sizes), seed=arguments.seed, fast=True
+        )
+        print(fast_result.render())
+
+        sharded_result = None
+        if not arguments.skip_sharded:
+            print(
+                f"sharded sweep: sizes={arguments.sharded_sizes} shards={shards}"
+            )
+            sharded_result = run_scalability(
+                sizes=tuple(arguments.sharded_sizes), seed=arguments.seed,
+                backend="sharded", shards=shards,
+            )
+            print(sharded_result.render())
+
+        object_result = None
+        if not arguments.skip_object_path:
+            print(f"object-path reference: sizes={arguments.object_sizes}")
+            object_result = run_scalability(
+                sizes=tuple(arguments.object_sizes), seed=arguments.seed, fast=False
+            )
+            print(object_result.render())
+
+        report_path = report_dir / "E9_scalability_fast.txt"
+        report = fast_result.render()
+        if sharded_result is not None:
+            report += "\n\n" + sharded_result.render()
+        if object_result is not None:
+            report += "\n\n" + object_result.render()
+        report_path.write_text(report + "\n", encoding="utf-8")
+        json_path = write_benchmark_json(
+            arguments.json, fast_result, object_result, seed=arguments.seed,
+            sharded_result=sharded_result,
+        )
+        print(f"wrote {report_path}")
+        print(f"wrote {json_path}")
 
     if not arguments.skip_campaign:
         print(
@@ -409,14 +481,55 @@ def main(argv: list[str] | None = None) -> int:
                 / columnar_entry.result.planning_seconds
             )
             print(f"planning_speedup (scalar/columnar): {speedup:.1f}x")
+        print(
+            f"campaign benchmark: {arguments.campaign_households} households x "
+            f"{arguments.campaign_days} days (lazy materialisation, tracemalloc)"
+        )
+        lazy_entry = run_campaign_bench(
+            num_households=arguments.campaign_households,
+            num_days=arguments.campaign_days,
+            seed=arguments.seed,
+            materialise="lazy",
+            track_memory=True,
+        )
+        print(render_entry(lazy_entry))
+        # Zero-materialisation is an optimisation, not a behaviour change:
+        # wherever lazy and eager both run, the campaigns must be identical.
+        if lazy_entry.result.rows() != columnar_entry.result.rows():
+            print(
+                "campaign FAILURE: lazy and eager materialisation diverged",
+                file=sys.stderr,
+            )
+            return 1
+        large_entry = None
+        if not arguments.skip_campaign_large:
+            print(
+                f"campaign benchmark: {arguments.campaign_large_households} "
+                f"households x {arguments.campaign_days} days (lazy, "
+                f"history_window={LARGE_CAMPAIGN_WINDOW}, no bid retention, "
+                f"tracemalloc)"
+            )
+            large_entry = run_campaign_bench(
+                num_households=arguments.campaign_large_households,
+                num_days=arguments.campaign_days,
+                seed=arguments.seed,
+                materialise="lazy",
+                history_window=LARGE_CAMPAIGN_WINDOW,
+                retain_logs=False,
+                track_memory=True,
+            )
+            print(render_entry(large_entry))
         campaign_report = render_entry(columnar_entry)
         if scalar_entry is not None:
             campaign_report += "\n\n" + render_entry(scalar_entry)
+        campaign_report += "\n\n" + render_entry(lazy_entry)
+        if large_entry is not None:
+            campaign_report += "\n\n" + render_entry(large_entry)
         campaign_report_path = report_dir / "campaign_pipeline.txt"
         campaign_report_path.write_text(campaign_report + "\n", encoding="utf-8")
         campaign_json_path = write_campaign_json(
             arguments.campaign_json, columnar_entry, scalar_entry,
-            seed=arguments.seed,
+            seed=arguments.seed, lazy=lazy_entry, lazy_large=large_entry,
         )
         print(f"wrote {campaign_report_path}")
         print(f"wrote {campaign_json_path}")

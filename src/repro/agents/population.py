@@ -14,6 +14,20 @@ Experiments need populations of customers at two levels of fidelity:
 :class:`~repro.negotiation.methods.base.CustomerContext` objects, Customer
 Agents and the Utility Agent's :class:`UtilityContext` for a negotiation
 about a given peak interval.
+
+**Lazy materialisation.**  Populations assembled by the columnar planner
+(:meth:`CustomerPopulation.from_fleet`) can defer building the per-customer
+:class:`CustomerSpec` objects and their dict reward tables entirely
+(``materialise="lazy"``): the population then carries the planning arrays —
+ids, predicted uses and the :class:`~repro.agents.preferences
+.FleetRequirements` matrix — and :meth:`CustomerPopulation.columnar_view`
+hands them straight to :class:`~repro.agents.vectorized.VectorizedPopulation`,
+so a 100k-household campaign day never allocates 100k spec objects or
+100k requirement dicts.  Anything that genuinely needs the object view
+(``.specs``, the object backend, resource consumers) triggers
+materialisation transparently, and the materialised objects are bit-identical
+to an ``materialise="eager"`` population — the eager path stays the
+equivalence oracle.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ import numpy as np
 from repro.agents.customer_agent import CustomerAgent
 from repro.agents.preferences import CustomerPreferenceModel, FleetRequirements
 from repro.agents.resource_consumer_agent import ResourceConsumerAgent
+from repro.core.modes import validate_materialise_mode, validate_planning_mode
 from repro.grid.appliances import ApplianceLibrary, standard_appliance_library
 from repro.grid.demand import DemandModel
 from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
@@ -74,6 +89,22 @@ class CustomerSpec:
         )
 
 
+@dataclass(frozen=True)
+class PopulationColumns:
+    """The columnar planning → negotiation hand-off of a lazy population.
+
+    Exactly what :class:`~repro.agents.vectorized.VectorizedPopulation` needs
+    to pack itself without touching per-customer objects: ids and uses in
+    population order plus the shared-grid :class:`~repro.agents.preferences
+    .FleetRequirements` matrix.
+    """
+
+    customer_ids: list[str]
+    predicted_uses: list[float]
+    allowed_uses: list[float]
+    requirements: FleetRequirements
+
+
 class CustomerPopulation:
     """A set of customers plus the utility-side view of them."""
 
@@ -88,9 +119,22 @@ class CustomerPopulation:
     ) -> None:
         if not specs:
             raise ValueError("a population needs at least one customer")
+        self._specs: Optional[list[CustomerSpec]] = list(specs)
+        self._columns: Optional[PopulationColumns] = None
+        self._init_common(
+            normal_use, interval, max_allowed_overuse, households, weather
+        )
+
+    def _init_common(
+        self,
+        normal_use: float,
+        interval: Optional[TimeInterval],
+        max_allowed_overuse: float,
+        households: Optional[Sequence[Household]],
+        weather: Optional[WeatherSample],
+    ) -> None:
         if normal_use <= 0:
             raise ValueError("normal use must be positive")
-        self.specs = list(specs)
         self.normal_use = float(normal_use)
         self.interval = interval
         self.max_allowed_overuse = float(max_allowed_overuse)
@@ -101,18 +145,72 @@ class CustomerPopulation:
         #: load-balancing system's accounting) reuse the packed arrays.
         self.fleet: Optional[HouseholdFleet] = None
 
+    # -- materialisation -----------------------------------------------------------
+
+    @property
+    def specs(self) -> list[CustomerSpec]:
+        """The per-customer spec objects (materialised on first access)."""
+        if self._specs is None:
+            self._specs = self._materialise_specs()
+        return self._specs
+
+    @property
+    def materialised(self) -> bool:
+        """Whether the per-customer spec objects exist (always for eager)."""
+        return self._specs is not None
+
+    def _materialise_specs(self) -> list[CustomerSpec]:
+        """Build the spec objects a lazy population deferred (bit-identical
+        to the ones an eager :meth:`from_fleet` would have built)."""
+        columns = self._columns
+        tables = columns.requirements.tables()
+        return [
+            CustomerSpec(
+                customer_id=customer_id,
+                predicted_use=use,
+                allowed_use=allowed,
+                requirements=table,
+                household=household,
+            )
+            for customer_id, use, allowed, table, household in zip(
+                columns.customer_ids,
+                columns.predicted_uses,
+                columns.allowed_uses,
+                tables,
+                self.households,
+            )
+        ]
+
+    def columnar_view(self) -> Optional[PopulationColumns]:
+        """The planning arrays of a lazy population, or ``None``.
+
+        Consumers that can run straight off the arrays (the vectorized /
+        sharded negotiation backends) use this to bypass the object view; a
+        ``None`` means the population is spec-backed and they should read
+        :attr:`specs` as before.
+        """
+        return self._columns if self._specs is None else None
+
     # -- basic views ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.specs)
+        if self._specs is None:
+            return len(self._columns.customer_ids)
+        return len(self._specs)
 
     @property
     def customer_ids(self) -> list[str]:
-        return [spec.customer_id for spec in self.specs]
+        if self._specs is None:
+            return list(self._columns.customer_ids)
+        return [spec.customer_id for spec in self._specs]
 
     @property
     def total_predicted_use(self) -> float:
-        return sum(spec.predicted_use for spec in self.specs)
+        # Both branches sum the identical Python floats left to right, so the
+        # lazy and eager views agree bit for bit.
+        if self._specs is None:
+            return sum(self._columns.predicted_uses)
+        return sum(spec.predicted_use for spec in self._specs)
 
     @property
     def initial_overuse(self) -> float:
@@ -127,10 +225,17 @@ class CustomerPopulation:
     # -- agent construction ------------------------------------------------------------
 
     def utility_context(self) -> UtilityContext:
+        if self._specs is None:
+            columns = self._columns
+            predicted = dict(zip(columns.customer_ids, columns.predicted_uses))
+            allowed = dict(zip(columns.customer_ids, columns.allowed_uses))
+        else:
+            predicted = {s.customer_id: s.predicted_use for s in self._specs}
+            allowed = {s.customer_id: s.allowed_use for s in self._specs}
         return UtilityContext(
             normal_use=self.normal_use,
-            predicted_uses={s.customer_id: s.predicted_use for s in self.specs},
-            allowed_uses={s.customer_id: s.allowed_use for s in self.specs},
+            predicted_uses=predicted,
+            allowed_uses=allowed,
             interval=self.interval,
             max_allowed_overuse=self.max_allowed_overuse,
         )
@@ -180,19 +285,39 @@ class CustomerPopulation:
         interval: Optional[TimeInterval] = None,
         max_allowed_overuse: float = 0.0,
         weather: Optional[WeatherSample] = None,
+        materialise: str = "eager",
     ) -> "CustomerPopulation":
         """A population assembled from columnar planning arrays.
 
         The compute-heavy planning quantities (predicted uses, requirement
-        tables) arrive as arrays straight from the fleet kernels; this
-        constructor only materialises the per-customer spec objects the
-        negotiation sessions consume.  The resulting population is
-        bit-identical to one built through the scalar per-household loop.
+        tables) arrive as arrays straight from the fleet kernels.  With
+        ``materialise="eager"`` (the default, and the equivalence oracle)
+        the per-customer spec objects the object-path sessions consume are
+        built immediately; with ``materialise="lazy"`` the population keeps
+        only the arrays and defers the spec objects until something actually
+        reads :attr:`specs` — the batched negotiation backends never do.
+        Either way the population is bit-identical to one built through the
+        scalar per-household loop.
         """
+        validate_materialise_mode(materialise)
         if len(fleet) != len(predicted_uses) or len(fleet) != len(requirements):
             raise ValueError("fleet, predicted uses and requirements must align")
-        tables = requirements.tables()
         predicted = [float(use) for use in predicted_uses]
+        if materialise == "lazy":
+            population = cls.__new__(cls)
+            population._specs = None
+            population._columns = PopulationColumns(
+                customer_ids=list(fleet.household_ids),
+                predicted_uses=predicted,
+                allowed_uses=predicted,
+                requirements=requirements,
+            )
+            population._init_common(
+                normal_use, interval, max_allowed_overuse, fleet.households, weather
+            )
+            population.fleet = fleet
+            return population
+        tables = requirements.tables()
         specs = [
             CustomerSpec(
                 customer_id=customer_id,
@@ -226,6 +351,7 @@ class CustomerPopulation:
         capacity_quantile: float = 0.75,
         max_allowed_overuse_fraction: float = 0.02,
         planning: str = "columnar",
+        materialise: str = "eager",
     ) -> "CustomerPopulation":
         """A synthetic household population with grid-substrate demand.
 
@@ -239,10 +365,12 @@ class CustomerPopulation:
         ``"columnar"`` (default) runs the fleet kernels, ``"scalar"`` the
         per-household object loop.  The two are bit-identical — the scalar
         path survives as the equivalence oracle and as the fallback for
-        fleet-incompatible household sets.
+        fleet-incompatible household sets.  ``materialise="lazy"`` (columnar
+        path only) defers the per-customer spec objects; the scalar path
+        always materialises.
         """
-        if planning not in ("columnar", "scalar"):
-            raise ValueError(f"unknown planning mode {planning!r}")
+        validate_planning_mode(planning)
+        validate_materialise_mode(materialise)
         random = RandomSource(config.seed, name="population")
         library = library or standard_appliance_library()
         households = [
@@ -289,6 +417,7 @@ class CustomerPopulation:
                 interval=interval,
                 max_allowed_overuse=max_allowed_overuse,
                 weather=weather,
+                materialise=materialise,
             )
         specs = []
         for household, base_weight in zip(households, base_weights):

@@ -62,6 +62,19 @@ class FleetRequirements:
             for row, feasible in zip(self.matrix.tolist(), self.max_feasible.tolist())
         ]
 
+    def slice(self, start: int, stop: int) -> "FleetRequirements":
+        """Requirements for households ``[start, stop)`` (row views, no copies).
+
+        Used by the sharded runtime to keep each shard of a lazily
+        materialised population columnar.
+        """
+        return FleetRequirements(
+            grid=self.grid,
+            matrix=self.matrix[start:stop],
+            max_feasible=self.max_feasible[start:stop],
+            energies=self.energies[start:stop],
+        )
+
 
 @dataclass
 class CustomerPreferenceModel:

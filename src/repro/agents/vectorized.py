@@ -36,7 +36,8 @@ import numpy as np
 from repro.negotiation.reward_table import CutdownRewardRequirements, RewardTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.agents.population import CustomerPopulation
+    from repro.agents.population import CustomerPopulation, PopulationColumns
+    from repro.agents.preferences import FleetRequirements
     from repro.negotiation.messages import OfferAnnouncement
 
 #: Bound on each per-population kernel-cache kind (entries are per announced
@@ -97,14 +98,28 @@ class VectorizedPopulation:
         self.customer_ids = list(customer_ids)
         self.predicted_uses = np.asarray(predicted_uses, dtype=float)
         self.allowed_uses = np.asarray(allowed_uses, dtype=float)
-        self.requirements = list(requirements)
+        self._requirements: Optional[list[CutdownRewardRequirements]] = list(requirements)
+        self._requirements_source: Optional["FleetRequirements"] = None
         self.max_feasible_cutdowns = np.array(
-            [r.max_feasible_cutdown for r in self.requirements], dtype=float
+            [r.max_feasible_cutdown for r in self._requirements], dtype=float
         )
         self.requirement_grid: Optional[np.ndarray] = None
         self.requirement_matrix: Optional[np.ndarray] = None
         self._build_requirement_matrix()
         self._reset_kernel_cache()
+
+    @property
+    def requirements(self) -> list[CutdownRewardRequirements]:
+        """Per-customer requirement tables (materialised on first access).
+
+        Columnar-built populations (:meth:`from_columnar`) defer these — the
+        batched kernels run straight off :attr:`requirement_matrix` and only
+        the heterogeneous-grid scalar fallbacks read table objects, which a
+        shared-grid fleet population never hits.
+        """
+        if self._requirements is None:
+            self._requirements = self._requirements_source.tables()
+        return self._requirements
 
     def _reset_kernel_cache(self) -> None:
         self._required_rewards_cache: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
@@ -127,7 +142,18 @@ class VectorizedPopulation:
 
     @classmethod
     def from_population(cls, population: "CustomerPopulation") -> "VectorizedPopulation":
-        """Pack a :class:`~repro.agents.population.CustomerPopulation`."""
+        """Pack a :class:`~repro.agents.population.CustomerPopulation`.
+
+        Lazy (columnar-backed) populations are packed straight from their
+        planning arrays — no spec objects, no dict reward tables; spec-backed
+        populations go through the per-spec path as before.  Both packings
+        are bit-identical.
+        """
+        columns = population.columnar_view()
+        if columns is not None:
+            packed = cls.from_columnar(columns)
+            if packed is not None:
+                return packed
         specs = population.specs
         return cls(
             customer_ids=[s.customer_id for s in specs],
@@ -135,6 +161,41 @@ class VectorizedPopulation:
             allowed_uses=[s.allowed_use for s in specs],
             requirements=[s.requirements for s in specs],
         )
+
+    @classmethod
+    def from_columnar(
+        cls, columns: "PopulationColumns"
+    ) -> Optional["VectorizedPopulation"]:
+        """Pack a population directly from its columnar planning arrays.
+
+        The requirement matrix and grid come verbatim from the
+        :class:`~repro.agents.preferences.FleetRequirements` — the same
+        float values an eager packing would read back out of the per-customer
+        requirement dicts, so the two constructions are bit-identical.
+        Returns ``None`` when the grid would not survive the requirement
+        tables' key normalisation unchanged (rounding, ordering); the caller
+        then falls back to the spec path, whose tables define the contract.
+        """
+        requirements = columns.requirements
+        grid = [float(c) for c in requirements.grid]
+        normalised = [round(c, 6) for c in grid]
+        ascending = all(a < b for a, b in zip(normalised, normalised[1:]))
+        in_range = all(0.0 <= c <= 1.0 for c in normalised)
+        if normalised != grid or not ascending or not in_range:
+            return None
+        population = object.__new__(cls)
+        population.customer_ids = list(columns.customer_ids)
+        population.predicted_uses = np.asarray(columns.predicted_uses, dtype=float)
+        population.allowed_uses = np.asarray(columns.allowed_uses, dtype=float)
+        population._requirements = None
+        population._requirements_source = requirements
+        population.max_feasible_cutdowns = np.array(
+            requirements.max_feasible, dtype=float
+        )
+        population.requirement_grid = np.asarray(grid, dtype=float)
+        population.requirement_matrix = np.array(requirements.matrix, dtype=float)
+        population._reset_kernel_cache()
+        return population
 
     # -- basic views ------------------------------------------------------------
 
@@ -168,7 +229,13 @@ class VectorizedPopulation:
         shard.customer_ids = self.customer_ids[start:stop]
         shard.predicted_uses = self.predicted_uses[start:stop]
         shard.allowed_uses = self.allowed_uses[start:stop]
-        shard.requirements = self.requirements[start:stop]
+        if self._requirements is None:
+            # Columnar parent: shards stay lazy too (row views, no tables).
+            shard._requirements = None
+            shard._requirements_source = self._requirements_source.slice(start, stop)
+        else:
+            shard._requirements = self._requirements[start:stop]
+            shard._requirements_source = None
         shard.max_feasible_cutdowns = self.max_feasible_cutdowns[start:stop]
         shard.requirement_grid = self.requirement_grid
         shard.requirement_matrix = (

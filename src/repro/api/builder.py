@@ -98,9 +98,9 @@ class ScenarioBuilder:
         per-household loop.  Bit-identical by contract — the scalar path
         exists as the equivalence oracle.
         """
-        if mode not in ("columnar", "scalar"):
-            raise ValueError(f"unknown planning mode {mode!r}")
-        self._planning = mode
+        from repro.core.modes import validate_planning_mode
+
+        self._planning = validate_planning_mode(mode)
         self._synthetic_only_calls.append('planning')
         return self
 

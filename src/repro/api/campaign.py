@@ -61,8 +61,11 @@ def campaign(
         ``"auto"`` (default).
     config:
         Base :class:`EngineConfig`; its ``planning`` field selects the
-        columnar or scalar planning path (when omitted, the planner's own
-        ``planning`` mode governs), its ``seed`` is stepped per day.
+        columnar or scalar planning path, its ``materialise`` field the
+        eager (oracle) or lazy (zero-materialisation) planning → negotiation
+        hand-off, and its ``history_window`` bounds the predictor's memory
+        (when omitted, the planner's own modes govern); its ``seed`` is
+        stepped per day.
     warmup_days / seed / production / weather_model:
         Passed through to :class:`~repro.core.planning.MultiDayCampaign`.
     **overrides:
@@ -91,8 +94,16 @@ def campaign(
     result.metadata.update(
         {
             "backend": backend,
-            # With no config given, the planner's own planning mode governs.
+            # With no config given, the planner's own modes govern.
             "planning": resolved.planning if resolved is not None else planner.planning,
+            "materialise": (
+                resolved.materialise if resolved is not None else planner.materialise
+            ),
+            "history_window": (
+                resolved.history_window
+                if resolved is not None and resolved.history_window is not None
+                else getattr(planner.predictor, "history_window", None)
+            ),
         }
     )
     return result

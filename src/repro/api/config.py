@@ -26,6 +26,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.agents.sharded import default_shard_count
+from repro.core.modes import (
+    validate_history_window,
+    validate_materialise_mode,
+    validate_planning_mode,
+)
 
 #: Population size from which ``backend="auto"`` starts considering the
 #: sharded runtime.  Below it the per-round fan-out overhead outweighs the
@@ -51,8 +56,12 @@ class EngineConfig:
     check_protocol:
         Whether the monotonic-concession protocol checker runs in strict mode.
     retain_message_log:
-        Whether the object path's message bus retains full message logs
-        (ignored by vectorized backends, which never materialise messages).
+        Whether the object path's message bus retains full message logs.
+        The batched backends never materialise messages; for them this
+        controls the analogous per-round *bid* retention on the negotiation
+        record — set it ``False`` for huge campaign runs that only read the
+        accounting rows (at 100k households the retained bids dominate
+        campaign memory).
     include_producer:
         Add the Producer Agent to the society (object path only).
     include_external_world:
@@ -75,6 +84,25 @@ class EngineConfig:
         the per-household object loop.  Both build bit-identical scenarios;
         the scalar path is the seed-equivalence oracle.  Ignored by single
         negotiations, whose scenario is already built.
+    materialise:
+        How campaign runs hand each planned day over to the negotiation:
+        ``"eager"`` (default, the equivalence oracle) builds the
+        per-household ``CustomerSpec`` objects and dict reward tables;
+        ``"lazy"`` feeds the negotiation kernels straight from the columnar
+        planning arrays and materialises nothing per household.  Both
+        produce bit-identical campaign rows; lazy applies on the columnar
+        planning path (the scalar oracle always materialises).  Ignored by
+        single negotiations.
+    history_window:
+        Observation window (days) of the campaign planner's consumption
+        predictor.  ``None`` (default) leaves the planner's own predictor
+        configuration untouched (an unbounded default predictor keeps the
+        full history — O(days · N · slots) memory); a positive window
+        re-bounds the planner's predictor *in place* to a fixed ring —
+        O(window · N · slots) no matter how long the campaign runs,
+        dropping the oldest retained days when shrinking (the re-bound
+        persists on the planner after the campaign).  Ignored by single
+        negotiations.
     """
 
     seed: Optional[int] = 0
@@ -87,6 +115,8 @@ class EngineConfig:
     shards: Optional[int] = None
     shard_threshold: int = DEFAULT_SHARD_THRESHOLD
     planning: str = "columnar"
+    materialise: str = "eager"
+    history_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_simulation_rounds <= 0:
@@ -95,10 +125,12 @@ class EngineConfig:
             raise ValueError("shards must be at least 1 when given")
         if self.shard_threshold < 1:
             raise ValueError("shard_threshold must be positive")
-        if self.planning not in ("columnar", "scalar"):
-            raise ValueError(
-                f"planning must be 'columnar' or 'scalar', got {self.planning!r}"
-            )
+        # One canonical validator per knob (shared with the planner and the
+        # population constructors): a typo'd value fails here, at
+        # construction, instead of silently selecting a fallback path.
+        validate_planning_mode(self.planning)
+        validate_materialise_mode(self.materialise)
+        validate_history_window(self.history_window)
 
     # -- derived views -----------------------------------------------------------
 
@@ -135,6 +167,7 @@ class EngineConfig:
             "seed": self.seed,
             "max_simulation_rounds": self.max_simulation_rounds,
             "check_protocol": self.check_protocol,
+            "retain_round_bids": self.retain_message_log,
         }
 
     def sharded_session_kwargs(self) -> dict[str, object]:

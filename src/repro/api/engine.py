@@ -182,8 +182,13 @@ def _shared_requirement_grid(scenario: Scenario) -> bool:
     """Whether every customer's requirement table uses one cut-down grid.
 
     Delegates to the vectorized layer's own criterion so auto-selection and
-    ``VectorizedPopulation``'s matrix packing can never drift apart.
+    ``VectorizedPopulation``'s matrix packing can never drift apart.  Lazily
+    materialised populations share one grid by construction (their tables
+    all come from a single ``FleetRequirements`` matrix), so the check must
+    not — and does not — touch ``population.specs``.
     """
+    if scenario.population.columnar_view() is not None:
+        return True
     return shares_requirement_grid(
         [spec.requirements for spec in scenario.population.specs]
     )
@@ -281,7 +286,7 @@ class ShardedBackend(NegotiationEngine):
         ok, reason = _fast_path_qualifies(scenario, config)
         if not ok:
             return ok, reason
-        num_households = len(scenario.population.specs)
+        num_households = len(scenario.population)
         if num_households < config.shard_threshold:
             return False, (
                 f"population of {num_households} below the shard threshold "

@@ -68,11 +68,18 @@ class FastSession:
         seed: Optional[int] = 0,
         max_simulation_rounds: int = 200,
         check_protocol: bool = True,
+        retain_round_bids: bool = True,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.max_simulation_rounds = max_simulation_rounds
         self.check_protocol = check_protocol
+        #: Whether each RoundRecord keeps its per-customer bid objects.  The
+        #: vectorized counterpart of the bus's log retention: at 100k
+        #: households a round's bids are ~100k objects, and a multi-week
+        #: campaign that only reads the accounting rows never looks at them.
+        #: Overuse bookkeeping, awards and outcomes are unaffected.
+        self.retain_round_bids = retain_round_bids
         self.population: Optional[VectorizedPopulation] = None
         self.protocol: Optional[MonotonicConcessionProtocol] = None
         self.record: Optional[NegotiationRecord] = None
@@ -279,7 +286,7 @@ class FastSession:
                 RoundRecord(
                     round_number=round_number,
                     announcement=announcement,
-                    bids=dict(bids_by_customer),
+                    bids=dict(bids_by_customer) if self.retain_round_bids else {},
                     predicted_overuse_before=(
                         context.initial_overuse
                         if round_number == 0

@@ -1,0 +1,62 @@
+"""Canonical planning-pipeline mode values and their validators.
+
+The campaign pipeline is steered by a handful of small string/int knobs that
+appear at several layers — :class:`~repro.api.config.EngineConfig`, the
+:class:`~repro.core.planning.DayAheadPlanner`, the population constructors
+and the fluent builder.  Before this module each layer hand-rolled its own
+check (or skipped it), which is how a typo'd ``planning="colunmar"`` could
+slip through one entry point and silently land on the scalar path.  Every
+layer now funnels through the same validators, so an invalid value fails at
+construction with one canonical message listing the accepted values.
+
+This module is deliberately dependency-free (imported by both
+:mod:`repro.api` and :mod:`repro.core` without cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Planning-path modes: ``"columnar"`` runs the batched
+#: :class:`~repro.grid.fleet.HouseholdFleet` kernels, ``"scalar"`` the
+#: per-household object loop (the equivalence oracle).
+PLANNING_MODES: tuple[str, ...] = ("columnar", "scalar")
+
+#: Materialisation modes of the planning → negotiation hand-off:
+#: ``"eager"`` builds per-household ``CustomerSpec`` objects and dict reward
+#: tables (the equivalence oracle), ``"lazy"`` feeds the negotiation kernels
+#: straight from the columnar planning arrays and only materialises objects
+#: if something actually asks for them.
+MATERIALISE_MODES: tuple[str, ...] = ("eager", "lazy")
+
+
+def validate_planning_mode(planning: str) -> str:
+    """Return ``planning`` or raise a :class:`ValueError` naming the options."""
+    if planning not in PLANNING_MODES:
+        raise ValueError(
+            f"unknown planning mode {planning!r}; expected one of {PLANNING_MODES}"
+        )
+    return planning
+
+
+def validate_materialise_mode(materialise: str) -> str:
+    """Return ``materialise`` or raise a :class:`ValueError` naming the options."""
+    if materialise not in MATERIALISE_MODES:
+        raise ValueError(
+            f"unknown materialise mode {materialise!r}; "
+            f"expected one of {MATERIALISE_MODES}"
+        )
+    return materialise
+
+
+def validate_history_window(history_window: Optional[int]) -> Optional[int]:
+    """Return the window (``None`` = unbounded) or raise a :class:`ValueError`."""
+    if history_window is None:
+        return None
+    window = int(history_window)
+    if window < 1:
+        raise ValueError(
+            f"history_window must be a positive number of days or None "
+            f"(unbounded), got {history_window!r}"
+        )
+    return window

@@ -33,6 +33,13 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.agents.population import CustomerPopulation, CustomerSpec
 from repro.agents.preferences import CustomerPreferenceModel
+from repro.core.modes import (
+    MATERIALISE_MODES,
+    PLANNING_MODES,
+    validate_history_window,
+    validate_materialise_mode,
+    validate_planning_mode,
+)
 from repro.core.results import SystemResult
 from repro.core.scenario import Scenario
 from repro.core.system import LoadBalancingSystem
@@ -51,8 +58,11 @@ from repro.runtime.rng import RandomSource
 if TYPE_CHECKING:  # pragma: no cover - typing only (import would cycle via repro.api)
     from repro.api.config import EngineConfig
 
-#: Planning-path modes of :meth:`DayAheadPlanner.plan`.
-PLANNING_MODES = ("columnar", "scalar")
+# Re-exported for backwards compatibility; canonical home is repro.core.modes.
+__all__ = [
+    "PLANNING_MODES", "MATERIALISE_MODES",
+    "DayAheadPlanner", "MultiDayCampaign", "CampaignDay", "CampaignResult",
+]
 
 
 class DayAheadPlanner:
@@ -78,6 +88,17 @@ class DayAheadPlanner:
         ``"scalar"`` (per-household loop, the equivalence oracle).  Both
         produce bit-identical scenarios; fleet-incompatible household sets
         fall back to scalar automatically.
+    materialise:
+        Default planning → negotiation hand-off: ``"eager"`` (per-household
+        spec objects, the default and the equivalence oracle) or ``"lazy"``
+        (columnar arrays only, nothing materialised per household).  Both
+        run bit-identical campaigns; lazy applies on the columnar path.
+    history_window:
+        Observation window (days) for the *default* predictor: ``None``
+        keeps the full history, a positive value bounds predictor memory to
+        O(window · N · slots) via a ring buffer.  When an explicit
+        ``predictor`` is passed its own window governs and this must stay
+        ``None``.
     """
 
     def __init__(
@@ -91,6 +112,8 @@ class DayAheadPlanner:
         max_allowed_overuse_fraction: float = 0.02,
         random: Optional[RandomSource] = None,
         planning: str = "columnar",
+        materialise: str = "eager",
+        history_window: Optional[int] = None,
     ) -> None:
         if not households:
             raise ValueError("the planner needs at least one household")
@@ -98,18 +121,25 @@ class DayAheadPlanner:
             raise ValueError("normal capacity must be positive")
         if not 0.0 <= max_allowed_overuse_fraction < 1.0:
             raise ValueError("max allowed overuse fraction must be in [0, 1)")
-        if planning not in PLANNING_MODES:
+        validate_planning_mode(planning)
+        validate_materialise_mode(materialise)
+        validate_history_window(history_window)
+        if predictor is not None and history_window is not None:
             raise ValueError(
-                f"unknown planning mode {planning!r}; expected one of {PLANNING_MODES}"
+                "pass history_window to the predictor itself when supplying "
+                "an explicit predictor"
             )
         self.households = list(households)
         self.normal_capacity_kw = float(normal_capacity_kw)
-        self.predictor = predictor or ConsumptionPredictor(PredictionModel.WEATHER_ADJUSTED)
+        self.predictor = predictor or ConsumptionPredictor(
+            PredictionModel.WEATHER_ADJUSTED, history_window=history_window
+        )
         self.preference_model = preference_model or CustomerPreferenceModel()
         self.max_reward = float(max_reward)
         self.beta = float(beta)
         self.max_allowed_overuse_fraction = float(max_allowed_overuse_fraction)
         self.planning = planning
+        self.materialise = materialise
         self._random = random if random is not None else RandomSource(0, "planner")
         try:
             self.fleet: Optional[HouseholdFleet] = HouseholdFleet(self.households)
@@ -139,12 +169,37 @@ class DayAheadPlanner:
     def history_length(self) -> int:
         return self.predictor.history_length
 
+    def set_history_window(self, history_window: Optional[int]) -> None:
+        """Re-bound the predictor's observation window (campaign runs use this).
+
+        Shrinking drops the oldest days in place — the memoised prediction is
+        invalidated so the next plan sees exactly the windowed history.
+        Raises a clear error for custom predictors without window support.
+        """
+        validate_history_window(history_window)
+        rebound = getattr(self.predictor, "set_history_window", None)
+        if rebound is None:
+            raise ValueError(
+                f"predictor {type(self.predictor).__name__} does not support "
+                f"history windows; leave EngineConfig.history_window unset or "
+                f"use a ConsumptionPredictor"
+            )
+        rebound(history_window)
+        self._prediction_cache = None
+
     # -- planning -------------------------------------------------------------------
 
     def _predict(self, forecast: WeatherSample) -> FleetPrediction:
-        """One predictor run per (forecast, history) pair, memoised."""
+        """One predictor run per (forecast, history) pair, memoised.
+
+        Keyed on the *total* observed-day count, which keeps growing even
+        once a windowed predictor's retained length plateaus at the window —
+        every new observation must invalidate the memo.
+        """
         cached = self._prediction_cache
-        history = self.predictor.history_length
+        history = getattr(
+            self.predictor, "observed_days", self.predictor.history_length
+        )
         if cached is not None and cached[0] == forecast and cached[1] == history:
             return cached[2]
         prediction = self.predictor.predict_columnar(forecast)
@@ -160,23 +215,30 @@ class DayAheadPlanner:
         forecast: WeatherSample,
         method: Optional[NegotiationMethod] = None,
         planning: Optional[str] = None,
+        materialise: Optional[str] = None,
     ) -> Optional[Scenario]:
         """Build tomorrow's scenario, or ``None`` when no peak is predicted.
 
-        ``planning`` overrides the planner's default path for this call;
-        ``"columnar"`` and ``"scalar"`` build bit-identical scenarios.
+        ``planning`` and ``materialise`` override the planner's defaults for
+        this call; every mode combination builds bit-identical scenarios
+        (``materialise="lazy"`` merely defers the per-household objects, and
+        only applies on the columnar path — the scalar oracle always
+        materialises).
         """
-        mode = planning if planning is not None else self.planning
-        if mode not in PLANNING_MODES:
-            raise ValueError(
-                f"unknown planning mode {mode!r}; expected one of {PLANNING_MODES}"
-            )
+        mode = validate_planning_mode(
+            planning if planning is not None else self.planning
+        )
+        hand_off = validate_materialise_mode(
+            materialise if materialise is not None else self.materialise
+        )
         prediction = self._predict(forecast)
         interval = prediction.aggregate.peak_interval(self.normal_capacity_kw)
         if interval is None:
             return None
         if mode == "columnar" and self.fleet is not None:
-            population = self._columnar_population(prediction, interval, forecast)
+            population = self._columnar_population(
+                prediction, interval, forecast, materialise=hand_off
+            )
         else:
             population = self._scalar_population(prediction, interval, forecast)
         if method is None:
@@ -194,7 +256,11 @@ class DayAheadPlanner:
         )
 
     def _columnar_population(
-        self, prediction: FleetPrediction, interval: TimeInterval, forecast: WeatherSample
+        self,
+        prediction: FleetPrediction,
+        interval: TimeInterval,
+        forecast: WeatherSample,
+        materialise: str = "eager",
     ) -> CustomerPopulation:
         """The fleet path: batched kernels, no per-household loop."""
         fleet = self.fleet
@@ -211,6 +277,7 @@ class DayAheadPlanner:
             interval=interval,
             max_allowed_overuse=self.max_allowed_overuse_fraction * self.normal_capacity_kw,
             weather=forecast,
+            materialise=materialise,
         )
 
     def _scalar_population(
@@ -353,6 +420,13 @@ class MultiDayCampaign:
         self.seed = seed
         self.backend = backend
         self.config = config
+        if config is not None and config.history_window is not None:
+            # A set window governs the campaign: re-bound the planner's
+            # predictor in place (keeps the most recent days when shrinking;
+            # the re-bound persists after the campaign), so campaign memory
+            # is O(window · N · slots).  None leaves the planner's own
+            # predictor configuration untouched.
+            planner.set_history_window(config.history_window)
 
     def run(
         self,
@@ -363,6 +437,7 @@ class MultiDayCampaign:
         if num_days <= 0:
             raise ValueError("num_days must be positive")
         planning_mode = self.config.planning if self.config is not None else None
+        materialise_mode = self.config.materialise if self.config is not None else None
         result = CampaignResult()
         # Warm up the predictor on mild reference days, in one batch.
         start = time.perf_counter()
@@ -374,7 +449,9 @@ class MultiDayCampaign:
             condition = conditions[day_index % len(conditions)] if conditions else None
             weather = self.weather_model.sample(condition)
             start = time.perf_counter()
-            scenario = self.planner.plan(weather, planning=planning_mode)
+            scenario = self.planner.plan(
+                weather, planning=planning_mode, materialise=materialise_mode
+            )
             result.planning_seconds += time.perf_counter() - start
             if scenario is None or scenario.population.initial_overuse <= scenario.population.max_allowed_overuse:
                 result.days.append(

@@ -63,6 +63,7 @@ class ShardedSession(FastSession):
         seed: Optional[int] = 0,
         max_simulation_rounds: int = 200,
         check_protocol: bool = True,
+        retain_round_bids: bool = True,
         shards: Optional[int] = None,
     ) -> None:
         super().__init__(
@@ -70,6 +71,7 @@ class ShardedSession(FastSession):
             seed=seed,
             max_simulation_rounds=max_simulation_rounds,
             check_protocol=check_protocol,
+            retain_round_bids=retain_round_bids,
         )
         requested = default_shard_count() if shards is None else int(shards)
         if requested < 1:

@@ -14,12 +14,21 @@ oracle) planning paths.
 (``benchmarks/BENCH_campaign.json``) that CI replays via
 ``benchmarks/run_bench.py --check``; the recorded ``planning_speedup`` is
 the scalar-versus-columnar planning wall-clock ratio at the benchmark scale.
+
+On top of the 10k eager/scalar oracle pair the sweep now carries the
+*zero-materialisation* path: a 10k ``materialise="lazy"`` run (asserted
+row-identical to the eager entry at emission) and the 100k-household
+``lazy_large`` point — lazy hand-off, a bounded predictor
+``history_window`` and no per-round bid retention — each with its
+tracemalloc'd peak (``peak_traced_mb``), which ``--check`` guards with a
+tolerance band.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -36,6 +45,13 @@ CAMPAIGN_HOUSEHOLDS = 10_000
 CAMPAIGN_DAYS = 14
 CAMPAIGN_SEED = 7
 CAMPAIGN_WARMUP_DAYS = 2
+
+#: The utility-scale point of the lazy campaign sweep: 100k households, a
+#: bounded observation window, no per-round bid retention.  The eager oracle
+#: never runs at this size (its per-day object materialisation is exactly
+#: what the lazy path removes); equivalence is pinned at 10k and below.
+LARGE_CAMPAIGN_HOUSEHOLDS = 100_000
+LARGE_CAMPAIGN_WINDOW = 7
 
 #: One cold snap per three-day cycle keeps a steady stream of negotiated days.
 CONDITION_CYCLE = (
@@ -71,13 +87,20 @@ class CampaignBenchEntry:
     backend: str
     result: CampaignResult
     wall_seconds: float
+    materialise: str = "eager"
+    history_window: Optional[int] = None
+    #: tracemalloc'd peak of the campaign run (MB of live Python/numpy
+    #: allocations), measured only when the stage asks for it.
+    peak_traced_mb: Optional[float] = None
 
     def as_row(self) -> dict[str, object]:
         result = self.result
-        return {
+        row: dict[str, object] = {
             "num_households": self.num_households,
             "num_days": self.num_days,
             "planning": self.planning,
+            "materialise": self.materialise,
+            "history_window": self.history_window,
             "backend": self.backend,
             "wall_seconds": self.wall_seconds,
             "planning_seconds": result.planning_seconds,
@@ -88,6 +111,9 @@ class CampaignBenchEntry:
             "total_net_benefit": result.total_net_benefit,
             "backends": [backend or "-" for backend in result.backends],
         }
+        if self.peak_traced_mb is not None:
+            row["peak_traced_mb"] = self.peak_traced_mb
+        return row
 
 
 def run_campaign_bench(
@@ -96,20 +122,45 @@ def run_campaign_bench(
     seed: int = CAMPAIGN_SEED,
     backend: str = "auto",
     planning: str = "columnar",
+    materialise: str = "eager",
+    history_window: Optional[int] = None,
+    retain_logs: bool = True,
+    track_memory: bool = False,
 ) -> CampaignBenchEntry:
-    """Run one campaign at the benchmark configuration and time it."""
+    """Run one campaign at the benchmark configuration and time it.
+
+    ``track_memory=True`` wraps the campaign (not the one-off planner/town
+    construction) in tracemalloc and records the peak of live allocations —
+    the number the lazy path is designed to bound.
+    """
     planner = build_campaign_planner(num_households, seed, planning=planning)
-    start = time.perf_counter()
-    result = campaign(
-        planner,
-        num_days,
-        conditions=CONDITION_CYCLE,
-        backend=backend,
-        config=EngineConfig(planning=planning),
-        warmup_days=CAMPAIGN_WARMUP_DAYS,
-        seed=seed,
+    config = EngineConfig(
+        planning=planning,
+        materialise=materialise,
+        history_window=history_window,
+        retain_message_log=retain_logs,
     )
-    wall = time.perf_counter() - start
+    peak_traced_mb: Optional[float] = None
+    if track_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result = campaign(
+            planner,
+            num_days,
+            conditions=CONDITION_CYCLE,
+            backend=backend,
+            config=config,
+            warmup_days=CAMPAIGN_WARMUP_DAYS,
+            seed=seed,
+        )
+        wall = time.perf_counter() - start
+        if track_memory:
+            __, peak = tracemalloc.get_traced_memory()
+            peak_traced_mb = peak / 1e6
+    finally:
+        if track_memory:
+            tracemalloc.stop()
     return CampaignBenchEntry(
         num_households=num_households,
         num_days=num_days,
@@ -117,6 +168,9 @@ def run_campaign_bench(
         backend=backend,
         result=result,
         wall_seconds=wall,
+        materialise=materialise,
+        history_window=history_window,
+        peak_traced_mb=peak_traced_mb,
     )
 
 
@@ -124,7 +178,8 @@ def render_entry(entry: CampaignBenchEntry) -> str:
     row = entry.as_row()
     lines = [
         f"campaign — {row['num_households']} households, {row['num_days']} days "
-        f"(backend={row['backend']}, planning={row['planning']})",
+        f"(backend={row['backend']}, planning={row['planning']}, "
+        f"materialise={row['materialise']}, history_window={row['history_window']})",
         f"wall_seconds: {row['wall_seconds']:.2f}",
         f"planning_seconds: {row['planning_seconds']:.2f}",
         f"negotiation_seconds: {row['negotiation_seconds']:.2f}",
@@ -132,6 +187,8 @@ def render_entry(entry: CampaignBenchEntry) -> str:
         f"total_reward_paid: {row['total_reward_paid']:.2f}",
         f"total_net_benefit: {row['total_net_benefit']:.2f}",
     ]
+    if entry.peak_traced_mb is not None:
+        lines.append(f"peak_traced_mb: {entry.peak_traced_mb:.1f}")
     for day, backend in zip(entry.result.days, row["backends"]):
         lines.append(
             f"  day {day.day_index:>2}: negotiated={day.negotiated} backend={backend}"
@@ -144,11 +201,15 @@ def write_campaign_json(
     columnar: CampaignBenchEntry,
     scalar: Optional[CampaignBenchEntry] = None,
     seed: int = CAMPAIGN_SEED,
+    lazy: Optional[CampaignBenchEntry] = None,
+    lazy_large: Optional[CampaignBenchEntry] = None,
 ) -> Path:
     """Write the machine-readable campaign trajectory.
 
     ``planning_speedup`` — the scalar/columnar planning-phase wall-clock
-    ratio — is only present when the scalar reference run was measured.
+    ratio — is only present when the scalar reference run was measured;
+    ``lazy`` / ``lazy_large`` carry the zero-materialisation sweep (10k and
+    the utility-scale point) when those stages ran.
     """
     payload: dict[str, object] = {
         "experiment": "campaign_scale",
@@ -161,5 +222,9 @@ def write_campaign_json(
             payload["planning_speedup"] = (
                 scalar.result.planning_seconds / columnar.result.planning_seconds
             )
+    if lazy is not None:
+        payload["lazy"] = lazy.as_row()
+    if lazy_large is not None:
+        payload["lazy_large"] = lazy_large.as_row()
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path

@@ -49,9 +49,12 @@ from repro.runtime.clock import TimeInterval
 #: heating factor, mirroring :meth:`Appliance.daily_profile`).
 _HEATING_CATEGORIES = (ApplianceCategory.SPACE_HEATING, ApplianceCategory.WATER_HEATING)
 
-#: Per-fleet cache bound on weather-keyed kernel intermediates.  A campaign
+#: Per-fleet cache bound on the weather-keyed demand matrices.  A campaign
 #: touches one heating factor per day; a handful of slots covers the planner's
-#: predict/plan/account calls for that day without unbounded growth.
+#: predict/plan/account calls for that day without unbounded growth.  Only the
+#: (N, S) demand matrix is retained per factor — the per-appliance power
+#: matrices, an order of magnitude more memory (A·N·S), are streamed and
+#: never cached, keeping a 100k-household fleet's footprint to O(N·S).
 _WEATHER_CACHE_SIZE = 4
 
 
@@ -155,8 +158,8 @@ class HouseholdFleet:
                 for column in range(len(appliances))
             ]
         )  # (A, N)
-        #: Weather-keyed kernel caches (heating factor -> arrays), FIFO-bounded.
-        self._power_cache: dict[float, list[np.ndarray]] = {}
+        #: Weather-keyed demand-matrix cache (heating factor -> (N, S) array),
+        #: FIFO-bounded.
         self._demand_cache: dict[float, np.ndarray] = {}
 
     # -- basic views -------------------------------------------------------------
@@ -174,13 +177,15 @@ class HouseholdFleet:
 
     # -- kernels -----------------------------------------------------------------
 
-    def _appliance_powers(self, heating_factor: float) -> list[np.ndarray]:
-        """Per-appliance ``(N, S)`` power matrices, mirroring ``daily_profile``."""
-        cached = self._power_cache.get(heating_factor)
-        if cached is not None:
-            return cached
+    def _appliance_powers(self, heating_factor: float):
+        """Per-appliance ``(N, S)`` power matrices, mirroring ``daily_profile``.
+
+        A generator: callers accumulate one appliance at a time, so only one
+        ``(N, S)`` intermediate is ever alive — the full ``A`` matrices at
+        once would cost hundreds of MB for a 100k-household fleet, which is
+        why they are streamed rather than cached.
+        """
         slot_hours = 24.0 / self.slots_per_day
-        powers = []
         for column in range(self.num_appliances):
             # Same multiplication order as Appliance.daily_profile: base
             # energy x ownership scale, then x household size (per-person
@@ -192,11 +197,7 @@ class HouseholdFleet:
                 energy = energy * heating_factor
             per_slot = self._slot_weights[column][None, :] * energy[:, None]
             power = per_slot / slot_hours
-            powers.append(np.minimum(power, self._caps[column][:, None]))
-        if len(self._power_cache) >= _WEATHER_CACHE_SIZE:
-            self._power_cache.pop(next(iter(self._power_cache)))
-        self._power_cache[heating_factor] = powers
-        return powers
+            yield column, np.minimum(power, self._caps[column][:, None])
 
     def demand_profiles(self, weather: Optional[WeatherSample] = None) -> np.ndarray:
         """``(N, S)`` matrix of per-household daily demand (kW per slot).
@@ -209,7 +210,7 @@ class HouseholdFleet:
         if cached is not None:
             return cached
         total = np.zeros((len(self.households), self.slots_per_day))
-        for power in self._appliance_powers(factor):
+        for __, power in self._appliance_powers(factor):
             # Sequential accumulation in library order matches the scalar
             # LoadProfile.aggregate over owned appliances (adding an unowned
             # appliance's exact 0.0 contribution preserves every bit).
@@ -261,7 +262,7 @@ class HouseholdFleet:
         slot_hours = 24.0 / self.slots_per_day
         factor = self.heating_factor(weather)
         total = np.zeros(len(self.households))
-        for column, power in enumerate(self._appliance_powers(factor)):
+        for column, power in self._appliance_powers(factor):
             energy = self._interval_energy(power, indices, slot_hours)
             total = total + (energy * self._flexibilities[column]) * self.flexibility_scales
         return total

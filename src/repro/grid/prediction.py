@@ -7,7 +7,7 @@ implements this: it is trained on historical daily demand realisations
 (optionally weather-tagged) and predicts the aggregate and per-household
 demand for an upcoming day, with a configurable statistical model.
 
-The predictor is *columnar*: observed days are appended to a growing
+The predictor is *columnar*: observed days are appended to a
 ``(days, num_households, slots)`` history buffer (incremental — no
 full-history refit per observed day), and a prediction is one weighted
 reduction over that buffer.  :meth:`ConsumptionPredictor.predict_columnar`
@@ -15,6 +15,17 @@ exposes the array-native result (:class:`FleetPrediction`, per-household
 *vectors* instead of ``dict[str, float]``); :meth:`ConsumptionPredictor.predict`
 keeps the historical per-household ``LoadProfile`` mapping, materialised from
 the same columnar core, so both views are bit-identical.
+
+**Bounded memory.**  With ``history_window=None`` (the default) the buffer
+grows by doubling and the predictor remembers every observed day — the
+historical behaviour, O(days · N · slots) memory.  With
+``history_window=w`` the buffer is a fixed ``(w, N, slots)`` *ring*: the
+oldest day is overwritten once ``w`` days are live, so a campaign of any
+length holds O(w · N · slots) predictor memory.  A windowed predictor that
+has observed days ``d₁ … dₙ`` is bit-identical to a fresh unbounded
+predictor fed only the last ``min(n, w)`` of those days — the ring is a
+memory layout, never a behaviour change (``tests/test_campaign_properties
+.py`` pins this property).
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.modes import validate_history_window
 from repro.grid.demand import PopulationDemand
 from repro.grid.load_profile import LoadProfile, matrix_average_in
 from repro.grid.weather import WeatherSample
@@ -106,16 +118,22 @@ class ConsumptionPredictor:
         self,
         model: PredictionModel = PredictionModel.MEAN,
         smoothing_factor: float = 0.4,
+        history_window: Optional[int] = None,
     ) -> None:
         if not 0.0 < smoothing_factor <= 1.0:
             raise ValueError("smoothing factor must be in (0, 1]")
         self.model = model
         self.smoothing_factor = smoothing_factor
+        self.history_window = validate_history_window(history_window)
         self._household_ids: Optional[list[str]] = None
         self._id_set: Optional[frozenset[str]] = None
-        #: Growing (capacity, N, S) history buffer; rows [0, _num_days) are live.
+        #: (capacity, N, S) history buffer.  Unbounded: rows [0, _num_days)
+        #: are live and the buffer doubles when full.  Windowed: a fixed-size
+        #: ring — the oldest live row sits at _start and writes wrap around.
         self._buffer: Optional[np.ndarray] = None
         self._num_days = 0
+        self._start = 0
+        self._total_days = 0
         self._weathers: list[Optional[WeatherSample]] = []
 
     # -- training -----------------------------------------------------------
@@ -135,16 +153,24 @@ class ConsumptionPredictor:
             position = {household_id: row for row, household_id in enumerate(day_ids)}
             matrix = matrix[[position[household_id] for household_id in self._household_ids]]
         if self._buffer is None:
-            capacity = 8
+            capacity = self.history_window if self.history_window is not None else 8
             self._buffer = np.empty((capacity,) + matrix.shape)
         elif matrix.shape != self._buffer.shape[1:]:
             raise ValueError("all observed days must share one demand resolution")
-        elif self._num_days == self._buffer.shape[0]:
+        elif self._num_days == self._buffer.shape[0] and self.history_window is None:
             grown = np.empty((2 * self._buffer.shape[0],) + self._buffer.shape[1:])
             grown[: self._num_days] = self._buffer[: self._num_days]
             self._buffer = grown
-        self._buffer[self._num_days] = matrix
-        self._num_days += 1
+        capacity = self._buffer.shape[0]
+        if self._num_days < capacity:
+            self._buffer[(self._start + self._num_days) % capacity] = matrix
+            self._num_days += 1
+        else:
+            # Ring is full: the new day overwrites the oldest one.
+            self._buffer[self._start] = matrix
+            self._start = (self._start + 1) % capacity
+            self._weathers.pop(0)
+        self._total_days += 1
         self._weathers.append(demand.weather)
 
     def observe_many(self, demands: Sequence[PopulationDemand]) -> None:
@@ -153,7 +179,50 @@ class ConsumptionPredictor:
 
     @property
     def history_length(self) -> int:
+        """Days currently *retained* (capped at ``history_window`` when set)."""
         return self._num_days
+
+    @property
+    def observed_days(self) -> int:
+        """Total days ever observed (monotonic, unaffected by the window)."""
+        return self._total_days
+
+    def history_nbytes(self) -> int:
+        """Bytes held by the history buffer (memory-regression guards)."""
+        return self._buffer.nbytes if self._buffer is not None else 0
+
+    def set_history_window(self, history_window: Optional[int]) -> None:
+        """Re-bound the observation window, dropping the oldest days if needed.
+
+        Shrinking keeps the most recent ``history_window`` days; widening (or
+        ``None`` for unbounded) keeps everything currently retained.  Future
+        predictions behave exactly as if the retained days were the whole
+        history.
+        """
+        window = validate_history_window(history_window)
+        if window == self.history_window and self._buffer is not None:
+            return
+        self.history_window = window
+        if self._buffer is None:
+            return
+        live = np.array(self._chronological_history())
+        if window is not None and live.shape[0] > window:
+            live = live[-window:]
+            self._weathers = self._weathers[-window:]
+        capacity = window if window is not None else max(8, live.shape[0])
+        rebuilt = np.empty((capacity,) + self._buffer.shape[1:])
+        rebuilt[: live.shape[0]] = live
+        self._buffer = rebuilt
+        self._num_days = live.shape[0]
+        self._start = 0
+
+    def _chronological_history(self) -> np.ndarray:
+        """The live history rows, oldest first (unwraps the ring)."""
+        if self._start == 0:
+            return self._buffer[: self._num_days]
+        capacity = self._buffer.shape[0]
+        indices = (self._start + np.arange(self._num_days)) % capacity
+        return self._buffer[indices]
 
     # -- prediction -----------------------------------------------------------
 
@@ -170,7 +239,7 @@ class ConsumptionPredictor:
         if self._num_days == 0:
             raise ValueError("cannot predict without any observed history")
         weights = self._weights()
-        history = self._buffer[: self._num_days]
+        history = self._chronological_history()
         matrix = np.average(history, axis=0, weights=weights)
         adjustment = self._weather_adjustment(forecast_weather)
         if adjustment != 1.0:

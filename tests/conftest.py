@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# One fixed, derandomized hypothesis profile for every property suite: tier-1
+# (and CI) runs are reproducible — the same examples every time, shrinking
+# still reported on failure — and bounded in wall-clock.  Run with
+# HYPOTHESIS_PROFILE=dev locally for fresh random examples.
+settings.register_profile("repro-ci", derandomize=True, deadline=None, max_examples=25)
+settings.register_profile("dev", deadline=None, max_examples=50)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))
 
 from repro.agents.population import CustomerPopulation, PopulationConfig
 from repro.core.scenario import Scenario, paper_prototype_scenario, synthetic_scenario

@@ -236,6 +236,68 @@ class TestShardedSelection:
         assert result.metadata["backend"] == "vectorized"
         assert "backend_rejections" not in result.metadata
 
+    def test_selection_boundary_at_exact_threshold(self):
+        # The threshold is inclusive: a population of exactly shard_threshold
+        # households selects the sharded runtime …
+        scenario_ = small_scenario()
+        at = select_backend(
+            scenario_, EngineConfig(shards=2, shard_threshold=len(scenario_.population))
+        )
+        assert at[0].name == "sharded"
+        assert "sharded" not in at[1]
+        # … and one household fewer falls back to vectorized, with the
+        # rejection reason naming both the size and the threshold.
+        below = select_backend(
+            scenario_,
+            EngineConfig(shards=2, shard_threshold=len(scenario_.population) + 1),
+        )
+        assert below[0].name == "vectorized"
+        reason = below[1]["sharded"]
+        assert str(len(scenario_.population)) in reason
+        assert str(len(scenario_.population) + 1) in reason
+
+    def test_rejection_metadata_contents_around_threshold(self):
+        scenario_ = small_scenario()
+        population = len(scenario_.population)
+        at = run(scenario_, seed=0, shards=2, shard_threshold=population)
+        assert at.metadata["backend"] == "sharded"
+        assert at.metadata["backend_rejections"] == {}
+        below = run(small_scenario(), seed=0, shards=2, shard_threshold=population + 1)
+        rejections = below.metadata["backend_rejections"]
+        # Exactly the backends that were passed over, each with its reason.
+        assert set(rejections) == {"sharded", "async"}
+        assert "below the shard threshold" in rejections["sharded"]
+        assert rejections["async"] == "not implemented yet"
+
+    def test_lazy_population_qualifies_without_materialising(self):
+        # Auto-selection must not defeat the zero-materialisation path by
+        # touching population.specs for its shared-grid check.
+        from repro.core.planning import DayAheadPlanner
+        from repro.grid.household import Household
+        from repro.grid.weather import WeatherCondition, WeatherSample
+        from repro.runtime.rng import RandomSource
+
+        random = RandomSource(7, "lazy_select")
+        households = [
+            Household.generate(f"h{i}", random.spawn(f"h{i}")) for i in range(20)
+        ]
+        planner = DayAheadPlanner(households, normal_capacity_kw=10.0)
+        planner.observe_days(
+            [WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)] * 2
+        )
+        scenario_ = planner.plan(
+            WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD),
+            materialise="lazy",
+        )
+        assert scenario_ is not None
+        engine, __ = select_backend(scenario_, EngineConfig())
+        assert engine.name == "vectorized"
+        sharded_engine, __ = select_backend(
+            scenario_, EngineConfig(shards=2, shard_threshold=2)
+        )
+        assert sharded_engine.name == "sharded"
+        assert scenario_.population.materialised is False
+
     def test_explicit_sharded_ignores_threshold(self):
         result = run(small_scenario(), backend="sharded", seed=0, shards=3)
         assert result.metadata["backend"] == "sharded"
@@ -300,6 +362,40 @@ class TestRunConfig:
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             EngineConfig(max_simulation_rounds=0)
+
+    def test_typoed_mode_knobs_fail_at_construction(self):
+        # A typo'd knob must fail loudly at construction — never silently
+        # select a fallback path — and the error must name the options.
+        with pytest.raises(ValueError, match=r"colunmar.*columnar.*scalar"):
+            EngineConfig(planning="colunmar")
+        with pytest.raises(ValueError, match=r"lazey.*eager.*lazy"):
+            EngineConfig(materialise="lazey")
+        with pytest.raises(ValueError, match="history_window"):
+            EngineConfig(history_window=0)
+        with pytest.raises(ValueError, match="history_window"):
+            EngineConfig(history_window=-3)
+
+    def test_planner_validates_the_same_knobs(self):
+        from repro.core.planning import DayAheadPlanner
+        from repro.grid.household import Household
+        from repro.runtime.rng import RandomSource
+
+        households = [Household.generate("h0", RandomSource(0, "h"))]
+        with pytest.raises(ValueError, match="columnar"):
+            DayAheadPlanner(households, 10.0, planning="columanr")
+        with pytest.raises(ValueError, match="eager"):
+            DayAheadPlanner(households, 10.0, materialise="eagre")
+        with pytest.raises(ValueError, match="history_window"):
+            DayAheadPlanner(households, 10.0, history_window=0)
+        planner = DayAheadPlanner(households, 10.0)
+        from repro.grid.weather import WeatherCondition, WeatherSample
+
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+        planner.observe_day(mild)
+        with pytest.raises(ValueError, match="scalar"):
+            planner.plan(mild, planning="sclar")
+        with pytest.raises(ValueError, match="lazy"):
+            planner.plan(mild, materialise="lzy")
 
 
 class TestDeprecationShims:

@@ -31,13 +31,13 @@ def small_planner(planning: str = "columnar") -> DayAheadPlanner:
     return build_campaign_planner(30, seed=7, planning=planning)
 
 
-def run_small_campaign(backend: str, planning: str = "columnar"):
+def run_small_campaign(backend: str, planning: str = "columnar", **config_fields):
     return campaign(
         small_planner(),
         6,
         conditions=CONDITION_CYCLE,
         backend=backend,
-        config=EngineConfig(planning=planning),
+        config=EngineConfig(planning=planning, **config_fields),
         warmup_days=2,
         seed=7,
     )
@@ -52,6 +52,24 @@ class TestCampaignBackendDeterminism:
             assert other.rows() == reference.rows(), (
                 f"backend {backend!r} diverged from the object path"
             )
+        # The sharded runtime joins the matrix at campaign level: explicitly
+        # requested (ignoring the threshold) …
+        sharded = run_small_campaign("sharded", shards=2)
+        assert sharded.rows() == reference.rows()
+        assert all(
+            day.backend == "sharded" for day in sharded.days if day.negotiated
+        )
+        # … and via auto-selection across the shard_threshold boundary.
+        auto_sharded = run_small_campaign("auto", shards=2, shard_threshold=30)
+        assert auto_sharded.rows() == reference.rows()
+        assert all(
+            day.backend == "sharded" for day in auto_sharded.days if day.negotiated
+        )
+        auto_below = run_small_campaign("auto", shards=2, shard_threshold=31)
+        assert auto_below.rows() == reference.rows()
+        assert all(
+            day.backend == "vectorized" for day in auto_below.days if day.negotiated
+        )
 
     def test_backends_are_recorded_per_day(self):
         result = run_small_campaign("auto")
@@ -143,6 +161,101 @@ class TestPlanningEquivalence:
             )
 
 
+class TestLazyMaterialisationEquivalence:
+    """Acceptance criterion: lazy-vs-eager rows bit-identical at 300 (tier-1)."""
+
+    def test_lazy_rows_bit_identical_at_300(self):
+        def run(materialise: str, **fields):
+            return campaign(
+                build_campaign_planner(300, seed=7),
+                6,
+                conditions=CONDITION_CYCLE,
+                config=EngineConfig(materialise=materialise, **fields),
+                warmup_days=2,
+                seed=7,
+            )
+
+        eager = run("eager")
+        assert eager.days_negotiated >= 1
+        lazy = run("lazy")
+        assert lazy.metadata["materialise"] == "lazy"
+        assert lazy.rows() == eager.rows()
+        # Bounded history and dropped bid retention are orthogonal to the
+        # hand-off: with the *same* window both modes still agree bit for bit.
+        eager_windowed = run("eager", history_window=4)
+        lazy_windowed = run("lazy", history_window=4, retain_message_log=False)
+        assert lazy_windowed.metadata["history_window"] == 4
+        assert lazy_windowed.rows() == eager_windowed.rows()
+
+    def test_lazy_campaign_days_never_materialise(self):
+        planner = build_campaign_planner(30, seed=7)
+        seen: list[bool] = []
+        original = DayAheadPlanner.plan
+
+        def spying_plan(self, *args, **kwargs):
+            scenario = original(self, *args, **kwargs)
+            if scenario is not None:
+                seen.append(scenario.population)
+            return scenario
+
+        DayAheadPlanner.plan = spying_plan
+        try:
+            result = campaign(
+                planner, 6,
+                conditions=CONDITION_CYCLE,
+                config=EngineConfig(materialise="lazy"),
+                warmup_days=2, seed=7,
+            )
+        finally:
+            DayAheadPlanner.plan = original
+        assert result.days_negotiated >= 1
+        assert seen, "no day was planned"
+        assert all(population.materialised is False for population in seen), (
+            "a lazy campaign day materialised its specs"
+        )
+
+    def test_shrinking_the_window_invalidates_the_prediction_memo(self):
+        """Re-bounding the window must drop the planner's memoised prediction:
+        the next plan has to see exactly the windowed history, not a stale
+        full-history prediction cached under an unchanged observed-day count."""
+        planner = small_planner()
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+        cold = WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        planner.observe_days([mild] * 5)
+        stale = planner._predict(cold)
+        planner.set_history_window(2)
+        fresh = planner._predict(cold)
+        assert fresh is not stale
+        oracle = small_planner()
+        oracle.observe_days([mild] * 5)
+        oracle.predictor.set_history_window(2)
+        assert fresh.matrix.tolist() == oracle.predictor.predict_columnar(cold).matrix.tolist()
+
+    def test_window_with_custom_predictor_fails_clearly(self):
+        class MinimalPredictor:
+            history_length = 0
+
+            def observe_many(self, demands):
+                pass
+
+        planner = build_campaign_planner(30, seed=7)
+        planner.predictor = MinimalPredictor()
+        with pytest.raises(ValueError, match="MinimalPredictor"):
+            campaign(
+                planner, 2,
+                config=EngineConfig(history_window=3),
+                warmup_days=1, seed=7,
+            )
+
+    def test_campaign_metadata_records_the_knobs(self):
+        result = run_small_campaign("auto", materialise="lazy", history_window=5)
+        assert result.metadata["materialise"] == "lazy"
+        assert result.metadata["history_window"] == 5
+        default = run_small_campaign("auto")
+        assert default.metadata["materialise"] == "eager"
+        assert default.metadata["history_window"] is None
+
+
 class TestColumnarAccountingGuards:
     def test_divergent_customer_ids_fall_back_to_scalar_accounting(self):
         """Populations whose customer ids differ from their household ids must
@@ -197,7 +310,80 @@ class TestColumnarAccountingGuards:
 
 
 @pytest.mark.tier2
+class TestCampaignBackendMatrixAtScale:
+    """Three-way backend matrix at campaign level (tier-2 extension).
+
+    The single-negotiation three-way matrix lives in ``test_api.py`` /
+    ``test_sharded_session.py``; this runs the whole observe → predict →
+    negotiate → account loop per backend — including the sharded runtime
+    auto-selected across the ``shard_threshold`` boundary — and requires
+    identical campaign rows.
+    """
+
+    def run_matrix_campaign(self, backend: str, **config_fields):
+        return campaign(
+            build_campaign_planner(800, seed=7),
+            5,
+            conditions=CONDITION_CYCLE,
+            backend=backend,
+            config=EngineConfig(**config_fields),
+            warmup_days=2,
+            seed=7,
+        )
+
+    def test_campaign_rows_identical_across_all_backends(self):
+        reference = self.run_matrix_campaign("object")
+        assert reference.days_negotiated >= 1
+        explicit_sharded = self.run_matrix_campaign("sharded", shards=4)
+        assert explicit_sharded.rows() == reference.rows()
+        auto_sharded = self.run_matrix_campaign(
+            "auto", shards=4, shard_threshold=800
+        )
+        assert auto_sharded.rows() == reference.rows()
+        assert all(
+            day.backend == "sharded" for day in auto_sharded.days if day.negotiated
+        )
+        for backend, fields in (
+            ("vectorized", {}),
+            ("auto", {"shards": 4, "shard_threshold": 801}),
+        ):
+            result = self.run_matrix_campaign(backend, **fields)
+            assert result.rows() == reference.rows(), (
+                f"campaign backend {backend!r} diverged from the object path"
+            )
+            assert all(
+                day.backend == "vectorized"
+                for day in result.days
+                if day.negotiated
+            )
+        # The lazy hand-off slots into the same matrix unchanged.
+        lazy = self.run_matrix_campaign(
+            "auto", materialise="lazy", shards=4, shard_threshold=800
+        )
+        assert lazy.rows() == reference.rows()
+
+
+@pytest.mark.tier2
 class TestPlanningEquivalenceAtScale:
+    def test_10k_lazy_campaign_rows_bit_identical(self):
+        """Acceptance criterion: lazy-vs-eager rows bit-identical at 10k (tier-2)."""
+
+        def run(materialise: str):
+            return campaign(
+                build_campaign_planner(10_000, seed=7),
+                6,
+                conditions=CONDITION_CYCLE,
+                config=EngineConfig(materialise=materialise),
+                warmup_days=2,
+                seed=7,
+            )
+
+        eager = run("eager")
+        lazy = run("lazy")
+        assert eager.days_negotiated >= 1
+        assert lazy.rows() == eager.rows()
+        assert lazy.backends == eager.backends
+
     def test_10k_plan_bit_identical(self):
         planner = build_campaign_planner(10_000, seed=7)
         mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)

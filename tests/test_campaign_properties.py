@@ -1,0 +1,250 @@
+"""Property-based equivalence suite for the campaign pipeline (hypothesis).
+
+The zero-materialisation campaign path rests on three exactness contracts,
+each of which must hold for *arbitrary* household fleets, not just the
+hand-picked populations of the unit tests:
+
+* **fleet-kernel bit-identity** — every :class:`~repro.grid.fleet
+  .HouseholdFleet` kernel row equals the scalar per-household computation
+  bit for bit;
+* **lazy/eager bit-identity** — a campaign run with ``materialise="lazy"``
+  produces ``CampaignResult.rows()`` identical to the eager oracle;
+* **ring-buffer neutrality** — a windowed
+  :class:`~repro.grid.prediction.ConsumptionPredictor` predicts exactly what
+  a fresh unbounded predictor fed only the window's days would.
+
+Households are generated from randomized sizes, appliance-ownership scales,
+comfort weights, flexibility scales and day counts.  The suite runs in
+tier-1 under the fixed, derandomized hypothesis profile registered in
+``tests/conftest.py`` (reproducible examples, shrinking on failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EngineConfig, campaign
+from repro.core.planning import DayAheadPlanner
+from repro.grid.appliances import standard_appliance_library
+from repro.grid.demand import PopulationDemand
+from repro.grid.fleet import HouseholdFleet
+from repro.grid.household import Household, HouseholdProfile
+from repro.grid.prediction import ConsumptionPredictor, PredictionModel
+from repro.grid.weather import WeatherCondition, WeatherSample
+from repro.runtime.clock import TimeInterval
+
+LIBRARY = standard_appliance_library()
+
+# -- strategies --------------------------------------------------------------------
+
+#: Ownership scale per appliance: 0 (not owned) or a modest usage scale.
+ownership_scales = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.2, max_value=2.0, allow_nan=False),
+)
+
+
+@st.composite
+def households(draw, index: int = 0):
+    """One randomized household over the standard appliance library.
+
+    Ownership is drawn per appliance in library order (which is what
+    :meth:`Household.generate` guarantees and the fleet packing requires).
+    """
+    names = LIBRARY.names
+    scales = draw(
+        st.lists(ownership_scales, min_size=len(names), max_size=len(names))
+    )
+    if all(scale == 0.0 for scale in scales):
+        scales[draw(st.integers(0, len(names) - 1))] = 1.0
+    ownership = {
+        name: scale for name, scale in zip(names, scales) if scale > 0.0
+    }
+    profile = HouseholdProfile(
+        household_id=f"h{index:03d}",
+        size=draw(st.integers(min_value=1, max_value=5)),
+        ownership=ownership,
+        comfort_weight=draw(
+            st.floats(min_value=0.3, max_value=4.0, allow_nan=False)
+        ),
+        flexibility_scale=draw(
+            st.floats(min_value=0.2, max_value=1.2, allow_nan=False)
+        ),
+    )
+    return Household(profile, LIBRARY)
+
+
+@st.composite
+def household_fleets(draw, min_size: int = 1, max_size: int = 6):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [draw(households(index)) for index in range(size)]
+
+
+weathers = st.one_of(
+    st.none(),
+    st.builds(
+        WeatherSample,
+        temperature_c=st.floats(min_value=-25.0, max_value=25.0, allow_nan=False),
+        condition=st.sampled_from(WeatherCondition),
+    ),
+)
+
+intervals = st.integers(min_value=0, max_value=23).flatmap(
+    lambda start: st.integers(min_value=start + 1, max_value=24).map(
+        lambda end: TimeInterval.from_hours(start, end)
+    )
+)
+
+
+# -- fleet-kernel bit-identity vs the scalar household path -------------------------
+
+
+class TestFleetKernelProperties:
+    @given(members=household_fleets(), weather=weathers, interval=intervals)
+    def test_fleet_kernels_bit_identical_to_scalar(self, members, weather, interval):
+        fleet = HouseholdFleet(members)
+        demand = fleet.demand_profiles(weather)
+        energies = fleet.energy_in(interval, weather)
+        averages = fleet.average_in(interval, weather)
+        saveable = fleet.saveable_energy(interval, weather)
+        cutdowns = fleet.max_cutdown_fractions(interval, weather)
+        for row, household in enumerate(members):
+            profile = household.demand_profile(weather)
+            assert demand[row].tolist() == list(profile)
+            assert energies[row] == profile.energy_in(interval)
+            assert averages[row] == profile.average_in(interval)
+            assert saveable[row] == household.saveable_energy(interval, weather)
+            assert cutdowns[row] == household.max_cutdown_fraction(interval, weather)
+
+    @given(members=household_fleets(), weather=weathers, interval=intervals)
+    def test_fleet_requirements_bit_identical_to_scalar_tables(
+        self, members, weather, interval
+    ):
+        from repro.agents.preferences import CustomerPreferenceModel
+
+        model = CustomerPreferenceModel()
+        fleet = HouseholdFleet(members)
+        requirements = model.requirements_for_fleet(fleet, interval, weather)
+        tables = requirements.tables()
+        for household, table in zip(members, tables):
+            scalar = model.requirements_for_household(household, interval, weather)
+            assert table.requirements == scalar.requirements
+            assert table.max_feasible_cutdown == scalar.max_feasible_cutdown
+
+
+# -- predictor ring buffer ----------------------------------------------------------
+
+
+class TestPredictorWindowProperties:
+    @given(
+        num_days=st.integers(min_value=1, max_value=12),
+        window=st.integers(min_value=1, max_value=5),
+        model=st.sampled_from(PredictionModel),
+        data=st.data(),
+    )
+    def test_windowed_predictor_equals_fresh_predictor_over_window(
+        self, num_days, window, model, data
+    ):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        ids = [f"h{i}" for i in range(3)]
+        days = [
+            PopulationDemand(
+                household_ids=ids,
+                matrix=rng.uniform(0.0, 5.0, size=(3, 6)),
+                weather=data.draw(weathers),
+            )
+            for __ in range(num_days)
+        ]
+        forecast = data.draw(weathers)
+        windowed = ConsumptionPredictor(model, history_window=window)
+        windowed.observe_many(days)
+        fresh = ConsumptionPredictor(model)
+        fresh.observe_many(days[-window:])
+        bounded = windowed.predict_columnar(forecast)
+        oracle = fresh.predict_columnar(forecast)
+        assert bounded.matrix.tolist() == oracle.matrix.tolist()
+        assert list(bounded.aggregate) == list(oracle.aggregate)
+        assert windowed.history_length == min(num_days, window)
+        assert windowed.observed_days == num_days
+
+
+# -- lazy vs eager campaigns --------------------------------------------------------
+
+
+def _run_campaign(members, materialise, num_days, seed, window=None):
+    planner = DayAheadPlanner(
+        members,
+        normal_capacity_kw=max(
+            1e-6, 0.75 * float(HouseholdFleet(members).aggregate_demand().peak())
+        ),
+        planning="columnar",
+    )
+    return campaign(
+        planner,
+        num_days,
+        config=EngineConfig(materialise=materialise, history_window=window),
+        warmup_days=2,
+        seed=seed,
+    )
+
+
+class TestLazyEagerCampaignProperties:
+    @settings(max_examples=10)
+    @given(
+        members=household_fleets(min_size=2, max_size=5),
+        num_days=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+        window=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    )
+    def test_campaign_rows_bit_identical(self, members, num_days, seed, window):
+        eager = _run_campaign(members, "eager", num_days, seed, window)
+        lazy = _run_campaign(members, "lazy", num_days, seed, window)
+        assert lazy.rows() == eager.rows()
+        assert lazy.backends == eager.backends
+
+    @settings(max_examples=10)
+    @given(
+        members=household_fleets(min_size=2, max_size=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_lazy_population_materialises_bit_identically(self, members, seed):
+        """A lazy plan, once forced to materialise, equals the eager plan."""
+        cold = WeatherSample(
+            temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD
+        )
+        mild = WeatherSample(temperature_c=10.0, condition=WeatherCondition.MILD)
+
+        def plan(materialise):
+            planner = DayAheadPlanner(
+                members,
+                normal_capacity_kw=max(
+                    1e-6,
+                    0.75 * float(HouseholdFleet(members).aggregate_demand().peak()),
+                ),
+            )
+            planner.observe_days([mild, mild])
+            return planner.plan(cold, materialise=materialise)
+
+        lazy_scenario = plan("lazy")
+        eager_scenario = plan("eager")
+        assert (lazy_scenario is None) == (eager_scenario is None)
+        if lazy_scenario is None:
+            return
+        population = lazy_scenario.population
+        assert population.materialised is False
+        assert population.customer_ids == eager_scenario.population.customer_ids
+        assert (
+            population.total_predicted_use
+            == eager_scenario.population.total_predicted_use
+        )
+        # Forcing the object view must reproduce the eager specs exactly.
+        for lazy_spec, eager_spec in zip(
+            population.specs, eager_scenario.population.specs
+        ):
+            assert lazy_spec.customer_id == eager_spec.customer_id
+            assert lazy_spec.predicted_use == eager_spec.predicted_use
+            assert lazy_spec.allowed_use == eager_spec.allowed_use
+            assert lazy_spec.requirements == eager_spec.requirements
+        assert population.materialised is True

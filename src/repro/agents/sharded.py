@@ -35,9 +35,24 @@ import numpy as np
 
 from repro.agents.vectorized import VectorizedPopulation
 from repro.negotiation.reward_table import RewardTable
+from repro.runtime.faults import FaultInjector, InjectedShardFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.negotiation.messages import OfferAnnouncement
+
+
+def _run_shard_kernel(kernel, shard, start, stop, inject_failure):
+    """Worker-side kernel wrapper: raises when a failure was injected.
+
+    The *decision* to fail is made in the submitting thread (sequential, so
+    deterministic); the worker merely realises it, which keeps the injector's
+    counters free of cross-thread races.
+    """
+    if inject_failure:
+        raise InjectedShardFault(
+            f"injected shard-worker failure for customers [{start}, {stop})"
+        )
+    return kernel(shard, start, stop)
 
 
 def default_shard_count() -> int:
@@ -96,6 +111,13 @@ class ShardedPopulation:
         self.bounds = partition_bounds(len(population), num_shards)
         self.shards = [population.slice(start, stop) for start, stop in self.bounds]
         self._executor = executor
+        self._injector: Optional[FaultInjector] = None
+        self._kernel_calls = 0
+        #: One record per recovered shard-kernel failure:
+        #: ``{"kernel_call", "shard", "start", "stop", "stage", "error"}``
+        #: where ``stage`` is ``"inline_retry"`` (bit-identical re-run) or
+        #: ``"oracle"`` (per-customer decomposition of the same kernel).
+        self.recovery_events: list[dict[str, object]] = []
 
     @classmethod
     def from_population(
@@ -109,6 +131,10 @@ class ShardedPopulation:
     def attach_executor(self, executor: Optional[Executor]) -> None:
         """Set (or clear, with ``None``) the pool running the shard kernels."""
         self._executor = executor
+
+    def attach_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Set (or clear) the injector driving shard-worker failures."""
+        self._injector = injector
 
     # -- delegated views ---------------------------------------------------------
 
@@ -161,18 +187,123 @@ class ShardedPopulation:
 
         With an attached executor the shards run concurrently (futures are
         collected in submission order, so results always come back in
-        population order); otherwise serially.
+        population order); otherwise serially.  A shard whose worker raises —
+        injected by an attached fault injector or a genuine failure — goes
+        through the recovery ladder (:meth:`_recover_shard`): one inline
+        re-run, then the per-customer oracle decomposition; either way the
+        shard's rows come back bit-identical to a fault-free run.
         """
+        injector = self._injector
+        inject = injector is not None and injector.shard_faults
         if self._executor is None or len(self.shards) == 1:
-            return [
-                kernel(shard, start, stop)
-                for shard, (start, stop) in zip(self.shards, self.bounds)
-            ]
-        futures = [
-            self._executor.submit(kernel, shard, start, stop)
-            for shard, (start, stop) in zip(self.shards, self.bounds)
+            if not inject:
+                return [
+                    kernel(shard, start, stop)
+                    for shard, (start, stop) in zip(self.shards, self.bounds)
+                ]
+            results = []
+            for index, (shard, (start, stop)) in enumerate(
+                zip(self.shards, self.bounds)
+            ):
+                call_id = self._kernel_calls
+                self._kernel_calls += 1
+                try:
+                    results.append(
+                        _run_shard_kernel(
+                            kernel, shard, start, stop,
+                            injector.should_fail_shard(call_id, index, attempt=0),
+                        )
+                    )
+                except Exception as error:
+                    results.append(
+                        self._recover_shard(
+                            kernel, call_id, index, shard, start, stop, error
+                        )
+                    )
+            return results
+        submissions = []
+        for index, (shard, (start, stop)) in enumerate(zip(self.shards, self.bounds)):
+            call_id = self._kernel_calls
+            self._kernel_calls += 1
+            fail = inject and injector.should_fail_shard(call_id, index, attempt=0)
+            future = self._executor.submit(
+                _run_shard_kernel, kernel, shard, start, stop, fail
+            )
+            submissions.append((future, call_id, index, shard, start, stop))
+        results = []
+        for future, call_id, index, shard, start, stop in submissions:
+            try:
+                results.append(future.result())
+            except Exception as error:
+                results.append(
+                    self._recover_shard(kernel, call_id, index, shard, start, stop, error)
+                )
+        return results
+
+    def _recover_shard(
+        self,
+        kernel: Callable[[VectorizedPopulation, int, int], object],
+        call_id: int,
+        shard_index: int,
+        shard: VectorizedPopulation,
+        start: int,
+        stop: int,
+        error: Exception,
+    ) -> object:
+        """Recovery ladder for one failed shard-kernel call.
+
+        Stage 1 re-runs the identical kernel inline (in the collecting
+        thread) — when that succeeds the result is bit-identical by
+        construction.  Stage 2 decomposes the shard into single-customer
+        slices and runs the same kernel per customer: every kernel is
+        per-customer (the contract the sharding itself relies on), so the
+        concatenated rows are again bit-identical, just computed one row at a
+        time — the scalar oracle for this index range.  Both stages land in
+        :attr:`recovery_events` for reconciliation diagnostics.
+        """
+        injector = self._injector
+        retry_blocked = (
+            injector is not None
+            and injector.shard_faults
+            and injector.should_fail_shard(call_id, shard_index, attempt=1)
+        )
+        if not retry_blocked:
+            try:
+                result = kernel(shard, start, stop)
+                self._record_recovery(
+                    call_id, shard_index, start, stop, "inline_retry", error
+                )
+                return result
+            except Exception as retry_error:  # pragma: no cover - genuine double fault
+                error = retry_error
+        pieces = [
+            kernel(shard.slice(offset, offset + 1), start + offset, start + offset + 1)
+            for offset in range(stop - start)
         ]
-        return [future.result() for future in futures]
+        self._record_recovery(call_id, shard_index, start, stop, "oracle", error)
+        return np.concatenate([np.atleast_1d(np.asarray(piece)) for piece in pieces])
+
+    def _record_recovery(
+        self,
+        call_id: int,
+        shard_index: int,
+        start: int,
+        stop: int,
+        stage: str,
+        error: Exception,
+    ) -> None:
+        self.recovery_events.append(
+            {
+                "kernel_call": call_id,
+                "shard": shard_index,
+                "start": start,
+                "stop": stop,
+                "stage": stage,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        )
+        if self._injector is not None:
+            self._injector.record_shard_recovery(stage)
 
     def _concat(self, parts: Sequence[np.ndarray]) -> np.ndarray:
         return parts[0] if len(parts) == 1 else np.concatenate(parts)

@@ -54,6 +54,7 @@ class UtilityAgent(AgentBase):
         producer_agent: Optional[str] = None,
         external_world: Optional[str] = None,
         check_protocol: bool = True,
+        bid_deadline_rounds: Optional[int] = None,
         name: str = "utility_agent",
     ) -> None:
         super().__init__(name)
@@ -72,6 +73,20 @@ class UtilityAgent(AgentBase):
             normal_use=context.normal_use,
             initial_overuse=context.initial_overuse,
         )
+        if bid_deadline_rounds is not None and bid_deadline_rounds < 1:
+            raise ValueError(
+                f"bid_deadline_rounds must be at least 1, got {bid_deadline_rounds}"
+            )
+        #: How many simulation rounds to wait for missing bids before
+        #: evaluating the round without them.  ``None`` (the default) waits
+        #: indefinitely — the fault-free behaviour, where every bid arrives on
+        #: the next round anyway.
+        self.bid_deadline_rounds = bid_deadline_rounds
+        #: Customers whose bid ever missed a round deadline (protocol-level
+        #: degradation: they contributed no bid — silent reject — instead of
+        #: stalling the negotiation).
+        self.degraded_customers: set[str] = set()
+        self._rounds_waiting = 0
         self.phase = NegotiationPhase.IDLE
         self.current_round = 0
         self.current_announcement: Optional[Announcement] = None
@@ -102,6 +117,19 @@ class UtilityAgent(AgentBase):
             self._collect_bids(simulation)
             if self._all_bids_received():
                 self._evaluate_and_continue(simulation)
+            elif self.bid_deadline_rounds is not None:
+                self._rounds_waiting += 1
+                if self._rounds_waiting >= self.bid_deadline_rounds:
+                    # Deadline expired: the missing customers contribute no
+                    # bid this round (zero cut-down, the protocol's silent
+                    # reject) instead of stalling the whole negotiation.
+                    expected = {
+                        self._customer_id(name) for name in self.customer_agent_names
+                    }
+                    self.degraded_customers.update(
+                        expected - set(self._bids_this_round)
+                    )
+                    self._evaluate_and_continue(simulation)
 
     # -- information acquisition (world / producer interaction management) ------------------
 
@@ -139,6 +167,7 @@ class UtilityAgent(AgentBase):
         self.current_announcement = announcement
         self.current_round = 0
         self._bids_this_round = {}
+        self._rounds_waiting = 0
         self.phase = NegotiationPhase.NEGOTIATING
         self.broadcast(
             simulation,
@@ -198,6 +227,7 @@ class UtilityAgent(AgentBase):
         self.current_announcement = next_announcement
         self.current_round += 1
         self._bids_this_round = {}
+        self._rounds_waiting = 0
         self.broadcast(
             simulation,
             self.customer_agent_names,

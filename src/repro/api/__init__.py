@@ -30,6 +30,8 @@ The pieces:
 from repro.api.builder import ScenarioBuilder, scenario
 from repro.api.campaign import campaign
 from repro.api.config import EngineConfig
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.runtime.faults import FaultPlan
 from repro.api.engine import (
     AUTO_PRIORITY,
     BackendError,
@@ -51,8 +53,10 @@ __all__ = [
     "BackendError",
     "BackendUnavailableError",
     "BackendUnsupportedError",
+    "CampaignCheckpoint",
     "DuplicateBackendError",
     "EngineConfig",
+    "FaultPlan",
     "NegotiationEngine",
     "ScenarioBuilder",
     "UnknownBackendError",

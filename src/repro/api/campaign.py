@@ -23,6 +23,7 @@ planning/negotiation wall-clock split in ``CampaignResult.planning_seconds``
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from repro.api.config import EngineConfig
@@ -42,6 +43,8 @@ def campaign(
     seed: int = 0,
     production: Optional[ProductionModel] = None,
     weather_model: Optional[WeatherModel] = None,
+    checkpoint_path: Optional[str | os.PathLike] = None,
+    resume_from: Optional[str | os.PathLike] = None,
     **overrides: object,
 ) -> CampaignResult:
     """Run a multi-day load-management campaign through the engine façade.
@@ -68,6 +71,15 @@ def campaign(
         stepped per day.
     warmup_days / seed / production / weather_model:
         Passed through to :class:`~repro.core.planning.MultiDayCampaign`.
+    checkpoint_path:
+        Persist a resumable :class:`~repro.core.checkpoint.CampaignCheckpoint`
+        after each completed day (atomic write; a crash mid-day keeps the
+        previous day's snapshot).
+    resume_from:
+        Continue a checkpointed campaign at its next day; the final rows are
+        bit-identical to the uninterrupted run.  Build the campaign with the
+        same parameters (enforced via the checkpoint fingerprint) and pass
+        the same ``conditions`` sequence.
     **overrides:
         Individual :class:`EngineConfig` fields overriding ``config``, e.g.
         ``campaign(planner, 14, planning="scalar")``.
@@ -90,7 +102,12 @@ def campaign(
         backend=backend,
         config=resolved,
     )
-    result = runner.run(num_days, conditions=conditions)
+    result = runner.run(
+        num_days,
+        conditions=conditions,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+    )
     result.metadata.update(
         {
             "backend": backend,

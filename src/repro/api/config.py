@@ -30,7 +30,10 @@ from repro.core.modes import (
     validate_history_window,
     validate_materialise_mode,
     validate_planning_mode,
+    validate_shard_count,
+    validate_shard_threshold,
 )
+from repro.runtime.faults import FaultPlan
 
 #: Population size from which ``backend="auto"`` starts considering the
 #: sharded runtime.  Below it the per-round fan-out overhead outweighs the
@@ -103,6 +106,14 @@ class EngineConfig:
         dropping the oldest retained days when shrinking (the re-bound
         persists on the planner after the campaign).  Ignored by single
         negotiations.
+    fault_plan:
+        Deterministic fault-injection plan
+        (:class:`~repro.runtime.faults.FaultPlan`).  ``None`` (default)
+        disables injection entirely; a plan with every rate at zero takes
+        the identical code paths as ``None`` and is bit-identical to it.
+        With non-zero rates the runtime degrades instead of aborting —
+        see the injected-fault report under
+        ``NegotiationResult.metadata["faults"]``.
     """
 
     seed: Optional[int] = 0
@@ -117,20 +128,25 @@ class EngineConfig:
     planning: str = "columnar"
     materialise: str = "eager"
     history_window: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.max_simulation_rounds <= 0:
             raise ValueError("max_simulation_rounds must be positive")
-        if self.shards is not None and self.shards < 1:
-            raise ValueError("shards must be at least 1 when given")
-        if self.shard_threshold < 1:
-            raise ValueError("shard_threshold must be positive")
-        # One canonical validator per knob (shared with the planner and the
-        # population constructors): a typo'd value fails here, at
-        # construction, instead of silently selecting a fallback path.
+        # One canonical validator per knob (shared with the planner, the
+        # population constructors and the sharded session): a typo'd value
+        # fails here, at construction, instead of silently selecting a
+        # fallback path or surfacing as a confusing pool-level error.
+        validate_shard_count(self.shards)
+        validate_shard_threshold(self.shard_threshold)
         validate_planning_mode(self.planning)
         validate_materialise_mode(self.materialise)
         validate_history_window(self.history_window)
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan or None, got "
+                f"{type(self.fault_plan).__name__}"
+            )
 
     # -- derived views -----------------------------------------------------------
 
@@ -159,6 +175,7 @@ class EngineConfig:
             "max_simulation_rounds": self.max_simulation_rounds,
             "check_protocol": self.check_protocol,
             "retain_message_log": self.retain_message_log,
+            "fault_plan": self.fault_plan,
         }
 
     def fast_session_kwargs(self) -> dict[str, object]:
@@ -168,6 +185,7 @@ class EngineConfig:
             "max_simulation_rounds": self.max_simulation_rounds,
             "check_protocol": self.check_protocol,
             "retain_round_bids": self.retain_message_log,
+            "fault_plan": self.fault_plan,
         }
 
     def sharded_session_kwargs(self) -> dict[str, object]:

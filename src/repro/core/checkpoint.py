@@ -1,0 +1,120 @@
+"""Campaign checkpoints: persist a multi-day run after each completed day.
+
+A multi-week campaign over a large population is exactly the kind of run
+that dies to a power cut, an OOM kill or a pre-emptible node reclaim.  The
+campaign loop is deterministic given its seeds, so a checkpoint does not
+need to freeze the whole process — it only has to capture the *stateful*
+parts the loop threads from one day to the next:
+
+* the trained consumption predictor (its ring buffer of observed days),
+* the accumulated :class:`~repro.core.planning.CampaignDay` records and
+  wall-clock accounting,
+* the exact position of the weather and demand random streams
+  (:meth:`~repro.runtime.rng.RandomSource.state`).
+
+Everything else — the households, preference models, production model,
+engine configuration — is reconstructed by the caller exactly as for the
+original run; a ``fingerprint`` of the run parameters is stored so a resume
+against a *different* campaign fails loudly instead of silently producing
+garbage.  Restoring a checkpoint and continuing yields rows bit-identical
+to the uninterrupted run (guarded by the kill-and-resume equivalence test).
+
+The snapshot format is a pickle: checkpoints are private scratch state of
+one code version on one machine, not an interchange format.  Writes are
+atomic (temp file + :func:`os.replace`) so a crash *during* checkpointing
+leaves the previous day's snapshot intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.planning import CampaignDay
+
+#: Bumped whenever the snapshot layout changes; a mismatched version fails
+#: the load instead of mis-restoring state.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class CampaignCheckpoint:
+    """Resumable state of a :class:`~repro.core.planning.MultiDayCampaign`.
+
+    Attributes
+    ----------
+    next_day:
+        Index of the first day that has *not* run yet; a resumed campaign
+        continues its loop here.
+    fingerprint:
+        Identifying parameters of the run (seed, warm-up days, population
+        size, backend).  :meth:`validate_fingerprint` rejects a resume whose
+        campaign was built with different parameters.
+    days / planning_seconds / negotiation_seconds:
+        The accumulated :class:`~repro.core.planning.CampaignResult` fields
+        as of the end of day ``next_day - 1``.
+    predictor:
+        The trained consumption predictor object (carries the observation
+        ring buffer).
+    weather_rng_state / demand_rng_state:
+        Bit-generator snapshots of the campaign's weather stream and the
+        planner's demand stream, so resumed days draw exactly the samples
+        the uninterrupted run would have drawn.
+    """
+
+    version: int
+    fingerprint: dict[str, object]
+    next_day: int
+    days: list["CampaignDay"]
+    planning_seconds: float
+    negotiation_seconds: float
+    predictor: object
+    weather_rng_state: dict
+    demand_rng_state: dict
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomically persist the checkpoint to ``path``."""
+        path = os.fspath(path)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CampaignCheckpoint":
+        """Load a checkpoint, failing loudly on a foreign or stale snapshot."""
+        with open(os.fspath(path), "rb") as handle:
+            snapshot = pickle.load(handle)
+        if not isinstance(snapshot, cls):
+            raise ValueError(
+                f"{os.fspath(path)!r} does not contain a campaign checkpoint "
+                f"(got {type(snapshot).__name__})"
+            )
+        if snapshot.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {snapshot.version} is not supported "
+                f"(this code writes version {CHECKPOINT_VERSION}); re-run the "
+                f"campaign from the start"
+            )
+        return snapshot
+
+    def validate_fingerprint(self, fingerprint: dict[str, object]) -> None:
+        """Raise :class:`ValueError` when resuming against a different campaign."""
+        mismatched = {
+            key: (self.fingerprint.get(key), fingerprint.get(key))
+            for key in set(self.fingerprint) | set(fingerprint)
+            if self.fingerprint.get(key) != fingerprint.get(key)
+        }
+        if mismatched:
+            details = ", ".join(
+                f"{key}: checkpoint={have!r} vs campaign={want!r}"
+                for key, (have, want) in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"checkpoint does not match this campaign ({details}); "
+                f"resume with the campaign the checkpoint was written by"
+            )

@@ -51,6 +51,7 @@ from repro.negotiation.strategy import (
     HighestAcceptableCutdownBidding,
 )
 from repro.negotiation.termination import TerminationReason
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.messaging import Performative
 
 
@@ -69,11 +70,20 @@ class FastSession:
         max_simulation_rounds: int = 200,
         check_protocol: bool = True,
         retain_round_bids: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.max_simulation_rounds = max_simulation_rounds
         self.check_protocol = check_protocol
+        self.fault_plan = fault_plan
+        #: Deterministic chaos: drives the per-round fault masks that mirror
+        #: the object path's message/crash faults on the batched exchange.
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        #: Per customer, whether any round was evaluated without their bid.
+        self._degraded_ever: Optional[np.ndarray] = None
         #: Whether each RoundRecord keeps its per-customer bid objects.  The
         #: vectorized counterpart of the bus's log retention: at 100k
         #: households a round's bids are ~100k objects, and a multi-week
@@ -133,7 +143,9 @@ class FastSession:
 
     # -- customer side (batched) ---------------------------------------------------
 
-    def _respond_all(self, announcement, state: dict) -> list[Bid]:
+    def _respond_all(
+        self, announcement, state: dict, suppressed: Optional[np.ndarray] = None
+    ) -> list[Bid]:
         """Every customer's bid for one announcement, in population order.
 
         Dispatches to the batched kernels for the stock reward-table bidding
@@ -141,6 +153,13 @@ class FastSession:
         request-for-bids method; any other method or policy falls back to
         per-customer scalar ``method.respond`` calls (still message-free, so
         still much faster than the object path).
+
+        ``suppressed`` marks customers that never saw this round's
+        announcement (crashed agent or lost message under fault injection):
+        their negotiation state does not advance — their entry holds the
+        previous round's value, exactly like an object-path agent whose
+        mailbox stayed empty.  ``None`` (the fault-free default) leaves every
+        code path untouched.
         """
         population = self.population
         method = self.scenario.method
@@ -162,6 +181,9 @@ class FastSession:
             previous = state.get("cutdowns")
             if previous is not None:
                 candidates = np.maximum(candidates, previous)
+            if suppressed is not None and suppressed.any():
+                held = previous if previous is not None else np.zeros(len(candidates))
+                candidates = np.where(suppressed, held, candidates)
             state["cutdowns"] = candidates
             return [
                 CutdownBid(
@@ -191,6 +213,8 @@ class FastSession:
                 method.peak_hours,
                 announcement.tariff.normal_price,
             )
+            if suppressed is not None and suppressed.any():
+                needs = np.where(suppressed, current, needs)
             state["needs"] = needs
             return [
                 QuantityBid(
@@ -205,10 +229,18 @@ class FastSession:
             state["contexts"] = self.scenario.population.customer_contexts()
         contexts = state["contexts"]
         previous_bids = state.get("bids", [None] * len(population))
-        bids = [
-            method.respond(announcement, context, previous)
-            for context, previous in zip(contexts, previous_bids)
-        ]
+        if suppressed is None or not suppressed.any():
+            bids = [
+                method.respond(announcement, context, previous)
+                for context, previous in zip(contexts, previous_bids)
+            ]
+        else:
+            bids = [
+                previous
+                if held
+                else method.respond(announcement, context, previous)
+                for held, context, previous in zip(suppressed, contexts, previous_bids)
+            ]
         state["bids"] = bids
         return bids
 
@@ -218,7 +250,22 @@ class FastSession:
         """Vectorized stand-in for the protocol's per-bid concession check."""
         if previous is None:
             return
-        for earlier, current in zip(previous, bids):
+        if self.fault_injector is None:
+            # Fault-free, both lists cover the full population in order, so
+            # the positional pairing is exact (and cheap on the hot path).
+            pairs = zip(previous, bids)
+        else:
+            # Under degradation either round may be missing customers; match
+            # by customer so partial rounds never compare strangers.
+            earlier_by_customer = {
+                bid.customer: bid for bid in previous if isinstance(bid, CutdownBid)
+            }
+            pairs = (
+                (earlier_by_customer.get(bid.customer), bid)
+                for bid in bids
+                if isinstance(bid, CutdownBid)
+            )
+        for earlier, current in pairs:
             if (
                 isinstance(earlier, CutdownBid)
                 and isinstance(current, CutdownBid)
@@ -228,6 +275,52 @@ class FastSession:
                     f"customer {current.customer!r} retreated from cut-down "
                     f"{earlier.cutdown} to {current.cutdown}"
                 )
+
+    # -- fault-aware exchange -------------------------------------------------------
+
+    def _exchange(self, announcement, state: dict) -> tuple[list[Bid], list[Bid]]:
+        """One announcement → bids exchange: ``(all_bids, delivered_bids)``.
+
+        ``all_bids`` has one entry per customer (the population-order bid
+        state, used for final-bid reporting); ``delivered_bids`` is the
+        subset that actually reached the utility side in time and enters the
+        round evaluation.  Fault-free — or with a zero-rate plan — the two
+        are the same list and the message counters advance exactly as the
+        object path's bus counters do.
+        """
+        population_size = len(self.population)
+        injector = self.fault_injector
+        if injector is None or not injector.fast_path_faults:
+            bids = self._respond_all(announcement, state)
+            self._count_messages(Performative.ANNOUNCE, population_size)
+            self._count_messages(Performative.BID, population_size)
+            return bids, bids
+        faults = injector.customer_round_masks(
+            population_size, announcement.round_number
+        )
+        suppressed = faults.suppressed
+        bids = self._respond_all(announcement, state, suppressed=suppressed)
+        undelivered = faults.undelivered
+        if self._degraded_ever is None:
+            self._degraded_ever = undelivered.copy()
+        else:
+            self._degraded_ever |= undelivered
+        delivered = [
+            bid for bid, lost in zip(bids, undelivered) if not lost and bid is not None
+        ]
+        # Mirror the bus's counters: announcements that were permanently lost
+        # and bids that were never sent (suppressed customer) or dropped in
+        # flight are not traffic; delayed bids were sent and count.
+        self._count_messages(
+            Performative.ANNOUNCE, population_size - int(faults.announce_lost.sum())
+        )
+        self._count_messages(
+            Performative.BID,
+            population_size
+            - int(suppressed.sum())
+            - int((faults.bid_lost & ~suppressed).sum()),
+        )
+        return bids, delivered
 
     # -- execution -----------------------------------------------------------------
 
@@ -265,10 +358,8 @@ class FastSession:
         announcement = method.initial_announcement(context)
         self.protocol.record_announcement(announcement)
         state: dict = {}
-        bids = self._respond_all(announcement, state)
-        previous_bids: Optional[list[Bid]] = None
-        self._count_messages(Performative.ANNOUNCE, num_customers)
-        self._count_messages(Performative.BID, num_customers)
+        bids, delivered = self._exchange(announcement, state)
+        previous_delivered: Optional[list[Bid]] = None
         round_number = 0
         simulation_rounds = 1
         awards: dict[str, Award] = {}
@@ -277,8 +368,8 @@ class FastSession:
             # Each later simulation round evaluates the previous exchange and
             # either finishes (awards go out) or announces the next round.
             simulation_rounds += 1
-            self._check_bid_concession(bids, previous_bids)
-            bids_by_customer = {bid.customer: bid for bid in bids}
+            self._check_bid_concession(delivered, previous_delivered)
+            bids_by_customer = {bid.customer: bid for bid in delivered}
             evaluation = method.evaluate_round(
                 context, announcement, bids_by_customer, round_number
             )
@@ -315,10 +406,8 @@ class FastSession:
             self.protocol.record_announcement(next_announcement)
             announcement = next_announcement
             round_number += 1
-            previous_bids = bids
-            bids = self._respond_all(announcement, state)
-            self._count_messages(Performative.ANNOUNCE, num_customers)
-            self._count_messages(Performative.BID, num_customers)
+            previous_delivered = delivered
+            bids, delivered = self._exchange(announcement, state)
         final_bids: list[Optional[Bid]] = list(bids)
         return self._collect_result(awards, final_bids, simulation_rounds)
 
@@ -391,7 +480,10 @@ class FastSession:
                 surplus=float(surpluses[index]) if accepted else 0.0,
             )
             total_reward_paid += reward
-        return NegotiationResult(
+        degraded = (
+            int(self._degraded_ever.sum()) if self._degraded_ever is not None else 0
+        )
+        result = NegotiationResult(
             scenario_name=self.scenario.name,
             method_name=self.scenario.method.name,
             record=self.record,
@@ -399,4 +491,8 @@ class FastSession:
             total_reward_paid=total_reward_paid,
             messages_sent=self._messages_sent,
             simulation_rounds=simulation_rounds,
+            degraded_households=degraded,
         )
+        if self.fault_injector is not None:
+            result.metadata["faults"] = self.fault_injector.report()
+        return result

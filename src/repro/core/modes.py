@@ -60,3 +60,33 @@ def validate_history_window(history_window: Optional[int]) -> Optional[int]:
             f"(unbounded), got {history_window!r}"
         )
     return window
+
+
+def validate_shard_count(shards: Optional[int]) -> Optional[int]:
+    """Return the shard count (``None`` = one per core) or raise a :class:`ValueError`.
+
+    Shared by :class:`~repro.api.config.EngineConfig` and
+    :class:`~repro.core.sharded_session.ShardedSession`, so a non-positive
+    count fails at construction with one canonical message instead of
+    propagating into a confusing worker-pool error.
+    """
+    if shards is None:
+        return None
+    count = int(shards)
+    if count < 1:
+        raise ValueError(
+            f"shards must be a positive worker count or None (one per CPU "
+            f"core), got {shards!r}"
+        )
+    return count
+
+
+def validate_shard_threshold(shard_threshold: int) -> int:
+    """Return the auto-backend sharding threshold or raise a :class:`ValueError`."""
+    threshold = int(shard_threshold)
+    if threshold < 1:
+        raise ValueError(
+            f"shard_threshold must be a positive population size, got "
+            f"{shard_threshold!r}"
+        )
+    return threshold

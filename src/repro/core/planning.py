@@ -27,12 +27,14 @@ and the fallback for fleet-incompatible household sets.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.agents.population import CustomerPopulation, CustomerSpec
 from repro.agents.preferences import CustomerPreferenceModel
+from repro.core.checkpoint import CHECKPOINT_VERSION, CampaignCheckpoint
 from repro.core.modes import (
     MATERIALISE_MODES,
     PLANNING_MODES,
@@ -432,56 +434,152 @@ class MultiDayCampaign:
         self,
         num_days: int,
         conditions: Optional[Sequence[WeatherCondition]] = None,
+        checkpoint_path: Optional[str | os.PathLike] = None,
+        resume_from: Optional[str | os.PathLike] = None,
     ) -> CampaignResult:
-        """Run the campaign for ``num_days`` (after the warm-up observations)."""
+        """Run the campaign for ``num_days`` (after the warm-up observations).
+
+        ``checkpoint_path`` persists a :class:`~repro.core.checkpoint.
+        CampaignCheckpoint` after each completed day (atomically — a crash
+        mid-write leaves the previous snapshot intact); ``resume_from``
+        restores one and continues at its next day, producing rows
+        bit-identical to the uninterrupted run.  Resuming requires the same
+        campaign construction (seed, warm-up, households, backend — enforced
+        via the checkpoint fingerprint) and the same ``conditions`` sequence.
+
+        A day that raises does not discard the campaign: the exception is
+        recorded under ``metadata["failed_day"]`` / ``metadata["failure"]``
+        and the result returned with every completed day's rows, so a
+        two-week campaign that dies on day 13 still yields twelve days of
+        data (and, with ``checkpoint_path``, a snapshot to resume from).
+        """
         if num_days <= 0:
             raise ValueError("num_days must be positive")
         planning_mode = self.config.planning if self.config is not None else None
         materialise_mode = self.config.materialise if self.config is not None else None
         result = CampaignResult()
-        # Warm up the predictor on mild reference days, in one batch.
-        start = time.perf_counter()
-        self.planner.observe_days(
-            [self.weather_model.reference_day() for __ in range(self.warmup_days)]
-        )
-        result.planning_seconds += time.perf_counter() - start
-        for day_index in range(num_days):
-            condition = conditions[day_index % len(conditions)] if conditions else None
-            weather = self.weather_model.sample(condition)
+        if resume_from is not None:
+            start_day = self._restore_checkpoint(resume_from, result)
+            if start_day >= num_days:
+                return result
+        else:
+            start_day = 0
+            # Warm up the predictor on mild reference days, in one batch.
             start = time.perf_counter()
-            scenario = self.planner.plan(
-                weather, planning=planning_mode, materialise=materialise_mode
+            self.planner.observe_days(
+                [self.weather_model.reference_day() for __ in range(self.warmup_days)]
             )
             result.planning_seconds += time.perf_counter() - start
-            if scenario is None or scenario.population.initial_overuse <= scenario.population.max_allowed_overuse:
-                result.days.append(
-                    CampaignDay(day_index=day_index, weather=weather, negotiated=False, outcome=None)
+        for day_index in range(start_day, num_days):
+            try:
+                self._run_day(
+                    day_index, conditions, planning_mode, materialise_mode, result
                 )
-            else:
-                start = time.perf_counter()
-                system = LoadBalancingSystem(
-                    scenario,
-                    production=self.production,
-                    seed=self.seed + day_index,
-                    backend=self.backend,
-                    config=self.config,
-                )
-                outcome = system.run()
-                result.negotiation_seconds += time.perf_counter() - start
-                backend = (
-                    outcome.negotiation.metadata.get("backend")
-                    if outcome.negotiation is not None
-                    else None
-                )
-                result.days.append(
-                    CampaignDay(
-                        day_index=day_index, weather=weather,
-                        negotiated=outcome.negotiated, outcome=outcome,
-                        backend=backend,
-                    )
-                )
-            # The day actually happens and the predictor learns from it.
-            start = time.perf_counter()
-            self.planner.observe_day(weather)
-            result.planning_seconds += time.perf_counter() - start
+            except Exception as error:
+                # A failed day degrades the campaign to a partial result
+                # instead of discarding every completed day's rows.
+                result.metadata["failed_day"] = day_index
+                result.metadata["failure"] = f"{type(error).__name__}: {error}"
+                break
+            if checkpoint_path is not None:
+                self._save_checkpoint(checkpoint_path, result, day_index + 1)
         return result
+
+    def _run_day(
+        self,
+        day_index: int,
+        conditions: Optional[Sequence[WeatherCondition]],
+        planning_mode: Optional[str],
+        materialise_mode: Optional[str],
+        result: CampaignResult,
+    ) -> None:
+        """Sample, plan, negotiate and account one day onto ``result``."""
+        condition = conditions[day_index % len(conditions)] if conditions else None
+        weather = self.weather_model.sample(condition)
+        start = time.perf_counter()
+        scenario = self.planner.plan(
+            weather, planning=planning_mode, materialise=materialise_mode
+        )
+        result.planning_seconds += time.perf_counter() - start
+        if scenario is None or scenario.population.initial_overuse <= scenario.population.max_allowed_overuse:
+            result.days.append(
+                CampaignDay(day_index=day_index, weather=weather, negotiated=False, outcome=None)
+            )
+        else:
+            start = time.perf_counter()
+            system = LoadBalancingSystem(
+                scenario,
+                production=self.production,
+                seed=self.seed + day_index,
+                backend=self.backend,
+                config=self.config,
+            )
+            outcome = system.run()
+            result.negotiation_seconds += time.perf_counter() - start
+            backend = (
+                outcome.negotiation.metadata.get("backend")
+                if outcome.negotiation is not None
+                else None
+            )
+            result.days.append(
+                CampaignDay(
+                    day_index=day_index, weather=weather,
+                    negotiated=outcome.negotiated, outcome=outcome,
+                    backend=backend,
+                )
+            )
+        # The day actually happens and the predictor learns from it.
+        start = time.perf_counter()
+        self.planner.observe_day(weather)
+        result.planning_seconds += time.perf_counter() - start
+
+    # -- checkpoint / resume -----------------------------------------------------
+
+    def _fingerprint(self) -> dict[str, object]:
+        """Parameters that must match between a checkpoint and a resume."""
+        return {
+            "seed": self.seed,
+            "warmup_days": self.warmup_days,
+            "num_households": len(self.planner.households),
+            "backend": self.backend,
+        }
+
+    def _save_checkpoint(
+        self, path: str | os.PathLike, result: CampaignResult, next_day: int
+    ) -> None:
+        """Snapshot everything the day loop threads between days."""
+        CampaignCheckpoint(
+            version=CHECKPOINT_VERSION,
+            fingerprint=self._fingerprint(),
+            next_day=next_day,
+            days=list(result.days),
+            planning_seconds=result.planning_seconds,
+            negotiation_seconds=result.negotiation_seconds,
+            predictor=self.planner.predictor,
+            weather_rng_state=self.weather_model._random.state(),
+            demand_rng_state=self.planner._demand_model._random.state(),
+        ).save(path)
+
+    def _restore_checkpoint(
+        self, path: str | os.PathLike, result: CampaignResult
+    ) -> int:
+        """Restore a snapshot into this campaign; returns the first day to run.
+
+        The predictor object (with its observation buffer) replaces the
+        planner's, the weather and demand streams rewind to their recorded
+        positions, and the accumulated days and wall-clock land on
+        ``result`` — the warm-up is already inside the restored predictor,
+        so the caller must skip it.
+        """
+        snapshot = CampaignCheckpoint.load(path)
+        snapshot.validate_fingerprint(self._fingerprint())
+        self.planner.predictor = snapshot.predictor
+        # The memoised prediction belongs to the replaced predictor.
+        self.planner._prediction_cache = None
+        self.planner._demand_model._random.set_state(snapshot.demand_rng_state)
+        self.weather_model._random.set_state(snapshot.weather_rng_state)
+        result.days = list(snapshot.days)
+        result.planning_seconds = snapshot.planning_seconds
+        result.negotiation_seconds = snapshot.negotiation_seconds
+        result.metadata["resumed_from_day"] = snapshot.next_day
+        return snapshot.next_day

@@ -39,9 +39,16 @@ class NegotiationResult:
     total_reward_paid: float
     messages_sent: int
     simulation_rounds: int
+    #: How many households were degraded by substrate faults: at least one
+    #: of their rounds was evaluated without their bid (crash, lost message
+    #: or over-deadline delay — the protocol's silent-reject semantics).
+    #: Always ``0`` on fault-free runs.
+    degraded_households: int = 0
     #: Execution metadata recorded by :func:`repro.api.run` — notably
     #: ``metadata["backend"]``, the name of the engine backend that actually
-    #: ran the negotiation.  Empty when a session is driven directly.
+    #: ran the negotiation, and ``metadata["faults"]``, the fault plan and
+    #: injected-fault counters when a chaos run was configured.  Empty when a
+    #: session is driven directly without faults.
     metadata: dict[str, object] = field(default_factory=dict)
 
     # -- headline metrics ------------------------------------------------------

@@ -19,6 +19,8 @@ from repro.agents.utility_agent import UtilityAgent
 from repro.core.results import CustomerOutcome, NegotiationResult
 from repro.core.scenario import Scenario
 from repro.grid.production import ProductionModel
+from repro.negotiation.messages import Award
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.simulation import Simulation
 
 
@@ -35,6 +37,7 @@ class NegotiationSession:
         max_simulation_rounds: int = 200,
         check_protocol: bool = True,
         retain_message_log: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -44,6 +47,10 @@ class NegotiationSession:
         self.max_simulation_rounds = max_simulation_rounds
         self.check_protocol = check_protocol
         self.retain_message_log = retain_message_log
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
         self.simulation: Optional[Simulation] = None
         self.utility_agent: Optional[UtilityAgent] = None
         self.customer_agents: list[CustomerAgent] = []
@@ -59,6 +66,7 @@ class NegotiationSession:
             seed=self.seed,
             max_rounds=self.max_simulation_rounds,
             retain_message_log=self.retain_message_log,
+            fault_injector=self.fault_injector,
         )
 
         self.customer_agents = scenario.population.build_customer_agents(
@@ -88,7 +96,19 @@ class NegotiationSession:
             producer_agent=producer_name,
             external_world=world_name,
             check_protocol=self.check_protocol,
+            bid_deadline_rounds=(
+                self.fault_plan.bid_deadline_rounds
+                if self.fault_plan is not None
+                else None
+            ),
         )
+        if self.fault_injector is not None:
+            # Only customer agents crash-stop; the Utility Agent is the
+            # run's coordinator (crashing it would just stall the clock, not
+            # exercise degradation).
+            self.fault_injector.set_crashable(
+                agent.name for agent in self.customer_agents
+            )
 
         simulation.add_participant(self.utility_agent)
         for agent in self.customer_agents:
@@ -129,9 +149,9 @@ class NegotiationSession:
                 awarded=award.accepted if award is not None else False,
                 committed_cutdown=award.committed_cutdown if award is not None and award.accepted else 0.0,
                 reward=award.reward if award is not None and award.accepted else 0.0,
-                surplus=agent.realised_surplus(),
+                surplus=self._realised_surplus(agent, award),
             )
-        return NegotiationResult(
+        result = NegotiationResult(
             scenario_name=self.scenario.name,
             method_name=self.scenario.method.name,
             record=utility.record,
@@ -139,4 +159,27 @@ class NegotiationSession:
             total_reward_paid=utility.total_reward_paid,
             messages_sent=self.simulation.bus.message_count(),
             simulation_rounds=simulation_rounds,
+            degraded_households=len(utility.degraded_customers),
         )
+        if self.fault_injector is not None:
+            result.metadata["faults"] = self.fault_injector.report()
+        return result
+
+    def _realised_surplus(self, agent: CustomerAgent, award: Optional[Award]) -> float:
+        """Reward minus monetised discomfort, from the authoritative award.
+
+        Same formula as :meth:`CustomerAgent.realised_surplus`, but computed
+        from the Utility Agent's award record rather than the agent's own
+        copy: a customer whose award *message* was dropped or delayed (or who
+        crash-stopped through the final round) still settles at the cut-down
+        it is contractually committed to.  Fault-free, the agent's copy is
+        the identical object, so the two computations agree bit for bit.
+        """
+        if award is None or not award.accepted:
+            return 0.0
+        discomfort = agent.context.requirements.interpolated_requirement(
+            award.committed_cutdown
+        )
+        if discomfort == float("inf"):
+            return award.reward
+        return award.reward - discomfort

@@ -40,8 +40,10 @@ import numpy as np
 
 from repro.agents.sharded import ShardedPopulation, default_shard_count
 from repro.core.fast_session import FastSession
+from repro.core.modes import validate_shard_count
 from repro.core.results import NegotiationResult
 from repro.core.scenario import Scenario
+from repro.runtime.faults import FaultPlan
 
 
 class ShardedSession(FastSession):
@@ -65,6 +67,7 @@ class ShardedSession(FastSession):
         check_protocol: bool = True,
         retain_round_bids: bool = True,
         shards: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(
             scenario,
@@ -72,11 +75,12 @@ class ShardedSession(FastSession):
             max_simulation_rounds=max_simulation_rounds,
             check_protocol=check_protocol,
             retain_round_bids=retain_round_bids,
+            fault_plan=fault_plan,
         )
-        requested = default_shard_count() if shards is None else int(shards)
-        if requested < 1:
-            raise ValueError("a sharded session needs at least one shard")
-        self.requested_shards = requested
+        validated = validate_shard_count(shards)
+        self.requested_shards = (
+            default_shard_count() if validated is None else validated
+        )
         self.sharded: Optional[ShardedPopulation] = None
         #: Per responded round, the committed cut-down vector (reward-table
         #: rounds only; other methods have no cut-down vector).  Kept as
@@ -107,6 +111,8 @@ class ShardedSession(FastSession):
     def run(self) -> NegotiationResult:
         """Run the negotiation with a per-shard worker pool around the rounds."""
         sharded = self.build()
+        if self.fault_injector is not None:
+            sharded.attach_fault_injector(self.fault_injector)
         if sharded.num_shards > 1:
             self._executor = ThreadPoolExecutor(
                 max_workers=sharded.num_shards,
@@ -117,13 +123,14 @@ class ShardedSession(FastSession):
             return super().run()
         finally:
             sharded.attach_executor(None)
+            sharded.attach_fault_injector(None)
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
 
-    def _respond_all(self, announcement, state: dict) -> list:
+    def _respond_all(self, announcement, state: dict, suppressed=None) -> list:
         """Fan the round's kernels out, keeping the cut-down vector for later."""
-        bids = super()._respond_all(announcement, state)
+        bids = super()._respond_all(announcement, state, suppressed=suppressed)
         cutdowns = state.get("cutdowns")
         if cutdowns is not None:
             self._round_cutdowns.append(cutdowns)
@@ -187,7 +194,22 @@ class ShardedSession(FastSession):
             )
         return stats
 
+    def shard_recoveries(self) -> list[dict[str, object]]:
+        """Recovered shard-kernel failures, part of reconciliation diagnostics.
+
+        One record per recovery — which kernel call, which shard and index
+        range, and whether the inline retry or the per-customer oracle
+        decomposition produced the rows.  Empty on fault-free runs; whenever
+        recovery succeeds the results are bit-identical either way.
+        """
+        if self.sharded is None:
+            raise RuntimeError("build() the session before reading recoveries")
+        return list(self.sharded.recovery_events)
+
     def _collect_result(self, awards, final_bids, simulation_rounds):
         result = super()._collect_result(awards, final_bids, simulation_rounds)
         self._last_outcomes = result.customer_outcomes
+        if self.fault_injector is not None and self.sharded is not None:
+            faults = result.metadata.setdefault("faults", {})
+            faults["shard_recoveries"] = list(self.sharded.recovery_events)
         return result

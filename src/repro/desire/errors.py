@@ -31,3 +31,22 @@ class CompositionError(DesireError):
     control rule referring to an unknown component, duplicated component
     names within one composition.
     """
+
+
+class UnknownAgentError(DesireError, KeyError):
+    """A message names an agent that is not registered on the bus.
+
+    Also a :class:`KeyError` for backwards compatibility with callers that
+    caught the bus's original bare ``KeyError``.  Carries the offending agent
+    name and how many agents *are* registered, so a typo'd name fails with an
+    actionable message instead of a bare key repr.
+    """
+
+    def __init__(self, role: str, name: str, registered_count: int) -> None:
+        self.role = role
+        self.agent_name = name
+        self.registered_count = registered_count
+        super().__init__(
+            f"unknown {role} {name!r}: not registered on the bus "
+            f"({registered_count} agents registered)"
+        )

@@ -1,0 +1,373 @@
+"""Deterministic fault injection for the negotiation runtime.
+
+The paper's agents negotiate over an unreliable distributed substrate; this
+module supplies the *unreliability* — reproducibly.  A :class:`FaultPlan` is a
+frozen description of which faults to inject at which rates, and a
+:class:`FaultInjector` turns the plan into concrete per-message, per-agent and
+per-shard fault decisions that depend only on ``(plan.seed, fault kind,
+round/sequence position, subject)``.  Two runs with the same plan therefore
+inject exactly the same faults, which is what makes chaos regressions
+debuggable and the chaos test-suite deterministic.
+
+**Zero-rate identity.**  Every draw is gated on its rate: a plan whose rates
+are all ``0.0`` draws nothing, mutates nothing and takes the exact same code
+paths as a run with injection disabled, so the chaos machinery itself cannot
+perturb fault-free results.  That is the oracle contract the chaos suite pins
+(see ``tests/test_chaos_properties.py``).
+
+Fault surfaces
+--------------
+``message_drop_rate``
+    Each :meth:`~repro.runtime.messaging.MessageBus.send` delivery attempt
+    fails with this probability; the bus retries up to
+    ``max_send_attempts`` times (with optional exponential backoff), so a
+    message is only *lost* when every attempt fails.
+``message_delay_rate``
+    A delivered message is instead held back for ``message_delay_rounds``
+    simulation rounds before landing in the receiver's mailbox.
+``crash_rate``
+    A customer agent skips its entire simulation round (crash-stop for one
+    round; it recovers on the next round with its mailbox intact).
+``shard_failure_rate``
+    A sharded-session worker raises mid-kernel; the session recovers via
+    inline retry, then a per-customer oracle decomposition
+    (see :class:`~repro.agents.sharded.ShardedPopulation`).
+
+The batched backends have no per-message bus, so the injector also exposes
+:meth:`FaultInjector.customer_round_masks`: the *aggregate* effect of the
+same fault kinds on one announcement/bid exchange, as boolean masks over the
+population.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FaultPlan", "FaultInjector", "InjectedShardFault", "RoundFaults"]
+
+
+#: Stream tags keeping the vectorized per-round draws of different fault
+#: kinds independent of each other (and of the digest-based scalar draws).
+_STREAM_FAST_PATH = 101
+
+
+class InjectedShardFault(RuntimeError):
+    """Raised inside a shard worker when the plan injects a shard failure."""
+
+
+def _canonical_seed(seed: int) -> int:
+    """A non-negative 32-bit seed word for :class:`numpy.random.SeedSequence`."""
+    return int(seed) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible description of the faults to inject into one run.
+
+    All rates are probabilities in ``[0, 1]`` and default to ``0.0`` (no
+    injection).  The plan is frozen and hashable so it can ride inside the
+    frozen :class:`~repro.api.config.EngineConfig`.
+
+    Attributes
+    ----------
+    seed:
+        Root seed of every fault decision; two runs with equal plans inject
+        identical faults.
+    message_drop_rate:
+        Probability that one bus delivery *attempt* fails (transient).
+    message_delay_rate:
+        Probability that a delivered message is held ``message_delay_rounds``
+        simulation rounds before reaching its mailbox.
+    crash_rate:
+        Per-round probability that a customer agent crash-stops for the round.
+    shard_failure_rate:
+        Per-kernel-call probability that a shard worker raises.
+    max_send_attempts:
+        Bounded retry budget of :meth:`MessageBus.send` under transient
+        drops; a message is lost only when all attempts fail.
+    backoff_base_seconds:
+        Base of the exponential retry backoff (``base * 2**attempt``).  The
+        default ``0.0`` keeps chaos tests wall-clock free; production-style
+        runs can opt into real sleeps.
+    message_delay_rounds:
+        How many simulation rounds a delayed message is held.
+    bid_deadline_rounds:
+        How many simulation rounds the Utility Agent waits for missing bids
+        before evaluating the round without them (protocol-level
+        degradation).  Must exceed ``message_delay_rounds`` for delays to be
+        absorbed rather than degrade.
+    """
+
+    seed: int = 0
+    message_drop_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    crash_rate: float = 0.0
+    shard_failure_rate: float = 0.0
+    max_send_attempts: int = 3
+    backoff_base_seconds: float = 0.0
+    message_delay_rounds: int = 2
+    bid_deadline_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "message_drop_rate",
+            "message_delay_rate",
+            "crash_rate",
+            "shard_failure_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_send_attempts < 1:
+            raise ValueError(
+                f"max_send_attempts must be at least 1, got {self.max_send_attempts}"
+            )
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be non-negative")
+        if self.message_delay_rounds < 1:
+            raise ValueError(
+                f"message_delay_rounds must be at least 1, got {self.message_delay_rounds}"
+            )
+        if self.bid_deadline_rounds < 1:
+            raise ValueError(
+                f"bid_deadline_rounds must be at least 1, got {self.bid_deadline_rounds}"
+            )
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault kind has a non-zero rate."""
+        return (
+            self.message_drop_rate > 0
+            or self.message_delay_rate > 0
+            or self.crash_rate > 0
+            or self.shard_failure_rate > 0
+        )
+
+    @property
+    def message_loss_rate(self) -> float:
+        """Probability a message is lost after every retry attempt fails."""
+        return self.message_drop_rate ** self.max_send_attempts
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class RoundFaults:
+    """Aggregate fault masks for one batched announcement/bid exchange.
+
+    One boolean entry per customer, population order.  ``suppressed``
+    customers never saw the announcement (crashed, or the announcement was
+    permanently lost) — their negotiation state must not advance.
+    ``undelivered`` additionally covers bids that were sent but never reached
+    the Utility Agent in time; those customers' state advanced, but the round
+    treats them as silent rejects (zero cut-down).
+    """
+
+    crashed: np.ndarray
+    announce_lost: np.ndarray
+    bid_lost: np.ndarray
+    delayed: np.ndarray
+    delay_degrades: bool
+
+    @property
+    def suppressed(self) -> np.ndarray:
+        """Customers whose agent never processed this round's announcement."""
+        return self.crashed | self.announce_lost
+
+    @property
+    def undelivered(self) -> np.ndarray:
+        """Customers contributing no bid to this round's evaluation."""
+        lost = self.suppressed | self.bid_lost
+        if self.delay_degrades:
+            lost = lost | self.delayed
+        return lost
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic fault decisions.
+
+    Scalar decisions (object-path crashes, shard failures) are digest-based:
+    each is a pure function of ``(seed, kind, position, subject)``, so they
+    are independent of evaluation order and of ``PYTHONHASHSEED``.  Bus
+    delivery fates consume a per-injector send sequence (the bus is
+    single-threaded and sends in deterministic order).  Batched per-round
+    masks draw from a fresh ``numpy`` generator keyed on
+    ``(seed, stream, round)``.  Counters of every injected fault accumulate
+    into :meth:`report`, which sessions attach to
+    ``NegotiationResult.metadata["faults"]``.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters: dict[str, int] = {
+            "messages_dropped": 0,
+            "messages_delayed": 0,
+            "send_retries": 0,
+            "agent_crashes": 0,
+            "shard_failures_injected": 0,
+            "shard_inline_retries": 0,
+            "shard_oracle_fallbacks": 0,
+        }
+        self._crashable: frozenset[str] = frozenset()
+        self._send_index = 0
+
+    # -- sub-system gates --------------------------------------------------------
+
+    @property
+    def message_faults(self) -> bool:
+        """Whether the bus layer has anything to inject."""
+        return self.plan.message_drop_rate > 0 or self.plan.message_delay_rate > 0
+
+    @property
+    def crash_faults(self) -> bool:
+        return self.plan.crash_rate > 0
+
+    @property
+    def shard_faults(self) -> bool:
+        return self.plan.shard_failure_rate > 0
+
+    @property
+    def fast_path_faults(self) -> bool:
+        """Whether the batched sessions need per-round fault masks at all."""
+        return self.message_faults or self.crash_faults
+
+    # -- deterministic draws -----------------------------------------------------
+
+    def _chance(self, *key: object) -> float:
+        """A uniform draw in ``[0, 1)`` determined entirely by ``key``.
+
+        blake2b rather than ``hash()``: stable across processes and immune
+        to ``PYTHONHASHSEED``, so fault positions replay exactly.
+        """
+        payload = "|".join(str(part) for part in (self.plan.seed, *key))
+        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64
+
+    # -- object path: agent crashes ----------------------------------------------
+
+    def set_crashable(self, names) -> None:
+        """Restrict crash injection to the given agent names (customer agents)."""
+        self._crashable = frozenset(names)
+
+    def should_crash(self, name: str, round_number: int) -> bool:
+        """Whether ``name`` crash-stops for simulation round ``round_number``."""
+        if not self.crash_faults or name not in self._crashable:
+            return False
+        if self._chance("crash", round_number, name) < self.plan.crash_rate:
+            self.counters["agent_crashes"] += 1
+            return True
+        return False
+
+    # -- object path: bus delivery fates -----------------------------------------
+
+    def delivery_fate(self) -> tuple[str, int]:
+        """Fate of the next bus delivery: ``(fate, attempts_used)``.
+
+        ``fate`` is ``"delivered"``, ``"dropped"`` (every retry attempt
+        failed) or ``"delayed"`` (delivered, but held back
+        ``plan.message_delay_rounds`` rounds).  Counters update as a side
+        effect; the send sequence number makes each fate deterministic.
+        """
+        index = self._send_index
+        self._send_index += 1
+        plan = self.plan
+        attempts = 1
+        if plan.message_drop_rate > 0:
+            for attempt in range(plan.max_send_attempts):
+                attempts = attempt + 1
+                if self._chance("send", index, attempt) >= plan.message_drop_rate:
+                    break
+            else:
+                self.counters["messages_dropped"] += 1
+                self.counters["send_retries"] += plan.max_send_attempts - 1
+                return "dropped", plan.max_send_attempts
+            self.counters["send_retries"] += attempts - 1
+        if (
+            plan.message_delay_rate > 0
+            and self._chance("delay", index) < plan.message_delay_rate
+        ):
+            self.counters["messages_delayed"] += 1
+            return "delayed", attempts
+        return "delivered", attempts
+
+    # -- batched path: per-round masks -------------------------------------------
+
+    def customer_round_masks(self, num_customers: int, round_number: int) -> RoundFaults:
+        """The aggregate effect of the plan on one batched exchange.
+
+        Mirrors the object path's fault surfaces: a crash or a permanently
+        lost announcement suppresses the customer's response entirely, a lost
+        bid or an over-deadline delay makes the bid miss the evaluation.  A
+        delay only degrades when it exceeds the bid deadline — shorter delays
+        are absorbed by the deadline, exactly as on the object path.
+        """
+        plan = self.plan
+        rng = np.random.default_rng(
+            [_canonical_seed(plan.seed), _STREAM_FAST_PATH, int(round_number)]
+        )
+        zeros = np.zeros(num_customers, dtype=bool)
+
+        def mask(rate: float) -> np.ndarray:
+            # Gated on the rate: a zero-rate kind draws nothing, so disabled
+            # and zero-rate plans are indistinguishable draw-for-draw.
+            if rate <= 0:
+                return zeros
+            return rng.random(num_customers) < rate
+
+        crashed = mask(plan.crash_rate)
+        loss = plan.message_loss_rate
+        announce_lost = mask(loss)
+        bid_lost = mask(loss)
+        delayed = mask(plan.message_delay_rate)
+        faults = RoundFaults(
+            crashed=crashed,
+            announce_lost=announce_lost,
+            bid_lost=bid_lost,
+            delayed=delayed,
+            delay_degrades=plan.message_delay_rounds > plan.bid_deadline_rounds,
+        )
+        self.counters["agent_crashes"] += int(crashed.sum())
+        self.counters["messages_dropped"] += int(announce_lost.sum()) + int(
+            bid_lost.sum()
+        )
+        self.counters["messages_delayed"] += int(delayed.sum())
+        return faults
+
+    # -- sharded path: worker failures -------------------------------------------
+
+    def should_fail_shard(self, call_index: int, shard_index: int, attempt: int) -> bool:
+        """Whether kernel call ``call_index`` fails on ``shard_index``.
+
+        ``attempt`` 0 is the pooled run, 1 the inline retry; both draw
+        independently so a high rate exercises the full recovery ladder down
+        to the per-customer oracle decomposition.
+        """
+        if not self.shard_faults:
+            return False
+        if (
+            self._chance("shard", call_index, shard_index, attempt)
+            < self.plan.shard_failure_rate
+        ):
+            self.counters["shard_failures_injected"] += 1
+            return True
+        return False
+
+    def record_shard_recovery(self, stage: str) -> None:
+        """Count one successful shard recovery (``inline_retry`` / ``oracle``)."""
+        if stage == "inline_retry":
+            self.counters["shard_inline_retries"] += 1
+        else:
+            self.counters["shard_oracle_fallbacks"] += 1
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> dict[str, object]:
+        """The plan plus every injected-fault counter, for result metadata."""
+        return {"plan": self.plan.as_dict(), "injected": dict(self.counters)}

@@ -20,10 +20,16 @@ receiver.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.desire.errors import UnknownAgentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultInjector
 
 
 class Performative(Enum):
@@ -184,12 +190,19 @@ class MessageBus:
     max_log_entries:
         When set, only the most recent ``max_log_entries`` messages are
         retained (a bounded ring); counters still cover all traffic.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` deciding per
+        delivery whether a message is dropped (after the bounded
+        retry-with-backoff budget), delayed or delivered.  ``None`` — and an
+        injector whose message rates are zero — leaves the transport
+        untouched.
     """
 
     def __init__(
         self,
         retain_log: bool = True,
         max_log_entries: Optional[int] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         if max_log_entries is not None and max_log_entries < 0:
             raise ValueError("max_log_entries must be non-negative")
@@ -203,6 +216,10 @@ class MessageBus:
         self._observers: list[Callable[[Message], None]] = []
         self._total_sent = 0
         self._performative_counts: dict[Performative, int] = {}
+        self._injector = fault_injector
+        #: Delayed messages as ``[rounds_remaining, message]`` pairs, released
+        #: by :meth:`release_delayed` once their hold expires.
+        self._delayed: list[list] = []
 
     # -- registration ------------------------------------------------------
 
@@ -233,16 +250,71 @@ class MessageBus:
     def send(self, message: Message) -> Message:
         """Deliver a message to the receiver's mailbox.
 
-        Returns the stamped copy of the message (with its assigned id).
+        Returns the stamped copy of the message (with its assigned id).  With
+        a fault injector attached, each delivery may be transiently dropped —
+        the bus retries up to ``plan.max_send_attempts`` times with
+        exponential backoff — or delayed; a message whose every attempt fails
+        is silently lost (the sender cannot tell, exactly as on a real
+        substrate) and is neither logged nor counted as traffic.
         """
         if message.receiver not in self._mailboxes:
-            raise KeyError(f"unknown receiver {message.receiver!r}")
+            raise UnknownAgentError("receiver", message.receiver, len(self._mailboxes))
         if message.sender not in self._mailboxes:
-            raise KeyError(f"unknown sender {message.sender!r}")
+            raise UnknownAgentError("sender", message.sender, len(self._mailboxes))
+        injector = self._injector
+        if injector is not None and injector.message_faults:
+            fate, attempts = injector.delivery_fate()
+            self._sleep_backoff(attempts)
+            if fate == "dropped":
+                return message.with_id(next(self._counter))
+            if fate == "delayed":
+                stamped = message.with_id(next(self._counter))
+                self._delayed.append(
+                    [injector.plan.message_delay_rounds, stamped]
+                )
+                self._record(stamped)
+                return stamped
         stamped = message.with_id(next(self._counter))
         self._mailboxes[message.receiver].deliver(stamped)
         self._record(stamped)
         return stamped
+
+    def _sleep_backoff(self, attempts: int) -> None:
+        """Exponential backoff for the retries behind one delivery fate.
+
+        The injector resolves the whole retry ladder in one decision, so the
+        bus sleeps the accumulated backoff after the fact; the default
+        ``backoff_base_seconds=0.0`` keeps chaos tests wall-clock free.
+        """
+        if attempts <= 1 or self._injector is None:
+            return
+        base = self._injector.plan.backoff_base_seconds
+        if base > 0:
+            time.sleep(sum(base * 2 ** retry for retry in range(attempts - 1)))
+
+    def release_delayed(self) -> int:
+        """Advance delayed messages one round; deliver the ones now due.
+
+        Called by the simulation at each round boundary.  Returns how many
+        messages were released into mailboxes this call.  Messages whose
+        receiver unregistered while they were in flight are dropped.
+        """
+        if not self._delayed:
+            return 0
+        released = 0
+        still_held: list[list] = []
+        for entry in self._delayed:
+            entry[0] -= 1
+            if entry[0] > 0:
+                still_held.append(entry)
+                continue
+            message = entry[1]
+            mailbox = self._mailboxes.get(message.receiver)
+            if mailbox is not None:
+                mailbox.deliver(message)
+                released += 1
+        self._delayed = still_held
+        return released
 
     def _record(self, stamped: Message) -> None:
         """Streaming bookkeeping for one sent message."""
@@ -267,7 +339,7 @@ class MessageBus:
         thousands of Customer Agents.
         """
         if sender not in self._mailboxes:
-            raise KeyError(f"unknown sender {sender!r}")
+            raise UnknownAgentError("sender", sender, len(self._mailboxes))
         mailboxes = self._mailboxes
         counter = self._counter
         # Validate every receiver before delivering anything, so a failed
@@ -277,9 +349,16 @@ class MessageBus:
             try:
                 resolved.append((receiver, mailboxes[receiver]))
             except KeyError:
-                raise KeyError(f"unknown receiver {receiver!r}") from None
+                raise UnknownAgentError(
+                    "receiver", receiver, len(self._mailboxes)
+                ) from None
+        injector = self._injector
         sent: list[Message] = []
         for receiver, mailbox in resolved:
+            fate = "delivered"
+            if injector is not None and injector.message_faults:
+                fate, attempts = injector.delivery_fate()
+                self._sleep_backoff(attempts)
             stamped = Message(
                 sender=sender,
                 receiver=receiver,
@@ -289,6 +368,12 @@ class MessageBus:
                 round_number=round_number,
                 message_id=next(counter),
             )
+            if fate == "dropped":
+                continue
+            if fate == "delayed":
+                self._delayed.append([injector.plan.message_delay_rounds, stamped])
+                sent.append(stamped)
+                continue
             # The receiver matches the mailbox owner by construction, so the
             # per-message ownership check in Mailbox.deliver is skipped.
             mailbox._queue.append(stamped)
@@ -310,7 +395,7 @@ class MessageBus:
         try:
             return self._mailboxes[name]
         except KeyError:
-            raise KeyError(f"agent {name!r} is not registered on the bus") from None
+            raise UnknownAgentError("agent", name, len(self._mailboxes)) from None
 
     # -- observation -------------------------------------------------------
 

@@ -56,6 +56,23 @@ class RandomSource:
         self._child_count += 1
         return child
 
+    # -- checkpointable state ---------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot of the underlying bit generator's state.
+
+        Together with :meth:`set_state` this makes a stream checkpointable:
+        a campaign can persist the exact position of its weather/demand
+        streams after day *k* and resume at day *k*+1 with the draws it
+        would have made in an uninterrupted run.  Spawned children are not
+        covered — snapshot each child you need to resume.
+        """
+        return self._generator.bit_generator.state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot previously taken with :meth:`state`."""
+        self._generator.bit_generator.state = state
+
     # -- scalar draws -----------------------------------------------------
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:

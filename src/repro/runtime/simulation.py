@@ -15,6 +15,7 @@ from typing import Iterable, Optional, Protocol, runtime_checkable
 
 from repro.runtime.clock import SimulationClock
 from repro.runtime.events import EventType
+from repro.runtime.faults import FaultInjector
 from repro.runtime.messaging import MessageBus
 from repro.runtime.rng import RandomSource
 from repro.runtime.scheduler import Scheduler
@@ -72,6 +73,12 @@ class Simulation:
     max_log_entries:
         Forwarded to :class:`~repro.runtime.messaging.MessageBus`; bounds log
         retention to the most recent messages.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` shared with the
+        bus.  When attached, messages may be dropped/delayed per its plan and
+        agents registered via :meth:`FaultInjector.set_crashable` may
+        crash-stop for individual rounds (their step is skipped; mailboxes
+        survive and they recover next round).
     """
 
     def __init__(
@@ -80,14 +87,18 @@ class Simulation:
         max_rounds: int = 10_000,
         retain_message_log: bool = True,
         max_log_entries: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
         self.random = RandomSource(seed, name="simulation")
         self.clock = SimulationClock()
         self.scheduler = Scheduler(self.clock)
+        self.fault_injector = fault_injector
         self.bus = MessageBus(
-            retain_log=retain_message_log, max_log_entries=max_log_entries
+            retain_log=retain_message_log,
+            max_log_entries=max_log_entries,
+            fault_injector=fault_injector,
         )
         self.max_rounds = max_rounds
         self._participants: dict[str, Steppable] = {}
@@ -151,8 +162,18 @@ class Simulation:
             self.clock.now, EventType.ROUND_BOUNDARY, payload=self._round
         )
         self.scheduler.run(until=self.clock.now)
-        for participant in self._participants.values():
-            participant.step(self)
+        injector = self.fault_injector
+        if injector is None:
+            for participant in self._participants.values():
+                participant.step(self)
+        else:
+            # Delayed messages land at the round boundary, before anyone
+            # steps — indistinguishable from a slow but successful delivery.
+            self.bus.release_delayed()
+            for participant in self._participants.values():
+                if injector.should_crash(participant.name, self._round):
+                    continue
+                participant.step(self)
         self._round += 1
         self.clock.advance_by(1.0)
 

@@ -1,0 +1,143 @@
+"""Campaign checkpoint/resume: kill-and-resume equivalence and partial results.
+
+The contract under test: a campaign checkpointed after day *k* and resumed in
+a *fresh* process (simulated here with a freshly built campaign) produces
+``CampaignResult.rows()`` bit-identical to the uninterrupted run — the
+checkpoint captures everything the day loop threads between days (predictor
+ring buffer, accumulated rows, weather and demand RNG positions), and
+nothing else matters because the rest is reconstructed deterministically
+from the campaign parameters.
+
+Also covered: a day that raises degrades the campaign to a *partial* result
+(``metadata["failed_day"]``) instead of discarding every completed day, and
+a checkpoint refuses to resume a differently-parameterised campaign.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import CampaignCheckpoint, EngineConfig, FaultPlan, campaign
+from repro.core.checkpoint import CHECKPOINT_VERSION
+from repro.core.planning import MultiDayCampaign
+from repro.experiments.campaign_bench import CONDITION_CYCLE, build_campaign_planner
+
+NUM_DAYS = 6
+KILL_AFTER = 3
+
+
+def fresh_planner(num_households: int = 30, seed: int = 7):
+    return build_campaign_planner(num_households, seed=seed)
+
+
+def run_campaign(num_days: int = NUM_DAYS, *, planner=None, **kwargs):
+    return campaign(
+        planner if planner is not None else fresh_planner(),
+        num_days,
+        conditions=CONDITION_CYCLE,
+        warmup_days=2,
+        seed=7,
+        **kwargs,
+    )
+
+
+class TestKillAndResume:
+    def test_resumed_rows_are_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        uninterrupted = run_campaign()
+        # "Kill" after day KILL_AFTER: run a shorter campaign, checkpointing.
+        killed = run_campaign(KILL_AFTER, checkpoint_path=ckpt)
+        assert killed.num_days == KILL_AFTER
+        assert ckpt.exists()
+        # Resume in a freshly built campaign — nothing carried over in memory.
+        resumed = run_campaign(resume_from=ckpt)
+        assert resumed.metadata["resumed_from_day"] == KILL_AFTER
+        assert resumed.rows() == uninterrupted.rows()
+        assert resumed.backends == uninterrupted.backends
+
+    def test_resume_with_faults_is_bit_identical_too(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        config = EngineConfig(
+            fault_plan=FaultPlan(seed=5, message_drop_rate=0.1, crash_rate=0.05)
+        )
+        uninterrupted = run_campaign(config=config)
+        run_campaign(KILL_AFTER, checkpoint_path=ckpt, config=config)
+        resumed = run_campaign(resume_from=ckpt, config=config)
+        assert resumed.rows() == uninterrupted.rows()
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        run_campaign(2, checkpoint_path=ckpt)
+        # No temp residue; the snapshot itself loads cleanly.
+        assert list(tmp_path.iterdir()) == [ckpt]
+        snapshot = CampaignCheckpoint.load(ckpt)
+        assert snapshot.version == CHECKPOINT_VERSION
+        assert snapshot.next_day == 2
+        assert len(snapshot.days) == 2
+
+    def test_fully_complete_checkpoint_resumes_to_a_noop(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        full = run_campaign(checkpoint_path=ckpt)
+        resumed = run_campaign(resume_from=ckpt)
+        assert resumed.rows() == full.rows()
+
+
+class TestCheckpointValidation:
+    def test_foreign_campaign_is_rejected(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        run_campaign(2, checkpoint_path=ckpt)
+        with pytest.raises(ValueError, match="does not match this campaign"):
+            campaign(
+                fresh_planner(),
+                NUM_DAYS,
+                conditions=CONDITION_CYCLE,
+                warmup_days=3,  # differs from the checkpointed warmup_days=2
+                seed=7,
+                resume_from=ckpt,
+            )
+
+    def test_non_checkpoint_pickle_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(ValueError, match="does not contain a campaign checkpoint"):
+            CampaignCheckpoint.load(path)
+
+    def test_stale_version_is_rejected(self, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        run_campaign(2, checkpoint_path=ckpt)
+        snapshot = CampaignCheckpoint.load(ckpt)
+        snapshot.version = CHECKPOINT_VERSION + 1
+        snapshot.save(ckpt)
+        with pytest.raises(ValueError, match="version"):
+            CampaignCheckpoint.load(ckpt)
+
+
+class TestPartialCampaignResult:
+    def test_failed_day_yields_partial_result(self, monkeypatch, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        planner = fresh_planner()
+        original_plan = planner.plan
+        calls = {"n": 0}
+
+        def failing_plan(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == KILL_AFTER + 1:
+                raise RuntimeError("planner exploded")
+            return original_plan(*args, **kwargs)
+
+        monkeypatch.setattr(planner, "plan", failing_plan)
+        partial = run_campaign(planner=planner, checkpoint_path=ckpt)
+        assert partial.metadata["failed_day"] == KILL_AFTER
+        assert partial.metadata["failure"] == "RuntimeError: planner exploded"
+        assert partial.num_days == KILL_AFTER  # completed days survive
+        # The checkpoint from the last good day resumes to the full campaign.
+        resumed = run_campaign(resume_from=ckpt)
+        reference = run_campaign()
+        assert resumed.rows() == reference.rows()
+
+    def test_num_days_still_validated(self):
+        runner = MultiDayCampaign(fresh_planner(), warmup_days=2, seed=7)
+        with pytest.raises(ValueError, match="num_days"):
+            runner.run(0)

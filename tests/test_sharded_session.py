@@ -292,7 +292,7 @@ class TestShardedSessionMechanics:
             session.run()
 
     def test_invalid_shard_count_rejected(self):
-        with pytest.raises(ValueError, match="at least one shard"):
+        with pytest.raises(ValueError, match="positive worker count"):
             ShardedSession(paper_prototype_scenario(), shards=0)
 
     def test_executor_is_released_after_run(self):

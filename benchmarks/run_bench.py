@@ -56,6 +56,14 @@ from repro.experiments.scalability import (  # noqa: E402  (path setup above)
     run_scalability,
     write_benchmark_json,
 )
+from repro.experiments.serving_bench import (  # noqa: E402  (path setup above)
+    SERVING_HOUSEHOLDS,
+    SERVING_MAX_BATCH,
+    SERVING_MAX_WAIT,
+    SERVING_REQUESTS,
+    run_serving_bench,
+    write_serving_json,
+)
 
 #: Object-path reference sizes: kept small, the object path is the slow one.
 OBJECT_PATH_SIZES: tuple[int, ...] = (10, 50, 200)
@@ -86,6 +94,13 @@ CAMPAIGN_WALL_FLOOR_SECONDS = 5.0
 #: the absolute floor keeps interpreter-version noise from flagging.
 CAMPAIGN_MEMORY_TOLERANCE = 1.5
 CAMPAIGN_MEMORY_FLOOR_MB = 256.0
+
+#: Serving-stage acceptance: coalesced throughput must beat sequential by at
+#: least this factor on the committed 64-request workload.
+SERVING_MIN_SPEEDUP = 3.0
+#: Wall-clock tolerance for the serving replay's concurrent phase.
+SERVING_WALL_TOLERANCE = 3.0
+SERVING_WALL_FLOOR_SECONDS = 5.0
 
 
 def wall_tolerance_for(size: int) -> float:
@@ -232,16 +247,80 @@ def _compare_campaign_entry(
         )
 
 
+def check_serving_baseline(baseline_path: Path, failures: list[str]) -> None:
+    """Replay the committed serving workload and compare.
+
+    Negotiation *behaviour* across the 64 requests (total rounds, total
+    reward) is deterministic and must reproduce the baseline exactly; the
+    coalescing invariants (kernel-pass budget, minimum speedup over the
+    sequential phase) are absolute acceptance floors, not baselines; the
+    concurrent phase's wall-clock gets a tolerance factor plus a floor.
+    """
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        base = payload["serving"]
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        failures.append(f"cannot read serving baseline {baseline_path}: {error}")
+        return
+    print(
+        f"serving check against {baseline_path} "
+        f"({base['num_requests']} requests x {base['households']} households, "
+        f"max_batch={base['max_batch']})"
+    )
+    entry = run_serving_bench(
+        num_requests=int(base["num_requests"]),
+        households=int(base["households"]),
+        max_batch=int(base["max_batch"]),
+        max_wait=float(base["max_wait"]),
+    )
+    row = entry.as_row()
+    for key in ("total_rounds", "total_reward_paid"):
+        if row[key] != base[key]:
+            failures.append(f"serving: {key} changed {base[key]} -> {row[key]}")
+    pass_budget = -(-int(base["num_requests"]) // int(base["max_batch"]))  # ceil
+    if row["kernel_passes"] > pass_budget:
+        failures.append(
+            f"serving: {row['num_requests']} requests took "
+            f"{row['kernel_passes']} kernel passes (budget {pass_budget})"
+        )
+    if row["speedup"] < SERVING_MIN_SPEEDUP:
+        failures.append(
+            f"serving: coalesced speedup {row['speedup']:.2f}x below the "
+            f"{SERVING_MIN_SPEEDUP:.1f}x acceptance floor"
+        )
+    allowed = max(
+        float(base["concurrent_seconds"]) * SERVING_WALL_TOLERANCE,
+        SERVING_WALL_FLOOR_SECONDS,
+    )
+    status = "ok"
+    if row["concurrent_seconds"] > allowed:
+        failures.append(
+            f"serving: concurrent_seconds {row['concurrent_seconds']:.2f} exceeds "
+            f"{allowed:.2f} (baseline {float(base['concurrent_seconds']):.2f} x "
+            f"{SERVING_WALL_TOLERANCE:.1f})"
+        )
+        status = "REGRESSION"
+    print(
+        f"  [serving] concurrent {row['concurrent_seconds']:.2f}s / sequential "
+        f"{row['sequential_seconds']:.2f}s = {row['speedup']:.1f}x, "
+        f"{row['kernel_passes']} kernel passes (budget {pass_budget}, occupancy "
+        f"{row['mean_occupancy']:.1f}) [{status}]"
+    )
+
+
 def check_against_baseline(
-    baseline_path: Path, campaign_path: Path | None = None
+    baseline_path: Path,
+    campaign_path: Path | None = None,
+    serving_path: Path | None = None,
 ) -> int:
     """Compare fresh sweeps against the committed trajectory.
 
     Replays the fast-path sweep, the sharded sweep when the baseline carries
-    one (at the baseline's shard count), and the campaign trajectory when
-    ``campaign_path`` is given.  Returns 0 when behaviour matches and
-    wall-clock stays within tolerance, 1 on any regression, 2 when the
-    scalability baseline artefact is missing/unreadable.
+    one (at the baseline's shard count), the campaign trajectory when
+    ``campaign_path`` is given and the serving workload when ``serving_path``
+    is given.  Returns 0 when behaviour matches and wall-clock stays within
+    tolerance, 1 on any regression, 2 when the scalability baseline artefact
+    is missing/unreadable.
     """
     try:
         payload = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -290,6 +369,9 @@ def check_against_baseline(
 
     if campaign_path is not None:
         check_campaign_baseline(campaign_path, failures)
+
+    if serving_path is not None:
+        check_serving_baseline(serving_path, failures)
 
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
@@ -361,6 +443,14 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the utility-scale lazy campaign point (no lazy_large entry)",
     )
     parser.add_argument(
+        "--serving-json", type=Path, default=BENCH_DIR / "BENCH_serving.json",
+        help="where to write (or read, with --check) the serving trajectory",
+    )
+    parser.add_argument(
+        "--skip-serving", action="store_true",
+        help="skip the negotiation-serving throughput benchmark",
+    )
+    parser.add_argument(
         "--campaign-only", action="store_true",
         help="run only the campaign stages (leaves BENCH_scalability.json and "
              "its report untouched)",
@@ -396,7 +486,8 @@ def main(argv: list[str] | None = None) -> int:
                 "--campaign-large-households/--campaign-only"
             )
         campaign_path = None if arguments.skip_campaign else arguments.campaign_json
-        return check_against_baseline(arguments.json, campaign_path)
+        serving_path = None if arguments.skip_serving else arguments.serving_json
+        return check_against_baseline(arguments.json, campaign_path, serving_path)
 
     shards = (
         arguments.shards
@@ -533,6 +624,37 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"wrote {campaign_report_path}")
         print(f"wrote {campaign_json_path}")
+
+    if not arguments.skip_serving and not arguments.campaign_only:
+        print(
+            f"serving benchmark: {SERVING_REQUESTS} requests x "
+            f"{SERVING_HOUSEHOLDS} households (max_batch={SERVING_MAX_BATCH}, "
+            f"max_wait={SERVING_MAX_WAIT}s, coalesced vs sequential)"
+        )
+        serving_entry = run_serving_bench()
+        print(serving_entry.render())
+        pass_budget = -(-SERVING_REQUESTS // SERVING_MAX_BATCH)  # ceil
+        if serving_entry.kernel_passes > pass_budget:
+            print(
+                f"serving FAILURE: {serving_entry.kernel_passes} kernel passes "
+                f"exceed the budget of {pass_budget}",
+                file=sys.stderr,
+            )
+            return 1
+        if serving_entry.speedup < SERVING_MIN_SPEEDUP:
+            print(
+                f"serving FAILURE: speedup {serving_entry.speedup:.2f}x below "
+                f"the {SERVING_MIN_SPEEDUP:.1f}x acceptance floor",
+                file=sys.stderr,
+            )
+            return 1
+        serving_report_path = report_dir / "serving_throughput.txt"
+        serving_report_path.write_text(serving_entry.render() + "\n", encoding="utf-8")
+        serving_json_path = write_serving_json(
+            arguments.serving_json, serving_entry, seed=arguments.seed
+        )
+        print(f"wrote {serving_report_path}")
+        print(f"wrote {serving_json_path}")
     return 0
 
 

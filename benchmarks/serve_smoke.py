@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke test for ``python -m repro serve``.
+
+Starts the real server as a subprocess (the exact artifact a user runs),
+submits three concurrent negotiation requests, and asserts the serving
+contract end to end: every stream carries per-round progress events and a
+terminal ``done`` event with the result payload, every finished session is
+persisted as JSON in the state directory, and ``/metrics`` shows the requests
+were coalesced rather than run one by one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+
+NUM_REQUESTS = 3
+STARTUP_TIMEOUT_SECONDS = 60
+
+
+def _wait_for_health(base: str, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=5) as response:
+                if json.load(response).get("status") == "ok":
+                    return
+        except (urllib.error.URLError, ConnectionError, json.JSONDecodeError):
+            time.sleep(0.05)
+    raise RuntimeError("server did not become healthy in time")
+
+
+def _submit_and_stream(base: str, seed: int) -> list[dict]:
+    body = json.dumps({"scenario": {"households": 50, "seed": seed}}).encode()
+    request = urllib.request.Request(
+        base + "/submit", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        session_id = json.load(response)["session_id"]
+    with urllib.request.urlopen(base + f"/stream/{session_id}", timeout=120) as response:
+        return [json.loads(line) for line in response.read().decode().splitlines()]
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), environment.get("PYTHONPATH")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--state-dir", state_dir, "--max-wait", "0.05",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=environment,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", banner)
+        if not match:
+            raise RuntimeError(f"unexpected server banner: {banner!r}")
+        base = match.group(1)
+        _wait_for_health(base, time.monotonic() + STARTUP_TIMEOUT_SECONDS)
+
+        with ThreadPoolExecutor(NUM_REQUESTS) as pool:
+            streams = list(
+                pool.map(lambda seed: _submit_and_stream(base, seed), range(NUM_REQUESTS))
+            )
+        for seed, events in enumerate(streams):
+            rounds = [event for event in events if event.get("event") == "round"]
+            assert rounds, f"request {seed}: no streamed round events"
+            final = events[-1]
+            assert final.get("event") == "done", f"request {seed}: no done event"
+            assert final.get("state") == "done", f"request {seed}: {final}"
+            assert final["result"]["rounds"] >= 1, f"request {seed}: empty result"
+            assert final["result"]["metadata"]["backend"] == "vectorized"
+
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+            metrics = json.load(response)
+        assert metrics["requests_completed"] == NUM_REQUESTS, metrics
+        assert metrics["requests_failed"] == 0, metrics
+        assert metrics["kernel_passes"] >= 1, metrics
+        assert metrics["batch_occupancy"]["max"] >= 2, (
+            f"concurrent requests did not coalesce: {metrics['batch_occupancy']}"
+        )
+
+        persisted = [
+            name for name in os.listdir(state_dir) if name.endswith(".json")
+        ]
+        assert len(persisted) == NUM_REQUESTS, (
+            f"expected {NUM_REQUESTS} persisted sessions, found {persisted}"
+        )
+        for name in persisted:
+            with open(os.path.join(state_dir, name), encoding="utf-8") as handle:
+                document = json.load(handle)
+            assert document["state"] == "done" and document["result"] is not None
+
+        print(
+            f"serve smoke passed: {NUM_REQUESTS} concurrent requests streamed, "
+            f"coalesced (max occupancy {metrics['batch_occupancy']['max']}) and "
+            f"persisted"
+        )
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -197,6 +197,71 @@ class VectorizedPopulation:
         population._reset_kernel_cache()
         return population
 
+    @classmethod
+    def concatenate(
+        cls, populations: Sequence["VectorizedPopulation"]
+    ) -> "VectorizedPopulation":
+        """Pack several populations into one shared array arena, in order.
+
+        The inverse of :meth:`slice`: ``concatenate(parts).slice(a, b)``
+        hands back row views over the combined arrays covering exactly one
+        part's customers.  Because every kernel is per-row (reductions only
+        run along the grid axis, never across customers), kernel results on
+        the combined population sliced back apart are bit-identical to
+        kernels on the standalone parts — the property the serving layer's
+        request coalescing rests on.
+
+        All parts must be vectorizable on the *same* requirement grid
+        (bit-equal grid arrays); anything else raises ``ValueError``, and the
+        caller keeps those populations out of the batch instead.  Customer
+        ids may repeat across parts (two requests about the same town are
+        still two requests); slices keep them apart.
+        """
+        if not populations:
+            raise ValueError("concatenate needs at least one population")
+        first = populations[0]
+        if first.requirement_grid is None:
+            raise ValueError(
+                "only vectorizable (shared-grid) populations can be "
+                "concatenated; this one uses heterogeneous requirement grids"
+            )
+        for other in populations[1:]:
+            if other.requirement_grid is None or not np.array_equal(
+                other.requirement_grid, first.requirement_grid
+            ):
+                raise ValueError(
+                    "populations must share one requirement grid to be "
+                    "concatenated; mismatching grids negotiate separately"
+                )
+        if len(populations) == 1:
+            return first
+        combined = object.__new__(cls)
+        combined.customer_ids = [
+            customer for population in populations for customer in population.customer_ids
+        ]
+        combined.predicted_uses = np.concatenate(
+            [population.predicted_uses for population in populations]
+        )
+        combined.allowed_uses = np.concatenate(
+            [population.allowed_uses for population in populations]
+        )
+        # Materialised eagerly: the scalar fallbacks that read table objects
+        # are never hit on a shared-grid population, but slice() and the
+        # requirements property must stay well-defined on the combined arena.
+        combined._requirements = [
+            table for population in populations for table in population.requirements
+        ]
+        combined._requirements_source = None
+        combined.max_feasible_cutdowns = np.concatenate(
+            [population.max_feasible_cutdowns for population in populations]
+        )
+        combined.requirement_grid = first.requirement_grid
+        combined.requirement_matrix = np.concatenate(
+            [population.requirement_matrix for population in populations]
+        )
+        combined._reset_kernel_cache()
+        return combined
+
     # -- basic views ------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -25,6 +25,12 @@ The pieces:
   registry; ``"object"``, ``"vectorized"`` and ``"sharded"`` are built in,
   ``"async"`` is a declared slot for the ROADMAP's asyncio runtime.
 * :func:`scenario` / :class:`ScenarioBuilder` — fluent scenario construction.
+
+The façade also has a network form: ``python -m repro serve``
+(:mod:`repro.serve`) exposes :func:`run` as a long-lived HTTP service with
+request-coalescing micro-batching — concurrent compatible requests share one
+combined vectorized kernel arena, each request's result bit-identical to a
+solo :func:`run` call.  See the README's *Serving* section.
 """
 
 from repro.api.builder import ScenarioBuilder, scenario

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run all              # run every experiment (slow but complete)
     python -m repro quickstart           # run the prototype negotiation end to end
     python -m repro backends             # list the registered negotiation backends
+    python -m repro serve                # start the negotiation HTTP server
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; anything it prints
 can also be produced programmatically (see the examples/ directory).
@@ -95,14 +96,48 @@ def command_quickstart(backend: str = "auto") -> int:
 
 
 def command_backends() -> int:
-    """Print the registered negotiation backends."""
+    """Print the registered negotiation backends and the serving layer."""
     from repro.api import available_backends
+    from repro.serve.coalesce import request_coalesces  # noqa: F401 - availability probe
 
     rows = [
         {"backend": name, "status": "available" if ok else "planned slot"}
         for name, ok in available_backends().items()
     ]
     print(format_table(rows, title="Registered negotiation backends"))
+    print()
+    print(
+        "serving: python -m repro serve exposes backend='auto' over HTTP with\n"
+        "request-coalescing micro-batching (submit/status/result/stream/metrics)."
+    )
+    return 0
+
+
+def command_serve(
+    host: str,
+    port: int,
+    max_batch: int,
+    max_wait: float,
+    workers: Optional[int],
+    state_dir: Optional[str],
+) -> int:
+    """Run the negotiation server until interrupted."""
+    import asyncio
+
+    from repro.serve.server import NegotiationServer
+
+    server = NegotiationServer(
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        workers=workers,
+        state_dir=state_dir,
+    )
+    try:
+        asyncio.run(server.run_forever())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -123,6 +158,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="negotiation backend (auto, object, vectorized; default auto)",
     )
     subparsers.add_parser("backends", help="list the registered negotiation backends")
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve negotiations over HTTP with request coalescing"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8731,
+        help="bind port; 0 lets the OS pick (default 8731)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="requests coalesced into one kernel pass (default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-wait", type=float, default=0.05,
+        help="seconds a request may wait for batch-mates (default 0.05)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="negotiation worker threads (default min(4, cpu count))",
+    )
+    serve_parser.add_argument(
+        "--state-dir", default=None,
+        help="directory persisting finished sessions as JSON (default: none)",
+    )
     return parser
 
 
@@ -136,6 +197,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_quickstart(arguments.backend)
     if arguments.command == "backends":
         return command_backends()
+    if arguments.command == "serve":
+        return command_serve(
+            host=arguments.host,
+            port=arguments.port,
+            max_batch=arguments.max_batch,
+            max_wait=arguments.max_wait,
+            workers=arguments.workers,
+            state_dir=arguments.state_dir,
+        )
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -98,6 +98,11 @@ class FastSession:
         self._messages_sent = 0
         self._context = None
         self._has_run = False
+        #: Stepwise execution state — see :meth:`start`.  ``run()`` drives
+        #: these same steps to completion; a lockstep coordinator (the serving
+        #: layer's request coalescer) drives many sessions' steps interleaved.
+        self._phase = "new"
+        self._result: Optional[NegotiationResult] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -110,8 +115,23 @@ class FastSession:
         """
         if self.population is not None:
             return self.population
+        return self._install_population(
+            VectorizedPopulation.from_population(self.scenario.population)
+        )
+
+    def _install_population(
+        self, population: VectorizedPopulation
+    ) -> VectorizedPopulation:
+        """Adopt a pre-built population and reset the negotiation bookkeeping.
+
+        The seam that lets a coordinator hand this session a *view* into a
+        larger array arena (a :meth:`VectorizedPopulation.slice` of a batch
+        of coalesced requests) instead of a privately packed population.  The
+        kernels are per-row, so running on a shared-arena slice is
+        bit-identical to running on a standalone packing.
+        """
         scenario = self.scenario
-        self.population = VectorizedPopulation.from_population(scenario.population)
+        self.population = population
         self._context = scenario.population.utility_context()
         self.protocol = MonotonicConcessionProtocol(strict=self.check_protocol)
         self.record = NegotiationRecord(
@@ -165,19 +185,7 @@ class FastSession:
         method = self.scenario.method
         round_number = announcement.round_number
         if isinstance(method, RewardTablesMethod):
-            policy = method.bidding_policy
-            policy_type = type(policy)
-            if policy_type is HighestAcceptableCutdownBidding:
-                candidates = population.highest_acceptable_cutdowns(announcement.table)
-            elif policy_type is ExpectedGainBidding:
-                candidates = population.expected_gain_cutdowns(announcement.table)
-            else:
-                candidates = np.array(
-                    [
-                        policy.choose_cutdown(announcement.table, requirements, None)
-                        for requirements in population.requirements
-                    ]
-                )
+            candidates = self._cutdown_candidates(announcement)
             previous = state.get("cutdowns")
             if previous is not None:
                 candidates = np.maximum(candidates, previous)
@@ -243,6 +251,29 @@ class FastSession:
             ]
         state["bids"] = bids
         return bids
+
+    def _cutdown_candidates(self, announcement) -> np.ndarray:
+        """Every customer's candidate cut-down for one reward-table round.
+
+        The kernel dispatch behind the reward-table branch of
+        :meth:`_respond_all`, isolated so a coalescing coordinator can
+        substitute a row slice of a *fused* kernel evaluation computed once
+        over several requests' combined population (bit-identical, because
+        the kernels are per-row).
+        """
+        population = self.population
+        policy = self.scenario.method.bidding_policy
+        policy_type = type(policy)
+        if policy_type is HighestAcceptableCutdownBidding:
+            return population.highest_acceptable_cutdowns(announcement.table)
+        if policy_type is ExpectedGainBidding:
+            return population.expected_gain_cutdowns(announcement.table)
+        return np.array(
+            [
+                policy.choose_cutdown(announcement.table, requirements, None)
+                for requirements in population.requirements
+            ]
+        )
 
     def _check_bid_concession(
         self, bids: list[Bid], previous: Optional[list[Bid]]
@@ -323,6 +354,157 @@ class FastSession:
         return bids, delivered
 
     # -- execution -----------------------------------------------------------------
+    #
+    # The run loop is a three-phase state machine so that a coordinator can
+    # interleave many sessions in lockstep (the serving layer's request
+    # coalescing) while ``run()`` remains the single-session driver:
+    #
+    #   start() ── trivial overuse ──────────────────────────────▶ "done"
+    #      │
+    #      ▼
+    #   "exchange"  ──step_exchange()──▶  "advance"  ──step_advance()──▶ ...
+    #      ▲                                  │
+    #      └──── next announcement ───────────┘        (loop exit → "done")
+    #
+    # Each step performs exactly the operations of the former monolithic loop
+    # in the same order, so the refactor is behaviour-preserving by
+    # construction (and pinned by the object-path equivalence suite).
+
+    @property
+    def phase(self) -> str:
+        """Stepwise execution phase: ``new``, ``exchange``, ``advance`` or ``done``."""
+        return self._phase
+
+    @property
+    def result(self) -> Optional[NegotiationResult]:
+        """The collected result once :attr:`phase` is ``"done"``, else ``None``."""
+        return self._result
+
+    @property
+    def pending_announcement(self):
+        """The announcement awaiting its bid exchange (``phase == "exchange"``)."""
+        return self._announcement if self._phase == "exchange" else None
+
+    def rounds_completed(self) -> int:
+        """Evaluated negotiation rounds so far (progress observability)."""
+        return len(self.record.rounds) if self.record is not None else 0
+
+    def start(self) -> None:
+        """Begin stepwise execution: build, guard re-runs, open round 1.
+
+        Ends in phase ``"exchange"`` (the initial announcement awaits its
+        bids) or — when the initial overuse is already acceptable — directly
+        in ``"done"`` with :attr:`result` populated, mirroring the object
+        path's Utility Agent finishing in its first step.
+        """
+        if self._has_run:
+            raise RuntimeError(
+                "this FastSession already ran; create a new session to "
+                "negotiate again"
+            )
+        self._has_run = True
+        population = self.build()
+        context = self._context
+        if context is None:
+            raise RuntimeError("FastSession.build() did not produce a utility context")
+        num_customers = len(population)
+        self._state: dict = {}
+        self._previous_delivered: Optional[list[Bid]] = None
+        self._round_number = 0
+        self._simulation_rounds = 1
+        self._awards: dict[str, Award] = {}
+        self._finished = False
+        self._bids: list[Bid] = []
+        self._delivered: list[Bid] = []
+
+        if context.initial_overuse <= context.max_allowed_overuse:
+            # The object path's Utility Agent finishes in its first step
+            # without sending anything (one simulation round elapses).
+            self.record.final_overuse = context.initial_overuse
+            self.record.termination_reason = TerminationReason.OVERUSE_ACCEPTABLE
+            self._result = self._collect_result(
+                awards={}, final_bids=[None] * num_customers, simulation_rounds=1
+            )
+            self._phase = "done"
+            return
+
+        # Simulation round 1: initial announcement broadcast + every bid.
+        self._announcement = self.scenario.method.initial_announcement(context)
+        self.protocol.record_announcement(self._announcement)
+        self._phase = "exchange"
+
+    def step_exchange(self) -> None:
+        """Run the pending announcement's bid exchange (phase ``exchange``)."""
+        if self._phase != "exchange":
+            raise RuntimeError(f"no exchange pending (phase {self._phase!r})")
+        self._bids, self._delivered = self._exchange(self._announcement, self._state)
+        self._phase = "advance"
+
+    def step_advance(self) -> None:
+        """One utility-side step: evaluate the last exchange, finish or announce.
+
+        Mirrors one iteration of the former ``run()`` loop, including its
+        entry condition: when the round budget is exhausted or awards already
+        went out, the result is collected and the phase becomes ``"done"``.
+        """
+        if self._phase != "advance":
+            raise RuntimeError(f"nothing to advance (phase {self._phase!r})")
+        if not (
+            self._simulation_rounds < self.max_simulation_rounds
+            and not self._finished
+        ):
+            self._result = self._collect_result(
+                self._awards, list(self._bids), self._simulation_rounds
+            )
+            self._phase = "done"
+            return
+        # Each later simulation round evaluates the previous exchange and
+        # either finishes (awards go out) or announces the next round.
+        context = self._context
+        method = self.scenario.method
+        announcement = self._announcement
+        round_number = self._round_number
+        self._simulation_rounds += 1
+        self._check_bid_concession(self._delivered, self._previous_delivered)
+        bids_by_customer = {bid.customer: bid for bid in self._delivered}
+        evaluation = method.evaluate_round(
+            context, announcement, bids_by_customer, round_number
+        )
+        self.record.rounds.append(
+            RoundRecord(
+                round_number=round_number,
+                announcement=announcement,
+                bids=dict(bids_by_customer) if self.retain_round_bids else {},
+                predicted_overuse_before=(
+                    context.initial_overuse
+                    if round_number == 0
+                    else self.record.rounds[-1].predicted_overuse_after
+                ),
+                predicted_overuse_after=evaluation.predicted_overuse,
+            )
+        )
+        if evaluation.termination is not None:
+            self._awards = self._finish(
+                evaluation, announcement, bids_by_customer, round_number,
+                evaluation.termination,
+            )
+            self._finished = True
+            return
+        next_announcement = method.next_announcement(
+            context, announcement, evaluation, round_number
+        )
+        if next_announcement is None:
+            self._awards = self._finish(
+                evaluation, announcement, bids_by_customer, round_number,
+                TerminationReason.REWARD_SATURATED,
+            )
+            self._finished = True
+            return
+        self.protocol.record_announcement(next_announcement)
+        self._announcement = next_announcement
+        self._round_number += 1
+        self._previous_delivered = self._delivered
+        self._phase = "exchange"
 
     def run(self) -> NegotiationResult:
         """Run the negotiation to completion and return the result.
@@ -331,85 +513,13 @@ class FastSession:
         would replay rounds into the already-populated record.  Mirrors the
         object path, whose simulation also refuses to run twice.
         """
-        if self._has_run:
-            raise RuntimeError(
-                "this FastSession already ran; create a new session to "
-                "negotiate again"
-            )
-        self._has_run = True
-        scenario = self.scenario
-        method = scenario.method
-        population = self.build()
-        context = self._context
-        if context is None:
-            raise RuntimeError("FastSession.build() did not produce a utility context")
-        num_customers = len(population)
-
-        if context.initial_overuse <= context.max_allowed_overuse:
-            # The object path's Utility Agent finishes in its first step
-            # without sending anything (one simulation round elapses).
-            self.record.final_overuse = context.initial_overuse
-            self.record.termination_reason = TerminationReason.OVERUSE_ACCEPTABLE
-            return self._collect_result(
-                awards={}, final_bids=[None] * num_customers, simulation_rounds=1
-            )
-
-        # Simulation round 1: initial announcement broadcast + every bid.
-        announcement = method.initial_announcement(context)
-        self.protocol.record_announcement(announcement)
-        state: dict = {}
-        bids, delivered = self._exchange(announcement, state)
-        previous_delivered: Optional[list[Bid]] = None
-        round_number = 0
-        simulation_rounds = 1
-        awards: dict[str, Award] = {}
-        finished = False
-        while simulation_rounds < self.max_simulation_rounds and not finished:
-            # Each later simulation round evaluates the previous exchange and
-            # either finishes (awards go out) or announces the next round.
-            simulation_rounds += 1
-            self._check_bid_concession(delivered, previous_delivered)
-            bids_by_customer = {bid.customer: bid for bid in delivered}
-            evaluation = method.evaluate_round(
-                context, announcement, bids_by_customer, round_number
-            )
-            self.record.rounds.append(
-                RoundRecord(
-                    round_number=round_number,
-                    announcement=announcement,
-                    bids=dict(bids_by_customer) if self.retain_round_bids else {},
-                    predicted_overuse_before=(
-                        context.initial_overuse
-                        if round_number == 0
-                        else self.record.rounds[-1].predicted_overuse_after
-                    ),
-                    predicted_overuse_after=evaluation.predicted_overuse,
-                )
-            )
-            if evaluation.termination is not None:
-                awards = self._finish(
-                    evaluation, announcement, bids_by_customer, round_number,
-                    evaluation.termination,
-                )
-                finished = True
-                continue
-            next_announcement = method.next_announcement(
-                context, announcement, evaluation, round_number
-            )
-            if next_announcement is None:
-                awards = self._finish(
-                    evaluation, announcement, bids_by_customer, round_number,
-                    TerminationReason.REWARD_SATURATED,
-                )
-                finished = True
-                continue
-            self.protocol.record_announcement(next_announcement)
-            announcement = next_announcement
-            round_number += 1
-            previous_delivered = delivered
-            bids, delivered = self._exchange(announcement, state)
-        final_bids: list[Optional[Bid]] = list(bids)
-        return self._collect_result(awards, final_bids, simulation_rounds)
+        self.start()
+        while self._phase != "done":
+            if self._phase == "exchange":
+                self.step_exchange()
+            else:
+                self.step_advance()
+        return self._result
 
     def _finish(
         self,

@@ -141,6 +141,48 @@ def paper_prototype_scenario(
     )
 
 
+def synthetic_default_method(
+    max_reward: float = 60.0, beta: float = 2.0
+) -> RewardTablesMethod:
+    """The calibrated default reward-tables method of synthetic scenarios.
+
+    The synthetic populations have milder relative overuse than the
+    calibrated prototype scenario, so the per-round reward increments are
+    smaller; a tighter saturation threshold (relative to the reward scale)
+    keeps the negotiation from stopping prematurely.  Factored out so callers
+    that assemble scenarios from cached populations (the serving layer) build
+    byte-for-byte the method :func:`synthetic_scenario` would.
+    """
+    return RewardTablesMethod(
+        max_reward=max_reward,
+        beta_controller=ConstantBeta(beta),
+        reward_epsilon=0.005 * max_reward,
+    )
+
+
+def synthetic_population(
+    num_households: int = 50,
+    seed: int = 0,
+    cold_snap: bool = True,
+    planning: str = "columnar",
+) -> tuple[CustomerPopulation, WeatherSample]:
+    """The generated population (and its weather day) of a synthetic scenario.
+
+    Deterministic given its arguments, and read-only during negotiations —
+    which is what lets the serving layer cache one population across many
+    requests while still building a *fresh* (stateful) method per request.
+    """
+    weather_model = WeatherModel()
+    weather = (
+        WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
+        if cold_snap
+        else weather_model.reference_day()
+    )
+    config = PopulationConfig(num_households=num_households, seed=seed)
+    population = CustomerPopulation.synthetic(config, weather=weather, planning=planning)
+    return population, weather
+
+
 def synthetic_scenario(
     num_households: int = 50,
     seed: int = 0,
@@ -161,24 +203,14 @@ def synthetic_scenario(
     .HouseholdFleet` kernels, the default) or ``"scalar"`` (per-household
     loop); the two are bit-identical.
     """
-    weather_model = WeatherModel()
-    weather = (
-        WeatherSample(temperature_c=-18.0, condition=WeatherCondition.SEVERE_COLD)
-        if cold_snap
-        else weather_model.reference_day()
+    population, weather = synthetic_population(
+        num_households=num_households,
+        seed=seed,
+        cold_snap=cold_snap,
+        planning=planning,
     )
-    config = PopulationConfig(num_households=num_households, seed=seed)
-    population = CustomerPopulation.synthetic(config, weather=weather, planning=planning)
     if method is None:
-        # The synthetic populations have milder relative overuse than the
-        # calibrated prototype scenario, so the per-round reward increments
-        # are smaller; a tighter saturation threshold (relative to the reward
-        # scale) keeps the negotiation from stopping prematurely.
-        method = RewardTablesMethod(
-            max_reward=max_reward,
-            beta_controller=ConstantBeta(beta),
-            reward_epsilon=0.005 * max_reward,
-        )
+        method = synthetic_default_method(max_reward=max_reward, beta=beta)
     return Scenario(
         name=f"synthetic_{num_households}",
         population=population,

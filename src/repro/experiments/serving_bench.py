@@ -1,0 +1,204 @@
+"""Serving benchmark: coalesced vs sequential negotiation throughput.
+
+Measures what the request-coalescing micro-batcher buys: the same 64-request
+workload (8 synthetic towns × 8 reward-table β values, 200 households each)
+is pushed through a live :class:`~repro.serve.server.NegotiationServer`
+twice —
+
+* **concurrent**: all requests submitted at once from a client thread pool,
+  so the batcher packs them into full combined-arena kernel passes;
+* **sequential**: one request at a time, each waiting for its result before
+  the next submits — every request pays the solo path plus the batcher's
+  ``max_wait`` window alone.
+
+Both phases run against a fresh server (own population cache, own metrics),
+so the comparison is fair.  The headline numbers — wall-clock per phase, the
+speedup, how many combined kernel passes served the 64 requests, and the
+batch occupancy — land in ``benchmarks/BENCH_serving.json`` via
+``benchmarks/run_bench.py``; ``--check`` replays the workload and fails on
+behaviour drift or throughput regression.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.serve.server import ServerThread
+
+#: The committed workload shape: 8 towns × 8 betas at 200 households.
+SERVING_REQUESTS = 64
+SERVING_HOUSEHOLDS = 200
+SERVING_TOWNS = 8
+SERVING_MAX_BATCH = 8
+SERVING_MAX_WAIT = 0.05
+#: Client-side submission threads for the concurrent phase.
+SERVING_CLIENT_THREADS = 16
+
+
+def serving_workload(
+    num_requests: int = SERVING_REQUESTS,
+    households: int = SERVING_HOUSEHOLDS,
+    towns: int = SERVING_TOWNS,
+) -> list[dict[str, Any]]:
+    """The request bodies: ``towns`` seeds crossed with escalating betas."""
+    return [
+        {
+            "scenario": {
+                "households": households,
+                "seed": index % towns,
+                "beta": 1.0 + 0.5 * (index // towns),
+            }
+        }
+        for index in range(num_requests)
+    ]
+
+
+@dataclass
+class ServingBenchEntry:
+    """One serving-benchmark run (both phases) and its metrics."""
+
+    num_requests: int
+    households: int
+    max_batch: int
+    max_wait: float
+    concurrent_seconds: float
+    sequential_seconds: float
+    kernel_passes: int
+    solo_passes: int
+    mean_occupancy: float
+    max_occupancy: int
+    latency_p50: float
+    latency_p95: float
+    total_rounds: int
+    total_reward_paid: float
+
+    @property
+    def speedup(self) -> float:
+        if self.concurrent_seconds <= 0:
+            return float("inf")
+        return self.sequential_seconds / self.concurrent_seconds
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "num_requests": self.num_requests,
+            "households": self.households,
+            "max_batch": self.max_batch,
+            "max_wait": self.max_wait,
+            "concurrent_seconds": self.concurrent_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "speedup": self.speedup,
+            "kernel_passes": self.kernel_passes,
+            "solo_passes": self.solo_passes,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.max_occupancy,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "total_rounds": self.total_rounds,
+            "total_reward_paid": self.total_reward_paid,
+        }
+
+    def render(self) -> str:
+        return (
+            f"Serving benchmark: {self.num_requests} requests x "
+            f"{self.households} households "
+            f"(max_batch={self.max_batch}, max_wait={self.max_wait}s)\n"
+            f"  concurrent: {self.concurrent_seconds:.2f}s over "
+            f"{self.kernel_passes} coalesced kernel passes "
+            f"(occupancy mean {self.mean_occupancy:.1f}, max {self.max_occupancy}; "
+            f"latency p50 {self.latency_p50:.3f}s p95 {self.latency_p95:.3f}s)\n"
+            f"  sequential: {self.sequential_seconds:.2f}s\n"
+            f"  speedup:    {self.speedup:.1f}x"
+        )
+
+
+def _post_json(base: str, path: str, body: dict) -> dict:
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.load(response)
+
+
+def _get_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=300) as response:
+        return json.load(response)
+
+
+def run_serving_bench(
+    num_requests: int = SERVING_REQUESTS,
+    households: int = SERVING_HOUSEHOLDS,
+    max_batch: int = SERVING_MAX_BATCH,
+    max_wait: float = SERVING_MAX_WAIT,
+    workers: Optional[int] = None,
+) -> ServingBenchEntry:
+    """Run both phases against fresh in-process servers and collect metrics."""
+    workload = serving_workload(num_requests, households)
+
+    # -- concurrent phase -------------------------------------------------------
+    with ServerThread(port=0, max_batch=max_batch, max_wait=max_wait, workers=workers) as thread:
+        base = thread.server.base_url
+        started = perf_counter()
+        with ThreadPoolExecutor(SERVING_CLIENT_THREADS) as pool:
+            session_ids = list(
+                pool.map(lambda body: _post_json(base, "/submit", body)["session_id"], workload)
+            )
+            results = list(
+                pool.map(
+                    lambda sid: _get_json(base, f"/result/{sid}?wait=1"), session_ids
+                )
+            )
+        concurrent_seconds = perf_counter() - started
+        metrics = _get_json(base, "/metrics")
+    failed = [record for record in results if record["state"] != "done"]
+    if failed:
+        raise RuntimeError(
+            f"serving benchmark: {len(failed)} requests failed, first: "
+            f"{failed[0].get('error')}"
+        )
+    total_rounds = sum(record["result"]["rounds"] for record in results)
+    total_reward = sum(record["result"]["total_reward_paid"] for record in results)
+
+    # -- sequential phase -------------------------------------------------------
+    with ServerThread(port=0, max_batch=max_batch, max_wait=max_wait, workers=workers) as thread:
+        base = thread.server.base_url
+        started = perf_counter()
+        for body in workload:
+            session_id = _post_json(base, "/submit", body)["session_id"]
+            record = _get_json(base, f"/result/{session_id}?wait=1")
+            if record["state"] != "done":
+                raise RuntimeError(
+                    f"serving benchmark (sequential): request failed: "
+                    f"{record.get('error')}"
+                )
+        sequential_seconds = perf_counter() - started
+
+    return ServingBenchEntry(
+        num_requests=num_requests,
+        households=households,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        concurrent_seconds=concurrent_seconds,
+        sequential_seconds=sequential_seconds,
+        kernel_passes=metrics["kernel_passes"],
+        solo_passes=metrics["solo_passes"],
+        mean_occupancy=metrics["batch_occupancy"]["mean"],
+        max_occupancy=metrics["batch_occupancy"]["max"],
+        latency_p50=metrics["latency_seconds"]["p50"],
+        latency_p95=metrics["latency_seconds"]["p95"],
+        total_rounds=total_rounds,
+        total_reward_paid=total_reward,
+    )
+
+
+def write_serving_json(path, entry: ServingBenchEntry, seed: int = 0):
+    """Persist the serving trajectory next to the other BENCH artefacts."""
+    payload = {"seed": seed, "serving": entry.as_row()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

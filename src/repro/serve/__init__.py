@@ -1,0 +1,39 @@
+"""Negotiation-as-a-service: the serving layer over the engine façade.
+
+``python -m repro serve`` exposes :func:`repro.api.run` as a long-lived
+stdlib-only HTTP service with request-coalescing micro-batching: compatible
+concurrent requests are packed into one combined
+:class:`~repro.agents.vectorized.VectorizedPopulation` kernel arena and
+negotiated in lockstep, each request's result bit-identical to a solo
+``repro.api.run`` call.  See :mod:`repro.serve.server` for the endpoints,
+:mod:`repro.serve.coalesce` for the batching semantics and the README's
+*Serving* section for a quickstart.
+"""
+
+from repro.serve.batcher import CoalescingBatcher
+from repro.serve.coalesce import execute_batch, request_coalesces, run_solo
+from repro.serve.metrics import ServeMetrics
+from repro.serve.repository import SessionRecord, SessionRepository
+from repro.serve.schemas import (
+    RequestValidationError,
+    ScenarioSpec,
+    ServeRequest,
+    result_payload,
+)
+from repro.serve.server import NegotiationServer, ServerThread
+
+__all__ = [
+    "CoalescingBatcher",
+    "NegotiationServer",
+    "RequestValidationError",
+    "ScenarioSpec",
+    "ServeMetrics",
+    "ServeRequest",
+    "ServerThread",
+    "SessionRecord",
+    "SessionRepository",
+    "execute_batch",
+    "request_coalesces",
+    "result_payload",
+    "run_solo",
+]

@@ -1,0 +1,156 @@
+"""The coalescing queue: micro-batching submitted requests into kernel passes.
+
+Requests arrive one at a time; negotiating them one at a time wastes the
+vectorized runtime's batch capacity.  The :class:`CoalescingBatcher` holds
+coalescable requests in a small buffer and flushes the buffer to a worker
+thread as **one** :func:`~repro.serve.coalesce.execute_batch` call when either
+
+* the buffer reaches ``max_batch`` requests (flushed immediately), or
+* the oldest buffered request has waited ``max_wait`` seconds,
+
+so a request's queueing delay is bounded by ``max_wait`` no matter how idle
+the server is, while a burst of concurrent submissions rides one combined
+kernel arena.  Requests that cannot coalesce (pinned ``object`` / ``sharded``
+backends, full-society configurations, shard-scale populations) bypass the
+buffer and run solo on a worker thread straight away.
+
+All buffer bookkeeping happens on the server's asyncio loop thread (submit
+and the flush timer both run there), so the buffer itself needs no lock; the
+negotiation work happens in a small :class:`~concurrent.futures
+.ThreadPoolExecutor`.  The shared population cache is only ever *read* or
+extended with deterministic values under the GIL — a racing double-build
+writes the identical population twice, which is wasted work, never wrong
+results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.serve.coalesce import execute_batch, request_coalesces, run_solo
+from repro.serve.metrics import ServeMetrics
+from repro.serve.repository import SessionRecord, SessionRepository
+from repro.serve.schemas import ServeRequest
+
+#: Default flush window: long enough for a burst of concurrent submissions to
+#: land in one batch, short enough to be invisible next to a negotiation.
+DEFAULT_MAX_WAIT = 0.05
+DEFAULT_MAX_BATCH = 8
+
+
+class CoalescingBatcher:
+    """Groups compatible requests into combined kernel passes."""
+
+    def __init__(
+        self,
+        repository: SessionRepository,
+        metrics: ServeMetrics,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait: float = DEFAULT_MAX_WAIT,
+        workers: Optional[int] = None,
+        population_cache: Optional[dict] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.repository = repository
+        self.metrics = metrics
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.population_cache = {} if population_cache is None else population_cache
+        self._buffer: list[tuple[ServeRequest, SessionRecord]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers if workers is not None else min(4, os.cpu_count() or 1),
+            thread_name_prefix="serve-worker",
+        )
+
+    # -- loop-thread side --------------------------------------------------------
+
+    def submit(self, request: ServeRequest, record: SessionRecord) -> None:
+        """Enqueue one accepted request (must run on the loop thread)."""
+        if not request_coalesces(request):
+            self.metrics.dequeued()
+            self._executor.submit(self._run_solo, request, record)
+            return
+        self._buffer.append((request, record))
+        if len(self._buffer) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = asyncio.get_running_loop().call_later(
+                self.max_wait, self._on_timer
+            )
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if self._buffer:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        entries, self._buffer = self._buffer, []
+        self.metrics.dequeued(len(entries))
+        self._executor.submit(self._run_batch, entries)
+
+    async def close(self) -> None:
+        """Flush any buffered requests and wait for in-flight work."""
+        if self._buffer:
+            self._flush()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown, True
+        )
+
+    # -- worker-thread side ------------------------------------------------------
+
+    def _run_batch(self, entries: list[tuple[ServeRequest, SessionRecord]]) -> None:
+        for _request, record in entries:
+            self.repository.mark_running(record.session_id)
+
+        def progress(index: int, event: dict) -> None:
+            self.repository.add_event(entries[index][1].session_id, event)
+
+        try:
+            outcomes, report = execute_batch(
+                [request for request, _record in entries],
+                self.population_cache,
+                progress,
+            )
+        except Exception as error:  # defensive: a batch must never vanish
+            message = f"{type(error).__name__}: {error}"
+            for _request, record in entries:
+                self.repository.finish(record.session_id, None, error=message)
+                self.metrics.request_finished(
+                    time.time() - record.submitted_at, failed=True
+                )
+            return
+        self.metrics.batch_executed(
+            coalesced=report.coalesced,
+            solo=report.solo,
+            cycles=report.cycles,
+            fused_cycles=report.fused_cycles,
+        )
+        for (_request, record), outcome in zip(entries, outcomes):
+            self.repository.finish(record.session_id, outcome.payload, outcome.error)
+            self.metrics.request_finished(
+                time.time() - record.submitted_at, failed=outcome.error is not None
+            )
+
+    def _run_solo(self, request: ServeRequest, record: SessionRecord) -> None:
+        self.repository.mark_running(record.session_id)
+
+        def progress(_index: int, event: dict) -> None:
+            self.repository.add_event(record.session_id, event)
+
+        outcome = run_solo(request, self.population_cache, progress)
+        self.metrics.solo_executed()
+        self.repository.finish(record.session_id, outcome.payload, outcome.error)
+        self.metrics.request_finished(
+            time.time() - record.submitted_at, failed=outcome.error is not None
+        )

@@ -1,0 +1,113 @@
+"""Serving metrics: queue depth, batch occupancy, kernel passes, latency.
+
+One :class:`ServeMetrics` instance per server.  Writers are the batcher's
+worker threads and the submit handler; the reader is the ``/metrics``
+endpoint.  All mutation happens under one lock — the counters are touched a
+handful of times per *batch* (not per household or per round), so contention
+is irrelevant next to the negotiation work itself.
+
+Latency quantiles come from a bounded reservoir of the most recent completed
+request latencies (enough for a serving session's p50/p95 without unbounded
+growth on long-lived servers).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Completed-request latencies retained for the quantile estimates.
+_LATENCY_RESERVOIR = 1024
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted, non-empty list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServeMetrics:
+    """Thread-safe serving counters behind the ``/metrics`` endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._queue_depth = 0
+        #: Coalesced combined-arena executions (one per flushed batch).
+        self._kernel_passes = 0
+        #: Requests that ran outside the coalescer.
+        self._solo_passes = 0
+        #: Members per coalesced pass, for the occupancy statistics.
+        self._batch_sizes: list[int] = []
+        self._fused_cycles = 0
+        self._cycles = 0
+        self._latencies: list[float] = []
+
+    # -- writers -----------------------------------------------------------------
+
+    def submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+            self._queue_depth += 1
+
+    def dequeued(self, count: int = 1) -> None:
+        with self._lock:
+            self._queue_depth = max(0, self._queue_depth - count)
+
+    def batch_executed(self, coalesced: int, solo: int, cycles: int, fused_cycles: int) -> None:
+        """Record one :func:`~repro.serve.coalesce.execute_batch` call."""
+        with self._lock:
+            if coalesced > 0:
+                self._kernel_passes += 1
+                self._batch_sizes.append(coalesced)
+            self._solo_passes += solo
+            self._cycles += cycles
+            self._fused_cycles += fused_cycles
+
+    def solo_executed(self) -> None:
+        """Record a request dispatched straight to a solo engine run."""
+        with self._lock:
+            self._solo_passes += 1
+
+    def request_finished(self, latency_seconds: float, failed: bool = False) -> None:
+        with self._lock:
+            if failed:
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._latencies.append(latency_seconds)
+            if len(self._latencies) > _LATENCY_RESERVOIR:
+                del self._latencies[: len(self._latencies) - _LATENCY_RESERVOIR]
+
+    # -- reader ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe view of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            latencies = sorted(self._latencies)
+            snapshot = {
+                "requests_submitted": self._submitted,
+                "requests_completed": self._completed,
+                "requests_failed": self._failed,
+                "queue_depth": self._queue_depth,
+                "kernel_passes": self._kernel_passes,
+                "solo_passes": self._solo_passes,
+                "lockstep_cycles": self._cycles,
+                "fused_kernel_cycles": self._fused_cycles,
+            }
+        snapshot["batch_occupancy"] = {
+            "mean": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "max": max(sizes) if sizes else 0,
+            "count": len(sizes),
+        }
+        snapshot["latency_seconds"] = {
+            "p50": _quantile(latencies, 0.50),
+            "p95": _quantile(latencies, 0.95),
+            "count": len(latencies),
+        }
+        return snapshot

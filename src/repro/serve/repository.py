@@ -1,0 +1,232 @@
+"""Session repository: the server's in-memory + on-disk request store.
+
+Every submitted request becomes a :class:`SessionRecord` with a lifecycle of
+``queued → running → done | failed``.  Progress events accumulate on the
+record and fan out to streaming subscribers; terminal records are persisted
+as JSON under the server's state directory using the same atomic-write
+pattern as :class:`~repro.core.checkpoint.CampaignCheckpoint` (temp file +
+:func:`os.replace`), so a crash mid-write never leaves a truncated result on
+disk.  On startup the repository re-loads every persisted session, so
+``/result/<id>`` keeps answering across server restarts.
+
+The repository is written for exactly one writer topology: worker threads
+mutate records (under one lock) while the asyncio server thread reads and
+subscribes.  Streaming subscribers are ``asyncio.Queue`` objects bound to the
+server's loop; mutations from worker threads are marshalled onto the loop
+with :meth:`asyncio.loop.call_soon_threadsafe`, so queue operations only ever
+happen on the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Sentinel closing a subscriber's event stream.
+STREAM_END = None
+
+_TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class SessionRecord:
+    """One served negotiation request and everything known about it."""
+
+    session_id: str
+    request: dict[str, Any]
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+    payload: Optional[dict[str, Any]] = None
+    error: Optional[str] = None
+    #: Live subscriber queues (loop thread only; not persisted).
+    subscribers: list = field(default_factory=list)
+
+    def status_view(self) -> dict[str, Any]:
+        """The ``/status`` body: lifecycle + progress, without the payload."""
+        last_round = 0
+        for event in reversed(self.events):
+            if event.get("event") == "round":
+                last_round = event.get("round", 0)
+                break
+        view = {
+            "session_id": self.session_id,
+            "state": self.state,
+            "request": self.request,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "rounds_completed": last_round,
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+    def result_view(self) -> dict[str, Any]:
+        """The ``/result`` body (payload included once terminal)."""
+        view = self.status_view()
+        view["result"] = self.payload
+        return view
+
+    def persistable(self) -> dict[str, Any]:
+        """The JSON document written to the state directory."""
+        return {
+            "session_id": self.session_id,
+            "request": self.request,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": self.events,
+            "result": self.payload,
+            "error": self.error,
+        }
+
+
+class SessionRepository:
+    """Thread-safe store of :class:`SessionRecord` objects.
+
+    ``loop`` is the asyncio loop streaming subscribers live on; it may be
+    ``None`` for synchronous use (tests, the benchmark), in which case
+    subscriptions are unavailable but the record store works unchanged.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str | os.PathLike] = None,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, SessionRecord] = {}
+        self._state_dir = os.fspath(state_dir) if state_dir is not None else None
+        self.loop = loop
+        if self._state_dir is not None:
+            os.makedirs(self._state_dir, exist_ok=True)
+            self._load_persisted()
+
+    # -- persistence -------------------------------------------------------------
+
+    def _session_path(self, session_id: str) -> str:
+        assert self._state_dir is not None
+        return os.path.join(self._state_dir, f"{session_id}.json")
+
+    def _load_persisted(self) -> None:
+        for name in sorted(os.listdir(self._state_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self._state_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue  # foreign or torn file: skip, never crash the server
+            session_id = document.get("session_id") or name[: -len(".json")]
+            self._records[session_id] = SessionRecord(
+                session_id=session_id,
+                request=document.get("request", {}),
+                state=document.get("state", "done"),
+                submitted_at=document.get("submitted_at", 0.0),
+                started_at=document.get("started_at"),
+                finished_at=document.get("finished_at"),
+                events=document.get("events", []),
+                payload=document.get("result"),
+                error=document.get("error"),
+            )
+
+    def _persist(self, record: SessionRecord) -> None:
+        if self._state_dir is None:
+            return
+        path = self._session_path(record.session_id)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(record.persistable(), handle, sort_keys=True)
+        os.replace(tmp_path, path)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def create(self, request_description: dict[str, Any]) -> SessionRecord:
+        record = SessionRecord(
+            session_id=uuid.uuid4().hex,
+            request=request_description,
+            submitted_at=time.time(),
+        )
+        with self._lock:
+            self._records[record.session_id] = record
+        return record
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        with self._lock:
+            return self._records.get(session_id)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def mark_running(self, session_id: str) -> None:
+        with self._lock:
+            record = self._records[session_id]
+            record.state = "running"
+            record.started_at = time.time()
+
+    def add_event(self, session_id: str, event: dict[str, Any]) -> None:
+        """Append a progress event and fan it out to live subscribers."""
+        with self._lock:
+            record = self._records[session_id]
+            record.events.append(event)
+            subscribers = list(record.subscribers)
+        self._notify(subscribers, event)
+
+    def finish(
+        self,
+        session_id: str,
+        payload: Optional[dict[str, Any]],
+        error: Optional[str] = None,
+    ) -> SessionRecord:
+        """Move a record to its terminal state, persist it, close streams."""
+        with self._lock:
+            record = self._records[session_id]
+            record.state = "failed" if error is not None else "done"
+            record.payload = payload
+            record.error = error
+            record.finished_at = time.time()
+            subscribers = list(record.subscribers)
+            record.subscribers.clear()
+        self._persist(record)
+        self._notify(subscribers, STREAM_END)
+        return record
+
+    # -- streaming ---------------------------------------------------------------
+
+    def _notify(self, subscribers: list, event: Any) -> None:
+        if not subscribers or self.loop is None:
+            return
+        for queue in subscribers:
+            self.loop.call_soon_threadsafe(queue.put_nowait, event)
+
+    def subscribe(self, session_id: str) -> Optional[tuple[list, Any]]:
+        """Open an event stream: ``(past_events, queue_or_None)``.
+
+        Must be called on the loop thread.  The replay list and the queue
+        registration happen under one lock acquisition, so no event can fall
+        between replay and live delivery.  For a terminal record the queue is
+        ``None`` — the stream is just the replay.
+        """
+        with self._lock:
+            record = self._records.get(session_id)
+            if record is None:
+                return None
+            past = list(record.events)
+            if record.state in _TERMINAL_STATES:
+                return past, None
+            queue: asyncio.Queue = asyncio.Queue()
+            record.subscribers.append(queue)
+            return past, queue

@@ -1,0 +1,354 @@
+"""The negotiation server: stdlib-only HTTP over asyncio streams.
+
+``python -m repro serve`` binds this server.  The protocol is deliberately
+minimal — HTTP/1.1 with ``Connection: close`` on every response, JSON bodies,
+and newline-delimited JSON for the round stream — so any stdlib HTTP client
+(``urllib``, ``http.client``, ``curl``) can drive it without a client
+library.
+
+Endpoints
+---------
+
+=============================  =====================================================
+``POST /submit``               Enqueue a negotiation request → ``202`` with the
+                               session id.  Invalid requests fail with ``400``
+                               and the validation message.
+``GET /status/<id>``           Lifecycle + progress (no result payload).
+``GET /result/<id>``           Terminal record with the result payload;
+                               ``?wait=1`` blocks until the session finishes.
+``GET /stream/<id>``           Newline-delimited JSON: every per-round progress
+                               event (replayed from the start, then live),
+                               terminated by ``{"event": "done", ...}`` carrying
+                               the result payload.
+``GET /metrics``               Serving counters (queue depth, batch occupancy,
+                               kernel passes, latency quantiles).
+``GET /healthz``               Liveness probe.
+=============================  =====================================================
+
+The server owns one :class:`~repro.serve.repository.SessionRepository`, one
+:class:`~repro.serve.metrics.ServeMetrics` and one
+:class:`~repro.serve.batcher.CoalescingBatcher`; all request handling runs on
+one asyncio loop while negotiations execute on the batcher's worker threads.
+:class:`ServerThread` hosts the whole stack on a background thread for tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT,
+    CoalescingBatcher,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.repository import STREAM_END, SessionRepository
+from repro.serve.schemas import RequestValidationError, ServeRequest
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8731
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def _json_response(status: int, body: dict[str, Any]) -> bytes:
+    payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return head + payload
+
+
+class NegotiationServer:
+    """Negotiation-as-a-service on one asyncio loop."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait: float = DEFAULT_MAX_WAIT,
+        workers: Optional[int] = None,
+        state_dir: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.workers = workers
+        self.state_dir = state_dir
+        self.repository: Optional[SessionRepository] = None
+        self.metrics: Optional[ServeMetrics] = None
+        self.batcher: Optional[CoalescingBatcher] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and build the serving stack."""
+        loop = asyncio.get_running_loop()
+        self.repository = SessionRepository(self.state_dir, loop=loop)
+        self.metrics = ServeMetrics()
+        self.batcher = CoalescingBatcher(
+            self.repository,
+            self.metrics,
+            max_batch=self.max_batch,
+            max_wait=self.max_wait,
+            workers=self.workers,
+        )
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        # With port 0 the OS picks; publish the bound port for clients.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.close()
+
+    async def run_forever(self) -> None:
+        await self.start()
+        print(f"repro serve listening on {self.base_url}", flush=True)
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- request handling --------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", "0") or 0)
+            if length > 0:
+                body = await reader.readexactly(length)
+            await self._dispatch(method, target, body, writer)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away mid-request; nothing to answer
+        except Exception as error:  # never kill the accept loop on one request
+            try:
+                writer.write(
+                    _json_response(500, {"error": f"{type(error).__name__}: {error}"})
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        if path == "/submit":
+            if method != "POST":
+                writer.write(_json_response(405, {"error": "POST /submit"}))
+                return
+            await self._submit(body, writer)
+            return
+        if method != "GET":
+            writer.write(_json_response(405, {"error": f"GET only: {path}"}))
+            return
+        if path == "/healthz":
+            writer.write(_json_response(200, {"status": "ok"}))
+            return
+        if path == "/metrics":
+            writer.write(_json_response(200, self.metrics.snapshot()))
+            return
+        for prefix, handler in (
+            ("/status/", self._status),
+            ("/result/", self._result),
+            ("/stream/", self._stream),
+        ):
+            if path.startswith(prefix):
+                await handler(path[len(prefix):], query, writer)
+                return
+        writer.write(_json_response(404, {"error": f"unknown endpoint {path!r}"}))
+
+    async def _submit(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            raw = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            writer.write(_json_response(400, {"error": f"invalid JSON body: {error}"}))
+            return
+        try:
+            request = ServeRequest.from_mapping(raw)
+        except RequestValidationError as error:
+            writer.write(_json_response(400, {"error": str(error)}))
+            return
+        self.metrics.submitted()
+        record = self.repository.create(request.describe())
+        self.batcher.submit(request, record)
+        writer.write(
+            _json_response(
+                202, {"session_id": record.session_id, "state": record.state}
+            )
+        )
+
+    async def _status(
+        self, session_id: str, _query: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self.repository.get(session_id)
+        if record is None:
+            writer.write(_json_response(404, {"error": f"unknown session {session_id!r}"}))
+            return
+        writer.write(_json_response(200, record.status_view()))
+
+    async def _result(
+        self, session_id: str, query: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self.repository.get(session_id)
+        if record is None:
+            writer.write(_json_response(404, {"error": f"unknown session {session_id!r}"}))
+            return
+        wait = query.get("wait", ["0"])[-1] not in ("0", "false", "")
+        if wait and record.state not in ("done", "failed"):
+            subscription = self.repository.subscribe(session_id)
+            if subscription is not None:
+                _past, queue = subscription
+                while queue is not None:
+                    if await queue.get() is STREAM_END:
+                        break
+            record = self.repository.get(session_id)
+        writer.write(_json_response(200, record.result_view()))
+
+    async def _stream(
+        self, session_id: str, _query: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        subscription = self.repository.subscribe(session_id)
+        if subscription is None:
+            writer.write(_json_response(404, {"error": f"unknown session {session_id!r}"}))
+            return
+        past, queue = subscription
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+        )
+
+        def _line(event: dict[str, Any]) -> bytes:
+            return (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+
+        for event in past:
+            writer.write(_line(event))
+        await writer.drain()
+        if queue is not None:
+            while True:
+                event = await queue.get()
+                if event is STREAM_END:
+                    break
+                writer.write(_line(event))
+                await writer.drain()
+        record = self.repository.get(session_id)
+        final: dict[str, Any] = {
+            "event": "done",
+            "state": record.state,
+            "result": record.payload,
+        }
+        if record.error is not None:
+            final["error"] = record.error
+        writer.write(_line(final))
+        await writer.drain()
+
+
+class ServerThread:
+    """Hosts a :class:`NegotiationServer` on a background event-loop thread.
+
+    The in-process harness used by the HTTP tests and the serving benchmark:
+    ``start()`` returns once the socket is bound (with ``port=0`` the chosen
+    port is published on ``server.port``); ``stop()`` tears the loop down.
+    Usable as a context manager.
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        self._server_kwargs = server_kwargs
+        self.server: Optional[NegotiationServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> NegotiationServer:
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("negotiation server did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("negotiation server failed to start") from self._startup_error
+        return self.server
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        self.server = NegotiationServer(**self._server_kwargs)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+            loop.run_until_complete(self.server.stop())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

@@ -107,3 +107,42 @@ class TestCli:
             parser.parse_args([])
         arguments = parser.parse_args(["run", "E2"])
         assert arguments.command == "run" and arguments.experiment == "E2"
+
+
+class TestServeCli:
+    def test_parser_accepts_serve_flags(self):
+        parser = build_parser()
+        arguments = parser.parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--max-batch", "16", "--max-wait", "0.1",
+            "--workers", "2", "--state-dir", "/tmp/serve-state",
+        ])
+        assert arguments.command == "serve"
+        assert arguments.host == "0.0.0.0"
+        assert arguments.port == 0
+        assert arguments.max_batch == 16
+        assert arguments.max_wait == pytest.approx(0.1)
+        assert arguments.workers == 2
+        assert arguments.state_dir == "/tmp/serve-state"
+
+    def test_parser_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8731
+        assert arguments.max_batch == 8
+        assert arguments.max_wait == pytest.approx(0.05)
+        assert arguments.workers is None
+        assert arguments.state_dir is None
+
+    def test_backends_command_mentions_serving(self, capsys):
+        from repro.cli import command_backends
+
+        assert command_backends() == 0
+        output = capsys.readouterr().out
+        assert "vectorized" in output
+        assert "python -m repro serve" in output
+        assert "micro-batching" in output
+
+    def test_main_dispatch_backends(self, capsys):
+        assert main(["backends"]) == 0
+        assert "serve" in capsys.readouterr().out

@@ -243,3 +243,66 @@ class TestMailboxNoMatchFastPath:
         assert mailbox.collect_matching(Performative.ANNOUNCE) == []
         assert mailbox._queue is queue_before
         assert len(mailbox) == 2
+
+
+class TestCountersSnapshotConcurrency:
+    def test_snapshot_matches_counters_single_threaded(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for _ in range(3):
+            bus.send(make_message())
+        bus.send(make_message(performative=Performative.ANNOUNCE))
+        total, counts = bus.counters_snapshot()
+        assert total == bus.message_count() == 4
+        assert counts == bus.messages_by_performative()
+
+    def test_snapshot_is_consistent_under_concurrent_sends(self):
+        # The serving layer polls these counters from a different thread than
+        # the one running the negotiation.  Every snapshot must be internally
+        # consistent: the total equals the histogram's sum even while the
+        # writer is mid-burst (the seqlock retries torn reads).
+        import threading
+
+        bus = MessageBus(retain_log=False)
+        for name in ("utility", "c0", "c1", "c2"):
+            bus.register(name)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            performatives = [
+                Performative.ANNOUNCE, Performative.BID,
+                Performative.AWARD, Performative.INFORM,
+            ]
+            for i in range(4000):
+                performative = performatives[i % len(performatives)]
+                bus.send(make_message(
+                    sender="utility", receiver=f"c{i % 3}",
+                    performative=performative,
+                ))
+                if i % 400 == 0:
+                    bus.broadcast(
+                        sender="utility", receivers=["c0", "c1", "c2"],
+                        performative=Performative.ANNOUNCE, content=i,
+                    )
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                total, counts = bus.counters_snapshot()
+                if total != sum(counts.values()):
+                    failures.append(f"torn snapshot: {total} != {counts}")
+                    return
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in reader_threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        for thread in reader_threads:
+            thread.join(timeout=60)
+        assert not failures, failures[0]
+        total, counts = bus.counters_snapshot()
+        assert total == sum(counts.values()) == bus.message_count()

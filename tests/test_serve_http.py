@@ -1,0 +1,155 @@
+"""HTTP serving layer: endpoints, streaming, persistence, metrics.
+
+Drives a real :class:`~repro.serve.server.NegotiationServer` bound to an
+ephemeral port on a background event-loop thread and talks to it with stdlib
+``urllib`` clients from worker threads — the same topology as an external
+caller, no asyncio test plumbing required.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.api as api
+from repro.serve.schemas import ServeRequest, result_payload
+from repro.serve.server import ServerThread
+
+
+def _post(base: str, path: str, body: dict) -> dict:
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return json.load(response)
+
+
+def _stream_lines(base: str, session_id: str) -> list[dict]:
+    with urllib.request.urlopen(base + f"/stream/{session_id}", timeout=60) as response:
+        return [json.loads(line) for line in response.read().decode().splitlines()]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    state_dir = tmp_path_factory.mktemp("serve-state")
+    with ServerThread(port=0, state_dir=os.fspath(state_dir), max_wait=0.02) as thread:
+        yield thread.server
+
+
+class TestServingEndpoints:
+    def test_submit_status_result_roundtrip(self, server):
+        base = server.base_url
+        accepted = _post(base, "/submit", {"scenario": {"households": 30, "seed": 1}})
+        session_id = accepted["session_id"]
+        assert accepted["state"] == "queued"
+        result = _get(base, f"/result/{session_id}?wait=1")
+        assert result["state"] == "done"
+        assert result["result"]["rounds"] > 0
+        assert result["result"]["metadata"]["backend"] == "vectorized"
+        status = _get(base, f"/status/{session_id}")
+        assert status["state"] == "done"
+        assert status["rounds_completed"] == result["result"]["rounds"]
+        assert "result" not in status
+
+    def test_served_result_bit_identical_to_solo_run(self, server):
+        base = server.base_url
+        mapping = {"scenario": {"households": 25, "seed": 6}, "config": {"max_simulation_rounds": 150}}
+        session_id = _post(base, "/submit", mapping)["session_id"]
+        served = _get(base, f"/result/{session_id}?wait=1")["result"]
+        request = ServeRequest.from_mapping(mapping)
+        solo = api.run(
+            request.scenario.build_scenario(), backend="auto", config=request.config
+        )
+        assert json.dumps(served, sort_keys=True) == json.dumps(
+            result_payload(solo), sort_keys=True
+        )
+
+    def test_concurrent_submissions_coalesce_and_stream(self, server):
+        base = server.base_url
+        before = _get(base, "/metrics")["kernel_passes"]
+
+        def submit(seed: int) -> str:
+            return _post(
+                base, "/submit", {"scenario": {"households": 30, "seed": seed}}
+            )["session_id"]
+
+        with ThreadPoolExecutor(3) as pool:
+            ids = list(pool.map(submit, [21, 22, 23]))
+        streams = [_stream_lines(base, session_id) for session_id in ids]
+        for events in streams:
+            assert any(event["event"] == "round" for event in events)
+            final = events[-1]
+            assert final["event"] == "done"
+            assert final["state"] == "done"
+            assert final["result"]["rounds"] >= 1
+        metrics = _get(base, "/metrics")
+        # Three concurrent compatible requests ride few passes, not three.
+        assert metrics["kernel_passes"] - before <= 2
+        assert metrics["batch_occupancy"]["max"] >= 2
+
+    def test_stream_replays_after_completion(self, server):
+        base = server.base_url
+        session_id = _post(base, "/submit", {"scenario": {"households": 20, "seed": 3}})["session_id"]
+        _get(base, f"/result/{session_id}?wait=1")
+        events = _stream_lines(base, session_id)  # terminal: pure replay
+        assert events[-1]["event"] == "done"
+        assert any(event["event"] == "round" for event in events)
+
+    def test_persistence_and_restart_recovery(self, server, tmp_path):
+        base = server.base_url
+        session_id = _post(base, "/submit", {"scenario": {"households": 20, "seed": 5}})["session_id"]
+        payload = _get(base, f"/result/{session_id}?wait=1")["result"]
+        path = os.path.join(server.state_dir, f"{session_id}.json")
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            persisted = json.load(handle)
+        assert persisted["result"] == payload
+        # A fresh server over the same state dir serves the old session.
+        with ServerThread(port=0, state_dir=server.state_dir) as restarted:
+            recovered = _get(restarted.server.base_url, f"/result/{session_id}")
+            assert recovered["state"] == "done"
+            assert recovered["result"] == payload
+
+    def test_validation_errors_are_400(self, server):
+        base = server.base_url
+        for body in (
+            {"backend": "warp-drive"},
+            {"scenario": {"households": -1}},
+            {"scenario": {"method": "bribery"}},
+            {"config": {"max_simulation_rounds": 0}},
+            {"unexpected": True},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, "/submit", body)
+            assert excinfo.value.code == 400
+            assert "error" in json.load(excinfo.value)
+
+    def test_unknown_session_and_endpoint_are_404(self, server):
+        base = server.base_url
+        for path in ("/status/nope", "/result/nope", "/stream/nope", "/frobnicate"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base, path)
+            assert excinfo.value.code == 404
+
+    def test_metrics_shape(self, server):
+        metrics = _get(server.base_url, "/metrics")
+        for key in (
+            "requests_submitted", "requests_completed", "requests_failed",
+            "queue_depth", "kernel_passes", "solo_passes",
+            "batch_occupancy", "latency_seconds",
+        ):
+            assert key in metrics
+        assert metrics["requests_completed"] >= 1
+        assert metrics["latency_seconds"]["p95"] >= metrics["latency_seconds"]["p50"] >= 0.0

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving layer's overload behaviour.
+
+Starts the real server as a subprocess with a deliberately tiny admission
+queue (``--max-queue``), bursts well past capacity from a client thread pool,
+and asserts the overload contract on the real artifact:
+
+* every submission gets an immediate, honest answer — 202 or a 429 carrying
+  a ``Retry-After`` header and a machine-readable ``reason`` — within the
+  socket timeout; no connection hangs;
+* at least one request is shed (the burst really overloads the queue) and at
+  least one is admitted (shedding is selective, not a blackout);
+* every admitted session reaches a terminal state, and the shed requests
+  resubmitted through the self-healing :class:`repro.serve.client.ServeClient`
+  all complete — an overloaded server loses no work that the caller is
+  willing to retry;
+* ``/metrics`` accounts for every disposition (admitted + shed == submitted)
+  and exposes the shed reasons.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/overload_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient, ServeClientError  # noqa: E402
+
+MAX_QUEUE = 2
+NUM_REQUESTS = 12
+HOUSEHOLDS = 30
+STARTUP_TIMEOUT_SECONDS = 60
+#: Per-request socket budget: an answer slower than this counts as hung.
+SUBMIT_TIMEOUT_SECONDS = 30
+
+
+def _wait_for_health(client: ServeClient, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            if client.health().get("status") == "ok":
+                return
+        except (ServeClientError, ConnectionError, json.JSONDecodeError):
+            time.sleep(0.05)
+    raise RuntimeError("server did not become healthy in time")
+
+
+def _submit_raw(base: str, seed: int) -> dict:
+    """One raw submission; the 429 (status, headers, body) stays visible."""
+    body = {"scenario": {"households": HOUSEHOLDS, "seed": seed}}
+    request = urllib.request.Request(
+        base + "/submit",
+        data=json.dumps(body).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(
+            request, timeout=SUBMIT_TIMEOUT_SECONDS
+        ) as response:
+            payload = json.load(response)
+        return {
+            "outcome": "admitted",
+            "session_id": payload["session_id"],
+            "body": body,
+        }
+    except urllib.error.HTTPError as error:
+        payload = json.loads(error.read() or b"{}")
+        return {
+            "outcome": "shed",
+            "status": error.code,
+            "retry_after": error.headers.get("Retry-After"),
+            "reason": payload.get("reason"),
+            "body": body,
+        }
+
+
+def main() -> int:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), environment.get("PYTHONPATH")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--max-queue", str(MAX_QUEUE),
+            "--max-batch", "2", "--max-wait", "0.02",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=environment,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", banner)
+        if not match:
+            raise RuntimeError(f"unexpected server banner: {banner!r}")
+        base = match.group(1)
+        probe = ServeClient(base, max_retries=0, timeout=5.0)
+        _wait_for_health(probe, time.monotonic() + STARTUP_TIMEOUT_SECONDS)
+
+        # The burst: every request must get an answer within its socket
+        # timeout — urllib raising socket.timeout would mean a hung
+        # connection, the failure mode this smoke exists to catch.
+        with ThreadPoolExecutor(NUM_REQUESTS) as pool:
+            dispositions = list(
+                pool.map(lambda seed: _submit_raw(base, seed), range(NUM_REQUESTS))
+            )
+
+        admitted = [d for d in dispositions if d["outcome"] == "admitted"]
+        shed = [d for d in dispositions if d["outcome"] == "shed"]
+        assert shed, (
+            f"burst of {NUM_REQUESTS} past a {MAX_QUEUE}-slot queue shed nothing"
+        )
+        assert admitted, f"every request was shed: {dispositions}"
+        for disposition in shed:
+            assert disposition["status"] == 429, disposition
+            assert disposition["retry_after"] is not None, (
+                f"429 without Retry-After: {disposition}"
+            )
+            assert disposition["reason"] in ("queue_full", "rate_limited"), (
+                f"429 without a machine-readable reason: {disposition}"
+            )
+
+        # Every admitted session must reach a terminal state.
+        waiter = ServeClient(base, timeout=60.0)
+        for disposition in admitted:
+            record = waiter.result(
+                disposition["session_id"],
+                wait=True,
+                wait_timeout=15.0,
+                overall_timeout=120.0,
+            )
+            assert record["state"] == "done", record
+
+        # Shed requests resubmitted through the self-healing client (which
+        # honours Retry-After) must all complete: sheds are delays, not loss.
+        healer = ServeClient(base, max_retries=10, backoff_cap=2.0, timeout=60.0)
+        for disposition in shed:
+            accepted = healer.submit(disposition["body"])
+            record = healer.result(
+                accepted["session_id"],
+                wait=True,
+                wait_timeout=15.0,
+                overall_timeout=120.0,
+            )
+            assert record["state"] == "done", record
+
+        metrics = waiter.metrics()
+        assert metrics["requests_shed"] == len(shed), metrics
+        assert metrics["requests_admitted"] == len(admitted) + len(shed), (
+            f"healed resubmissions missing from the admission count: {metrics}"
+        )
+        assert metrics["shed_reasons"].get("queue_full", 0) >= 1, metrics
+        assert metrics["admission"]["max_queue"] == MAX_QUEUE, metrics
+
+        print(
+            f"overload smoke passed: {NUM_REQUESTS} requests against a "
+            f"{MAX_QUEUE}-slot queue -> {len(admitted)} admitted, "
+            f"{len(shed)} shed with 429 + Retry-After, all healed, "
+            f"no hung connections"
+        )
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,13 @@ from repro.experiments.scalability import (  # noqa: E402  (path setup above)
     run_scalability,
     write_benchmark_json,
 )
+from repro.experiments.overload_bench import (  # noqa: E402  (path setup above)
+    OVERLOAD_BURST_FACTOR,
+    OVERLOAD_HOUSEHOLDS,
+    OVERLOAD_MAX_QUEUE,
+    run_overload_bench,
+    write_overload_json,
+)
 from repro.experiments.serving_bench import (  # noqa: E402  (path setup above)
     SERVING_HOUSEHOLDS,
     SERVING_MAX_BATCH,
@@ -101,6 +108,14 @@ SERVING_MIN_SPEEDUP = 3.0
 #: Wall-clock tolerance for the serving replay's concurrent phase.
 SERVING_WALL_TOLERANCE = 3.0
 SERVING_WALL_FLOOR_SECONDS = 5.0
+
+#: Overload-stage acceptance: the p99 queue wait of a replay may be at most
+#: this factor above the committed baseline, with an absolute floor below
+#: which scheduler noise never flags.  The behavioural gates (zero hung
+#: requests, universal bit-identity, sheds carrying Retry-After, the deadline
+#: probe expiring) are absolute — no tolerance.
+OVERLOAD_P99_TOLERANCE = 4.0
+OVERLOAD_P99_FLOOR_SECONDS = 2.0
 
 
 def wall_tolerance_for(size: int) -> float:
@@ -308,19 +323,110 @@ def check_serving_baseline(baseline_path: Path, failures: list[str]) -> None:
     )
 
 
+def _overload_gates(label: str, row: dict, failures: list[str]) -> None:
+    """The absolute overload invariants — no tolerance, every run."""
+    if row["hung"] != 0:
+        failures.append(
+            f"{label}: {row['hung']} request(s) hung (no terminal state in budget)"
+        )
+    if row["bit_mismatches"] != 0:
+        failures.append(
+            f"{label}: {row['bit_mismatches']} request(s) diverged from their "
+            f"solo payloads under overload"
+        )
+    expected_identical = row["num_requests"]  # burst + the retried sheds
+    if row["bit_identical"] != expected_identical:
+        failures.append(
+            f"{label}: only {row['bit_identical']}/{expected_identical} "
+            f"requests completed bit-identical to solo runs"
+        )
+    if row["shed"] == 0:
+        failures.append(
+            f"{label}: the {row['burst_factor']}x burst shed nothing — the "
+            f"workload no longer overloads the {row['max_queue']}-slot queue"
+        )
+    if row["sheds_with_retry_after"] != row["shed"]:
+        failures.append(
+            f"{label}: {row['shed'] - row['sheds_with_retry_after']} shed(s) "
+            f"answered without a 429 + Retry-After"
+        )
+    if row["retried_to_completion"] != row["shed"]:
+        failures.append(
+            f"{label}: only {row['retried_to_completion']}/{row['shed']} shed "
+            f"requests healed to completion through the retrying client"
+        )
+    if not row["deadline_probe_expired"]:
+        failures.append(
+            f"{label}: the 1ms-deadline probe did not terminate as "
+            f"expired/deadline_exceeded"
+        )
+
+
+def check_overload_baseline(baseline_path: Path, failures: list[str]) -> None:
+    """Replay the committed overload burst and compare.
+
+    Which individual requests get shed is timing-dependent, so the gates are
+    per-run invariants rather than exact cross-run counts: every request must
+    terminate (zero hung), every completion must be bit-identical to a solo
+    run, every shed must be an honest 429 with Retry-After and must heal to
+    completion through the retrying client, the deadline probe must expire
+    cleanly, and the p99 queue wait must stay within a tolerance band of the
+    committed baseline.
+    """
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        base = payload["overload"]
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        failures.append(f"cannot read overload baseline {baseline_path}: {error}")
+        return
+    print(
+        f"overload check against {baseline_path} "
+        f"({base['num_requests']} requests burst at {base['burst_factor']}x a "
+        f"{base['max_queue']}-slot queue, {base['households']} households each)"
+    )
+    entry = run_overload_bench(
+        max_queue=int(base["max_queue"]),
+        burst_factor=int(base["burst_factor"]),
+        households=int(base["households"]),
+    )
+    row = entry.as_row()
+    _overload_gates("overload", row, failures)
+    allowed = max(
+        float(base["p99_queue_wait"]) * OVERLOAD_P99_TOLERANCE,
+        OVERLOAD_P99_FLOOR_SECONDS,
+    )
+    status = "ok"
+    if row["p99_queue_wait"] > allowed:
+        failures.append(
+            f"overload: p99_queue_wait {row['p99_queue_wait']:.3f}s exceeds "
+            f"{allowed:.3f}s (baseline {float(base['p99_queue_wait']):.3f}s x "
+            f"{OVERLOAD_P99_TOLERANCE:.1f})"
+        )
+        status = "REGRESSION"
+    print(
+        f"  [overload] admitted {row['admitted']} shed {row['shed']} hung "
+        f"{row['hung']} bit-identical {row['bit_identical']}/"
+        f"{row['num_requests']}, p99 queue wait {row['p99_queue_wait']:.3f}s "
+        f"(baseline {float(base['p99_queue_wait']):.3f}s, allowed "
+        f"{allowed:.3f}s) [{status}]"
+    )
+
+
 def check_against_baseline(
     baseline_path: Path,
     campaign_path: Path | None = None,
     serving_path: Path | None = None,
+    overload_path: Path | None = None,
 ) -> int:
     """Compare fresh sweeps against the committed trajectory.
 
     Replays the fast-path sweep, the sharded sweep when the baseline carries
     one (at the baseline's shard count), the campaign trajectory when
-    ``campaign_path`` is given and the serving workload when ``serving_path``
-    is given.  Returns 0 when behaviour matches and wall-clock stays within
-    tolerance, 1 on any regression, 2 when the scalability baseline artefact
-    is missing/unreadable.
+    ``campaign_path`` is given, the serving workload when ``serving_path``
+    is given and the overload burst when ``overload_path`` is given.  Returns
+    0 when behaviour matches and wall-clock stays within tolerance, 1 on any
+    regression, 2 when the scalability baseline artefact is
+    missing/unreadable.
     """
     try:
         payload = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -372,6 +478,9 @@ def check_against_baseline(
 
     if serving_path is not None:
         check_serving_baseline(serving_path, failures)
+
+    if overload_path is not None:
+        check_overload_baseline(overload_path, failures)
 
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
@@ -451,6 +560,14 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the negotiation-serving throughput benchmark",
     )
     parser.add_argument(
+        "--overload-json", type=Path, default=BENCH_DIR / "BENCH_overload.json",
+        help="where to write (or read, with --check) the overload trajectory",
+    )
+    parser.add_argument(
+        "--skip-overload", action="store_true",
+        help="skip the admission-control overload benchmark",
+    )
+    parser.add_argument(
         "--campaign-only", action="store_true",
         help="run only the campaign stages (leaves BENCH_scalability.json and "
              "its report untouched)",
@@ -487,7 +604,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         campaign_path = None if arguments.skip_campaign else arguments.campaign_json
         serving_path = None if arguments.skip_serving else arguments.serving_json
-        return check_against_baseline(arguments.json, campaign_path, serving_path)
+        overload_path = None if arguments.skip_overload else arguments.overload_json
+        return check_against_baseline(
+            arguments.json, campaign_path, serving_path, overload_path
+        )
 
     shards = (
         arguments.shards
@@ -655,6 +775,31 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"wrote {serving_report_path}")
         print(f"wrote {serving_json_path}")
+
+    if not arguments.skip_overload and not arguments.campaign_only:
+        print(
+            f"overload benchmark: {OVERLOAD_MAX_QUEUE * OVERLOAD_BURST_FACTOR} "
+            f"requests burst at {OVERLOAD_BURST_FACTOR}x a "
+            f"{OVERLOAD_MAX_QUEUE}-slot admission queue "
+            f"({OVERLOAD_HOUSEHOLDS} households each)"
+        )
+        overload_entry = run_overload_bench()
+        print(overload_entry.render())
+        overload_failures: list[str] = []
+        _overload_gates("overload", overload_entry.as_row(), overload_failures)
+        if overload_failures:
+            for failure in overload_failures:
+                print(f"overload FAILURE: {failure}", file=sys.stderr)
+            return 1
+        overload_report_path = report_dir / "overload_admission.txt"
+        overload_report_path.write_text(
+            overload_entry.render() + "\n", encoding="utf-8"
+        )
+        overload_json_path = write_overload_json(
+            arguments.overload_json, overload_entry, seed=arguments.seed
+        )
+        print(f"wrote {overload_report_path}")
+        print(f"wrote {overload_json_path}")
     return 0
 
 

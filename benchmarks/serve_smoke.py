@@ -2,11 +2,12 @@
 """CI smoke test for ``python -m repro serve``.
 
 Starts the real server as a subprocess (the exact artifact a user runs),
-submits three concurrent negotiation requests, and asserts the serving
-contract end to end: every stream carries per-round progress events and a
-terminal ``done`` event with the result payload, every finished session is
-persisted as JSON in the state directory, and ``/metrics`` shows the requests
-were coalesced rather than run one by one.
+submits three concurrent negotiation requests through the self-healing
+:class:`repro.serve.client.ServeClient` (the exact client a user runs), and
+asserts the serving contract end to end: every stream carries per-round
+progress events and a terminal ``done`` event with the result payload, every
+finished session is persisted as JSON in the state directory, and
+``/metrics`` shows the requests were coalesced rather than run one by one.
 
 Usage::
 
@@ -22,38 +23,33 @@ import subprocess
 import sys
 import tempfile
 import time
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient, ServeClientError  # noqa: E402
 
 NUM_REQUESTS = 3
 STARTUP_TIMEOUT_SECONDS = 60
 
 
-def _wait_for_health(base: str, deadline: float) -> None:
+def _wait_for_health(client: ServeClient, deadline: float) -> None:
     while time.monotonic() < deadline:
         try:
-            with urllib.request.urlopen(base + "/healthz", timeout=5) as response:
-                if json.load(response).get("status") == "ok":
-                    return
-        except (urllib.error.URLError, ConnectionError, json.JSONDecodeError):
+            if client.health().get("status") == "ok":
+                return
+        except (ServeClientError, ConnectionError, json.JSONDecodeError):
             time.sleep(0.05)
     raise RuntimeError("server did not become healthy in time")
 
 
 def _submit_and_stream(base: str, seed: int) -> list[dict]:
-    body = json.dumps({"scenario": {"households": 50, "seed": seed}}).encode()
-    request = urllib.request.Request(
-        base + "/submit", data=body, method="POST",
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        session_id = json.load(response)["session_id"]
-    with urllib.request.urlopen(base + f"/stream/{session_id}", timeout=120) as response:
-        return [json.loads(line) for line in response.read().decode().splitlines()]
+    client = ServeClient(base, timeout=120.0)
+    accepted = client.submit({"scenario": {"households": 50, "seed": seed}})
+    return list(client.stream(accepted["session_id"]))
 
 
 def main() -> int:
@@ -78,7 +74,8 @@ def main() -> int:
         if not match:
             raise RuntimeError(f"unexpected server banner: {banner!r}")
         base = match.group(1)
-        _wait_for_health(base, time.monotonic() + STARTUP_TIMEOUT_SECONDS)
+        probe = ServeClient(base, max_retries=0, timeout=5.0)
+        _wait_for_health(probe, time.monotonic() + STARTUP_TIMEOUT_SECONDS)
 
         with ThreadPoolExecutor(NUM_REQUESTS) as pool:
             streams = list(
@@ -93,8 +90,7 @@ def main() -> int:
             assert final["result"]["rounds"] >= 1, f"request {seed}: empty result"
             assert final["result"]["metadata"]["backend"] == "vectorized"
 
-        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
-            metrics = json.load(response)
+        metrics = ServeClient(base, timeout=30.0).metrics()
         assert metrics["requests_completed"] == NUM_REQUESTS, metrics
         assert metrics["requests_failed"] == 0, metrics
         assert metrics["kernel_passes"] >= 1, metrics

@@ -120,6 +120,10 @@ def command_serve(
     max_wait: float,
     workers: Optional[int],
     state_dir: Optional[str],
+    max_queue: Optional[int],
+    rate_limit: Optional[float],
+    default_deadline: Optional[int],
+    watchdog_timeout: Optional[float],
 ) -> int:
     """Run the negotiation server until interrupted."""
     import asyncio
@@ -133,6 +137,10 @@ def command_serve(
         max_wait=max_wait,
         workers=workers,
         state_dir=state_dir,
+        max_queue=max_queue,
+        rate_limit=rate_limit,
+        default_deadline_ms=default_deadline,
+        watchdog_timeout=watchdog_timeout,
     )
     try:
         asyncio.run(server.run_forever())
@@ -182,7 +190,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--state-dir", default=None,
-        help="directory persisting finished sessions as JSON (default: none)",
+        help="directory persisting finished sessions as JSON and the "
+             "in-flight journal (default: none — no persistence, no "
+             "restart recovery)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission bound: maximum accepted-but-unfinished requests; "
+             "beyond it POST /submit answers 429 with Retry-After "
+             "(default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="sustained admissions per second (token bucket; default: none)",
+    )
+    serve_parser.add_argument(
+        "--default-deadline", type=int, default=None,
+        help="latency budget in milliseconds applied to requests that do "
+             "not set deadline_ms themselves (default: none)",
+    )
+    serve_parser.add_argument(
+        "--watchdog-timeout", type=float, default=600.0,
+        help="seconds before a stuck worker batch's sessions are failed "
+             "cleanly (default 600; 0 disables the watchdog)",
     )
     return parser
 
@@ -205,6 +235,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_wait=arguments.max_wait,
             workers=arguments.workers,
             state_dir=arguments.state_dir,
+            max_queue=arguments.max_queue,
+            rate_limit=arguments.rate_limit,
+            default_deadline=arguments.default_deadline,
+            watchdog_timeout=(
+                arguments.watchdog_timeout if arguments.watchdog_timeout > 0 else None
+            ),
         )
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -1,0 +1,313 @@
+"""Overload benchmark: a burst past admission capacity, end to end.
+
+The admission-control acceptance experiment.  A burst of ``burst_factor`` ×
+``max_queue`` concurrent submissions hits a live
+:class:`~repro.serve.server.NegotiationServer` whose admission queue is
+deliberately small, and the bench asserts the overload contract request by
+request:
+
+* every submission terminates **deterministically** — either admitted (202)
+  or shed (429 with a ``Retry-After`` header and a machine-readable reason);
+  nothing hangs;
+* every admitted request completes, and its payload is **bit-identical** to
+  a solo ``repro.api.run`` of the same request body (overload must never
+  change arithmetic);
+* every shed request, resubmitted through the self-healing
+  :class:`~repro.serve.client.ServeClient` (capped jittered retry honouring
+  ``Retry-After``), eventually completes with the same bit-identical payload
+  — shedding is a delay, not a data loss;
+* a probe request with a 1 ms ``deadline_ms`` terminates in the ``expired``
+  state with a ``deadline_exceeded`` error;
+* the p99 **queue wait** stays bounded — the number the admission bound
+  exists to keep flat under overload.
+
+The headline numbers land in ``benchmarks/BENCH_overload.json`` via
+``benchmarks/run_bench.py``; ``--check`` replays the burst and fails on any
+hung request, any bit-identity violation, a burst that failed to shed (the
+workload no longer overloads the queue) or an unbounded p99 queue wait.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Optional
+
+import urllib.error
+import urllib.request
+
+import repro.api as api
+from repro.serve.client import RetriesExhausted, ServeClient
+from repro.serve.schemas import ServeRequest, result_payload
+from repro.serve.server import ServerThread
+
+#: The committed overload workload shape.
+OVERLOAD_MAX_QUEUE = 8
+OVERLOAD_BURST_FACTOR = 4
+OVERLOAD_HOUSEHOLDS = 40
+OVERLOAD_MAX_BATCH = 4
+OVERLOAD_MAX_WAIT = 0.02
+OVERLOAD_TOWNS = 4
+#: Per-request completion budget before it counts as hung.
+OVERLOAD_RESULT_TIMEOUT = 120.0
+
+
+def overload_workload(
+    num_requests: int,
+    households: int = OVERLOAD_HOUSEHOLDS,
+    towns: int = OVERLOAD_TOWNS,
+) -> list[dict[str, Any]]:
+    """The burst bodies: ``towns`` seeds crossed with escalating betas."""
+    return [
+        {
+            "scenario": {
+                "households": households,
+                "seed": index % towns,
+                "beta": 1.0 + 0.5 * (index // towns),
+            }
+        }
+        for index in range(num_requests)
+    ]
+
+
+@dataclass
+class OverloadBenchEntry:
+    """One overload-burst run and its per-request accounting."""
+
+    num_requests: int
+    households: int
+    max_queue: int
+    burst_factor: int
+    admitted: int
+    shed: int
+    sheds_with_retry_after: int
+    retried_to_completion: int
+    hung: int
+    bit_identical: int
+    bit_mismatches: int
+    deadline_probe_expired: bool
+    p99_queue_wait: float
+    burst_seconds: float
+    total_seconds: float
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "num_requests": self.num_requests,
+            "households": self.households,
+            "max_queue": self.max_queue,
+            "burst_factor": self.burst_factor,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "sheds_with_retry_after": self.sheds_with_retry_after,
+            "retried_to_completion": self.retried_to_completion,
+            "hung": self.hung,
+            "bit_identical": self.bit_identical,
+            "bit_mismatches": self.bit_mismatches,
+            "deadline_probe_expired": self.deadline_probe_expired,
+            "p99_queue_wait": self.p99_queue_wait,
+            "burst_seconds": self.burst_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    def render(self) -> str:
+        return (
+            f"Overload benchmark: {self.num_requests} requests burst at "
+            f"{self.burst_factor}x a {self.max_queue}-slot admission queue "
+            f"({self.households} households each)\n"
+            f"  admitted: {self.admitted}  shed: {self.shed} "
+            f"(all with Retry-After: "
+            f"{self.sheds_with_retry_after == self.shed})\n"
+            f"  retried to completion: {self.retried_to_completion}  "
+            f"hung: {self.hung}\n"
+            f"  bit-identical to solo: {self.bit_identical}/"
+            f"{self.bit_identical + self.bit_mismatches}\n"
+            f"  deadline probe expired cleanly: {self.deadline_probe_expired}\n"
+            f"  p99 queue wait: {self.p99_queue_wait:.3f}s  "
+            f"burst: {self.burst_seconds:.2f}s  total: {self.total_seconds:.2f}s"
+        )
+
+
+def _solo_payload(body: dict[str, Any], cache: dict) -> dict[str, Any]:
+    """The canonical solo payload of one request body (memoised)."""
+    key = json.dumps(body, sort_keys=True)
+    if key not in cache:
+        request = ServeRequest.from_mapping(body)
+        result = api.run(
+            request.scenario.build_scenario(),
+            backend=request.backend,
+            config=request.config,
+        )
+        cache[key] = result_payload(result)
+    return cache[key]
+
+
+def run_overload_bench(
+    max_queue: int = OVERLOAD_MAX_QUEUE,
+    burst_factor: int = OVERLOAD_BURST_FACTOR,
+    households: int = OVERLOAD_HOUSEHOLDS,
+    max_batch: int = OVERLOAD_MAX_BATCH,
+    max_wait: float = OVERLOAD_MAX_WAIT,
+    workers: Optional[int] = None,
+) -> OverloadBenchEntry:
+    """Run the burst against a fresh in-process server and account for it."""
+    num_requests = max_queue * burst_factor
+    workload = overload_workload(num_requests, households)
+    started_total = perf_counter()
+    with ServerThread(
+        port=0,
+        max_queue=max_queue,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        workers=workers,
+    ) as thread:
+        base = thread.server.base_url
+
+        # Raw burst, no client-side retry: every 429 — and whether it
+        # carried the Retry-After header — stays visible per request.
+        def submit_raw(body: dict) -> dict:
+            request = urllib.request.Request(
+                base + "/submit",
+                data=json.dumps(body).encode("utf-8"),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    payload = json.loads(response.read())
+                return {"outcome": "admitted", "session_id": payload["session_id"]}
+            except urllib.error.HTTPError as error:
+                error.read()
+                return {
+                    "outcome": "shed",
+                    "status": error.code,
+                    "retry_after": error.headers.get("Retry-After"),
+                }
+
+        started_burst = perf_counter()
+        with ThreadPoolExecutor(num_requests) as pool:
+            dispositions = list(pool.map(submit_raw, workload))
+        burst_seconds = perf_counter() - started_burst
+
+        shed_total = sum(1 for d in dispositions if d["outcome"] == "shed")
+        sheds_with_retry_after = sum(
+            1
+            for d in dispositions
+            if d["outcome"] == "shed"
+            and d["status"] == 429
+            and d["retry_after"] is not None
+        )
+
+        # Drain: every admitted request must terminate with a bit-identical
+        # payload; a request that cannot produce a terminal record in budget
+        # is hung — the thing this subsystem exists to make impossible.
+        wait_client = ServeClient(base, max_retries=8, backoff_cap=2.0)
+        solo_cache: dict[str, dict] = {}
+        hung = 0
+        bit_identical = 0
+        bit_mismatches = 0
+        for body, disposition in zip(workload, dispositions):
+            if disposition["outcome"] != "admitted":
+                continue
+            try:
+                record = wait_client.result(
+                    disposition["session_id"],
+                    wait=True,
+                    wait_timeout=15.0,
+                    overall_timeout=OVERLOAD_RESULT_TIMEOUT,
+                )
+            except RetriesExhausted:
+                hung += 1
+                continue
+            if record["state"] != "done":
+                hung += 1
+                continue
+            expected = _solo_payload(body, solo_cache)
+            if json.dumps(record["result"], sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            ):
+                bit_identical += 1
+            else:
+                bit_mismatches += 1
+
+        # Self-healing: resubmit every shed request through the retrying
+        # client (honours Retry-After) — sheds are delays, not losses.
+        retried_to_completion = 0
+        retry_client = ServeClient(base, max_retries=10, backoff_cap=2.0)
+        for body, disposition in zip(workload, dispositions):
+            if disposition["outcome"] != "shed":
+                continue
+            try:
+                accepted = retry_client.submit(body)
+                record = retry_client.result(
+                    accepted["session_id"],
+                    wait=True,
+                    wait_timeout=15.0,
+                    overall_timeout=OVERLOAD_RESULT_TIMEOUT,
+                )
+            except RetriesExhausted:
+                hung += 1
+                continue
+            if record["state"] != "done":
+                hung += 1
+                continue
+            expected = _solo_payload(body, solo_cache)
+            if json.dumps(record["result"], sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            ):
+                bit_identical += 1
+                retried_to_completion += 1
+            else:
+                bit_mismatches += 1
+
+        # Deadline probe: a 1 ms budget expires inside the coalescing buffer
+        # (the flush window alone exceeds it) → clean `expired` record.
+        probe_client = ServeClient(base, max_retries=10, backoff_cap=2.0)
+        probe_body = dict(workload[0])
+        probe_body["deadline_ms"] = 1
+        deadline_probe_expired = False
+        try:
+            accepted = probe_client.submit(probe_body)
+            record = probe_client.result(
+                accepted["session_id"],
+                wait=True,
+                wait_timeout=15.0,
+                overall_timeout=60.0,
+            )
+            deadline_probe_expired = (
+                record["state"] == "expired"
+                and "deadline_exceeded" in (record.get("error") or "")
+            )
+        except RetriesExhausted:
+            pass
+
+        metrics = probe_client.metrics()
+        p99_queue_wait = metrics["queue_wait_seconds"]["p99"]
+
+    return OverloadBenchEntry(
+        num_requests=num_requests,
+        households=households,
+        max_queue=max_queue,
+        burst_factor=burst_factor,
+        admitted=sum(1 for d in dispositions if d["outcome"] == "admitted"),
+        shed=shed_total,
+        sheds_with_retry_after=sheds_with_retry_after,
+        retried_to_completion=retried_to_completion,
+        hung=hung,
+        bit_identical=bit_identical,
+        bit_mismatches=bit_mismatches,
+        deadline_probe_expired=deadline_probe_expired,
+        p99_queue_wait=p99_queue_wait,
+        burst_seconds=burst_seconds,
+        total_seconds=perf_counter() - started_total,
+    )
+
+
+def write_overload_json(path, entry: OverloadBenchEntry, seed: int = 0):
+    """Persist the overload trajectory next to the other BENCH artefacts."""
+    payload = {"seed": seed, "overload": entry.as_row()}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -10,7 +10,15 @@ negotiated in lockstep, each request's result bit-identical to a solo
 *Serving* section for a quickstart.
 """
 
+from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
 from repro.serve.batcher import CoalescingBatcher
+from repro.serve.client import (
+    CircuitOpenError,
+    RequestFailed,
+    RetriesExhausted,
+    ServeClient,
+    ServeClientError,
+)
 from repro.serve.coalesce import execute_batch, request_coalesces, run_solo
 from repro.serve.metrics import ServeMetrics
 from repro.serve.repository import SessionRecord, SessionRepository
@@ -23,15 +31,23 @@ from repro.serve.schemas import (
 from repro.serve.server import NegotiationServer, ServerThread
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitOpenError",
     "CoalescingBatcher",
     "NegotiationServer",
+    "RequestFailed",
     "RequestValidationError",
+    "RetriesExhausted",
     "ScenarioSpec",
+    "ServeClient",
+    "ServeClientError",
     "ServeMetrics",
     "ServeRequest",
     "ServerThread",
     "SessionRecord",
     "SessionRepository",
+    "TokenBucket",
     "execute_batch",
     "request_coalesces",
     "result_payload",

@@ -1,0 +1,181 @@
+"""Admission control: bounded queueing and rate limiting for the server.
+
+The serving layer accepts work faster than it can negotiate it; without a
+bound, a sustained overload grows the queue (and every queued request's
+latency) without limit.  :class:`AdmissionController` puts two independent
+gates in front of ``POST /submit``:
+
+* a **bounded admission queue** — at most ``max_queue`` requests may be
+  accepted-but-unfinished at once.  The counter covers the whole in-server
+  lifetime of a request (coalescing buffer, worker execution), so the bound
+  is on real in-flight work, not just on one internal buffer;
+* a **token bucket** — a sustained rate limit of ``rate_limit`` admissions
+  per second with a burst allowance of ``burst`` tokens, so a short burst
+  rides through while a sustained flood is shed at the configured rate.
+
+A request failing either gate is *shed*: the server answers ``429`` with a
+machine-readable reason (``"queue_full"`` / ``"rate_limited"``) and a
+``Retry-After`` hint, and the shed is counted per reason in
+:class:`~repro.serve.metrics.ServeMetrics`.  Shedding is deliberately the
+*first* thing that happens to an overload — every shed request terminates in
+microseconds with an honest answer instead of queueing toward a timeout.
+
+Both gates take an injectable monotonic ``clock`` so the tests drive them
+deterministically; the production default is :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Shed reasons (the machine-readable ``reason`` field of a 429 body).
+REASON_QUEUE_FULL = "queue_full"
+REASON_RATE_LIMITED = "rate_limited"
+
+#: Fallback ``Retry-After`` hint (seconds) when the controller cannot derive
+#: a better one (queue-full with no completion observed yet).
+DEFAULT_RETRY_AFTER = 1.0
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission attempt.
+
+    ``admitted`` requests own one queue slot until
+    :meth:`AdmissionController.release` is called for them; shed requests
+    carry the machine-readable ``reason`` and a ``retry_after`` hint
+    (seconds, rounded up to whole seconds on the HTTP header).
+    """
+
+    admitted: bool
+    reason: Optional[str] = None
+    retry_after: float = 0.0
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_take`` is O(1) and lazy — tokens accrue on demand from the elapsed
+    clock time, so there is no refill thread.  When the bucket is empty the
+    returned hint is the exact time until one token accrues.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate_limit must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self) -> tuple[bool, float]:
+        """Take one token: ``(True, 0.0)`` or ``(False, seconds_until_one)``."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Bounded admission queue + token-bucket rate limiter.
+
+    ``try_admit`` runs on the server's loop thread; ``release`` is called
+    from worker threads when a session reaches a terminal state, so the slot
+    accounting is lock-protected.  Either gate may be disabled by passing
+    ``None`` (an unbounded queue / no rate limit).
+    """
+
+    def __init__(
+        self,
+        max_queue: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None for unbounded)")
+        self.max_queue = max_queue
+        self._bucket = (
+            TokenBucket(rate_limit, burst, clock) if rate_limit is not None else None
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        #: EWMA of observed completion latency, the queue-full Retry-After hint.
+        self._mean_busy_seconds: Optional[float] = None
+
+    # -- admission ---------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def try_admit(self) -> AdmissionDecision:
+        """Attempt to admit one request, taking a queue slot on success."""
+        with self._lock:
+            if self.max_queue is not None and self._in_flight >= self.max_queue:
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=REASON_QUEUE_FULL,
+                    retry_after=self._queue_full_hint(),
+                )
+            if self._bucket is not None:
+                ok, retry_after = self._bucket.try_take()
+                if not ok:
+                    return AdmissionDecision(
+                        admitted=False,
+                        reason=REASON_RATE_LIMITED,
+                        retry_after=max(retry_after, 0.001),
+                    )
+            self._in_flight += 1
+            return AdmissionDecision(admitted=True)
+
+    def force_admit(self) -> None:
+        """Take a queue slot unconditionally.
+
+        Used for journaled in-flight sessions replayed on restart: they were
+        already admitted by the previous incarnation of the server, so they
+        bypass both gates but still occupy slots (new traffic sees the true
+        backlog).
+        """
+        with self._lock:
+            self._in_flight += 1
+
+    def release(self, busy_seconds: Optional[float] = None) -> None:
+        """Return one queue slot; ``busy_seconds`` feeds the Retry-After hint."""
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight < 0:  # defensive: a double release is a bug
+                self._in_flight = 0
+            if busy_seconds is not None and busy_seconds >= 0:
+                if self._mean_busy_seconds is None:
+                    self._mean_busy_seconds = busy_seconds
+                else:
+                    self._mean_busy_seconds += 0.2 * (
+                        busy_seconds - self._mean_busy_seconds
+                    )
+
+    def _queue_full_hint(self) -> float:
+        """Seconds until a slot plausibly frees (held lock required)."""
+        if self._mean_busy_seconds is None:
+            return DEFAULT_RETRY_AFTER
+        return max(0.05, min(60.0, self._mean_busy_seconds))

@@ -14,6 +14,20 @@ kernel arena.  Requests that cannot coalesce (pinned ``object`` / ``sharded``
 backends, full-society configurations, shard-scale populations) bypass the
 buffer and run solo on a worker thread straight away.
 
+**Deadlines.**  Each entry carries its absolute deadline (submit time +
+``deadline_ms``).  At flush time, members whose budget has already run out
+are failed fast with a ``deadline_exceeded`` record instead of being packed
+into the arena; members that expire mid-negotiation are terminated between
+lockstep rounds inside :func:`~repro.serve.coalesce.execute_batch`.
+
+**Watchdog.**  A daemon thread tracks every in-flight worker execution.  If
+a batch exceeds the watchdog budget — a wedged kernel, a crashed worker that
+never reported — the watchdog fails the batch's unfinished sessions cleanly
+(terminal records, streams closed, admission slots released) instead of
+leaving clients blocked on ``?wait=1`` forever.  The late worker's own
+completion is then a no-op: :meth:`~repro.serve.repository.SessionRepository
+.finish` is first-transition-wins.
+
 All buffer bookkeeping happens on the server's asyncio loop thread (submit
 and the flush timer both run there), so the buffer itself needs no lock; the
 negotiation work happens in a small :class:`~concurrent.futures
@@ -26,7 +40,9 @@ results.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
@@ -41,6 +57,100 @@ from repro.serve.schemas import ServeRequest
 DEFAULT_MAX_WAIT = 0.05
 DEFAULT_MAX_BATCH = 8
 
+#: Default watchdog budget (seconds) for one worker execution.  Generous — a
+#: batch that takes minutes is slow, one that takes this long is wedged.
+DEFAULT_WATCHDOG_TIMEOUT = 600.0
+
+
+def _deadline_of(request: ServeRequest, record: SessionRecord) -> Optional[float]:
+    """Absolute epoch deadline of one entry (``None`` when unbudgeted)."""
+    if request.deadline_ms is None:
+        return None
+    return record.submitted_at + request.deadline_ms / 1000.0
+
+
+class _BatchWatchdog(threading.Thread):
+    """Fails sessions of worker executions that overran their budget.
+
+    Worker threads register the session ids they are about to execute and
+    clear them on completion; the watchdog sweeps the registry and, for any
+    execution past its budget, moves the still-unfinished sessions to a
+    terminal ``failed`` state so their streams and waiters unblock.  The
+    worker thread itself cannot be killed (Python threads are cooperative) —
+    the point is that *clients* observe a clean failure promptly, and a
+    late completion is discarded by the repository's idempotent ``finish``.
+    """
+
+    def __init__(
+        self,
+        repository: SessionRepository,
+        metrics: ServeMetrics,
+        timeout: float,
+        poll_interval: float = 0.25,
+    ) -> None:
+        super().__init__(name="serve-watchdog", daemon=True)
+        self.repository = repository
+        self.metrics = metrics
+        self.timeout = timeout
+        self.poll_interval = min(poll_interval, max(timeout / 4.0, 0.01))
+        self._lock = threading.Lock()
+        self._token_counter = itertools.count()
+        #: token -> (expiry_epoch, [(session_id, submitted_at), ...])
+        self._inflight: dict[int, tuple[float, list[tuple[str, float]]]] = {}
+        self._stop = threading.Event()
+
+    def register(self, entries: list[tuple[ServeRequest, SessionRecord]]) -> int:
+        token = next(self._token_counter)
+        expiry = time.time() + self.timeout
+        sessions = [
+            (record.session_id, record.submitted_at) for _request, record in entries
+        ]
+        with self._lock:
+            self._inflight[token] = (expiry, sessions)
+        return token
+
+    def clear(self, token: int) -> None:
+        with self._lock:
+            self._inflight.pop(token, None)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Fail every overdue execution's unfinished sessions; returns count."""
+        now = time.time() if now is None else now
+        with self._lock:
+            overdue = [
+                (token, sessions)
+                for token, (expiry, sessions) in self._inflight.items()
+                if now > expiry
+            ]
+            for token, _sessions in overdue:
+                self._inflight.pop(token, None)
+        failed = 0
+        for _token, sessions in overdue:
+            for session_id, submitted_at in sessions:
+                finished = self.repository.finish(
+                    session_id,
+                    None,
+                    error=(
+                        f"watchdog: worker batch exceeded its "
+                        f"{self.timeout:.1f}s budget (stuck or crashed)"
+                    ),
+                )
+                if finished is not None:
+                    failed += 1
+                    self.metrics.request_finished(
+                        time.time() - submitted_at, failed=True
+                    )
+        if failed:
+            self.metrics.watchdog_failure(failed)
+        return failed
+
+    def run(self) -> None:  # pragma: no cover - exercised via sweep() in tests
+        while not self._stop.wait(self.poll_interval):
+            self.sweep()
+
 
 class CoalescingBatcher:
     """Groups compatible requests into combined kernel passes."""
@@ -53,11 +163,14 @@ class CoalescingBatcher:
         max_wait: float = DEFAULT_MAX_WAIT,
         workers: Optional[int] = None,
         population_cache: Optional[dict] = None,
+        watchdog_timeout: Optional[float] = DEFAULT_WATCHDOG_TIMEOUT,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive (or None to disable)")
         self.repository = repository
         self.metrics = metrics
         self.max_batch = max_batch
@@ -69,6 +182,10 @@ class CoalescingBatcher:
             max_workers=workers if workers is not None else min(4, os.cpu_count() or 1),
             thread_name_prefix="serve-worker",
         )
+        self.watchdog: Optional[_BatchWatchdog] = None
+        if watchdog_timeout is not None:
+            self.watchdog = _BatchWatchdog(repository, metrics, watchdog_timeout)
+            self.watchdog.start()
 
     # -- loop-thread side --------------------------------------------------------
 
@@ -76,6 +193,7 @@ class CoalescingBatcher:
         """Enqueue one accepted request (must run on the loop thread)."""
         if not request_coalesces(request):
             self.metrics.dequeued()
+            self.metrics.queue_wait(time.time() - record.submitted_at)
             self._executor.submit(self._run_solo, request, record)
             return
         self._buffer.append((request, record))
@@ -96,7 +214,10 @@ class CoalescingBatcher:
             self._timer.cancel()
             self._timer = None
         entries, self._buffer = self._buffer, []
+        now = time.time()
         self.metrics.dequeued(len(entries))
+        for _request, record in entries:
+            self.metrics.queue_wait(now - record.submitted_at)
         self._executor.submit(self._run_batch, entries)
 
     async def close(self) -> None:
@@ -106,30 +227,74 @@ class CoalescingBatcher:
         await asyncio.get_running_loop().run_in_executor(
             None, self._executor.shutdown, True
         )
+        if self.watchdog is not None:
+            self.watchdog.stop()
 
     # -- worker-thread side ------------------------------------------------------
 
+    def _finish_entry(
+        self,
+        record: SessionRecord,
+        payload: Optional[dict],
+        error: Optional[str],
+        expired: bool = False,
+    ) -> None:
+        """Terminal bookkeeping for one entry (skipped if already terminal)."""
+        finished = self.repository.finish(
+            record.session_id,
+            payload,
+            error=error,
+            state="expired" if expired else None,
+        )
+        if finished is not None:
+            self.metrics.request_finished(
+                time.time() - record.submitted_at,
+                failed=error is not None and not expired,
+                expired=expired,
+            )
+
     def _run_batch(self, entries: list[tuple[ServeRequest, SessionRecord]]) -> None:
+        # Fail-fast: entries whose latency budget already ran out while they
+        # sat in the coalescing buffer never reach the arena.
+        now = time.time()
+        runnable: list[tuple[ServeRequest, SessionRecord]] = []
+        for request, record in entries:
+            deadline = _deadline_of(request, record)
+            if deadline is not None and now > deadline:
+                self._finish_entry(
+                    record,
+                    None,
+                    "deadline_exceeded: latency budget ran out before "
+                    "execution started (0 negotiation rounds)",
+                    expired=True,
+                )
+            else:
+                runnable.append((request, record))
+        if not runnable:
+            return
+        entries = runnable
         for _request, record in entries:
             self.repository.mark_running(record.session_id)
 
         def progress(index: int, event: dict) -> None:
             self.repository.add_event(entries[index][1].session_id, event)
 
+        token = self.watchdog.register(entries) if self.watchdog is not None else None
         try:
             outcomes, report = execute_batch(
                 [request for request, _record in entries],
                 self.population_cache,
                 progress,
+                deadlines=[_deadline_of(request, record) for request, record in entries],
             )
         except Exception as error:  # defensive: a batch must never vanish
             message = f"{type(error).__name__}: {error}"
             for _request, record in entries:
-                self.repository.finish(record.session_id, None, error=message)
-                self.metrics.request_finished(
-                    time.time() - record.submitted_at, failed=True
-                )
+                self._finish_entry(record, None, message)
             return
+        finally:
+            if token is not None:
+                self.watchdog.clear(token)
         self.metrics.batch_executed(
             coalesced=report.coalesced,
             solo=report.solo,
@@ -137,9 +302,8 @@ class CoalescingBatcher:
             fused_cycles=report.fused_cycles,
         )
         for (_request, record), outcome in zip(entries, outcomes):
-            self.repository.finish(record.session_id, outcome.payload, outcome.error)
-            self.metrics.request_finished(
-                time.time() - record.submitted_at, failed=outcome.error is not None
+            self._finish_entry(
+                record, outcome.payload, outcome.error, expired=outcome.expired
             )
 
     def _run_solo(self, request: ServeRequest, record: SessionRecord) -> None:
@@ -148,9 +312,22 @@ class CoalescingBatcher:
         def progress(_index: int, event: dict) -> None:
             self.repository.add_event(record.session_id, event)
 
-        outcome = run_solo(request, self.population_cache, progress)
+        token = (
+            self.watchdog.register([(request, record)])
+            if self.watchdog is not None
+            else None
+        )
+        try:
+            outcome = run_solo(
+                request,
+                self.population_cache,
+                progress,
+                deadline=_deadline_of(request, record),
+            )
+        finally:
+            if token is not None:
+                self.watchdog.clear(token)
         self.metrics.solo_executed()
-        self.repository.finish(record.session_id, outcome.payload, outcome.error)
-        self.metrics.request_finished(
-            time.time() - record.submitted_at, failed=outcome.error is not None
+        self._finish_entry(
+            record, outcome.payload, outcome.error, expired=outcome.expired
         )

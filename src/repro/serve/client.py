@@ -1,0 +1,359 @@
+"""Self-healing serve client: retries, circuit breaking, stream resume.
+
+:class:`ServeClient` is the stdlib-only counterpart of the server's overload
+semantics.  The server answers honestly under pressure — ``429`` with
+``Retry-After`` when shedding, ``504`` when a result wait times out,
+connection drops when it is killed — and the client turns those answers into
+self-healing behaviour instead of surfacing every transient to the caller:
+
+* **capped jittered-exponential retry** — retryable failures (429, 5xx,
+  connection errors) back off exponentially with full jitter, capped per
+  attempt and in attempt count; a ``429``'s ``Retry-After`` hint overrides
+  the computed backoff floor, so a shedding server is never hammered faster
+  than it asked to be;
+* **circuit breaker** — after ``breaker_threshold`` *consecutive* transport
+  failures the breaker opens and calls fail fast with
+  :class:`CircuitOpenError` for ``breaker_cooldown`` seconds; the first call
+  after the cooldown is the half-open probe, and its success closes the
+  breaker.  A fleet of clients stops stampeding a struggling server within
+  one threshold's worth of attempts;
+* **stream resume** — ``stream()`` yields per-round events; if the
+  connection drops mid-stream, the client reconnects (through the same
+  retry policy) and skips the events it has already yielded — the server
+  replays streams from the start, so the resumed iterator is gapless and
+  duplicate-free.
+
+Everything is ``urllib`` over the server's ``Connection: close`` HTTP/1.1;
+the jitter draws from a seeded :class:`random.Random` so tests are
+deterministic.  The transport is injectable for unit tests.
+
+Not retryable, by design: ``400`` (the request itself is invalid — retrying
+cannot fix it) and ``404`` (the session does not exist).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Iterator, Optional
+
+#: HTTP status codes worth retrying: shedding and transient server errors.
+RETRYABLE_STATUS = frozenset({429, 500, 502, 503, 504})
+
+
+class ServeClientError(RuntimeError):
+    """Base class of the client's failures."""
+
+
+class CircuitOpenError(ServeClientError):
+    """The circuit breaker is open; the call failed fast without a request."""
+
+
+class RetriesExhausted(ServeClientError):
+    """Every retry attempt failed; carries the last underlying failure."""
+
+    def __init__(self, message: str, last_error: Optional[BaseException] = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class RequestFailed(ServeClientError):
+    """A non-retryable HTTP failure (4xx other than 429)."""
+
+    def __init__(self, status: int, body: dict[str, Any]):
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class _Response:
+    """Transport-neutral response: status, headers (lower-cased), body bytes."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict[str, Any]:
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _urllib_transport(
+    url: str, data: Optional[bytes], timeout: float
+) -> _Response:
+    """The default transport: one ``urllib`` request → :class:`_Response`."""
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method="POST" if data is not None else "GET",
+        headers={"Content-Type": "application/json"} if data is not None else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            headers = {k.lower(): v for k, v in response.headers.items()}
+            return _Response(response.status, headers, response.read())
+    except urllib.error.HTTPError as error:
+        headers = {k.lower(): v for k, v in error.headers.items()}
+        return _Response(error.code, headers, error.read())
+
+
+class ServeClient:
+    """A self-healing client for one negotiation server.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the server.
+    max_retries:
+        Retryable-failure budget per logical call (so a call makes at most
+        ``max_retries + 1`` attempts).
+    backoff_base / backoff_cap:
+        Exponential backoff: attempt ``k`` sleeps a uniform draw from
+        ``[0, min(cap, base * 2**k)]`` (full jitter), floored at a ``429``'s
+        ``Retry-After`` when the server supplied one.
+    breaker_threshold / breaker_cooldown:
+        Consecutive transport-level failures that open the circuit, and how
+        long it stays open before the half-open probe.
+    timeout:
+        Per-attempt socket timeout (seconds).
+    rng / sleep / clock / transport:
+        Injectable randomness, sleeper, monotonic clock and transport for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        max_retries: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 10.0,
+        timeout: float = 60.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        transport: Callable[[str, Optional[bytes], float], _Response] = _urllib_transport,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        self.base_url = base_url.rstrip("/")
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.timeout = timeout
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._clock = clock
+        self._transport = transport
+        self._consecutive_failures = 0
+        self._breaker_open_until: Optional[float] = None
+        #: Totals for observability (the overload bench reads these).
+        self.retries_performed = 0
+        self.breaker_trips = 0
+
+    # -- circuit breaker ---------------------------------------------------------
+
+    @property
+    def breaker_open(self) -> bool:
+        return (
+            self._breaker_open_until is not None
+            and self._clock() < self._breaker_open_until
+        )
+
+    def _breaker_gate(self) -> None:
+        if self.breaker_open:
+            raise CircuitOpenError(
+                f"circuit open for another "
+                f"{self._breaker_open_until - self._clock():.2f}s "
+                f"after {self._consecutive_failures} consecutive failures"
+            )
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_threshold:
+            self._breaker_open_until = self._clock() + self.breaker_cooldown
+            self.breaker_trips += 1
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._breaker_open_until = None
+
+    # -- retrying request core ---------------------------------------------------
+
+    def _backoff(self, attempt: int, floor: float = 0.0) -> float:
+        ceiling = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        return max(floor, self._rng.uniform(0.0, ceiling))
+
+    def _request(self, path: str, body: Optional[dict] = None) -> _Response:
+        """One logical call: breaker gate, attempts, jittered backoff."""
+        self._breaker_gate()
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.retries_performed += 1
+            try:
+                response = self._transport(self.base_url + path, data, self.timeout)
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                last_error = error
+                self._record_failure()
+                if self.breaker_open or attempt == self.max_retries:
+                    break
+                self._sleep(self._backoff(attempt))
+                continue
+            if response.status in RETRYABLE_STATUS:
+                last_error = None
+                # A shed (429) or a result-wait expiry (504) is the server
+                # working as designed, not a transport failure: neither
+                # trips the breaker.
+                if response.status not in (429, 504):
+                    self._record_failure()
+                    if self.breaker_open:
+                        break
+                if attempt == self.max_retries:
+                    raise RetriesExhausted(
+                        f"{path}: HTTP {response.status} after "
+                        f"{self.max_retries + 1} attempts: "
+                        f"{response.body[:200].decode('utf-8', 'replace')}"
+                    )
+                floor = 0.0
+                retry_after = response.headers.get("retry-after")
+                if retry_after is not None:
+                    try:
+                        floor = float(retry_after)
+                    except ValueError:
+                        pass
+                self._sleep(self._backoff(attempt, floor=floor))
+                continue
+            if response.status >= 400:
+                self._record_success()  # the server answered; transport is fine
+                raise RequestFailed(response.status, _safe_json(response))
+            self._record_success()
+            return response
+        raise RetriesExhausted(
+            f"{path}: transport failed after {self.max_retries + 1} attempts: "
+            f"{last_error}",
+            last_error=last_error,
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def submit(self, body: dict[str, Any]) -> dict[str, Any]:
+        """POST the request body; returns the 202 acceptance document.
+
+        Retries through shedding: a ``429`` backs off (honouring
+        ``Retry-After``) and resubmits, so a caller that can wait rides out
+        an overload instead of handling it.
+        """
+        return self._request("/submit", body=body).json()
+
+    def status(self, session_id: str) -> dict[str, Any]:
+        return self._request(f"/status/{session_id}").json()
+
+    def health(self) -> dict[str, Any]:
+        return self._request("/healthz").json()
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("/metrics").json()
+
+    def result(
+        self,
+        session_id: str,
+        wait: bool = True,
+        wait_timeout: Optional[float] = None,
+        overall_timeout: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Fetch a session's terminal record, riding out 504 wait expiries.
+
+        With ``wait=True`` the server blocks up to its own cap per request;
+        each ``504`` (still running — not a failure) re-enters the wait until
+        ``overall_timeout`` elapses.  Returns the ``/result`` body.
+        """
+        deadline = (
+            self._clock() + overall_timeout if overall_timeout is not None else None
+        )
+        while True:
+            suffix = ""
+            if wait:
+                suffix = "?wait=1"
+                if wait_timeout is not None:
+                    suffix += f"&timeout={wait_timeout}"
+            try:
+                return self._request(f"/result/{session_id}{suffix}").json()
+            except RetriesExhausted:
+                if not wait:
+                    raise
+                if deadline is not None and self._clock() >= deadline:
+                    raise
+                # 504s exhausted the per-call budget but the session is still
+                # making progress server-side; keep waiting until our own
+                # overall deadline says otherwise.
+                continue
+
+    def stream(self, session_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the session's NDJSON events, resuming across disconnects.
+
+        The server replays every stream from the first event, so after a
+        disconnect the client reconnects and silently skips the ``seen``
+        prefix — the caller observes one gapless, duplicate-free sequence
+        ending with the ``done`` event.
+        """
+        seen = 0
+        attempt = 0
+        while True:
+            self._breaker_gate()
+            try:
+                # `index` is the event's position within THIS connection;
+                # the first `seen` positions are the already-yielded prefix
+                # the server replays on reconnect.
+                for index, event in enumerate(self._stream_once(session_id)):
+                    if index < seen:
+                        continue
+                    seen += 1
+                    yield event
+                    if event.get("event") == "done":
+                        return
+                # Stream ended without a done event: treat as a disconnect.
+                raise ConnectionError("stream closed before the done event")
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                self._record_failure()
+                if attempt >= self.max_retries:
+                    raise RetriesExhausted(
+                        f"/stream/{session_id}: disconnected after "
+                        f"{attempt + 1} attempts: {error}",
+                        last_error=error,
+                    )
+                self.retries_performed += 1
+                self._sleep(self._backoff(attempt))
+                attempt += 1
+
+    def _stream_once(self, session_id: str) -> Iterator[dict[str, Any]]:
+        """One streaming connection; line-by-line, raising on disconnect."""
+        request = urllib.request.Request(
+            f"{self.base_url}/stream/{session_id}", method="GET"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            if response.status != 200:
+                raise RequestFailed(
+                    response.status, {"error": "stream rejected"}
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    self._record_success()
+                    yield json.loads(line)
+
+
+def _safe_json(response: _Response) -> dict[str, Any]:
+    try:
+        return response.json()
+    except (ValueError, UnicodeDecodeError):
+        return {"error": response.body[:200].decode("utf-8", "replace")}

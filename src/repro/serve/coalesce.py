@@ -24,8 +24,9 @@ Everything here is synchronous and asyncio-free; the server's
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.agents.vectorized import VectorizedPopulation
 from repro.api.engine import _fast_path_qualifies, run as _engine_run
@@ -99,6 +100,8 @@ class _Member:
     session: _CoalescedMemberSession
     row_start: int = 0
     row_stop: int = 0
+    #: Absolute epoch deadline (``time.time`` scale) or ``None``.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -128,11 +131,26 @@ class BatchReport:
 
 @dataclass
 class BatchOutcome:
-    """Per-request outcome: a result payload or an error message."""
+    """Per-request outcome: a result payload or an error message.
+
+    ``expired`` marks a member terminated because its ``deadline_ms`` budget
+    ran out (the error message carries the partial progress); the session
+    record lands in the ``expired`` terminal state rather than ``failed``.
+    """
 
     payload: Optional[dict[str, Any]] = None
     error: Optional[str] = None
+    expired: bool = False
     events: list = field(default_factory=list)
+
+
+def _expire(outcome: BatchOutcome, rounds_completed: int) -> None:
+    """Terminate one member's outcome with a partial-progress deadline error."""
+    outcome.expired = True
+    outcome.error = (
+        f"deadline_exceeded: latency budget ran out after "
+        f"{rounds_completed} negotiation round(s)"
+    )
 
 
 def _emit(
@@ -172,15 +190,23 @@ def run_solo(
     population_cache: Optional[dict] = None,
     progress: Optional[ProgressCallback] = None,
     index: int = 0,
+    deadline: Optional[float] = None,
 ) -> BatchOutcome:
     """Run one request outside the coalescer, on the backend it pinned.
 
     The object path streams per-round progress straight off the message
     bus's thread-safe :meth:`~repro.runtime.messaging.MessageBus
     .counters_snapshot` (evaluated between simulation rounds); the other solo
-    backends report progress only at completion.
+    backends report progress only at completion.  A request whose absolute
+    ``deadline`` has already passed fails fast with a ``deadline_exceeded``
+    outcome instead of starting the negotiation (solo runs are
+    run-to-completion once started; the batch watchdog covers the stuck
+    case).
     """
     outcome = BatchOutcome()
+    if deadline is not None and time.time() > deadline:
+        _expire(outcome, 0)
+        return outcome
     try:
         scenario = request.scenario.build_scenario(population_cache)
         config = request.config
@@ -215,6 +241,7 @@ def execute_batch(
     requests: list[ServeRequest],
     population_cache: Optional[dict] = None,
     progress: Optional[ProgressCallback] = None,
+    deadlines: Optional[Sequence[Optional[float]]] = None,
 ) -> tuple[list[BatchOutcome], BatchReport]:
     """Run a batch of compatible requests as one coalesced kernel pass.
 
@@ -225,15 +252,31 @@ def execute_batch(
     fast path — or whose populations cannot share an arena (requirement-grid
     mismatch) — are demoted to :func:`run_solo` rather than rejected.
 
+    ``deadlines`` (absolute ``time.time`` epochs, one per request, ``None``
+    for no budget) propagates each member's latency budget into the lockstep
+    drive: a member whose deadline has already passed never starts (fail-fast
+    ``deadline_exceeded``), and one that runs out mid-negotiation is
+    terminated between rounds with its partial progress recorded while the
+    rest of the batch keeps negotiating — one slow member never stalls its
+    batch-mates.  Terminating a member does not perturb the others: every
+    kernel is per-row, so the survivors' arithmetic is unchanged.
+
     Returns one :class:`BatchOutcome` per request (same order) plus the
     :class:`BatchReport` accounting used by the ``/metrics`` endpoint and the
     serving benchmark.
     """
     report = BatchReport()
     outcomes = [BatchOutcome() for _ in requests]
+    deadline_list: list[Optional[float]] = (
+        list(deadlines) if deadlines is not None else [None] * len(requests)
+    )
     members: list[_Member] = []
     solo_indices: list[int] = []
     for index, request in enumerate(requests):
+        deadline = deadline_list[index]
+        if deadline is not None and time.time() > deadline:
+            _expire(outcomes[index], 0)
+            continue
         try:
             scenario = request.scenario.build_scenario(population_cache)
             qualifies, _reason = _fast_path_qualifies(scenario, request.config)
@@ -243,7 +286,11 @@ def execute_batch(
             session = _CoalescedMemberSession(
                 scenario, **request.config.fast_session_kwargs()
             )
-            members.append(_Member(index=index, request=request, session=session))
+            members.append(
+                _Member(
+                    index=index, request=request, session=session, deadline=deadline
+                )
+            )
         except Exception as error:
             outcomes[index].error = f"{type(error).__name__}: {error}"
 
@@ -308,6 +355,13 @@ def execute_batch(
                     report.fused_cycles += 1
             still_active: list[_Member] = []
             for member in active:
+                if member.deadline is not None and time.time() > member.deadline:
+                    # Budget ran out between rounds: terminate this member
+                    # with partial progress; its batch-mates keep going.
+                    _expire(
+                        outcomes[member.index], member.session.rounds_completed()
+                    )
+                    continue
                 try:
                     if member.session.phase == "exchange":
                         member.session.step_exchange()
@@ -335,7 +389,11 @@ def execute_batch(
     # -- solo stragglers --------------------------------------------------------
     for index in solo_indices:
         outcomes[index] = run_solo(
-            requests[index], population_cache, progress=progress, index=index
+            requests[index],
+            population_cache,
+            progress=progress,
+            index=index,
+            deadline=deadline_list[index],
         )
         report.solo += 1
     return outcomes, report

@@ -1,14 +1,32 @@
-"""Serving metrics: queue depth, batch occupancy, kernel passes, latency.
+"""Serving metrics: queue depth, admission, batch occupancy, latency.
 
 One :class:`ServeMetrics` instance per server.  Writers are the batcher's
-worker threads and the submit handler; the reader is the ``/metrics``
-endpoint.  All mutation happens under one lock — the counters are touched a
-handful of times per *batch* (not per household or per round), so contention
-is irrelevant next to the negotiation work itself.
+worker threads, the watchdog and the submit handler; the reader is the
+``/metrics`` endpoint.  All mutation happens under one lock — the counters
+are touched a handful of times per *batch* (not per household or per round),
+so contention is irrelevant next to the negotiation work itself.
 
-Latency quantiles come from a bounded reservoir of the most recent completed
-request latencies (enough for a serving session's p50/p95 without unbounded
-growth on long-lived servers).
+Latency and queue-wait quantiles come from bounded reservoirs of the most
+recent observations (enough for a serving session's p50/p95/p99 without
+unbounded growth on long-lived servers).
+
+The overload-facing counters added with admission control:
+
+``requests_admitted`` / ``requests_shed``
+    How submissions split at the admission gate; ``shed_reasons`` breaks the
+    sheds down by machine-readable reason (``queue_full``/``rate_limited``).
+``queue_wait_seconds``
+    p50/p95/p99 of the time admitted requests spent queued before a worker
+    picked them up — the number the admission bound exists to keep flat.
+``deadline_exceeded_total``
+    Requests that terminated because their ``deadline_ms`` budget ran out.
+``watchdog_failures``
+    Sessions failed by the batch watchdog because their worker batch got
+    stuck or crashed without reporting.
+``queue_depth_underflows``
+    Times the queue-depth gauge would have gone negative.  The gauge is
+    clamped at zero either way, but a nonzero underflow count means the
+    submit/dequeue accounting has a bug — visible instead of silently hidden.
 """
 
 from __future__ import annotations
@@ -16,7 +34,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-#: Completed-request latencies retained for the quantile estimates.
+#: Completed-request latencies / queue waits retained for the quantiles.
 _LATENCY_RESERVOIR = 1024
 
 
@@ -34,9 +52,15 @@ class ServeMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._submitted = 0
+        self._admitted = 0
+        self._shed = 0
+        self._shed_reasons: dict[str, int] = {}
         self._completed = 0
         self._failed = 0
+        self._deadline_exceeded = 0
+        self._watchdog_failures = 0
         self._queue_depth = 0
+        self._queue_depth_underflows = 0
         #: Coalesced combined-arena executions (one per flushed batch).
         self._kernel_passes = 0
         #: Requests that ran outside the coalescer.
@@ -46,17 +70,39 @@ class ServeMetrics:
         self._fused_cycles = 0
         self._cycles = 0
         self._latencies: list[float] = []
+        self._queue_waits: list[float] = []
 
     # -- writers -----------------------------------------------------------------
 
     def submitted(self) -> None:
+        """One valid submission admitted into the queue (legacy single call)."""
+        self.admitted()
+
+    def admitted(self) -> None:
         with self._lock:
             self._submitted += 1
+            self._admitted += 1
             self._queue_depth += 1
+
+    def shed(self, reason: str) -> None:
+        """One valid submission rejected at the admission gate (HTTP 429)."""
+        with self._lock:
+            self._submitted += 1
+            self._shed += 1
+            self._shed_reasons[reason] = self._shed_reasons.get(reason, 0) + 1
 
     def dequeued(self, count: int = 1) -> None:
         with self._lock:
+            if count > self._queue_depth:
+                self._queue_depth_underflows += 1
             self._queue_depth = max(0, self._queue_depth - count)
+
+    def queue_wait(self, seconds: float) -> None:
+        """Record how long one admitted request waited before execution."""
+        with self._lock:
+            self._queue_waits.append(max(0.0, seconds))
+            if len(self._queue_waits) > _LATENCY_RESERVOIR:
+                del self._queue_waits[: len(self._queue_waits) - _LATENCY_RESERVOIR]
 
     def batch_executed(self, coalesced: int, solo: int, cycles: int, fused_cycles: int) -> None:
         """Record one :func:`~repro.serve.coalesce.execute_batch` call."""
@@ -73,15 +119,28 @@ class ServeMetrics:
         with self._lock:
             self._solo_passes += 1
 
-    def request_finished(self, latency_seconds: float, failed: bool = False) -> None:
+    def request_finished(
+        self,
+        latency_seconds: float,
+        failed: bool = False,
+        expired: bool = False,
+    ) -> None:
         with self._lock:
-            if failed:
+            if expired:
+                self._deadline_exceeded += 1
+                self._failed += 1
+            elif failed:
                 self._failed += 1
             else:
                 self._completed += 1
             self._latencies.append(latency_seconds)
             if len(self._latencies) > _LATENCY_RESERVOIR:
                 del self._latencies[: len(self._latencies) - _LATENCY_RESERVOIR]
+
+    def watchdog_failure(self, count: int = 1) -> None:
+        """Record sessions failed by the stuck-batch watchdog."""
+        with self._lock:
+            self._watchdog_failures += count
 
     # -- reader ------------------------------------------------------------------
 
@@ -90,11 +149,18 @@ class ServeMetrics:
         with self._lock:
             sizes = list(self._batch_sizes)
             latencies = sorted(self._latencies)
+            queue_waits = sorted(self._queue_waits)
             snapshot = {
                 "requests_submitted": self._submitted,
+                "requests_admitted": self._admitted,
+                "requests_shed": self._shed,
+                "shed_reasons": dict(self._shed_reasons),
                 "requests_completed": self._completed,
                 "requests_failed": self._failed,
+                "deadline_exceeded_total": self._deadline_exceeded,
+                "watchdog_failures": self._watchdog_failures,
                 "queue_depth": self._queue_depth,
+                "queue_depth_underflows": self._queue_depth_underflows,
                 "kernel_passes": self._kernel_passes,
                 "solo_passes": self._solo_passes,
                 "lockstep_cycles": self._cycles,
@@ -109,5 +175,11 @@ class ServeMetrics:
             "p50": _quantile(latencies, 0.50),
             "p95": _quantile(latencies, 0.95),
             "count": len(latencies),
+        }
+        snapshot["queue_wait_seconds"] = {
+            "p50": _quantile(queue_waits, 0.50),
+            "p95": _quantile(queue_waits, 0.95),
+            "p99": _quantile(queue_waits, 0.99),
+            "count": len(queue_waits),
         }
         return snapshot

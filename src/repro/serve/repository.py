@@ -1,20 +1,34 @@
 """Session repository: the server's in-memory + on-disk request store.
 
 Every submitted request becomes a :class:`SessionRecord` with a lifecycle of
-``queued → running → done | failed``.  Progress events accumulate on the
-record and fan out to streaming subscribers; terminal records are persisted
-as JSON under the server's state directory using the same atomic-write
-pattern as :class:`~repro.core.checkpoint.CampaignCheckpoint` (temp file +
-:func:`os.replace`), so a crash mid-write never leaves a truncated result on
-disk.  On startup the repository re-loads every persisted session, so
-``/result/<id>`` keeps answering across server restarts.
+``queued → running → done | failed | expired``.  Progress events accumulate
+on the record and fan out to streaming subscribers; terminal records are
+persisted as JSON under the server's state directory using the same
+atomic-write pattern as :class:`~repro.core.checkpoint.CampaignCheckpoint`
+(temp file + :func:`os.replace`), so a crash mid-write never leaves a
+truncated result on disk.  On startup the repository re-loads every persisted
+session, so ``/result/<id>`` keeps answering across server restarts.
+
+**In-flight journal.**  Accepting a request and finishing it are separated by
+the whole negotiation; a server killed in between would otherwise silently
+lose the accepted session.  With a state directory configured, every
+acceptance appends one fsynced line to an append-only journal
+(``journal.ndjson``) *before* the 202 is sent, and every terminal transition
+appends a matching ``finish`` line.  On startup, journaled acceptances
+without a terminal record are resurrected as ``queued`` records and handed
+back to the server for deterministic re-execution — same request, same
+seeds, bit-identical result to an uninterrupted run (the engine is
+deterministic given the request).  The journal is compacted on load so it
+only ever carries the current in-flight tail, not the server's full history.
 
 The repository is written for exactly one writer topology: worker threads
 mutate records (under one lock) while the asyncio server thread reads and
 subscribes.  Streaming subscribers are ``asyncio.Queue`` objects bound to the
 server's loop; mutations from worker threads are marshalled onto the loop
 with :meth:`asyncio.loop.call_soon_threadsafe`, so queue operations only ever
-happen on the loop thread.
+happen on the loop thread.  ``finish`` is idempotent: the first terminal
+transition wins, later calls (a watchdog-failed batch completing anyway) are
+ignored and return ``None``.
 """
 
 from __future__ import annotations
@@ -26,12 +40,14 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 #: Sentinel closing a subscriber's event stream.
 STREAM_END = None
 
-_TERMINAL_STATES = ("done", "failed")
+_TERMINAL_STATES = ("done", "failed", "expired")
+
+_JOURNAL_NAME = "journal.ndjson"
 
 
 @dataclass
@@ -47,8 +63,14 @@ class SessionRecord:
     events: list[dict[str, Any]] = field(default_factory=list)
     payload: Optional[dict[str, Any]] = None
     error: Optional[str] = None
+    #: Whether this record was resurrected from the in-flight journal.
+    recovered: bool = False
     #: Live subscriber queues (loop thread only; not persisted).
     subscribers: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL_STATES
 
     def status_view(self) -> dict[str, Any]:
         """The ``/status`` body: lifecycle + progress, without the payload."""
@@ -69,6 +91,8 @@ class SessionRecord:
         }
         if self.error is not None:
             view["error"] = self.error
+        if self.recovered:
+            view["recovered"] = True
         return view
 
     def result_view(self) -> dict[str, Any]:
@@ -109,15 +133,24 @@ class SessionRepository:
         self._records: dict[str, SessionRecord] = {}
         self._state_dir = os.fspath(state_dir) if state_dir is not None else None
         self.loop = loop
+        self._journal_handle = None
+        self._finish_listeners: list[Callable[[SessionRecord], None]] = []
+        #: Session ids resurrected from the journal, in acceptance order.
+        self._recovered_ids: list[str] = []
         if self._state_dir is not None:
             os.makedirs(self._state_dir, exist_ok=True)
             self._load_persisted()
+            self._load_and_compact_journal()
 
     # -- persistence -------------------------------------------------------------
 
     def _session_path(self, session_id: str) -> str:
         assert self._state_dir is not None
         return os.path.join(self._state_dir, f"{session_id}.json")
+
+    def _journal_path(self) -> str:
+        assert self._state_dir is not None
+        return os.path.join(self._state_dir, _JOURNAL_NAME)
 
     def _load_persisted(self) -> None:
         for name in sorted(os.listdir(self._state_dir)):
@@ -142,6 +175,75 @@ class SessionRepository:
                 error=document.get("error"),
             )
 
+    def _load_and_compact_journal(self) -> None:
+        """Replay the journal, resurrect unfinished sessions, drop the rest."""
+        path = self._journal_path()
+        accepted: dict[str, dict[str, Any]] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail line from a crash mid-append
+                    session_id = entry.get("session_id")
+                    if not session_id:
+                        continue
+                    if entry.get("op") == "accept":
+                        accepted[session_id] = entry
+                    elif entry.get("op") == "finish":
+                        accepted.pop(session_id, None)
+        except OSError:
+            pass  # no journal yet
+        for session_id, entry in accepted.items():
+            existing = self._records.get(session_id)
+            if existing is not None and existing.terminal:
+                continue  # finished and persisted, just missing its finish line
+            self._records[session_id] = SessionRecord(
+                session_id=session_id,
+                request=entry.get("request", {}),
+                state="queued",
+                submitted_at=entry.get("submitted_at", 0.0),
+                recovered=True,
+            )
+            self._recovered_ids.append(session_id)
+        # Compact: rewrite only the still-in-flight acceptances, atomically,
+        # then keep one append handle open for the server's lifetime.
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for session_id in self._recovered_ids:
+                record = self._records[session_id]
+                handle.write(
+                    json.dumps(
+                        {
+                            "op": "accept",
+                            "session_id": session_id,
+                            "submitted_at": record.submitted_at,
+                            "request": record.request,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    def _journal_append(self, entry: dict[str, Any]) -> None:
+        """Append one fsynced line to the in-flight journal (lock held)."""
+        if self._state_dir is None:
+            return
+        if self._journal_handle is None:
+            self._journal_handle = open(
+                self._journal_path(), "a", encoding="utf-8"
+            )
+        self._journal_handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
+
     def _persist(self, record: SessionRecord) -> None:
         if self._state_dir is None:
             return
@@ -149,7 +251,29 @@ class SessionRepository:
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(record.persistable(), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+
+    def close(self) -> None:
+        """Release the journal handle (safe to call repeatedly)."""
+        with self._lock:
+            if self._journal_handle is not None:
+                self._journal_handle.close()
+                self._journal_handle = None
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recovered_sessions(self) -> list[SessionRecord]:
+        """Journaled accepted-but-unfinished sessions, in acceptance order.
+
+        The server re-submits these to its batcher on startup; re-running
+        them is deterministic (the journal carries the full validated
+        request, seeds included), so the eventual result is bit-identical to
+        what the killed server would have produced.
+        """
+        with self._lock:
+            return [self._records[sid] for sid in self._recovered_ids]
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -161,6 +285,14 @@ class SessionRepository:
         )
         with self._lock:
             self._records[record.session_id] = record
+            self._journal_append(
+                {
+                    "op": "accept",
+                    "session_id": record.session_id,
+                    "submitted_at": record.submitted_at,
+                    "request": request_description,
+                }
+            )
         return record
 
     def get(self, session_id: str) -> Optional[SessionRecord]:
@@ -171,37 +303,75 @@ class SessionRepository:
         with self._lock:
             return sorted(self._records)
 
-    def mark_running(self, session_id: str) -> None:
+    def mark_running(self, session_id: str) -> bool:
+        """Transition to ``running``; ``False`` if already terminal."""
         with self._lock:
             record = self._records[session_id]
+            if record.terminal:
+                return False
             record.state = "running"
             record.started_at = time.time()
+            return True
 
     def add_event(self, session_id: str, event: dict[str, Any]) -> None:
         """Append a progress event and fan it out to live subscribers."""
         with self._lock:
             record = self._records[session_id]
+            if record.terminal:
+                return  # late event from a watchdog-failed batch
             record.events.append(event)
             subscribers = list(record.subscribers)
         self._notify(subscribers, event)
+
+    def add_finish_listener(
+        self, listener: Callable[[SessionRecord], None]
+    ) -> None:
+        """Register a callback invoked once per *fresh* terminal transition.
+
+        Listeners run on whichever thread performed the transition (worker or
+        watchdog) and must be quick and exception-free; the admission
+        controller's slot release is the intended use.
+        """
+        self._finish_listeners.append(listener)
 
     def finish(
         self,
         session_id: str,
         payload: Optional[dict[str, Any]],
         error: Optional[str] = None,
-    ) -> SessionRecord:
-        """Move a record to its terminal state, persist it, close streams."""
+        state: Optional[str] = None,
+    ) -> Optional[SessionRecord]:
+        """Move a record to its terminal state, persist it, close streams.
+
+        ``state`` overrides the default ``done``/``failed`` mapping (the
+        deadline path passes ``"expired"``).  Idempotent: if the record is
+        already terminal — e.g. the watchdog failed it and the worker batch
+        completed afterwards — nothing changes and ``None`` is returned so
+        callers skip their per-completion accounting.
+        """
         with self._lock:
             record = self._records[session_id]
-            record.state = "failed" if error is not None else "done"
+            if record.terminal:
+                return None
+            if state is not None:
+                if state not in _TERMINAL_STATES:
+                    raise ValueError(
+                        f"finish state must be one of {_TERMINAL_STATES}, got {state!r}"
+                    )
+                record.state = state
+            else:
+                record.state = "failed" if error is not None else "done"
             record.payload = payload
             record.error = error
             record.finished_at = time.time()
             subscribers = list(record.subscribers)
             record.subscribers.clear()
         self._persist(record)
+        with self._lock:
+            self._journal_append({"op": "finish", "session_id": session_id})
         self._notify(subscribers, STREAM_END)
+        for listener in self._finish_listeners:
+            listener(record)
         return record
 
     # -- streaming ---------------------------------------------------------------
@@ -225,8 +395,15 @@ class SessionRepository:
             if record is None:
                 return None
             past = list(record.events)
-            if record.state in _TERMINAL_STATES:
+            if record.terminal:
                 return past, None
             queue: asyncio.Queue = asyncio.Queue()
             record.subscribers.append(queue)
             return past, queue
+
+    def unsubscribe(self, session_id: str, queue: Any) -> None:
+        """Detach a subscriber queue (a ``?wait`` that timed out)."""
+        with self._lock:
+            record = self._records.get(session_id)
+            if record is not None and queue in record.subscribers:
+                record.subscribers.remove(queue)

@@ -67,7 +67,7 @@ _CONFIG_KEYS = {
     "shards", "shard_threshold", "fault_plan",
 }
 _FAULT_PLAN_KEYS = {field.name for field in dataclasses.fields(FaultPlan)}
-_TOP_LEVEL_KEYS = {"scenario", "config", "backend"}
+_TOP_LEVEL_KEYS = {"scenario", "config", "backend", "deadline_ms"}
 
 #: ``NegotiationResult.metadata`` keys that are part of the canonical
 #: payload.  Keys outside the whitelist (``backend_rejections`` diagnostics,
@@ -281,17 +281,37 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One validated negotiation request: scenario spec + engine config + backend."""
+    """One validated negotiation request: scenario spec + engine config + backend.
+
+    ``deadline_ms`` is the caller's *latency budget* in milliseconds, counted
+    from the moment the server admits the request.  A request whose budget
+    runs out before execution starts is failed fast with a
+    ``deadline_exceeded`` record; one that exceeds it mid-negotiation is
+    terminated between rounds with partial progress recorded.  The deadline
+    bounds *waiting*, not the negotiation arithmetic — an admitted request
+    that finishes in budget is bit-identical to an undeadlined one.
+    """
 
     scenario: ScenarioSpec
     config: EngineConfig
     backend: str = "auto"
+    deadline_ms: Optional[int] = None
 
     @classmethod
     def from_mapping(cls, raw: Any) -> "ServeRequest":
         """Parse and validate a decoded JSON request body."""
         mapping = _require_mapping(raw, "the request body")
         _reject_unknown_keys(mapping, _TOP_LEVEL_KEYS, "request")
+        deadline_ms: Optional[int] = None
+        if mapping.get("deadline_ms") is not None:
+            try:
+                deadline_ms = int(mapping["deadline_ms"])
+            except (TypeError, ValueError):
+                raise RequestValidationError(
+                    '"deadline_ms" must be an integer millisecond budget'
+                ) from None
+            if deadline_ms <= 0:
+                raise RequestValidationError('"deadline_ms" must be positive')
         scenario = ScenarioSpec.from_mapping(mapping.get("scenario"))
         config_raw = _require_mapping(mapping.get("config"), '"config"')
         _reject_unknown_keys(config_raw, _CONFIG_KEYS, '"config"')
@@ -313,21 +333,50 @@ class ServeRequest:
         except (TypeError, ValueError) as error:
             raise RequestValidationError(f'invalid "config": {error}') from None
         backend = validate_serve_backend(str(mapping.get("backend", "auto")))
-        return cls(scenario=scenario, config=config, backend=backend)
+        return cls(
+            scenario=scenario,
+            config=config,
+            backend=backend,
+            deadline_ms=deadline_ms,
+        )
+
+    def without_deadline(self) -> "ServeRequest":
+        """This request with the latency budget stripped.
+
+        Journal replay re-runs accepted-but-unfinished sessions after a
+        restart; their original budgets have long passed, and the journal
+        contract is a bit-identical *result*, so the replayed run is
+        undeadlined.
+        """
+        if self.deadline_ms is None:
+            return self
+        return dataclasses.replace(self, deadline_ms=None)
 
     def describe(self) -> dict[str, Any]:
-        """A JSON-safe echo of the request (stored on the session record)."""
+        """A JSON-safe echo of the request (stored on the session record).
+
+        The echo re-parses through :meth:`from_mapping` to an equal request —
+        the in-flight journal replays accepted sessions from it after a
+        restart — so the paper family omits the synthetic-population knobs
+        its validation rejects.
+        """
         scenario = {
             key: value
             for key, value in dataclasses.asdict(self.scenario).items()
             if value is not None
         }
+        if self.scenario.family == "paper":
+            for key in ("households", "seed", "cold_snap", "planning"):
+                scenario.pop(key, None)
         config = dataclasses.asdict(self.config)
         fault_plan = config.pop("fault_plan", None)
         config = {key: value for key, value in config.items() if key in _CONFIG_KEYS}
         if fault_plan is not None:
             config["fault_plan"] = fault_plan
-        return {"scenario": scenario, "config": config, "backend": self.backend}
+        description = {"scenario": scenario, "config": config, "backend": self.backend}
+        if self.deadline_ms is not None:
+            description["deadline_ms"] = self.deadline_ms
+        return description
 
 
 def result_payload(result: NegotiationResult) -> dict[str, Any]:

@@ -12,23 +12,33 @@ Endpoints
 =============================  =====================================================
 ``POST /submit``               Enqueue a negotiation request → ``202`` with the
                                session id.  Invalid requests fail with ``400``
-                               and the validation message.
+                               and the validation message; requests shed by
+                               admission control fail with ``429``, a
+                               ``Retry-After`` header and a machine-readable
+                               reason (``queue_full`` / ``rate_limited``).
 ``GET /status/<id>``           Lifecycle + progress (no result payload).
 ``GET /result/<id>``           Terminal record with the result payload;
-                               ``?wait=1`` blocks until the session finishes.
+                               ``?wait=1`` blocks until the session finishes
+                               or the (server-capped) ``timeout=`` seconds
+                               elapse — expiry answers ``504`` with the
+                               session's current status.
 ``GET /stream/<id>``           Newline-delimited JSON: every per-round progress
                                event (replayed from the start, then live),
                                terminated by ``{"event": "done", ...}`` carrying
                                the result payload.
-``GET /metrics``               Serving counters (queue depth, batch occupancy,
-                               kernel passes, latency quantiles).
+``GET /metrics``               Serving counters (queue depth, admission/shed
+                               counters, queue-wait and latency quantiles,
+                               batch occupancy, kernel passes).
 ``GET /healthz``               Liveness probe.
 =============================  =====================================================
 
 The server owns one :class:`~repro.serve.repository.SessionRepository`, one
-:class:`~repro.serve.metrics.ServeMetrics` and one
+:class:`~repro.serve.metrics.ServeMetrics`, one
+:class:`~repro.serve.admission.AdmissionController` and one
 :class:`~repro.serve.batcher.CoalescingBatcher`; all request handling runs on
 one asyncio loop while negotiations execute on the batcher's worker threads.
+On startup, accepted-but-unfinished sessions found in the state directory's
+in-flight journal are re-submitted for deterministic re-execution.
 :class:`ServerThread` hosts the whole stack on a background thread for tests
 and benchmarks.
 """
@@ -36,22 +46,30 @@ and benchmarks.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
+import math
 import threading
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.serve.admission import AdmissionController
 from repro.serve.batcher import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT,
+    DEFAULT_WATCHDOG_TIMEOUT,
     CoalescingBatcher,
 )
 from repro.serve.metrics import ServeMetrics
-from repro.serve.repository import STREAM_END, SessionRepository
+from repro.serve.repository import STREAM_END, SessionRecord, SessionRepository
 from repro.serve.schemas import RequestValidationError, ServeRequest
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8731
+
+#: Server-side cap (seconds) on ``GET /result/<id>?wait=1`` blocking; the
+#: ``timeout=`` query parameter can only shorten it.
+DEFAULT_RESULT_WAIT_CAP = 300.0
 
 _STATUS_TEXT = {
     200: "OK",
@@ -59,16 +77,24 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    504: "Gateway Timeout",
 }
 
 
-def _json_response(status: int, body: dict[str, Any]) -> bytes:
+def _json_response(
+    status: int,
+    body: dict[str, Any],
+    headers: Optional[dict[str, str]] = None,
+) -> bytes:
     payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(payload)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     ).encode("ascii")
     return head + payload
@@ -85,6 +111,12 @@ class NegotiationServer:
         max_wait: float = DEFAULT_MAX_WAIT,
         workers: Optional[int] = None,
         state_dir: Optional[str] = None,
+        max_queue: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[int] = None,
+        default_deadline_ms: Optional[int] = None,
+        watchdog_timeout: Optional[float] = DEFAULT_WATCHDOG_TIMEOUT,
+        result_wait_cap: float = DEFAULT_RESULT_WAIT_CAP,
     ) -> None:
         self.host = host
         self.port = port
@@ -92,28 +124,77 @@ class NegotiationServer:
         self.max_wait = max_wait
         self.workers = workers
         self.state_dir = state_dir
+        self.max_queue = max_queue
+        self.rate_limit = rate_limit
+        self.burst = burst
+        self.default_deadline_ms = default_deadline_ms
+        self.watchdog_timeout = watchdog_timeout
+        if result_wait_cap <= 0:
+            raise ValueError("result_wait_cap must be positive")
+        self.result_wait_cap = result_wait_cap
         self.repository: Optional[SessionRepository] = None
         self.metrics: Optional[ServeMetrics] = None
+        self.admission: Optional[AdmissionController] = None
         self.batcher: Optional[CoalescingBatcher] = None
         self._server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listening socket and build the serving stack."""
+        """Bind the listening socket, build the serving stack, replay journal."""
         loop = asyncio.get_running_loop()
         self.repository = SessionRepository(self.state_dir, loop=loop)
         self.metrics = ServeMetrics()
+        self.admission = AdmissionController(
+            max_queue=self.max_queue,
+            rate_limit=self.rate_limit,
+            burst=self.burst,
+        )
+        self.repository.add_finish_listener(self._on_session_finished)
         self.batcher = CoalescingBatcher(
             self.repository,
             self.metrics,
             max_batch=self.max_batch,
             max_wait=self.max_wait,
             workers=self.workers,
+            watchdog_timeout=self.watchdog_timeout,
         )
+        self._replay_journaled_sessions()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         # With port 0 the OS picks; publish the bound port for clients.
         self.port = self._server.sockets[0].getsockname()[1]
+
+    def _on_session_finished(self, record: SessionRecord) -> None:
+        """Finish listener: return the admission slot, feed the retry hint."""
+        busy = None
+        if record.finished_at is not None and record.submitted_at:
+            busy = record.finished_at - record.submitted_at
+        self.admission.release(busy)
+
+    def _replay_journaled_sessions(self) -> None:
+        """Re-run accepted-but-unfinished sessions from the in-flight journal.
+
+        Each journaled request re-validates from its stored echo and re-enters
+        the batcher under its original session id, so ``GET /result/<id>``
+        eventually answers with a payload bit-identical to what an
+        uninterrupted run would have produced (the engine is deterministic
+        given the request).  Latency budgets are stripped — they bounded the
+        original caller's wait, not the recovery.  Replayed sessions take
+        admission slots unconditionally: they were admitted once already.
+        """
+        for record in self.repository.recovered_sessions():
+            try:
+                request = ServeRequest.from_mapping(record.request).without_deadline()
+            except RequestValidationError as error:
+                self.repository.finish(
+                    record.session_id,
+                    None,
+                    error=f"journal replay failed validation: {error}",
+                )
+                continue
+            self.admission.force_admit()
+            self.metrics.admitted()
+            self.batcher.submit(request, record)
 
     @property
     def base_url(self) -> str:
@@ -125,6 +206,8 @@ class NegotiationServer:
             await self._server.wait_closed()
         if self.batcher is not None:
             await self.batcher.close()
+        if self.repository is not None:
+            self.repository.close()
 
     async def run_forever(self) -> None:
         await self.start()
@@ -193,7 +276,13 @@ class NegotiationServer:
             writer.write(_json_response(200, {"status": "ok"}))
             return
         if path == "/metrics":
-            writer.write(_json_response(200, self.metrics.snapshot()))
+            snapshot = self.metrics.snapshot()
+            snapshot["admission"] = {
+                "in_flight": self.admission.in_flight,
+                "max_queue": self.admission.max_queue,
+                "rate_limit": self.rate_limit,
+            }
+            writer.write(_json_response(200, snapshot))
             return
         for prefix, handler in (
             ("/status/", self._status),
@@ -216,7 +305,27 @@ class NegotiationServer:
         except RequestValidationError as error:
             writer.write(_json_response(400, {"error": str(error)}))
             return
-        self.metrics.submitted()
+        decision = self.admission.try_admit()
+        if not decision.admitted:
+            self.metrics.shed(decision.reason)
+            retry_after = max(1, math.ceil(decision.retry_after))
+            writer.write(
+                _json_response(
+                    429,
+                    {
+                        "error": f"request shed: {decision.reason}",
+                        "reason": decision.reason,
+                        "retry_after_seconds": decision.retry_after,
+                    },
+                    headers={"Retry-After": str(retry_after)},
+                )
+            )
+            return
+        if request.deadline_ms is None and self.default_deadline_ms is not None:
+            request = dataclasses.replace(
+                request, deadline_ms=self.default_deadline_ms
+            )
+        self.metrics.admitted()
         record = self.repository.create(request.describe())
         self.batcher.submit(request, record)
         writer.write(
@@ -242,13 +351,52 @@ class NegotiationServer:
             writer.write(_json_response(404, {"error": f"unknown session {session_id!r}"}))
             return
         wait = query.get("wait", ["0"])[-1] not in ("0", "false", "")
-        if wait and record.state not in ("done", "failed"):
+        if wait and not record.terminal:
+            try:
+                timeout = float(query.get("timeout", [self.result_wait_cap])[-1])
+            except ValueError:
+                writer.write(
+                    _json_response(400, {"error": '"timeout" must be a number'})
+                )
+                return
+            # The cap is server policy: a waiter can only shorten it, so no
+            # client can park a connection on the loop forever.
+            timeout = min(max(timeout, 0.0), self.result_wait_cap)
             subscription = self.repository.subscribe(session_id)
             if subscription is not None:
                 _past, queue = subscription
-                while queue is not None:
-                    if await queue.get() is STREAM_END:
-                        break
+                if queue is not None:
+                    loop = asyncio.get_running_loop()
+                    wait_deadline = loop.time() + timeout
+                    timed_out = False
+                    while True:
+                        remaining = wait_deadline - loop.time()
+                        if remaining <= 0:
+                            timed_out = True
+                            break
+                        try:
+                            event = await asyncio.wait_for(queue.get(), remaining)
+                        except asyncio.TimeoutError:
+                            timed_out = True
+                            break
+                        if event is STREAM_END:
+                            break
+                    if timed_out:
+                        self.repository.unsubscribe(session_id, queue)
+                        record = self.repository.get(session_id)
+                        writer.write(
+                            _json_response(
+                                504,
+                                {
+                                    "error": (
+                                        f"result wait timed out after "
+                                        f"{timeout:.1f}s"
+                                    ),
+                                    "status": record.status_view(),
+                                },
+                            )
+                        )
+                        return
             record = self.repository.get(session_id)
         writer.write(_json_response(200, record.result_view()))
 
@@ -298,7 +446,9 @@ class ServerThread:
 
     The in-process harness used by the HTTP tests and the serving benchmark:
     ``start()`` returns once the socket is bound (with ``port=0`` the chosen
-    port is published on ``server.port``); ``stop()`` tears the loop down.
+    port is published on ``server.port``); ``stop()`` tears the loop down
+    gracefully, :meth:`kill` tears it down *without* the graceful batcher
+    flush — simulating a crashed server for the journal-recovery tests.
     Usable as a context manager.
     """
 
@@ -309,6 +459,7 @@ class ServerThread:
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        self._graceful = True
 
     def __enter__(self) -> "ServerThread":
         self.start()
@@ -325,7 +476,9 @@ class ServerThread:
         if not self._started.wait(timeout=30):
             raise RuntimeError("negotiation server did not start within 30s")
         if self._startup_error is not None:
-            raise RuntimeError("negotiation server failed to start") from self._startup_error
+            # Surface the worker's failure verbatim — a bind error must read
+            # as the OSError it was, not as a generic startup timeout.
+            raise self._startup_error
         return self.server
 
     def _run(self) -> None:
@@ -343,7 +496,8 @@ class ServerThread:
         self._started.set()
         try:
             loop.run_forever()
-            loop.run_until_complete(self.server.stop())
+            if self._graceful:
+                loop.run_until_complete(self.server.stop())
         finally:
             loop.close()
 
@@ -352,3 +506,13 @@ class ServerThread:
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=30)
+
+    def kill(self) -> None:
+        """Stop abruptly: no batcher flush, no graceful server shutdown.
+
+        In-flight and still-buffered sessions stay unfinished — exactly the
+        state a killed process leaves behind — so a restart over the same
+        state directory exercises the journal-replay path.
+        """
+        self._graceful = False
+        self.stop()

@@ -1,0 +1,266 @@
+"""Admission control, deadlines and the batch watchdog, unit level.
+
+Everything here runs without a live server: the token bucket and the
+admission controller take injectable monotonic clocks, the watchdog exposes
+a synchronous ``sweep``, and the deadline semantics of
+:func:`~repro.serve.coalesce.execute_batch` are driven directly.  The
+end-to-end behaviour of the same machinery over HTTP lives in
+``tests/test_serve_http.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.serve.admission import (
+    DEFAULT_RETRY_AFTER,
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serve.batcher import _BatchWatchdog
+from repro.serve.coalesce import execute_batch, run_solo
+from repro.serve.metrics import ServeMetrics
+from repro.serve.repository import SessionRepository
+from repro.serve.schemas import ServeRequest, result_payload
+
+
+class _FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_capacity_then_refusal_with_exact_hint(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_take()[0] for _ in range(3)] == [True, True, True]
+        ok, retry_after = bucket.try_take()
+        assert not ok
+        # Empty bucket at 2 tokens/second: one token accrues in 0.5s.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_tokens_accrue_lazily_from_elapsed_time(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+        clock.advance(1.0)
+        assert bucket.try_take()[0]
+
+    def test_refill_never_exceeds_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        takes = [bucket.try_take()[0] for _ in range(3)]
+        assert takes == [True, True, False]
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_queue_fills_and_releases(self):
+        controller = AdmissionController(max_queue=2)
+        assert controller.try_admit().admitted
+        assert controller.try_admit().admitted
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert decision.reason == REASON_QUEUE_FULL
+        assert decision.retry_after == DEFAULT_RETRY_AFTER
+        controller.release()
+        assert controller.try_admit().admitted
+        assert controller.in_flight == 2
+
+    def test_queue_full_hint_tracks_observed_completion_latency(self):
+        controller = AdmissionController(max_queue=1)
+        assert controller.try_admit().admitted
+        controller.release(busy_seconds=4.0)
+        assert controller.try_admit().admitted
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert decision.retry_after == pytest.approx(4.0)
+
+    def test_rate_limit_gate_sheds_with_reason(self):
+        clock = _FakeClock()
+        controller = AdmissionController(rate_limit=1.0, burst=1, clock=clock)
+        assert controller.try_admit().admitted
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert decision.reason == REASON_RATE_LIMITED
+        assert decision.retry_after > 0
+        clock.advance(1.0)
+        assert controller.try_admit().admitted
+
+    def test_force_admit_bypasses_gates_but_occupies_a_slot(self):
+        controller = AdmissionController(max_queue=1)
+        controller.force_admit()
+        decision = controller.try_admit()
+        assert not decision.admitted
+        assert decision.reason == REASON_QUEUE_FULL
+        controller.release()
+        assert controller.try_admit().admitted
+
+    def test_unbounded_controller_admits_everything(self):
+        controller = AdmissionController()
+        assert all(controller.try_admit().admitted for _ in range(100))
+
+    def test_invalid_max_queue_is_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+
+
+class TestMetricsAccounting:
+    def test_queue_depth_underflow_is_counted_not_hidden(self):
+        metrics = ServeMetrics()
+        metrics.admitted()
+        metrics.dequeued(2)  # one more than was ever enqueued
+        snapshot = metrics.snapshot()
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["queue_depth_underflows"] == 1
+        # Balanced accounting never touches the counter.
+        metrics.admitted()
+        metrics.dequeued()
+        assert metrics.snapshot()["queue_depth_underflows"] == 1
+
+    def test_shed_reasons_and_admission_split(self):
+        metrics = ServeMetrics()
+        metrics.admitted()
+        metrics.shed(REASON_QUEUE_FULL)
+        metrics.shed(REASON_QUEUE_FULL)
+        metrics.shed(REASON_RATE_LIMITED)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_submitted"] == 4
+        assert snapshot["requests_admitted"] == 1
+        assert snapshot["requests_shed"] == 3
+        assert snapshot["shed_reasons"] == {
+            REASON_QUEUE_FULL: 2,
+            REASON_RATE_LIMITED: 1,
+        }
+
+    def test_queue_wait_quantiles(self):
+        metrics = ServeMetrics()
+        for wait in (0.1, 0.2, 0.3, 0.4, 1.0):
+            metrics.queue_wait(wait)
+        waits = metrics.snapshot()["queue_wait_seconds"]
+        assert waits["count"] == 5
+        assert waits["p50"] == pytest.approx(0.3)
+        assert waits["p99"] == pytest.approx(1.0)
+
+    def test_expired_requests_count_as_deadline_exceeded_and_failed(self):
+        metrics = ServeMetrics()
+        metrics.request_finished(0.5, expired=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["deadline_exceeded_total"] == 1
+        assert snapshot["requests_failed"] == 1
+        assert snapshot["requests_completed"] == 0
+
+
+class TestBatchWatchdog:
+    def _request_and_record(self, repository, seed=1):
+        request = ServeRequest.from_mapping(
+            {"scenario": {"households": 10, "seed": seed}}
+        )
+        return request, repository.create(request.describe())
+
+    def test_sweep_fails_overdue_unfinished_sessions(self):
+        repository = SessionRepository()
+        metrics = ServeMetrics()
+        watchdog = _BatchWatchdog(repository, metrics, timeout=10.0)
+        request, record = self._request_and_record(repository)
+        watchdog.register([(request, record)])
+        assert watchdog.sweep() == 0  # not overdue yet
+        import time as _time
+
+        assert watchdog.sweep(now=_time.time() + 11.0) == 1
+        failed = repository.get(record.session_id)
+        assert failed.state == "failed"
+        assert "watchdog" in failed.error
+        snapshot = metrics.snapshot()
+        assert snapshot["watchdog_failures"] == 1
+        assert snapshot["requests_failed"] == 1
+
+    def test_cleared_tokens_are_never_swept(self):
+        repository = SessionRepository()
+        metrics = ServeMetrics()
+        watchdog = _BatchWatchdog(repository, metrics, timeout=10.0)
+        request, record = self._request_and_record(repository)
+        token = watchdog.register([(request, record)])
+        watchdog.clear(token)
+        import time as _time
+
+        assert watchdog.sweep(now=_time.time() + 100.0) == 0
+        assert repository.get(record.session_id).state == "queued"
+
+    def test_late_worker_completion_after_watchdog_failure_is_a_noop(self):
+        repository = SessionRepository()
+        metrics = ServeMetrics()
+        watchdog = _BatchWatchdog(repository, metrics, timeout=10.0)
+        request, record = self._request_and_record(repository)
+        watchdog.register([(request, record)])
+        import time as _time
+
+        assert watchdog.sweep(now=_time.time() + 11.0) == 1
+        # The wedged worker eventually reports; first transition wins.
+        assert repository.finish(record.session_id, {"rounds": 3}) is None
+        persisted = repository.get(record.session_id)
+        assert persisted.state == "failed"
+        assert persisted.payload is None
+
+
+class TestDeadlinesInExecution:
+    def _request(self, seed=1, households=12):
+        return ServeRequest.from_mapping(
+            {"scenario": {"households": households, "seed": seed}}
+        )
+
+    def _solo(self, request):
+        result = api.run(
+            request.scenario.build_scenario(),
+            backend=request.backend,
+            config=request.config,
+        )
+        return json.dumps(result_payload(result), sort_keys=True)
+
+    def test_expired_member_fails_fast_without_stalling_batchmates(self):
+        expired = self._request(seed=1)
+        healthy = self._request(seed=2)
+        outcomes, _report = execute_batch(
+            [expired, healthy], deadlines=[0.0, None]
+        )
+        assert outcomes[0].expired
+        assert "deadline_exceeded" in outcomes[0].error
+        assert outcomes[0].payload is None
+        assert outcomes[1].error is None
+        # The surviving batch-mate's result is untouched by the expiry.
+        assert (
+            json.dumps(outcomes[1].payload, sort_keys=True)
+            == self._solo(healthy)
+        )
+
+    def test_unbudgeted_batch_is_unchanged_by_the_deadline_machinery(self):
+        request = self._request(seed=3)
+        outcomes, _report = execute_batch([request], deadlines=[None])
+        assert not outcomes[0].expired
+        assert (
+            json.dumps(outcomes[0].payload, sort_keys=True)
+            == self._solo(request)
+        )
+
+    def test_run_solo_fails_fast_on_an_expired_deadline(self):
+        outcome = run_solo(self._request(seed=4), deadline=0.0)
+        assert outcome.expired
+        assert "deadline_exceeded" in outcome.error

@@ -1,0 +1,267 @@
+"""The self-healing serve client: retries, breaker, wait re-entry, resume.
+
+The retry core is driven through a scripted in-memory transport with
+injectable sleep/clock/rng, so every backoff decision is observable and
+deterministic; stream resume is driven by stubbing the single-connection
+iterator.  One integration class at the end runs the client against a real
+:class:`~repro.serve.server.ServerThread`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import urllib.error
+
+import pytest
+
+from repro.serve.client import (
+    CircuitOpenError,
+    RequestFailed,
+    RetriesExhausted,
+    ServeClient,
+    _Response,
+)
+from repro.serve.server import ServerThread
+
+
+def _response(status: int, body: dict | None = None, headers: dict | None = None):
+    payload = json.dumps(body if body is not None else {}).encode("utf-8")
+    return _Response(status, headers or {}, payload)
+
+
+class _ScriptedTransport:
+    """Pops one scripted item (a response or an exception) per attempt."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls: list[str] = []
+
+    def __call__(self, url, data, timeout):
+        self.calls.append(url)
+        item = self.script.pop(0)
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+
+class _Recorder:
+    def __init__(self):
+        self.sleeps: list[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _client(script, **overrides) -> tuple[ServeClient, _ScriptedTransport, _Recorder]:
+    transport = _ScriptedTransport(script)
+    sleeper = _Recorder()
+    options = dict(
+        max_retries=3,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        rng=random.Random(0),
+        sleep=sleeper,
+        clock=_FakeClock(),
+        transport=transport,
+    )
+    options.update(overrides)
+    return ServeClient("http://test", **options), transport, sleeper
+
+
+class TestRetryCore:
+    def test_transient_5xx_retries_until_success(self):
+        client, transport, sleeper = _client(
+            [_response(503), _response(500), _response(200, {"ok": True})]
+        )
+        assert client.status("abc") == {"ok": True}
+        assert len(transport.calls) == 3
+        assert client.retries_performed == 2
+        assert len(sleeper.sleeps) == 2
+
+    def test_retry_after_header_floors_the_backoff(self):
+        client, _transport, sleeper = _client(
+            [
+                _response(429, {"reason": "queue_full"}, {"retry-after": "2.5"}),
+                _response(200, {"ok": True}),
+            ]
+        )
+        client.status("abc")
+        # The computed jitter is capped at 0.05s; the server's hint wins.
+        assert sleeper.sleeps == [pytest.approx(2.5)]
+
+    def test_retries_exhausted_raises_with_the_last_status(self):
+        client, _transport, _sleeper = _client(
+            [_response(503)] * 4, max_retries=3
+        )
+        with pytest.raises(RetriesExhausted, match="HTTP 503"):
+            client.status("abc")
+
+    def test_non_retryable_4xx_fails_immediately(self):
+        client, transport, _sleeper = _client(
+            [_response(400, {"error": "bad scenario"})]
+        )
+        with pytest.raises(RequestFailed) as excinfo:
+            client.submit({"scenario": {}})
+        assert excinfo.value.status == 400
+        assert len(transport.calls) == 1  # no retry can fix a 400
+
+    def test_transport_errors_retry_then_exhaust(self):
+        client, _transport, _sleeper = _client(
+            [urllib.error.URLError("refused")] * 3,
+            max_retries=2,
+            breaker_threshold=10,
+        )
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client.status("abc")
+        assert excinfo.value.last_error is not None
+
+
+class TestCircuitBreaker:
+    def test_consecutive_transport_failures_open_the_circuit(self):
+        client, transport, _sleeper = _client(
+            [urllib.error.URLError("down")] * 2 + [_response(200, {"ok": True})],
+            max_retries=5,
+            breaker_threshold=2,
+            breaker_cooldown=30.0,
+        )
+        with pytest.raises(RetriesExhausted):
+            client.status("abc")
+        assert client.breaker_trips == 1
+        assert len(transport.calls) == 2  # the open breaker stopped attempt 3
+        with pytest.raises(CircuitOpenError):
+            client.status("abc")
+
+    def test_half_open_probe_closes_the_circuit_after_cooldown(self):
+        clock = _FakeClock()
+        client, _transport, _sleeper = _client(
+            [urllib.error.URLError("down"), _response(200, {"ok": True})],
+            max_retries=0,
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            clock=clock,
+        )
+        with pytest.raises(RetriesExhausted):
+            client.status("abc")
+        assert client.breaker_open
+        clock.now = 11.0
+        assert client.status("abc") == {"ok": True}
+        assert not client.breaker_open
+
+    def test_sheds_and_wait_expiries_never_trip_the_breaker(self):
+        client, _transport, _sleeper = _client(
+            [
+                _response(429, {}, {"retry-after": "0.1"}),
+                _response(504, {}),
+                _response(200, {"ok": True}),
+            ],
+            breaker_threshold=1,
+        )
+        assert client.status("abc") == {"ok": True}
+        assert client.breaker_trips == 0
+
+
+class TestResultWaitReentry:
+    def test_result_rides_out_504_wait_expiries(self):
+        done = {"state": "done", "result": {"rounds": 2}}
+        client, transport, _sleeper = _client(
+            [_response(504, {}), _response(504, {}), _response(200, done)],
+            max_retries=0,
+        )
+        record = client.result("abc", wait=True, overall_timeout=100.0)
+        assert record == done
+        assert len(transport.calls) == 3
+        assert all("wait=1" in url for url in transport.calls)
+
+    def test_result_gives_up_at_the_overall_deadline(self):
+        clock = _FakeClock()
+        client, _transport, _sleeper = _client(
+            [_response(504, {})] * 3, max_retries=0, clock=clock
+        )
+
+        def advance(_seconds: float) -> None:
+            clock.now += 50.0
+
+        client._sleep = advance  # each 504 costs simulated wall-clock
+        # The deadline check happens when a wait expires; two expiries pass
+        # 100 simulated seconds, so the third request never happens.
+        original = client._request
+
+        def timed_request(path, body=None):
+            clock.now += 50.0
+            return original(path, body)
+
+        client._request = timed_request
+        with pytest.raises(RetriesExhausted):
+            client.result("abc", wait=True, overall_timeout=100.0)
+
+    def test_wait_timeout_is_forwarded_as_a_query_parameter(self):
+        client, transport, _sleeper = _client(
+            [_response(200, {"state": "done"})]
+        )
+        client.result("abc", wait=True, wait_timeout=7.5)
+        assert transport.calls == ["http://test/result/abc?wait=1&timeout=7.5"]
+
+
+class TestStreamResume:
+    def test_resume_skips_the_replayed_prefix(self):
+        events = [
+            {"event": "round", "round": 1},
+            {"event": "round", "round": 2},
+            {"event": "round", "round": 3},
+            {"event": "done", "state": "done"},
+        ]
+        client, _transport, _sleeper = _client([])
+        attempts = []
+
+        def stream_once(_session_id):
+            attempts.append(len(attempts))
+            if len(attempts) == 1:
+                # Drop the connection after two events.
+                yield events[0]
+                yield events[1]
+                raise ConnectionError("mid-stream disconnect")
+            # The server replays from the start on reconnect.
+            yield from events
+
+        client._stream_once = stream_once
+        received = list(client.stream("abc"))
+        assert received == events  # gapless and duplicate-free
+        assert len(attempts) == 2
+
+    def test_stream_exhausts_retries_on_persistent_disconnects(self):
+        client, _transport, _sleeper = _client(
+            [], max_retries=1, breaker_threshold=10
+        )
+
+        def stream_once(_session_id):
+            raise ConnectionError("down")
+            yield  # pragma: no cover - makes this a generator
+
+        client._stream_once = stream_once
+        with pytest.raises(RetriesExhausted):
+            list(client.stream("abc"))
+
+
+class TestClientAgainstRealServer:
+    def test_submit_result_and_stream_end_to_end(self):
+        with ServerThread(port=0, max_wait=0.02) as thread:
+            client = ServeClient(thread.server.base_url, rng=random.Random(0))
+            accepted = client.submit({"scenario": {"households": 15, "seed": 3}})
+            record = client.result(
+                accepted["session_id"], wait=True, overall_timeout=120.0
+            )
+            assert record["state"] == "done"
+            events = list(client.stream(accepted["session_id"]))
+            assert events[-1]["event"] == "done"
+            assert events[-1]["result"] == record["result"]
+            assert client.health()["status"] == "ok"
+            assert client.metrics()["requests_completed"] >= 1

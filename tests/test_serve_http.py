@@ -147,9 +147,169 @@ class TestServingEndpoints:
         metrics = _get(server.base_url, "/metrics")
         for key in (
             "requests_submitted", "requests_completed", "requests_failed",
+            "requests_admitted", "requests_shed", "shed_reasons",
+            "deadline_exceeded_total", "watchdog_failures",
+            "queue_depth_underflows", "queue_wait_seconds", "admission",
             "queue_depth", "kernel_passes", "solo_passes",
             "batch_occupancy", "latency_seconds",
         ):
             assert key in metrics
         assert metrics["requests_completed"] >= 1
         assert metrics["latency_seconds"]["p95"] >= metrics["latency_seconds"]["p50"] >= 0.0
+
+
+def _solo_payload(mapping: dict) -> dict:
+    request = ServeRequest.from_mapping(mapping)
+    result = api.run(
+        request.scenario.build_scenario(), backend=request.backend,
+        config=request.config,
+    )
+    return result_payload(result)
+
+
+class TestOverloadBehaviour:
+    def test_queue_full_submissions_shed_with_429_and_retry_after(self):
+        # max_wait keeps the first submission buffered (in flight), so the
+        # one-slot admission queue is full for the second.
+        with ServerThread(port=0, max_queue=1, max_wait=5.0) as thread:
+            base = thread.server.base_url
+            first = _post(base, "/submit", {"scenario": {"households": 15, "seed": 1}})
+            assert first["state"] == "queued"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, "/submit", {"scenario": {"households": 15, "seed": 2}})
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            body = json.load(excinfo.value)
+            assert body["reason"] == "queue_full"
+            assert body["retry_after_seconds"] > 0
+            metrics = _get(base, "/metrics")
+            assert metrics["requests_shed"] == 1
+            assert metrics["shed_reasons"] == {"queue_full": 1}
+            assert metrics["requests_admitted"] == 1
+            assert metrics["admission"]["max_queue"] == 1
+
+    def test_rate_limited_submissions_shed_with_reason(self):
+        with ServerThread(port=0, rate_limit=0.001, max_wait=0.02) as thread:
+            base = thread.server.base_url
+            # The token bucket starts with one burst token; the second
+            # submission inside the same millisecond is rate-limited.
+            _post(base, "/submit", {"scenario": {"households": 15, "seed": 1}})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, "/submit", {"scenario": {"households": 15, "seed": 2}})
+            assert excinfo.value.code == 429
+            assert json.load(excinfo.value)["reason"] == "rate_limited"
+
+    def test_expired_deadline_terminates_with_deadline_exceeded(self):
+        # A 1 ms budget dies inside the 200 ms coalescing window: the member
+        # is failed fast at flush without ever entering the arena.
+        with ServerThread(port=0, max_wait=0.2) as thread:
+            base = thread.server.base_url
+            body = {"scenario": {"households": 15, "seed": 4}, "deadline_ms": 1}
+            session_id = _post(base, "/submit", body)["session_id"]
+            record = _get(base, f"/result/{session_id}?wait=1")
+            assert record["state"] == "expired"
+            assert "deadline_exceeded" in record["error"]
+            metrics = _get(base, "/metrics")
+            assert metrics["deadline_exceeded_total"] == 1
+
+    def test_default_deadline_applies_to_requests_without_one(self):
+        with ServerThread(port=0, max_wait=0.2, default_deadline_ms=1) as thread:
+            base = thread.server.base_url
+            session_id = _post(
+                base, "/submit", {"scenario": {"households": 15, "seed": 4}}
+            )["session_id"]
+            record = _get(base, f"/result/{session_id}?wait=1")
+            assert record["state"] == "expired"
+            assert "deadline_exceeded" in record["error"]
+
+    def test_result_wait_timeout_returns_504_with_status(self):
+        # The submission sits in the coalescing buffer well past the caller's
+        # wait budget, so the wait expires while the session is still queued.
+        with ServerThread(port=0, max_wait=5.0) as thread:
+            base = thread.server.base_url
+            session_id = _post(
+                base, "/submit", {"scenario": {"households": 15, "seed": 7}}
+            )["session_id"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base, f"/result/{session_id}?wait=1&timeout=0.2")
+            assert excinfo.value.code == 504
+            body = json.load(excinfo.value)
+            assert "timed out" in body["error"]
+            assert body["status"]["state"] in ("queued", "running")
+
+    def test_result_wait_timeout_must_be_a_number(self):
+        with ServerThread(port=0, max_wait=0.02) as thread:
+            base = thread.server.base_url
+            session_id = _post(
+                base, "/submit", {"scenario": {"households": 15, "seed": 7}}
+            )["session_id"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base, f"/result/{session_id}?wait=1&timeout=soon")
+            assert excinfo.value.code == 400
+
+
+class TestJournalRecovery:
+    def test_killed_server_replays_in_flight_session_bit_identically(self, tmp_path):
+        # Kill the server between the 202 and completion: the wide coalescing
+        # window keeps the submission buffered in the batcher, and kill()
+        # (unlike a graceful stop) never flushes that buffer, so the accepted
+        # request exists only as a journal line.
+        state_dir = os.fspath(tmp_path)
+        mapping = {"scenario": {"households": 20, "seed": 9}}
+        thread = ServerThread(port=0, state_dir=state_dir, max_wait=30.0)
+        thread.start()
+        try:
+            base = thread.server.base_url
+            session_id = _post(base, "/submit", mapping)["session_id"]
+            journal = os.path.join(state_dir, "journal.ndjson")
+            with open(journal, encoding="utf-8") as handle:
+                ops = [json.loads(line) for line in handle if line.strip()]
+            assert [op["op"] for op in ops] == ["accept"]
+            assert ops[0]["session_id"] == session_id
+        finally:
+            thread.kill()
+        assert not os.path.exists(os.path.join(state_dir, f"{session_id}.json"))
+
+        # Restart over the same state dir: the journaled session re-runs to
+        # a result bit-identical to a solo run of the same request.
+        with ServerThread(port=0, state_dir=state_dir, max_wait=0.02) as restarted:
+            record = _get(
+                restarted.server.base_url, f"/result/{session_id}?wait=1"
+            )
+            assert record["state"] == "done"
+            assert record["recovered"] is True
+            assert json.dumps(record["result"], sort_keys=True) == json.dumps(
+                _solo_payload(mapping), sort_keys=True
+            )
+
+    def test_finished_sessions_are_not_replayed(self, tmp_path):
+        state_dir = os.fspath(tmp_path)
+        mapping = {"scenario": {"households": 20, "seed": 11}}
+        with ServerThread(port=0, state_dir=state_dir, max_wait=0.02) as thread:
+            base = thread.server.base_url
+            session_id = _post(base, "/submit", mapping)["session_id"]
+            payload = _get(base, f"/result/{session_id}?wait=1")["result"]
+        with ServerThread(port=0, state_dir=state_dir, max_wait=0.02) as restarted:
+            record = _get(restarted.server.base_url, f"/result/{session_id}")
+            assert record["state"] == "done"
+            assert record.get("recovered") is None
+            assert record["result"] == payload
+            metrics = _get(restarted.server.base_url, "/metrics")
+            assert metrics["requests_submitted"] == 0
+
+
+class TestServerThreadStartup:
+    def test_startup_failure_is_reraised_verbatim(self):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(OSError) as excinfo:
+                ServerThread(port=port).start()
+            # The worker's own exception, not a generic startup timeout.
+            assert excinfo.value.errno is not None
+        finally:
+            blocker.close()

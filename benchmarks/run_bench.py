@@ -3,11 +3,15 @@
 
 Runs the extended fast-path sweep (10 -> 10,000 households by default), the
 sharded-runtime sweep (5,000 -> 50,000 households, one worker per core), the
-object-path reference sweep and the 10k-household 14-day campaign benchmark
-(planning-phase vs negotiation-phase wall-clock split, columnar and scalar
-planning), writes the plain-text reports to ``benchmarks/reports/`` and the
-machine-readable perf trajectories to ``benchmarks/BENCH_scalability.json``
-and ``benchmarks/BENCH_campaign.json``.
+object-path reference sweep and the campaign benchmarks — the 10k-household
+14-day pipeline (planning-phase vs negotiation-phase wall-clock split,
+columnar and scalar planning, lazy and array-round variants, each asserted
+row-identical to the eager/object oracle), the 100k ``lazy_large`` point and
+the million-household ``campaign_xlarge`` point (both lazy + bounded history
+window + no bid retention + ``rounds="array"``, tracemalloc'd) — and writes
+the plain-text reports to ``benchmarks/reports/`` and the machine-readable
+perf trajectories to ``benchmarks/BENCH_scalability.json`` and
+``benchmarks/BENCH_campaign.json``.
 
 Usage::
 
@@ -46,6 +50,7 @@ from repro.experiments.campaign_bench import (  # noqa: E402  (path setup above)
     CAMPAIGN_SEED,
     LARGE_CAMPAIGN_HOUSEHOLDS,
     LARGE_CAMPAIGN_WINDOW,
+    XLARGE_CAMPAIGN_HOUSEHOLDS,
     render_entry,
     run_campaign_bench,
     write_campaign_json,
@@ -194,6 +199,7 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
         seed=seed,
         backend=str(base.get("backend", "auto")),
         planning="columnar",
+        rounds=str(base.get("rounds", "object")),
     )
     _compare_campaign_entry("campaign", base, entry, failures)
     large = payload.get("lazy_large")
@@ -201,7 +207,8 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
         print(
             f"lazy-large campaign check "
             f"({large['num_households']} households x {large['num_days']} days, "
-            f"materialise=lazy, history_window={large.get('history_window')})"
+            f"materialise=lazy, history_window={large.get('history_window')}, "
+            f"rounds={large.get('rounds', 'object')})"
         )
         large_entry = run_campaign_bench(
             num_households=int(large["num_households"]),
@@ -211,10 +218,32 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
             planning="columnar",
             materialise="lazy",
             history_window=large.get("history_window"),
+            rounds=str(large.get("rounds", "object")),
             retain_logs=False,
             track_memory=True,
         )
         _compare_campaign_entry("lazy_large", large, large_entry, failures)
+    xlarge = payload.get("xlarge")
+    if xlarge is not None:
+        print(
+            f"xlarge campaign check "
+            f"({xlarge['num_households']} households x {xlarge['num_days']} days, "
+            f"materialise=lazy, history_window={xlarge.get('history_window')}, "
+            f"rounds={xlarge.get('rounds', 'object')})"
+        )
+        xlarge_entry = run_campaign_bench(
+            num_households=int(xlarge["num_households"]),
+            num_days=int(xlarge["num_days"]),
+            seed=seed,
+            backend=str(xlarge.get("backend", "auto")),
+            planning="columnar",
+            materialise="lazy",
+            history_window=xlarge.get("history_window"),
+            rounds=str(xlarge.get("rounds", "object")),
+            retain_logs=False,
+            track_memory=True,
+        )
+        _compare_campaign_entry("xlarge", xlarge, xlarge_entry, failures)
 
 
 def _compare_campaign_entry(
@@ -227,6 +256,13 @@ def _compare_campaign_entry(
             failures.append(
                 f"{label}: {key} changed {base[key]} -> {row[key]}"
             )
+    # Provenance: the effective rounds modes must reproduce the baseline's
+    # (an array baseline silently falling back to object rounds is a bug).
+    if "rounds_modes" in base and row.get("rounds_modes") != base["rounds_modes"]:
+        failures.append(
+            f"{label}: rounds_modes changed {base['rounds_modes']} -> "
+            f"{row.get('rounds_modes')}"
+        )
     for phase in ("planning_seconds", "negotiation_seconds"):
         allowed = max(
             float(base[phase]) * CAMPAIGN_WALL_TOLERANCE, CAMPAIGN_WALL_FLOOR_SECONDS
@@ -552,6 +588,15 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the utility-scale lazy campaign point (no lazy_large entry)",
     )
     parser.add_argument(
+        "--campaign-xlarge-households", type=int,
+        default=XLARGE_CAMPAIGN_HOUSEHOLDS,
+        help="population size of the million-household array-round point",
+    )
+    parser.add_argument(
+        "--skip-campaign-xlarge", action="store_true",
+        help="skip the million-household array-round point (no xlarge entry)",
+    )
+    parser.add_argument(
         "--serving-json", type=Path, default=BENCH_DIR / "BENCH_serving.json",
         help="where to write (or read, with --check) the serving trajectory",
     )
@@ -593,6 +638,7 @@ def main(argv: list[str] | None = None) -> int:
             or arguments.campaign_households != CAMPAIGN_HOUSEHOLDS
             or arguments.campaign_days != CAMPAIGN_DAYS
             or arguments.campaign_large_households != LARGE_CAMPAIGN_HOUSEHOLDS
+            or arguments.campaign_xlarge_households != XLARGE_CAMPAIGN_HOUSEHOLDS
             or arguments.campaign_only
         ):
             parser.error(
@@ -600,7 +646,8 @@ def main(argv: list[str] | None = None) -> int:
                 "seed; it cannot be combined with --sizes/--object-sizes/"
                 "--sharded-sizes/--shards/--seed/--skip-object-path/"
                 "--skip-sharded/--campaign-households/--campaign-days/"
-                "--campaign-large-households/--campaign-only"
+                "--campaign-large-households/--campaign-xlarge-households/"
+                "--campaign-only"
             )
         campaign_path = None if arguments.skip_campaign else arguments.campaign_json
         serving_path = None if arguments.skip_serving else arguments.serving_json
@@ -712,13 +759,32 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        print(
+            f"campaign benchmark: {arguments.campaign_households} households x "
+            f"{arguments.campaign_days} days (array rounds)"
+        )
+        array_entry = run_campaign_bench(
+            num_households=arguments.campaign_households,
+            num_days=arguments.campaign_days,
+            seed=arguments.seed,
+            rounds="array",
+        )
+        print(render_entry(array_entry))
+        # Array rounds are an optimisation, not a behaviour change: the
+        # campaign must be row-identical to the object-round oracle run.
+        if array_entry.result.rows() != columnar_entry.result.rows():
+            print(
+                "campaign FAILURE: array and object rounds diverged",
+                file=sys.stderr,
+            )
+            return 1
         large_entry = None
         if not arguments.skip_campaign_large:
             print(
                 f"campaign benchmark: {arguments.campaign_large_households} "
                 f"households x {arguments.campaign_days} days (lazy, "
                 f"history_window={LARGE_CAMPAIGN_WINDOW}, no bid retention, "
-                f"tracemalloc)"
+                f"array rounds, tracemalloc)"
             )
             large_entry = run_campaign_bench(
                 num_households=arguments.campaign_large_households,
@@ -726,21 +792,45 @@ def main(argv: list[str] | None = None) -> int:
                 seed=arguments.seed,
                 materialise="lazy",
                 history_window=LARGE_CAMPAIGN_WINDOW,
+                rounds="array",
                 retain_logs=False,
                 track_memory=True,
             )
             print(render_entry(large_entry))
+        xlarge_entry = None
+        if not arguments.skip_campaign_xlarge:
+            print(
+                f"campaign benchmark: {arguments.campaign_xlarge_households} "
+                f"households x {arguments.campaign_days} days (lazy, "
+                f"history_window={LARGE_CAMPAIGN_WINDOW}, no bid retention, "
+                f"array rounds, tracemalloc)"
+            )
+            xlarge_entry = run_campaign_bench(
+                num_households=arguments.campaign_xlarge_households,
+                num_days=arguments.campaign_days,
+                seed=arguments.seed,
+                materialise="lazy",
+                history_window=LARGE_CAMPAIGN_WINDOW,
+                rounds="array",
+                retain_logs=False,
+                track_memory=True,
+            )
+            print(render_entry(xlarge_entry))
         campaign_report = render_entry(columnar_entry)
         if scalar_entry is not None:
             campaign_report += "\n\n" + render_entry(scalar_entry)
         campaign_report += "\n\n" + render_entry(lazy_entry)
+        campaign_report += "\n\n" + render_entry(array_entry)
         if large_entry is not None:
             campaign_report += "\n\n" + render_entry(large_entry)
+        if xlarge_entry is not None:
+            campaign_report += "\n\n" + render_entry(xlarge_entry)
         campaign_report_path = report_dir / "campaign_pipeline.txt"
         campaign_report_path.write_text(campaign_report + "\n", encoding="utf-8")
         campaign_json_path = write_campaign_json(
             arguments.campaign_json, columnar_entry, scalar_entry,
             seed=arguments.seed, lazy=lazy_entry, lazy_large=large_entry,
+            array=array_entry, xlarge=xlarge_entry,
         )
         print(f"wrote {campaign_report_path}")
         print(f"wrote {campaign_json_path}")

@@ -353,6 +353,14 @@ class ShardedPopulation:
             )
         )
 
+    def table_rewards(self, table: RewardTable, cutdowns: np.ndarray) -> np.ndarray:
+        queries = np.asarray(cutdowns, dtype=float)
+        return self._concat(
+            self.map_shards(
+                lambda shard, a, b: shard.table_rewards(table, queries[a:b])
+            )
+        )
+
     def realised_surpluses(
         self, committed_cutdowns: np.ndarray, rewards: np.ndarray
     ) -> np.ndarray:

@@ -406,6 +406,23 @@ class VectorizedPopulation:
         chosen = np.where(surplus == best[:, None], table_grid[None, :], 0.0).max(axis=1)
         return np.where(np.isneginf(best), 0.0, chosen)
 
+    def table_rewards(self, table: RewardTable, cutdowns: np.ndarray) -> np.ndarray:
+        """Batched ``RewardTable.reward_for`` over per-customer cut-downs.
+
+        A cut-down not exactly on the announced table's grid earns nothing
+        (the scalar lookup's ``KeyError → 0.0`` miss), as does the zero
+        cut-down.  The bidding kernels only ever produce grid values or
+        zero, so for kernel-computed cut-downs this is an exact lookup.
+        Rides the cached required-reward triplet, sharing the round's grid
+        with the bidding kernels.
+        """
+        table_grid, offered, _required = self._required_rewards_for(table)
+        queries = np.asarray(cutdowns, dtype=float)
+        columns = np.searchsorted(table_grid, queries)
+        clamped = np.minimum(columns, table_grid.shape[0] - 1)
+        on_grid = table_grid[clamped] == queries
+        return np.where(on_grid & (queries > 0.0), offered[clamped], 0.0)
+
     # -- requirement interpolation (batched) ---------------------------------------
 
     def interpolated_requirements(self, cutdowns: np.ndarray) -> np.ndarray:

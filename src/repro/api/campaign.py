@@ -116,6 +116,7 @@ def campaign(
             "materialise": (
                 resolved.materialise if resolved is not None else planner.materialise
             ),
+            "rounds": resolved.rounds if resolved is not None else "object",
             "history_window": (
                 resolved.history_window
                 if resolved is not None and resolved.history_window is not None

@@ -30,6 +30,7 @@ from repro.core.modes import (
     validate_history_window,
     validate_materialise_mode,
     validate_planning_mode,
+    validate_rounds_mode,
     validate_shard_count,
     validate_shard_threshold,
 )
@@ -96,6 +97,18 @@ class EngineConfig:
         produce bit-identical campaign rows; lazy applies on the columnar
         planning path (the scalar oracle always materialises).  Ignored by
         single negotiations.
+    rounds:
+        Round-evaluation mode of the negotiation fast path: ``"object"``
+        (default, the equivalence oracle) builds per-round ``Bid`` objects
+        and dict round tables; ``"array"`` evaluates each round directly on
+        the numpy state arrays the kernels already compute — zero per-round
+        object construction, which is what makes 1M-household negotiations
+        tractable.  Both produce bit-identical results; scenarios the array
+        path cannot take (non-stock method or acceptance/bidding policy)
+        fall back to object rounds, and the effective mode is recorded in
+        ``NegotiationResult.metadata["rounds_mode"]``.  Array rounds never
+        retain per-round bids on the record (there are no bid objects to
+        retain).  Ignored by the object backend.
     history_window:
         Observation window (days) of the campaign planner's consumption
         predictor.  ``None`` (default) leaves the planner's own predictor
@@ -127,6 +140,7 @@ class EngineConfig:
     shard_threshold: int = DEFAULT_SHARD_THRESHOLD
     planning: str = "columnar"
     materialise: str = "eager"
+    rounds: str = "object"
     history_window: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
 
@@ -141,6 +155,7 @@ class EngineConfig:
         validate_shard_threshold(self.shard_threshold)
         validate_planning_mode(self.planning)
         validate_materialise_mode(self.materialise)
+        validate_rounds_mode(self.rounds)
         validate_history_window(self.history_window)
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ValueError(
@@ -185,6 +200,7 @@ class EngineConfig:
             "max_simulation_rounds": self.max_simulation_rounds,
             "check_protocol": self.check_protocol,
             "retain_round_bids": self.retain_message_log,
+            "rounds": self.rounds,
             "fault_plan": self.fault_plan,
         }
 

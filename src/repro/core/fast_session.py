@@ -34,10 +34,11 @@ from typing import Optional
 import numpy as np
 
 from repro.agents.vectorized import VectorizedPopulation
-from repro.core.results import CustomerOutcome, NegotiationResult
+from repro.core.modes import validate_rounds_mode
+from repro.core.results import ColumnarOutcomes, CustomerOutcome, NegotiationResult
 from repro.core.scenario import Scenario
 from repro.negotiation.messages import Award, Bid, CutdownBid, OfferResponse, QuantityBid
-from repro.negotiation.methods.base import RoundEvaluation
+from repro.negotiation.methods.base import ArrayRoundEvaluation, RoundEvaluation
 from repro.negotiation.methods.offer import OfferMethod
 from repro.negotiation.methods.request_for_bids import RequestForBidsMethod
 from repro.negotiation.methods.reward_tables import RewardTablesMethod
@@ -71,12 +72,24 @@ class FastSession:
         check_protocol: bool = True,
         retain_round_bids: bool = True,
         fault_plan: Optional[FaultPlan] = None,
+        rounds: str = "object",
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.max_simulation_rounds = max_simulation_rounds
         self.check_protocol = check_protocol
         self.fault_plan = fault_plan
+        #: Round execution mode.  ``"object"`` materialises every round's bid
+        #: objects (the reference semantics); ``"array"`` keeps a round's bids
+        #: as the numpy state arrays the kernels already compute and runs the
+        #: utility side through the methods' array contracts — bit-identical
+        #: results with zero per-round ``Bid`` construction.  The session
+        #: falls back to object rounds (recorded in
+        #: ``result.metadata["rounds_mode"]``) when the method, its policies
+        #: or the population cannot honour the array contract.
+        self.rounds = validate_rounds_mode(rounds)
+        #: Effective mode for the current run, decided at :meth:`start`.
+        self._array_rounds = False
         #: Deterministic chaos: drives the per-round fault masks that mirror
         #: the object path's message/crash faults on the batched exchange.
         self.fault_injector: Optional[FaultInjector] = (
@@ -164,8 +177,12 @@ class FastSession:
     # -- customer side (batched) ---------------------------------------------------
 
     def _respond_all(
-        self, announcement, state: dict, suppressed: Optional[np.ndarray] = None
-    ) -> list[Bid]:
+        self,
+        announcement,
+        state: dict,
+        suppressed: Optional[np.ndarray] = None,
+        materialise: bool = True,
+    ) -> Optional[list[Bid]]:
         """Every customer's bid for one announcement, in population order.
 
         Dispatches to the batched kernels for the stock reward-table bidding
@@ -180,6 +197,11 @@ class FastSession:
         previous round's value, exactly like an object-path agent whose
         mailbox stayed empty.  ``None`` (the fault-free default) leaves every
         code path untouched.
+
+        ``materialise=False`` (array rounds) updates the numpy bid state and
+        returns ``None`` without building any ``Bid`` objects — the state
+        arrays *are* the round's bids.  The state update itself is identical
+        in both modes, so the modes cannot drift.
         """
         population = self.population
         method = self.scenario.method
@@ -193,6 +215,8 @@ class FastSession:
                 held = previous if previous is not None else np.zeros(len(candidates))
                 candidates = np.where(suppressed, held, candidates)
             state["cutdowns"] = candidates
+            if not materialise:
+                return None
             return [
                 CutdownBid(
                     customer=customer,
@@ -203,6 +227,9 @@ class FastSession:
             ]
         if isinstance(method, OfferMethod):
             accepts = population.offer_acceptances(announcement, method.peak_hours)
+            state["accepts"] = accepts
+            if not materialise:
+                return None
             return [
                 OfferResponse(
                     customer=customer,
@@ -224,6 +251,8 @@ class FastSession:
             if suppressed is not None and suppressed.any():
                 needs = np.where(suppressed, current, needs)
             state["needs"] = needs
+            if not materialise:
+                return None
             return [
                 QuantityBid(
                     customer=customer,
@@ -232,6 +261,13 @@ class FastSession:
                 )
                 for customer, needed in zip(population.customer_ids, needs)
             ]
+        if not materialise:
+            # Array rounds are gated on supports_array_rounds(), which is
+            # False for anything the stock branches above do not cover.
+            raise RuntimeError(
+                "array rounds reached the generic respond fallback; "
+                f"method {method.name!r} does not support them"
+            )
         # Generic fallback: scalar respond per customer, still message-free.
         if "contexts" not in state:
             state["contexts"] = self.scenario.population.customer_contexts()
@@ -353,6 +389,47 @@ class FastSession:
         )
         return bids, delivered
 
+    def _exchange_arrays(self, announcement, state: dict) -> Optional[np.ndarray]:
+        """Array-round sibling of :meth:`_exchange`: bids stay numpy state.
+
+        Advances the bid-state arrays (via ``_respond_all(materialise=False)``)
+        and returns the round's ``undelivered`` mask — ``None`` on the
+        fault-free path, where every bid reaches the utility side.  Message
+        counters and the degradation ledger advance exactly as in
+        :meth:`_exchange`; the fault masks are drawn from the same
+        ``(seed, stream, round)`` streams, so an array run and an object run
+        of the same plan see identical faults.
+        """
+        population_size = len(self.population)
+        injector = self.fault_injector
+        if injector is None or not injector.fast_path_faults:
+            self._respond_all(announcement, state, materialise=False)
+            self._count_messages(Performative.ANNOUNCE, population_size)
+            self._count_messages(Performative.BID, population_size)
+            return None
+        faults = injector.customer_round_masks(
+            population_size, announcement.round_number
+        )
+        suppressed = faults.suppressed
+        self._respond_all(
+            announcement, state, suppressed=suppressed, materialise=False
+        )
+        undelivered = faults.undelivered
+        if self._degraded_ever is None:
+            self._degraded_ever = undelivered.copy()
+        else:
+            self._degraded_ever |= undelivered
+        self._count_messages(
+            Performative.ANNOUNCE, population_size - int(faults.announce_lost.sum())
+        )
+        self._count_messages(
+            Performative.BID,
+            population_size
+            - int(suppressed.sum())
+            - int((faults.bid_lost & ~suppressed).sum()),
+        )
+        return undelivered
+
     # -- execution -----------------------------------------------------------------
     #
     # The run loop is a three-phase state machine so that a coordinator can
@@ -416,6 +493,17 @@ class FastSession:
         self._finished = False
         self._bids: list[Bid] = []
         self._delivered: list[Bid] = []
+        # Array-round state: the pending undelivered mask, the previous
+        # round's (cut-down state, undelivered) pair for the concession
+        # check, and the final (accepted, committed, rewards) award columns.
+        self._array_rounds = self.rounds == "array" and self._array_rounds_applicable()
+        self._undelivered: Optional[np.ndarray] = None
+        self._previous_array_round: Optional[
+            tuple[Optional[np.ndarray], Optional[np.ndarray]]
+        ] = None
+        self._award_arrays: Optional[
+            tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
         if context.initial_overuse <= context.max_allowed_overuse:
             # The object path's Utility Agent finishes in its first step
@@ -433,11 +521,25 @@ class FastSession:
         self.protocol.record_announcement(self._announcement)
         self._phase = "exchange"
 
+    def _array_rounds_applicable(self) -> bool:
+        """Whether this run can honour the array-round contract exactly."""
+        method = self.scenario.method
+        supports = getattr(method, "supports_array_rounds", None)
+        return (
+            supports is not None
+            and supports()
+            and self.population is not None
+            and self.population.is_vectorizable
+        )
+
     def step_exchange(self) -> None:
         """Run the pending announcement's bid exchange (phase ``exchange``)."""
         if self._phase != "exchange":
             raise RuntimeError(f"no exchange pending (phase {self._phase!r})")
-        self._bids, self._delivered = self._exchange(self._announcement, self._state)
+        if self._array_rounds:
+            self._undelivered = self._exchange_arrays(self._announcement, self._state)
+        else:
+            self._bids, self._delivered = self._exchange(self._announcement, self._state)
         self._phase = "advance"
 
     def step_advance(self) -> None:
@@ -457,6 +559,9 @@ class FastSession:
                 self._awards, list(self._bids), self._simulation_rounds
             )
             self._phase = "done"
+            return
+        if self._array_rounds:
+            self._advance_arrays()
             return
         # Each later simulation round evaluates the previous exchange and
         # either finishes (awards go out) or announces the next round.
@@ -505,6 +610,141 @@ class FastSession:
         self._round_number += 1
         self._previous_delivered = self._delivered
         self._phase = "exchange"
+
+    # -- array rounds ---------------------------------------------------------------
+
+    def _array_bid_state(self) -> np.ndarray:
+        """The numpy column holding this round's bids, by method."""
+        method = self.scenario.method
+        if isinstance(method, RewardTablesMethod):
+            return self._state["cutdowns"]
+        if isinstance(method, OfferMethod):
+            return self._state["accepts"]
+        return self._state["needs"]
+
+    def _check_concession_arrays(self, undelivered: Optional[np.ndarray]) -> None:
+        """Array sibling of :meth:`_check_bid_concession`.
+
+        Only reward-table rounds carry cut-down bids the monotonic-concession
+        protocol inspects; rows are paired by position (population order), and
+        a row undelivered in either round is skipped, exactly like the object
+        path's by-customer matching of partial rounds.  The kernels hold each
+        customer at ``max(candidate, previous)``, so the violation branch is
+        cold by construction — it exists for behaviour parity.
+        """
+        if not isinstance(self.scenario.method, RewardTablesMethod):
+            return
+        if self._previous_array_round is None:
+            return
+        previous_cutdowns, previous_undelivered = self._previous_array_round
+        current = self._state.get("cutdowns")
+        if current is None or previous_cutdowns is None:
+            return
+        retreated = current < previous_cutdowns
+        if undelivered is not None:
+            retreated &= ~undelivered
+        if previous_undelivered is not None:
+            retreated &= ~previous_undelivered
+        if not retreated.any():
+            return
+        customer_ids = self.population.customer_ids
+        for index in np.flatnonzero(retreated):
+            self.protocol._record_violation(
+                f"customer {customer_ids[index]!r} retreated from cut-down "
+                f"{float(previous_cutdowns[index])} to {float(current[index])}"
+            )
+
+    def _advance_arrays(self) -> None:
+        """Array sibling of the :meth:`step_advance` round evaluation.
+
+        Same order of operations — concession check, round evaluation, round
+        record, finish-or-announce — with the round's bids living only as the
+        numpy state arrays.  The round record keeps an empty bid table (array
+        rounds never materialise ``Bid`` objects, so there is nothing to
+        retain); overuse bookkeeping is unaffected.
+        """
+        context = self._context
+        method = self.scenario.method
+        announcement = self._announcement
+        round_number = self._round_number
+        self._simulation_rounds += 1
+        state = self._state
+        undelivered = self._undelivered
+        self._check_concession_arrays(undelivered)
+        bid_state = self._array_bid_state()
+        evaluation = method.evaluate_round_arrays(
+            context, announcement, self.population, bid_state, undelivered, round_number
+        )
+        self.record.rounds.append(
+            RoundRecord(
+                round_number=round_number,
+                announcement=announcement,
+                bids={},
+                predicted_overuse_before=(
+                    context.initial_overuse
+                    if round_number == 0
+                    else self.record.rounds[-1].predicted_overuse_after
+                ),
+                predicted_overuse_after=evaluation.predicted_overuse,
+            )
+        )
+        if evaluation.termination is not None:
+            self._finish_arrays(
+                evaluation, announcement, bid_state, undelivered, round_number,
+                evaluation.termination,
+            )
+            self._finished = True
+            return
+        next_announcement = method.next_announcement(
+            context, announcement, evaluation, round_number
+        )
+        if next_announcement is None:
+            self._finish_arrays(
+                evaluation, announcement, bid_state, undelivered, round_number,
+                TerminationReason.REWARD_SATURATED,
+            )
+            self._finished = True
+            return
+        self.protocol.record_announcement(next_announcement)
+        self._announcement = next_announcement
+        self._round_number += 1
+        self._previous_array_round = (state.get("cutdowns"), undelivered)
+        self._phase = "exchange"
+
+    def _finish_arrays(
+        self,
+        evaluation: ArrayRoundEvaluation,
+        announcement,
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+        round_number: int,
+        reason: TerminationReason,
+    ) -> None:
+        """Array sibling of :meth:`_finish`: award columns, no ``Award`` objects."""
+        self.record.termination_reason = reason
+        self.record.final_overuse = evaluation.predicted_overuse
+        method = self.scenario.method
+        committed = method.committed_cutdowns_array(
+            self._context, self.population, bid_state, undelivered
+        )
+        rewards = method.rewards_due_array(
+            self._context, announcement, self.population, bid_state, undelivered
+        )
+        accepted = evaluation.accepted_mask
+        if accepted is None:
+            raise RuntimeError(
+                f"method {method.name!r} returned no accepted mask for array rounds"
+            )
+        self._award_arrays = (
+            accepted,
+            np.where(accepted, committed, 0.0),
+            np.where(accepted, rewards, 0.0),
+        )
+        accepted_total = int(np.count_nonzero(accepted))
+        self._count_messages(Performative.AWARD, accepted_total)
+        self._count_messages(
+            Performative.REJECT, len(self.population) - accepted_total
+        )
 
     def run(self) -> NegotiationResult:
         """Run the negotiation to completion and return the result.
@@ -558,6 +798,79 @@ class FastSession:
         final_bids: list[Optional[Bid]],
         simulation_rounds: int,
     ) -> NegotiationResult:
+        if self._array_rounds:
+            result = self._collect_result_arrays(simulation_rounds)
+        else:
+            result = self._collect_result_objects(
+                awards, final_bids, simulation_rounds
+            )
+        if self.fault_injector is not None:
+            result.metadata["faults"] = self.fault_injector.report()
+        # Execution provenance: which round mode actually ran (array requests
+        # fall back to object rounds when the contract cannot be honoured)
+        # and how the population's kernel cache fared.
+        result.metadata["rounds_mode"] = "array" if self._array_rounds else "object"
+        result.metadata["kernel_cache"] = dict(self.population.kernel_cache_stats())
+        return result
+
+    def _collect_result_arrays(self, simulation_rounds: int) -> NegotiationResult:
+        """Columnar result assembly: one outcome view, no per-customer loop.
+
+        Committed cut-downs and rewards are already zeroed outside the
+        accepted mask (:meth:`_finish_arrays`), surpluses are masked the same
+        way the object path's ``if accepted`` short-cut does, and the total
+        reward runs through ``np.cumsum`` — strictly sequential, hence
+        bit-identical to the object path's ``total += reward`` loop.
+        """
+        population = self.population
+        num_customers = len(population)
+        if self._award_arrays is not None:
+            accepted_all, committed_all, rewards_all = self._award_arrays
+        else:
+            # No awards went out (trivial overuse or exhausted round budget).
+            accepted_all = np.zeros(num_customers, dtype=bool)
+            committed_all = np.zeros(num_customers, dtype=float)
+            rewards_all = np.zeros(num_customers, dtype=float)
+        surpluses = population.realised_surpluses(committed_all, rewards_all)
+        surpluses = np.where(accepted_all, surpluses, 0.0)
+        final_cutdowns = None
+        if isinstance(self.scenario.method, RewardTablesMethod):
+            final_cutdowns = self._state.get("cutdowns")
+        if final_cutdowns is None:
+            # Offer responses and quantity bids carry no cut-down attribute;
+            # the object path's getattr(last_bid, "cutdown", 0.0) yields 0.0.
+            final_cutdowns = np.zeros(num_customers, dtype=float)
+        total_reward_paid = (
+            float(np.cumsum(rewards_all)[-1]) if num_customers else 0.0
+        )
+        outcomes = ColumnarOutcomes(
+            customer_ids=population.customer_ids,
+            final_bid_cutdowns=final_cutdowns,
+            awarded=accepted_all,
+            committed_cutdowns=committed_all,
+            rewards=rewards_all,
+            surpluses=surpluses,
+        )
+        degraded = (
+            int(self._degraded_ever.sum()) if self._degraded_ever is not None else 0
+        )
+        return NegotiationResult(
+            scenario_name=self.scenario.name,
+            method_name=self.scenario.method.name,
+            record=self.record,
+            customer_outcomes=outcomes,
+            total_reward_paid=total_reward_paid,
+            messages_sent=self._messages_sent,
+            simulation_rounds=simulation_rounds,
+            degraded_households=degraded,
+        )
+
+    def _collect_result_objects(
+        self,
+        awards: dict[str, Award],
+        final_bids: list[Optional[Bid]],
+        simulation_rounds: int,
+    ) -> NegotiationResult:
         population = self.population
         outcomes: dict[str, CustomerOutcome] = {}
         total_reward_paid = 0.0
@@ -593,7 +906,7 @@ class FastSession:
         degraded = (
             int(self._degraded_ever.sum()) if self._degraded_ever is not None else 0
         )
-        result = NegotiationResult(
+        return NegotiationResult(
             scenario_name=self.scenario.name,
             method_name=self.scenario.method.name,
             record=self.record,
@@ -603,6 +916,3 @@ class FastSession:
             simulation_rounds=simulation_rounds,
             degraded_households=degraded,
         )
-        if self.fault_injector is not None:
-            result.metadata["faults"] = self.fault_injector.report()
-        return result

@@ -29,6 +29,15 @@ PLANNING_MODES: tuple[str, ...] = ("columnar", "scalar")
 #: if something actually asks for them.
 MATERIALISE_MODES: tuple[str, ...] = ("eager", "lazy")
 
+#: Round-evaluation modes of the negotiation fast path: ``"object"`` builds
+#: per-round ``Bid`` objects and dict round tables (the equivalence oracle),
+#: ``"array"`` keeps a round's bids purely as the numpy state arrays the
+#: kernels already compute and evaluates the round on them — no per-round
+#: object construction at all.  Sessions that cannot take the array path for
+#: a given scenario (non-stock method or policy) fall back to object rounds
+#: and record the effective mode in the result metadata.
+ROUNDS_MODES: tuple[str, ...] = ("object", "array")
+
 
 def validate_planning_mode(planning: str) -> str:
     """Return ``planning`` or raise a :class:`ValueError` naming the options."""
@@ -47,6 +56,15 @@ def validate_materialise_mode(materialise: str) -> str:
             f"expected one of {MATERIALISE_MODES}"
         )
     return materialise
+
+
+def validate_rounds_mode(rounds: str) -> str:
+    """Return ``rounds`` or raise a :class:`ValueError` naming the options."""
+    if rounds not in ROUNDS_MODES:
+        raise ValueError(
+            f"unknown rounds mode {rounds!r}; expected one of {ROUNDS_MODES}"
+        )
+    return rounds
 
 
 def validate_history_window(history_window: Optional[int]) -> Optional[int]:

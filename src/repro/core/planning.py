@@ -326,6 +326,10 @@ class CampaignDay:
     #: equivalence contract the backend choice never changes the outcome, so
     #: rows stay comparable across backends.
     backend: Optional[str] = None
+    #: Execution provenance from the day's negotiation — the effective
+    #: rounds mode and kernel-cache hit/miss counters when the fast path
+    #: reported them.  Like ``backend``, never part of :meth:`as_row`.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, object]:
         row: dict[str, object] = {
@@ -521,11 +525,17 @@ class MultiDayCampaign:
                 if outcome.negotiation is not None
                 else None
             )
+            day_metadata: dict[str, object] = {}
+            if outcome.negotiation is not None:
+                for key in ("rounds_mode", "kernel_cache"):
+                    value = outcome.negotiation.metadata.get(key)
+                    if value is not None:
+                        day_metadata[key] = value
             result.days.append(
                 CampaignDay(
                     day_index=day_index, weather=weather,
                     negotiated=outcome.negotiated, outcome=outcome,
-                    backend=backend,
+                    backend=backend, metadata=day_metadata,
                 )
             )
         # The day actually happens and the predictor learns from it.

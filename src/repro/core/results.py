@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
 
 from repro.negotiation.messages import Announcement, RewardTableAnnouncement
 from repro.negotiation.protocol import NegotiationOutcome, NegotiationRecord
@@ -28,6 +31,90 @@ class CustomerOutcome:
             raise ValueError("committed cut-down must be in [0, 1]")
 
 
+class ColumnarOutcomes(Mapping):
+    """Per-customer outcomes stored as columns, materialised lazily.
+
+    The array-native round path never builds ``CustomerOutcome`` objects up
+    front: a million-household result would otherwise spend most of its time
+    (and memory) on dataclasses nobody reads.  This view keeps the six
+    per-customer columns as the engine's numpy arrays and behaves like the
+    eager ``dict[str, CustomerOutcome]`` everywhere: lookups, iteration,
+    ``items()``/``values()``/``get()`` and equality against plain dicts all
+    work, constructing each :class:`CustomerOutcome` only when it is touched.
+    """
+
+    __slots__ = (
+        "customer_ids",
+        "final_bid_cutdowns",
+        "awarded",
+        "committed_cutdowns",
+        "rewards",
+        "surpluses",
+        "_index",
+    )
+
+    def __init__(
+        self,
+        customer_ids: Sequence[str],
+        final_bid_cutdowns: np.ndarray,
+        awarded: np.ndarray,
+        committed_cutdowns: np.ndarray,
+        rewards: np.ndarray,
+        surpluses: np.ndarray,
+    ) -> None:
+        self.customer_ids = list(customer_ids)
+        columns = (final_bid_cutdowns, awarded, committed_cutdowns, rewards, surpluses)
+        for column in columns:
+            if len(column) != len(self.customer_ids):
+                raise ValueError(
+                    f"column length {len(column)} does not match "
+                    f"{len(self.customer_ids)} customers"
+                )
+        self.final_bid_cutdowns = final_bid_cutdowns
+        self.awarded = awarded
+        self.committed_cutdowns = committed_cutdowns
+        self.rewards = rewards
+        self.surpluses = surpluses
+        self._index: Optional[dict[str, int]] = None
+
+    def _customer_index(self) -> dict[str, int]:
+        if self._index is None:
+            self._index = {
+                customer: index for index, customer in enumerate(self.customer_ids)
+            }
+        return self._index
+
+    def outcome_at(self, index: int) -> CustomerOutcome:
+        """Materialise the outcome for the customer at one array position."""
+        return CustomerOutcome(
+            customer=self.customer_ids[index],
+            final_bid_cutdown=float(self.final_bid_cutdowns[index]),
+            awarded=bool(self.awarded[index]),
+            committed_cutdown=float(self.committed_cutdowns[index]),
+            reward=float(self.rewards[index]),
+            surplus=float(self.surpluses[index]),
+        )
+
+    def __getitem__(self, customer: str) -> CustomerOutcome:
+        try:
+            index = self._customer_index()[customer]
+        except KeyError:
+            raise KeyError(customer) from None
+        return self.outcome_at(index)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.customer_ids)
+
+    def __len__(self) -> int:
+        return len(self.customer_ids)
+
+    def __contains__(self, customer: object) -> bool:
+        return customer in self._customer_index()
+
+    def __repr__(self) -> str:
+        return f"ColumnarOutcomes({len(self.customer_ids)} customers)"
+
+
 @dataclass
 class NegotiationResult:
     """Outcome of one negotiation session."""
@@ -35,7 +122,10 @@ class NegotiationResult:
     scenario_name: str
     method_name: str
     record: NegotiationRecord
-    customer_outcomes: dict[str, CustomerOutcome]
+    #: Per-customer outcomes: an eager ``dict`` on the object round path, a
+    #: lazy :class:`ColumnarOutcomes` view on the array round path.  Both
+    #: honour the same mapping API and compare equal when their contents do.
+    customer_outcomes: Mapping[str, CustomerOutcome]
     total_reward_paid: float
     messages_sent: int
     simulation_rounds: int
@@ -91,16 +181,25 @@ class NegotiationResult:
     @property
     def participation_rate(self) -> float:
         """Fraction of customers with a positive committed cut-down."""
-        if not self.customer_outcomes:
+        outcomes = self.customer_outcomes
+        if not outcomes:
             return 0.0
-        active = sum(
-            1 for outcome in self.customer_outcomes.values() if outcome.committed_cutdown > 0
-        )
-        return active / len(self.customer_outcomes)
+        if isinstance(outcomes, ColumnarOutcomes):
+            active = int(np.count_nonzero(outcomes.committed_cutdowns > 0))
+            return active / len(outcomes)
+        active = sum(1 for outcome in outcomes.values() if outcome.committed_cutdown > 0)
+        return active / len(outcomes)
 
     @property
     def total_customer_surplus(self) -> float:
-        return sum(outcome.surplus for outcome in self.customer_outcomes.values())
+        outcomes = self.customer_outcomes
+        if isinstance(outcomes, ColumnarOutcomes):
+            if not len(outcomes):
+                return 0.0
+            # cumsum is strictly sequential, so this equals the eager path's
+            # left-to-right sum() bit for bit.
+            return float(np.cumsum(outcomes.surpluses)[-1])
+        return sum(outcome.surplus for outcome in outcomes.values())
 
     @property
     def reward_per_unit_overuse_removed(self) -> float:

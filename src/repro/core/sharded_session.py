@@ -68,6 +68,7 @@ class ShardedSession(FastSession):
         retain_round_bids: bool = True,
         shards: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        rounds: str = "object",
     ) -> None:
         super().__init__(
             scenario,
@@ -76,6 +77,7 @@ class ShardedSession(FastSession):
             check_protocol=check_protocol,
             retain_round_bids=retain_round_bids,
             fault_plan=fault_plan,
+            rounds=rounds,
         )
         validated = validate_shard_count(shards)
         self.requested_shards = (
@@ -128,9 +130,13 @@ class ShardedSession(FastSession):
                 self._executor.shutdown(wait=True)
                 self._executor = None
 
-    def _respond_all(self, announcement, state: dict, suppressed=None) -> list:
+    def _respond_all(
+        self, announcement, state: dict, suppressed=None, materialise: bool = True
+    ) -> Optional[list]:
         """Fan the round's kernels out, keeping the cut-down vector for later."""
-        bids = super()._respond_all(announcement, state, suppressed=suppressed)
+        bids = super()._respond_all(
+            announcement, state, suppressed=suppressed, materialise=materialise
+        )
         cutdowns = state.get("cutdowns")
         if cutdowns is not None:
             self._round_cutdowns.append(cutdowns)

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.core.results import NegotiationResult, SystemResult
+from repro.core.results import ColumnarOutcomes, NegotiationResult, SystemResult
 from repro.core.scenario import Scenario
 from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
 from repro.grid.load_profile import LoadProfile
@@ -191,14 +191,24 @@ class LoadBalancingSystem:
         interval = self.scenario.population.interval
         if interval is None:
             raise ValueError("cannot apply cut-downs without a peak interval")
-        cutdowns = np.array(
-            [
-                result.customer_outcomes[customer_id].committed_cutdown
-                if customer_id in result.customer_outcomes
-                else 0.0
-                for customer_id in fleet.household_ids
-            ]
-        )
+        outcomes = result.customer_outcomes
+        if (
+            isinstance(outcomes, ColumnarOutcomes)
+            and outcomes.customer_ids == fleet.household_ids
+        ):
+            # Array-round results already hold the committed cut-downs as a
+            # column in population (= fleet) order: consume it directly
+            # instead of materialising a CustomerOutcome per household.
+            cutdowns = np.asarray(outcomes.committed_cutdowns, dtype=float)
+        else:
+            cutdowns = np.array(
+                [
+                    outcomes[customer_id].committed_cutdown
+                    if customer_id in outcomes
+                    else 0.0
+                    for customer_id in fleet.household_ids
+                ]
+            )
         adjusted_matrix = np.array(baseline_matrix)
         indices = [slot.index for slot in interval.slots()]
         # Same elementwise operation as LoadProfile.with_cutdown_in.

@@ -53,6 +53,11 @@ CAMPAIGN_WARMUP_DAYS = 2
 LARGE_CAMPAIGN_HOUSEHOLDS = 100_000
 LARGE_CAMPAIGN_WINDOW = 7
 
+#: The million-household point: array-native rounds, lazy hand-off, bounded
+#: window, no bid retention.  Only reachable because no layer of the pipeline
+#: holds a per-household Python object for the round loop any more.
+XLARGE_CAMPAIGN_HOUSEHOLDS = 1_000_000
+
 #: One cold snap per three-day cycle keeps a steady stream of negotiated days.
 CONDITION_CYCLE = (
     WeatherCondition.MILD,
@@ -89,6 +94,7 @@ class CampaignBenchEntry:
     wall_seconds: float
     materialise: str = "eager"
     history_window: Optional[int] = None
+    rounds: str = "object"
     #: tracemalloc'd peak of the campaign run (MB of live Python/numpy
     #: allocations), measured only when the stage asks for it.
     peak_traced_mb: Optional[float] = None
@@ -101,6 +107,22 @@ class CampaignBenchEntry:
             "planning": self.planning,
             "materialise": self.materialise,
             "history_window": self.history_window,
+            "rounds": self.rounds,
+            "rounds_modes": sorted(
+                {
+                    str(day.metadata["rounds_mode"])
+                    for day in result.days
+                    if "rounds_mode" in day.metadata
+                }
+            ),
+            "kernel_cache": {
+                counter: sum(
+                    int(day.metadata["kernel_cache"][counter])
+                    for day in result.days
+                    if "kernel_cache" in day.metadata
+                )
+                for counter in ("hits", "misses")
+            },
             "backend": self.backend,
             "wall_seconds": self.wall_seconds,
             "planning_seconds": result.planning_seconds,
@@ -124,6 +146,7 @@ def run_campaign_bench(
     planning: str = "columnar",
     materialise: str = "eager",
     history_window: Optional[int] = None,
+    rounds: str = "object",
     retain_logs: bool = True,
     track_memory: bool = False,
 ) -> CampaignBenchEntry:
@@ -138,6 +161,7 @@ def run_campaign_bench(
         planning=planning,
         materialise=materialise,
         history_window=history_window,
+        rounds=rounds,
         retain_message_log=retain_logs,
     )
     peak_traced_mb: Optional[float] = None
@@ -170,6 +194,7 @@ def run_campaign_bench(
         wall_seconds=wall,
         materialise=materialise,
         history_window=history_window,
+        rounds=rounds,
         peak_traced_mb=peak_traced_mb,
     )
 
@@ -179,7 +204,8 @@ def render_entry(entry: CampaignBenchEntry) -> str:
     lines = [
         f"campaign — {row['num_households']} households, {row['num_days']} days "
         f"(backend={row['backend']}, planning={row['planning']}, "
-        f"materialise={row['materialise']}, history_window={row['history_window']})",
+        f"materialise={row['materialise']}, history_window={row['history_window']}, "
+        f"rounds={row['rounds']})",
         f"wall_seconds: {row['wall_seconds']:.2f}",
         f"planning_seconds: {row['planning_seconds']:.2f}",
         f"negotiation_seconds: {row['negotiation_seconds']:.2f}",
@@ -203,13 +229,17 @@ def write_campaign_json(
     seed: int = CAMPAIGN_SEED,
     lazy: Optional[CampaignBenchEntry] = None,
     lazy_large: Optional[CampaignBenchEntry] = None,
+    array: Optional[CampaignBenchEntry] = None,
+    xlarge: Optional[CampaignBenchEntry] = None,
 ) -> Path:
     """Write the machine-readable campaign trajectory.
 
     ``planning_speedup`` — the scalar/columnar planning-phase wall-clock
     ratio — is only present when the scalar reference run was measured;
     ``lazy`` / ``lazy_large`` carry the zero-materialisation sweep (10k and
-    the utility-scale point) when those stages ran.
+    the utility-scale point) when those stages ran; ``array`` is the 10k
+    array-round run (asserted row-identical to ``columnar`` before emission)
+    and ``xlarge`` the million-household array-round point.
     """
     payload: dict[str, object] = {
         "experiment": "campaign_scale",
@@ -226,5 +256,9 @@ def write_campaign_json(
         payload["lazy"] = lazy.as_row()
     if lazy_large is not None:
         payload["lazy_large"] = lazy_large.as_row()
+    if array is not None:
+        payload["array"] = array.as_row()
+    if xlarge is not None:
+        payload["xlarge"] = xlarge.as_row()
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from repro.negotiation.reward_table import RewardTable
 
 
@@ -90,6 +92,31 @@ def predicted_overuse(
         cutdown = cutdowns.get(customer, 0.0)
         total += predicted_use_with_cutdown(predicted, allowed_uses[customer], cutdown)
     return total - normal_use
+
+
+def predicted_overuse_array(
+    predicted_uses: np.ndarray,
+    allowed_uses: np.ndarray,
+    cutdowns: np.ndarray,
+    normal_use: float,
+) -> float:
+    """Array sibling of :func:`predicted_overuse`, bit-identical to it.
+
+    The per-customer clamp repeats :func:`predicted_use_with_cutdown`'s
+    arithmetic element-wise in the same operation order, and the reduction
+    uses ``np.cumsum(...)[-1]`` — a strictly left-to-right accumulation —
+    rather than ``np.sum``, whose pairwise summation reassociates the adds.
+    The result therefore carries the exact double the scalar loop computes,
+    which is what keeps the ``rounds="array"`` fast path inside the
+    bit-identity contract.
+    """
+    if normal_use <= 0:
+        raise ValueError(f"normal use must be positive, got {normal_use}")
+    reduced_allowance = (1.0 - cutdowns) * allowed_uses
+    clamped = np.where(reduced_allowance >= predicted_uses, predicted_uses, reduced_allowance)
+    if clamped.size == 0:
+        return -normal_use
+    return float(np.cumsum(clamped)[-1] - normal_use)
 
 
 def relative_overuse(overuse_value: float, normal_use: float) -> float:

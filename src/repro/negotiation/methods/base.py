@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
+
+import numpy as np
 
 from repro.negotiation.messages import Announcement, Bid
 from repro.negotiation.reward_table import CutdownRewardRequirements
 from repro.negotiation.termination import TerminationReason
 from repro.runtime.clock import TimeInterval
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.vectorized import VectorizedPopulation
 
 
 @dataclass
@@ -103,6 +108,21 @@ class RoundEvaluation:
         return self.termination is not None
 
 
+@dataclass
+class ArrayRoundEvaluation(RoundEvaluation):
+    """A round evaluation whose acceptance decision is a boolean mask.
+
+    The ``rounds="array"`` fast path never builds the per-customer
+    ``accepted_customers`` dict; acceptance lives in ``accepted_mask``
+    (population order).  The scalar fields carry exactly the doubles the
+    dict-based :meth:`NegotiationMethod.evaluate_round` would compute, so
+    :meth:`NegotiationMethod.next_announcement` consumes either evaluation
+    interchangeably.
+    """
+
+    accepted_mask: Optional[np.ndarray] = None
+
+
 class NegotiationMethod(abc.ABC):
     """Interface shared by the offer, request-for-bids and reward-table methods."""
 
@@ -158,3 +178,63 @@ class NegotiationMethod(abc.ABC):
         self, context: UtilityContext, announcement: Announcement, bids: Mapping[str, Bid]
     ) -> dict[str, float]:
         """Per-customer reward (or price advantage) owed if these bids are awarded."""
+
+    # -- array-native round contract (the ``rounds="array"`` fast path) ----------
+    #
+    # In array rounds a round's bids exist only as the numpy state array the
+    # session's kernels already compute — cut-down fractions (reward tables),
+    # needed uses (request for bids) or acceptance booleans (offer) in
+    # population order.  ``undelivered`` (``None`` when fault-free) marks
+    # rows whose bid the Utility Agent never received; implementations must
+    # treat those rows exactly as the dict-based methods treat an absent
+    # ``bids`` entry.  Every scalar the array contract produces must be
+    # bit-identical to its dict sibling at equal inputs — the object path is
+    # the equivalence oracle.
+
+    def supports_array_rounds(self) -> bool:
+        """Whether this method instance can evaluate rounds array-natively.
+
+        ``False`` (the default) makes the session fall back to object
+        rounds; the stock methods override with an exact-type check so a
+        subclass with redefined semantics never silently rides the arrays.
+        """
+        return False
+
+    def evaluate_round_arrays(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+        round_number: int,
+    ) -> ArrayRoundEvaluation:
+        """Array sibling of :meth:`evaluate_round` over the bid-state array."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement array-native rounds"
+        )
+
+    def committed_cutdowns_array(
+        self,
+        context: UtilityContext,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Array sibling of :meth:`committed_cutdowns` (population order)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement array-native rounds"
+        )
+
+    def rewards_due_array(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Array sibling of :meth:`rewards_due` (population order)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement array-native rounds"
+        )

@@ -10,18 +10,28 @@ no influence on the negotiation process".
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
+
+import numpy as np
 
 from repro.grid.pricing import Tariff
-from repro.negotiation.formulas import predicted_overuse, relative_overuse
+from repro.negotiation.formulas import (
+    predicted_overuse,
+    predicted_overuse_array,
+    relative_overuse,
+)
 from repro.negotiation.messages import Announcement, Bid, OfferAnnouncement, OfferResponse
 from repro.negotiation.methods.base import (
+    ArrayRoundEvaluation,
     CustomerContext,
     NegotiationMethod,
     RoundEvaluation,
     UtilityContext,
 )
 from repro.negotiation.termination import TerminationReason
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.vectorized import VectorizedPopulation
 
 
 class OfferMethod(NegotiationMethod):
@@ -187,3 +197,80 @@ class OfferMethod(NegotiationMethod):
             else:
                 rewards[customer] = 0.0
         return rewards
+
+    # -- array-native rounds -----------------------------------------------------
+
+    def supports_array_rounds(self) -> bool:
+        """Exact-type check: a subclass may redefine the per-bid semantics."""
+        return type(self) is OfferMethod
+
+    def _delivered_acceptances(
+        self, bid_state: np.ndarray, undelivered: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Acceptance booleans with undelivered responses counting as absent."""
+        if undelivered is None:
+            return bid_state
+        return bid_state & ~undelivered
+
+    def evaluate_round_arrays(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+        round_number: int,
+    ) -> ArrayRoundEvaluation:
+        """Array sibling of :meth:`evaluate_round` over the acceptance booleans.
+
+        ``bid_state`` holds each customer's acceptance decision (what the
+        round's ``OfferResponse`` objects would carry); an undelivered row is
+        an absent response, i.e. a decline.
+        """
+        accepted = self._delivered_acceptances(bid_state, undelivered)
+        cutdowns = np.where(accepted, 1.0 - self.x_max, 0.0)
+        overuse = predicted_overuse_array(
+            population.predicted_uses,
+            population.allowed_uses,
+            cutdowns,
+            context.normal_use,
+        )
+        ratio = relative_overuse(overuse, context.normal_use)
+        reason = (
+            TerminationReason.OVERUSE_ACCEPTABLE
+            if overuse <= context.max_allowed_overuse
+            else TerminationReason.AGREEMENT
+        )
+        return ArrayRoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_mask=accepted,
+        )
+
+    def committed_cutdowns_array(
+        self,
+        context: UtilityContext,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        accepted = self._delivered_acceptances(bid_state, undelivered)
+        return np.where(accepted, 1.0 - self.x_max, 0.0)
+
+    def rewards_due_array(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if not isinstance(announcement, OfferAnnouncement):
+            raise TypeError("offer method needs an OfferAnnouncement")
+        accepted = self._delivered_acceptances(bid_state, undelivered)
+        allowances = announcement.x_max * population.allowed_uses
+        consumed = np.minimum(population.predicted_uses, allowances)
+        return np.where(
+            accepted, consumed * self.peak_hours * announcement.tariff.discount, 0.0
+        )

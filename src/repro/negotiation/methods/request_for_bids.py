@@ -11,7 +11,9 @@ multi-round negotiation.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
+
+import numpy as np
 
 from repro.grid.pricing import Tariff
 from repro.negotiation.formulas import relative_overuse
@@ -22,12 +24,16 @@ from repro.negotiation.messages import (
     RequestForBidsAnnouncement,
 )
 from repro.negotiation.methods.base import (
+    ArrayRoundEvaluation,
     CustomerContext,
     NegotiationMethod,
     RoundEvaluation,
     UtilityContext,
 )
 from repro.negotiation.termination import TerminationReason
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.vectorized import VectorizedPopulation
 
 
 class RequestForBidsMethod(NegotiationMethod):
@@ -231,3 +237,88 @@ class RequestForBidsMethod(NegotiationMethod):
             else:
                 rewards[customer] = 0.0
         return rewards
+
+    # -- array-native rounds -----------------------------------------------------
+
+    def supports_array_rounds(self) -> bool:
+        """Exact-type check: a subclass may redefine the per-bid semantics."""
+        return type(self) is RequestForBidsMethod
+
+    def evaluate_round_arrays(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+        round_number: int,
+    ) -> ArrayRoundEvaluation:
+        """Array sibling of :meth:`evaluate_round` over the needed-use state.
+
+        ``bid_state`` holds each customer's bid quantity (what the round's
+        ``QuantityBid`` objects would carry); an undelivered row is an absent
+        bid, i.e. the customer's full predicted use.  The total-need
+        reduction runs through ``np.cumsum`` (strictly sequential) so it is
+        bit-identical to the dict path's ``sum()``, and the stand-still check
+        reads and updates the same ``_previous_total_need`` the dict path
+        maintains.
+        """
+        predicted = population.predicted_uses
+        capped = np.minimum(predicted, bid_state)
+        if undelivered is not None:
+            capped = np.where(undelivered, predicted, capped)
+        total_need = float(np.cumsum(capped)[-1]) if capped.size else 0.0
+        overuse = total_need - context.normal_use
+        ratio = relative_overuse(overuse, context.normal_use)
+        reason: Optional[TerminationReason] = None
+        if overuse <= context.max_allowed_overuse:
+            reason = TerminationReason.OVERUSE_ACCEPTABLE
+        elif round_number + 1 >= self.max_rounds:
+            reason = TerminationReason.MAX_ROUNDS
+        elif (
+            self._previous_total_need is not None
+            and total_need >= self._previous_total_need - 1e-9
+        ):
+            reason = TerminationReason.REWARD_SATURATED
+        self._previous_total_need = total_need
+        accepted = bid_state < predicted
+        if undelivered is not None:
+            accepted = accepted & ~undelivered
+        return ArrayRoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_mask=accepted,
+        )
+
+    def committed_cutdowns_array(
+        self,
+        context: UtilityContext,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        predicted = population.predicted_uses
+        with np.errstate(divide="ignore", invalid="ignore"):
+            safe_predicted = np.where(predicted > 0.0, predicted, 1.0)
+            fractions = np.maximum(0.0, 1.0 - bid_state / safe_predicted)
+        delivered_with_use = predicted > 0.0
+        if undelivered is not None:
+            delivered_with_use = delivered_with_use & ~undelivered
+        return np.where(delivered_with_use, fractions, 0.0)
+
+    def rewards_due_array(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if not isinstance(announcement, RequestForBidsAnnouncement):
+            raise TypeError("request-for-bids method needs a RequestForBidsAnnouncement")
+        billable = np.minimum(bid_state, population.predicted_uses)
+        rewards = billable * self.peak_hours * announcement.tariff.discount
+        if undelivered is None:
+            return rewards
+        return np.where(undelivered, 0.0, rewards)

@@ -11,10 +11,13 @@ saturated at ``max_reward``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.negotiation.formulas import (
     predicted_overuse,
+    predicted_overuse_array,
     relative_overuse,
     update_reward_table,
 )
@@ -25,6 +28,7 @@ from repro.negotiation.messages import (
     RewardTableAnnouncement,
 )
 from repro.negotiation.methods.base import (
+    ArrayRoundEvaluation,
     CustomerContext,
     NegotiationMethod,
     RoundEvaluation,
@@ -38,6 +42,7 @@ from repro.negotiation.strategy import (
     BidAcceptancePolicy,
     ConstantBeta,
     CustomerBiddingPolicy,
+    ExpectedGainBidding,
     GenerateAndSelectAnnouncements,
     HighestAcceptableCutdownBidding,
 )
@@ -46,6 +51,9 @@ from repro.negotiation.termination import (
     NegotiationStatus,
     TerminationCondition,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.vectorized import VectorizedPopulation
 
 
 class RewardTablesMethod(NegotiationMethod):
@@ -233,3 +241,88 @@ class RewardTablesMethod(NegotiationMethod):
             else:
                 rewards[customer] = 0.0
         return rewards
+
+    # -- array-native rounds -----------------------------------------------------
+
+    def supports_array_rounds(self) -> bool:
+        """Array rounds need the stock policies whose kernels fill the state.
+
+        Exact-type checks, mirroring the engine façade's fast-path routing:
+        a subclass or a custom acceptance/bidding policy may redefine the
+        per-bid semantics the array contract hard-codes, so anything but the
+        stock combination falls back to object rounds.
+        """
+        return (
+            type(self) is RewardTablesMethod
+            and type(self.acceptance_policy) is AcceptAllBids
+            and type(self.bidding_policy)
+            in (HighestAcceptableCutdownBidding, ExpectedGainBidding)
+        )
+
+    def evaluate_round_arrays(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+        round_number: int,
+    ) -> ArrayRoundEvaluation:
+        """Array sibling of :meth:`evaluate_round` over the cut-down state.
+
+        ``bid_state`` is the session's per-customer cut-down array (what the
+        round's ``CutdownBid`` objects would carry); an undelivered row acts
+        as an absent bid, i.e. a zero cut-down, exactly like the dict path's
+        ``cutdowns.get(customer, 0.0)``.  Acceptance is the stock
+        ``AcceptAllBids`` rule — every delivered positive cut-down.
+        """
+        cutdowns = self.committed_cutdowns_array(
+            context, population, bid_state, undelivered
+        )
+        overuse = predicted_overuse_array(
+            population.predicted_uses,
+            population.allowed_uses,
+            cutdowns,
+            context.normal_use,
+        )
+        ratio = relative_overuse(overuse, context.normal_use)
+        status = NegotiationStatus(
+            round_number=round_number,
+            predicted_overuse=overuse,
+            normal_use=context.normal_use,
+            previous_table=None,
+            current_table=None,
+        )
+        reason = self._overuse_condition(context).check(status)
+        return ArrayRoundEvaluation(
+            predicted_overuse=overuse,
+            relative_overuse=ratio,
+            termination=reason,
+            accepted_mask=cutdowns > 0.0,
+        )
+
+    def committed_cutdowns_array(
+        self,
+        context: UtilityContext,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if undelivered is None:
+            return bid_state
+        return np.where(undelivered, 0.0, bid_state)
+
+    def rewards_due_array(
+        self,
+        context: UtilityContext,
+        announcement: Announcement,
+        population: "VectorizedPopulation",
+        bid_state: np.ndarray,
+        undelivered: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if not isinstance(announcement, RewardTableAnnouncement):
+            raise TypeError("reward-tables method needs a RewardTableAnnouncement")
+        rewards = population.table_rewards(announcement.table, bid_state)
+        if undelivered is None:
+            return rewards
+        return np.where(undelivered, 0.0, rewards)

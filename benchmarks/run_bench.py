@@ -6,9 +6,11 @@ sharded-runtime sweep (5,000 -> 50,000 households, one worker per core), the
 object-path reference sweep and the campaign benchmarks — the 10k-household
 14-day pipeline (planning-phase vs negotiation-phase wall-clock split,
 columnar and scalar planning, lazy and array-round variants, each asserted
-row-identical to the eager/object oracle), the 100k ``lazy_large`` point and
+row-identical to the eager/object oracle), the 100k ``lazy_large`` point,
 the million-household ``campaign_xlarge`` point (both lazy + bounded history
-window + no bid retention + ``rounds="array"``, tracemalloc'd) — and writes
+window + no bid retention + ``rounds="array"``, tracemalloc'd) and the
+mixed-town ``hetero`` point (bucketed-fleet planning vs the scalar fallback
+it replaces, with a speedup acceptance floor) — and writes
 the plain-text reports to ``benchmarks/reports/`` and the machine-readable
 perf trajectories to ``benchmarks/BENCH_scalability.json`` and
 ``benchmarks/BENCH_campaign.json``.
@@ -48,6 +50,8 @@ from repro.experiments.campaign_bench import (  # noqa: E402  (path setup above)
     CAMPAIGN_DAYS,
     CAMPAIGN_HOUSEHOLDS,
     CAMPAIGN_SEED,
+    HETERO_CAMPAIGN_DAYS,
+    HETERO_MIN_PLANNING_SPEEDUP,
     LARGE_CAMPAIGN_HOUSEHOLDS,
     LARGE_CAMPAIGN_WINDOW,
     XLARGE_CAMPAIGN_HOUSEHOLDS,
@@ -173,7 +177,28 @@ def _check_sweep(
         )
 
 
-def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
+def _hetero_backend_gate(label: str, row: dict, failures: list[str]) -> None:
+    """Every negotiated day of a mixed town must ride a batched backend.
+
+    A heterogeneous population silently landing on the object path is
+    exactly the fallback cliff this benchmark exists to guard against.
+    """
+    stray = sorted(
+        {
+            backend
+            for backend in row["backends"]
+            if backend not in ("-", "vectorized", "sharded", "async")
+        }
+    )
+    if stray:
+        failures.append(
+            f"{label}: negotiated days ran unbatched backends {stray}"
+        )
+
+
+def check_campaign_baseline(
+    baseline_path: Path, failures: list[str], skip_hetero: bool = False
+) -> None:
     """Replay the committed campaign trajectory and compare.
 
     Campaign *behaviour* (which days negotiated, total reward) is
@@ -244,6 +269,34 @@ def check_campaign_baseline(baseline_path: Path, failures: list[str]) -> None:
             track_memory=True,
         )
         _compare_campaign_entry("xlarge", xlarge, xlarge_entry, failures)
+    hetero = payload.get("hetero")
+    if hetero is not None and not skip_hetero:
+        print(
+            f"hetero campaign check "
+            f"({hetero['num_households']} households x {hetero['num_days']} days, "
+            f"town={hetero.get('town', 'mixed')})"
+        )
+        hetero_entry = run_campaign_bench(
+            num_households=int(hetero["num_households"]),
+            num_days=int(hetero["num_days"]),
+            seed=seed,
+            backend=str(hetero.get("backend", "auto")),
+            planning="columnar",
+            rounds=str(hetero.get("rounds", "object")),
+            town=str(hetero.get("town", "mixed")),
+        )
+        _compare_campaign_entry("hetero", hetero, hetero_entry, failures)
+        _hetero_backend_gate("hetero", hetero_entry.as_row(), failures)
+        speedup = payload.get("hetero_planning_speedup")
+        if speedup is None:
+            failures.append(
+                "hetero: baseline records no hetero_planning_speedup"
+            )
+        elif float(speedup) < HETERO_MIN_PLANNING_SPEEDUP:
+            failures.append(
+                f"hetero: recorded planning speedup {float(speedup):.1f}x "
+                f"below the {HETERO_MIN_PLANNING_SPEEDUP:.1f}x floor"
+            )
 
 
 def _compare_campaign_entry(
@@ -453,6 +506,7 @@ def check_against_baseline(
     campaign_path: Path | None = None,
     serving_path: Path | None = None,
     overload_path: Path | None = None,
+    skip_campaign_hetero: bool = False,
 ) -> int:
     """Compare fresh sweeps against the committed trajectory.
 
@@ -510,7 +564,9 @@ def check_against_baseline(
                     )
 
     if campaign_path is not None:
-        check_campaign_baseline(campaign_path, failures)
+        check_campaign_baseline(
+            campaign_path, failures, skip_hetero=skip_campaign_hetero
+        )
 
     if serving_path is not None:
         check_serving_baseline(serving_path, failures)
@@ -584,6 +640,11 @@ def main(argv: list[str] | None = None) -> int:
         help="population size of the utility-scale lazy campaign point",
     )
     parser.add_argument(
+        "--skip-campaign-hetero", action="store_true",
+        help="skip the heterogeneous-town campaign point (no hetero entry / "
+             "no hetero replay with --check)",
+    )
+    parser.add_argument(
         "--skip-campaign-large", action="store_true",
         help="skip the utility-scale lazy campaign point (no lazy_large entry)",
     )
@@ -653,7 +714,8 @@ def main(argv: list[str] | None = None) -> int:
         serving_path = None if arguments.skip_serving else arguments.serving_json
         overload_path = None if arguments.skip_overload else arguments.overload_json
         return check_against_baseline(
-            arguments.json, campaign_path, serving_path, overload_path
+            arguments.json, campaign_path, serving_path, overload_path,
+            skip_campaign_hetero=arguments.skip_campaign_hetero,
         )
 
     shards = (
@@ -816,6 +878,67 @@ def main(argv: list[str] | None = None) -> int:
                 track_memory=True,
             )
             print(render_entry(xlarge_entry))
+        hetero_entry = None
+        hetero_scalar_entry = None
+        if not arguments.skip_campaign_hetero:
+            print(
+                f"campaign benchmark: {arguments.campaign_households} "
+                f"households x {HETERO_CAMPAIGN_DAYS} days (mixed town, "
+                f"bucketed-fleet planning)"
+            )
+            hetero_entry = run_campaign_bench(
+                num_households=arguments.campaign_households,
+                num_days=HETERO_CAMPAIGN_DAYS,
+                seed=arguments.seed,
+                town="mixed",
+            )
+            print(render_entry(hetero_entry))
+            hetero_failures: list[str] = []
+            _hetero_backend_gate(
+                "campaign_hetero", hetero_entry.as_row(), hetero_failures
+            )
+            if hetero_failures:
+                for failure in hetero_failures:
+                    print(f"campaign FAILURE: {failure}", file=sys.stderr)
+                return 1
+            print(
+                "campaign benchmark: mixed town, scalar-planning reference "
+                "(the pre-bucketing fallback path)"
+            )
+            hetero_scalar_entry = run_campaign_bench(
+                num_households=arguments.campaign_households,
+                num_days=HETERO_CAMPAIGN_DAYS,
+                seed=arguments.seed,
+                planning="scalar",
+                town="mixed",
+            )
+            print(render_entry(hetero_scalar_entry))
+            # Bucketing is an optimisation, not a behaviour change: the
+            # bucketed fleet must realise the identical campaign to the
+            # scalar per-household loop it replaces.
+            if hetero_scalar_entry.result.rows() != hetero_entry.result.rows():
+                print(
+                    "campaign FAILURE: mixed-town scalar and bucketed "
+                    "planning diverged",
+                    file=sys.stderr,
+                )
+                return 1
+            hetero_speedup = (
+                hetero_scalar_entry.result.planning_seconds
+                / hetero_entry.result.planning_seconds
+            )
+            print(
+                f"hetero_planning_speedup (scalar/bucketed): "
+                f"{hetero_speedup:.1f}x"
+            )
+            if hetero_speedup < HETERO_MIN_PLANNING_SPEEDUP:
+                print(
+                    f"campaign FAILURE: hetero planning speedup "
+                    f"{hetero_speedup:.1f}x below the "
+                    f"{HETERO_MIN_PLANNING_SPEEDUP:.1f}x acceptance floor",
+                    file=sys.stderr,
+                )
+                return 1
         campaign_report = render_entry(columnar_entry)
         if scalar_entry is not None:
             campaign_report += "\n\n" + render_entry(scalar_entry)
@@ -825,12 +948,17 @@ def main(argv: list[str] | None = None) -> int:
             campaign_report += "\n\n" + render_entry(large_entry)
         if xlarge_entry is not None:
             campaign_report += "\n\n" + render_entry(xlarge_entry)
+        if hetero_entry is not None:
+            campaign_report += "\n\n" + render_entry(hetero_entry)
+        if hetero_scalar_entry is not None:
+            campaign_report += "\n\n" + render_entry(hetero_scalar_entry)
         campaign_report_path = report_dir / "campaign_pipeline.txt"
         campaign_report_path.write_text(campaign_report + "\n", encoding="utf-8")
         campaign_json_path = write_campaign_json(
             arguments.campaign_json, columnar_entry, scalar_entry,
             seed=arguments.seed, lazy=lazy_entry, lazy_large=large_entry,
-            array=array_entry, xlarge=xlarge_entry,
+            array=array_entry, xlarge=xlarge_entry, hetero=hetero_entry,
+            hetero_scalar=hetero_scalar_entry,
         )
         print(f"wrote {campaign_report_path}")
         print(f"wrote {campaign_json_path}")

@@ -43,7 +43,7 @@ from repro.agents.resource_consumer_agent import ResourceConsumerAgent
 from repro.core.modes import validate_materialise_mode, validate_planning_mode
 from repro.grid.appliances import ApplianceLibrary, standard_appliance_library
 from repro.grid.demand import DemandModel
-from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+from repro.grid.fleet import Fleet, FleetIncompatibleError, pack_fleet
 from repro.grid.household import Household
 from repro.grid.weather import WeatherSample
 from repro.negotiation.methods.base import CustomerContext, NegotiationMethod, UtilityContext
@@ -143,7 +143,12 @@ class CustomerPopulation:
         #: The columnar fleet the population was planned from, when it came
         #: out of a fleet-backed constructor; lets downstream consumers (the
         #: load-balancing system's accounting) reuse the packed arrays.
-        self.fleet: Optional[HouseholdFleet] = None
+        self.fleet: Optional[Fleet] = None
+        #: Why a ``planning="columnar"`` constructor fell back to the scalar
+        #: per-household path (``None`` when the fleet packed or the scalar
+        #: path was asked for).  Surfaced by the engine facade as
+        #: ``metadata["planning_fallback"]``.
+        self.planning_fallback: Optional[str] = None
 
     # -- materialisation -----------------------------------------------------------
 
@@ -278,7 +283,7 @@ class CustomerPopulation:
     @classmethod
     def from_fleet(
         cls,
-        fleet: HouseholdFleet,
+        fleet: Fleet,
         predicted_uses: Union[Sequence[float], np.ndarray],
         requirements: FleetRequirements,
         normal_use: float,
@@ -378,12 +383,14 @@ class CustomerPopulation:
                                config.slots_per_day)
             for i in range(config.num_households)
         ]
-        fleet: Optional[HouseholdFleet] = None
+        fleet: Optional[Fleet] = None
+        planning_fallback: Optional[str] = None
         if planning == "columnar":
             try:
-                fleet = HouseholdFleet(households)
-            except FleetIncompatibleError:
+                fleet = pack_fleet(households)
+            except FleetIncompatibleError as exc:
                 fleet = None
+                planning_fallback = str(exc)
         demand_model = DemandModel(
             households, random.spawn("demand"), config.behavioural_noise, fleet=fleet
         )
@@ -438,7 +445,7 @@ class CustomerPopulation:
                     household=household,
                 )
             )
-        return cls(
+        population = cls(
             specs=specs,
             normal_use=normal_use,
             interval=interval,
@@ -446,6 +453,8 @@ class CustomerPopulation:
             households=households,
             weather=weather,
         )
+        population.planning_fallback = planning_fallback
+        return population
 
     @classmethod
     def calibrated(

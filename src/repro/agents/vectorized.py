@@ -24,7 +24,11 @@ the scalar code in :mod:`repro.negotiation.reward_table` and
 :mod:`repro.negotiation.strategy` operation-for-operation (same comparison
 epsilons, same float operation order) so the fast path is bit-identical, not
 merely approximately equal.  Populations whose customers use heterogeneous
-requirement grids fall back to the scalar per-customer code automatically.
+requirement grids run *grouped* kernels — customers are bucketed per distinct
+grid and each bucket rides the shared-grid kernels, results scattered back
+into population order — as long as the number of distinct grids stays within
+:data:`GRID_GROUP_AUTO_CAP`; beyond that the scalar per-customer code stays
+in charge.
 """
 
 from __future__ import annotations
@@ -44,6 +48,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: table / per query vector; a negotiation touches one table per round, so a
 #: handful of slots suffices to cover a round's kernel calls).
 KERNEL_CACHE_SIZE = 8
+
+#: Largest number of *distinct* requirement grids a heterogeneous population
+#: may use and still run the grouped batched kernels.  Each distinct grid
+#: becomes one sub-population with its own kernel caches; past this bound the
+#: per-group batches degenerate towards one-customer groups and the scalar
+#: per-customer code wins, so grouping is skipped.  The engine façade's
+#: ``backend="auto"`` qualification applies the same bound, so the two can
+#: never drift.
+GRID_GROUP_AUTO_CAP = 32
 
 
 def shares_requirement_grid(
@@ -76,7 +89,8 @@ class VectorizedPopulation:
         Per-customer physical cut-down limit (from the requirement tables).
     requirement_grid:
         The shared ascending cut-down grid of the requirement tables, or
-        ``None`` when customers use heterogeneous grids (scalar fallback).
+        ``None`` when customers use heterogeneous grids (the grouped kernels
+        or the scalar fallback take over).
     requirement_matrix:
         ``(num_customers, grid_size)`` matrix of required rewards, aligned
         with ``requirement_grid`` (``None`` for heterogeneous grids).
@@ -128,15 +142,53 @@ class VectorizedPopulation:
         self.kernel_cache_misses = 0
 
     def _build_requirement_matrix(self) -> None:
-        """Pack the requirement tables into one matrix when grids are shared."""
+        """Pack the requirement tables into one matrix when grids are shared.
+
+        Heterogeneous-grid populations get :attr:`_grid_groups` instead: one
+        shared-grid sub-population per distinct grid (bounded by
+        :data:`GRID_GROUP_AUTO_CAP`), whose kernels the public kernels
+        dispatch to group-by-group.
+        """
+        self._grid_groups = None
         if not shares_requirement_grid(self.requirements):
-            return  # heterogeneous grids: scalar fallback stays in charge
+            self._grid_groups = self._build_grid_groups()
+            return
         first_grid = self.requirements[0].cutdowns()
         self.requirement_grid = np.asarray(first_grid, dtype=float)
         self.requirement_matrix = np.array(
             [[r.requirements[c] for c in first_grid] for r in self.requirements],
             dtype=float,
         )
+
+    def _build_grid_groups(
+        self,
+    ) -> Optional[list[tuple[np.ndarray, "VectorizedPopulation"]]]:
+        """Group customers by requirement grid, in first-appearance order.
+
+        Returns ``(population-row indices, shared-grid sub-population)``
+        pairs, or ``None`` when the population uses more than
+        :data:`GRID_GROUP_AUTO_CAP` distinct grids (the scalar per-customer
+        path then stays in charge).  Every sub-population is shared-grid by
+        construction, so its kernels are the proven bit-identical ones; a
+        grouped kernel result scattered into population order therefore
+        matches the scalar per-customer loop row for row.
+        """
+        grouped: dict[tuple, list[int]] = {}
+        for row, table in enumerate(self.requirements):
+            grouped.setdefault(tuple(table.cutdowns()), []).append(row)
+        if len(grouped) > GRID_GROUP_AUTO_CAP:
+            return None
+        groups = []
+        for rows in grouped.values():
+            indices = np.array(rows, dtype=np.intp)
+            sub = VectorizedPopulation(
+                customer_ids=[self.customer_ids[row] for row in rows],
+                predicted_uses=self.predicted_uses[indices],
+                allowed_uses=self.allowed_uses[indices],
+                requirements=[self.requirements[row] for row in rows],
+            )
+            groups.append((indices, sub))
+        return groups
 
     # -- construction -----------------------------------------------------------
 
@@ -194,6 +246,7 @@ class VectorizedPopulation:
         )
         population.requirement_grid = np.asarray(grid, dtype=float)
         population.requirement_matrix = np.array(requirements.matrix, dtype=float)
+        population._grid_groups = None
         population._reset_kernel_cache()
         return population
 
@@ -259,6 +312,7 @@ class VectorizedPopulation:
         combined.requirement_matrix = np.concatenate(
             [population.requirement_matrix for population in populations]
         )
+        combined._grid_groups = None
         combined._reset_kernel_cache()
         return combined
 
@@ -269,8 +323,19 @@ class VectorizedPopulation:
 
     @property
     def is_vectorizable(self) -> bool:
-        """Whether all customers share one requirement grid (batched kernels)."""
-        return self.requirement_grid is not None
+        """Whether the batched kernels apply.
+
+        True when all customers share one requirement grid (one matrix, the
+        fastest flavour) *or* when they bucket into at most
+        :data:`GRID_GROUP_AUTO_CAP` per-grid groups (grouped kernels).  Only
+        populations beyond the group cap run the scalar per-customer code.
+        """
+        return self.requirement_grid is not None or self._grid_groups is not None
+
+    @property
+    def num_grid_groups(self) -> int:
+        """Distinct-grid group count (0 for shared-grid/scalar populations)."""
+        return len(self._grid_groups) if self._grid_groups is not None else 0
 
     # -- sharding ---------------------------------------------------------------
 
@@ -279,11 +344,14 @@ class VectorizedPopulation:
 
         The shard shares the parent's numpy arrays (row views, no copies) so a
         :class:`~repro.agents.sharded.ShardedPopulation` over 50k households
-        costs no extra memory.  A shard inherits the parent's vectorizability:
-        a heterogeneous parent yields heterogeneous (scalar-fallback) shards
-        even when the sliced rows happen to share one grid, so every shard of
-        one population runs the same kernel flavour.  Each shard owns its own
-        kernel cache (caches are not thread-shared).
+        costs no extra memory.  A shard inherits the parent's kernel flavour:
+        a shared-grid parent yields shared-grid shards, a grouped
+        (heterogeneous) parent yields grouped shards — rebuilt from the
+        shard's own rows — and a beyond-the-cap scalar parent yields scalar
+        shards even when the sliced rows happen to share one grid, so every
+        shard of one population runs a batched flavour exactly when the
+        parent does.  Each shard owns its own kernel cache (caches are not
+        thread-shared).
         """
         if not 0 <= start < stop <= len(self.customer_ids):
             raise ValueError(
@@ -307,14 +375,37 @@ class VectorizedPopulation:
             None if self.requirement_matrix is None
             else self.requirement_matrix[start:stop]
         )
+        if self.requirement_grid is None and self._grid_groups is not None:
+            # A grouped parent's rows all carry materialised tables, so the
+            # shard regroups its own rows (possibly fewer, never more grids).
+            shard._grid_groups = shard._build_grid_groups()
+        else:
+            shard._grid_groups = None
         shard._reset_kernel_cache()
         return shard
 
     # -- kernel cache -----------------------------------------------------------
 
     def kernel_cache_stats(self) -> dict[str, int]:
-        """Hit/miss counters of the per-round kernel cache (observability)."""
-        return {"hits": self.kernel_cache_hits, "misses": self.kernel_cache_misses}
+        """Hit/miss counters of the per-round kernel cache (observability).
+
+        Grouped populations roll the per-group sub-population counters up, so
+        the numbers reflect every batched kernel run on this population's
+        behalf.
+        """
+        hits, misses = self.kernel_cache_hits, self.kernel_cache_misses
+        if self._grid_groups is not None:
+            for __, sub in self._grid_groups:
+                hits += sub.kernel_cache_hits
+                misses += sub.kernel_cache_misses
+        return {"hits": hits, "misses": misses}
+
+    def _gather_scatter(self, kernel) -> np.ndarray:
+        """Run ``kernel(sub, rows)`` per grid group and scatter into place."""
+        out = np.zeros(len(self.customer_ids))
+        for indices, sub in self._grid_groups:
+            out[indices] = kernel(sub, indices)
+        return out
 
     @staticmethod
     def _cache_store(cache: dict, key, value):
@@ -376,7 +467,11 @@ class VectorizedPopulation:
 
     def highest_acceptable_cutdowns(self, table: RewardTable) -> np.ndarray:
         """Batched ``CutdownRewardRequirements.highest_acceptable_cutdown``."""
-        if not self.is_vectorizable:
+        if self.requirement_grid is None:
+            if self._grid_groups is not None:
+                return self._gather_scatter(
+                    lambda sub, rows: sub.highest_acceptable_cutdowns(table)
+                )
             return np.array(
                 [r.highest_acceptable_cutdown(table) for r in self.requirements]
             )
@@ -391,7 +486,11 @@ class VectorizedPopulation:
         surplus (offered minus required reward); ties go to the larger
         cut-down, exactly as the scalar policy's scan does.
         """
-        if not self.is_vectorizable:
+        if self.requirement_grid is None:
+            if self._grid_groups is not None:
+                return self._gather_scatter(
+                    lambda sub, rows: sub.expected_gain_cutdowns(table)
+                )
             from repro.negotiation.strategy import ExpectedGainBidding
 
             policy = ExpectedGainBidding()
@@ -416,6 +515,11 @@ class VectorizedPopulation:
         Rides the cached required-reward triplet, sharing the round's grid
         with the bidding kernels.
         """
+        if self.requirement_grid is None and self._grid_groups is not None:
+            all_queries = np.asarray(cutdowns, dtype=float)
+            return self._gather_scatter(
+                lambda sub, rows: sub.table_rewards(table, all_queries[rows])
+            )
         table_grid, offered, _required = self._required_rewards_for(table)
         queries = np.asarray(cutdowns, dtype=float)
         columns = np.searchsorted(table_grid, queries)
@@ -453,7 +557,11 @@ class VectorizedPopulation:
         return self._cache_store(self._interpolation_cache, key, result)
 
     def _compute_interpolated_requirements(self, cutdowns: np.ndarray) -> np.ndarray:
-        if not self.is_vectorizable:
+        if self.requirement_grid is None:
+            if self._grid_groups is not None:
+                return self._gather_scatter(
+                    lambda sub, rows: sub.interpolated_requirements(cutdowns[rows])
+                )
             return np.array(
                 [
                     r.interpolated_requirement(float(x))

@@ -32,7 +32,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Optional, Type
 
-from repro.agents.vectorized import shares_requirement_grid
+from repro.agents.vectorized import GRID_GROUP_AUTO_CAP, shares_requirement_grid
 from repro.api.config import EngineConfig
 from repro.core.fast_session import FastSession
 from repro.core.results import NegotiationResult
@@ -178,20 +178,24 @@ class ObjectBackend(NegotiationEngine):
 _VECTORIZED_POLICIES = (HighestAcceptableCutdownBidding, ExpectedGainBidding)
 
 
-def _shared_requirement_grid(scenario: Scenario) -> bool:
-    """Whether every customer's requirement table uses one cut-down grid.
+def _distinct_requirement_grids(scenario: Scenario) -> int:
+    """How many distinct cut-down grids the customers' requirement tables use.
 
-    Delegates to the vectorized layer's own criterion so auto-selection and
-    ``VectorizedPopulation``'s matrix packing can never drift apart.  Lazily
+    Mirrors the vectorized layer's own packing criteria so auto-selection and
+    ``VectorizedPopulation`` can never drift apart: one grid rides the single
+    shared requirement matrix, up to :data:`~repro.agents.vectorized
+    .GRID_GROUP_AUTO_CAP` grids ride the grouped per-grid kernels, and more
+    than that falls back to the scalar per-customer code.  Lazily
     materialised populations share one grid by construction (their tables
     all come from a single ``FleetRequirements`` matrix), so the check must
     not — and does not — touch ``population.specs``.
     """
     if scenario.population.columnar_view() is not None:
-        return True
-    return shares_requirement_grid(
-        [spec.requirements for spec in scenario.population.specs]
-    )
+        return 1
+    requirements = [spec.requirements for spec in scenario.population.specs]
+    if shares_requirement_grid(requirements):
+        return 1
+    return len({tuple(table.cutdowns()) for table in requirements})
 
 
 def _no_full_society(config: EngineConfig) -> tuple[bool, str]:
@@ -229,8 +233,12 @@ def _fast_path_qualifies(
             )
     elif not isinstance(method, (OfferMethod, RequestForBidsMethod)):
         return False, f"no batched kernel for method {type(method).__name__}"
-    if not _shared_requirement_grid(scenario):
-        return False, "heterogeneous requirement grids (scalar fallback)"
+    distinct_grids = _distinct_requirement_grids(scenario)
+    if distinct_grids > GRID_GROUP_AUTO_CAP:
+        return False, (
+            f"{distinct_grids} distinct requirement grids exceed the "
+            f"grouped-kernel cap of {GRID_GROUP_AUTO_CAP} (scalar fallback)"
+        )
     return True, ""
 
 
@@ -411,4 +419,10 @@ def run(
         # won) — lets callers and tests see e.g. that "sharded" was excluded
         # for being below the shard threshold.
         result.metadata["backend_rejections"] = rejections
+    planning_fallback = getattr(scenario.population, "planning_fallback", None)
+    if planning_fallback is not None:
+        # The population was asked for columnar planning but fell back to
+        # the scalar per-household loop — surface why, instead of the former
+        # silent degradation.
+        result.metadata["planning_fallback"] = planning_fallback
     return result

@@ -46,7 +46,7 @@ from repro.core.results import SystemResult
 from repro.core.scenario import Scenario
 from repro.core.system import LoadBalancingSystem
 from repro.grid.demand import DemandModel
-from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+from repro.grid.fleet import Fleet, FleetIncompatibleError, pack_fleet
 from repro.grid.household import Household
 from repro.grid.prediction import ConsumptionPredictor, FleetPrediction, PredictionModel
 from repro.grid.production import ProductionModel
@@ -143,10 +143,16 @@ class DayAheadPlanner:
         self.planning = planning
         self.materialise = materialise
         self._random = random if random is not None else RandomSource(0, "planner")
+        #: Why the planner fell off the columnar path, or ``None`` when the
+        #: fleet packed (``pack_fleet`` buckets heterogeneous populations, so
+        #: in practice only mixed profile resolutions end up here).  Campaign
+        #: day metadata surfaces this as ``planning_fallback``.
+        self.planning_fallback: Optional[str] = None
         try:
-            self.fleet: Optional[HouseholdFleet] = HouseholdFleet(self.households)
-        except FleetIncompatibleError:
+            self.fleet: Optional[Fleet] = pack_fleet(self.households)
+        except FleetIncompatibleError as exc:
             self.fleet = None
+            self.planning_fallback = str(exc)
         self._demand_model = DemandModel(
             self.households, self._random.spawn("demand"), behavioural_noise=0.05,
             fleet=self.fleet,
@@ -531,6 +537,8 @@ class MultiDayCampaign:
                     value = outcome.negotiation.metadata.get(key)
                     if value is not None:
                         day_metadata[key] = value
+            if self.planner.planning_fallback is not None:
+                day_metadata["planning_fallback"] = self.planner.planning_fallback
             result.days.append(
                 CampaignDay(
                     day_index=day_index, weather=weather,

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.results import ColumnarOutcomes, NegotiationResult, SystemResult
 from repro.core.scenario import Scenario
-from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+from repro.grid.fleet import Fleet, FleetIncompatibleError, pack_fleet
 from repro.grid.load_profile import LoadProfile
 from repro.grid.production import ProductionModel
 from repro.runtime.clock import TimeInterval
@@ -56,6 +56,9 @@ class LoadBalancingSystem:
         self.seed = seed
         self.backend = backend
         self.config = config
+        #: Why accounting ran the scalar per-customer path (``None`` when the
+        #: columnar fleet path applied).
+        self.accounting_fallback: Optional[str] = None
 
     # -- pipeline stages -----------------------------------------------------------
 
@@ -131,13 +134,15 @@ class LoadBalancingSystem:
 
     # -- columnar accounting ------------------------------------------------------------
 
-    def _accounting_fleet(self) -> Optional[HouseholdFleet]:
+    def _accounting_fleet(self) -> Optional[Fleet]:
         """A fleet over the population's households, when one can be built.
 
         Populations assembled by the columnar planner / synthetic generator
-        carry their fleet; otherwise one is packed on the fly.  Calibrated
-        populations (no household models) and fleet-incompatible household
-        sets return ``None`` and use the scalar accounting path.
+        carry their fleet; otherwise one is packed on the fly (bucketed when
+        the households are heterogeneous).  Calibrated populations (no
+        household models) and genuinely unpackable household sets return
+        ``None`` and use the scalar accounting path, with the reason recorded
+        on :attr:`accounting_fallback`.
         """
         population = self.scenario.population
         if population.fleet is not None:
@@ -151,10 +156,15 @@ class LoadBalancingSystem:
             spec.household is None or spec.customer_id != spec.household.household_id
             for spec in specs
         ):
+            self.accounting_fallback = (
+                "population has customers without household models or with "
+                "ids diverging from their household ids"
+            )
             return None
         try:
-            fleet = HouseholdFleet([spec.household for spec in specs])
-        except FleetIncompatibleError:
+            fleet = pack_fleet([spec.household for spec in specs])
+        except FleetIncompatibleError as exc:
+            self.accounting_fallback = str(exc)
             return None
         population.fleet = fleet
         return fleet

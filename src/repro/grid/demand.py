@@ -22,7 +22,7 @@ from repro.runtime.clock import TimeInterval, TimeSlot
 from repro.runtime.rng import RandomSource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import would cycle)
-    from repro.grid.fleet import HouseholdFleet
+    from repro.grid.fleet import Fleet
 
 
 @dataclass(frozen=True)
@@ -172,7 +172,7 @@ class DemandModel:
         households: Sequence[Household],
         random: Optional[RandomSource] = None,
         behavioural_noise: float = 0.08,
-        fleet: Optional["HouseholdFleet"] = None,
+        fleet: Optional["Fleet"] = None,
     ) -> None:
         if not households:
             raise ValueError("demand model needs at least one household")
@@ -181,21 +181,25 @@ class DemandModel:
         self.households = list(households)
         self._random = random if random is not None else RandomSource(0, "demand")
         self.behavioural_noise = behavioural_noise
-        # Columnar fast path: pack the households into a HouseholdFleet when
-        # they are homogeneous (shared library/resolution); heterogeneous
-        # populations keep the scalar per-household path.  Callers that
-        # already hold a fleet over the same households pass it in instead of
-        # paying for a second packing.  Imported lazily to avoid a
-        # demand <-> fleet module cycle.
-        from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+        # Columnar fast path: pack the households into a fleet (a single
+        # HouseholdFleet when homogeneous, a BucketedFleet otherwise); only
+        # genuinely unpackable populations (mixed profile resolutions) keep
+        # the scalar per-household path, with the reason recorded on
+        # ``fallback_reason``.  Callers that already hold a fleet over the
+        # same households pass it in instead of paying for a second packing.
+        # Imported lazily to avoid a demand <-> fleet module cycle.
+        from repro.grid.fleet import FleetIncompatibleError, pack_fleet
 
+        #: Why realisation runs the scalar path (``None`` on the fleet path).
+        self.fallback_reason: Optional[str] = None
         if fleet is not None and fleet.households == self.households:
-            self._fleet: Optional[HouseholdFleet] = fleet
+            self._fleet: Optional["Fleet"] = fleet
         else:
             try:
-                self._fleet = HouseholdFleet(self.households)
-            except FleetIncompatibleError:
+                self._fleet = pack_fleet(self.households)
+            except FleetIncompatibleError as exc:
                 self._fleet = None
+                self.fallback_reason = str(exc)
 
     def realise(self, weather: Optional[WeatherSample] = None) -> PopulationDemand:
         """Realise one day of demand (with per-household behavioural noise).

@@ -26,16 +26,23 @@ slots, powers precomputed with Python ``**``), so the fleet path is
 :class:`~repro.agents.vectorized.VectorizedPopulation` gives the negotiation
 kernels.  ``tests/test_grid_fleet.py`` enforces it per household.
 
-A fleet requires a *homogeneous* population: all households share one
-appliance library, one profile resolution, and list their owned appliances in
-library order (which :meth:`Household.generate` guarantees).  Heterogeneous
-populations raise :class:`FleetIncompatibleError`; callers fall back to the
-scalar per-household path.
+A plain :class:`HouseholdFleet` requires a *homogeneous* population: all
+households share one appliance library, one profile resolution, and list
+their owned appliances in a common column order (which
+:meth:`Household.generate` guarantees).  :class:`BucketedFleet` lifts that
+restriction: it groups households by appliance signature (library identity by
+value, ownership-dict column order), builds one :class:`HouseholdFleet` per
+bucket with a per-bucket column permutation, and scatters kernel results back
+into population order — still bit-identical per household.  Callers should
+use :func:`pack_fleet`, which picks the single-fleet layout when it applies
+and the bucketed one otherwise; only genuinely unpackable populations (mixed
+profile resolutions) raise :class:`FleetIncompatibleError`, and callers fall
+back to the scalar per-household path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -88,15 +95,34 @@ class HouseholdFleet:
         appliance columns in library order.
     """
 
-    def __init__(self, households: Sequence[Household]) -> None:
+    def __init__(
+        self,
+        households: Sequence[Household],
+        appliance_order: Optional[Sequence[str]] = None,
+    ) -> None:
         if not households:
-            raise FleetIncompatibleError("a fleet needs at least one household")
+            # Plain ValueError, deliberately *not* FleetIncompatibleError:
+            # callers treat the latter as a fall-back-to-scalar signal, and an
+            # empty population is misuse that must fail loudly at the boundary.
+            raise ValueError("a fleet needs at least one household")
         self.households = list(households)
         first = self.households[0]
         self.slots_per_day = first.slots_per_day
         self.library = first.library
-        appliances = self.library.all()
-        names = [appliance.name for appliance in appliances]
+        library_names = list(self.library.names)
+        library_appliances = self.library.all()
+        if appliance_order is None:
+            names = library_names
+        else:
+            names = list(appliance_order)
+            unknown = [name for name in names if name not in self.library]
+            if unknown:
+                raise FleetIncompatibleError(
+                    f"appliance order names unknown appliances: {unknown!r}"
+                )
+            if len(set(names)) != len(names):
+                raise FleetIncompatibleError("appliance order repeats a column")
+        appliances = [self.library.get(name) for name in names]
         index_of = {name: column for column, name in enumerate(names)}
         ownership_rows = []
         for household in self.households:
@@ -105,24 +131,34 @@ class HouseholdFleet:
                     "all fleet households must share one profile resolution"
                 )
             if household.library is not self.library and (
-                household.library.names != names
-                or [household.library.get(n) for n in names] != appliances
+                household.library.names != library_names
+                or [household.library.get(n) for n in library_names]
+                != library_appliances
             ):
                 raise FleetIncompatibleError(
                     "all fleet households must share one appliance library"
                 )
             # The scalar path aggregates appliances in ownership-dict order;
-            # the fleet aggregates in library order.  Bit-identity therefore
-            # requires the owned appliances to appear in library order.
-            owned_columns = [
-                index_of[name]
-                for name, scale in household.profile.ownership.items()
-                if scale > 0
-            ]
+            # the fleet aggregates in column order.  Bit-identity therefore
+            # requires the owned appliances to appear in column order (the
+            # library's by default, or the caller's ``appliance_order``
+            # permutation — how BucketedFleet packs households whose
+            # ownership dicts are not library-ordered).
+            try:
+                owned_columns = [
+                    index_of[name]
+                    for name, scale in household.profile.ownership.items()
+                    if scale > 0
+                ]
+            except KeyError as exc:
+                raise FleetIncompatibleError(
+                    f"household {household.household_id!r} owns an appliance "
+                    f"outside the fleet's column order: {exc.args[0]!r}"
+                ) from None
             if owned_columns != sorted(owned_columns):
                 raise FleetIncompatibleError(
                     f"household {household.household_id!r} lists owned "
-                    f"appliances out of library order"
+                    f"appliances out of column order"
                 )
             ownership_rows.append(
                 [household.profile.ownership.get(name, 0.0) for name in names]
@@ -135,29 +171,36 @@ class HouseholdFleet:
         self.flexibility_scales = np.array(
             [h.profile.flexibility_scale for h in self.households]
         )
-        self.ownership = np.array(ownership_rows, dtype=float)
-        # Per-appliance static columns (library order).
+        self.ownership = np.array(ownership_rows, dtype=float).reshape(
+            len(self.households), len(appliances)
+        )
+        # Per-appliance static columns (one column per ``names`` entry).
         self._appliances = appliances
         self._daily_energies = np.array([a.daily_energy_kwh for a in appliances])
         self._rated_powers = np.array([a.rated_power_kw for a in appliances])
         self._flexibilities = np.array([a.flexibility for a in appliances])
         self._per_person = [a.per_person for a in appliances]
         self._heating = [a.category in _HEATING_CATEGORIES for a in appliances]
-        self._slot_weights = np.stack(
-            [a.slot_weights(self.slots_per_day) for a in appliances]
-        )
-        # Rated-power caps are weather-independent: rated * (size | 1) * max(scale, 1).
-        self._caps = np.stack(
-            [
-                (
-                    self._rated_powers[column] * self.sizes
-                    if self._per_person[column]
-                    else np.full(len(self.households), self._rated_powers[column])
-                )
-                * np.maximum(self.ownership[:, column], 1.0)
-                for column in range(len(appliances))
-            ]
-        )  # (A, N)
+        if appliances:
+            self._slot_weights = np.stack(
+                [a.slot_weights(self.slots_per_day) for a in appliances]
+            )
+            # Rated-power caps are weather-independent:
+            # rated * (size | 1) * max(scale, 1).
+            self._caps = np.stack(
+                [
+                    (
+                        self._rated_powers[column] * self.sizes
+                        if self._per_person[column]
+                        else np.full(len(self.households), self._rated_powers[column])
+                    )
+                    * np.maximum(self.ownership[:, column], 1.0)
+                    for column in range(len(appliances))
+                ]
+            )  # (A, N)
+        else:  # a bucket of appliance-less households still packs cleanly
+            self._slot_weights = np.zeros((0, self.slots_per_day))
+            self._caps = np.zeros((0, len(self.households)))
         #: Weather-keyed demand-matrix cache (heating factor -> (N, S) array),
         #: FIFO-bounded.
         self._demand_cache: dict[float, np.ndarray] = {}
@@ -287,3 +330,164 @@ class HouseholdFleet:
         with np.errstate(divide="ignore", invalid="ignore"):
             fractions = np.minimum(1.0, saveable / demand)
         return np.where(demand > 0, fractions, 0.0)
+
+
+class BucketedFleet:
+    """A heterogeneous population packed as per-signature sub-fleets.
+
+    Households are grouped by appliance signature — their library (compared
+    by value, like :class:`HouseholdFleet`) and the column order of their
+    ownership dict — and each bucket becomes one :class:`HouseholdFleet`
+    whose columns follow that bucket's ownership-dict order.  Because every
+    household's *owned* appliances are a subsequence of its ownership-dict
+    keys, the per-bucket column permutation always satisfies the fleet's
+    order check, and each kernel row keeps the scalar path's accumulation
+    order: bucketed results are bit-identical to the per-household loop.
+
+    Kernel results are scattered back into population order, so the class
+    exposes the same surface as :class:`HouseholdFleet` (``demand_profiles``,
+    ``energy_in``, ``average_in``, ``saveable_energy``,
+    ``max_cutdown_fractions``, ``aggregate_demand`` and the per-household
+    attribute vectors) and is a drop-in replacement for planning callers.
+
+    Only mixed profile *resolutions* remain unpackable and raise
+    :class:`FleetIncompatibleError`.
+    """
+
+    def __init__(self, households: Sequence[Household]) -> None:
+        if not households:
+            raise ValueError("a fleet needs at least one household")
+        self.households = list(households)
+        self.slots_per_day = self.households[0].slots_per_day
+        self._libraries: list = []
+        token_by_id: dict[int, int] = {}
+        groups: dict[tuple, list[int]] = {}
+        for row, household in enumerate(self.households):
+            if household.slots_per_day != self.slots_per_day:
+                raise FleetIncompatibleError(
+                    "all fleet households must share one profile resolution"
+                )
+            token = token_by_id.get(id(household.library))
+            if token is None:
+                token = self._library_token(household.library)
+                token_by_id[id(household.library)] = token
+            key = (token, tuple(household.profile.ownership.keys()))
+            groups.setdefault(key, []).append(row)
+        #: ``(population-row indices, sub-fleet)`` pairs, one per signature,
+        #: in first-appearance order.
+        self.buckets: list[tuple[np.ndarray, HouseholdFleet]] = [
+            (
+                np.array(rows, dtype=np.intp),
+                HouseholdFleet(
+                    [self.households[row] for row in rows], appliance_order=key[1]
+                ),
+            )
+            for key, rows in groups.items()
+        ]
+        self.household_ids = [h.household_id for h in self.households]
+        self.sizes = np.array([float(h.size) for h in self.households])
+        self.comfort_weights = np.array(
+            [h.profile.comfort_weight for h in self.households]
+        )
+        self.flexibility_scales = np.array(
+            [h.profile.flexibility_scale for h in self.households]
+        )
+        self._demand_cache: dict[float, np.ndarray] = {}
+
+    def _library_token(self, library) -> int:
+        for token, known in enumerate(self._libraries):
+            if library is known or (
+                library.names == known.names
+                and [library.get(name) for name in known.names] == known.all()
+            ):
+                return token
+        self._libraries.append(library)
+        return len(self._libraries) - 1
+
+    # -- basic views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.households)
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    heating_factor = staticmethod(HouseholdFleet.heating_factor)
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _scatter(self, kernel_name: str, *args, **kwargs) -> np.ndarray:
+        """Run a per-bucket ``(n,)`` kernel and scatter rows into place."""
+        out = np.zeros(len(self.households))
+        for rows, bucket in self.buckets:
+            out[rows] = getattr(bucket, kernel_name)(*args, **kwargs)
+        return out
+
+    def demand_profiles(self, weather: Optional[WeatherSample] = None) -> np.ndarray:
+        """``(N, S)`` demand matrix in population order (rows bit-identical
+        to each household's scalar ``demand_profile``)."""
+        factor = self.heating_factor(weather)
+        cached = self._demand_cache.get(factor)
+        if cached is not None:
+            return cached
+        total = np.zeros((len(self.households), self.slots_per_day))
+        for rows, bucket in self.buckets:
+            total[rows] = bucket.demand_profiles(weather)
+        total.setflags(write=False)
+        if len(self._demand_cache) >= _WEATHER_CACHE_SIZE:
+            self._demand_cache.pop(next(iter(self._demand_cache)))
+        self._demand_cache[factor] = total
+        return total
+
+    def aggregate_demand(self, weather: Optional[WeatherSample] = None) -> LoadProfile:
+        return LoadProfile.from_array(self.demand_profiles(weather).sum(axis=0))
+
+    def energy_in(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        return self._scatter("energy_in", interval, weather)
+
+    def average_in(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        return self._scatter("average_in", interval, weather)
+
+    def saveable_energy(
+        self, interval: TimeInterval, weather: Optional[WeatherSample] = None
+    ) -> np.ndarray:
+        return self._scatter("saveable_energy", interval, weather)
+
+    def max_cutdown_fractions(
+        self,
+        interval: TimeInterval,
+        weather: Optional[WeatherSample] = None,
+        demand_energies: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        out = np.zeros(len(self.households))
+        for rows, bucket in self.buckets:
+            sliced = demand_energies[rows] if demand_energies is not None else None
+            out[rows] = bucket.max_cutdown_fractions(
+                interval, weather, demand_energies=sliced
+            )
+        return out
+
+
+#: Either columnar layout — what :func:`pack_fleet` returns.  The two share
+#: the full planning-kernel surface and are interchangeable for callers.
+Fleet = Union[HouseholdFleet, BucketedFleet]
+
+
+def pack_fleet(households: Sequence[Household]) -> Fleet:
+    """Pack ``households`` into the best columnar layout that fits.
+
+    The single-matrix :class:`HouseholdFleet` when the population is
+    appliance-homogeneous (no bucketing overhead), otherwise a
+    :class:`BucketedFleet`.  Raises :class:`FleetIncompatibleError` only for
+    genuinely unpackable populations (mixed profile resolutions) and a plain
+    :class:`ValueError` for empty input.
+    """
+    try:
+        return HouseholdFleet(households)
+    except FleetIncompatibleError:
+        return BucketedFleet(households)

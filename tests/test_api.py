@@ -66,6 +66,26 @@ def heterogeneous_scenario() -> Scenario:
     return Scenario(name="hetero", population=population, method=method)
 
 
+def many_grid_scenario(num_customers: int = 40) -> Scenario:
+    """A population with one distinct requirement grid *per customer* —
+    beyond the grouped-kernel cap, so only the object path qualifies."""
+    requirements = [
+        CutdownRewardRequirements(
+            requirements={0.0: 0.0, round(0.1 + 0.02 * i, 6): 5.0 + i},
+            max_feasible_cutdown=round(0.1 + 0.02 * i, 6),
+        )
+        for i in range(num_customers)
+    ]
+    population = CustomerPopulation.calibrated(
+        predicted_uses=[10.0 + (i % 7) for i in range(num_customers)],
+        requirements=requirements,
+        normal_use=8.0 * num_customers,
+        max_allowed_overuse=2.0,
+    )
+    method = RewardTablesMethod(max_reward=40.0, beta_controller=ConstantBeta(2.0))
+    return Scenario(name="many_grids", population=population, method=method)
+
+
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
         backends = available_backends()
@@ -150,8 +170,16 @@ class TestAutoSelection:
         )
         assert result.metadata["backend"] == "object"
 
-    def test_heterogeneous_grids_fall_back_to_object(self):
+    def test_heterogeneous_grids_ride_grouped_kernels(self):
+        # Mixed requirement grids used to disqualify every batched backend;
+        # the grouped per-grid kernels now carry them on the fast path.
         result = run(heterogeneous_scenario(), seed=0)
+        assert result.metadata["backend"] == "vectorized"
+        reference = run(heterogeneous_scenario(), backend="object", seed=0)
+        assert_equivalent(reference, result)
+
+    def test_beyond_group_cap_falls_back_to_object(self):
+        result = run(many_grid_scenario(), seed=0)
         assert result.metadata["backend"] == "object"
 
     def test_custom_bidding_policy_falls_back_to_object(self):
@@ -223,13 +251,22 @@ class TestShardedSelection:
         assert "one worker" in result.metadata["backend_rejections"]["sharded"]
 
     def test_auto_records_fallback_reasons_on_object_path(self):
-        # A scenario the batched kernels cannot carry excludes *both* fast
-        # backends, and each exclusion reason lands in the metadata.
-        result = run(heterogeneous_scenario(), seed=0, shards=2, shard_threshold=2)
+        # A scenario the batched kernels cannot carry — more distinct grids
+        # than the grouped-kernel cap — excludes *both* fast backends, and
+        # each exclusion reason lands in the metadata.
+        result = run(many_grid_scenario(), seed=0, shards=2, shard_threshold=2)
         assert result.metadata["backend"] == "object"
         rejections = result.metadata["backend_rejections"]
-        assert "heterogeneous requirement grids" in rejections["sharded"]
-        assert "heterogeneous requirement grids" in rejections["vectorized"]
+        assert "distinct requirement grids exceed" in rejections["sharded"]
+        assert "distinct requirement grids exceed" in rejections["vectorized"]
+
+    def test_auto_selects_sharded_for_heterogeneous_grids(self):
+        # Grouped kernels qualify the *sharded* runtime too: a mixed-grid
+        # population above the shard threshold fans out, bit-identically.
+        result = run(heterogeneous_scenario(), seed=0, shards=2, shard_threshold=2)
+        assert result.metadata["backend"] == "sharded"
+        reference = run(heterogeneous_scenario(), backend="object", seed=0)
+        assert_equivalent(reference, result)
 
     def test_explicit_backend_records_no_rejections(self):
         result = run(small_scenario(), backend="vectorized", seed=0)

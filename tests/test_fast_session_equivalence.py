@@ -84,10 +84,10 @@ class TestRewardTablesEquivalence:
         _, slow_result, _, fast_result = run_both(make)
         assert_equivalent(slow_result, fast_result)
 
-    def test_heterogeneous_requirement_grids_fall_back_to_scalar(self):
+    def test_heterogeneous_requirement_grids_ride_grouped_kernels(self):
         # Customers whose requirement tables cover *different* cut-down grids
-        # cannot be packed into one matrix; the fast path must fall back to
-        # the scalar per-customer code and still match the object path.
+        # cannot be packed into one matrix; the fast path runs the grouped
+        # per-grid kernels instead and still matches the object path.
         coarse = CutdownRewardRequirements(
             requirements={0.0: 0.0, 0.2: 4.0, 0.4: 21.0, 0.8: 95.0},
             max_feasible_cutdown=0.8,
@@ -108,7 +108,9 @@ class TestRewardTablesEquivalence:
 
         fast = FastSession(make(), seed=0)
         _, slow_result, fast, fast_result = run_both(make)
-        assert not fast.population.is_vectorizable
+        assert fast.population.is_vectorizable
+        assert fast.population.requirement_grid is None
+        assert fast.population.num_grid_groups == 2
         assert_equivalent(slow_result, fast_result)
 
     def test_no_negotiation_when_overuse_acceptable(self):
@@ -157,7 +159,7 @@ class TestOfferMethodEquivalence:
         _, slow_result, _, fast_result = run_both(make)
         assert_equivalent(slow_result, fast_result)
 
-    def test_heterogeneous_grids_fall_back_and_match(self):
+    def test_heterogeneous_grids_group_and_match(self):
         coarse = CutdownRewardRequirements(
             requirements={0.0: 0.0, 0.25: 3.0, 0.5: 30.0},
             max_feasible_cutdown=0.5,
@@ -177,7 +179,9 @@ class TestOfferMethodEquivalence:
 
         fast = FastSession(make(), seed=0)
         fast.build()
-        assert not fast.population.is_vectorizable
+        assert fast.population.is_vectorizable
+        assert fast.population.requirement_grid is None
+        assert fast.population.num_grid_groups == 2
         _, slow_result, _, fast_result = run_both(make)
         assert_equivalent(slow_result, fast_result)
 

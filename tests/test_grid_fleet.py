@@ -17,7 +17,12 @@ from repro.grid.appliances import (
     standard_appliance_library,
 )
 from repro.grid.demand import DemandModel
-from repro.grid.fleet import FleetIncompatibleError, HouseholdFleet
+from repro.grid.fleet import (
+    BucketedFleet,
+    FleetIncompatibleError,
+    HouseholdFleet,
+    pack_fleet,
+)
 from repro.grid.household import Household, HouseholdProfile
 from repro.grid.prediction import ConsumptionPredictor, PredictionModel
 from repro.grid.weather import WeatherCondition, WeatherSample
@@ -99,8 +104,18 @@ class TestFleetKernels:
 
 class TestFleetCompatibility:
     def test_requires_households(self):
-        with pytest.raises(FleetIncompatibleError):
+        # A plain ValueError, *not* FleetIncompatibleError: callers treat the
+        # latter as a fall-back-to-scalar signal, and an empty population is
+        # misuse that must fail loudly at the boundary instead.
+        with pytest.raises(ValueError) as excinfo:
             HouseholdFleet([])
+        assert not isinstance(excinfo.value, FleetIncompatibleError)
+        with pytest.raises(ValueError) as excinfo:
+            BucketedFleet([])
+        assert not isinstance(excinfo.value, FleetIncompatibleError)
+        with pytest.raises(ValueError) as excinfo:
+            pack_fleet([])
+        assert not isinstance(excinfo.value, FleetIncompatibleError)
 
     def test_rejects_mixed_resolutions(self, households):
         library = standard_appliance_library()
@@ -215,3 +230,227 @@ class TestColumnarPredictor:
             assert predictor.history_length == day + 1
         assert predictor._buffer.shape[0] >= 20
         predictor.predict()
+
+
+def _alt_library() -> ApplianceLibrary:
+    """A second, value-distinct appliance catalogue for mixed-library tests."""
+    flat = tuple(1.0 for __ in range(24))
+    return ApplianceLibrary(
+        [
+            Appliance(
+                name="alt_heating",
+                category=ApplianceCategory.SPACE_HEATING,
+                rated_power_kw=6.0,
+                daily_energy_kwh=18.0,
+                usage_pattern=flat,
+                flexibility=0.6,
+            ),
+            Appliance(
+                name="alt_lighting",
+                category=ApplianceCategory.LIGHTING,
+                rated_power_kw=0.4,
+                daily_energy_kwh=2.0,
+                usage_pattern=flat,
+                flexibility=0.3,
+                per_person=True,
+            ),
+        ]
+    )
+
+
+def make_mixed_households(count: int = 30) -> list[Household]:
+    """A deliberately heterogeneous population: library-ordered ownership,
+    permuted (reversed) ownership-dict order, a second library, and one
+    appliance-less household — every signature a single HouseholdFleet
+    rejects."""
+    random = RandomSource(21, "mixed_fleet")
+    standard = standard_appliance_library()
+    alt = _alt_library()
+    households: list[Household] = []
+    for i in range(count):
+        kind = i % 3
+        if kind == 0:
+            households.append(
+                Household.generate(f"m{i:03d}", random.spawn(f"m{i}"), standard)
+            )
+        elif kind == 1:
+            ownership = standard.sample_ownership(random.spawn(f"perm{i}"), household_size=3)
+            permuted = dict(reversed(list(ownership.items())))
+            profile = HouseholdProfile(
+                household_id=f"m{i:03d}",
+                size=3,
+                ownership=permuted,
+                comfort_weight=1.0 + 0.01 * i,
+                flexibility_scale=0.8,
+            )
+            households.append(Household(profile, standard))
+        else:
+            profile = HouseholdProfile(
+                household_id=f"m{i:03d}",
+                size=2,
+                ownership={"alt_heating": 1.0, "alt_lighting": 0.8},
+                comfort_weight=1.2,
+                flexibility_scale=1.0,
+            )
+            households.append(Household(profile, alt))
+    bare = HouseholdProfile(
+        household_id="m_bare",
+        size=1,
+        ownership={},
+        comfort_weight=1.0,
+        flexibility_scale=0.5,
+    )
+    households.append(Household(bare, standard))
+    return households
+
+
+@pytest.fixture(scope="module")
+def mixed_households():
+    return make_mixed_households()
+
+
+@pytest.fixture(scope="module")
+def bucketed(mixed_households):
+    fleet = pack_fleet(mixed_households)
+    assert isinstance(fleet, BucketedFleet)
+    return fleet
+
+
+class TestApplianceOrder:
+    """HouseholdFleet's per-bucket column permutation support."""
+
+    def test_permuted_order_packs_and_matches_scalar(self, weather, interval):
+        standard = standard_appliance_library()
+        ownership = standard.sample_ownership(RandomSource(3, "p").spawn("h"), household_size=2)
+        permuted = dict(reversed(list(ownership.items())))
+        profile = HouseholdProfile(
+            household_id="perm", size=2, ownership=permuted,
+            comfort_weight=1.0, flexibility_scale=0.9,
+        )
+        household = Household(profile, standard)
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([household])  # library order still rejects
+        fleet = HouseholdFleet(
+            [household], appliance_order=tuple(permuted.keys())
+        )
+        assert np.array_equal(
+            fleet.demand_profiles(weather)[0],
+            household.demand_profile(weather).as_array(),
+        )
+        assert fleet.saveable_energy(interval, weather)[0] == (
+            household.saveable_energy(interval, weather)
+        )
+
+    def test_order_must_cover_owned_appliances(self):
+        standard = standard_appliance_library()
+        names = standard.names
+        profile = HouseholdProfile(
+            household_id="h", size=2, ownership={names[0]: 1.0, names[1]: 1.0},
+            comfort_weight=1.0, flexibility_scale=0.9,
+        )
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet([Household(profile, standard)], appliance_order=(names[0],))
+
+    def test_order_rejects_unknown_and_duplicate_names(self, households):
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet(households[:1], appliance_order=("no_such_appliance",))
+        names = standard_appliance_library().names
+        with pytest.raises(FleetIncompatibleError):
+            HouseholdFleet(households[:1], appliance_order=(names[0], names[0]))
+
+
+class TestBucketedFleet:
+    """Bucketed kernels must match the scalar oracle bit for bit, per row."""
+
+    def test_pack_fleet_prefers_single_fleet(self, households):
+        assert isinstance(pack_fleet(households), HouseholdFleet)
+
+    def test_buckets_are_bounded_by_signatures(self, bucketed):
+        # generated + permuted-sample + alt-library + bare: signatures stay
+        # a handful even though owned subsets vary household to household.
+        assert 2 <= bucketed.num_buckets <= 6
+        assert sum(len(rows) for rows, __ in bucketed.buckets) == len(bucketed)
+
+    def test_population_order_preserved(self, bucketed, mixed_households):
+        assert bucketed.household_ids == [h.household_id for h in mixed_households]
+
+    def test_demand_profiles_bit_identical(self, bucketed, mixed_households, weather):
+        matrix = bucketed.demand_profiles(weather)
+        assert matrix.shape == (len(mixed_households), 24)
+        for row, household in zip(matrix, mixed_households):
+            assert np.array_equal(row, household.demand_profile(weather).as_array())
+
+    def test_energy_in_bit_identical(self, bucketed, mixed_households, weather, interval):
+        energies = bucketed.energy_in(interval, weather)
+        for energy, household in zip(energies, mixed_households):
+            assert energy == household.demand_profile(weather).energy_in(interval)
+
+    def test_average_in_bit_identical(self, bucketed, mixed_households, weather, interval):
+        averages = bucketed.average_in(interval, weather)
+        for average, household in zip(averages, mixed_households):
+            assert average == household.demand_profile(weather).average_in(interval)
+
+    def test_saveable_energy_bit_identical(self, bucketed, mixed_households, weather, interval):
+        saveable = bucketed.saveable_energy(interval, weather)
+        for energy, household in zip(saveable, mixed_households):
+            assert energy == household.saveable_energy(interval, weather)
+
+    def test_max_cutdown_fractions_bit_identical(self, bucketed, mixed_households, weather, interval):
+        fractions = bucketed.max_cutdown_fractions(interval, weather)
+        for fraction, household in zip(fractions, mixed_households):
+            assert fraction == household.max_cutdown_fraction(interval, weather)
+
+    def test_max_cutdown_fractions_accepts_precomputed_energies(self, bucketed, weather, interval):
+        energies = bucketed.energy_in(interval, weather)
+        assert np.array_equal(
+            bucketed.max_cutdown_fractions(interval, weather, demand_energies=energies),
+            bucketed.max_cutdown_fractions(interval, weather),
+        )
+
+    def test_aggregate_demand_matches_scalar_aggregation(self, bucketed, mixed_households, weather):
+        from repro.grid.load_profile import LoadProfile
+
+        expected = LoadProfile.aggregate(
+            household.demand_profile(weather) for household in mixed_households
+        )
+        assert bucketed.aggregate_demand(weather).values == expected.values
+
+    def test_demand_matrix_is_cached_and_read_only(self, bucketed):
+        first = bucketed.demand_profiles(None)
+        assert bucketed.demand_profiles(None) is first
+        with pytest.raises(ValueError):
+            first[0, 0] = 1.0
+
+    def test_rejects_mixed_resolutions(self, mixed_households):
+        odd = Household.generate(
+            "odd", RandomSource(1, "odd"), standard_appliance_library(),
+            slots_per_day=48,
+        )
+        with pytest.raises(FleetIncompatibleError):
+            BucketedFleet(mixed_households + [odd])
+        with pytest.raises(FleetIncompatibleError):
+            pack_fleet(mixed_households + [odd])
+
+    def test_realise_matches_scalar_path(self, mixed_households):
+        cold = WeatherSample(temperature_c=-15.0, condition=WeatherCondition.COLD)
+        model = DemandModel(mixed_households, RandomSource(5, "d"))
+        assert isinstance(model._fleet, BucketedFleet)
+        assert model.fallback_reason is None
+        columnar = model.realise(cold)
+        scalar = DemandModel(
+            mixed_households, RandomSource(5, "d")
+        )._realise_scalar(cold)
+        assert columnar.household_ids == scalar.household_ids
+        for household_id in columnar.household_ids:
+            assert columnar.household(household_id).values == (
+                scalar.household(household_id).values
+            )
+
+    def test_mixed_resolutions_record_fallback_reason(self, mixed_households):
+        odd = Household.generate(
+            "odd", RandomSource(1, "odd"), standard_appliance_library(),
+            slots_per_day=48,
+        )
+        model = DemandModel(mixed_households[:3] + [odd], RandomSource(5, "d"))
+        assert model._fleet is None
+        assert "resolution" in model.fallback_reason

@@ -107,7 +107,7 @@ class TestPopulationSlices:
             population.interpolated_requirements(queries).tolist()
         )
 
-    def test_heterogeneous_parent_keeps_shards_on_scalar_fallback(self):
+    def test_heterogeneous_parent_keeps_shards_on_grouped_kernels(self):
         coarse = CutdownRewardRequirements(
             requirements={0.0: 0.0, 0.2: 4.0, 0.4: 21.0, 0.8: 95.0},
             max_feasible_cutdown=0.8,
@@ -119,11 +119,16 @@ class TestPopulationSlices:
             allowed_uses=[12.0, 9.0, 14.0, 11.0],
             requirements=[coarse, fine, coarse, fine],
         )
-        assert not population.is_vectorizable
+        assert population.is_vectorizable
+        assert population.requirement_grid is None
+        assert population.num_grid_groups == 2
         sharded = ShardedPopulation(population, 2)
-        # Each slice happens to be grid-homogeneous, but shards inherit the
-        # parent's (scalar-fallback) mode so every shard runs the same kernel.
-        assert all(not shard.is_vectorizable for shard in sharded.shards)
+        # Shards of a grouped parent regroup their own rows (never a shared
+        # matrix) so every shard runs the same grouped kernel flavour.
+        for shard in sharded.shards:
+            assert shard.is_vectorizable
+            assert shard.requirement_grid is None
+            assert shard.num_grid_groups >= 1
         table = RewardTable.convex(40.0, exponent=1.5)
         assert sharded.highest_acceptable_cutdowns(table).tolist() == (
             population.highest_acceptable_cutdowns(table).tolist()
